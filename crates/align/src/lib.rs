@@ -1,0 +1,34 @@
+//! # gsb-align — dynamic-programming alignment substrate
+//!
+//! Two of the SC'05 paper's named applications are alignment problems:
+//!
+//! * "the construction of ClustalXP \[29\] for high-performance multiple
+//!   sequence alignment" — the framework's HPC sibling, reproduced here
+//!   as the classic progressive-alignment stack: pairwise
+//!   Needleman–Wunsch / Smith–Waterman, a distance matrix
+//!   (embarrassingly parallel, rayon), a UPGMA guide tree, and
+//!   profile–profile progressive alignment;
+//! * "one can discover uncharacterized functional modules, by looking
+//!   for conserved protein interaction pathways using pathway alignment
+//!   \[22\] based on optimization techniques such as dynamic programming"
+//!   (§1) — PathBLAST-style alignment of two linear pathways with
+//!   node-similarity scoring and gap penalties.
+//!
+//! The paper's §4 closes on exactly this: "we should not overlook
+//! dynamic programming ... with dynamic programming we generally trade
+//! space for time" — these kernels are the trade being discussed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod pairwise;
+pub mod pathway;
+pub mod progressive;
+pub mod score;
+pub mod tree;
+
+pub use pairwise::{global_align, local_align, Alignment};
+pub use pathway::{align_pathways, PathwayAlignment};
+pub use progressive::{progressive_msa, Msa};
+pub use score::Scoring;

@@ -1,0 +1,236 @@
+//! Pairwise alignment: Needleman–Wunsch (global) and Smith–Waterman
+//! (local), full-matrix dynamic programming with traceback.
+//!
+//! The space-for-time trade the paper's §4 highlights: an (m+1)×(n+1)
+//! score matrix held fully in memory so the optimal path can be walked
+//! back — genome-scale instances of exactly this shape are what demand
+//! "memory intensive management techniques".
+
+use crate::score::Scoring;
+
+/// Gap character used in alignment rows.
+pub const GAP: u8 = b'-';
+
+/// A pairwise alignment: two equal-length rows with `-` for gaps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Alignment {
+    /// Aligned first sequence.
+    pub a: Vec<u8>,
+    /// Aligned second sequence.
+    pub b: Vec<u8>,
+    /// Optimal score.
+    pub score: i32,
+}
+
+impl Alignment {
+    /// Fraction of columns where both rows carry the same (non-gap)
+    /// symbol.
+    pub fn identity(&self) -> f64 {
+        if self.a.is_empty() {
+            return 1.0;
+        }
+        let same = self
+            .a
+            .iter()
+            .zip(&self.b)
+            .filter(|&(&x, &y)| x == y && x != GAP)
+            .count();
+        same as f64 / self.a.len() as f64
+    }
+
+    /// Render as two lines (test/debug helper).
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n{}",
+            String::from_utf8_lossy(&self.a),
+            String::from_utf8_lossy(&self.b)
+        )
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Stop,
+    Diag,
+    Up,   // gap in b (consume a)
+    Left, // gap in a (consume b)
+}
+
+/// Global (Needleman–Wunsch) alignment of two byte sequences.
+pub fn global_align(a: &[u8], b: &[u8], scoring: &Scoring) -> Alignment {
+    let (m, n) = (a.len(), b.len());
+    let width = n + 1;
+    let mut score = vec![0i32; (m + 1) * width];
+    let mut step = vec![Step::Stop; (m + 1) * width];
+    for j in 1..=n {
+        score[j] = scoring.gap * j as i32;
+        step[j] = Step::Left;
+    }
+    for i in 1..=m {
+        score[i * width] = scoring.gap * i as i32;
+        step[i * width] = Step::Up;
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            let diag = score[(i - 1) * width + j - 1] + scoring.pair(a[i - 1], b[j - 1]);
+            let up = score[(i - 1) * width + j] + scoring.gap;
+            let left = score[i * width + j - 1] + scoring.gap;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, Step::Diag)
+            } else if up >= left {
+                (up, Step::Up)
+            } else {
+                (left, Step::Left)
+            };
+            score[i * width + j] = best;
+            step[i * width + j] = dir;
+        }
+    }
+    let mut out = traceback(a, b, &step, width, m, n);
+    out.score = score[m * width + n];
+    out
+}
+
+/// Local (Smith–Waterman) alignment: the best-scoring pair of
+/// substrings (score ≥ 0 by construction).
+pub fn local_align(a: &[u8], b: &[u8], scoring: &Scoring) -> Alignment {
+    let (m, n) = (a.len(), b.len());
+    let width = n + 1;
+    let mut score = vec![0i32; (m + 1) * width];
+    let mut step = vec![Step::Stop; (m + 1) * width];
+    let mut best = (0i32, 0usize, 0usize);
+    for i in 1..=m {
+        for j in 1..=n {
+            let diag = score[(i - 1) * width + j - 1] + scoring.pair(a[i - 1], b[j - 1]);
+            let up = score[(i - 1) * width + j] + scoring.gap;
+            let left = score[i * width + j - 1] + scoring.gap;
+            let (mut s, mut dir) = if diag >= up && diag >= left {
+                (diag, Step::Diag)
+            } else if up >= left {
+                (up, Step::Up)
+            } else {
+                (left, Step::Left)
+            };
+            if s <= 0 {
+                s = 0;
+                dir = Step::Stop;
+            }
+            score[i * width + j] = s;
+            step[i * width + j] = dir;
+            if s > best.0 {
+                best = (s, i, j);
+            }
+        }
+    }
+    let (s, bi, bj) = best;
+    let mut out = traceback(a, b, &step, width, bi, bj);
+    out.score = s;
+    out
+}
+
+fn traceback(a: &[u8], b: &[u8], step: &[Step], width: usize, mut i: usize, mut j: usize) -> Alignment {
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    loop {
+        match step[i * width + j] {
+            Step::Stop => break,
+            Step::Diag => {
+                i -= 1;
+                j -= 1;
+                ra.push(a[i]);
+                rb.push(b[j]);
+            }
+            Step::Up => {
+                i -= 1;
+                ra.push(a[i]);
+                rb.push(GAP);
+            }
+            Step::Left => {
+                j -= 1;
+                ra.push(GAP);
+                rb.push(b[j]);
+            }
+        }
+    }
+    ra.reverse();
+    rb.reverse();
+    Alignment {
+        a: ra,
+        b: rb,
+        score: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> Scoring {
+        Scoring::default()
+    }
+
+    #[test]
+    fn identical_sequences_align_perfectly() {
+        let al = global_align(b"GATTACA", b"GATTACA", &s());
+        assert_eq!(al.score, 7);
+        assert_eq!(al.a, al.b);
+        assert_eq!(al.identity(), 1.0);
+    }
+
+    #[test]
+    fn textbook_needleman_wunsch() {
+        // classic example: GATTACA vs GCATGCU with +1/-1/-1
+        let scoring = Scoring {
+            match_score: 1,
+            mismatch: -1,
+            gap: -1,
+        };
+        let al = global_align(b"GATTACA", b"GCATGCU", &scoring);
+        assert_eq!(al.score, 0); // the canonical answer
+        assert_eq!(al.a.len(), al.b.len());
+    }
+
+    #[test]
+    fn gaps_inserted_where_needed() {
+        let al = global_align(b"ACGT", b"AGT", &s());
+        assert_eq!(al.a, b"ACGT".to_vec());
+        assert_eq!(al.b, b"A-GT".to_vec());
+        assert_eq!(al.score, 3 - 2);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let al = global_align(b"", b"AC", &s());
+        assert_eq!(al.a, b"--".to_vec());
+        assert_eq!(al.b, b"AC".to_vec());
+        assert_eq!(al.score, -4);
+        let al = global_align(b"", b"", &s());
+        assert!(al.a.is_empty());
+        assert_eq!(al.score, 0);
+    }
+
+    #[test]
+    fn local_finds_embedded_match() {
+        // shared core "CCCCC" inside unrelated flanks
+        let al = local_align(b"AAAACCCCCTTTT", b"GGGGCCCCCAAAA", &s());
+        assert_eq!(al.a, b"CCCCC".to_vec());
+        assert_eq!(al.b, b"CCCCC".to_vec());
+        assert_eq!(al.score, 5);
+    }
+
+    #[test]
+    fn local_score_never_negative() {
+        let al = local_align(b"AAAA", b"TTTT", &s());
+        assert_eq!(al.score, 0);
+        assert!(al.a.is_empty());
+    }
+
+    #[test]
+    fn global_symmetric_score() {
+        let x = b"ACGTACGGT";
+        let y = b"ACTTAGGT";
+        let ab = global_align(x, y, &s());
+        let ba = global_align(y, x, &s());
+        assert_eq!(ab.score, ba.score);
+    }
+}

@@ -1,0 +1,268 @@
+//! Progressive multiple sequence alignment (the ClustalW/ClustalXP
+//! recipe): pairwise distances → UPGMA guide tree → profile–profile
+//! Needleman–Wunsch up the tree.
+
+use crate::distance::distance_matrix;
+use crate::pairwise::GAP;
+use crate::score::Scoring;
+use crate::tree::{upgma, GuideTree};
+
+/// A multiple sequence alignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msa {
+    /// Aligned rows (equal lengths, `-` for gaps), in `order`.
+    pub rows: Vec<Vec<u8>>,
+    /// `order[r]` = original index of row `r`.
+    pub order: Vec<usize>,
+}
+
+impl Msa {
+    /// Alignment width (columns).
+    pub fn width(&self) -> usize {
+        self.rows.first().map_or(0, Vec::len)
+    }
+
+    /// The aligned row of original sequence `i`.
+    pub fn row_for(&self, i: usize) -> &[u8] {
+        let r = self
+            .order
+            .iter()
+            .position(|&o| o == i)
+            .expect("sequence index in alignment");
+        &self.rows[r]
+    }
+
+    /// Strip gaps from a row, recovering the input sequence.
+    pub fn ungapped(&self, i: usize) -> Vec<u8> {
+        self.row_for(i).iter().copied().filter(|&c| c != GAP).collect()
+    }
+
+    /// Sum-of-pairs score over all columns and row pairs (gap–gap
+    /// scores 0, gap–symbol scores the gap penalty).
+    pub fn sum_of_pairs(&self, scoring: &Scoring) -> i64 {
+        let mut total = 0i64;
+        for col in 0..self.width() {
+            for a in 0..self.rows.len() {
+                for b in a + 1..self.rows.len() {
+                    let (x, y) = (self.rows[a][col], self.rows[b][col]);
+                    total += match (x == GAP, y == GAP) {
+                        (true, true) => 0,
+                        (true, false) | (false, true) => scoring.gap as i64,
+                        (false, false) => scoring.pair(x, y) as i64,
+                    };
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Column-vs-column expected score between two profiles.
+fn column_score(pa: &[Vec<u8>], ca: usize, pb: &[Vec<u8>], cb: usize, scoring: &Scoring) -> f64 {
+    let mut total = 0.0;
+    for row_a in pa {
+        for row_b in pb {
+            let (x, y) = (row_a[ca], row_b[cb]);
+            total += match (x == GAP, y == GAP) {
+                (true, true) => 0.0,
+                (true, false) | (false, true) => scoring.gap as f64,
+                (false, false) => scoring.pair(x, y) as f64,
+            };
+        }
+    }
+    total / (pa.len() * pb.len()) as f64
+}
+
+/// Needleman–Wunsch over profile columns; returns the merged rows
+/// (profile A's rows first).
+fn align_profiles(pa: Vec<Vec<u8>>, pb: Vec<Vec<u8>>, scoring: &Scoring) -> Vec<Vec<u8>> {
+    let (m, n) = (pa[0].len(), pb[0].len());
+    let width = n + 1;
+    let gapf = scoring.gap as f64;
+    let mut score = vec![0.0f64; (m + 1) * width];
+    let mut step = vec![0u8; (m + 1) * width]; // 0 stop, 1 diag, 2 up, 3 left
+    for j in 1..=n {
+        score[j] = gapf * j as f64;
+        step[j] = 3;
+    }
+    for i in 1..=m {
+        score[i * width] = gapf * i as f64;
+        step[i * width] = 2;
+    }
+    for i in 1..=m {
+        for j in 1..=n {
+            let diag = score[(i - 1) * width + j - 1] + column_score(&pa, i - 1, &pb, j - 1, scoring);
+            let up = score[(i - 1) * width + j] + gapf;
+            let left = score[i * width + j - 1] + gapf;
+            let (best, dir) = if diag >= up && diag >= left {
+                (diag, 1)
+            } else if up >= left {
+                (up, 2)
+            } else {
+                (left, 3)
+            };
+            score[i * width + j] = best;
+            step[i * width + j] = dir;
+        }
+    }
+    // traceback into column index sequences
+    let (mut i, mut j) = (m, n);
+    let mut ops: Vec<u8> = Vec::new();
+    while step[i * width + j] != 0 {
+        let s = step[i * width + j];
+        ops.push(s);
+        match s {
+            1 => {
+                i -= 1;
+                j -= 1;
+            }
+            2 => i -= 1,
+            _ => j -= 1,
+        }
+    }
+    ops.reverse();
+    let mut out: Vec<Vec<u8>> = vec![Vec::new(); pa.len() + pb.len()];
+    let (mut ia, mut ib) = (0usize, 0usize);
+    for op in ops {
+        match op {
+            1 => {
+                for (r, row) in pa.iter().enumerate() {
+                    out[r].push(row[ia]);
+                }
+                for (r, row) in pb.iter().enumerate() {
+                    out[pa.len() + r].push(row[ib]);
+                }
+                ia += 1;
+                ib += 1;
+            }
+            2 => {
+                for (r, row) in pa.iter().enumerate() {
+                    out[r].push(row[ia]);
+                }
+                for slot in out[pa.len()..].iter_mut() {
+                    slot.push(GAP);
+                }
+                ia += 1;
+            }
+            _ => {
+                for slot in out[..pa.len()].iter_mut() {
+                    slot.push(GAP);
+                }
+                for (r, row) in pb.iter().enumerate() {
+                    out[pa.len() + r].push(row[ib]);
+                }
+                ib += 1;
+            }
+        }
+    }
+    out
+}
+
+fn align_tree(tree: &GuideTree, seqs: &[Vec<u8>], scoring: &Scoring) -> (Vec<Vec<u8>>, Vec<usize>) {
+    match tree {
+        GuideTree::Leaf(i) => (vec![seqs[*i].clone()], vec![*i]),
+        GuideTree::Node { left, right, .. } => {
+            let (pa, oa) = align_tree(left, seqs, scoring);
+            let (pb, ob) = align_tree(right, seqs, scoring);
+            let merged = align_profiles(pa, pb, scoring);
+            let mut order = oa;
+            order.extend(ob);
+            (merged, order)
+        }
+    }
+}
+
+/// Progressive MSA of `seqs` (at least one, each possibly empty).
+pub fn progressive_msa(seqs: &[Vec<u8>], scoring: &Scoring) -> Msa {
+    assert!(!seqs.is_empty(), "need at least one sequence");
+    if seqs.len() == 1 {
+        return Msa {
+            rows: vec![seqs[0].clone()],
+            order: vec![0],
+        };
+    }
+    let dist = distance_matrix(seqs, scoring);
+    let tree = upgma(&dist);
+    let (rows, order) = align_tree(&tree, seqs, scoring);
+    Msa { rows, order }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seqs(xs: &[&str]) -> Vec<Vec<u8>> {
+        xs.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn identical_inputs_align_without_gaps() {
+        let msa = progressive_msa(&seqs(&["ACGT", "ACGT", "ACGT"]), &Scoring::default());
+        assert_eq!(msa.width(), 4);
+        for i in 0..3 {
+            assert_eq!(msa.row_for(i), b"ACGT");
+        }
+    }
+
+    #[test]
+    fn rows_equal_length_and_ungap_to_inputs() {
+        let input = seqs(&["ACGTTACG", "ACGTACG", "CGTTACG", "ACGTTAG"]);
+        let msa = progressive_msa(&input, &Scoring::default());
+        let w = msa.width();
+        for row in &msa.rows {
+            assert_eq!(row.len(), w);
+        }
+        for (i, original) in input.iter().enumerate() {
+            assert_eq!(&msa.ungapped(i), original, "sequence {i}");
+        }
+    }
+
+    #[test]
+    fn single_deletion_yields_one_gap_column() {
+        let input = seqs(&["ACGTACGT", "ACGACGT"]); // T deleted
+        let msa = progressive_msa(&input, &Scoring::default());
+        assert_eq!(msa.width(), 8);
+        let gaps: usize = msa
+            .rows
+            .iter()
+            .map(|r| r.iter().filter(|&&c| c == GAP).count())
+            .sum();
+        assert_eq!(gaps, 1);
+    }
+
+    #[test]
+    fn sum_of_pairs_prefers_the_real_alignment() {
+        let input = seqs(&["ACGTACGT", "ACGACGT", "ACGTACG"]);
+        let msa = progressive_msa(&input, &Scoring::default());
+        let sp = msa.sum_of_pairs(&Scoring::default());
+        // a strawman alignment: left-justify and pad with gaps
+        let w = input.iter().map(Vec::len).max().unwrap();
+        let padded = Msa {
+            rows: input
+                .iter()
+                .map(|s| {
+                    let mut r = s.clone();
+                    r.resize(w, GAP);
+                    r
+                })
+                .collect(),
+            order: vec![0, 1, 2],
+        };
+        assert!(sp >= padded.sum_of_pairs(&Scoring::default()));
+    }
+
+    #[test]
+    fn single_sequence() {
+        let msa = progressive_msa(&seqs(&["HELLO"]), &Scoring::default());
+        assert_eq!(msa.rows, vec![b"HELLO".to_vec()]);
+        assert_eq!(msa.ungapped(0), b"HELLO".to_vec());
+    }
+
+    #[test]
+    fn empty_sequences_survive() {
+        let msa = progressive_msa(&seqs(&["", "AC"]), &Scoring::default());
+        assert_eq!(msa.width(), 2);
+        assert_eq!(msa.ungapped(0), b"".to_vec());
+        assert_eq!(msa.ungapped(1), b"AC".to_vec());
+    }
+}

@@ -1,0 +1,58 @@
+//! Scoring schemes for alignment.
+
+/// Linear-gap scoring for sequence alignment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Scoring {
+    /// Score for aligning two equal symbols.
+    pub match_score: i32,
+    /// Score for aligning two different symbols.
+    pub mismatch: i32,
+    /// Score per gap symbol (should be negative).
+    pub gap: i32,
+}
+
+impl Default for Scoring {
+    /// The classic teaching scheme: +1 / −1 / −2.
+    fn default() -> Self {
+        Scoring {
+            match_score: 1,
+            mismatch: -1,
+            gap: -2,
+        }
+    }
+}
+
+impl Scoring {
+    /// DNA-ish scheme used by many tools: +2 / −1 / −2.
+    pub fn dna() -> Self {
+        Scoring {
+            match_score: 2,
+            mismatch: -1,
+            gap: -2,
+        }
+    }
+
+    /// Score of aligning symbols `a` and `b`.
+    #[inline]
+    pub fn pair(&self, a: u8, b: u8) -> i32 {
+        if a == b {
+            self.match_score
+        } else {
+            self.mismatch
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_scores() {
+        let s = Scoring::default();
+        assert_eq!(s.pair(b'A', b'A'), 1);
+        assert_eq!(s.pair(b'A', b'C'), -1);
+        let d = Scoring::dna();
+        assert_eq!(d.pair(b'G', b'G'), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! UPGMA guide trees for progressive alignment.
+
+use crate::distance::DistanceMatrix;
+
+/// A rooted binary guide tree over sequence indices.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GuideTree {
+    /// A single input sequence.
+    Leaf(usize),
+    /// Merge of two subtrees at the given UPGMA height.
+    Node {
+        /// Left subtree.
+        left: Box<GuideTree>,
+        /// Right subtree.
+        right: Box<GuideTree>,
+        /// Merge height (half the inter-cluster distance).
+        height: f64,
+    },
+}
+
+impl GuideTree {
+    /// Leaf indices in left-to-right order — the order sequences enter
+    /// the progressive alignment.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect(&self, out: &mut Vec<usize>) {
+        match self {
+            GuideTree::Leaf(i) => out.push(*i),
+            GuideTree::Node { left, right, .. } => {
+                left.collect(out);
+                right.collect(out);
+            }
+        }
+    }
+}
+
+/// UPGMA: repeatedly merge the two closest clusters, averaging
+/// distances weighted by cluster size.
+pub fn upgma(dist: &DistanceMatrix) -> GuideTree {
+    let n = dist.n();
+    assert!(n > 0, "need at least one sequence");
+    let mut clusters: Vec<Option<(GuideTree, usize)>> =
+        (0..n).map(|i| Some((GuideTree::Leaf(i), 1))).collect();
+    // working distance table (indexed like the input, grows logically
+    // as clusters merge into the lower slot)
+    let mut d = vec![vec![0.0f64; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = dist.get(i, j);
+        }
+    }
+    let mut alive: Vec<usize> = (0..n).collect();
+    while alive.len() > 1 {
+        // closest pair among alive clusters
+        let (mut bi, mut bj, mut best) = (alive[0], alive[1], f64::INFINITY);
+        for (x, &i) in alive.iter().enumerate() {
+            for &j in &alive[x + 1..] {
+                if d[i][j] < best {
+                    best = d[i][j];
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        let (left, ls) = clusters[bi].take().expect("alive");
+        let (right, rs) = clusters[bj].take().expect("alive");
+        // UPGMA average distances to every other cluster
+        for &k in &alive {
+            if k != bi && k != bj {
+                let nd = (d[bi][k] * ls as f64 + d[bj][k] * rs as f64) / (ls + rs) as f64;
+                d[bi][k] = nd;
+                d[k][bi] = nd;
+            }
+        }
+        clusters[bi] = Some((
+            GuideTree::Node {
+                left: Box::new(left),
+                right: Box::new(right),
+                height: best / 2.0,
+            },
+            ls + rs,
+        ));
+        alive.retain(|&k| k != bj);
+    }
+    clusters[alive[0]].take().expect("root").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distance::distance_matrix;
+    use crate::score::Scoring;
+
+    #[test]
+    fn single_leaf() {
+        let seqs = vec![b"AC".to_vec()];
+        let t = upgma(&distance_matrix(&seqs, &Scoring::default()));
+        assert_eq!(t, GuideTree::Leaf(0));
+    }
+
+    #[test]
+    fn closest_pair_merges_first() {
+        // 0 and 1 nearly identical; 2 far away
+        let seqs = vec![
+            b"ACGTACGT".to_vec(),
+            b"ACGTACGA".to_vec(),
+            b"TTTTGGGG".to_vec(),
+        ];
+        let t = upgma(&distance_matrix(&seqs, &Scoring::default()));
+        // leaves order: the {0,1} cluster forms a subtree
+        match &t {
+            GuideTree::Node { left, right, .. } => {
+                let (sub, lone) = if matches!(**left, GuideTree::Leaf(_)) {
+                    (right, left)
+                } else {
+                    (left, right)
+                };
+                assert!(matches!(**lone, GuideTree::Leaf(2)));
+                let mut pair = sub.leaves();
+                pair.sort_unstable();
+                assert_eq!(pair, vec![0, 1]);
+            }
+            GuideTree::Leaf(_) => panic!("expected a node"),
+        }
+    }
+
+    #[test]
+    fn leaves_cover_all_inputs() {
+        let seqs: Vec<Vec<u8>> = (0..6)
+            .map(|i| format!("SEQ{i}AAAA{i}").into_bytes())
+            .collect();
+        let t = upgma(&distance_matrix(&seqs, &Scoring::default()));
+        let mut l = t.leaves();
+        l.sort_unstable();
+        assert_eq!(l, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the alignment kernels.
+
+use gsb_align::pairwise::{global_align, local_align, GAP};
+use gsb_align::progressive::progressive_msa;
+use gsb_align::score::Scoring;
+use proptest::prelude::*;
+
+fn dna() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 0..24)
+}
+
+proptest! {
+    #[test]
+    fn global_rows_reconstruct_inputs(a in dna(), b in dna()) {
+        let al = global_align(&a, &b, &Scoring::default());
+        prop_assert_eq!(al.a.len(), al.b.len());
+        let ra: Vec<u8> = al.a.iter().copied().filter(|&c| c != GAP).collect();
+        let rb: Vec<u8> = al.b.iter().copied().filter(|&c| c != GAP).collect();
+        prop_assert_eq!(ra, a);
+        prop_assert_eq!(rb, b);
+        // no column is gap-gap
+        prop_assert!(al.a.iter().zip(&al.b).all(|(&x, &y)| x != GAP || y != GAP));
+    }
+
+    #[test]
+    fn global_score_matches_columns(a in dna(), b in dna()) {
+        let s = Scoring::default();
+        let al = global_align(&a, &b, &s);
+        let recomputed: i32 = al
+            .a
+            .iter()
+            .zip(&al.b)
+            .map(|(&x, &y)| {
+                if x == GAP || y == GAP {
+                    s.gap
+                } else {
+                    s.pair(x, y)
+                }
+            })
+            .sum();
+        prop_assert_eq!(al.score, recomputed);
+    }
+
+    #[test]
+    fn global_score_symmetric(a in dna(), b in dna()) {
+        let s = Scoring::default();
+        prop_assert_eq!(global_align(&a, &b, &s).score, global_align(&b, &a, &s).score);
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(a in dna()) {
+        let s = Scoring::default();
+        let al = global_align(&a, &a, &s);
+        prop_assert_eq!(al.score, a.len() as i32 * s.match_score);
+        prop_assert_eq!(al.identity(), 1.0);
+    }
+
+    #[test]
+    fn local_dominates_and_is_nonnegative(a in dna(), b in dna()) {
+        let s = Scoring::default();
+        let local = local_align(&a, &b, &s);
+        prop_assert!(local.score >= 0);
+        prop_assert!(local.score >= global_align(&a, &b, &s).score);
+    }
+
+    #[test]
+    fn msa_preserves_sequences(seqs in prop::collection::vec(dna(), 1..5)) {
+        let msa = progressive_msa(&seqs, &Scoring::default());
+        let w = msa.width();
+        for row in &msa.rows {
+            prop_assert_eq!(row.len(), w);
+        }
+        for (i, original) in seqs.iter().enumerate() {
+            prop_assert_eq!(&msa.ungapped(i), original);
+        }
+    }
+}

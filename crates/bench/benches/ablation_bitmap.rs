@@ -1,0 +1,121 @@
+//! Ablation A1: how to test a clique's maximality.
+//!
+//! The paper (§2.3): "The common neighbors of a k-clique can be
+//! computed by either (k−1) bitwise AND operations on neighbors of the
+//! k vertices, or one bitwise AND operation on common neighbors of a
+//! (k−1)-clique and neighbors of a vertex." Three strategies compared
+//! on real cliques from a correlation-like graph:
+//!
+//! * `incremental_bitmap` — what the Clique Enumerator does: cached
+//!   prefix CN, one AND + early-exit intersection test;
+//! * `scratch_bitmap` — recompute CN from all k neighborhoods each time;
+//! * `sorted_lists` — no bitmaps: k-way sorted adjacency-list merge.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsb_bitset::BitSet;
+use gsb_core::sink::CollectSink;
+use gsb_core::{CliqueEnumerator, EnumConfig, Vertex};
+use gsb_graph::generators::{planted, Module};
+use gsb_graph::BitGraph;
+
+fn workload() -> (BitGraph, Vec<Vec<Vertex>>) {
+    let g = planted(
+        400,
+        0.01,
+        &[Module::clique(13), Module::clique(11), Module::clique(9)],
+        3,
+    );
+    let mut sink = CollectSink::default();
+    CliqueEnumerator::new(EnumConfig::default()).enumerate(&g, &mut sink);
+    (g, sink.cliques)
+}
+
+/// Incremental: assume the prefix CN is cached (as in a sub-list);
+/// charge one AND plus the early-exit test.
+fn incremental(g: &BitGraph, prefix_cn: &BitSet, last: usize, buf: &mut BitSet) -> bool {
+    BitSet::and_into(prefix_cn, g.neighbors(last), buf);
+    buf.any()
+}
+
+/// From scratch: AND all k neighborhoods.
+fn scratch(g: &BitGraph, clique: &[Vertex]) -> bool {
+    let mut cn = g.neighbors(clique[0] as usize).clone();
+    for &v in &clique[1..] {
+        cn.and_assign(g.neighbors(v as usize));
+    }
+    cn.any()
+}
+
+/// Sorted adjacency lists: k-way intersection without bitmaps.
+fn sorted_lists(adj: &[Vec<usize>], clique: &[Vertex]) -> bool {
+    let lists: Vec<&[usize]> = clique.iter().map(|&v| adj[v as usize].as_slice()).collect();
+    let mut cursors = vec![0usize; lists.len()];
+    let shortest = (0..lists.len()).min_by_key(|&i| lists[i].len()).unwrap();
+    'outer: for &cand in lists[shortest] {
+        for (i, list) in lists.iter().enumerate() {
+            if i == shortest {
+                continue;
+            }
+            while cursors[i] < list.len() && list[cursors[i]] < cand {
+                cursors[i] += 1;
+            }
+            if cursors[i] >= list.len() {
+                return false;
+            }
+            if list[cursors[i]] != cand {
+                // reset nothing; sorted merge continues
+                continue 'outer;
+            }
+        }
+        return true; // common neighbor found
+    }
+    false
+}
+
+fn bench_maximality(c: &mut Criterion) {
+    let (g, cliques) = workload();
+    let adj: Vec<Vec<usize>> = (0..g.n()).map(|v| g.neighbors(v).to_vec()).collect();
+    // Precompute prefix CNs for the incremental variant (that cache is
+    // the sub-list structure's whole point).
+    let prefix_cn: Vec<BitSet> = cliques
+        .iter()
+        .map(|c| {
+            let members: Vec<usize> = c[..c.len() - 1].iter().map(|&v| v as usize).collect();
+            g.common_neighbors(&members)
+        })
+        .collect();
+    let mut group = c.benchmark_group("maximality_test");
+    group.bench_function("incremental_bitmap", |b| {
+        let mut buf = BitSet::new(g.n());
+        b.iter(|| {
+            let mut any = 0usize;
+            for (cl, cn) in cliques.iter().zip(&prefix_cn) {
+                let last = cl[cl.len() - 1] as usize;
+                any += usize::from(incremental(&g, cn, last, &mut buf));
+            }
+            black_box(any)
+        });
+    });
+    group.bench_function("scratch_bitmap", |b| {
+        b.iter(|| {
+            let mut any = 0usize;
+            for cl in &cliques {
+                any += usize::from(scratch(&g, cl));
+            }
+            black_box(any)
+        });
+    });
+    group.bench_function("sorted_lists", |b| {
+        b.iter(|| {
+            let mut any = 0usize;
+            for cl in &cliques {
+                any += usize::from(sorted_lists(&adj, cl));
+            }
+            black_box(any)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximality);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Ablation A3: tail-list pair expansion vs. bit-scan expansion.
+//!
+//! §2.3: "there is another way to generate (k+1)-cliques by taking
+//! advantage of the bit strings. Going through each bit of the bit
+//! string, we are able to identify the common neighbors. ... However,
+//! we do not use this method because for each clique, every bit in the
+//! bit string of length n must be visited ... while our method checks
+//! only the list of common neighbors whose size is bounded by (n−k)."
+//! Both expansions are implemented here from the public sub-list
+//! structure and compared on real levels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsb_bitset::BitSet;
+use gsb_core::kclique::seed_level;
+use gsb_core::sublist::SubList;
+use gsb_core::Vertex;
+use gsb_graph::generators::{planted, Module};
+use gsb_graph::BitGraph;
+
+fn workload() -> (BitGraph, Vec<SubList>) {
+    let g = planted(
+        2_000,
+        0.002,
+        &[Module::clique(13), Module::clique(11), Module::clique(9)],
+        5,
+    );
+    let (level, _) = seed_level(&g, 5);
+    (g, level.sublists)
+}
+
+/// The paper's chosen method: pair loop over the tail list.
+fn expand_tail_list(g: &BitGraph, sl: &SubList, buf: &mut BitSet) -> (usize, usize) {
+    let (mut candidates, mut maximal) = (0usize, 0usize);
+    for i in 0..sl.tails.len().saturating_sub(1) {
+        let v = sl.tails[i] as usize;
+        BitSet::and_into(&sl.cn, g.neighbors(v), buf);
+        for &u in &sl.tails[i + 1..] {
+            if !g.has_edge(v, u as usize) {
+                continue;
+            }
+            if buf.intersects(g.neighbors(u as usize)) {
+                candidates += 1;
+            } else {
+                maximal += 1;
+            }
+        }
+    }
+    (candidates, maximal)
+}
+
+/// The rejected alternative: scan every bit of CN(prefix ∪ {v}) above v.
+fn expand_bit_scan(g: &BitGraph, sl: &SubList, buf: &mut BitSet) -> (usize, usize) {
+    let (mut candidates, mut maximal) = (0usize, 0usize);
+    for i in 0..sl.tails.len().saturating_sub(1) {
+        let v = sl.tails[i] as usize;
+        BitSet::and_into(&sl.cn, g.neighbors(v), buf);
+        // visit every bit of the n-length string above v
+        let mut pos = v + 1;
+        while let Some(u) = buf.next_one(pos) {
+            // only tails count as canonical partners
+            if sl.tails.binary_search(&(u as Vertex)).is_ok() {
+                if buf.intersects(g.neighbors(u)) {
+                    candidates += 1;
+                } else {
+                    maximal += 1;
+                }
+            }
+            pos = u + 1;
+        }
+    }
+    (candidates, maximal)
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let (g, sublists) = workload();
+    let mut group = c.benchmark_group("expansion");
+    let mut buf = BitSet::new(g.n());
+    // correctness cross-check before timing
+    for sl in &sublists {
+        let mut b1 = BitSet::new(g.n());
+        let mut b2 = BitSet::new(g.n());
+        assert_eq!(
+            expand_tail_list(&g, sl, &mut b1),
+            expand_bit_scan(&g, sl, &mut b2)
+        );
+    }
+    group.bench_function("tail_list", |b| {
+        b.iter(|| {
+            let mut total = (0usize, 0usize);
+            for sl in &sublists {
+                let (c2, m) = expand_tail_list(&g, sl, &mut buf);
+                total.0 += c2;
+                total.1 += m;
+            }
+            black_box(total)
+        });
+    });
+    group.bench_function("bit_scan", |b| {
+        b.iter(|| {
+            let mut total = (0usize, 0usize);
+            for sl in &sublists {
+                let (c2, m) = expand_bit_scan(&g, sl, &mut buf);
+                total.0 += c2;
+                total.1 += m;
+            }
+            black_box(total)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expansion);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation A7: vertex ordering vs. enumeration cost.
+//!
+//! The canonical generation order is a free knob: relabeling the graph
+//! changes sub-list shapes without changing the answer. Measures the
+//! sequential Clique Enumerator under natural, degeneracy,
+//! degree-descending, and random orders on a hub-heavy workload.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsb_core::order::{enumerate_ordered, Ordering};
+use gsb_core::sink::CountSink;
+use gsb_core::EnumConfig;
+use gsb_graph::generators::{planted, Module};
+
+fn bench_orderings(c: &mut Criterion) {
+    let g = planted(
+        500,
+        0.006,
+        &[
+            Module::clique(13),
+            Module::clique(12),
+            Module::clique(10),
+            Module::clique(8),
+        ],
+        17,
+    );
+    let mut group = c.benchmark_group("vertex_ordering");
+    for (name, ordering) in [
+        ("natural", Ordering::Natural),
+        ("degeneracy", Ordering::Degeneracy),
+        ("degree_desc", Ordering::DegreeDescending),
+        ("random", Ordering::Random(42)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sink = CountSink::default();
+                enumerate_ordered(&g, ordering, EnumConfig::default(), &mut sink);
+                black_box(sink.count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation A6: in-core vs. out-of-core level storage.
+//!
+//! The paper's §1 reports that its disk-based predecessor "could not
+//! finish after one week" because "intensive disk I/O access has been
+//! the major bottleneck" — the observation that motivated moving the
+//! whole computation into the Altix's shared memory. Same kernel, two
+//! storage backends, measurable gap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsb_core::sink::CountSink;
+use gsb_core::store::SpillConfig;
+use gsb_core::{CliqueEnumerator, EnumConfig};
+use gsb_graph::generators::{planted, Module};
+use gsb_graph::BitGraph;
+
+fn workload() -> BitGraph {
+    planted(
+        400,
+        0.008,
+        &[Module::clique(13), Module::clique(11), Module::clique(9)],
+        21,
+    )
+}
+
+fn bench_spill(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("level_storage");
+    group.sample_size(10);
+    group.bench_function("in_core", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            CliqueEnumerator::new(EnumConfig::default()).enumerate(&g, &mut sink);
+            black_box(sink.count)
+        });
+    });
+    for (name, budget) in [
+        ("spill_none_big_budget", usize::MAX),
+        ("spill_half", 4 << 20),
+        ("spill_everything", 0usize),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sink = CountSink::default();
+                CliqueEnumerator::new(EnumConfig::default())
+                    .enumerate_spilled(&g, &mut sink, &SpillConfig::in_temp(budget))
+                    .expect("io");
+                black_box(sink.count)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spill);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation A4: plain vs. WAH-compressed bitmaps (the paper's §4
+//! future-work direction, built). AND + any-bit tests at genome scale
+//! (n = 12,422) across sparsities, plus the space ratio printed once.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_bitset::{BitSet, WahBitSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 12_422;
+
+fn random_set(density: f64, seed: u64) -> BitSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = BitSet::new(N);
+    for i in 0..N {
+        if rng.gen_bool(density) {
+            s.insert(i);
+        }
+    }
+    s
+}
+
+fn bench_wah(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wah_vs_plain");
+    for &density in &[0.0001f64, 0.001, 0.01, 0.1] {
+        let a = random_set(density, 1);
+        let b = random_set(density, 2);
+        let wa = WahBitSet::from_bitset(&a);
+        let wb = WahBitSet::from_bitset(&b);
+        println!(
+            "density {density}: plain {} words, WAH {} words (ratio {:.1}x)",
+            gsb_bitset::words_for(N),
+            wa.code_words(),
+            wa.compression_ratio()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plain_and_any", format!("{density}")),
+            &density,
+            |bench, _| {
+                let mut out = BitSet::new(N);
+                bench.iter(|| {
+                    BitSet::and_into(black_box(&a), black_box(&b), &mut out);
+                    black_box(out.any())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wah_and_any", format!("{density}")),
+            &density,
+            |bench, _| {
+                bench.iter(|| black_box(wa.and(black_box(&wb)).any()));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("wah_intersects", format!("{density}")),
+            &density,
+            |bench, _| {
+                bench.iter(|| black_box(wa.intersects(black_box(&wb))));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wah);
+criterion_main!(benches);

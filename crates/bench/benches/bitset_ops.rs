@@ -1,0 +1,49 @@
+//! Microbenchmarks of the bitwise kernels the Clique Enumerator leans
+//! on: AND-into, early-exit intersection test, popcount-of-AND, and
+//! set-bit iteration, at genome scale (n = 12,422, the paper's probe
+//! count) and at the scaled bench size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsb_bitset::BitSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_set(n: usize, density: f64, seed: u64) -> BitSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = BitSet::new(n);
+    for i in 0..n {
+        if rng.gen_bool(density) {
+            s.insert(i);
+        }
+    }
+    s
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset");
+    for &n in &[1_000usize, 12_422] {
+        let a = random_set(n, 0.05, 1);
+        let b = random_set(n, 0.05, 2);
+        let mut out = BitSet::new(n);
+        group.bench_with_input(BenchmarkId::new("and_into", n), &n, |bench, _| {
+            bench.iter(|| BitSet::and_into(black_box(&a), black_box(&b), &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("intersects", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).intersects(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("count_and", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).count_and(black_box(&b)));
+        });
+        group.bench_with_input(BenchmarkId::new("iter_ones", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).iter_ones().sum::<usize>());
+        });
+        group.bench_with_input(BenchmarkId::new("none", n), &n, |bench, _| {
+            let empty = BitSet::new(n);
+            bench.iter(|| black_box(&empty).none());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

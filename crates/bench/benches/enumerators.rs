@@ -1,0 +1,63 @@
+//! Head-to-head of the four maximal-clique enumerators on a
+//! correlation-like workload: sequential Clique Enumerator, Kose RAM,
+//! Base BK, Improved BK. Table 1's comparison, criterion-ized.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsb_core::bk::{base_bk, improved_bk};
+use gsb_core::kose::kose_ram;
+use gsb_core::sink::CountSink;
+use gsb_core::{CliqueEnumerator, EnumConfig};
+use gsb_graph::generators::{planted, Module};
+use gsb_graph::BitGraph;
+
+fn workload() -> BitGraph {
+    planted(
+        300,
+        0.01,
+        &[
+            Module::clique(14),
+            Module::clique(12),
+            Module::clique(10),
+            Module::clique(8),
+        ],
+        7,
+    )
+}
+
+fn bench_enumerators(c: &mut Criterion) {
+    let g = workload();
+    let mut group = c.benchmark_group("enumerators");
+    group.sample_size(20);
+    group.bench_function("clique_enumerator", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            CliqueEnumerator::new(EnumConfig::default()).enumerate(&g, &mut sink);
+            sink.count
+        });
+    });
+    group.bench_function("kose_ram", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            kose_ram(&g, 3, &mut sink);
+            sink.count
+        });
+    });
+    group.bench_function("base_bk", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            base_bk(&g, &mut sink);
+            sink.count
+        });
+    });
+    group.bench_function("improved_bk", |b| {
+        b.iter(|| {
+            let mut sink = CountSink::default();
+            improved_bk(&g, &mut sink);
+            sink.count
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerators);
+criterion_main!(benches);

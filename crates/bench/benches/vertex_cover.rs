@@ -1,0 +1,42 @@
+//! FPT machinery benchmarks: vertex cover kernel+branch, maximum clique
+//! via VC-on-complement vs. the direct branch-and-bound (§2.1's two
+//! routes to the upper bound).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gsb_fpt::maxclique::maximum_clique_via_vc;
+use gsb_fpt::vc::minimum_vertex_cover;
+use gsb_graph::generators::{gnp, planted, Module};
+
+fn bench_vc(c: &mut Criterion) {
+    let sparse = gnp(60, 0.08, 3);
+    let clustered = planted(40, 0.05, &[Module::clique(10)], 7);
+    let mut group = c.benchmark_group("vertex_cover");
+    group.sample_size(10);
+    group.bench_function("min_vc_sparse_gnp60", |b| {
+        b.iter(|| black_box(minimum_vertex_cover(&sparse).len()));
+    });
+    group.bench_function("min_vc_sparse_gnp60_folding", |b| {
+        b.iter(|| black_box(gsb_fpt::minimum_vertex_cover_folding(&sparse).len()));
+    });
+    group.bench_function("min_vc_planted40", |b| {
+        b.iter(|| black_box(minimum_vertex_cover(&clustered).len()));
+    });
+    group.bench_function("min_vc_planted40_folding", |b| {
+        b.iter(|| black_box(gsb_fpt::minimum_vertex_cover_folding(&clustered).len()));
+    });
+    group.finish();
+
+    let g = planted(45, 0.08, &[Module::clique(11)], 5);
+    let mut group = c.benchmark_group("maximum_clique");
+    group.sample_size(10);
+    group.bench_function("via_vertex_cover_fpt", |b| {
+        b.iter(|| black_box(maximum_clique_via_vc(&g).len()));
+    });
+    group.bench_function("direct_branch_and_bound", |b| {
+        b.iter(|| black_box(gsb_core::maximum_clique_size(&g)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vc);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Diagnostic: per-level task-cost distribution of the Figs. 5–9
+//! workload (task counts, work units, max/mean), for sanity-checking
+//! the scaling simulation's inputs.
+
+fn main() {
+    let mut spec = gsb_bench::workloads::Workload::Myogenic.spec_scaled(1.0);
+    spec.profile.max_module = spec.profile.max_module.min(20);
+    let g = spec.graph();
+    let mut sink = gsb_core::sink::CountSink::default();
+    let stats = gsb_core::CliqueEnumerator::new(gsb_core::EnumConfig {
+        min_k: 3,
+        max_k: None,
+        record_costs: true,
+    })
+    .enumerate(&g, &mut sink);
+    println!("ns per work unit: {:.3}", stats.ns_per_unit());
+    for (lvl, costs) in stats.levels.iter().zip(stats.costs.as_ref().unwrap()) {
+        let sum: u64 = costs.iter().sum();
+        let max = costs.iter().max().copied().unwrap_or(0);
+        println!(
+            "k={:2} tasks={:6} units: sum={:10} max={:8} mean={:6}",
+            lvl.k,
+            costs.len(),
+            sum,
+            max,
+            sum / costs.len().max(1) as u64
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 1 (see DESIGN.md §5). Scale with GSB_SCALE.
+
+fn main() {
+    let scale = gsb_bench::workloads::env_scale();
+    gsb_bench::report::heading(&format!("SC'05 Table 1 reproduction (GSB_SCALE={scale})"));
+    println!("{}", gsb_bench::experiments::table1(scale));
+}

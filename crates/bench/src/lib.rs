@@ -1,0 +1,16 @@
+//! # gsb-bench — the SC'05 evaluation, regenerated
+//!
+//! One binary per table/figure of the paper's §3 (see DESIGN.md §5 for
+//! the experiment index) plus criterion micro/ablation benches. This
+//! library holds what they share: the scaled workload definitions
+//! matching the paper's three microarray graphs, and plain-text
+//! reporting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+pub use workloads::{Workload, WorkloadSpec};

@@ -1,0 +1,122 @@
+//! Plain-text table reporting shared by the figure binaries.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = width[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let rule: Vec<String> = width.iter().map(|&w| "-".repeat(w)).collect();
+        line(&mut out, &rule);
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Human-readable bytes.
+pub fn fmt_bytes(b: usize) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GiB", b / (KB * KB * KB))
+    } else if b >= KB * KB {
+        format!("{:.2} MiB", b / (KB * KB))
+    } else if b >= KB {
+        format!("{:.2} KiB", b / KB)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Print a section heading.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "long-header"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[1].starts_with("---"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_ns(500), "500 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+}

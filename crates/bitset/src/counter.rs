@@ -1,0 +1,181 @@
+//! Bit-sliced counters for *at-least-k-of-n* Boolean graph queries.
+//!
+//! The paper (§1) refines noisy protein-interaction data with "queries
+//! consisting of Boolean graph operations (e.g., graph intersection and
+//! at-least-k-of-n over multiple graphs)". Counting how many of `n`
+//! bitmaps set each position, bit-parallel, needs a vertical (bit-sliced)
+//! counter: slice `j` holds bit `j` of the per-position count.
+
+use crate::BitSet;
+
+/// A per-position counter over a fixed universe, stored as bit slices.
+///
+/// ```
+/// use gsb_bitset::{BitSet, SliceCounter};
+/// let mut votes = SliceCounter::new(8);
+/// votes.add(&BitSet::from_ones(8, [0, 1, 2]));
+/// votes.add(&BitSet::from_ones(8, [1, 2]));
+/// votes.add(&BitSet::from_ones(8, [2]));
+/// assert_eq!(votes.at_least(2).to_vec(), vec![1, 2]);
+/// assert_eq!(votes.exactly(3).to_vec(), vec![2]);
+/// ```
+///
+/// Adding a bitmap is a ripple-carry over the slices; extracting the
+/// positions whose count reaches a threshold is a bit-parallel
+/// comparison — no per-position loop ever runs.
+#[derive(Clone, Debug)]
+pub struct SliceCounter {
+    nbits: usize,
+    /// `slices[j]` holds bit `j` of every position's count.
+    slices: Vec<BitSet>,
+    added: usize,
+}
+
+impl SliceCounter {
+    /// A zeroed counter over `nbits` positions.
+    pub fn new(nbits: usize) -> Self {
+        SliceCounter {
+            nbits,
+            slices: Vec::new(),
+            added: 0,
+        }
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// True when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// How many bitmaps have been accumulated.
+    pub fn added(&self) -> usize {
+        self.added
+    }
+
+    /// Add one bitmap: every set position's count increments by one.
+    pub fn add(&mut self, bits: &BitSet) {
+        assert_eq!(bits.len(), self.nbits, "universe mismatch");
+        let mut carry = bits.clone();
+        for slice in &mut self.slices {
+            if carry.none() {
+                break;
+            }
+            // (slice, carry) = (slice XOR carry, slice AND carry)
+            let new_carry = slice.and(&carry);
+            slice.xor_assign(&carry);
+            carry = new_carry;
+        }
+        if carry.any() {
+            self.slices.push(carry);
+        }
+        self.added += 1;
+    }
+
+    /// Count at one position.
+    pub fn count_at(&self, i: usize) -> usize {
+        assert!(i < self.nbits, "position out of range");
+        self.slices
+            .iter()
+            .enumerate()
+            .map(|(j, s)| (s.contains(i) as usize) << j)
+            .sum()
+    }
+
+    /// Positions whose count is `>= k`, as a bitmap.
+    pub fn at_least(&self, k: usize) -> BitSet {
+        if k == 0 {
+            return BitSet::full(self.nbits);
+        }
+        // Compare bit-sliced counts against the constant k, MSB first:
+        // `ge` tracks positions still equal on all higher bits; a
+        // position wins outright where its count bit is 1 and k's is 0.
+        let width = usize::BITS as usize - k.leading_zeros() as usize;
+        let width = width.max(self.slices.len());
+        let mut result = BitSet::new(self.nbits);
+        let mut equal = BitSet::full(self.nbits);
+        let zero = BitSet::new(self.nbits);
+        for j in (0..width).rev() {
+            let slice = self.slices.get(j).unwrap_or(&zero);
+            if (k >> j) & 1 == 0 {
+                result.or_assign(&slice.and(&equal));
+                equal.and_not_assign(slice);
+            } else {
+                equal.and_assign(slice);
+            }
+        }
+        result.or_assign(&equal); // exactly-k positions
+        result
+    }
+
+    /// Positions whose count is exactly `k`.
+    pub fn exactly(&self, k: usize) -> BitSet {
+        let mut hi = self.at_least(k);
+        hi.and_not_assign(&self.at_least(k + 1));
+        hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_from(rows: &[&[usize]], nbits: usize) -> SliceCounter {
+        let mut c = SliceCounter::new(nbits);
+        for r in rows {
+            c.add(&BitSet::from_ones(nbits, r.iter().copied()));
+        }
+        c
+    }
+
+    #[test]
+    fn count_at_matches_manual() {
+        let c = counter_from(&[&[0, 1, 2], &[1, 2], &[2]], 4);
+        assert_eq!(c.count_at(0), 1);
+        assert_eq!(c.count_at(1), 2);
+        assert_eq!(c.count_at(2), 3);
+        assert_eq!(c.count_at(3), 0);
+        assert_eq!(c.added(), 3);
+    }
+
+    #[test]
+    fn at_least_thresholds() {
+        let c = counter_from(&[&[0, 1, 2], &[1, 2], &[2]], 4);
+        assert_eq!(c.at_least(0).to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(c.at_least(1).to_vec(), vec![0, 1, 2]);
+        assert_eq!(c.at_least(2).to_vec(), vec![1, 2]);
+        assert_eq!(c.at_least(3).to_vec(), vec![2]);
+        assert_eq!(c.at_least(4).to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn exactly_partitions() {
+        let c = counter_from(&[&[0, 1], &[1]], 3);
+        assert_eq!(c.exactly(0).to_vec(), vec![2]);
+        assert_eq!(c.exactly(1).to_vec(), vec![0]);
+        assert_eq!(c.exactly(2).to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn many_additions_ripple() {
+        let mut c = SliceCounter::new(2);
+        let ones = BitSet::from_ones(2, [0]);
+        for _ in 0..100 {
+            c.add(&ones);
+        }
+        assert_eq!(c.count_at(0), 100);
+        assert_eq!(c.count_at(1), 0);
+        assert_eq!(c.at_least(100).to_vec(), vec![0]);
+        assert_eq!(c.at_least(101).to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn threshold_wider_than_counter() {
+        let c = counter_from(&[&[0]], 2);
+        // k = 8 needs 4 comparison bits; counter has 1 slice.
+        assert!(c.at_least(8).none());
+    }
+}

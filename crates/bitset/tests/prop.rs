@@ -1,0 +1,137 @@
+//! Property-based tests: bitset algebra laws, WAH equivalence, counter
+//! consistency against a naive per-position model.
+
+use gsb_bitset::{BitSet, SliceCounter, WahBitSet};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const N: usize = 300;
+
+fn subset() -> impl Strategy<Value = BTreeSet<usize>> {
+    prop::collection::btree_set(0..N, 0..64)
+}
+
+fn bs(s: &BTreeSet<usize>) -> BitSet {
+    BitSet::from_ones(N, s.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn and_matches_set_intersection(a in subset(), b in subset()) {
+        let expect: Vec<usize> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(bs(&a).and(&bs(&b)).to_vec(), expect);
+    }
+
+    #[test]
+    fn or_matches_set_union(a in subset(), b in subset()) {
+        let expect: Vec<usize> = a.union(&b).copied().collect();
+        prop_assert_eq!(bs(&a).or(&bs(&b)).to_vec(), expect);
+    }
+
+    #[test]
+    fn and_not_matches_set_difference(a in subset(), b in subset()) {
+        let expect: Vec<usize> = a.difference(&b).copied().collect();
+        prop_assert_eq!(bs(&a).and_not(&bs(&b)).to_vec(), expect);
+    }
+
+    #[test]
+    fn de_morgan(a in subset(), b in subset()) {
+        // !(a | b) == !a & !b
+        let mut lhs = bs(&a).or(&bs(&b));
+        lhs.not_assign();
+        let (mut na, mut nb) = (bs(&a), bs(&b));
+        na.not_assign();
+        nb.not_assign();
+        prop_assert_eq!(lhs, na.and(&nb));
+    }
+
+    #[test]
+    fn intersects_iff_nonempty_and(a in subset(), b in subset()) {
+        let x = bs(&a);
+        let y = bs(&b);
+        prop_assert_eq!(x.intersects(&y), x.and(&y).any());
+        prop_assert_eq!(x.count_and(&y), x.and(&y).count_ones());
+    }
+
+    #[test]
+    fn subset_consistent(a in subset(), b in subset()) {
+        let x = bs(&a);
+        let y = bs(&b);
+        prop_assert_eq!(x.is_subset(&y), a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_ones_roundtrip(a in subset()) {
+        let x = bs(&a);
+        let back: BTreeSet<usize> = x.iter_ones().collect();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn next_one_walks_all(a in subset()) {
+        let x = bs(&a);
+        let mut got = Vec::new();
+        let mut pos = 0usize;
+        while let Some(i) = x.next_one(pos) {
+            got.push(i);
+            pos = i + 1;
+        }
+        prop_assert_eq!(got, x.to_vec());
+    }
+
+    #[test]
+    fn wah_roundtrip(a in subset()) {
+        let plain = bs(&a);
+        let wah = WahBitSet::from_bitset(&plain);
+        prop_assert_eq!(wah.to_bitset(), plain.clone());
+        prop_assert_eq!(wah.count_ones(), plain.count_ones());
+        prop_assert_eq!(wah.any(), plain.any());
+    }
+
+    #[test]
+    fn wah_and_or_match_plain(a in subset(), b in subset()) {
+        let (pa, pb) = (bs(&a), bs(&b));
+        let (wa, wb) = (WahBitSet::from_bitset(&pa), WahBitSet::from_bitset(&pb));
+        prop_assert_eq!(wa.and(&wb).to_bitset(), pa.and(&pb));
+        prop_assert_eq!(wa.or(&wb).to_bitset(), pa.or(&pb));
+        prop_assert_eq!(wa.intersects(&wb), pa.intersects(&pb));
+    }
+
+    #[test]
+    fn wah_not_and_not_iter_match_plain(a in subset(), b in subset()) {
+        let (pa, pb) = (bs(&a), bs(&b));
+        let (wa, wb) = (WahBitSet::from_bitset(&pa), WahBitSet::from_bitset(&pb));
+        let mut na = pa.clone();
+        na.not_assign();
+        prop_assert_eq!(wa.not().to_bitset(), na);
+        prop_assert_eq!(wa.and_not(&wb).to_bitset(), pa.and_not(&pb));
+        let got: Vec<usize> = wa.iter_ones().collect();
+        prop_assert_eq!(got, pa.to_vec());
+        prop_assert_eq!(wa.first_one(), pa.first_one());
+    }
+
+    #[test]
+    fn wah_singleton_isolated(i in 0..N) {
+        let s = WahBitSet::singleton(N, i);
+        prop_assert_eq!(s.count_ones(), 1);
+        prop_assert_eq!(s.first_one(), Some(i));
+    }
+
+    #[test]
+    fn counter_matches_naive(rows in prop::collection::vec(subset(), 0..12), k in 0usize..14) {
+        let mut counter = SliceCounter::new(N);
+        let mut naive = vec![0usize; N];
+        for r in &rows {
+            counter.add(&bs(r));
+            for &i in r {
+                naive[i] += 1;
+            }
+        }
+        let expect: Vec<usize> =
+            (0..N).filter(|&i| naive[i] >= k).collect();
+        prop_assert_eq!(counter.at_least(k).to_vec(), expect);
+        let expect_eq: Vec<usize> =
+            (0..N).filter(|&i| naive[i] == k).collect();
+        prop_assert_eq!(counter.exactly(k).to_vec(), expect_eq);
+    }
+}

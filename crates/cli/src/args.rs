@@ -1,0 +1,244 @@
+//! A small, dependency-free argument parser: positionals plus
+//! `--flag value` / `--switch` options, with typed accessors and
+//! unknown-flag rejection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced while parsing or validating arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// A `--flag` appeared that the command does not define.
+    Unknown(String),
+    /// A flag that needs a value was given none.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue {
+        /// The flag (or positional name).
+        flag: String,
+        /// The offending text.
+        value: String,
+        /// Parser message.
+        message: String,
+    },
+    /// A required positional or flag was absent.
+    Required(String),
+    /// Too many positional arguments.
+    ExtraPositional(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Unknown(flag) => write!(f, "unknown flag {flag}"),
+            ArgError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                message,
+            } => write!(f, "bad value {value:?} for {flag}: {message}"),
+            ArgError::Required(name) => write!(f, "missing required {name}"),
+            ArgError::ExtraPositional(v) => write!(f, "unexpected argument {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments for one subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv` (after the subcommand name). `value_flags` lists
+    /// flags that consume a value; `switch_flags` are boolean. Flags
+    /// are written `--name`.
+    pub fn parse(
+        argv: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+        max_positionals: usize,
+    ) -> Result<Self, ArgError> {
+        let mut out = Args::default();
+        let mut it = argv.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                // allow --flag=value
+                if let Some((n, v)) = name.split_once('=') {
+                    if value_flags.contains(&n) {
+                        out.flags.insert(n.to_string(), v.to_string());
+                        continue;
+                    }
+                    return Err(ArgError::Unknown(format!("--{n}")));
+                }
+                if value_flags.contains(&name) {
+                    match it.next() {
+                        Some(v) => {
+                            out.flags.insert(name.to_string(), v.clone());
+                        }
+                        None => return Err(ArgError::MissingValue(format!("--{name}"))),
+                    }
+                } else if switch_flags.contains(&name) {
+                    out.switches.push(name.to_string());
+                } else {
+                    return Err(ArgError::Unknown(format!("--{name}")));
+                }
+            } else {
+                if out.positionals.len() == max_positionals {
+                    return Err(ArgError::ExtraPositional(a.clone()));
+                }
+                out.positionals.push(a.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// The i-th positional, if present.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// The i-th positional or an error naming it.
+    pub fn required_positional(&self, i: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional(i)
+            .ok_or_else(|| ArgError::Required(name.to_string()))
+    }
+
+    /// Is a boolean switch present?
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A flag's raw value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A typed flag with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|e: T::Err| ArgError::BadValue {
+                flag: format!("--{name}"),
+                value: raw.to_string(),
+                message: e.to_string(),
+            }),
+        }
+    }
+
+    /// A typed optional flag.
+    pub fn flag_opt<T: std::str::FromStr>(&self, name: &str) -> Result<Option<T>, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.flag(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|e: T::Err| ArgError::BadValue {
+                    flag: format!("--{name}"),
+                    value: raw.to_string(),
+                    message: e.to_string(),
+                }),
+        }
+    }
+
+    /// A comma-separated list flag (e.g. `--modules 9,7,5`).
+    pub fn flag_list<T: std::str::FromStr>(&self, name: &str) -> Result<Vec<T>, ArgError>
+    where
+        T::Err: fmt::Display,
+    {
+        match self.flag(name) {
+            None => Ok(Vec::new()),
+            Some(raw) => raw
+                .split(',')
+                .map(|piece| {
+                    piece.trim().parse().map_err(|e: T::Err| ArgError::BadValue {
+                        flag: format!("--{name}"),
+                        value: piece.to_string(),
+                        message: e.to_string(),
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = Args::parse(
+            &argv(&["input.txt", "--min", "4", "--quiet"]),
+            &["min"],
+            &["quiet"],
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.positional(0), Some("input.txt"));
+        assert_eq!(a.flag_or("min", 0usize).unwrap(), 4);
+        assert!(a.switch("quiet"));
+        assert!(!a.switch("verbose"));
+    }
+
+    #[test]
+    fn equals_syntax() {
+        let a = Args::parse(&argv(&["--min=7"]), &["min"], &[], 0).unwrap();
+        assert_eq!(a.flag_or("min", 0usize).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unknown_and_extra() {
+        assert_eq!(
+            Args::parse(&argv(&["--bogus"]), &[], &[], 0).unwrap_err(),
+            ArgError::Unknown("--bogus".into())
+        );
+        assert_eq!(
+            Args::parse(&argv(&["a", "b"]), &[], &[], 1).unwrap_err(),
+            ArgError::ExtraPositional("b".into())
+        );
+        assert_eq!(
+            Args::parse(&argv(&["--min"]), &["min"], &[], 0).unwrap_err(),
+            ArgError::MissingValue("--min".into())
+        );
+    }
+
+    #[test]
+    fn typed_errors() {
+        let a = Args::parse(&argv(&["--min", "abc"]), &["min"], &[], 0).unwrap();
+        let err = a.flag_or("min", 0usize).unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("--min"));
+    }
+
+    #[test]
+    fn list_flag() {
+        let a = Args::parse(&argv(&["--modules", "9, 7,5"]), &["modules"], &[], 0).unwrap();
+        assert_eq!(a.flag_list::<usize>("modules").unwrap(), vec![9, 7, 5]);
+        let none = Args::parse(&argv(&[]), &["modules"], &[], 0).unwrap();
+        assert!(none.flag_list::<usize>("modules").unwrap().is_empty());
+    }
+
+    #[test]
+    fn required_positional_errors() {
+        let a = Args::parse(&argv(&[]), &[], &[], 1).unwrap();
+        assert_eq!(
+            a.required_positional(0, "INPUT").unwrap_err(),
+            ArgError::Required("INPUT".into())
+        );
+    }
+}

@@ -1,0 +1,529 @@
+//! Subcommand implementations. Each takes the post-subcommand argv and
+//! returns the report text.
+
+use crate::args::Args;
+use crate::CliError;
+use gsb_core::sink::{CollectSink, CountSink};
+use gsb_core::store::SpillConfig;
+use gsb_core::{CliqueEnumerator, EnumConfig, ParallelConfig, ParallelEnumerator};
+use gsb_graph::generators::{correlation_like, gnp, planted, CorrelationProfile, Module};
+use gsb_graph::{io as gio, BitGraph};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+fn load(path: &str) -> Result<BitGraph, CliError> {
+    Ok(gio::load(Path::new(path))?)
+}
+
+fn save(g: &BitGraph, path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)?;
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("clq") | Some("dimacs") => gio::write_dimacs(g, file)?,
+        _ => gio::write_edge_list(g, file)?,
+    }
+    Ok(())
+}
+
+/// `gsb generate`
+pub fn generate(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(
+        argv,
+        &["kind", "n", "p", "density", "modules", "seed", "out", "overlap"],
+        &[],
+        0,
+    )?;
+    let kind = a.flag("kind").unwrap_or("gnp").to_string();
+    let n: usize = a.flag_or("n", 100)?;
+    let seed: u64 = a.flag_or("seed", 0)?;
+    let out = a
+        .flag("out")
+        .ok_or(crate::args::ArgError::Required("--out".into()))?
+        .to_string();
+    let g = match kind.as_str() {
+        "gnp" => {
+            let p: f64 = a.flag_or("p", 0.01)?;
+            gnp(n, p, seed)
+        }
+        "planted" => {
+            let p: f64 = a.flag_or("p", 0.01)?;
+            let sizes: Vec<usize> = a.flag_list("modules")?;
+            let modules: Vec<Module> = sizes.into_iter().map(Module::clique).collect();
+            planted(n, p, &modules, seed)
+        }
+        "correlation" => {
+            let density: f64 = a.flag_or("density", 0.002)?;
+            let mut profile = CorrelationProfile::myogenic_like(n);
+            profile.density = density;
+            if let Some(overlap) = a.flag_opt::<f64>("overlap")? {
+                profile.overlap = overlap;
+            }
+            correlation_like(&profile, seed)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --kind {other:?} (gnp | planted | correlation)"
+            )))
+        }
+    };
+    save(&g, &out)?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} edges, density {:.4}%)\n",
+        out,
+        g.n(),
+        g.m(),
+        100.0 * g.density()
+    ))
+}
+
+/// `gsb stats`
+pub fn stats(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let p = gsb_graph::stats::profile(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "file:        {path}");
+    let _ = writeln!(out, "vertices:    {}", p.n);
+    let _ = writeln!(out, "edges:       {}", p.m);
+    let _ = writeln!(out, "density:     {:.4}%", 100.0 * p.density);
+    let _ = writeln!(
+        out,
+        "degree:      min {} / mean {:.2} / max {}",
+        p.min_degree, p.mean_degree, p.max_degree
+    );
+    let _ = writeln!(out, "isolated:    {}", p.isolated);
+    let _ = writeln!(out, "triangles:   {}", p.triangles);
+    let _ = writeln!(out, "clustering:  {:.4}", p.clustering);
+    let _ = writeln!(
+        out,
+        "clique upper bound (degeneracy/coloring): {}",
+        gsb_graph::reduce::clique_upper_bound(&g)
+    );
+    Ok(out)
+}
+
+/// `gsb cliques`
+pub fn cliques(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(
+        argv,
+        &["min", "max", "threads", "spill-budget", "order", "out"],
+        &["count-only"],
+        1,
+    )?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let config = EnumConfig {
+        min_k: a.flag_or("min", 3)?,
+        max_k: a.flag_opt("max")?,
+        record_costs: false,
+    };
+    let threads: usize = a.flag_or("threads", 1)?;
+    let spill_budget: Option<usize> = a.flag_opt("spill-budget")?;
+    let count_only = a.switch("count-only");
+
+    // Optional vertex reordering (sequential path only).
+    if let Some(order_name) = a.flag("order") {
+        if threads != 1 || spill_budget.is_some() {
+            return Err(CliError::Usage(
+                "--order applies to the plain sequential run (no --threads/--spill-budget)"
+                    .into(),
+            ));
+        }
+        let ordering = match order_name {
+            "natural" => gsb_core::order::Ordering::Natural,
+            "degeneracy" => gsb_core::order::Ordering::Degeneracy,
+            "degree" => gsb_core::order::Ordering::DegreeDescending,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown --order {other:?} (natural | degeneracy | degree)"
+                )))
+            }
+        };
+        let mut collect = CollectSink::default();
+        gsb_core::order::enumerate_ordered(&g, ordering, config, &mut collect);
+        let count = CountSink {
+            count: collect.cliques.len(),
+        };
+        if count_only {
+            collect.cliques.clear();
+        }
+        return Ok(render_cliques(&collect, &count, count_only));
+    }
+
+    // Optional streaming output to a file.
+    if let Some(out_path) = a.flag("out") {
+        if count_only {
+            return Err(CliError::Usage("--out and --count-only conflict".into()));
+        }
+        let file = std::fs::File::create(out_path)?;
+        let mut sink = gsb_core::WriterSink::new(file);
+        if threads == 1 {
+            CliqueEnumerator::new(config).enumerate(&g, &mut sink);
+        } else {
+            let enumerator = ParallelEnumerator::new(ParallelConfig {
+                threads,
+                enum_config: config,
+                ..Default::default()
+            });
+            let garc = Arc::new(g);
+            enumerator.enumerate(&garc, &mut sink);
+        }
+        let written = sink.finish()?;
+        return Ok(format!("wrote {written} maximal cliques to {out_path}\n"));
+    }
+
+    let mut collect = CollectSink::default();
+    let mut count = CountSink::default();
+    if let Some(budget) = spill_budget {
+        if threads != 1 {
+            return Err(CliError::Usage(
+                "--spill-budget requires --threads 1 (the out-of-core store is sequential)"
+                    .into(),
+            ));
+        }
+        let spill = SpillConfig::in_temp(budget);
+        let enumerator = CliqueEnumerator::new(config);
+        let stats = if count_only {
+            enumerator.enumerate_spilled(&g, &mut count, &spill)?
+        } else {
+            enumerator.enumerate_spilled(&g, &mut collect, &spill)?
+        };
+        let mut out = render_cliques(&collect, &count, count_only);
+        let _ = writeln!(
+            out,
+            "out-of-core: {} bytes read back across {} levels",
+            stats.total_bytes_read(),
+            stats.levels.len()
+        );
+        return Ok(out);
+    }
+    if threads == 1 {
+        let enumerator = CliqueEnumerator::new(config);
+        if count_only {
+            enumerator.enumerate(&g, &mut count);
+        } else {
+            enumerator.enumerate(&g, &mut collect);
+        }
+    } else {
+        let enumerator = ParallelEnumerator::new(ParallelConfig {
+            threads,
+            enum_config: config,
+            ..Default::default()
+        });
+        let garc = Arc::new(g);
+        if count_only {
+            enumerator.enumerate(&garc, &mut count);
+        } else {
+            enumerator.enumerate(&garc, &mut collect);
+        }
+    }
+    Ok(render_cliques(&collect, &count, count_only))
+}
+
+fn render_cliques(collect: &CollectSink, count: &CountSink, count_only: bool) -> String {
+    let mut out = String::new();
+    if count_only {
+        let _ = writeln!(out, "{} maximal cliques", count.count);
+    } else {
+        for c in &collect.cliques {
+            let text: Vec<String> = c.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "{}\t{}", c.len(), text.join(" "));
+        }
+        let _ = writeln!(out, "# {} maximal cliques", collect.cliques.len());
+    }
+    out
+}
+
+/// `gsb maxclique`
+pub fn maxclique(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &["via-vc"], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let clique: Vec<usize> = if a.switch("via-vc") {
+        gsb_fpt::maximum_clique_via_vc(&g)
+    } else {
+        gsb_core::maximum_clique(&g)
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    };
+    let text: Vec<String> = clique.iter().map(usize::to_string).collect();
+    Ok(format!(
+        "maximum clique size {}: {}\n",
+        clique.len(),
+        text.join(" ")
+    ))
+}
+
+/// `gsb vc`
+pub fn vertex_cover(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &["k"], &[], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    match a.flag_opt::<usize>("k")? {
+        Some(k) => match gsb_fpt::vertex_cover_decision(&g, k) {
+            Some(cover) => {
+                let text: Vec<String> = cover.iter().map(usize::to_string).collect();
+                Ok(format!("YES: cover of size {} <= {k}: {}\n", cover.len(), text.join(" ")))
+            }
+            None => Ok(format!("NO: no vertex cover of size <= {k}\n")),
+        },
+        None => {
+            let cover = gsb_fpt::minimum_vertex_cover(&g);
+            let text: Vec<String> = cover.iter().map(usize::to_string).collect();
+            Ok(format!(
+                "minimum vertex cover size {}: {}\n",
+                cover.len(),
+                text.join(" ")
+            ))
+        }
+    }
+}
+
+/// `gsb fvs`
+pub fn fvs(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let set = gsb_fpt::feedback_vertex_set(&g);
+    let text: Vec<String> = set.iter().map(usize::to_string).collect();
+    Ok(format!(
+        "minimum feedback vertex set size {}: {}\n",
+        set.len(),
+        text.join(" ")
+    ))
+}
+
+/// `gsb motif`
+pub fn motif(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &["l", "d", "q", "top"], &[], 1)?;
+    let path = a.required_positional(0, "SEQFILE")?;
+    let text = std::fs::read_to_string(path)?;
+    let seqs: Vec<Vec<u8>> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('>'))
+        .map(|l| l.as_bytes().to_vec())
+        .collect();
+    if seqs.len() < 2 {
+        return Err(CliError::Usage(
+            "need at least two sequences (one per line)".into(),
+        ));
+    }
+    let l: usize = a
+        .flag_opt("l")?
+        .ok_or(crate::args::ArgError::Required("--l".into()))?;
+    let params = gsb_motif::MotifParams {
+        l,
+        d: a.flag_or("d", 1)?,
+        q: a.flag_or("q", seqs.len().saturating_sub(1).max(2))?,
+    };
+    let top: usize = a.flag_or("top", 5)?;
+    let motifs = gsb_motif::find_motifs(&seqs, &params);
+    let mut out = format!(
+        "{} sequences, window {}, <= {} mutations, quorum {}: {} motifs\n",
+        seqs.len(),
+        params.l,
+        params.d,
+        params.q,
+        motifs.len()
+    );
+    for m in motifs.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{}\tsupport {}\tsites {:?}",
+            String::from_utf8_lossy(&m.consensus),
+            m.support(),
+            m.sites
+        );
+    }
+    Ok(out)
+}
+
+/// `gsb convert`
+pub fn convert(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 2)?;
+    let input = a.required_positional(0, "IN")?;
+    let output = a.required_positional(1, "OUT")?;
+    let g = load(input)?;
+    save(&g, output)?;
+    Ok(format!(
+        "converted {input} -> {output} ({} vertices, {} edges)\n",
+        g.n(),
+        g.m()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gsb-cli-test-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn generate_stats_cliques_roundtrip() {
+        let path = tmp("g1.txt");
+        let report = generate(&argv(&[
+            "--kind", "planted", "--n", "40", "--p", "0.02", "--modules", "6,5", "--seed", "3",
+            "--out", &path,
+        ]))
+        .unwrap();
+        assert!(report.contains("40 vertices"));
+
+        let s = stats(&argv(&[&path])).unwrap();
+        assert!(s.contains("vertices:    40"));
+        assert!(s.contains("clique upper bound"));
+
+        let c = cliques(&argv(&[&path, "--min", "4"])).unwrap();
+        assert!(c.contains("maximal cliques"));
+        // every line is "size\tvertices"
+        for line in c.lines().filter(|l| !l.starts_with('#')) {
+            let (size, rest) = line.split_once('\t').expect("tabbed");
+            let k: usize = size.parse().unwrap();
+            assert_eq!(rest.split_whitespace().count(), k);
+            assert!(k >= 4);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cliques_count_only_and_threads_agree() {
+        let path = tmp("g2.txt");
+        generate(&argv(&[
+            "--kind", "planted", "--n", "36", "--modules", "7", "--out", &path,
+        ]))
+        .unwrap();
+        let seq = cliques(&argv(&[&path, "--count-only"])).unwrap();
+        let par = cliques(&argv(&[&path, "--count-only", "--threads", "3"])).unwrap();
+        assert_eq!(seq, par);
+        let spill = cliques(&argv(&[&path, "--count-only", "--spill-budget", "0"])).unwrap();
+        assert!(spill.starts_with(&seq.lines().next().unwrap().to_string()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cliques_order_and_out_flags() {
+        let path = tmp("g6.txt");
+        let out = tmp("g6.cliques");
+        generate(&argv(&[
+            "--kind", "planted", "--n", "30", "--modules", "6,5", "--out", &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "4"])).unwrap();
+        for order in ["natural", "degeneracy", "degree"] {
+            let ordered =
+                cliques(&argv(&[&path, "--min", "4", "--order", order])).unwrap();
+            // same clique set (line sets match after sorting)
+            let mut a: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
+            let mut b: Vec<&str> = ordered.lines().filter(|l| !l.starts_with('#')).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "--order {order}");
+        }
+        assert!(cliques(&argv(&[&path, "--order", "bogus"])).is_err());
+        // streaming output
+        let report = cliques(&argv(&[&path, "--min", "4", "--out", &out])).unwrap();
+        assert!(report.contains("maximal cliques"));
+        let streamed = std::fs::read_to_string(&out).unwrap();
+        let n_lines = streamed.lines().count();
+        let n_plain = plain.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(n_lines, n_plain);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn maxclique_both_routes() {
+        let path = tmp("g3.txt");
+        generate(&argv(&[
+            "--kind", "planted", "--n", "30", "--modules", "6", "--out", &path,
+        ]))
+        .unwrap();
+        let direct = maxclique(&argv(&[&path])).unwrap();
+        let viavc = maxclique(&argv(&[&path, "--via-vc"])).unwrap();
+        let size = |s: &str| {
+            s.split("size ")
+                .nth(1)
+                .unwrap()
+                .split(':')
+                .next()
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(size(&direct), size(&viavc));
+        assert!(size(&direct) >= 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vc_and_fvs_run() {
+        let path = tmp("g4.txt");
+        generate(&argv(&["--kind", "gnp", "--n", "14", "--p", "0.3", "--out", &path])).unwrap();
+        let vc_min = vertex_cover(&argv(&[&path])).unwrap();
+        assert!(vc_min.contains("minimum vertex cover size"));
+        let vc_yes = vertex_cover(&argv(&[&path, "--k", "14"])).unwrap();
+        assert!(vc_yes.starts_with("YES"));
+        let vc_no = vertex_cover(&argv(&[&path, "--k", "0"])).unwrap();
+        assert!(vc_no.starts_with("NO"));
+        let f = fvs(&argv(&[&path])).unwrap();
+        assert!(f.contains("feedback vertex set"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn motif_subcommand_end_to_end() {
+        let path = tmp("seqs.txt");
+        // three sequences sharing an exact 8-mer
+        std::fs::write(
+            &path,
+            "AAAAAGATTACAGGTTTT\nCCCCGATTACAGGCCCC\n# comment\nTTGATTACAGGTTAAAA\n",
+        )
+        .unwrap();
+        let report = motif(&argv(&[&path, "--l", "8", "--d", "0", "--q", "3"])).unwrap();
+        assert!(report.contains("GATTACAG"), "{report}");
+        assert!(motif(&argv(&[&path])).is_err()); // --l required
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn convert_edge_list_to_dimacs() {
+        let a_path = tmp("g5.txt");
+        let b_path = tmp("g5.clq");
+        generate(&argv(&["--kind", "gnp", "--n", "10", "--p", "0.4", "--out", &a_path])).unwrap();
+        let report = convert(&argv(&[&a_path, &b_path])).unwrap();
+        assert!(report.contains("converted"));
+        let g1 = load(&a_path).unwrap();
+        let g2 = load(&b_path).unwrap();
+        assert_eq!(g1, g2);
+        let _ = std::fs::remove_file(&a_path);
+        let _ = std::fs::remove_file(&b_path);
+    }
+
+    #[test]
+    fn dispatch_and_usage() {
+        assert!(crate::run(&argv(&["help"])).unwrap().contains("USAGE"));
+        assert!(crate::run(&argv(&[])).is_err());
+        assert!(crate::run(&argv(&["bogus"])).is_err());
+        let err = crate::run(&argv(&["generate", "--kind", "nope", "--out", "x"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown --kind"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = stats(&argv(&["/definitely/not/here"])).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_) | CliError::Io(_)));
+    }
+}

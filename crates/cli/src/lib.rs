@@ -1,0 +1,112 @@
+//! # gsb-cli — command-line front end for the SC'05 clique framework
+//!
+//! Subcommands (see [`run`] and `gsb help`):
+//!
+//! * `generate` — synthesize G(n,p), planted-module, or correlation-like
+//!   graphs to an edge-list/DIMACS file;
+//! * `stats` — profile a graph file (n, m, density, degrees, triangles);
+//! * `cliques` — enumerate maximal cliques in non-decreasing size order,
+//!   with `Init_K`/max bounds, threads, and optional disk spill;
+//! * `maxclique` — exact maximum clique (direct B&B or the FPT
+//!   vertex-cover route);
+//! * `vc` — minimum vertex cover / decision;
+//! * `fvs` — minimum feedback vertex set;
+//! * `convert` — translate between edge-list and DIMACS by extension.
+//!
+//! Everything returns its report as a `String`, so the whole surface is
+//! unit-testable without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use args::ArgError;
+use std::fmt;
+
+/// Top-level CLI errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// No subcommand / unknown subcommand.
+    Usage(String),
+    /// Argument parsing or validation failed.
+    Args(ArgError),
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// Graph file was malformed.
+    Parse(gsb_graph::io::ParseError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<gsb_graph::io::ParseError> for CliError {
+    fn from(e: gsb_graph::io::ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+gsb — genome-scale clique analysis (SC'05 framework)
+
+USAGE:
+  gsb generate --kind gnp|planted|correlation --n N [--p P] [--density D]
+               [--modules 9,7,5] [--seed S] --out FILE
+  gsb stats FILE
+  gsb cliques FILE [--min K] [--max K] [--threads T] [--count-only]
+               [--spill-budget BYTES] [--order natural|degeneracy|degree]
+               [--out FILE]
+  gsb maxclique FILE [--via-vc]
+  gsb vc FILE [--k K]
+  gsb fvs FILE
+  gsb motif SEQFILE --l WIDTH [--d MUTATIONS] [--q QUORUM] [--top N]
+  gsb convert IN OUT
+  gsb help
+
+Graph files: whitespace edge lists (0-indexed), or DIMACS with a
+.clq/.dimacs extension. Sequence files: one sequence per line.";
+
+/// Dispatch a full argv (without the program name) and return the
+/// report to print.
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = argv.first() else {
+        return Err(CliError::Usage("no subcommand given".into()));
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => commands::generate(rest),
+        "stats" => commands::stats(rest),
+        "cliques" => commands::cliques(rest),
+        "maxclique" => commands::maxclique(rest),
+        "vc" => commands::vertex_cover(rest),
+        "fvs" => commands::fvs(rest),
+        "motif" => commands::motif(rest),
+        "convert" => commands::convert(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
+    }
+}

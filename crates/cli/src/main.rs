@@ -1,0 +1,12 @@
+//! `gsb` binary entry point: parse argv, dispatch, print or fail.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match gsb_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Downstream analysis of enumerated cliques.
+//!
+//! The paper's biology lands here (§4): "Our analysis of cliques
+//! allowed us to detect the most highly connected vertex, corresponding
+//! to expression of Lin7c" — vertex participation across maximal
+//! cliques — and "we have also been able to examine the relation of
+//! these small cliques, and large subgraphs of which they are a part" —
+//! the clique overlap graph. Kose et al.'s original visualization was
+//! the clique–metabolite membership matrix, also provided.
+
+use crate::{Clique, Vertex};
+use gsb_bitset::BitSet;
+use gsb_graph::BitGraph;
+
+/// How many maximal cliques each vertex belongs to. The argmax is the
+/// paper's "most highly connected vertex" (its Lin7c).
+pub fn participation_counts(n: usize, cliques: &[Clique]) -> Vec<usize> {
+    let mut counts = vec![0usize; n];
+    for c in cliques {
+        for &v in c {
+            counts[v as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Vertices sorted by participation, descending (ties by index); the
+/// first entry is the hub.
+pub fn hubs(n: usize, cliques: &[Clique]) -> Vec<(usize, usize)> {
+    let counts = participation_counts(n, cliques);
+    let mut order: Vec<(usize, usize)> = counts
+        .into_iter()
+        .enumerate()
+        .collect();
+    order.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+    order
+}
+
+/// Clique membership as bitmaps (one per clique, over the vertex
+/// universe) — the rows of a clique–vertex matrix.
+pub fn membership_bitmaps(n: usize, cliques: &[Clique]) -> Vec<BitSet> {
+    cliques
+        .iter()
+        .map(|c| BitSet::from_ones(n, c.iter().map(|&v| v as usize)))
+        .collect()
+}
+
+/// The clique overlap graph: one vertex per clique, an edge where two
+/// cliques share at least `min_overlap` vertices. This is the
+/// "larger systems-level graph" the paper places its functional units
+/// into.
+pub fn clique_graph(n: usize, cliques: &[Clique], min_overlap: usize) -> BitGraph {
+    let rows = membership_bitmaps(n, cliques);
+    let mut g = BitGraph::new(cliques.len());
+    for i in 0..rows.len() {
+        for j in i + 1..rows.len() {
+            if rows[i].count_and(&rows[j]) >= min_overlap {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+/// Greedy non-overlapping decomposition into dense units: repeatedly
+/// take the maximum clique of the remaining graph, grow it into a
+/// paraclique with glom factor `p`, report it, and delete its vertices;
+/// stop when the maximum clique falls below `min_size`. Returns units
+/// in extraction order (the Langston-group "clique-centric
+/// decomposition" of a co-expression graph).
+pub fn paraclique_decomposition(g: &BitGraph, min_size: usize, p: f64) -> Vec<Clique> {
+    let mut alive = BitSet::full(g.n());
+    let mut units = Vec::new();
+    loop {
+        let (sub, ids) = g.induced(&alive);
+        let seed = crate::maxclique::maximum_clique(&sub);
+        if seed.len() < min_size.max(1) {
+            break;
+        }
+        let pc = crate::paraclique::paraclique(&sub, &seed, p);
+        let unit: Clique = pc.iter().map(|&v| ids[v as usize] as Vertex).collect();
+        for &v in &unit {
+            alive.remove(v as usize);
+        }
+        units.push(unit);
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::CliqueEnumerator;
+    use gsb_graph::generators::planted;
+
+    fn cliques_of(g: &BitGraph) -> Vec<Clique> {
+        let mut sink = CollectSink::default();
+        CliqueEnumerator::default().enumerate(g, &mut sink);
+        sink.cliques
+    }
+
+    #[test]
+    fn participation_finds_the_shared_vertex() {
+        // two triangles sharing vertex 0
+        let g = BitGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]);
+        let cliques = cliques_of(&g);
+        assert_eq!(cliques.len(), 2);
+        let counts = participation_counts(g.n(), &cliques);
+        assert_eq!(counts[0], 2);
+        assert_eq!(counts[1], 1);
+        let top = hubs(g.n(), &cliques);
+        assert_eq!(top[0], (0, 2));
+    }
+
+    #[test]
+    fn clique_graph_links_overlapping_cliques() {
+        let g = BitGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (0, 3), (3, 4), (0, 4)]);
+        let cliques = cliques_of(&g);
+        let cg1 = clique_graph(g.n(), &cliques, 1);
+        assert_eq!(cg1.m(), 1); // they share vertex 0
+        let cg2 = clique_graph(g.n(), &cliques, 2);
+        assert_eq!(cg2.m(), 0);
+    }
+
+    #[test]
+    fn membership_bitmaps_shape() {
+        let cliques = vec![vec![0u32, 2], vec![1, 2, 3]];
+        let rows = membership_bitmaps(4, &cliques);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].to_vec(), vec![0, 2]);
+        assert_eq!(rows[1].count_ones(), 3);
+    }
+
+    #[test]
+    fn decomposition_recovers_disjoint_modules() {
+        // three disjoint cliques (9, 7, 5) + scattered background edges
+        let mut g = BitGraph::new(60);
+        for (start, size) in [(0usize, 9usize), (20, 7), (40, 5)] {
+            for i in start..start + size {
+                for j in i + 1..start + size {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        let noise = planted(60, 0.01, &[], 3);
+        for (u, v) in noise.edges() {
+            g.add_edge(u, v);
+        }
+        let units = paraclique_decomposition(&g, 4, 1.0);
+        assert!(units.len() >= 3, "got {} units", units.len());
+        // units are disjoint
+        let mut seen = std::collections::BTreeSet::new();
+        for unit in &units {
+            for &v in unit {
+                assert!(seen.insert(v), "vertex {v} in two units");
+            }
+        }
+        // sizes decrease (maximum clique first)
+        assert!(units.windows(2).all(|w| w[0].len() >= w[1].len() - 1));
+        assert!(units[0].len() >= 9);
+    }
+
+    #[test]
+    fn decomposition_respects_min_size() {
+        let g = BitGraph::from_edges(4, [(0, 1), (1, 2)]);
+        assert!(paraclique_decomposition(&g, 3, 1.0).is_empty());
+    }
+}

@@ -1,0 +1,587 @@
+//! The sequential Clique Enumerator (§2.3).
+//!
+//! Levelwise maximal-clique enumeration in non-decreasing size order:
+//! take the candidate k-clique sub-lists, expand each into (k+1)-clique
+//! sub-lists, decide maximality of every generated (k+1)-clique with one
+//! bitwise AND plus an any-bit test, keep only candidates, repeat until
+//! nothing is generated.
+//!
+//! ## Why every maximal clique is found exactly once
+//!
+//! Order vertices by index. Any clique `{v_1 < … < v_m}` has one
+//! *canonical generation path*: it is produced from the sub-list whose
+//! prefix is `{v_1, …, v_{m-2}}` by pairing tails `v_{m-1}` and `v_m`.
+//! Induction over m shows the path survives the two pruning rules:
+//!
+//! * *candidates only* — each proper prefix `P_j = {v_1..v_j}` of a
+//!   maximal clique `M` is non-maximal (the next vertex of `M` is a
+//!   common neighbor), so the generation test `CN(P_j) ≠ ∅` holds and
+//!   `P_j` is kept as a tail;
+//! * *sub-lists of size > 1 only* — the sub-list holding `P_j` also
+//!   holds `{v_1..v_{j-1}, v_{j+1}}` (also a clique, also non-maximal,
+//!   tail index above `v_{j-1}`), so it has at least two members.
+//!
+//! Conversely a clique generated as maximal has an empty common-neighbor
+//! bitmap, which *is* maximality; and the canonical path is unique, so
+//! there are no duplicates. These properties are cross-checked against
+//! Bron–Kerbosch on thousands of random graphs in the test suites.
+
+use crate::memory::LevelMemory;
+use crate::sink::CliqueSink;
+use crate::sublist::{Level, SubList};
+use crate::{kclique, Vertex};
+use gsb_bitset::BitSet;
+use gsb_graph::BitGraph;
+use std::time::Instant;
+
+/// Configuration for an enumeration run.
+#[derive(Clone, Copy, Debug)]
+pub struct EnumConfig {
+    /// Smallest maximal-clique size to report (the paper's `Init_K`).
+    /// With `min_k > 3` the run is seeded by the k-clique enumerator.
+    pub min_k: usize,
+    /// Largest clique size to explore; `None` runs to the maximum
+    /// clique. Maximal cliques larger than `max_k` are not reported.
+    pub max_k: Option<usize>,
+    /// Record per-sub-list expansion costs in deterministic work units
+    /// (feeds the virtual-processor scaling simulation).
+    pub record_costs: bool,
+}
+
+impl Default for EnumConfig {
+    fn default() -> Self {
+        EnumConfig {
+            min_k: 3,
+            max_k: None,
+            record_costs: false,
+        }
+    }
+}
+
+/// Per-level run report.
+#[derive(Clone, Debug)]
+pub struct LevelReport {
+    /// Clique size of the candidates expanded at this level.
+    pub k: usize,
+    /// Number of sub-lists expanded (`N[k]`).
+    pub sublists: usize,
+    /// Number of candidate cliques expanded (`M[k]`).
+    pub candidates: usize,
+    /// Maximal (k+1)-cliques emitted while expanding this level.
+    pub maximal_found: usize,
+    /// Wall time of the level (ns).
+    pub ns: u64,
+    /// Memory accounting for this level's candidates.
+    pub memory: LevelMemory,
+}
+
+/// Full run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct EnumStats {
+    /// One report per expanded level, in order.
+    pub levels: Vec<LevelReport>,
+    /// Total maximal cliques reported (all sizes, including the seeds).
+    pub total_maximal: usize,
+    /// Wall time of the whole run (ns).
+    pub wall_ns: u64,
+    /// When configured: per-level, per-sub-list expansion costs in
+    /// deterministic work units (word operations + pair iterations).
+    /// Convert to nanoseconds with [`EnumStats::ns_per_unit`].
+    pub costs: Option<Vec<Vec<u64>>>,
+}
+
+impl EnumStats {
+    /// Measured nanoseconds per recorded work unit (wall time of the
+    /// levels divided by total units), for converting the deterministic
+    /// per-sub-list costs into time.
+    pub fn ns_per_unit(&self) -> f64 {
+        let total_units: u64 = self
+            .costs
+            .iter()
+            .flatten()
+            .flat_map(|l| l.iter())
+            .sum();
+        if total_units == 0 {
+            return 0.0;
+        }
+        let level_ns: u64 = self.levels.iter().map(|l| l.ns).sum();
+        level_ns as f64 / total_units as f64
+    }
+
+    /// Per-level, per-sub-list costs in nanoseconds (units × ns/unit).
+    pub fn costs_ns(&self) -> Option<Vec<Vec<u64>>> {
+        let scale = self.ns_per_unit();
+        self.costs.as_ref().map(|levels| {
+            levels
+                .iter()
+                .map(|l| l.iter().map(|&u| (u as f64 * scale) as u64).collect())
+                .collect()
+        })
+    }
+
+    /// Peak of the paper's memory formula across adjacent level pairs.
+    pub fn peak_formula_bytes(&self) -> usize {
+        let singles = self.levels.iter().map(|l| l.memory.formula_bytes);
+        let pairs = self
+            .levels
+            .windows(2)
+            .map(|w| w[0].memory.with_next(&w[1].memory));
+        singles.chain(pairs).max().unwrap_or(0)
+    }
+}
+
+/// The sequential Clique Enumerator.
+///
+/// ```
+/// use gsb_core::{CliqueEnumerator, EnumConfig, CollectSink};
+/// use gsb_graph::BitGraph;
+/// // K4 plus a pendant triangle
+/// let g = BitGraph::from_edges(5, [
+///     (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4),
+/// ]);
+/// let mut sink = CollectSink::default();
+/// CliqueEnumerator::new(EnumConfig { min_k: 3, ..Default::default() })
+///     .enumerate(&g, &mut sink);
+/// // non-decreasing size order: the triangle before the K4
+/// assert_eq!(sink.cliques, vec![vec![2, 3, 4], vec![0, 1, 2, 3]]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CliqueEnumerator {
+    /// Run configuration.
+    pub config: EnumConfig,
+}
+
+impl CliqueEnumerator {
+    /// Enumerator with the given configuration.
+    pub fn new(config: EnumConfig) -> Self {
+        CliqueEnumerator { config }
+    }
+
+    /// Enumerate maximal cliques of `g` into `sink`, in non-decreasing
+    /// size order.
+    pub fn enumerate(&self, g: &BitGraph, sink: &mut impl CliqueSink) -> EnumStats {
+        let start = Instant::now();
+        let mut stats = EnumStats {
+            costs: self.config.record_costs.then(Vec::new),
+            ..Default::default()
+        };
+        let mut level = self.init_level(g, sink, &mut stats);
+        let mut buf = BitSet::new(g.n());
+        loop {
+            if level.is_empty() {
+                break;
+            }
+            if let Some(mx) = self.config.max_k {
+                if level.k >= mx {
+                    break;
+                }
+            }
+            let level_start = Instant::now();
+            let memory = LevelMemory::account(&level, g.n());
+            let mut next = Level {
+                k: level.k + 1,
+                // The paper's own bound N[k+1] <= M[k] - 2N[k] sizes the
+                // output exactly: no mid-level reallocation can then be
+                // charged to whichever sub-list happened to trigger it.
+                sublists: Vec::with_capacity(
+                    memory.n_cliques.saturating_sub(2 * memory.n_sublists),
+                ),
+            };
+            let mut maximal_found = 0usize;
+            let record = stats.costs.is_some();
+            let mut level_costs = Vec::new();
+            if record {
+                level_costs.reserve(level.sublists.len());
+            }
+            for sl in &level.sublists {
+                let (found, units) = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
+                maximal_found += found;
+                if record {
+                    level_costs.push(units);
+                }
+            }
+            if let Some(costs) = stats.costs.as_mut() {
+                costs.push(level_costs);
+            }
+            next.sublists.shrink_to_fit();
+            stats.total_maximal += maximal_found;
+            stats.levels.push(LevelReport {
+                k: level.k,
+                sublists: memory.n_sublists,
+                candidates: memory.n_cliques,
+                maximal_found,
+                ns: level_start.elapsed().as_nanos() as u64,
+                memory,
+            });
+            level = next;
+        }
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        stats
+    }
+
+    /// Build the initial level: from the edge list for `min_k <= 3`
+    /// ("takes as input a list of all edges (2-cliques) in non-repeating
+    /// canonical order"), else seeded by the k-clique enumerator at
+    /// `min_k`. Maximal cliques smaller than the first expandable level
+    /// are reported here.
+    pub(crate) fn init_level(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+        stats: &mut EnumStats,
+    ) -> Level {
+        let min_k = self.config.min_k.max(1);
+        let within_max = |s: usize| self.config.max_k.is_none_or(|mx| s <= mx);
+        if min_k > 3 {
+            let (level, maximal) = kclique::seed_level(g, min_k);
+            if within_max(min_k) {
+                for c in &maximal {
+                    sink.maximal(c);
+                }
+                stats.total_maximal += maximal.len();
+            }
+            return level;
+        }
+        let n = g.n();
+        // Size-1 and size-2 maximal cliques are invisible to the level
+        // loop (it generates sizes >= 3); report them here when asked.
+        if min_k <= 1 && within_max(1) {
+            for v in 0..n {
+                if g.degree(v) == 0 {
+                    sink.maximal(&[v as Vertex]);
+                    stats.total_maximal += 1;
+                }
+            }
+        }
+        if min_k <= 2 && within_max(2) {
+            for (u, v) in g.edges() {
+                if !g.neighbors(u).intersects(g.neighbors(v)) {
+                    sink.maximal(&[u as Vertex, v as Vertex]);
+                    stats.total_maximal += 1;
+                }
+            }
+        }
+        let sublists = (0..n)
+            .filter_map(|a| {
+                let tails: Vec<Vertex> = g
+                    .neighbors(a)
+                    .iter_ones()
+                    .filter(|&b| b > a)
+                    .map(|b| b as Vertex)
+                    .collect();
+                // A single tail can pair with nothing; "only the first
+                // (n-2) vertices are possible to generate 2-clique
+                // sub-lists containing more than one clique".
+                (tails.len() > 1).then(|| SubList {
+                    prefix: vec![a as Vertex],
+                    cn: g.neighbors(a).clone(),
+                    tails,
+                })
+            })
+            .collect();
+        Level { k: 2, sublists }
+    }
+}
+
+impl CliqueEnumerator {
+    /// Expand one level into the next (the paper's `GenerateKCliques`
+    /// over the whole `L_k`), reporting maximal (k+1)-cliques to the
+    /// sink. This is the natural checkpoint granularity: persist the
+    /// returned level with [`crate::store::write_level`] and resume
+    /// with [`Self::enumerate_from_level`].
+    pub fn step(&self, g: &BitGraph, level: &Level, sink: &mut impl CliqueSink) -> (Level, LevelReport) {
+        let level_start = Instant::now();
+        let memory = LevelMemory::account(level, g.n());
+        let mut next = Level {
+            k: level.k + 1,
+            sublists: Vec::with_capacity(
+                memory.n_cliques.saturating_sub(2 * memory.n_sublists),
+            ),
+        };
+        let mut buf = BitSet::new(g.n());
+        let mut maximal_found = 0usize;
+        for sl in &level.sublists {
+            let (found, _units) = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
+            maximal_found += found;
+        }
+        next.sublists.shrink_to_fit();
+        let report = LevelReport {
+            k: level.k,
+            sublists: memory.n_sublists,
+            candidates: memory.n_cliques,
+            maximal_found,
+            ns: level_start.elapsed().as_nanos() as u64,
+            memory,
+        };
+        (next, report)
+    }
+
+    /// Resume (or start) from an explicit level — e.g. one restored
+    /// from a checkpoint, or produced by
+    /// [`seed_level`](crate::kclique::seed_level) — and run to
+    /// completion under this configuration's `max_k`.
+    pub fn enumerate_from_level(
+        &self,
+        g: &BitGraph,
+        mut level: Level,
+        sink: &mut impl CliqueSink,
+    ) -> EnumStats {
+        let start = Instant::now();
+        let mut stats = EnumStats::default();
+        loop {
+            if level.is_empty() {
+                break;
+            }
+            if let Some(mx) = self.config.max_k {
+                if level.k >= mx {
+                    break;
+                }
+            }
+            let (next, report) = self.step(g, &level, sink);
+            stats.total_maximal += report.maximal_found;
+            stats.levels.push(report);
+            level = next;
+        }
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        stats
+    }
+}
+
+/// Expand one k-clique sub-list into (k+1)-clique sub-lists — the
+/// paper's `GenerateKCliques` inner loops (Fig. 3). Returns the number
+/// of maximal (k+1)-cliques emitted and the deterministic work units
+/// spent (u64-word operations plus pair iterations — the portable cost
+/// measure the scaling simulation replays). `buf` is a scratch bitmap
+/// reused across calls to avoid one allocation per prefix extension.
+pub(crate) fn expand_sublist(
+    g: &BitGraph,
+    sl: &SubList,
+    buf: &mut BitSet,
+    sink: &mut impl CliqueSink,
+    out: &mut Vec<SubList>,
+) -> (usize, u64) {
+    let mut maximal = 0usize;
+    let tails = &sl.tails;
+    if tails.len() < 2 {
+        return (0, 1);
+    }
+    let words = gsb_bitset::words_for(g.n()) as u64;
+    let mut units = 0u64;
+    let mut clique: Vec<Vertex> = Vec::with_capacity(sl.prefix.len() + 2);
+    for i in 0..tails.len() - 1 {
+        let v = tails[i];
+        // CN(prefix ∪ {v}) = CN(prefix) ∧ N(v)
+        BitSet::and_into(&sl.cn, g.neighbors(v as usize), buf);
+        units += words;
+        let mut new_tails: Vec<Vertex> = Vec::new();
+        for &u in &tails[i + 1..] {
+            units += 1;
+            if !g.has_edge(v as usize, u as usize) {
+                continue;
+            }
+            // CN(prefix ∪ {v, u}) = CN(prefix ∪ {v}) ∧ N(u):
+            // any bit set ⇒ candidate, none ⇒ maximal (BitOneExists).
+            units += words;
+            if buf.intersects(g.neighbors(u as usize)) {
+                new_tails.push(u);
+            } else {
+                clique.clear();
+                clique.extend_from_slice(&sl.prefix);
+                clique.push(v);
+                clique.push(u);
+                sink.maximal(&clique);
+                maximal += 1;
+            }
+        }
+        if new_tails.len() > 1 {
+            let mut prefix = Vec::with_capacity(sl.prefix.len() + 1);
+            prefix.extend_from_slice(&sl.prefix);
+            prefix.push(v);
+            units += words; // CN clone for the kept sub-list
+            out.push(SubList {
+                prefix,
+                cn: buf.clone(),
+                tails: new_tails,
+            });
+        }
+    }
+    (maximal, units.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bk::base_bk_sorted;
+    use crate::sink::CollectSink;
+    use gsb_graph::generators::{gnp, planted, Module};
+
+    fn enumerate_sorted(g: &BitGraph, config: EnumConfig) -> Vec<Vec<Vertex>> {
+        let mut sink = CollectSink::default();
+        CliqueEnumerator::new(config).enumerate(g, &mut sink);
+        let mut cliques = sink.cliques;
+        cliques.sort();
+        cliques
+    }
+
+    fn bk_at_least(g: &BitGraph, min_k: usize) -> Vec<Vec<Vertex>> {
+        base_bk_sorted(g)
+            .into_iter()
+            .filter(|c| c.len() >= min_k)
+            .collect()
+    }
+
+    #[test]
+    fn figure4_worked_example() {
+        // The paper's Fig. 4 graph: two maximal 3-cliques, one maximal
+        // 4-clique, one maximal 5-clique. Reconstruction: K5 on
+        // {0,1,2,3,4}; K4 {0,1,2,5} sharing a triangle; triangles
+        // {0,5,6} and {1,5,6}... build instead a graph with exactly that
+        // clique profile.
+        let mut g = BitGraph::new(8);
+        for u in 0..5usize {
+            for v in u + 1..5 {
+                g.add_edge(u, v);
+            }
+        }
+        for &(u, v) in &[(5, 6), (5, 7), (6, 7), (4, 5), (4, 6), (4, 7)] {
+            g.add_edge(u, v); // K4 on {4,5,6,7}
+        }
+        g.add_edge(0, 5);
+        g.add_edge(1, 5); // triangles {0,1,5}? 0-1 edge exists → {0,1,5}
+        g.add_edge(2, 6); // triangle {2,6,?}: 2-6, need shared... leave as edge
+        let got = enumerate_sorted(&g, EnumConfig { min_k: 3, ..Default::default() });
+        let expect = bk_at_least(&g, 3);
+        assert_eq!(got, expect);
+        // sanity: the K5, the K4, and the clique bridging them are found
+        assert!(got.contains(&vec![0, 1, 2, 3, 4]));
+        assert!(got.contains(&vec![4, 5, 6, 7]));
+        assert!(got.contains(&vec![0, 1, 4, 5]));
+    }
+
+    #[test]
+    fn matches_bk_on_random_graphs() {
+        for seed in 0..10 {
+            let g = gnp(26, 0.4, seed);
+            let got = enumerate_sorted(&g, EnumConfig::default());
+            assert_eq!(got, bk_at_least(&g, 3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_bk_on_dense_overlapping_cliques() {
+        for seed in 0..5 {
+            let g = planted(
+                40,
+                0.1,
+                &[Module::clique(9), Module::clique(8), Module::clique(7)],
+                seed,
+            );
+            let got = enumerate_sorted(&g, EnumConfig::default());
+            assert_eq!(got, bk_at_least(&g, 3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn min_k_1_reports_everything() {
+        let g = BitGraph::from_edges(5, [(0, 1), (2, 3)]);
+        let got = enumerate_sorted(
+            &g,
+            EnumConfig {
+                min_k: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(got, vec![vec![0, 1], vec![2, 3], vec![4]]);
+    }
+
+    #[test]
+    fn seeded_matches_full_run_filtered() {
+        for seed in [3u64, 17, 99] {
+            let g = planted(36, 0.12, &[Module::clique(10), Module::clique(8)], seed);
+            let full = bk_at_least(&g, 6);
+            let seeded = enumerate_sorted(
+                &g,
+                EnumConfig {
+                    min_k: 6,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(seeded, full, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn max_k_truncates() {
+        let g = planted(30, 0.1, &[Module::clique(9)], 5);
+        let got = enumerate_sorted(
+            &g,
+            EnumConfig {
+                min_k: 3,
+                max_k: Some(5),
+                record_costs: false,
+            },
+        );
+        let expect: Vec<Vec<Vertex>> = bk_at_least(&g, 3)
+            .into_iter()
+            .filter(|c| c.len() <= 5)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn non_decreasing_order() {
+        let g = planted(40, 0.1, &[Module::clique(8), Module::clique(6)], 2);
+        let mut sink = CollectSink::default();
+        CliqueEnumerator::default().enumerate(&g, &mut sink);
+        let sizes: Vec<usize> = sink.cliques.iter().map(Vec::len).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn stats_track_levels_and_memory() {
+        let g = planted(40, 0.08, &[Module::clique(8)], 8);
+        let mut sink = CountSinkShim::default();
+        let stats = CliqueEnumerator::new(EnumConfig {
+            record_costs: true,
+            ..Default::default()
+        })
+        .enumerate(&g, &mut sink);
+        assert_eq!(stats.total_maximal, sink.0.count);
+        assert!(!stats.levels.is_empty());
+        assert_eq!(stats.levels[0].k, 2);
+        assert!(stats.levels.windows(2).all(|w| w[1].k == w[0].k + 1));
+        assert!(stats.peak_formula_bytes() > 0);
+        let costs = stats.costs.expect("recorded");
+        assert_eq!(costs.len(), stats.levels.len());
+        for (lvl, c) in stats.levels.iter().zip(&costs) {
+            assert_eq!(lvl.sublists, c.len());
+        }
+    }
+
+    #[derive(Default)]
+    struct CountSinkShim(crate::sink::CountSink);
+    impl CliqueSink for CountSinkShim {
+        fn maximal(&mut self, c: &[Vertex]) {
+            self.0.maximal(c);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let got = enumerate_sorted(&BitGraph::new(0), EnumConfig::default());
+        assert!(got.is_empty());
+        let got = enumerate_sorted(
+            &BitGraph::new(2),
+            EnumConfig {
+                min_k: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(got, vec![vec![0], vec![1]]);
+        let got = enumerate_sorted(&BitGraph::complete(2), EnumConfig {
+            min_k: 2,
+            ..Default::default()
+        });
+        assert_eq!(got, vec![vec![0, 1]]);
+    }
+}

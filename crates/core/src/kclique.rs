@@ -1,0 +1,232 @@
+//! The k-clique enumerator (§2.2): all cliques of exactly size k, in
+//! canonical order, split into maximal and non-maximal.
+//!
+//! This is Base BK altered in the two ways the paper describes:
+//!
+//! 1. vertices that cannot be in any k-clique (degree < k−1, iterated —
+//!    i.e. outside the (k−1)-core) are eliminated in preprocessing
+//!    instead of pivot selection;
+//! 2. a boundary condition abandons any branch where
+//!    |COMPSUB ∪ CANDIDATES| < k, and recursion stops at |COMPSUB| = k,
+//!    where empty NEW_CANDIDATES and NEW_NOT mean the k-clique is
+//!    maximal and anything else means it is a non-maximal seed for the
+//!    Clique Enumerator.
+
+use crate::sublist::{Level, SubList};
+use crate::{Clique, Vertex};
+use gsb_bitset::BitSet;
+use gsb_graph::reduce::prune_for_k_clique;
+use gsb_graph::BitGraph;
+use std::collections::BTreeMap;
+
+/// Output of the k-clique enumerator.
+#[derive(Clone, Debug, Default)]
+pub struct KCliques {
+    /// Cliques of size k that are maximal in the input graph, canonical
+    /// (lexicographic) order.
+    pub maximal: Vec<Clique>,
+    /// Cliques of size k contained in some larger clique, canonical
+    /// order.
+    pub non_maximal: Vec<Clique>,
+}
+
+impl KCliques {
+    /// Total number of k-cliques found.
+    pub fn total(&self) -> usize {
+        self.maximal.len() + self.non_maximal.len()
+    }
+}
+
+/// Enumerate every clique of exactly size `k` (maximal and not).
+pub fn enumerate_k_cliques(g: &BitGraph, k: usize) -> KCliques {
+    assert!(k >= 1, "k must be positive");
+    let mut out = KCliques::default();
+    // Preprocessing: only the (k-1)-core can host k-cliques, and pruning
+    // cannot change any surviving k-clique's maximality (every common
+    // neighbor of a k-clique is inside the core too).
+    let (h, ids) = prune_for_k_clique(g, k);
+    if h.n() < k {
+        return out;
+    }
+    let mut compsub: Vec<usize> = Vec::with_capacity(k);
+    let candidates = BitSet::full(h.n());
+    let not = BitSet::new(h.n());
+    extend(&h, k, &mut compsub, candidates, not, &ids, &mut out);
+    out
+}
+
+fn extend(
+    h: &BitGraph,
+    k: usize,
+    compsub: &mut Vec<usize>,
+    mut candidates: BitSet,
+    mut not: BitSet,
+    ids: &[usize],
+    out: &mut KCliques,
+) {
+    // Boundary condition: not enough vertices left to reach size k.
+    if compsub.len() + candidates.count_ones() < k {
+        return;
+    }
+    while let Some(v) = candidates.first_one() {
+        candidates.remove(v);
+        compsub.push(v);
+        let new_candidates = candidates.and(h.neighbors(v));
+        let new_not = not.and(h.neighbors(v));
+        if compsub.len() == k {
+            let clique: Clique = compsub.iter().map(|&u| ids[u] as Vertex).collect();
+            if new_candidates.none() && new_not.none() {
+                out.maximal.push(clique);
+            } else {
+                out.non_maximal.push(clique);
+            }
+        } else {
+            extend(h, k, compsub, new_candidates, new_not, ids, out);
+        }
+        compsub.pop();
+        not.insert(v);
+        // Re-check the boundary after shrinking CANDIDATES.
+        if compsub.len() + candidates.count_ones() < k {
+            return;
+        }
+    }
+}
+
+/// Build the Clique Enumerator's level-k input from the non-maximal
+/// k-cliques: group by (k−1)-prefix into sub-lists with the prefix's
+/// common-neighbor bitmap. Maximal k-cliques are returned alongside so
+/// the caller can report them (they seed nothing).
+pub fn seed_level(g: &BitGraph, k: usize) -> (Level, Vec<Clique>) {
+    assert!(k >= 2, "seeding needs k >= 2");
+    let found = enumerate_k_cliques(g, k);
+    let mut groups: BTreeMap<Vec<Vertex>, Vec<Vertex>> = BTreeMap::new();
+    for clique in &found.non_maximal {
+        let (tail, prefix) = clique.split_last().expect("k >= 2");
+        groups.entry(prefix.to_vec()).or_default().push(*tail);
+    }
+    let sublists = groups
+        .into_iter()
+        .map(|(prefix, tails)| {
+            debug_assert!(tails.windows(2).all(|w| w[0] < w[1]));
+            let members: Vec<usize> = prefix.iter().map(|&v| v as usize).collect();
+            let cn = g.common_neighbors(&members);
+            SubList { prefix, cn, tails }
+        })
+        .collect();
+    (Level { k, sublists }, found.maximal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_graph::generators::gnp;
+
+    /// Brute-force oracle: every size-k subset that is a clique.
+    fn oracle(g: &BitGraph, k: usize) -> (Vec<Clique>, Vec<Clique>) {
+        fn rec(
+            g: &BitGraph,
+            k: usize,
+            start: usize,
+            cur: &mut Vec<usize>,
+            max_out: &mut Vec<Clique>,
+            non_out: &mut Vec<Clique>,
+        ) {
+            if cur.len() == k {
+                let c: Clique = cur.iter().map(|&v| v as Vertex).collect();
+                if g.is_maximal_clique(cur) {
+                    max_out.push(c);
+                } else {
+                    non_out.push(c);
+                }
+                return;
+            }
+            for v in start..g.n() {
+                if cur.iter().all(|&u| g.has_edge(u, v)) {
+                    cur.push(v);
+                    rec(g, k, v + 1, cur, max_out, non_out);
+                    cur.pop();
+                }
+            }
+        }
+        let mut maxi = Vec::new();
+        let mut non = Vec::new();
+        rec(g, k, 0, &mut Vec::new(), &mut maxi, &mut non);
+        (maxi, non)
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnp(18, 0.45, seed);
+            for k in 1..=5 {
+                let got = enumerate_k_cliques(&g, k);
+                let (maxi, non) = oracle(&g, k);
+                assert_eq!(got.maximal, maxi, "maximal k={k} seed={seed}");
+                assert_eq!(got.non_maximal, non, "non-maximal k={k} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_order() {
+        let g = gnp(20, 0.5, 3);
+        let got = enumerate_k_cliques(&g, 3);
+        let mut sorted = got.non_maximal.clone();
+        sorted.sort();
+        assert_eq!(got.non_maximal, sorted);
+    }
+
+    #[test]
+    fn k1_isolated_vertices() {
+        let g = BitGraph::from_edges(4, [(0, 1)]);
+        let got = enumerate_k_cliques(&g, 1);
+        assert_eq!(got.maximal, vec![vec![2], vec![3]]);
+        assert_eq!(got.non_maximal, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn k_larger_than_max_clique() {
+        let g = BitGraph::complete(4);
+        let got = enumerate_k_cliques(&g, 5);
+        assert_eq!(got.total(), 0);
+        let got = enumerate_k_cliques(&g, 4);
+        assert_eq!(got.maximal, vec![vec![0, 1, 2, 3]]);
+        assert!(got.non_maximal.is_empty());
+    }
+
+    #[test]
+    fn seed_level_structure() {
+        // K5: all C(5,3)=10 3-cliques are non-maximal; prefixes (a,b)
+        // with a<b<4 group them.
+        let g = BitGraph::complete(5);
+        let (level, maximal) = seed_level(&g, 3);
+        assert!(maximal.is_empty());
+        assert_eq!(level.k, 3);
+        assert_eq!(level.n_cliques(), 10);
+        for sl in &level.sublists {
+            sl.validate(&g);
+        }
+        // prefix (0,1) has tails 2,3,4
+        let first = &level.sublists[0];
+        assert_eq!(first.prefix, vec![0, 1]);
+        assert_eq!(first.tails, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn seed_level_reports_maximal_k_cliques() {
+        // Triangle + K4 sharing nothing: at k=3 the triangle is maximal,
+        // the K4's triangles are seeds.
+        let mut g = BitGraph::new(7);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            g.add_edge(u, v);
+        }
+        for u in 3..7 {
+            for v in u + 1..7 {
+                g.add_edge(u, v);
+            }
+        }
+        let (level, maximal) = seed_level(&g, 3);
+        assert_eq!(maximal, vec![vec![0, 1, 2]]);
+        assert_eq!(level.n_cliques(), 4); // C(4,3) triangles of the K4
+    }
+}

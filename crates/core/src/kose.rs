@@ -1,0 +1,225 @@
+//! The Kose RAM baseline (Table 1's comparator).
+//!
+//! In-core implementation of the Kose et al. (Bioinformatics 2001)
+//! levelwise procedure exactly as the paper characterizes it (§2.3):
+//! take all edges in canonical order, generate all (k+1)-cliques from
+//! all k-cliques, then "check for all k-cliques to see if they are
+//! components of a (k+1)-clique after it is generated", declare
+//! unmarked k-cliques maximal, and repeat. Its two costs — storing
+//! *every* k-clique and deciding maximality by *subset containment*
+//! searches — are precisely what the Clique Enumerator removes; keeping
+//! them here is the point of the baseline.
+
+use crate::sink::CliqueSink;
+use crate::{Clique, Vertex};
+use gsb_graph::BitGraph;
+use std::collections::{HashMap, HashSet};
+
+/// How the containment search ("check for all k-cliques to see if they
+/// are components of a (k+1)-clique") locates k-subcliques.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KoseSearch {
+    /// Binary search over the canonical sorted k-clique list — the
+    /// faithful reading of the original list-searching algorithm.
+    #[default]
+    SortedList,
+    /// Hash-set lookups — a deliberately *generous* baseline upgrade;
+    /// speedups measured against it lower-bound the paper's factor.
+    HashSet,
+}
+
+/// Enumerate all maximal cliques in non-decreasing size order with the
+/// Kose RAM algorithm (default containment search: sorted-list binary
+/// search). `min_k` filters the reported sizes (size-1 and size-2
+/// maximal cliques are handled like every other level).
+pub fn kose_ram(g: &BitGraph, min_k: usize, sink: &mut impl CliqueSink) -> KoseStats {
+    kose_ram_with(g, min_k, KoseSearch::default(), sink)
+}
+
+/// [`kose_ram`] with an explicit containment-search mode.
+pub fn kose_ram_with(
+    g: &BitGraph,
+    min_k: usize,
+    search: KoseSearch,
+    sink: &mut impl CliqueSink,
+) -> KoseStats {
+    let mut stats = KoseStats::default();
+    let n = g.n();
+    // level 1: all vertices
+    let mut current: Vec<Clique> = (0..n).map(|v| vec![v as Vertex]).collect();
+    let mut k = 1usize;
+    while !current.is_empty() {
+        stats.stored_cliques.push(current.len());
+        // Generate all (k+1)-cliques by canonical prefix join: two
+        // k-cliques sharing their first k-1 vertices, adjacent tails.
+        let mut next: Vec<Clique> = Vec::new();
+        let mut group_start = 0usize;
+        while group_start < current.len() {
+            let prefix = &current[group_start][..k - 1];
+            let mut group_end = group_start + 1;
+            while group_end < current.len() && &current[group_end][..k - 1] == prefix {
+                group_end += 1;
+            }
+            for i in group_start..group_end {
+                for j in i + 1..group_end {
+                    let u = current[i][k - 1];
+                    let v = current[j][k - 1];
+                    if g.has_edge(u as usize, v as usize) {
+                        let mut c = current[i].clone();
+                        c.push(v);
+                        next.push(c);
+                    }
+                }
+            }
+            group_start = group_end;
+        }
+        // Maximality: a k-clique is maximal iff it is a component of no
+        // (k+1)-clique — the containment search the paper criticizes.
+        let mut is_contained = vec![false; current.len()];
+        let index: HashMap<&[Vertex], usize> = match search {
+            KoseSearch::HashSet => current
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (c.as_slice(), i))
+                .collect(),
+            KoseSearch::SortedList => HashMap::new(),
+        };
+        let mut sub = Vec::with_capacity(k);
+        for big in &next {
+            for skip in 0..=k {
+                sub.clear();
+                sub.extend(
+                    big.iter()
+                        .enumerate()
+                        .filter_map(|(i, &v)| (i != skip).then_some(v)),
+                );
+                let pos = match search {
+                    // `current` is in canonical (sorted) order.
+                    KoseSearch::SortedList => current
+                        .binary_search_by(|c| c.as_slice().cmp(sub.as_slice()))
+                        .ok(),
+                    KoseSearch::HashSet => index.get(sub.as_slice()).copied(),
+                };
+                if let Some(pos) = pos {
+                    is_contained[pos] = true;
+                }
+            }
+        }
+        for (c, &contained) in current.iter().zip(&is_contained) {
+            if !contained {
+                stats.maximal += 1;
+                if c.len() >= min_k {
+                    sink.maximal(c);
+                }
+            }
+        }
+        // dedupe next (canonical join generates each (k+1)-clique once,
+        // but keep the defensive check cheap in debug builds)
+        debug_assert!({
+            let set: HashSet<&[Vertex]> = next.iter().map(Vec::as_slice).collect();
+            set.len() == next.len()
+        });
+        current = next;
+        k += 1;
+    }
+    stats
+}
+
+/// Counters exposing the baseline's cost profile.
+#[derive(Clone, Debug, Default)]
+pub struct KoseStats {
+    /// Number of k-cliques stored at each level (the memory the Clique
+    /// Enumerator avoids).
+    pub stored_cliques: Vec<usize>,
+    /// Total maximal cliques found (before `min_k` filtering).
+    pub maximal: usize,
+}
+
+impl KoseStats {
+    /// Peak number of cliques co-resident across two adjacent levels.
+    pub fn peak_stored(&self) -> usize {
+        self.stored_cliques
+            .windows(2)
+            .map(|w| w[0] + w[1])
+            .max()
+            .or_else(|| self.stored_cliques.first().copied())
+            .unwrap_or(0)
+    }
+}
+
+/// Convenience: collect all maximal cliques of size ≥ `min_k`,
+/// canonicalized for comparisons.
+pub fn kose_ram_sorted(g: &BitGraph, min_k: usize) -> Vec<Clique> {
+    let mut sink = crate::sink::CollectSink::default();
+    kose_ram(g, min_k, &mut sink);
+    let mut cliques = sink.cliques;
+    cliques.sort();
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bk::base_bk_sorted;
+    use gsb_graph::generators::{gnp, planted, Module};
+
+    #[test]
+    fn matches_bk_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnp(20, 0.4, seed);
+            let got = kose_ram_sorted(&g, 1);
+            assert_eq!(got, base_bk_sorted(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn min_k_filters() {
+        let g = planted(25, 0.08, &[Module::clique(6)], 1);
+        let got = kose_ram_sorted(&g, 4);
+        let expect: Vec<Clique> = base_bk_sorted(&g)
+            .into_iter()
+            .filter(|c| c.len() >= 4)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn non_decreasing_order() {
+        let g = planted(30, 0.1, &[Module::clique(7)], 2);
+        let mut sink = crate::sink::CollectSink::default();
+        kose_ram(&g, 1, &mut sink);
+        let sizes: Vec<usize> = sink.cliques.iter().map(Vec::len).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn stats_show_storage_blowup() {
+        // K9: stores all C(9,k) cliques at every level — the baseline's
+        // signature cost.
+        let g = BitGraph::complete(9);
+        let mut sink = crate::sink::CountSink::default();
+        let stats = kose_ram(&g, 1, &mut sink);
+        assert_eq!(sink.count, 1);
+        assert_eq!(stats.maximal, 1);
+        assert_eq!(stats.stored_cliques[2], 84); // C(9,3)
+        assert!(stats.peak_stored() >= 126 + 126); // C(9,4)+C(9,5)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BitGraph::new(0);
+        assert!(kose_ram_sorted(&g, 1).is_empty());
+    }
+
+    #[test]
+    fn both_search_modes_agree() {
+        for seed in 0..4 {
+            let g = gnp(18, 0.45, seed);
+            let mut a = crate::sink::CollectSink::default();
+            kose_ram_with(&g, 1, KoseSearch::SortedList, &mut a);
+            let mut b = crate::sink::CollectSink::default();
+            kose_ram_with(&g, 1, KoseSearch::HashSet, &mut b);
+            assert_eq!(a.cliques, b.cliques, "seed {seed}");
+        }
+    }
+}

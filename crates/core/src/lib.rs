@@ -1,0 +1,75 @@
+//! # gsb-core — the SC'05 memory-intensive clique framework
+//!
+//! This crate is the paper's primary contribution, implemented in full:
+//!
+//! * [`enumerator`] — the sequential **Clique Enumerator** (§2.3):
+//!   levelwise maximal-clique enumeration in non-decreasing size order,
+//!   sub-lists sharing a (k−1)-prefix + one common-neighbor bitmap, the
+//!   one-AND + any-bit maximality test;
+//! * [`parallel`] — the multithreaded Clique Enumerator with the paper's
+//!   centralized dynamic load balancer over a persistent worker pool;
+//! * [`kose`] — the **Kose RAM** baseline (Table 1's comparator): stores
+//!   all k-cliques and decides maximality by subset containment checks;
+//! * [`bk`] — **Base BK** and **Improved BK** (§2.2), the classic
+//!   Bron–Kerbosch enumerators used as correctness references;
+//! * [`kclique`] — the **k-clique enumerator** (§2.2): all (maximal and
+//!   non-maximal) cliques of exactly size k in canonical order, with
+//!   degree-(k−1) preprocessing and the size boundary condition — the
+//!   seed for runs starting at `init_k`;
+//! * [`maxclique`] — exact maximum clique (branch & bound with greedy
+//!   coloring bound) for the upper bound of §2.1 (the FPT
+//!   vertex-cover route lives in `gsb-fpt`);
+//! * [`paraclique`] — paraclique extraction ("cliques, paracliques and
+//!   other forms of densely-connected subgraphs", §1);
+//! * [`analysis`] — downstream clique analysis: vertex participation
+//!   (the paper's "most highly connected vertex" / Lin7c finding),
+//!   clique overlap graphs, and paraclique decomposition;
+//! * [`memory`] — per-level memory accounting using the paper's own
+//!   formula (the data behind Fig. 9);
+//! * [`store`] / [`spill`] — the out-of-core configuration the paper's
+//!   predecessor ran in (§1): budgeted level storage with disk spill,
+//!   so the in-core-vs-out-of-core comparison is measurable;
+//! * [`wahclique`] — maximal clique enumeration operating on
+//!   WAH-compressed bitmaps end to end (§4's compression direction);
+//! * [`pipeline`] — the end-to-end driver: bounds → seed → enumerate.
+//!
+//! ## Ordering contract
+//!
+//! Both enumerators emit every maximal clique of size `s` before any of
+//! size `s + 1` — the property that lets a genome-scale run be bounded
+//! to an interesting size range and its progress tracked (§2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod bk;
+pub mod enumerator;
+pub mod kclique;
+pub mod kose;
+pub mod maxclique;
+pub mod memory;
+pub mod order;
+pub mod paraclique;
+pub mod parallel;
+pub mod pipeline;
+pub mod sink;
+pub mod spill;
+pub mod store;
+pub mod sublist;
+pub mod wahclique;
+
+pub use enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
+pub use kose::{kose_ram, kose_ram_with, KoseSearch};
+pub use maxclique::{maximum_clique, maximum_clique_size};
+pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats};
+pub use pipeline::{CliquePipeline, PipelineReport};
+pub use sink::{CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, WriterSink};
+pub use sublist::{Level, SubList};
+
+/// Vertex index type: 32 bits, matching the paper's per-vertex-index
+/// cost `c` in the space analysis (§2.3).
+pub type Vertex = u32;
+
+/// A clique as a sorted (ascending) vertex list.
+pub type Clique = Vec<Vertex>;

@@ -1,0 +1,160 @@
+//! Exact maximum clique (§2.1's upper bound, solved directly).
+//!
+//! "In the process of maximal clique enumeration, it is often useful
+//! first to identify the size of a graph's maximum clique." The paper
+//! reaches maximum clique through FPT vertex cover on the complement
+//! (implemented in `gsb-fpt`); this module provides the direct
+//! branch-and-bound with a greedy-coloring bound, which is the faster
+//! route on the sparse correlation graphs themselves, and the reference
+//! the FPT route is validated against.
+
+use crate::{Clique, Vertex};
+use gsb_bitset::BitSet;
+use gsb_graph::reduce::degeneracy_order;
+use gsb_graph::BitGraph;
+
+/// An exact maximum clique of `g` (empty for the empty graph).
+///
+/// ```
+/// use gsb_graph::BitGraph;
+/// let g = BitGraph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]);
+/// assert_eq!(gsb_core::maximum_clique(&g), vec![0, 1, 2]);
+/// ```
+pub fn maximum_clique(g: &BitGraph) -> Clique {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Search in reverse degeneracy order: strong initial candidates and
+    // tight colorings early.
+    let (mut order, _) = degeneracy_order(g);
+    order.reverse();
+    let mut best: Vec<usize> = vec![order[0]];
+    // greedy warm start: extend the first vertex greedily
+    let mut cand = g.neighbors(order[0]).clone();
+    while let Some(v) = cand.first_one() {
+        best.push(v);
+        cand.and_assign(g.neighbors(v));
+    }
+    let mut current = Vec::new();
+    let full = BitSet::full(n);
+    expand(g, &full, &mut current, &mut best);
+    best.sort_unstable();
+    best.iter().map(|&v| v as Vertex).collect()
+}
+
+/// Size of a maximum clique.
+pub fn maximum_clique_size(g: &BitGraph) -> usize {
+    maximum_clique(g).len()
+}
+
+/// Tomita-style expansion: color the candidates greedily; a candidate
+/// whose color index + |current| cannot beat |best| prunes the branch.
+fn expand(g: &BitGraph, candidates: &BitSet, current: &mut Vec<usize>, best: &mut Vec<usize>) {
+    // Color candidates in ascending vertex order; classes are stored as
+    // (vertex, color_number) with color numbers from 1.
+    let mut colored: Vec<(usize, usize)> = Vec::new();
+    let mut classes: Vec<BitSet> = Vec::new();
+    for v in candidates.iter_ones() {
+        let mut placed = false;
+        for (ci, class) in classes.iter_mut().enumerate() {
+            if !class.intersects(g.neighbors(v)) {
+                class.insert(v);
+                colored.push((v, ci + 1));
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let mut class = BitSet::new(g.n());
+            class.insert(v);
+            classes.push(class);
+            colored.push((v, classes.len()));
+        }
+    }
+    // Process candidates in descending color: the color number bounds
+    // the clique size attainable among the remaining candidates.
+    colored.sort_by_key(|&(v, c)| (c, v));
+    let mut remaining = candidates.clone();
+    for &(v, color) in colored.iter().rev() {
+        if current.len() + color <= best.len() {
+            return; // every remaining candidate has color <= this one
+        }
+        current.push(v);
+        let next = remaining.and(g.neighbors(v));
+        if next.none() {
+            if current.len() > best.len() {
+                best.clear();
+                best.extend_from_slice(current);
+            }
+        } else {
+            expand(g, &next, current, best);
+        }
+        current.pop();
+        remaining.remove(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_graph::generators::{gnp, planted, Module};
+    use gsb_graph::reduce::clique_upper_bound;
+
+    /// Brute-force oracle for small n.
+    fn oracle_size(g: &BitGraph) -> usize {
+        let n = g.n();
+        let mut best = 0usize;
+        for mask in 0u32..(1 << n) {
+            let vs: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            if vs.len() > best && g.is_clique(&vs) {
+                best = vs.len();
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn known_graphs() {
+        assert_eq!(maximum_clique_size(&BitGraph::complete(7)), 7);
+        assert_eq!(maximum_clique(&BitGraph::new(0)), Vec::<Vertex>::new());
+        assert_eq!(maximum_clique_size(&BitGraph::new(5)), 1);
+        let path = BitGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(maximum_clique_size(&path), 2);
+        let c5 = BitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(maximum_clique_size(&c5), 2);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..12 {
+            let g = gnp(14, 0.5, seed);
+            assert_eq!(maximum_clique_size(&g), oracle_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn returned_set_is_a_clique() {
+        for seed in 0..6 {
+            let g = gnp(30, 0.4, 100 + seed);
+            let c = maximum_clique(&g);
+            let vs: Vec<usize> = c.iter().map(|&v| v as usize).collect();
+            assert!(g.is_clique(&vs));
+            assert!(g.is_maximal_clique(&vs), "maximum must be maximal");
+        }
+    }
+
+    #[test]
+    fn finds_planted_clique() {
+        let g = planted(80, 0.05, &[Module::clique(12)], 9);
+        assert_eq!(maximum_clique_size(&g), 12);
+    }
+
+    #[test]
+    fn never_exceeds_upper_bound() {
+        for seed in 0..6 {
+            let g = gnp(40, 0.3, 200 + seed);
+            assert!(maximum_clique_size(&g) <= clique_upper_bound(&g));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Vertex-ordering strategies for enumeration.
+//!
+//! The Clique Enumerator's canonical generation follows vertex index
+//! order, so relabeling changes the *shape* of the level structure —
+//! how many sub-lists exist, how long their tail lists are, and how
+//! balanced the expansion costs come out — without changing the answer.
+//! Degeneracy order (smallest-last) is the classic choice: it keeps
+//! tail lists short for the hub vertices that dominate correlation
+//! graphs. The `ablation_order` bench measures the effect; the tests
+//! pin the invariance.
+
+use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats};
+use crate::sink::{CliqueSink, FnSink};
+use crate::Vertex;
+use gsb_graph::reduce::degeneracy_order;
+use gsb_graph::BitGraph;
+use rand_shim::shuffle_with_seed;
+
+/// How vertices are (re)ordered before enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ordering {
+    /// Use the graph's native labels.
+    Natural,
+    /// Reverse degeneracy (smallest-last) order: hubs get the highest
+    /// indices, so they appear as tails, not prefixes.
+    Degeneracy,
+    /// Descending degree: hubs first.
+    DegreeDescending,
+    /// A seeded random permutation (baseline for the ablation).
+    Random(u64),
+}
+
+/// Compute the permutation `perm[new] = old` for an ordering.
+pub fn permutation(g: &BitGraph, ordering: Ordering) -> Vec<usize> {
+    let n = g.n();
+    match ordering {
+        Ordering::Natural => (0..n).collect(),
+        Ordering::Degeneracy => {
+            // degeneracy_order removes minimum-degree vertices first;
+            // keep that removal order as the new index order so dense
+            // cores land at high indices.
+            let (order, _) = degeneracy_order(g);
+            order
+        }
+        Ordering::DegreeDescending => {
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+            order
+        }
+        Ordering::Random(seed) => {
+            let mut order: Vec<usize> = (0..n).collect();
+            shuffle_with_seed(&mut order, seed);
+            order
+        }
+    }
+}
+
+/// Enumerate maximal cliques under a vertex ordering: relabel, run, and
+/// map every reported clique back to original labels (re-sorted
+/// ascending). The clique *set* is identical for every ordering; the
+/// level structure and run time are not.
+pub fn enumerate_ordered(
+    g: &BitGraph,
+    ordering: Ordering,
+    config: EnumConfig,
+    sink: &mut impl CliqueSink,
+) -> EnumStats {
+    let perm = permutation(g, ordering);
+    let relabeled = g.relabeled(&perm);
+    let enumerator = CliqueEnumerator::new(config);
+    let mut mapped = FnSink(|clique: &[Vertex]| {
+        let mut original: Vec<Vertex> = clique
+            .iter()
+            .map(|&v| perm[v as usize] as Vertex)
+            .collect();
+        original.sort_unstable();
+        sink.maximal(&original);
+    });
+    enumerator.enumerate(&relabeled, &mut mapped)
+}
+
+/// Minimal xorshift-based in-place shuffle so orderings stay
+/// dependency-free in this crate (rand is a dev-dependency only).
+mod rand_shim {
+    pub fn shuffle_with_seed<T>(items: &mut [T], seed: u64) {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..items.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use gsb_graph::generators::{planted, Module};
+
+    fn run(g: &BitGraph, ordering: Ordering) -> Vec<Vec<Vertex>> {
+        let mut sink = CollectSink::default();
+        enumerate_ordered(g, ordering, EnumConfig::default(), &mut sink);
+        let mut v = sink.cliques;
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn all_orderings_agree() {
+        let g = planted(40, 0.08, &[Module::clique(8), Module::clique(6)], 13);
+        let natural = run(&g, Ordering::Natural);
+        assert!(!natural.is_empty());
+        for ordering in [
+            Ordering::Degeneracy,
+            Ordering::DegreeDescending,
+            Ordering::Random(1),
+            Ordering::Random(999),
+        ] {
+            assert_eq!(run(&g, ordering), natural, "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn natural_matches_plain_enumerator() {
+        let g = planted(30, 0.1, &[Module::clique(7)], 5);
+        let mut plain = CollectSink::default();
+        CliqueEnumerator::default().enumerate(&g, &mut plain);
+        let mut plain_sorted = plain.cliques;
+        plain_sorted.sort();
+        assert_eq!(run(&g, Ordering::Natural), plain_sorted);
+    }
+
+    #[test]
+    fn permutations_are_permutations() {
+        let g = planted(25, 0.15, &[Module::clique(6)], 2);
+        for ordering in [
+            Ordering::Natural,
+            Ordering::Degeneracy,
+            Ordering::DegreeDescending,
+            Ordering::Random(7),
+        ] {
+            let p = permutation(&g, ordering);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..g.n()).collect::<Vec<_>>(), "{ordering:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_preserves_size_order_contract() {
+        let g = planted(35, 0.08, &[Module::clique(8), Module::clique(5)], 8);
+        let mut sink = CollectSink::default();
+        enumerate_ordered(&g, Ordering::Degeneracy, EnumConfig::default(), &mut sink);
+        let sizes: Vec<usize> = sink.cliques.iter().map(Vec::len).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn degree_descending_puts_hubs_first() {
+        let mut g = BitGraph::new(5);
+        g.add_edge(0, 4);
+        g.add_edge(1, 4);
+        g.add_edge(2, 4);
+        let p = permutation(&g, Ordering::DegreeDescending);
+        assert_eq!(p[0], 4);
+    }
+}

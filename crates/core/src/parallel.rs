@@ -1,0 +1,377 @@
+//! The multithreaded Clique Enumerator (§2.3, "Parallelism for
+//! shared-memory machines").
+//!
+//! Faithful to the paper's runtime: persistent worker threads expand
+//! their *local* sub-lists independently (no communication inside a
+//! level); a centralized task scheduler synchronizes levels, collects
+//! results, and transfers sub-lists from heavy to light workers when the
+//! spread exceeds the threshold policy — transfers move owned structures
+//! between queues, i.e. addresses, not data, exactly as on the Altix.
+//!
+//! Determinism: within a level the set of maximal cliques is
+//! independent of the partition; results are sorted per level before
+//! delivery, so output order is identical to the sequential enumerator
+//! up to within-level ordering.
+
+use crate::enumerator::{EnumConfig, LevelReport};
+use crate::memory::LevelMemory;
+use crate::sink::{CliqueSink, CollectSink};
+use crate::sublist::{Level, SubList};
+use crate::Clique;
+use gsb_bitset::BitSet;
+use gsb_graph::BitGraph;
+use gsb_par::balance::{partition_greedy, rebalance, BalancePolicy};
+use gsb_par::stats::{LevelStats, RunStats};
+use gsb_par::WorkerPool;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How work is distributed across levels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BalanceStrategy {
+    /// The paper's centralized dynamic balancer: children stay on their
+    /// parent's worker; after each level, transfer sub-lists when the
+    /// load spread exceeds the policy threshold.
+    Dynamic,
+    /// No balancing after the initial partition (ablation A2).
+    Static,
+    /// Re-partition every level from scratch with LPT (upper reference
+    /// for balance quality; ignores affinity).
+    Repartition,
+}
+
+/// Configuration of a parallel run.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Size bounds and seeding, as for the sequential enumerator.
+    pub enum_config: EnumConfig,
+    /// Transfer threshold policy.
+    pub policy: BalancePolicy,
+    /// Distribution strategy.
+    pub strategy: BalanceStrategy,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 4,
+            enum_config: EnumConfig::default(),
+            policy: BalancePolicy::default(),
+            strategy: BalanceStrategy::Dynamic,
+        }
+    }
+}
+
+/// Statistics of a parallel run.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelStats {
+    /// Per-level algorithmic reports (counts, memory).
+    pub levels: Vec<LevelReport>,
+    /// Per-level, per-worker timing (Fig. 8's raw data).
+    pub run: RunStats,
+    /// Total maximal cliques reported.
+    pub total_maximal: usize,
+}
+
+/// What one worker returns for one level.
+struct WorkerOut {
+    new_sublists: Vec<SubList>,
+    maximal: Vec<Clique>,
+    tasks: usize,
+    units: u64,
+}
+
+/// The multithreaded Clique Enumerator.
+pub struct ParallelEnumerator {
+    /// Run configuration.
+    pub config: ParallelConfig,
+    pool: WorkerPool,
+}
+
+impl ParallelEnumerator {
+    /// Build an enumerator (spawns the worker pool).
+    pub fn new(config: ParallelConfig) -> Self {
+        ParallelEnumerator {
+            pool: WorkerPool::new(config.threads),
+            config,
+        }
+    }
+
+    /// Enumerate maximal cliques of `g`, delivering them level by level
+    /// (non-decreasing size) into `sink`.
+    pub fn enumerate(&self, g: &Arc<BitGraph>, sink: &mut impl CliqueSink) -> ParallelStats {
+        let wall = Instant::now();
+        let mut stats = ParallelStats::default();
+        let threads = self.pool.threads();
+
+        // Initialization is sequential and cheap relative to expansion.
+        let seq = crate::enumerator::CliqueEnumerator::new(self.config.enum_config);
+        let mut init_stats = crate::enumerator::EnumStats::default();
+        let init = seq.init_level(g, sink, &mut init_stats);
+        stats.total_maximal += init_stats.total_maximal;
+        let mut k = init.k;
+
+        // Initial distribution: LPT over estimated sub-list costs.
+        let costs: Vec<u64> = init.sublists.iter().map(SubList::cost).collect();
+        let parts = partition_greedy(&costs, threads);
+        let mut queues: Vec<Vec<SubList>> = vec![Vec::new(); threads];
+        let mut sublists: Vec<Option<SubList>> = init.sublists.into_iter().map(Some).collect();
+        for (w, idxs) in parts.iter().enumerate() {
+            for &i in idxs {
+                queues[w].push(sublists[i].take().expect("each task assigned once"));
+            }
+        }
+
+        loop {
+            let total_tasks: usize = queues.iter().map(Vec::len).sum();
+            if total_tasks == 0 {
+                break;
+            }
+            if let Some(mx) = self.config.enum_config.max_k {
+                if k >= mx {
+                    break;
+                }
+            }
+            // Account this level before consuming it.
+            let level_view = Level {
+                k,
+                sublists: queues.iter().flatten().cloned().collect(),
+            };
+            let memory = LevelMemory::account(&level_view, g.n());
+            drop(level_view);
+
+            // One level-synchronous round: workers expand their local
+            // sub-lists with no cross-talk.
+            let batches: Vec<Vec<SubList>> = std::mem::take(&mut queues);
+            let graph = Arc::clone(g);
+            let outputs = self.pool.run_round(batches, move |_w, batch: Vec<SubList>| {
+                let local_m: usize = batch.iter().map(SubList::len).sum();
+                let mut out = WorkerOut {
+                    // paper's bound N[k+1] <= M[k] - 2N[k], per worker
+                    new_sublists: Vec::with_capacity(
+                        local_m.saturating_sub(2 * batch.len()),
+                    ),
+                    maximal: Vec::new(),
+                    tasks: batch.len(),
+                    units: 0,
+                };
+                let mut collect = CollectSink::default();
+                let mut buf = BitSet::new(graph.n());
+                for sl in &batch {
+                    let (_found, units) = crate::enumerator::expand_sublist(
+                        &graph,
+                        sl,
+                        &mut buf,
+                        &mut collect,
+                        &mut out.new_sublists,
+                    );
+                    out.units += units;
+                }
+                out.maximal = collect.cliques;
+                out
+            });
+
+            // Scheduler: collect results, report cliques in canonical
+            // order, update stats.
+            let mut per_worker_ns = Vec::with_capacity(threads);
+            let mut per_worker_units = Vec::with_capacity(threads);
+            let mut per_worker_tasks = Vec::with_capacity(threads);
+            let mut maximal: Vec<Clique> = Vec::new();
+            let mut new_queues: Vec<Vec<SubList>> = Vec::with_capacity(threads);
+            for (out, ns) in outputs {
+                per_worker_ns.push(ns);
+                per_worker_units.push(out.units);
+                per_worker_tasks.push(out.tasks);
+                maximal.extend(out.maximal);
+                new_queues.push(out.new_sublists);
+            }
+            maximal.sort();
+            let maximal_found = maximal.len();
+            for c in &maximal {
+                sink.maximal(c);
+            }
+            stats.total_maximal += maximal_found;
+
+            // Load balancing decision (paper: after collecting results,
+            // transfer from the heaviest to the lightest when the gap
+            // exceeds the threshold).
+            let transfers = match self.config.strategy {
+                BalanceStrategy::Dynamic => {
+                    let mut cost_queues: Vec<Vec<u64>> = new_queues
+                        .iter()
+                        .map(|q| q.iter().map(SubList::cost).collect())
+                        .collect();
+                    let moves = rebalance(&mut cost_queues, &self.config.policy);
+                    for m in &moves {
+                        let sl = new_queues[m.from].remove(m.task);
+                        new_queues[m.to].push(sl);
+                    }
+                    moves.len()
+                }
+                BalanceStrategy::Static => 0,
+                BalanceStrategy::Repartition => {
+                    let flat: Vec<SubList> = new_queues.drain(..).flatten().collect();
+                    let costs: Vec<u64> = flat.iter().map(SubList::cost).collect();
+                    let parts = partition_greedy(&costs, threads);
+                    let mut slots: Vec<Option<SubList>> = flat.into_iter().map(Some).collect();
+                    new_queues = parts
+                        .iter()
+                        .map(|idxs| {
+                            idxs.iter()
+                                .map(|&i| slots[i].take().expect("assigned once"))
+                                .collect()
+                        })
+                        .collect();
+                    0
+                }
+            };
+
+            stats.levels.push(LevelReport {
+                k,
+                sublists: memory.n_sublists,
+                candidates: memory.n_cliques,
+                maximal_found,
+                ns: *per_worker_ns.iter().max().unwrap_or(&0),
+                memory,
+            });
+            stats.run.levels.push(LevelStats {
+                level: k,
+                per_worker_ns,
+                per_worker_units,
+                per_worker_tasks,
+                transfers,
+            });
+            queues = new_queues;
+            k += 1;
+        }
+        stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bk::base_bk_sorted;
+    use crate::Vertex;
+    use gsb_graph::generators::{gnp, planted, Module};
+
+    fn parallel_sorted(g: &BitGraph, config: ParallelConfig) -> (Vec<Vec<Vertex>>, ParallelStats) {
+        let g = Arc::new(g.clone());
+        let mut sink = CollectSink::default();
+        let stats = ParallelEnumerator::new(config).enumerate(&g, &mut sink);
+        let mut cliques = sink.cliques;
+        cliques.sort();
+        (cliques, stats)
+    }
+
+    fn bk_at_least(g: &BitGraph, min_k: usize) -> Vec<Vec<Vertex>> {
+        base_bk_sorted(g)
+            .into_iter()
+            .filter(|c| c.len() >= min_k)
+            .collect()
+    }
+
+    #[test]
+    fn matches_sequential_for_all_thread_counts() {
+        let g = planted(36, 0.1, &[Module::clique(9), Module::clique(7)], 4);
+        let expect = bk_at_least(&g, 3);
+        for threads in [1, 2, 3, 4, 8] {
+            let (got, _) = parallel_sorted(
+                &g,
+                ParallelConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let g = gnp(32, 0.35, 7);
+        let expect = bk_at_least(&g, 3);
+        for strategy in [
+            BalanceStrategy::Dynamic,
+            BalanceStrategy::Static,
+            BalanceStrategy::Repartition,
+        ] {
+            let (got, _) = parallel_sorted(
+                &g,
+                ParallelConfig {
+                    threads: 4,
+                    strategy,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(got, expect, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_parallel_matches() {
+        let g = planted(32, 0.12, &[Module::clique(10)], 11);
+        let expect = bk_at_least(&g, 6);
+        let (got, _) = parallel_sorted(
+            &g,
+            ParallelConfig {
+                threads: 3,
+                enum_config: EnumConfig {
+                    min_k: 6,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let g = planted(30, 0.1, &[Module::clique(8)], 3);
+        let (cliques, stats) = parallel_sorted(
+            &g,
+            ParallelConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stats.total_maximal, cliques.len());
+        assert!(!stats.levels.is_empty());
+        assert_eq!(stats.run.levels.len(), stats.levels.len());
+        for l in &stats.run.levels {
+            assert_eq!(l.per_worker_ns.len(), 4);
+        }
+        assert!(stats.run.wall_ns > 0);
+    }
+
+    #[test]
+    fn output_in_non_decreasing_size_order() {
+        let g = planted(30, 0.1, &[Module::clique(8), Module::clique(5)], 6);
+        let garc = Arc::new(g);
+        let mut sink = CollectSink::default();
+        ParallelEnumerator::new(ParallelConfig {
+            threads: 4,
+            ..Default::default()
+        })
+        .enumerate(&garc, &mut sink);
+        let sizes: Vec<usize> = sink.cliques.iter().map(Vec::len).collect();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_graph_no_hang() {
+        let (got, stats) = parallel_sorted(
+            &BitGraph::new(0),
+            ParallelConfig {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(got.is_empty());
+        assert_eq!(stats.total_maximal, 0);
+    }
+}

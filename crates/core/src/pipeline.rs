@@ -1,0 +1,210 @@
+//! End-to-end driver: the paper's three-stage strategy (§2).
+//!
+//! "Using a maximum clique algorithm to determine an upper bound on
+//! clique size (Section 2.1), we then enumerate all k-cliques ... where
+//! k is the user-supplied lower bound (Section 2.2). A maximal clique
+//! enumeration algorithm (Section 2.3) is then employed using the
+//! non-maximal k-cliques as input."
+
+use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats};
+use crate::maxclique::maximum_clique_size;
+use crate::parallel::{ParallelConfig, ParallelEnumerator, ParallelStats};
+use crate::sink::CliqueSink;
+use gsb_graph::reduce::clique_upper_bound;
+use gsb_graph::BitGraph;
+use std::sync::Arc;
+
+/// Builder for a full clique-analysis run.
+#[derive(Clone, Debug)]
+pub struct CliquePipeline {
+    min_k: usize,
+    max_k: Option<usize>,
+    threads: usize,
+    exact_upper_bound: bool,
+}
+
+impl Default for CliquePipeline {
+    fn default() -> Self {
+        CliquePipeline {
+            min_k: 3,
+            max_k: None,
+            threads: 1,
+            exact_upper_bound: true,
+        }
+    }
+}
+
+/// Bounds and statistics of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Cheap combinatorial upper bound (degeneracy/coloring).
+    pub upper_bound: usize,
+    /// Exact maximum clique size, when computed.
+    pub maximum_clique: Option<usize>,
+    /// The lower bound actually used for seeding.
+    pub min_k: usize,
+    /// Sequential enumeration stats (single-threaded runs).
+    pub enum_stats: Option<EnumStats>,
+    /// Parallel stats (multi-threaded runs).
+    pub parallel_stats: Option<ParallelStats>,
+}
+
+impl CliquePipeline {
+    /// New pipeline with defaults (`min_k = 3`, sequential).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Report maximal cliques of at least this size (the paper's
+    /// `Init_K`).
+    pub fn min_size(mut self, k: usize) -> Self {
+        self.min_k = k.max(1);
+        self
+    }
+
+    /// Stop exploring above this size.
+    pub fn max_size(mut self, k: usize) -> Self {
+        self.max_k = Some(k);
+        self
+    }
+
+    /// Worker threads (1 = sequential Clique Enumerator).
+    pub fn threads(mut self, t: usize) -> Self {
+        self.threads = t.max(1);
+        self
+    }
+
+    /// Skip the exact maximum-clique computation and rely on the cheap
+    /// upper bound only (useful when the graph is huge and only the
+    /// range matters).
+    pub fn skip_exact_bound(mut self) -> Self {
+        self.exact_upper_bound = false;
+        self
+    }
+
+    /// Run the pipeline, delivering maximal cliques to `sink` in
+    /// non-decreasing size order.
+    pub fn run(&self, g: &BitGraph, sink: &mut impl CliqueSink) -> PipelineReport {
+        // Stage 1: bounds. The cheap bound caps the level loop; the
+        // exact bound reproduces the paper's "maximum clique size
+        // was 17 / 110 / 28" preamble.
+        let upper_bound = clique_upper_bound(g);
+        let maximum = self
+            .exact_upper_bound
+            .then(|| maximum_clique_size(g));
+        let effective_max = match (self.max_k, maximum) {
+            (Some(mx), Some(exact)) => Some(mx.min(exact)),
+            (Some(mx), None) => Some(mx.min(upper_bound)),
+            (None, _) => None, // enumerator stops on its own
+        };
+        let config = EnumConfig {
+            min_k: self.min_k,
+            max_k: effective_max,
+            record_costs: false,
+        };
+        // Stages 2+3: seed at min_k (inside the enumerator) and run the
+        // levelwise enumeration.
+        if self.threads == 1 {
+            let stats = CliqueEnumerator::new(config).enumerate(g, sink);
+            PipelineReport {
+                upper_bound,
+                maximum_clique: maximum,
+                min_k: self.min_k,
+                enum_stats: Some(stats),
+                parallel_stats: None,
+            }
+        } else {
+            let par = ParallelEnumerator::new(ParallelConfig {
+                threads: self.threads,
+                enum_config: config,
+                ..Default::default()
+            });
+            let garc = Arc::new(g.clone());
+            let stats = par.enumerate(&garc, sink);
+            PipelineReport {
+                upper_bound,
+                maximum_clique: maximum,
+                min_k: self.min_k,
+                enum_stats: None,
+                parallel_stats: Some(stats),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bk::base_bk_sorted;
+    use crate::sink::CollectSink;
+    use gsb_graph::generators::{planted, Module};
+
+    #[test]
+    fn sequential_pipeline_end_to_end() {
+        let g = planted(40, 0.08, &[Module::clique(9)], 21);
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new().min_size(4).run(&g, &mut sink);
+        assert_eq!(report.maximum_clique, Some(9));
+        assert!(report.upper_bound >= 9);
+        let mut got = sink.cliques;
+        got.sort();
+        let expect: Vec<_> = base_bk_sorted(&g)
+            .into_iter()
+            .filter(|c| c.len() >= 4)
+            .collect();
+        assert_eq!(got, expect);
+        assert!(report.enum_stats.is_some());
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let g = planted(36, 0.1, &[Module::clique(8), Module::clique(6)], 2);
+        let mut s1 = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut s1);
+        let mut s4 = CollectSink::default();
+        let report = CliquePipeline::new().min_size(3).threads(4).run(&g, &mut s4);
+        let mut a = s1.cliques;
+        let mut b = s4.cliques;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert!(report.parallel_stats.is_some());
+    }
+
+    #[test]
+    fn size_window() {
+        let g = planted(30, 0.1, &[Module::clique(8)], 13);
+        let mut sink = CollectSink::default();
+        CliquePipeline::new()
+            .min_size(4)
+            .max_size(5)
+            .run(&g, &mut sink);
+        assert!(sink
+            .cliques
+            .iter()
+            .all(|c| (4..=5).contains(&c.len())));
+        let expect = base_bk_sorted(&g)
+            .into_iter()
+            .filter(|c| (4..=5).contains(&c.len()))
+            .count();
+        assert_eq!(sink.cliques.len(), expect);
+    }
+
+    #[test]
+    fn skip_exact_bound_still_correct() {
+        let g = planted(30, 0.1, &[Module::clique(7)], 5);
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .skip_exact_bound()
+            .run(&g, &mut sink);
+        assert_eq!(report.maximum_clique, None);
+        let mut got = sink.cliques;
+        got.sort();
+        let expect: Vec<_> = base_bk_sorted(&g)
+            .into_iter()
+            .filter(|c| c.len() >= 3)
+            .collect();
+        assert_eq!(got, expect);
+    }
+}

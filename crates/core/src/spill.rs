@@ -1,0 +1,199 @@
+//! Out-of-core Clique Enumerator: the levelwise loop over a budgeted
+//! [`crate::store::LevelStore`] instead of an in-memory
+//! vector.
+//!
+//! This is the configuration the paper's predecessor ran in (§1) — and
+//! abandoned, because "intensive disk I/O access has been the major
+//! bottleneck". It exists here so the comparison is measurable on the
+//! same codebase: identical expansion kernel, only the level storage
+//! differs. See the `ablation_spill` bench.
+
+use crate::enumerator::{CliqueEnumerator, EnumStats};
+use crate::sink::CliqueSink;
+use crate::store::{LevelStore, SpillConfig};
+use gsb_bitset::BitSet;
+use gsb_graph::BitGraph;
+use std::time::Instant;
+
+/// Per-level report of an out-of-core run.
+#[derive(Clone, Debug)]
+pub struct SpillLevelReport {
+    /// Clique size of the candidates expanded.
+    pub k: usize,
+    /// Sub-lists expanded.
+    pub sublists: usize,
+    /// How many of them had been spilled to disk.
+    pub spilled: usize,
+    /// Bytes streamed back from disk for this level.
+    pub bytes_read: u64,
+    /// Wall time (ns).
+    pub ns: u64,
+}
+
+/// Statistics of an out-of-core run.
+#[derive(Clone, Debug, Default)]
+pub struct SpillStats {
+    /// One report per expanded level.
+    pub levels: Vec<SpillLevelReport>,
+    /// Total maximal cliques reported.
+    pub total_maximal: usize,
+    /// Wall time (ns).
+    pub wall_ns: u64,
+}
+
+impl SpillStats {
+    /// Total bytes read back from spill files.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.levels.iter().map(|l| l.bytes_read).sum()
+    }
+}
+
+impl CliqueEnumerator {
+    /// Enumerate like [`enumerate`](Self::enumerate), but hold each
+    /// level in a [`LevelStore`] bounded by `spill.budget_bytes` of the
+    /// paper's formula bytes; overflow goes to disk and is streamed
+    /// back for the next level. Output (as a set, and in
+    /// non-decreasing size order) is identical to the in-core run.
+    pub fn enumerate_spilled(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+        spill: &SpillConfig,
+    ) -> std::io::Result<SpillStats> {
+        let start = Instant::now();
+        let mut stats = SpillStats::default();
+        let mut enum_stats = EnumStats::default();
+        let init = self.init_level(g, sink, &mut enum_stats);
+        stats.total_maximal += enum_stats.total_maximal;
+        let mut k = init.k;
+        let mut current = LevelStore::new(spill, g.n());
+        for sl in init.sublists {
+            current.push(sl)?;
+        }
+        let mut buf = BitSet::new(g.n());
+        loop {
+            if current.is_empty() {
+                break;
+            }
+            if let Some(mx) = self.config.max_k {
+                if k >= mx {
+                    break;
+                }
+            }
+            let level_start = Instant::now();
+            let sublists = current.len();
+            let spilled = current.spilled_len();
+            let mut next = LevelStore::new(spill, g.n());
+            let mut maximal_found = 0usize;
+            let mut io_error: Option<std::io::Error> = None;
+            let mut scratch = Vec::new();
+            let report = current.drain(|sl| {
+                if io_error.is_some() {
+                    return;
+                }
+                scratch.clear();
+                let (found, _units) =
+                    crate::enumerator::expand_sublist(g, &sl, &mut buf, sink, &mut scratch);
+                maximal_found += found;
+                for nsl in scratch.drain(..) {
+                    if let Err(e) = next.push(nsl) {
+                        io_error = Some(e);
+                        return;
+                    }
+                }
+            })?;
+            if let Some(e) = io_error {
+                return Err(e);
+            }
+            stats.total_maximal += maximal_found;
+            stats.levels.push(SpillLevelReport {
+                k,
+                sublists,
+                spilled,
+                bytes_read: report.bytes_read,
+                ns: level_start.elapsed().as_nanos() as u64,
+            });
+            current = next;
+            k += 1;
+        }
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CollectSink;
+    use crate::EnumConfig;
+    use gsb_graph::generators::{planted, Module};
+
+    fn in_core(g: &BitGraph, config: EnumConfig) -> Vec<Vec<crate::Vertex>> {
+        let mut sink = CollectSink::default();
+        CliqueEnumerator::new(config).enumerate(g, &mut sink);
+        let mut v = sink.cliques;
+        v.sort();
+        v
+    }
+
+    fn spilled(
+        g: &BitGraph,
+        config: EnumConfig,
+        budget: usize,
+    ) -> (Vec<Vec<crate::Vertex>>, SpillStats) {
+        let mut sink = CollectSink::default();
+        let stats = CliqueEnumerator::new(config)
+            .enumerate_spilled(g, &mut sink, &SpillConfig::in_temp(budget))
+            .expect("io ok");
+        let mut v = sink.cliques;
+        v.sort();
+        (v, stats)
+    }
+
+    #[test]
+    fn spilled_matches_in_core_across_budgets() {
+        let g = planted(40, 0.08, &[Module::clique(9), Module::clique(7)], 6);
+        let config = EnumConfig::default();
+        let expect = in_core(&g, config);
+        for budget in [0usize, 200, 5_000, usize::MAX] {
+            let (got, stats) = spilled(&g, config, budget);
+            assert_eq!(got, expect, "budget {budget}");
+            if budget == 0 {
+                assert!(stats.total_bytes_read() > 0, "nothing spilled at budget 0");
+            }
+            if budget == usize::MAX {
+                assert_eq!(stats.total_bytes_read(), 0);
+            }
+            assert_eq!(stats.total_maximal, expect.len());
+        }
+    }
+
+    #[test]
+    fn spilled_respects_size_window() {
+        let g = planted(32, 0.1, &[Module::clique(8)], 3);
+        let config = EnumConfig {
+            min_k: 4,
+            max_k: Some(6),
+            record_costs: false,
+        };
+        let expect = in_core(&g, config);
+        let (got, _) = spilled(&g, config, 100);
+        assert_eq!(got, expect);
+        assert!(got.iter().all(|c| (4..=6).contains(&c.len())));
+    }
+
+    #[test]
+    fn spill_reports_levels() {
+        let g = planted(36, 0.08, &[Module::clique(8)], 11);
+        let (_, stats) = spilled(&g, EnumConfig::default(), 0);
+        assert!(!stats.levels.is_empty());
+        for w in stats.levels.windows(2) {
+            assert_eq!(w[1].k, w[0].k + 1);
+        }
+        // with budget 0 every stored sub-list was spilled
+        for l in &stats.levels[1..] {
+            assert_eq!(l.spilled, l.sublists);
+        }
+        assert!(stats.wall_ns > 0);
+    }
+}

@@ -1,0 +1,414 @@
+//! Out-of-core level storage.
+//!
+//! The paper's motivation (§1): "To deal with such large memory
+//! requirements we have previously developed an out-of-core algorithm
+//! ... However, the algorithm could not finish after one week of
+//! execution ... Intensive disk I/O access has been the major
+//! bottleneck" — which is why the Altix's in-core terabytes win. This
+//! module supplies both halves of that comparison: a compact binary
+//! codec for k-clique sub-lists, and a [`LevelStore`] that keeps a
+//! level in memory until a byte budget is exceeded and spills the rest
+//! to disk, streaming it back for the next expansion pass. The
+//! `ablation_spill` bench quantifies the I/O penalty the paper reports.
+
+use crate::sublist::SubList;
+use crate::Vertex;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gsb_bitset::BitSet;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Encode one sub-list into a length-prefixed binary record.
+///
+/// Layout: `prefix_len: u32, tails_len: u32, n_bits: u32,
+/// prefix: [u32], tails: [u32], cn_words: [u64]`.
+pub fn encode_sublist(sl: &SubList, buf: &mut BytesMut) {
+    buf.put_u32_le(sl.prefix.len() as u32);
+    buf.put_u32_le(sl.tails.len() as u32);
+    buf.put_u32_le(sl.cn.len() as u32);
+    for &v in &sl.prefix {
+        buf.put_u32_le(v);
+    }
+    for &t in &sl.tails {
+        buf.put_u32_le(t);
+    }
+    for &w in sl.cn.words() {
+        buf.put_u64_le(w);
+    }
+}
+
+/// Decode one sub-list from the reader side of [`encode_sublist`].
+/// Returns `None` at a clean end of input; panics on a torn record
+/// (torn spill files are unrecoverable corruption, not a user error).
+pub fn decode_sublist(buf: &mut Bytes) -> Option<SubList> {
+    if buf.remaining() == 0 {
+        return None;
+    }
+    assert!(buf.remaining() >= 12, "torn sub-list header");
+    let prefix_len = buf.get_u32_le() as usize;
+    let tails_len = buf.get_u32_le() as usize;
+    let n_bits = buf.get_u32_le() as usize;
+    let words = gsb_bitset::words_for(n_bits);
+    let need = 4 * (prefix_len + tails_len) + 8 * words;
+    assert!(buf.remaining() >= need, "torn sub-list body");
+    let prefix: Vec<Vertex> = (0..prefix_len).map(|_| buf.get_u32_le()).collect();
+    let tails: Vec<Vertex> = (0..tails_len).map(|_| buf.get_u32_le()).collect();
+    let cn_words: Vec<u64> = (0..words).map(|_| buf.get_u64_le()).collect();
+    Some(SubList {
+        prefix,
+        cn: BitSet::from_words(n_bits, cn_words),
+        tails,
+    })
+}
+
+/// Spill configuration for enumeration runs.
+#[derive(Clone, Debug)]
+pub struct SpillConfig {
+    /// In-memory budget, in *formula* bytes, before a level spills.
+    pub budget_bytes: usize,
+    /// Directory for spill files (a unique file per level is created
+    /// inside and deleted on drop).
+    pub dir: PathBuf,
+}
+
+impl SpillConfig {
+    /// Budgeted spilling into the system temp directory.
+    pub fn in_temp(budget_bytes: usize) -> Self {
+        SpillConfig {
+            budget_bytes,
+            dir: std::env::temp_dir(),
+        }
+    }
+}
+
+/// One level of candidate sub-lists, resident in memory up to a budget
+/// and on disk beyond it.
+pub struct LevelStore {
+    budget_bytes: usize,
+    dir: PathBuf,
+    graph_n: usize,
+    resident: Vec<SubList>,
+    resident_bytes: usize,
+    spill: Option<Spill>,
+    total: usize,
+}
+
+struct Spill {
+    path: PathBuf,
+    writer: Option<BufWriter<File>>,
+    records: usize,
+    bytes_written: u64,
+}
+
+impl LevelStore {
+    /// An empty store for a graph with `graph_n` vertices.
+    pub fn new(config: &SpillConfig, graph_n: usize) -> Self {
+        LevelStore {
+            budget_bytes: config.budget_bytes,
+            dir: config.dir.clone(),
+            graph_n,
+            resident: Vec::new(),
+            resident_bytes: 0,
+            spill: None,
+            total: 0,
+        }
+    }
+
+    /// Number of sub-lists stored (resident + spilled).
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sub-lists currently resident in memory.
+    pub fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Sub-lists spilled to disk.
+    pub fn spilled_len(&self) -> usize {
+        self.spill.as_ref().map_or(0, |s| s.records)
+    }
+
+    /// Bytes written to the spill file so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.bytes_written)
+    }
+
+    /// Append a sub-list, spilling it to disk if the memory budget is
+    /// exhausted.
+    pub fn push(&mut self, sl: SubList) -> std::io::Result<()> {
+        self.total += 1;
+        let cost = sl.formula_bytes(self.graph_n);
+        if self.resident_bytes + cost <= self.budget_bytes {
+            self.resident_bytes += cost;
+            self.resident.push(sl);
+            return Ok(());
+        }
+        let spill = match &mut self.spill {
+            Some(s) => s,
+            None => {
+                static SPILL_SEQ: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let seq = SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let path = self.dir.join(format!(
+                    "gsb-spill-{}-{seq}.bin",
+                    std::process::id()
+                ));
+                let file = File::create(&path)?;
+                self.spill = Some(Spill {
+                    path,
+                    writer: Some(BufWriter::new(file)),
+                    records: 0,
+                    bytes_written: 0,
+                });
+                self.spill.as_mut().expect("just created")
+            }
+        };
+        let mut buf = BytesMut::new();
+        encode_sublist(&sl, &mut buf);
+        let writer = spill.writer.as_mut().expect("writer open while pushing");
+        writer.write_all(&buf)?;
+        spill.bytes_written += buf.len() as u64;
+        spill.records += 1;
+        Ok(())
+    }
+
+    /// Drain the store, applying `f` to every sub-list: resident ones
+    /// first (moved out), then spilled ones streamed back from disk.
+    pub fn drain(mut self, mut f: impl FnMut(SubList)) -> std::io::Result<DrainReport> {
+        for sl in self.resident.drain(..) {
+            f(sl);
+        }
+        let mut report = DrainReport {
+            read_back: 0,
+            bytes_read: 0,
+        };
+        if let Some(mut spill) = self.spill.take() {
+            // flush and reopen for reading
+            if let Some(w) = spill.writer.take() {
+                w.into_inner().map_err(std::io::IntoInnerError::into_error)?.sync_all()?;
+            }
+            let mut reader = BufReader::new(File::open(&spill.path)?);
+            let mut raw = Vec::with_capacity(spill.bytes_written as usize);
+            reader.read_to_end(&mut raw)?;
+            report.bytes_read = raw.len() as u64;
+            let mut bytes = Bytes::from(raw);
+            while let Some(sl) = decode_sublist(&mut bytes) {
+                report.read_back += 1;
+                f(sl);
+            }
+            assert_eq!(report.read_back, spill.records, "spill file truncated");
+            let _ = std::fs::remove_file(&spill.path);
+        }
+        Ok(report)
+    }
+}
+
+impl Drop for LevelStore {
+    fn drop(&mut self) {
+        if let Some(spill) = self.spill.take() {
+            drop(spill.writer);
+            let _ = std::fs::remove_file(&spill.path);
+        }
+    }
+}
+
+/// What came back from disk during a drain.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Records streamed back from the spill file.
+    pub read_back: usize,
+    /// Bytes read from disk.
+    pub bytes_read: u64,
+}
+
+const CHECKPOINT_MAGIC: u64 = 0x5343_3035_474C_5631; // "SC05GLV1"
+
+/// Write a whole level (the paper's `L_k`) as a checkpoint file:
+/// genome-scale runs took the original authors hours to days, and a
+/// levelwise algorithm has a natural consistent cut at every barrier.
+pub fn write_level(path: &Path, level: &crate::sublist::Level) -> std::io::Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_u64_le(CHECKPOINT_MAGIC);
+    buf.put_u32_le(level.k as u32);
+    buf.put_u64_le(level.sublists.len() as u64);
+    for sl in &level.sublists {
+        encode_sublist(sl, &mut buf);
+    }
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(&buf)?;
+    file.into_inner()
+        .map_err(std::io::IntoInnerError::into_error)?
+        .sync_all()
+}
+
+/// Read a level checkpoint written by [`write_level`].
+pub fn read_level(path: &Path) -> std::io::Result<crate::sublist::Level> {
+    let raw = std::fs::read(path)?;
+    let mut bytes = Bytes::from(raw);
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    if bytes.remaining() < 20 {
+        return Err(bad("truncated checkpoint header"));
+    }
+    if bytes.get_u64_le() != CHECKPOINT_MAGIC {
+        return Err(bad("not a gsb level checkpoint"));
+    }
+    let k = bytes.get_u32_le() as usize;
+    let count = bytes.get_u64_le() as usize;
+    let mut sublists = Vec::with_capacity(count);
+    for _ in 0..count {
+        match decode_sublist(&mut bytes) {
+            Some(sl) => sublists.push(sl),
+            None => return Err(bad("checkpoint shorter than its header claims")),
+        }
+    }
+    Ok(crate::sublist::Level { k, sublists })
+}
+
+/// Convenience: does `dir` exist and accept files? Used by callers to
+/// validate a [`SpillConfig`] before a long run.
+pub fn dir_writable(dir: &Path) -> bool {
+    let probe = dir.join(format!(".gsb-probe-{}", std::process::id()));
+    match File::create(&probe) {
+        Ok(_) => {
+            let _ = std::fs::remove_file(&probe);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_graph::BitGraph;
+
+    fn sample_sublists(n_graph: usize, count: usize) -> Vec<SubList> {
+        let g = BitGraph::complete(n_graph);
+        (0..count)
+            .map(|i| {
+                let a = i % (n_graph - 3);
+                let members = vec![a];
+                SubList {
+                    prefix: vec![a as Vertex],
+                    cn: g.common_neighbors(&members),
+                    tails: ((a + 1)..(a + 3)).map(|v| v as Vertex).collect(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        for sl in sample_sublists(70, 5) {
+            let mut buf = BytesMut::new();
+            encode_sublist(&sl, &mut buf);
+            let mut bytes = buf.freeze();
+            let back = decode_sublist(&mut bytes).expect("one record");
+            assert_eq!(back.prefix, sl.prefix);
+            assert_eq!(back.tails, sl.tails);
+            assert_eq!(back.cn, sl.cn);
+            assert!(decode_sublist(&mut bytes).is_none());
+        }
+    }
+
+    #[test]
+    fn multiple_records_stream() {
+        let sls = sample_sublists(40, 7);
+        let mut buf = BytesMut::new();
+        for sl in &sls {
+            encode_sublist(sl, &mut buf);
+        }
+        let mut bytes = buf.freeze();
+        let mut back = Vec::new();
+        while let Some(sl) = decode_sublist(&mut bytes) {
+            back.push(sl);
+        }
+        assert_eq!(back.len(), sls.len());
+        for (a, b) in back.iter().zip(&sls) {
+            assert_eq!(a.tails, b.tails);
+        }
+    }
+
+    #[test]
+    fn store_all_resident_under_budget() {
+        let config = SpillConfig::in_temp(usize::MAX);
+        let mut store = LevelStore::new(&config, 40);
+        let sls = sample_sublists(40, 10);
+        for sl in sls.clone() {
+            store.push(sl).unwrap();
+        }
+        assert_eq!(store.len(), 10);
+        assert_eq!(store.resident_len(), 10);
+        assert_eq!(store.spilled_len(), 0);
+        let mut seen = 0;
+        let report = store.drain(|_| seen += 1).unwrap();
+        assert_eq!(seen, 10);
+        assert_eq!(report.read_back, 0);
+    }
+
+    #[test]
+    fn store_spills_over_budget_and_reads_back() {
+        let config = SpillConfig::in_temp(300); // a few records only
+        let mut store = LevelStore::new(&config, 40);
+        let sls = sample_sublists(40, 20);
+        for sl in sls.clone() {
+            store.push(sl).unwrap();
+        }
+        assert_eq!(store.len(), 20);
+        assert!(store.spilled_len() > 0, "budget should have forced spilling");
+        assert!(store.spilled_bytes() > 0);
+        let mut tails = Vec::new();
+        let report = store.drain(|sl| tails.push(sl.tails.clone())).unwrap();
+        assert_eq!(tails.len(), 20);
+        assert!(report.read_back > 0);
+        // content preserved (resident first, then spilled, same order)
+        let expect: Vec<Vec<Vertex>> = sls.iter().map(|s| s.tails.clone()).collect();
+        let mut got_sorted = tails.clone();
+        let mut expect_sorted = expect.clone();
+        got_sorted.sort();
+        expect_sorted.sort();
+        assert_eq!(got_sorted, expect_sorted);
+    }
+
+    #[test]
+    fn zero_budget_spills_everything() {
+        let config = SpillConfig::in_temp(0);
+        let mut store = LevelStore::new(&config, 40);
+        for sl in sample_sublists(40, 5) {
+            store.push(sl).unwrap();
+        }
+        assert_eq!(store.resident_len(), 0);
+        assert_eq!(store.spilled_len(), 5);
+        let mut n = 0;
+        let report = store.drain(|_| n += 1).unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(report.read_back, 5);
+        assert!(report.bytes_read > 0);
+    }
+
+    #[test]
+    fn spill_file_removed_on_drop() {
+        let config = SpillConfig::in_temp(0);
+        let mut store = LevelStore::new(&config, 40);
+        for sl in sample_sublists(40, 3) {
+            store.push(sl).unwrap();
+        }
+        let path = store.spill.as_ref().unwrap().path.clone();
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists(), "spill file leaked");
+    }
+
+    #[test]
+    fn dir_writable_checks() {
+        assert!(dir_writable(&std::env::temp_dir()));
+        assert!(!dir_writable(Path::new("/nonexistent-gsb-dir")));
+    }
+}

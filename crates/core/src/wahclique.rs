@@ -1,0 +1,99 @@
+//! Maximal clique enumeration over *compressed* bitmaps — the paper's
+//! §4 "work underway", completed.
+//!
+//! A Base-BK traversal in which COMPSUB's bookkeeping sets and every
+//! neighborhood stay WAH-compressed end to end: candidate shrinking is
+//! a compressed AND, the maximality test a compressed any-bit check.
+//! On graphs at the paper's sparsity the working set shrinks by an
+//! order of magnitude or more; the `ablation_wah` bench quantifies the
+//! time trade.
+
+use crate::sink::CliqueSink;
+use crate::Vertex;
+use gsb_bitset::WahBitSet;
+use gsb_graph::compressed::WahGraph;
+
+/// Enumerate all maximal cliques of a compressed graph.
+pub fn wah_base_bk(g: &WahGraph, sink: &mut impl CliqueSink) {
+    let n = g.n();
+    if n == 0 {
+        return;
+    }
+    let full = WahBitSet::from_bitset(&gsb_bitset::BitSet::full(n));
+    let empty = WahBitSet::zero(n);
+    let mut compsub = Vec::new();
+    extend(g, &mut compsub, full, empty, sink);
+}
+
+fn extend(
+    g: &WahGraph,
+    compsub: &mut Vec<Vertex>,
+    mut candidates: WahBitSet,
+    mut not: WahBitSet,
+    sink: &mut impl CliqueSink,
+) {
+    while let Some(v) = candidates.first_one() {
+        candidates = candidates.and_not(&WahBitSet::singleton(g.n(), v));
+        compsub.push(v as Vertex);
+        let new_candidates = candidates.and(g.neighbors(v));
+        let new_not = not.and(g.neighbors(v));
+        if !new_candidates.any() && !new_not.any() {
+            sink.maximal(compsub);
+        } else {
+            extend(g, compsub, new_candidates, new_not, sink);
+        }
+        compsub.pop();
+        not = not.or(&WahBitSet::singleton(g.n(), v));
+    }
+}
+
+/// Collect and canonicalize (test support).
+pub fn wah_base_bk_sorted(g: &WahGraph) -> Vec<Vec<Vertex>> {
+    let mut sink = crate::sink::CollectSink::default();
+    wah_base_bk(g, &mut sink);
+    let mut cliques = sink.cliques;
+    for c in &mut cliques {
+        c.sort_unstable();
+    }
+    cliques.sort();
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bk::base_bk_sorted;
+    use gsb_graph::generators::{gnp, planted, Module};
+    use gsb_graph::BitGraph;
+
+    #[test]
+    fn matches_plain_bk_on_random_graphs() {
+        for seed in 0..6 {
+            let g = gnp(30, 0.3, seed);
+            let w = WahGraph::from_bitgraph(&g);
+            assert_eq!(wah_base_bk_sorted(&w), base_bk_sorted(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_plain_bk_on_planted_modules() {
+        let g = planted(60, 0.02, &[Module::clique(8), Module::clique(6)], 4);
+        let w = WahGraph::from_bitgraph(&g);
+        assert_eq!(wah_base_bk_sorted(&w), base_bk_sorted(&g));
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        assert!(wah_base_bk_sorted(&WahGraph::from_bitgraph(&BitGraph::new(0))).is_empty());
+        let g = BitGraph::new(3); // edgeless
+        assert_eq!(
+            wah_base_bk_sorted(&WahGraph::from_bitgraph(&g)).len(),
+            3
+        );
+        let g = BitGraph::complete(5);
+        assert_eq!(
+            wah_base_bk_sorted(&WahGraph::from_bitgraph(&g)),
+            vec![vec![0, 1, 2, 3, 4]]
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: the Clique Enumerator, Kose RAM, and both
+//! Bron–Kerbosch variants must agree with each other and with a
+//! brute-force oracle on arbitrary graphs; seeding and size windows must
+//! behave like post-filters; parallel must equal sequential.
+
+use gsb_core::bk::{base_bk_sorted, improved_bk_sorted};
+use gsb_core::kclique::enumerate_k_cliques;
+use gsb_core::kose::kose_ram_sorted;
+use gsb_core::maxclique::maximum_clique_size;
+use gsb_core::sink::CollectSink;
+use gsb_core::{CliqueEnumerator, EnumConfig, ParallelConfig, ParallelEnumerator, Vertex};
+use gsb_graph::BitGraph;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const N: usize = 14;
+
+fn arb_graph() -> impl Strategy<Value = BitGraph> {
+    prop::collection::vec(any::<bool>(), N * (N - 1) / 2).prop_map(|bits| {
+        let mut g = BitGraph::new(N);
+        let mut it = bits.into_iter();
+        for u in 0..N {
+            for v in u + 1..N {
+                if it.next().unwrap() {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    })
+}
+
+/// Brute-force maximal cliques by subset scan (n <= 20).
+fn oracle_maximal(g: &BitGraph) -> Vec<Vec<Vertex>> {
+    let n = g.n();
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let vs: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+        if g.is_clique(&vs) && g.is_maximal_clique(&vs) {
+            out.push(vs.iter().map(|&v| v as Vertex).collect());
+        }
+    }
+    out.sort();
+    out
+}
+
+fn ce_sorted(g: &BitGraph, config: EnumConfig) -> Vec<Vec<Vertex>> {
+    let mut sink = CollectSink::default();
+    CliqueEnumerator::new(config).enumerate(g, &mut sink);
+    let mut v = sink.cliques;
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_five_algorithms_agree_with_oracle(g in arb_graph()) {
+        let oracle = oracle_maximal(&g);
+        prop_assert_eq!(&base_bk_sorted(&g), &oracle);
+        prop_assert_eq!(&improved_bk_sorted(&g), &oracle);
+        prop_assert_eq!(&kose_ram_sorted(&g, 1), &oracle);
+        let ce = ce_sorted(&g, EnumConfig { min_k: 1, ..Default::default() });
+        prop_assert_eq!(&ce, &oracle);
+        let garc = Arc::new(g.clone());
+        let mut sink = CollectSink::default();
+        ParallelEnumerator::new(ParallelConfig {
+            threads: 3,
+            enum_config: EnumConfig { min_k: 1, ..Default::default() },
+            ..Default::default()
+        })
+        .enumerate(&garc, &mut sink);
+        let mut par = sink.cliques;
+        par.sort();
+        prop_assert_eq!(&par, &oracle);
+    }
+
+    #[test]
+    fn seeding_is_a_post_filter(g in arb_graph(), min_k in 4usize..7) {
+        let full: Vec<_> = ce_sorted(&g, EnumConfig { min_k: 1, ..Default::default() })
+            .into_iter()
+            .filter(|c| c.len() >= min_k)
+            .collect();
+        let seeded = ce_sorted(&g, EnumConfig { min_k, ..Default::default() });
+        prop_assert_eq!(seeded, full);
+    }
+
+    #[test]
+    fn max_k_is_a_post_filter(g in arb_graph(), max_k in 2usize..6) {
+        let full: Vec<_> = ce_sorted(&g, EnumConfig { min_k: 1, ..Default::default() })
+            .into_iter()
+            .filter(|c| c.len() <= max_k)
+            .collect();
+        let windowed = ce_sorted(
+            &g,
+            EnumConfig { min_k: 1, max_k: Some(max_k), ..Default::default() },
+        );
+        prop_assert_eq!(windowed, full);
+    }
+
+    #[test]
+    fn kclique_counts_consistent(g in arb_graph(), k in 2usize..6) {
+        // maximal k-cliques from the k-clique enumerator == maximal
+        // cliques of size exactly k
+        let kc = enumerate_k_cliques(&g, k);
+        let expect: Vec<_> = oracle_maximal(&g).into_iter().filter(|c| c.len() == k).collect();
+        let mut got = kc.maximal.clone();
+        got.sort();
+        prop_assert_eq!(got, expect);
+        // every clique (max or not) of size k is a clique
+        for c in kc.maximal.iter().chain(&kc.non_maximal) {
+            let vs: Vec<usize> = c.iter().map(|&v| v as usize).collect();
+            prop_assert!(g.is_clique(&vs));
+            prop_assert_eq!(vs.len(), k);
+        }
+    }
+
+    #[test]
+    fn maximum_clique_matches_largest_maximal(g in arb_graph()) {
+        let oracle = oracle_maximal(&g);
+        let largest = oracle.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert_eq!(maximum_clique_size(&g), largest);
+    }
+
+    #[test]
+    fn enumeration_order_non_decreasing(g in arb_graph()) {
+        let mut sink = CollectSink::default();
+        CliqueEnumerator::new(EnumConfig { min_k: 1, ..Default::default() })
+            .enumerate(&g, &mut sink);
+        let sizes: Vec<usize> = sink.cliques.iter().map(Vec::len).collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        // no duplicates
+        let mut dedup = sink.cliques.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), sink.cliques.len());
+    }
+}

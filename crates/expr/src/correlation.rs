@@ -1,0 +1,201 @@
+//! All-pairs gene correlation, Pearson and Spearman.
+//!
+//! The O(n²·c) pairwise pass is the pipeline's embarrassingly parallel
+//! stage; it is parallelized with rayon over genes. The result is stored
+//! as a packed upper triangle: for the paper's 12,422-gene dataset that
+//! is ~617 MB of f64 — the "very large correlation matrices" of §4.
+
+use crate::matrix::ExpressionMatrix;
+use crate::rank::average_ranks;
+use rayon::prelude::*;
+
+/// Symmetric gene–gene correlation matrix, packed upper triangle
+/// (diagonal implicit at 1.0).
+#[derive(Clone, Debug)]
+pub struct CorrelationMatrix {
+    n: usize,
+    /// Entry for pair (i, j), i < j, at `i*n - i*(i+1)/2 + (j - i - 1)`.
+    upper: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Assemble from per-gene upper rows: `rows[i]` holds the values
+    /// for pairs `(i, i+1) .. (i, n-1)`.
+    pub fn from_upper_rows(n: usize, rows: Vec<Vec<f64>>) -> Self {
+        assert_eq!(rows.len(), n, "need one row per gene");
+        let mut upper = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for (i, row) in rows.into_iter().enumerate() {
+            assert_eq!(row.len(), n - 1 - i, "row {i} has the wrong width");
+            upper.extend(row);
+        }
+        CorrelationMatrix { n, upper }
+    }
+
+    /// Number of genes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    /// Correlation of genes `i` and `j` (1.0 on the diagonal).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        use std::cmp::Ordering;
+        match i.cmp(&j) {
+            Ordering::Equal => 1.0,
+            Ordering::Less => self.upper[self.idx(i, j)],
+            Ordering::Greater => self.upper[self.idx(j, i)],
+        }
+    }
+
+    /// Iterate `(i, j, r)` over all pairs `i < j`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n).flat_map(move |i| {
+            (i + 1..self.n).map(move |j| (i, j, self.upper[self.idx(i, j)]))
+        })
+    }
+
+    /// Number of stored pairs.
+    pub fn pairs(&self) -> usize {
+        self.upper.len()
+    }
+
+    /// Absolute correlation magnitudes of all pairs (used for
+    /// density-targeted thresholding).
+    pub fn abs_values(&self) -> Vec<f64> {
+        self.upper.iter().map(|r| r.abs()).collect()
+    }
+}
+
+/// Pearson correlation of two equal-length profiles; 0.0 when either
+/// profile has zero variance.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "profile length mismatch");
+    let n = x.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (a, b) in x.iter().zip(y) {
+        let (dx, dy) = (a - mx, b - my);
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        0.0
+    } else {
+        (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+/// Spearman rank correlation of two profiles.
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    pearson(&average_ranks(x), &average_ranks(y))
+}
+
+fn allpairs(m: &ExpressionMatrix, profiles: &[Vec<f64>]) -> CorrelationMatrix {
+    let n = m.genes();
+    // Parallelize over the leading gene: row i computes pairs (i, i+1..n).
+    let rows: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            (i + 1..n)
+                .map(|j| pearson(&profiles[i], &profiles[j]))
+                .collect()
+        })
+        .collect();
+    CorrelationMatrix::from_upper_rows(n, rows)
+}
+
+/// All-pairs Pearson correlation.
+pub fn pearson_matrix(m: &ExpressionMatrix) -> CorrelationMatrix {
+    let profiles: Vec<Vec<f64>> = m.rows().map(<[f64]>::to_vec).collect();
+    allpairs(m, &profiles)
+}
+
+/// All-pairs Spearman correlation (the paper's "pairwise rank
+/// coefficient"): rank every profile once, then Pearson on ranks.
+pub fn spearman_matrix(m: &ExpressionMatrix) -> CorrelationMatrix {
+    let profiles: Vec<Vec<f64>> = m.rows().map(average_ranks).collect();
+    allpairs(m, &profiles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1., 2., 3.], &[2., 4., 6.]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1., 2., 3.], &[6., 4., 2.]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1., 1., 1.], &[2., 4., 6.]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        // any monotone transform correlates at exactly 1 by ranks
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y) - 1.0).abs() > 1e-3); // pearson is not 1
+    }
+
+    #[test]
+    fn matrix_symmetry_and_diagonal() {
+        let m = ExpressionMatrix::from_rows(
+            3,
+            4,
+            vec![1., 2., 3., 4., 4., 3., 2., 1., 1., 3., 2., 4.],
+        );
+        let c = pearson_matrix(&m);
+        assert_eq!(c.get(0, 0), 1.0);
+        assert_eq!(c.get(0, 1), c.get(1, 0));
+        assert!((c.get(0, 1) + 1.0).abs() < 1e-12);
+        assert_eq!(c.pairs(), 3);
+        assert_eq!(c.iter_pairs().count(), 3);
+    }
+
+    #[test]
+    fn packed_index_covers_triangle() {
+        let m = ExpressionMatrix::from_rows(
+            5,
+            3,
+            (0..15).map(|x| (x as f64).sin()).collect(),
+        );
+        let c = pearson_matrix(&m);
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, j, _) in c.iter_pairs() {
+            assert!(i < j);
+            seen.insert((i, j));
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn spearman_matrix_matches_pairwise() {
+        let m = ExpressionMatrix::from_rows(
+            3,
+            5,
+            vec![
+                1., 4., 2., 8., 5., //
+                2., 2., 9., 1., 8., //
+                9., 7., 5., 3., 1.,
+            ],
+        );
+        let c = spearman_matrix(&m);
+        for (i, j, r) in c.iter_pairs() {
+            let direct = spearman(m.row(i), m.row(j));
+            assert!((r - direct).abs() < 1e-12, "pair ({i},{j})");
+        }
+    }
+}

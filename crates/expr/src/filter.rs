@@ -1,0 +1,152 @@
+//! Gene filtering and missing-value handling.
+//!
+//! Real microarray pipelines filter uninformative probes before the
+//! O(n²) correlation pass — the paper's graphs come from "raw
+//! microarray data after normalization ... and filtering" — and patch
+//! missing intensities. Both steps here, with the kept-gene index map
+//! so downstream cliques can be traced back to probe ids.
+
+use crate::matrix::ExpressionMatrix;
+
+/// Per-gene variance (population).
+pub fn gene_variances(m: &ExpressionMatrix) -> Vec<f64> {
+    let c = m.conditions();
+    (0..m.genes())
+        .map(|g| {
+            if c == 0 {
+                return 0.0;
+            }
+            let row = m.row(g);
+            let mean = row.iter().filter(|x| !x.is_nan()).sum::<f64>()
+                / row.iter().filter(|x| !x.is_nan()).count().max(1) as f64;
+            let (mut var, mut k) = (0.0, 0usize);
+            for &x in row {
+                if !x.is_nan() {
+                    var += (x - mean) * (x - mean);
+                    k += 1;
+                }
+            }
+            if k == 0 {
+                0.0
+            } else {
+                var / k as f64
+            }
+        })
+        .collect()
+}
+
+/// Keep genes whose variance is at least `min_variance`. Returns the
+/// filtered matrix and the original indices of the kept genes.
+pub fn filter_low_variance(
+    m: &ExpressionMatrix,
+    min_variance: f64,
+) -> (ExpressionMatrix, Vec<usize>) {
+    let vars = gene_variances(m);
+    let kept: Vec<usize> = (0..m.genes())
+        .filter(|&g| vars[g] >= min_variance)
+        .collect();
+    let mut out = ExpressionMatrix::zeros(kept.len(), m.conditions());
+    for (new, &old) in kept.iter().enumerate() {
+        out.row_mut(new).copy_from_slice(m.row(old));
+    }
+    (out, kept)
+}
+
+/// Keep the `top` highest-variance genes (all genes if `top >= genes`).
+pub fn keep_top_variance(m: &ExpressionMatrix, top: usize) -> (ExpressionMatrix, Vec<usize>) {
+    let vars = gene_variances(m);
+    let mut order: Vec<usize> = (0..m.genes()).collect();
+    order.sort_by(|&a, &b| vars[b].partial_cmp(&vars[a]).expect("no NaN variance").then(a.cmp(&b)));
+    let mut kept: Vec<usize> = order.into_iter().take(top).collect();
+    kept.sort_unstable();
+    let mut out = ExpressionMatrix::zeros(kept.len(), m.conditions());
+    for (new, &old) in kept.iter().enumerate() {
+        out.row_mut(new).copy_from_slice(m.row(old));
+    }
+    (out, kept)
+}
+
+/// Replace each NaN with its gene's mean over observed conditions
+/// (genes with no observation become all-zero). Returns how many
+/// values were imputed.
+pub fn impute_missing_with_gene_mean(m: &mut ExpressionMatrix) -> usize {
+    let mut imputed = 0usize;
+    for g in 0..m.genes() {
+        let row = m.row(g);
+        let observed: Vec<f64> = row.iter().copied().filter(|x| !x.is_nan()).collect();
+        let mean = if observed.is_empty() {
+            0.0
+        } else {
+            observed.iter().sum::<f64>() / observed.len() as f64
+        };
+        for x in m.row_mut(g) {
+            if x.is_nan() {
+                *x = mean;
+                imputed += 1;
+            }
+        }
+    }
+    imputed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_computation() {
+        let m = ExpressionMatrix::from_rows(2, 4, vec![1., 1., 1., 1., 0., 2., 0., 2.]);
+        let v = gene_variances(&m);
+        assert_eq!(v[0], 0.0);
+        assert_eq!(v[1], 1.0);
+    }
+
+    #[test]
+    fn filter_drops_flat_genes() {
+        let m = ExpressionMatrix::from_rows(
+            3,
+            3,
+            vec![5., 5., 5., 1., 2., 3., 7., 7., 7.1],
+        );
+        let (f, kept) = filter_low_variance(&m, 0.01);
+        assert_eq!(kept, vec![1]);
+        assert_eq!(f.genes(), 1);
+        assert_eq!(f.row(0), m.row(1));
+    }
+
+    #[test]
+    fn top_variance_keeps_order_and_indices() {
+        let m = ExpressionMatrix::from_rows(
+            3,
+            2,
+            vec![0., 10., 0., 1., 0., 5.],
+        );
+        let (f, kept) = keep_top_variance(&m, 2);
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(f.genes(), 2);
+        assert_eq!(f.row(1), m.row(2));
+        let (all, kept_all) = keep_top_variance(&m, 10);
+        assert_eq!(all.genes(), 3);
+        assert_eq!(kept_all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn imputation_fills_gene_means() {
+        let mut m = ExpressionMatrix::from_rows(
+            2,
+            3,
+            vec![1.0, f64::NAN, 3.0, f64::NAN, f64::NAN, f64::NAN],
+        );
+        let n = impute_missing_with_gene_mean(&mut m);
+        assert_eq!(n, 4);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn variance_skips_nan() {
+        let m = ExpressionMatrix::from_rows(1, 4, vec![0.0, 2.0, f64::NAN, 0.0]);
+        let v = gene_variances(&m);
+        assert!(v[0] > 0.0 && !v[0].is_nan());
+    }
+}

@@ -1,0 +1,132 @@
+//! Normalization of expression matrices.
+//!
+//! The paper's graphs were built "from raw microarray data after
+//! normalization" (§3). Two standard steps are provided: per-gene
+//! z-scoring (so correlation thresholds compare across genes) and
+//! cross-array quantile normalization (so arrays share a common
+//! intensity distribution).
+
+use crate::matrix::ExpressionMatrix;
+use crate::rank::average_ranks;
+
+/// Z-score every gene profile in place: mean 0, stddev 1. Genes with
+/// zero variance are left centered at zero.
+pub fn zscore_rows(m: &mut ExpressionMatrix) {
+    let c = m.conditions();
+    if c == 0 {
+        return;
+    }
+    for g in 0..m.genes() {
+        let row = m.row_mut(g);
+        let mean = row.iter().sum::<f64>() / c as f64;
+        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / c as f64;
+        let sd = var.sqrt();
+        for x in row.iter_mut() {
+            *x = if sd > 0.0 { (*x - mean) / sd } else { 0.0 };
+        }
+    }
+}
+
+/// Quantile-normalize across arrays (columns) in place: each column is
+/// forced onto the mean order statistics of all columns. Ties within a
+/// column receive the average of their reference quantiles.
+pub fn quantile_normalize(m: &mut ExpressionMatrix) {
+    let (genes, conditions) = (m.genes(), m.conditions());
+    if genes == 0 || conditions == 0 {
+        return;
+    }
+    // Reference distribution: mean of the g-th smallest value across
+    // columns.
+    let mut reference = vec![0.0f64; genes];
+    for c in 0..conditions {
+        let mut col = m.column(c);
+        col.sort_by(|a, b| a.partial_cmp(b).expect("NaN in expression data"));
+        for (g, v) in col.into_iter().enumerate() {
+            reference[g] += v;
+        }
+    }
+    for r in reference.iter_mut() {
+        *r /= conditions as f64;
+    }
+    // Map each column value to the reference value at its (average) rank.
+    for c in 0..conditions {
+        let col = m.column(c);
+        let ranks = average_ranks(&col);
+        for (g, rank) in ranks.iter().enumerate() {
+            // rank is 1-based and possibly fractional (ties): linear
+            // interpolation between neighboring reference quantiles.
+            let r = rank - 1.0;
+            let lo = r.floor() as usize;
+            let hi = r.ceil() as usize;
+            let frac = r - lo as f64;
+            let v = if hi >= genes {
+                reference[genes - 1]
+            } else {
+                reference[lo] * (1.0 - frac) + reference[hi] * frac
+            };
+            m.set(g, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_normalizes_moments() {
+        let mut m = ExpressionMatrix::from_rows(2, 4, vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        zscore_rows(&mut m);
+        let row = m.row(0);
+        let mean: f64 = row.iter().sum::<f64>() / 4.0;
+        let var: f64 = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        // constant row maps to zeros, not NaN
+        assert_eq!(m.row(1), &[0.0; 4]);
+    }
+
+    #[test]
+    fn quantile_makes_columns_identical_distributions() {
+        let mut m = ExpressionMatrix::from_rows(
+            4,
+            2,
+            vec![
+                5.0, 400.0, //
+                2.0, 100.0, //
+                3.0, 300.0, //
+                4.0, 200.0,
+            ],
+        );
+        quantile_normalize(&mut m);
+        let mut c0 = m.column(0);
+        let mut c1 = m.column(1);
+        c0.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        c1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in c0.iter().zip(&c1) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // order within each column is preserved
+        assert!(m.get(1, 0) < m.get(2, 0));
+        assert!(m.get(1, 1) < m.get(3, 1));
+    }
+
+    #[test]
+    fn quantile_preserves_ranks() {
+        let mut m = ExpressionMatrix::from_rows(3, 1, vec![9.0, 1.0, 5.0]);
+        let before = crate::rank::average_ranks(&m.column(0));
+        quantile_normalize(&mut m);
+        let after = crate::rank::average_ranks(&m.column(0));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn degenerate_shapes_no_panic() {
+        let mut m = ExpressionMatrix::zeros(0, 5);
+        quantile_normalize(&mut m);
+        zscore_rows(&mut m);
+        let mut m = ExpressionMatrix::zeros(5, 0);
+        quantile_normalize(&mut m);
+        zscore_rows(&mut m);
+    }
+}

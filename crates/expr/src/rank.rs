@@ -1,0 +1,69 @@
+//! Ranking with average-tie handling, the basis of Spearman correlation.
+
+/// Ranks of `xs` (1-based, average ranks for ties), as used by the
+/// "pairwise rank coefficient calculation" of the paper's pipeline.
+///
+/// NaN values are ranked last (deterministically) so a corrupted probe
+/// cannot poison its whole row's ordering; callers filtering NaN should
+/// do so upstream.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        xs[a].partial_cmp(&xs[b])
+            .unwrap_or_else(|| xs[a].is_nan().cmp(&xs[b].is_nan()))
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // positions i..j hold ties; average rank = mean of (i+1)..=j
+        let avg = (i + j + 1) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values() {
+        assert_eq!(average_ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ties_get_average() {
+        // values 5,5 occupy ranks 2 and 3 -> both 2.5
+        assert_eq!(
+            average_ranks(&[1.0, 5.0, 5.0, 9.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
+    }
+
+    #[test]
+    fn all_equal() {
+        assert_eq!(average_ranks(&[7.0; 4]), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(average_ranks(&[]).is_empty());
+        assert_eq!(average_ranks(&[3.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let r = average_ranks(&[f64::NAN, 1.0, 2.0]);
+        assert_eq!(r[1], 1.0);
+        assert_eq!(r[2], 2.0);
+        assert_eq!(r[0], 3.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Statistical significance of correlation thresholds.
+//!
+//! The paper's biology (§4) worries explicitly about "the number of
+//! independent hypotheses being tested" across a 12,422² correlation
+//! matrix. This module converts between correlation magnitude and
+//! p-value via the Fisher z-transform — `z = atanh(r)·√(n−3)` is
+//! approximately standard normal under the null — and derives the
+//! |r| threshold for a target significance level with Bonferroni
+//! correction over all tested pairs.
+
+use crate::correlation::CorrelationMatrix;
+
+/// Φ(x): standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — ample for thresholding).
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs() / std::f64::consts::SQRT_2);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf = 1.0 - poly * (-(x * x) / 2.0).exp();
+    if x >= 0.0 {
+        0.5 * (1.0 + erf)
+    } else {
+        0.5 * (1.0 - erf)
+    }
+}
+
+/// Inverse of the standard normal CDF (Acklam-style rational
+/// approximation refined by one Newton step; |error| < 1e-8 over
+/// (1e-12, 1−1e-12)).
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p out of [0,1]");
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    // Beasley-Springer-Moro
+    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
+    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    let x = if y.abs() < 0.42 {
+        let r = y * y;
+        y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0])
+            / ((((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0)
+    } else {
+        let mut r = if y > 0.0 { 1.0 - p } else { p };
+        r = (-r.ln()).ln();
+        let mut s = C[0];
+        let mut rp = 1.0;
+        for &c in &C[1..] {
+            rp *= r;
+            s += c * rp;
+        }
+        if y < 0.0 {
+            -s
+        } else {
+            s
+        }
+    };
+    // one Newton refinement against normal_cdf
+    let pdf = (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    if pdf > 1e-300 {
+        x - (normal_cdf(x) - p) / pdf
+    } else {
+        x
+    }
+}
+
+/// Two-sided p-value of observing |correlation| ≥ `r` between two
+/// length-`n` profiles under the null of independence (Fisher z).
+/// Returns 1.0 when `n <= 3` (too short to test).
+pub fn correlation_pvalue(r: f64, n: usize) -> f64 {
+    if n <= 3 {
+        return 1.0;
+    }
+    let r = r.clamp(-0.9999999, 0.9999999);
+    let z = r.atanh() * ((n - 3) as f64).sqrt();
+    2.0 * (1.0 - normal_cdf(z.abs()))
+}
+
+/// The |r| threshold at two-sided significance `alpha` for length-`n`
+/// profiles (inverse of [`correlation_pvalue`]).
+pub fn threshold_for_alpha(alpha: f64, n: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha out of [0,1]");
+    assert!(n > 3, "need more than 3 conditions");
+    let z = normal_quantile(1.0 - alpha / 2.0);
+    (z / ((n - 3) as f64).sqrt()).tanh()
+}
+
+/// Bonferroni-corrected threshold over every pair of a gene–gene
+/// correlation matrix: family-wise `alpha` across `n·(n−1)/2` tests —
+/// the "adjust more appropriately for the number of independent
+/// hypotheses" the paper aims at.
+pub fn bonferroni_threshold(corr: &CorrelationMatrix, alpha: f64, conditions: usize) -> f64 {
+    let tests = corr.pairs().max(1);
+    threshold_for_alpha(alpha / tests as f64, conditions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-5);
+        assert!((normal_cdf(-1.959964) - 0.025).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-6, "p={p}: x={x}");
+        }
+        assert!((normal_quantile(0.975) - 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pvalue_behaviour() {
+        // stronger correlation, longer profile => smaller p
+        assert!(correlation_pvalue(0.9, 30) < correlation_pvalue(0.5, 30));
+        assert!(correlation_pvalue(0.5, 100) < correlation_pvalue(0.5, 10));
+        assert_eq!(correlation_pvalue(0.99, 3), 1.0);
+        assert!(correlation_pvalue(0.0, 50) > 0.99);
+        // textbook check: r=0.3, n=100 -> z≈3.05 -> p≈0.0023
+        let p = correlation_pvalue(0.3, 100);
+        assert!((p - 0.0023).abs() < 5e-4, "p={p}");
+    }
+
+    #[test]
+    fn threshold_inverts_pvalue() {
+        for &(alpha, n) in &[(0.05, 20usize), (0.01, 60), (1e-6, 40)] {
+            let r = threshold_for_alpha(alpha, n);
+            let p = correlation_pvalue(r, n);
+            assert!((p - alpha).abs() / alpha < 0.02, "alpha={alpha} p={p}");
+        }
+    }
+
+    #[test]
+    fn bonferroni_is_stricter() {
+        use crate::matrix::ExpressionMatrix;
+        use crate::correlation::pearson_matrix;
+        let m = ExpressionMatrix::from_rows(
+            20,
+            12,
+            (0..240).map(|i| ((i * 37 % 101) as f64).sin()).collect(),
+        );
+        let corr = pearson_matrix(&m);
+        let single = threshold_for_alpha(0.05, 12);
+        let family = bonferroni_threshold(&corr, 0.05, 12);
+        assert!(family > single, "family {family} <= single {single}");
+        assert!(family < 1.0);
+    }
+}

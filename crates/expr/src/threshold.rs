@@ -1,0 +1,128 @@
+//! Correlation-to-graph filtering.
+//!
+//! The final pipeline stage: connect gene pairs whose |correlation|
+//! clears a threshold. The paper chose thresholds yielding edge
+//! densities of 0.008 %, 0.2 %, and 0.3 %; [`threshold_for_density`]
+//! inverts that choice — given a target density, find the cutoff.
+
+use crate::correlation::CorrelationMatrix;
+use gsb_graph::BitGraph;
+
+/// Graph with an edge wherever `|r| >= tau`.
+pub fn graph_from_correlation(corr: &CorrelationMatrix, tau: f64) -> BitGraph {
+    let mut g = BitGraph::new(corr.n());
+    for (i, j, r) in corr.iter_pairs() {
+        if r.abs() >= tau {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// The smallest threshold that keeps the edge density at or below
+/// `target` (i.e. the |r| of the ⌈target × pairs⌉-th strongest pair).
+/// Returns 1.0 + ε semantics (`f64::INFINITY` is never returned; an
+/// impossible target yields a threshold just above the strongest pair).
+pub fn threshold_for_density(corr: &CorrelationMatrix, target: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&target), "density must be in [0,1]");
+    let mut vals = corr.abs_values();
+    if vals.is_empty() {
+        return 1.0;
+    }
+    let keep = (target * vals.len() as f64).floor() as usize;
+    if keep == 0 {
+        // nothing may pass: go just above the maximum
+        let max = vals.iter().cloned().fold(0.0f64, f64::max);
+        return (max + f64::EPSILON).min(1.0 + f64::EPSILON);
+    }
+    if keep >= vals.len() {
+        return 0.0;
+    }
+    // threshold = keep-th largest magnitude
+    vals.sort_by(|a, b| b.partial_cmp(a).expect("NaN correlation"));
+    vals[keep - 1]
+}
+
+/// Convenience: threshold for a density target, then build the graph.
+pub fn graph_at_density(corr: &CorrelationMatrix, target: f64) -> (BitGraph, f64) {
+    let tau = threshold_for_density(corr, target);
+    (graph_from_correlation(corr, tau), tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::pearson_matrix;
+    use crate::matrix::ExpressionMatrix;
+    use crate::synth::{SynthConfig, SynthModule};
+
+    fn small_corr() -> CorrelationMatrix {
+        // 4 genes: 0,1 perfectly correlated; 2 anti-correlated with 0;
+        // 3 noise-ish
+        let m = ExpressionMatrix::from_rows(
+            4,
+            4,
+            vec![
+                1., 2., 3., 4., //
+                2., 4., 6., 8., //
+                4., 3., 2., 1., //
+                1., 9., 2., 8.,
+            ],
+        );
+        pearson_matrix(&m)
+    }
+
+    #[test]
+    fn threshold_filters_edges() {
+        let c = small_corr();
+        let g = graph_from_correlation(&c, 0.999);
+        // |r|=1 pairs: (0,1), (0,2), (1,2) — anti-correlation counts
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 2));
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn density_targeting() {
+        let c = small_corr();
+        let (g, tau) = graph_at_density(&c, 0.5);
+        // 6 pairs, target 0.5 → 3 edges
+        assert_eq!(g.m(), 3);
+        assert!(tau > 0.9);
+        let (g_all, tau0) = graph_at_density(&c, 1.0);
+        assert_eq!(g_all.m(), 6);
+        assert_eq!(tau0, 0.0);
+        let (g_none, _) = graph_at_density(&c, 0.0);
+        assert_eq!(g_none.m(), 0);
+    }
+
+    #[test]
+    fn planted_module_becomes_clique() {
+        // The end-to-end property the whole pipeline exists for: a
+        // strongly co-regulated module thresholds into a clique.
+        let cfg = SynthConfig {
+            genes: 60,
+            conditions: 40,
+            modules: vec![SynthModule {
+                size: 8,
+                strength: 0.98,
+            }],
+            noise: 1.0,
+            seed: 42,
+        };
+        let (m, memberships) = cfg.generate();
+        let corr = pearson_matrix(&m);
+        let g = graph_from_correlation(&corr, 0.7);
+        let module = &memberships[0];
+        for (a, &u) in module.iter().enumerate() {
+            for &v in &module[a + 1..] {
+                assert!(
+                    g.has_edge(u, v),
+                    "module pair ({u},{v}) lost: r={}",
+                    corr.get(u, v)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Lower bounds for the branching searches.
+
+use gsb_graph::BitGraph;
+
+/// Size of a greedy maximal matching. Any vertex cover must pick at
+/// least one endpoint per matched edge, so this lower-bounds the minimum
+/// vertex cover (and `2×` upper-bounds it).
+pub fn greedy_matching_bound(g: &BitGraph) -> usize {
+    let mut used = vec![false; g.n()];
+    let mut matched = 0usize;
+    for (u, v) in g.edges() {
+        if !used[u] && !used[v] {
+            used[u] = true;
+            used[v] = true;
+            matched += 1;
+        }
+    }
+    matched
+}
+
+/// A cheap feedback-vertex-set lower bound: `⌈(m − n + components) / ...⌉`
+/// is hard to make tight cheaply, so we use the cycle-packing-ish bound
+/// `max(0, m − (n − components))` capped by reality: each removed vertex
+/// kills at most `degree` excess edges. Returns a valid lower bound
+/// (possibly 0).
+pub fn fvs_excess_bound(g: &BitGraph) -> usize {
+    let n = g.n();
+    let (_, components) = gsb_graph::stats::connected_components(g);
+    let excess = g.m() as isize - (n as isize - components as isize);
+    if excess <= 0 {
+        return 0;
+    }
+    // Removing one vertex of maximum degree d removes at most d edges,
+    // i.e. reduces the excess by at most d - 1 (it also removes the
+    // vertex). A uniform bound: ceil(excess / max_degree).
+    let maxd = (0..n).map(|v| g.degree(v)).max().unwrap_or(1).max(1);
+    (excess as usize).div_ceil(maxd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_bound_on_known_graphs() {
+        assert_eq!(greedy_matching_bound(&BitGraph::new(5)), 0);
+        let path = BitGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(greedy_matching_bound(&path), 2);
+        // K4: matching of size 2
+        assert_eq!(greedy_matching_bound(&BitGraph::complete(4)), 2);
+    }
+
+    #[test]
+    fn fvs_bound_zero_on_forests() {
+        let tree = BitGraph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]);
+        assert_eq!(fvs_excess_bound(&tree), 0);
+        assert_eq!(fvs_excess_bound(&BitGraph::new(3)), 0);
+    }
+
+    #[test]
+    fn fvs_bound_positive_on_cycles() {
+        let c4 = BitGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(fvs_excess_bound(&c4) >= 1);
+        // K5 needs 3 removals; bound must not exceed the truth
+        assert!(fvs_excess_bound(&BitGraph::complete(5)) <= 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! Feedback vertex set by reduction + shortest-cycle branching.
+//!
+//! The paper's §4 names FVS as the crucial combinatorial problem in
+//! phylogenetic footprinting and cites the authors' `O*(2^O(k))`
+//! branching algorithm \[43\]. This implementation keeps the same shape:
+//! reduce (strip degree-≤1 vertices, which lie on no cycle), find a
+//! *shortest* cycle, and branch on which of its vertices joins the
+//! solution — every feedback vertex set must hit every cycle, so the
+//! branching is exhaustive, and short cycles keep the branching factor
+//! small.
+
+use gsb_bitset::BitSet;
+use gsb_graph::BitGraph;
+
+/// A minimum feedback vertex set (vertices ascending): removing it
+/// leaves an acyclic graph (a forest).
+pub fn feedback_vertex_set(g: &BitGraph) -> Vec<usize> {
+    for k in crate::bounds::fvs_excess_bound(g)..=g.n() {
+        if let Some(mut s) = fvs_decision(g, k) {
+            s.sort_unstable();
+            return s;
+        }
+    }
+    Vec::new() // n >= any FVS; loop always returns
+}
+
+/// A feedback vertex set of size ≤ `k` if one exists.
+pub fn fvs_decision(g: &BitGraph, k: usize) -> Option<Vec<usize>> {
+    let alive = BitSet::full(g.n());
+    let mut chosen = Vec::new();
+    if search(g, alive, &mut chosen, k) {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+/// Is the subgraph induced by `alive` acyclic?
+fn is_forest(g: &BitGraph, alive: &BitSet) -> bool {
+    find_cycle(g, alive).is_none()
+}
+
+/// Does removing `removed` from `g` leave a forest? (Public validity
+/// check for tests and callers.)
+pub fn is_feedback_vertex_set(g: &BitGraph, removed: &[usize]) -> bool {
+    let mut alive = BitSet::full(g.n());
+    for &v in removed {
+        alive.remove(v);
+    }
+    is_forest(g, &alive)
+}
+
+/// BFS from every vertex to find a shortest cycle in the alive
+/// subgraph; returns its vertices, or `None` if acyclic.
+fn find_cycle(g: &BitGraph, alive: &BitSet) -> Option<Vec<usize>> {
+    let n = g.n();
+    let mut best: Option<Vec<usize>> = None;
+    let mut parent = vec![usize::MAX; n];
+    let mut depth = vec![usize::MAX; n];
+    for root in alive.iter_ones() {
+        // BFS tree rooted here; a non-tree edge (u,v) closes a cycle of
+        // length depth[u] + depth[v] - 2*depth[lca] + 1; for a shortest
+        // cycle through the root's component, the first cross edge found
+        // by BFS gives a near-shortest cycle, good enough for branching.
+        for v in alive.iter_ones() {
+            parent[v] = usize::MAX;
+            depth[v] = usize::MAX;
+        }
+        depth[root] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for w in g.neighbors(u).iter_ones() {
+                if !alive.contains(w) {
+                    continue;
+                }
+                if depth[w] == usize::MAX {
+                    depth[w] = depth[u] + 1;
+                    parent[w] = u;
+                    queue.push_back(w);
+                } else if parent[u] != w && depth[w] <= depth[u] {
+                    // non-tree edge: walk both endpoints up to their LCA
+                    let cycle = extract_cycle(u, w, &parent, &depth);
+                    if best.as_ref().is_none_or(|b| cycle.len() < b.len()) {
+                        best = Some(cycle);
+                    }
+                }
+            }
+        }
+        if let Some(b) = &best {
+            if b.len() == 3 {
+                break; // cannot do better than a triangle
+            }
+        }
+    }
+    best
+}
+
+fn extract_cycle(mut a: usize, mut b: usize, parent: &[usize], depth: &[usize]) -> Vec<usize> {
+    let mut left = vec![a];
+    let mut right = vec![b];
+    while depth[a] > depth[b] {
+        a = parent[a];
+        left.push(a);
+    }
+    while depth[b] > depth[a] {
+        b = parent[b];
+        right.push(b);
+    }
+    while a != b {
+        a = parent[a];
+        b = parent[b];
+        left.push(a);
+        right.push(b);
+    }
+    right.pop(); // LCA recorded once (in `left`)
+    right.reverse();
+    left.extend(right);
+    left
+}
+
+fn search(g: &BitGraph, mut alive: BitSet, chosen: &mut Vec<usize>, budget: usize) -> bool {
+    // Reduction: vertices of alive-degree <= 1 lie on no cycle.
+    loop {
+        let mut removed_any = false;
+        let low: Vec<usize> = alive
+            .iter_ones()
+            .filter(|&v| g.neighbors(v).count_and(&alive) <= 1)
+            .collect();
+        for v in low {
+            alive.remove(v);
+            removed_any = true;
+        }
+        if !removed_any {
+            break;
+        }
+    }
+    let Some(cycle) = find_cycle(g, &alive) else {
+        return true; // already a forest
+    };
+    if budget == 0 {
+        return false;
+    }
+    let mark = chosen.len();
+    for &v in &cycle {
+        let mut next = alive.clone();
+        next.remove(v);
+        chosen.push(v);
+        if search(g, next, chosen, budget - 1) {
+            return true;
+        }
+        chosen.truncate(mark);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_graph::generators::gnp;
+
+    /// Brute-force minimum FVS size.
+    fn oracle_size(g: &BitGraph) -> usize {
+        let n = g.n();
+        (0u32..(1 << n))
+            .filter(|mask| {
+                let removed: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                is_feedback_vertex_set(g, &removed)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn forests_need_nothing() {
+        let tree = BitGraph::from_edges(6, [(0, 1), (0, 2), (2, 3), (2, 4), (4, 5)]);
+        assert!(feedback_vertex_set(&tree).is_empty());
+        assert!(feedback_vertex_set(&BitGraph::new(4)).is_empty());
+    }
+
+    #[test]
+    fn single_cycle_needs_one() {
+        let c5 = BitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let s = feedback_vertex_set(&c5);
+        assert_eq!(s.len(), 1);
+        assert!(is_feedback_vertex_set(&c5, &s));
+    }
+
+    #[test]
+    fn complete_graph_needs_n_minus_2() {
+        let k5 = BitGraph::complete(5);
+        let s = feedback_vertex_set(&k5);
+        assert_eq!(s.len(), 3);
+        assert!(is_feedback_vertex_set(&k5, &s));
+    }
+
+    #[test]
+    fn two_disjoint_cycles_need_two() {
+        let g = BitGraph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
+        );
+        let s = feedback_vertex_set(&g);
+        assert_eq!(s.len(), 2);
+        assert!(is_feedback_vertex_set(&g, &s));
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..8 {
+            let g = gnp(10, 0.35, seed);
+            let s = feedback_vertex_set(&g);
+            assert!(is_feedback_vertex_set(&g, &s), "seed {seed}");
+            assert_eq!(s.len(), oracle_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decision_boundaries() {
+        let k4 = BitGraph::complete(4);
+        assert!(fvs_decision(&k4, 1).is_none());
+        let s = fvs_decision(&k4, 2).unwrap();
+        assert!(is_feedback_vertex_set(&k4, &s));
+    }
+}

@@ -1,0 +1,35 @@
+//! # gsb-fpt — fixed-parameter tractable solvers
+//!
+//! §2.1 of the SC'05 paper: "clique is not FPT unless the W hierarchy
+//! collapses. Thus we focus instead on clique's complementary dual, the
+//! vertex cover problem" — a clique of size k in G is the complement of
+//! a vertex cover of size n−k in Ḡ. This crate implements that route:
+//!
+//! * [`vc`] — vertex cover by kernelization (degree-0/1 rules plus the
+//!   Buss high-degree rule) and a bounded search tree branching on a
+//!   maximum-degree vertex (take it, or take its whole neighborhood);
+//! * [`fold`] — the same search strengthened with degree-2 *folding*,
+//!   including solution reconstruction through nested folds;
+//! * [`maxclique`] — maximum clique via minimum vertex cover of the
+//!   complement, validated against the direct branch-and-bound in
+//!   `gsb-core`;
+//! * [`fvs`] — feedback vertex set (the paper's §4: "in phylogenetic
+//!   footprinting ... it is feedback vertex set that is the crucial
+//!   combinatorial problem"), by reduction rules plus branching over a
+//!   shortest cycle;
+//! * [`bounds`] — matching-based lower bounds used to start the
+//!   iterative-deepening searches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod fold;
+pub mod fvs;
+pub mod maxclique;
+pub mod vc;
+
+pub use fold::{minimum_vertex_cover_folding, vertex_cover_folding};
+pub use fvs::{feedback_vertex_set, fvs_decision};
+pub use maxclique::maximum_clique_via_vc;
+pub use vc::{minimum_vertex_cover, vertex_cover_decision};

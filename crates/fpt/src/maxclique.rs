@@ -1,0 +1,82 @@
+//! Maximum clique through the FPT vertex-cover route (§2.1).
+//!
+//! A set `C` is a clique of `G` iff `V ∖ C` is a vertex cover of the
+//! complement `Ḡ`; a *minimum* cover therefore complements a *maximum*
+//! clique. "Like maximal clique, maximum clique via vertex cover can be
+//! solved on much larger scales with monolithic shared memory
+//! architectures" (§4) — here it serves as the exact cross-check for
+//! the direct branch-and-bound in `gsb-core`.
+
+use crate::vc::minimum_vertex_cover;
+use gsb_graph::BitGraph;
+
+/// A maximum clique of `g` (vertices ascending), computed as the
+/// complement of a minimum vertex cover of the complement graph.
+pub fn maximum_clique_via_vc(g: &BitGraph) -> Vec<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let complement = g.complement();
+    let cover = minimum_vertex_cover(&complement);
+    let mut in_cover = vec![false; n];
+    for &v in &cover {
+        in_cover[v] = true;
+    }
+    (0..n).filter(|&v| !in_cover[v]).collect()
+}
+
+/// Decide "does `g` have a clique of size ≥ k?" by asking whether the
+/// complement has a vertex cover of size ≤ n − k.
+pub fn clique_decision_via_vc(g: &BitGraph, k: usize) -> bool {
+    let n = g.n();
+    if k == 0 {
+        return true;
+    }
+    if k > n {
+        return false;
+    }
+    crate::vc::vertex_cover_decision(&g.complement(), n - k).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_graph::generators::{gnp, planted, Module};
+
+    #[test]
+    fn known_graphs() {
+        assert_eq!(maximum_clique_via_vc(&BitGraph::complete(6)).len(), 6);
+        assert_eq!(maximum_clique_via_vc(&BitGraph::new(4)).len(), 1);
+        assert!(maximum_clique_via_vc(&BitGraph::new(0)).is_empty());
+        let c5 = BitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(maximum_clique_via_vc(&c5).len(), 2);
+    }
+
+    #[test]
+    fn result_is_a_clique() {
+        for seed in 0..8 {
+            let g = gnp(16, 0.5, seed);
+            let c = maximum_clique_via_vc(&g);
+            assert!(g.is_clique(&c), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decision_consistent_with_search() {
+        for seed in 0..5 {
+            let g = gnp(14, 0.45, 30 + seed);
+            let omega = maximum_clique_via_vc(&g).len();
+            assert!(clique_decision_via_vc(&g, omega));
+            assert!(!clique_decision_via_vc(&g, omega + 1));
+            assert!(clique_decision_via_vc(&g, 0));
+            assert!(!clique_decision_via_vc(&g, g.n() + 1));
+        }
+    }
+
+    #[test]
+    fn finds_planted_clique() {
+        let g = planted(24, 0.1, &[Module::clique(8)], 3);
+        assert_eq!(maximum_clique_via_vc(&g).len(), 8);
+    }
+}

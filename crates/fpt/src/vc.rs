@@ -1,0 +1,223 @@
+//! Vertex cover: kernelization + bounded search tree.
+//!
+//! The classic FPT recipe the paper builds on (§2.1): reduction rules
+//! shrink the instance to a kernel, then a search tree branches on a
+//! maximum-degree vertex — either it is in the cover, or its entire
+//! neighborhood is. Rules implemented:
+//!
+//! * **degree 0** — isolated vertices never enter a cover;
+//! * **degree 1** — a pendant edge is covered optimally by the
+//!   *neighbor* of the leaf;
+//! * **Buss' high-degree rule** — a vertex with degree > k must be in
+//!   any size-≤k cover;
+//! * **edge-count cutoff** — after the rules, a yes-instance has at most
+//!   `k · Δ` edges.
+
+use gsb_bitset::BitSet;
+use gsb_graph::BitGraph;
+
+/// A vertex cover of size ≤ `k` if one exists (vertices ascending),
+/// else `None`.
+pub fn vertex_cover_decision(g: &BitGraph, k: usize) -> Option<Vec<usize>> {
+    let alive = BitSet::full(g.n());
+    let mut cover = Vec::new();
+    if search(g, alive, &mut cover, k) {
+        cover.sort_unstable();
+        Some(cover)
+    } else {
+        None
+    }
+}
+
+/// A minimum vertex cover (iterative deepening from the matching lower
+/// bound; the greedy matching also supplies the 2-approximation that
+/// caps the search).
+///
+/// ```
+/// use gsb_graph::BitGraph;
+/// let star = BitGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+/// assert_eq!(gsb_fpt::minimum_vertex_cover(&star), vec![0]);
+/// ```
+pub fn minimum_vertex_cover(g: &BitGraph) -> Vec<usize> {
+    let lower = crate::bounds::greedy_matching_bound(g);
+    let upper = 2 * lower; // both endpoints of every matched edge
+    for k in lower..=upper {
+        if let Some(cover) = vertex_cover_decision(g, k) {
+            return cover;
+        }
+    }
+    unreachable!("2-approximation guarantees a cover within [lower, 2*lower]")
+}
+
+/// Is `cover` a vertex cover of `g`?
+pub fn is_vertex_cover(g: &BitGraph, cover: &[usize]) -> bool {
+    let mut inc = BitSet::new(g.n());
+    for &v in cover {
+        inc.insert(v);
+    }
+    g.edges().all(|(u, v)| inc.contains(u) || inc.contains(v))
+}
+
+fn alive_degree(g: &BitGraph, alive: &BitSet, v: usize) -> usize {
+    g.neighbors(v).count_and(alive)
+}
+
+/// Recursive search: find a cover of the alive subgraph using at most
+/// `budget` vertices, appending choices to `cover`. On success, `cover`
+/// holds the solution; on failure, `cover` is restored.
+fn search(g: &BitGraph, mut alive: BitSet, cover: &mut Vec<usize>, mut budget: usize) -> bool {
+    let mark = cover.len();
+    // Kernelization to a fixed point.
+    loop {
+        let mut changed = false;
+        let mut edges = 0usize;
+        let mut max_deg = 0usize;
+        let mut max_v = None;
+        let mut pendant = None;
+        for v in alive.iter_ones() {
+            let d = alive_degree(g, &alive, v);
+            edges += d;
+            if d > max_deg {
+                max_deg = d;
+                max_v = Some(v);
+            }
+            if d == 1 && pendant.is_none() {
+                pendant = Some(v);
+            }
+        }
+        let edges = edges / 2;
+        if edges == 0 {
+            return true; // nothing left to cover
+        }
+        if budget == 0 {
+            cover.truncate(mark);
+            return false;
+        }
+        // Buss rule: degree > budget forces the vertex into the cover.
+        if max_deg > budget {
+            let v = max_v.expect("max_deg > 0");
+            alive.remove(v);
+            cover.push(v);
+            budget -= 1;
+            changed = true;
+        } else if let Some(leaf) = pendant {
+            // Degree-1 rule: take the unique alive neighbor.
+            let u = g
+                .neighbors(leaf)
+                .iter_ones()
+                .find(|&u| alive.contains(u))
+                .expect("degree 1");
+            alive.remove(u);
+            alive.remove(leaf);
+            cover.push(u);
+            budget -= 1;
+            changed = true;
+        } else if edges > budget * max_deg {
+            // Each chosen vertex covers at most max_deg edges.
+            cover.truncate(mark);
+            return false;
+        }
+        if !changed {
+            // Kernel is reduced: branch on a maximum-degree vertex.
+            let v = max_v.expect("edges > 0");
+            // Branch 1: v in the cover.
+            let mut alive1 = alive.clone();
+            alive1.remove(v);
+            cover.push(v);
+            if search(g, alive1, cover, budget - 1) {
+                return true;
+            }
+            cover.pop();
+            // Branch 2: all alive neighbors of v in the cover.
+            let nbrs: Vec<usize> = g
+                .neighbors(v)
+                .iter_ones()
+                .filter(|&u| alive.contains(u))
+                .collect();
+            if nbrs.len() <= budget {
+                let mut alive2 = alive.clone();
+                alive2.remove(v);
+                for &u in &nbrs {
+                    alive2.remove(u);
+                    cover.push(u);
+                }
+                if search(g, alive2, cover, budget - nbrs.len()) {
+                    return true;
+                }
+                cover.truncate(mark);
+            }
+            cover.truncate(mark);
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_graph::generators::gnp;
+
+    /// Brute-force minimum cover size.
+    fn oracle_size(g: &BitGraph) -> usize {
+        let n = g.n();
+        (0u32..(1 << n))
+            .filter(|mask| {
+                let cover: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+                is_vertex_cover(g, &cover)
+            })
+            .map(|mask| mask.count_ones() as usize)
+            .min()
+            .unwrap()
+    }
+
+    #[test]
+    fn known_covers() {
+        // path P4: cover {1,2}
+        let p4 = BitGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(minimum_vertex_cover(&p4).len(), 2);
+        // star K1,4: cover {center}
+        let star = BitGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(minimum_vertex_cover(&star), vec![0]);
+        // K5: cover any 4
+        assert_eq!(minimum_vertex_cover(&BitGraph::complete(5)).len(), 4);
+        // edgeless
+        assert!(minimum_vertex_cover(&BitGraph::new(6)).is_empty());
+    }
+
+    #[test]
+    fn decision_boundaries() {
+        let c5 = BitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(vertex_cover_decision(&c5, 2).is_none());
+        let c = vertex_cover_decision(&c5, 3).unwrap();
+        assert!(is_vertex_cover(&c5, &c));
+        assert!(c.len() <= 3);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graphs() {
+        for seed in 0..10 {
+            let g = gnp(12, 0.4, seed);
+            let cover = minimum_vertex_cover(&g);
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+            assert_eq!(cover.len(), oracle_size(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn decision_never_lies() {
+        for seed in 0..6 {
+            let g = gnp(11, 0.5, 50 + seed);
+            let opt = oracle_size(&g);
+            for k in 0..g.n() {
+                match vertex_cover_decision(&g, k) {
+                    Some(c) => {
+                        assert!(k >= opt);
+                        assert!(c.len() <= k);
+                        assert!(is_vertex_cover(&g, &c));
+                    }
+                    None => assert!(k < opt, "k={k} opt={opt} seed={seed}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # gsb-graph — bitmap-adjacency graphs for genome-scale network analysis
+//!
+//! Undirected simple graphs stored as one length-`n` bit string per
+//! vertex (the "globally addressable bitmap memory index" of the SC'05
+//! paper). The representation makes the clique kernels' inner operations
+//! — `CN ∧ N(v)` and the any-bit maximality test — word-parallel, and
+//! makes Boolean *graph* algebra (intersection, union, at-least-k-of-n
+//! across replicate networks) word-parallel too.
+//!
+//! Modules:
+//!
+//! * [`graph`] — the [`BitGraph`] type, construction and queries;
+//! * [`generators`] — G(n,p), planted-clique, and correlation-like
+//!   generators that mimic the paper's microarray graphs;
+//! * [`io`] — edge-list and DIMACS formats;
+//! * [`ops`] — Boolean graph operations over replicate graph stacks;
+//! * [`reduce`] — degree pruning / k-core reduction and degeneracy order;
+//! * [`stats`] — densities, degree profiles, clustering estimates;
+//! * [`compressed`] — WAH-compressed adjacency (the paper's §4
+//!   compression direction, built).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compressed;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod ops;
+pub mod reduce;
+pub mod stats;
+
+pub use graph::BitGraph;
+pub use ops::GraphStack;

@@ -1,0 +1,201 @@
+//! Boolean graph operations over stacks of replicate networks.
+//!
+//! The paper (§1) describes cleaning noisy protein-interaction data by
+//! representing each experimental replicate as an undirected graph and
+//! issuing "queries consisting of Boolean graph operations (e.g., graph
+//! intersection and at-least-k-of-n over multiple graphs)". All
+//! operations here run row-parallel on the bitmap adjacency.
+
+use crate::BitGraph;
+use gsb_bitset::SliceCounter;
+
+/// Edge-wise intersection of two graphs on the same vertex set.
+pub fn intersection(a: &BitGraph, b: &BitGraph) -> BitGraph {
+    zip_rows(a, b, |ra, rb| ra.and(rb))
+}
+
+/// Edge-wise union.
+pub fn union(a: &BitGraph, b: &BitGraph) -> BitGraph {
+    zip_rows(a, b, |ra, rb| ra.or(rb))
+}
+
+/// Edges of `a` not in `b`.
+pub fn difference(a: &BitGraph, b: &BitGraph) -> BitGraph {
+    zip_rows(a, b, |ra, rb| ra.and_not(rb))
+}
+
+fn zip_rows(
+    a: &BitGraph,
+    b: &BitGraph,
+    f: impl Fn(&gsb_bitset::BitSet, &gsb_bitset::BitSet) -> gsb_bitset::BitSet,
+) -> BitGraph {
+    assert_eq!(a.n(), b.n(), "vertex-set mismatch");
+    let n = a.n();
+    let mut out = BitGraph::new(n);
+    for u in 0..n {
+        let row = f(a.neighbors(u), b.neighbors(u));
+        for v in row.iter_ones() {
+            if v > u {
+                out.add_edge(u, v);
+            }
+        }
+    }
+    out
+}
+
+/// A stack of replicate graphs over one vertex set, supporting voting
+/// queries.
+///
+/// ```
+/// use gsb_graph::{BitGraph, GraphStack};
+/// let stack = GraphStack::from_graphs(vec![
+///     BitGraph::from_edges(3, [(0, 1), (1, 2)]),
+///     BitGraph::from_edges(3, [(0, 1)]),
+/// ]);
+/// assert!(stack.at_least(2).has_edge(0, 1));   // both replicates agree
+/// assert!(!stack.at_least(2).has_edge(1, 2));  // only one saw it
+/// ```
+pub struct GraphStack {
+    n: usize,
+    graphs: Vec<BitGraph>,
+}
+
+impl GraphStack {
+    /// An empty stack over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphStack {
+            n,
+            graphs: Vec::new(),
+        }
+    }
+
+    /// Build from replicate graphs; all must share the vertex count.
+    pub fn from_graphs(graphs: Vec<BitGraph>) -> Self {
+        let n = graphs.first().map_or(0, BitGraph::n);
+        assert!(
+            graphs.iter().all(|g| g.n() == n),
+            "replicates disagree on vertex count"
+        );
+        GraphStack { n, graphs }
+    }
+
+    /// Add a replicate.
+    pub fn push(&mut self, g: BitGraph) {
+        assert_eq!(g.n(), self.n, "vertex-set mismatch");
+        self.graphs.push(g);
+    }
+
+    /// Vertex count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of replicates.
+    pub fn depth(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Access the replicates.
+    pub fn graphs(&self) -> &[BitGraph] {
+        &self.graphs
+    }
+
+    /// The graph whose edges appear in **at least `k`** replicates.
+    ///
+    /// With `k == depth()` this is the full intersection; `k == 1` the
+    /// union; intermediate `k` implements the paper's at-least-k-of-n
+    /// denoising query. Runs one bit-sliced counter per vertex row.
+    pub fn at_least(&self, k: usize) -> BitGraph {
+        let mut out = BitGraph::new(self.n);
+        if k == 0 {
+            // every non-edge pair trivially qualifies: complete graph
+            return BitGraph::complete(self.n);
+        }
+        for u in 0..self.n {
+            let mut counter = SliceCounter::new(self.n);
+            for g in &self.graphs {
+                counter.add(g.neighbors(u));
+            }
+            for v in counter.at_least(k).iter_ones() {
+                if v > u {
+                    out.add_edge(u, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-edge support: how many replicates contain `{u, v}`.
+    pub fn support(&self, u: usize, v: usize) -> usize {
+        self.graphs.iter().filter(|g| g.has_edge(u, v)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(edges: &[(usize, usize)]) -> BitGraph {
+        BitGraph::from_edges(5, edges.iter().copied())
+    }
+
+    #[test]
+    fn intersection_union_difference() {
+        let a = g(&[(0, 1), (1, 2), (3, 4)]);
+        let b = g(&[(1, 2), (3, 4), (0, 4)]);
+        assert_eq!(
+            intersection(&a, &b).edges().collect::<Vec<_>>(),
+            vec![(1, 2), (3, 4)]
+        );
+        assert_eq!(
+            union(&a, &b).edges().collect::<Vec<_>>(),
+            vec![(0, 1), (0, 4), (1, 2), (3, 4)]
+        );
+        assert_eq!(
+            difference(&a, &b).edges().collect::<Vec<_>>(),
+            vec![(0, 1)]
+        );
+    }
+
+    #[test]
+    fn at_least_matches_support() {
+        let stack = GraphStack::from_graphs(vec![
+            g(&[(0, 1), (1, 2), (3, 4)]),
+            g(&[(0, 1), (3, 4)]),
+            g(&[(0, 1), (1, 2)]),
+        ]);
+        let at2 = stack.at_least(2);
+        assert_eq!(
+            at2.edges().collect::<Vec<_>>(),
+            vec![(0, 1), (1, 2), (3, 4)]
+        );
+        let at3 = stack.at_least(3);
+        assert_eq!(at3.edges().collect::<Vec<_>>(), vec![(0, 1)]);
+        assert!(stack.at_least(4).m() == 0);
+        assert_eq!(stack.support(0, 1), 3);
+        assert_eq!(stack.support(1, 2), 2);
+        assert_eq!(stack.support(0, 2), 0);
+    }
+
+    #[test]
+    fn at_least_1_is_union_and_depth_is_intersection() {
+        let a = g(&[(0, 1), (1, 2)]);
+        let b = g(&[(1, 2), (2, 3)]);
+        let stack = GraphStack::from_graphs(vec![a.clone(), b.clone()]);
+        assert_eq!(stack.at_least(1), union(&a, &b));
+        assert_eq!(stack.at_least(2), intersection(&a, &b));
+    }
+
+    #[test]
+    fn at_least_0_is_complete() {
+        let stack = GraphStack::from_graphs(vec![g(&[])]);
+        assert_eq!(stack.at_least(0).m(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_sizes_rejected() {
+        let mut stack = GraphStack::new(5);
+        stack.push(BitGraph::new(4));
+    }
+}

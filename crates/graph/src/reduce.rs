@@ -1,0 +1,193 @@
+//! Preprocessing reductions for clique search.
+//!
+//! The paper's k-clique enumerator (§2.2) notes that "given k, it is more
+//! efficient to eliminate all vertices of degree less than k−1 during
+//! preprocessing (such vertices cannot be members of any k-clique by
+//! definition)". Iterating that rule to a fixed point is exactly the
+//! (k−1)-core. Degeneracy ordering is provided for the maximum-clique
+//! upper bound and branch ordering.
+
+use crate::BitGraph;
+use gsb_bitset::BitSet;
+
+/// Vertices surviving iterated removal of degree `< min_degree` vertices
+/// (the `min_degree`-core), as a bitmap over the original vertices.
+pub fn core_vertices(g: &BitGraph, min_degree: usize) -> BitSet {
+    let n = g.n();
+    let mut alive = BitSet::full(n);
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&v| degree[v] < min_degree).collect();
+    for &v in &queue {
+        alive.remove(v);
+    }
+    while let Some(v) = queue.pop() {
+        for u in g.neighbors(v).iter_ones() {
+            if alive.contains(u) {
+                degree[u] -= 1;
+                if degree[u] < min_degree {
+                    alive.remove(u);
+                    queue.push(u);
+                }
+            }
+        }
+    }
+    alive
+}
+
+/// Remove all vertices that cannot belong to a k-clique (degree < k−1,
+/// iterated). Returns the reduced graph and the original vertex ids.
+pub fn prune_for_k_clique(g: &BitGraph, k: usize) -> (BitGraph, Vec<usize>) {
+    let keep = core_vertices(g, k.saturating_sub(1));
+    g.induced(&keep)
+}
+
+/// Degeneracy ordering: repeatedly remove a minimum-degree vertex.
+/// Returns `(order, degeneracy)` where `order[i]` is the i-th removed
+/// vertex and the degeneracy `d` satisfies: every subgraph has a vertex
+/// of degree ≤ `d`. Any clique has at most `d + 1` vertices, giving a
+/// cheap upper bound for maximum clique.
+pub fn degeneracy_order(g: &BitGraph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    // bucket queue over degrees
+    let maxd = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    let mut cursor = 0usize;
+    for _ in 0..n {
+        // find the lowest non-empty bucket holding a live vertex
+        while cursor > 0 && !buckets[cursor - 1].is_empty() {
+            cursor -= 1; // degrees may have decreased below the cursor
+        }
+        let v = loop {
+            while cursor <= maxd && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let v = buckets[cursor].pop().expect("bucket nonempty");
+            if !removed[v] && degree[v] == cursor {
+                break v;
+            }
+            // stale entry: skip
+        };
+        removed[v] = true;
+        degeneracy = degeneracy.max(degree[v]);
+        order.push(v);
+        for u in g.neighbors(v).iter_ones() {
+            if !removed[u] {
+                degree[u] -= 1;
+                buckets[degree[u]].push(u);
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+/// Greedy proper coloring in the given vertex order; the number of colors
+/// used upper-bounds the clique number. Returns `(colors, n_colors)`.
+pub fn greedy_coloring(g: &BitGraph, order: &[usize]) -> (Vec<usize>, usize) {
+    let n = g.n();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    let mut color = vec![usize::MAX; n];
+    let mut n_colors = 0usize;
+    let mut used = Vec::new();
+    for &v in order {
+        used.clear();
+        used.resize(n_colors + 1, false);
+        for u in g.neighbors(v).iter_ones() {
+            if color[u] != usize::MAX && color[u] <= n_colors {
+                used[color[u]] = true;
+            }
+        }
+        let c = (0..).find(|&c| c >= used.len() || !used[c]).unwrap();
+        color[v] = c;
+        n_colors = n_colors.max(c + 1);
+    }
+    (color, n_colors)
+}
+
+/// Clique-number upper bound: `min(degeneracy + 1, greedy colors)` using
+/// the reverse degeneracy order for coloring (a strong practical bound).
+pub fn clique_upper_bound(g: &BitGraph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    let (mut order, degeneracy) = degeneracy_order(g);
+    order.reverse();
+    let (_, colors) = greedy_coloring(g, &order);
+    colors.min(degeneracy + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{planted, Module};
+
+    #[test]
+    fn core_removes_pendants() {
+        // star K1,3 plus a triangle hanging off vertex 0
+        let g = BitGraph::from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (0, 5)],
+        );
+        let core2 = core_vertices(&g, 2);
+        assert_eq!(core2.to_vec(), vec![0, 4, 5]);
+        let core3 = core_vertices(&g, 3);
+        assert!(core3.none());
+    }
+
+    #[test]
+    fn prune_for_k_clique_keeps_cliques() {
+        let mut g = BitGraph::complete(5);
+        // add pendant chain
+        let mut h = BitGraph::new(8);
+        for (u, v) in g.edges() {
+            h.add_edge(u, v);
+        }
+        h.add_edge(4, 5);
+        h.add_edge(5, 6);
+        h.add_edge(6, 7);
+        g = h;
+        let (reduced, ids) = prune_for_k_clique(&g, 5);
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+        assert_eq!(reduced.m(), 10);
+    }
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        let (_, d) = degeneracy_order(&BitGraph::complete(6));
+        assert_eq!(d, 5);
+        let path = BitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (_, d) = degeneracy_order(&path);
+        assert_eq!(d, 1);
+        let cycle = BitGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (_, d) = degeneracy_order(&cycle);
+        assert_eq!(d, 2);
+        let (_, d) = degeneracy_order(&BitGraph::new(4));
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn coloring_is_proper() {
+        let g = planted(60, 0.1, &[Module::clique(8)], 9);
+        let order: Vec<usize> = (0..g.n()).collect();
+        let (colors, k) = greedy_coloring(&g, &order);
+        for (u, v) in g.edges() {
+            assert_ne!(colors[u], colors[v], "edge ({u},{v}) monochromatic");
+        }
+        assert!(k >= 8, "coloring must use >= clique colors");
+    }
+
+    #[test]
+    fn upper_bound_dominates_clique() {
+        let g = planted(50, 0.05, &[Module::clique(7)], 4);
+        assert!(clique_upper_bound(&g) >= 7);
+        assert_eq!(clique_upper_bound(&BitGraph::complete(9)), 9);
+        assert_eq!(clique_upper_bound(&BitGraph::new(0)), 0);
+        assert_eq!(clique_upper_bound(&BitGraph::new(3)), 1);
+    }
+}

@@ -1,0 +1,172 @@
+//! Descriptive statistics for network workloads.
+//!
+//! The paper characterizes its evaluation graphs by vertex count, edge
+//! density, and maximum clique size; these helpers compute the profile
+//! of any [`BitGraph`] so that synthetic workloads can be checked against
+//! the published targets.
+
+use crate::BitGraph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphProfile {
+    /// Vertex count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Edge density in [0, 1].
+    pub density: f64,
+    /// Minimum degree.
+    pub min_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Number of isolated vertices.
+    pub isolated: usize,
+    /// Number of triangles (3-cliques).
+    pub triangles: usize,
+    /// Global clustering coefficient (3 × triangles / wedges), zero when
+    /// the graph has no wedge.
+    pub clustering: f64,
+}
+
+/// Compute the [`GraphProfile`] of a graph.
+pub fn profile(g: &BitGraph) -> GraphProfile {
+    let n = g.n();
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let triangles = triangle_count(g);
+    let wedges: usize = degrees.iter().map(|&d| d * d.saturating_sub(1) / 2).sum();
+    GraphProfile {
+        n,
+        m: g.m(),
+        density: g.density(),
+        min_degree: degrees.iter().copied().min().unwrap_or(0),
+        max_degree: degrees.iter().copied().max().unwrap_or(0),
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        },
+        isolated: degrees.iter().filter(|&&d| d == 0).count(),
+        triangles,
+        clustering: if wedges == 0 {
+            0.0
+        } else {
+            3.0 * triangles as f64 / wedges as f64
+        },
+    }
+}
+
+/// Exact triangle count via per-edge neighborhood intersection (counted
+/// once per triangle).
+pub fn triangle_count(g: &BitGraph) -> usize {
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        // count common neighbors above v so each triangle is seen once
+        // from its lexicographically smallest edge
+        let mut w = g.neighbors(u).next_common(g.neighbors(v), v + 1);
+        while let Some(x) = w {
+            count += 1;
+            w = g.neighbors(u).next_common(g.neighbors(v), x + 1);
+        }
+    }
+    count
+}
+
+/// Connected components: returns `(component_id_per_vertex, count)`.
+pub fn connected_components(g: &BitGraph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut count = 0usize;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        comp[s] = count;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for u in g.neighbors(v).iter_ones() {
+                if comp[u] == usize::MAX {
+                    comp[u] = count;
+                    stack.push(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &BitGraph) -> Vec<usize> {
+    let maxd = (0..g.n()).map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; maxd + 1];
+    for v in 0..g.n() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&BitGraph::complete(3)), 1);
+        assert_eq!(triangle_count(&BitGraph::complete(4)), 4);
+        assert_eq!(triangle_count(&BitGraph::complete(5)), 10);
+        let path = BitGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(triangle_count(&path), 0);
+    }
+
+    #[test]
+    fn profile_of_k4() {
+        let p = profile(&BitGraph::complete(4));
+        assert_eq!(p.n, 4);
+        assert_eq!(p.m, 6);
+        assert_eq!(p.min_degree, 3);
+        assert_eq!(p.max_degree, 3);
+        assert_eq!(p.triangles, 4);
+        assert!((p.clustering - 1.0).abs() < 1e-12);
+        assert_eq!(p.isolated, 0);
+    }
+
+    #[test]
+    fn profile_of_empty() {
+        let p = profile(&BitGraph::new(3));
+        assert_eq!(p.m, 0);
+        assert_eq!(p.isolated, 3);
+        assert_eq!(p.clustering, 0.0);
+        let p = profile(&BitGraph::new(0));
+        assert_eq!(p.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn components_of_disjoint_pieces() {
+        let g = BitGraph::from_edges(7, [(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 4); // {0,1,2}, {3,4}, {5}, {6}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[6]);
+        let (_, one) = connected_components(&BitGraph::complete(5));
+        assert_eq!(one, 1);
+        let (_, zero) = connected_components(&BitGraph::new(0));
+        assert_eq!(zero, 0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = BitGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[0], 1); // vertex 5
+        assert_eq!(h[1], 2); // 0 and 4
+        assert_eq!(h[2], 3);
+    }
+}

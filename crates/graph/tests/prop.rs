@@ -1,0 +1,150 @@
+//! Property tests: structural invariants of builders, reductions, and
+//! Boolean graph algebra.
+
+use gsb_bitset::BitSet;
+use gsb_graph::generators::{gnp, planted, Module};
+use gsb_graph::ops::{difference, intersection, union, GraphStack};
+use gsb_graph::reduce::{clique_upper_bound, core_vertices, degeneracy_order, greedy_coloring};
+use gsb_graph::stats::triangle_count;
+use gsb_graph::BitGraph;
+use proptest::prelude::*;
+
+const N: usize = 24;
+
+fn edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..N, 0..N), 0..80)
+}
+
+fn build(es: &[(usize, usize)]) -> BitGraph {
+    BitGraph::from_edges(N, es.iter().copied())
+}
+
+proptest! {
+    #[test]
+    fn from_edges_is_valid(es in edges()) {
+        build(&es).validate();
+    }
+
+    #[test]
+    fn complement_involutive(es in edges()) {
+        let g = build(&es);
+        let c = g.complement();
+        c.validate();
+        prop_assert_eq!(c.complement(), g.clone());
+        prop_assert_eq!(g.m() + c.m(), N * (N - 1) / 2);
+    }
+
+    #[test]
+    fn induced_preserves_adjacency(es in edges(), keep in prop::collection::btree_set(0..N, 0..N)) {
+        let g = build(&es);
+        let keep_bits = BitSet::from_ones(N, keep.iter().copied());
+        let (h, ids) = g.induced(&keep_bits);
+        h.validate();
+        prop_assert_eq!(ids.len(), keep.len());
+        for i in 0..ids.len() {
+            for j in i + 1..ids.len() {
+                prop_assert_eq!(h.has_edge(i, j), g.has_edge(ids[i], ids[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn core_vertices_have_core_degree(es in edges(), k in 0usize..6) {
+        let g = build(&es);
+        let core = core_vertices(&g, k);
+        for v in core.iter_ones() {
+            let live_deg = g.neighbors(v).count_and(&core);
+            prop_assert!(live_deg >= k, "vertex {v} has in-core degree {live_deg} < {k}");
+        }
+    }
+
+    #[test]
+    fn core_is_maximal(es in edges(), k in 1usize..5) {
+        // No vertex outside the k-core can be added back: iterating the
+        // removal once more from the full graph reaches the same set.
+        let g = build(&es);
+        let core = core_vertices(&g, k);
+        let again = core_vertices(&g, k);
+        prop_assert_eq!(core, again);
+    }
+
+    #[test]
+    fn degeneracy_order_is_permutation(es in edges()) {
+        let g = build(&es);
+        let (order, d) = degeneracy_order(&g);
+        let mut seen = [false; N];
+        for &v in &order {
+            prop_assert!(!seen[v]);
+            seen[v] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // degeneracy bounds max clique - 1; also <= max degree
+        let maxdeg = (0..N).map(|v| g.degree(v)).max().unwrap_or(0);
+        prop_assert!(d <= maxdeg);
+    }
+
+    #[test]
+    fn coloring_proper_and_bounds(es in edges()) {
+        let g = build(&es);
+        let (mut order, d) = degeneracy_order(&g);
+        order.reverse();
+        let (colors, k) = greedy_coloring(&g, &order);
+        for (u, v) in g.edges() {
+            prop_assert_ne!(colors[u], colors[v]);
+        }
+        // coloring in reverse degeneracy order uses at most d+1 colors
+        prop_assert!(k <= d + 1, "colors {k} > degeneracy+1 {}", d + 1);
+    }
+
+    #[test]
+    fn boolean_ops_match_edge_sets(a in edges(), b in edges()) {
+        use std::collections::BTreeSet;
+        let ga = build(&a);
+        let gb = build(&b);
+        let ea: BTreeSet<_> = ga.edges().collect();
+        let eb: BTreeSet<_> = gb.edges().collect();
+        let inter: BTreeSet<_> = intersection(&ga, &gb).edges().collect();
+        let uni: BTreeSet<_> = union(&ga, &gb).edges().collect();
+        let diff: BTreeSet<_> = difference(&ga, &gb).edges().collect();
+        prop_assert_eq!(inter, ea.intersection(&eb).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(uni, ea.union(&eb).copied().collect::<BTreeSet<_>>());
+        prop_assert_eq!(diff, ea.difference(&eb).copied().collect::<BTreeSet<_>>());
+    }
+
+    #[test]
+    fn at_least_monotone(gs in prop::collection::vec(edges(), 1..5)) {
+        let stack = GraphStack::from_graphs(gs.iter().map(|es| build(es)).collect());
+        let mut prev = stack.at_least(1);
+        for k in 2..=stack.depth() + 1 {
+            let cur = stack.at_least(k);
+            // edges at support >= k are a subset of support >= k-1
+            for (u, v) in cur.edges() {
+                prop_assert!(prev.has_edge(u, v));
+                prop_assert_eq!(stack.support(u, v) >= k, true);
+            }
+            prev = cur;
+        }
+        prop_assert_eq!(stack.at_least(stack.depth() + 1).m(), 0);
+    }
+
+    #[test]
+    fn upper_bound_ge_triangle_witness(es in edges()) {
+        let g = build(&es);
+        if triangle_count(&g) > 0 {
+            prop_assert!(clique_upper_bound(&g) >= 3);
+        }
+    }
+}
+
+#[test]
+fn planted_cliques_survive_core() {
+    let g = planted(80, 0.02, &[Module::clique(10)], 77);
+    let core = core_vertices(&g, 9);
+    assert!(core.count_ones() >= 10);
+}
+
+#[test]
+fn gnp_density_close_to_p() {
+    let g = gnp(120, 0.3, 5);
+    assert!((g.density() - 0.3).abs() < 0.05, "density {}", g.density());
+}

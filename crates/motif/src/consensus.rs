@@ -1,0 +1,48 @@
+//! Column-majority consensus of a set of aligned l-mers.
+
+/// Majority symbol per column (ties broken by byte order, so the
+/// result is deterministic). All inputs must share a length.
+pub fn consensus(windows: &[&[u8]]) -> Vec<u8> {
+    let Some(first) = windows.first() else {
+        return Vec::new();
+    };
+    let l = first.len();
+    let mut out = Vec::with_capacity(l);
+    for col in 0..l {
+        let mut counts = std::collections::BTreeMap::new();
+        for w in windows {
+            assert_eq!(w.len(), l, "window length mismatch");
+            *counts.entry(w[col]).or_insert(0usize) += 1;
+        }
+        let (&best, _) = counts
+            .iter()
+            .max_by_key(|&(&sym, &count)| (count, std::cmp::Reverse(sym)))
+            .expect("nonempty");
+        out.push(best);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_wins_per_column() {
+        let w: Vec<&[u8]> = vec![b"ACGT", b"ACGA", b"ACCT"];
+        assert_eq!(consensus(&w), b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let w: Vec<&[u8]> = vec![b"A", b"C"];
+        // tie between A and C: smaller byte wins
+        assert_eq!(consensus(&w), b"A".to_vec());
+    }
+
+    #[test]
+    fn empty_input() {
+        let w: Vec<&[u8]> = vec![];
+        assert!(consensus(&w).is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! The clique-based discovery pipeline.
+
+use crate::consensus::consensus;
+use crate::kmer::{hamming, kmers, KmerSite};
+use gsb_core::sink::CollectSink;
+use gsb_core::{CliqueEnumerator, EnumConfig};
+use gsb_graph::BitGraph;
+
+/// Parameters of an (l, d) motif search.
+#[derive(Clone, Copy, Debug)]
+pub struct MotifParams {
+    /// Motif width.
+    pub l: usize,
+    /// Maximum substitutions per planted instance; two instances of one
+    /// motif differ by at most `2d`.
+    pub d: usize,
+    /// Minimum number of *distinct sequences* a clique must span to be
+    /// reported (the quorum).
+    pub q: usize,
+}
+
+/// One discovered motif.
+#[derive(Clone, Debug)]
+pub struct Motif {
+    /// Column-majority consensus of the supporting windows.
+    pub consensus: Vec<u8>,
+    /// Supporting occurrences, `(sequence, position)`, ascending.
+    pub sites: Vec<(usize, usize)>,
+}
+
+impl Motif {
+    /// Number of distinct sequences supporting the motif.
+    pub fn support(&self) -> usize {
+        let mut seqs: Vec<usize> = self.sites.iter().map(|&(s, _)| s).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        seqs.len()
+    }
+}
+
+/// Build the l-mer similarity graph: vertices are the returned sites;
+/// edges join sites from different sequences within Hamming distance
+/// `2d`. (Same-sequence edges are excluded so a clique's size bounds
+/// its sequence support tightly and repeats don't self-amplify.)
+pub fn build_motif_graph(seqs: &[Vec<u8>], params: &MotifParams) -> (BitGraph, Vec<KmerSite>) {
+    let sites = kmers(seqs, params.l);
+    let mut g = BitGraph::new(sites.len());
+    for i in 0..sites.len() {
+        for j in i + 1..sites.len() {
+            if sites[i].seq == sites[j].seq {
+                continue;
+            }
+            if hamming(&sites[i].text, &sites[j].text) <= 2 * params.d {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    (g, sites)
+}
+
+/// Discover motifs: maximal cliques of the similarity graph spanning at
+/// least `q` distinct sequences, reported with consensus and sites,
+/// strongest support first.
+pub fn find_motifs(seqs: &[Vec<u8>], params: &MotifParams) -> Vec<Motif> {
+    assert!(params.q >= 2, "a motif needs at least two sequences");
+    let (g, sites) = build_motif_graph(seqs, params);
+    let mut sink = CollectSink::default();
+    CliqueEnumerator::new(EnumConfig {
+        min_k: params.q,
+        ..Default::default()
+    })
+    .enumerate(&g, &mut sink);
+    let mut motifs: Vec<Motif> = sink
+        .cliques
+        .iter()
+        .filter_map(|clique| {
+            let members: Vec<&KmerSite> =
+                clique.iter().map(|&v| &sites[v as usize]).collect();
+            let mut seq_ids: Vec<usize> = members.iter().map(|s| s.seq).collect();
+            seq_ids.sort_unstable();
+            seq_ids.dedup();
+            if seq_ids.len() < params.q {
+                return None;
+            }
+            let windows: Vec<&[u8]> = members.iter().map(|s| s.text.as_slice()).collect();
+            let mut site_list: Vec<(usize, usize)> =
+                members.iter().map(|s| (s.seq, s.pos)).collect();
+            site_list.sort_unstable();
+            Some(Motif {
+                consensus: consensus(&windows),
+                sites: site_list,
+            })
+        })
+        .collect();
+    motifs.sort_by_key(|m| (std::cmp::Reverse(m.support()), m.consensus.clone()));
+    motifs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+    /// Plant a mutated copy of `motif` at a random position in each of
+    /// `n` random background sequences.
+    fn planted_instances(
+        n: usize,
+        len: usize,
+        motif: &[u8],
+        d: usize,
+        seed: u64,
+    ) -> (Vec<Vec<u8>>, Vec<(usize, usize)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = Vec::with_capacity(n);
+        let mut truth = Vec::with_capacity(n);
+        for si in 0..n {
+            let mut s: Vec<u8> = (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect();
+            let pos = rng.gen_range(0..=len - motif.len());
+            let mut instance = motif.to_vec();
+            // exactly d substitutions at distinct positions
+            let mut mutated = std::collections::BTreeSet::new();
+            while mutated.len() < d {
+                mutated.insert(rng.gen_range(0..motif.len()));
+            }
+            for &p in &mutated {
+                let old = instance[p];
+                let mut new = old;
+                while new == old {
+                    new = BASES[rng.gen_range(0..4)];
+                }
+                instance[p] = new;
+            }
+            s[pos..pos + motif.len()].copy_from_slice(&instance);
+            seqs.push(s);
+            truth.push((si, pos));
+        }
+        (seqs, truth)
+    }
+
+    #[test]
+    fn graph_edges_respect_hamming_budget() {
+        let seqs = vec![b"ACGTACGT".to_vec(), b"ACGAACGT".to_vec()];
+        let params = MotifParams { l: 4, d: 1, q: 2 };
+        let (g, sites) = build_motif_graph(&seqs, &params);
+        for (u, v) in g.edges() {
+            assert_ne!(sites[u].seq, sites[v].seq);
+            assert!(hamming(&sites[u].text, &sites[v].text) <= 2);
+        }
+    }
+
+    #[test]
+    fn exact_motif_recovered() {
+        let motif = b"TTGACAGCTA";
+        let (seqs, truth) = planted_instances(5, 60, motif, 0, 1);
+        let found = find_motifs(&seqs, &MotifParams { l: 10, d: 0, q: 5 });
+        assert!(!found.is_empty());
+        let best = &found[0];
+        assert_eq!(best.consensus, motif.to_vec());
+        assert_eq!(best.support(), 5);
+        for t in &truth {
+            assert!(best.sites.contains(t), "missing planted site {t:?}");
+        }
+    }
+
+    #[test]
+    fn mutated_motif_recovered() {
+        // classic (10, 1) planted instance across 6 sequences
+        let motif = b"GCCGATTACC";
+        let (seqs, truth) = planted_instances(6, 50, motif, 1, 7);
+        let found = find_motifs(&seqs, &MotifParams { l: 10, d: 1, q: 5 });
+        assert!(!found.is_empty(), "no motif found");
+        // some reported motif must cover most planted sites
+        let hit = found.iter().any(|m| {
+            truth.iter().filter(|t| m.sites.contains(t)).count() >= 5
+        });
+        assert!(hit, "planted sites not recovered: {found:?}");
+        // and its consensus should be close to the planted motif
+        let best = found
+            .iter()
+            .max_by_key(|m| truth.iter().filter(|t| m.sites.contains(t)).count())
+            .unwrap();
+        assert!(
+            hamming(&best.consensus, motif) <= 2,
+            "consensus {} too far from {}",
+            String::from_utf8_lossy(&best.consensus),
+            String::from_utf8_lossy(motif)
+        );
+    }
+
+    #[test]
+    fn quorum_filters_weak_cliques() {
+        let motif = b"ACGTACGTAC";
+        let (mut seqs, _) = planted_instances(3, 40, motif, 0, 3);
+        // a fourth sequence with no instance
+        let mut rng = StdRng::seed_from_u64(99);
+        seqs.push((0..40).map(|_| BASES[rng.gen_range(0..4)]).collect());
+        let found = find_motifs(&seqs, &MotifParams { l: 10, d: 0, q: 3 });
+        assert!(found.iter().any(|m| m.support() >= 3));
+        let found4 = find_motifs(&seqs, &MotifParams { l: 10, d: 0, q: 4 });
+        assert!(
+            found4.iter().all(|m| m.support() >= 4),
+            "quorum violated"
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! l-mer extraction and Hamming distance.
+
+/// One l-mer occurrence: which sequence, where, and the window itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KmerSite {
+    /// Index of the source sequence.
+    pub seq: usize,
+    /// Offset of the window within the sequence.
+    pub pos: usize,
+    /// The window contents (length l).
+    pub text: Vec<u8>,
+}
+
+/// All length-`l` windows of every sequence, in (sequence, position)
+/// order. Sequences shorter than `l` contribute nothing.
+pub fn kmers(seqs: &[Vec<u8>], l: usize) -> Vec<KmerSite> {
+    assert!(l > 0, "window width must be positive");
+    let mut out = Vec::new();
+    for (si, s) in seqs.iter().enumerate() {
+        for pos in 0..s.len().saturating_sub(l - 1) {
+            out.push(KmerSite {
+                seq: si,
+                pos,
+                text: s[pos..pos + l].to_vec(),
+            });
+        }
+    }
+    out
+}
+
+/// Hamming distance of two equal-length byte strings.
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b).filter(|&(x, y)| x != y).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmer_extraction() {
+        let seqs = vec![b"ACGTA".to_vec(), b"GG".to_vec()];
+        let sites = kmers(&seqs, 3);
+        assert_eq!(sites.len(), 3); // ACG, CGT, GTA; "GG" too short
+        assert_eq!(sites[0].text, b"ACG".to_vec());
+        assert_eq!(sites[2], KmerSite { seq: 0, pos: 2, text: b"GTA".to_vec() });
+    }
+
+    #[test]
+    fn kmer_window_equals_sequence_length() {
+        let seqs = vec![b"ACGT".to_vec()];
+        let sites = kmers(&seqs, 4);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].text, b"ACGT".to_vec());
+    }
+
+    #[test]
+    fn hamming_distances() {
+        assert_eq!(hamming(b"ACGT", b"ACGT"), 0);
+        assert_eq!(hamming(b"ACGT", b"ACGA"), 1);
+        assert_eq!(hamming(b"AAAA", b"TTTT"), 4);
+        assert_eq!(hamming(b"", b""), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn hamming_rejects_length_mismatch() {
+        hamming(b"AC", b"ACG");
+    }
+}

@@ -1,0 +1,29 @@
+//! # gsb-motif — clique-based cis-regulatory motif discovery
+//!
+//! The SC'05 paper names "cis regulatory motif finding \[28\]" as a core
+//! application of maximal clique enumeration; \[28\] is the authors' own
+//! HiCOMB 2004 motif-discovery tool. The method, reproduced here:
+//!
+//! 1. slide a window of width `l` over every promoter sequence,
+//!    collecting all **l-mers** ([`kmers`]);
+//! 2. build a graph whose vertices are l-mer occurrences and whose
+//!    edges join occurrences from *different* sequences within Hamming
+//!    distance `2d` of each other (two instances of one (l, d)-motif
+//!    differ by at most 2d substitutions) — [`build_motif_graph`];
+//! 3. enumerate maximal cliques spanning at least `q` distinct
+//!    sequences ([`find_motifs`]): each is a candidate motif, its
+//!    column-majority **consensus** the motif itself.
+//!
+//! This is the classic (l, d) planted-motif formulation; the tests
+//! plant motifs in random backgrounds and recover them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod consensus;
+pub mod discover;
+pub mod kmer;
+
+pub use consensus::consensus;
+pub use discover::{build_motif_graph, find_motifs, Motif, MotifParams};
+pub use kmer::{hamming, kmers, KmerSite};

@@ -1,0 +1,42 @@
+//! # gsb-par — level-synchronous parallelism with centralized balancing
+//!
+//! The SC'05 Clique Enumerator parallelizes by exploiting that "the
+//! generation of (k+1)-cliques from a k-clique sub-list is independent of
+//! any other k-clique sub-lists". Its runtime shape (§2.3):
+//!
+//! 1. a **task scheduler** divides all k-clique sub-lists among worker
+//!    threads and signals them to start;
+//! 2. workers expand their local sub-lists **without communication**;
+//! 3. at a per-level barrier the scheduler collects results, makes a
+//!    **load-balancing decision** (transfer work from heavy to light
+//!    threads when the spread exceeds a threshold derived from the total
+//!    load), and starts the next level;
+//! 4. on shared memory, "transferring" a task passes an address, not data.
+//!
+//! This crate implements that runtime generically:
+//!
+//! * [`pool::WorkerPool`] — persistent worker threads with per-worker
+//!   queues (task affinity) and per-level timing;
+//! * [`balance`] — initial partitioning and the centralized transfer
+//!   policy as pure, testable functions;
+//! * [`stats`] — per-worker/per-level timing records (Fig. 8's
+//!   mean ± stddev comes straight from these);
+//! * [`vsim`] — a deterministic **virtual-processor scheduler simulator**
+//!   that replays measured per-task costs onto P ∈ [1, 256] virtual CPUs
+//!   with a per-level synchronization cost. This substitutes for the
+//!   paper's 256-processor SGI Altix (see DESIGN.md §2): speedup *shape*
+//!   is a function of the task-cost distribution and barrier overhead,
+//!   both of which the simulator takes from real measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod pool;
+pub mod stats;
+pub mod vsim;
+
+pub use balance::{partition_greedy, rebalance, BalancePolicy};
+pub use pool::WorkerPool;
+pub use stats::{LevelStats, RunStats};
+pub use vsim::{SimConfig, SimResult, VirtualScheduler};

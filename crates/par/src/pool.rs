@@ -1,0 +1,174 @@
+//! Persistent worker pool with per-worker queues and per-round timing.
+//!
+//! Workers are long-lived ("multiple threads are forked to perform clique
+//! generation simultaneously and independently" — §2.3) and each round
+//! delivers one batch per worker, preserving task affinity: a worker
+//! keeps operating on its own batch unless the balancer moved work.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed set of persistent worker threads, each with its own queue.
+pub struct WorkerPool {
+    senders: Vec<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+            let handle = std::thread::Builder::new()
+                .name(format!("gsb-worker-{i}"))
+                .spawn(move || {
+                    // Run until the channel closes (pool drop).
+                    for job in rx.iter() {
+                        job();
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Execute one level-synchronous round: worker `i` applies `f(i,
+    /// batch_i)`; blocks until every worker finishes. Returns each
+    /// worker's output and its busy time in nanoseconds (the raw data
+    /// behind the paper's Fig. 8 load-balance plot).
+    ///
+    /// `batches.len()` must equal [`threads`](Self::threads).
+    pub fn run_round<T, R, F>(&self, batches: Vec<T>, f: F) -> Vec<(R, u64)>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        assert_eq!(
+            batches.len(),
+            self.threads(),
+            "one batch per worker required"
+        );
+        let f = Arc::new(f);
+        let (done_tx, done_rx) = bounded::<(usize, R, u64)>(self.threads());
+        for (i, batch) in batches.into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            let done = done_tx.clone();
+            let job: Job = Box::new(move || {
+                let start = Instant::now();
+                let out = f(i, batch);
+                let ns = start.elapsed().as_nanos() as u64;
+                // Receiver outlives the round; send only fails if the
+                // pool is being torn down mid-round, which run_round's
+                // blocking recv below makes impossible.
+                let _ = done.send((i, out, ns));
+            });
+            self.senders[i].send(job).expect("worker channel closed");
+        }
+        drop(done_tx);
+        let mut results: Vec<Option<(R, u64)>> = (0..self.threads()).map(|_| None).collect();
+        for _ in 0..self.threads() {
+            let (i, r, ns) = done_rx.recv().expect("worker died mid-round");
+            results[i] = Some((r, ns));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every worker reports"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // close channels; workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn round_applies_per_worker() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_round(vec![1u64, 2, 3, 4], |i, x| x * 10 + i as u64);
+        let values: Vec<u64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn workers_run_concurrently() {
+        // All 4 workers must be in-flight at once for the rendezvous
+        // counter to reach 4.
+        let pool = WorkerPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let out = pool.run_round(vec![(); 4], {
+            let counter = Arc::clone(&counter);
+            move |_, ()| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                let deadline = Instant::now() + std::time::Duration::from_secs(2);
+                while counter.load(Ordering::SeqCst) < 4 {
+                    if Instant::now() > deadline {
+                        return false;
+                    }
+                    std::hint::spin_loop();
+                }
+                true
+            }
+        });
+        assert!(out.iter().all(|(ok, _)| *ok), "workers did not overlap");
+    }
+
+    #[test]
+    fn multiple_rounds_reuse_threads() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10u64 {
+            let out = pool.run_round(vec![round, round], |_, x| x + 1);
+            assert!(out.iter().all(|(v, _)| *v == round + 1));
+        }
+    }
+
+    #[test]
+    fn timings_reported() {
+        let pool = WorkerPool::new(2);
+        let out = pool.run_round(vec![(), ()], |_, ()| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        });
+        for (_, ns) in out {
+            assert!(ns >= 4_000_000, "busy time {ns}ns too small");
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let out = pool.run_round(vec![7], |_, x: i32| x * 2);
+        assert_eq!(out[0].0, 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn batch_count_must_match() {
+        let pool = WorkerPool::new(2);
+        pool.run_round(vec![1], |_, x: i32| x);
+    }
+}

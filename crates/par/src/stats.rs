@@ -1,0 +1,189 @@
+//! Per-worker / per-level timing records.
+//!
+//! Figure 8 of the paper plots the mean and standard deviation of
+//! execution time *across processors* to show the balancer keeps the
+//! spread within 10% of the mean. These types capture exactly that data
+//! from real runs (and from the virtual simulator).
+
+/// Busy times of every worker for one level-synchronous round.
+#[derive(Clone, Debug, Default)]
+pub struct LevelStats {
+    /// Clique size (or generic level id) this round produced.
+    pub level: usize,
+    /// Per-worker busy nanoseconds.
+    pub per_worker_ns: Vec<u64>,
+    /// Per-worker deterministic work units (empty when the caller does
+    /// not track them). Unlike wall time, these are unaffected by host
+    /// core contention, so they measure the *balancer*, not the OS.
+    pub per_worker_units: Vec<u64>,
+    /// Number of tasks each worker processed.
+    pub per_worker_tasks: Vec<usize>,
+    /// Number of load transfers the balancer made after this round.
+    pub transfers: usize,
+}
+
+impl LevelStats {
+    /// Mean busy time (ns) across workers.
+    pub fn mean_ns(&self) -> f64 {
+        mean(&self.per_worker_ns)
+    }
+
+    /// Population standard deviation of busy time (ns) across workers.
+    pub fn stddev_ns(&self) -> f64 {
+        stddev(&self.per_worker_ns)
+    }
+
+    /// Relative imbalance: stddev / mean (0 when idle).
+    pub fn imbalance(&self) -> f64 {
+        let m = self.mean_ns();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev_ns() / m
+        }
+    }
+}
+
+/// Timing of a whole multi-level run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per level, in execution order.
+    pub levels: Vec<LevelStats>,
+    /// Wall-clock nanoseconds of the full run.
+    pub wall_ns: u64,
+}
+
+impl RunStats {
+    /// Total busy time per worker, summed over levels (the per-processor
+    /// run times of Fig. 8).
+    pub fn per_worker_totals(&self) -> Vec<u64> {
+        let workers = self
+            .levels
+            .iter()
+            .map(|l| l.per_worker_ns.len())
+            .max()
+            .unwrap_or(0);
+        let mut totals = vec![0u64; workers];
+        for l in &self.levels {
+            for (w, &ns) in l.per_worker_ns.iter().enumerate() {
+                totals[w] += ns;
+            }
+        }
+        totals
+    }
+
+    /// Mean of per-worker total busy times.
+    pub fn mean_worker_ns(&self) -> f64 {
+        mean(&self.per_worker_totals())
+    }
+
+    /// Stddev of per-worker total busy times.
+    pub fn stddev_worker_ns(&self) -> f64 {
+        stddev(&self.per_worker_totals())
+    }
+
+    /// Total work units per worker, summed over levels (the
+    /// contention-free view of Fig. 8's load balance).
+    pub fn per_worker_unit_totals(&self) -> Vec<u64> {
+        let workers = self
+            .levels
+            .iter()
+            .map(|l| l.per_worker_units.len())
+            .max()
+            .unwrap_or(0);
+        let mut totals = vec![0u64; workers];
+        for l in &self.levels {
+            for (w, &u) in l.per_worker_units.iter().enumerate() {
+                totals[w] += u;
+            }
+        }
+        totals
+    }
+
+    /// Total number of balancer transfers across levels.
+    pub fn total_transfers(&self) -> usize {
+        self.levels.iter().map(|l| l.transfers).sum()
+    }
+}
+
+/// Mean of a u64 slice (0 when empty).
+pub fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+/// Population standard deviation of a u64 slice (0 when empty).
+pub fn stddev(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs
+        .iter()
+        .map(|&x| {
+            let d = x as f64 - m;
+            d * d
+        })
+        .sum::<f64>()
+        / xs.len() as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2, 4, 6]), 4.0);
+        assert_eq!(stddev(&[5, 5, 5]), 0.0);
+        assert!((stddev(&[2, 4, 6]) - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_imbalance() {
+        let l = LevelStats {
+            level: 3,
+            per_worker_ns: vec![100, 100, 100, 100],
+            per_worker_units: vec![10; 4],
+            per_worker_tasks: vec![1; 4],
+            transfers: 0,
+        };
+        assert_eq!(l.imbalance(), 0.0);
+        let l2 = LevelStats {
+            per_worker_ns: vec![0, 0],
+            ..Default::default()
+        };
+        assert_eq!(l2.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn run_totals_accumulate() {
+        let run = RunStats {
+            levels: vec![
+                LevelStats {
+                    level: 3,
+                    per_worker_ns: vec![10, 20],
+                    per_worker_units: Vec::new(),
+                    per_worker_tasks: vec![1, 2],
+                    transfers: 1,
+                },
+                LevelStats {
+                    level: 4,
+                    per_worker_ns: vec![5, 5],
+                    per_worker_units: Vec::new(),
+                    per_worker_tasks: vec![1, 1],
+                    transfers: 0,
+                },
+            ],
+            wall_ns: 42,
+        };
+        assert_eq!(run.per_worker_totals(), vec![15, 25]);
+        assert_eq!(run.mean_worker_ns(), 20.0);
+        assert_eq!(run.total_transfers(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Virtual-processor scheduler simulation.
+//!
+//! The paper's scaling study (Figs. 5–7) ran on a 256-processor SGI
+//! Altix. We substitute a deterministic simulator: take the *measured*
+//! per-task (per-sub-list) costs of a real sequential run, one list per
+//! level, and replay them onto `P` virtual processors under the same
+//! level-synchronous discipline — per level, tasks are partitioned,
+//! the level's wall time is the makespan, and a synchronization cost
+//! `sync_base + sync_per_proc × P` is charged per level (the
+//! "network and synchronization latency" that the paper says dominates
+//! at 256 processors when per-level work shrinks).
+//!
+//! This preserves exactly what the figures claim: near-linear speedup
+//! while per-level work dwarfs the barrier; degradation once it does
+//! not; larger problems (smaller `init_k`) scaling further (Fig. 7).
+
+use crate::balance::{makespan, partition_greedy};
+
+/// Task partitioning discipline per level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Longest-processing-time greedy using known costs (models the
+    /// paper's centralized balancer with good estimates).
+    Lpt,
+    /// Round-robin by task index, blind to cost (models *no* balancing).
+    Static,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Fixed per-level scheduler/barrier cost (ns).
+    pub sync_base_ns: u64,
+    /// Additional per-level cost per processor (ns) — result collection
+    /// and signalling grow with P.
+    pub sync_per_proc_ns: u64,
+    /// Partitioning discipline.
+    pub strategy: Strategy,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            // Calibrated to commodity-scale barriers: tens of µs fixed
+            // cost plus ~2µs per participant.
+            sync_base_ns: 50_000,
+            sync_per_proc_ns: 2_000,
+            strategy: Strategy::Lpt,
+        }
+    }
+}
+
+/// Result of simulating one processor count.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Simulated processors.
+    pub procs: usize,
+    /// Simulated total wall time (ns), including synchronization.
+    pub total_ns: u64,
+    /// Per-level makespans (ns), excluding synchronization.
+    pub level_makespan_ns: Vec<u64>,
+    /// Per-processor total busy time (ns).
+    pub per_proc_busy_ns: Vec<u64>,
+}
+
+impl SimResult {
+    /// Busy fraction: Σ busy / (P × wall).
+    pub fn efficiency(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 1.0;
+        }
+        let busy: u64 = self.per_proc_busy_ns.iter().sum();
+        busy as f64 / (self.procs as f64 * self.total_ns as f64)
+    }
+}
+
+/// Replays measured per-level task costs onto virtual processors.
+///
+/// ```
+/// use gsb_par::{SimConfig, VirtualScheduler};
+/// // two levels of 64 x 1 ms tasks
+/// let vs = VirtualScheduler::new(vec![vec![1_000_000; 64]; 2], SimConfig::default());
+/// let sweep = vs.sweep(&[1, 8, 64]);
+/// assert!(sweep[1].2 > 7.0);   // near-linear at 8 procs
+/// assert!(sweep[2].2 > 20.0);  // still strong at 64
+/// ```
+#[derive(Clone, Debug)]
+pub struct VirtualScheduler {
+    levels: Vec<Vec<u64>>,
+    config: SimConfig,
+}
+
+impl VirtualScheduler {
+    /// Build from per-level task costs (ns), in level order.
+    pub fn new(levels: Vec<Vec<u64>>, config: SimConfig) -> Self {
+        VirtualScheduler { levels, config }
+    }
+
+    /// Total sequential work (ns).
+    pub fn sequential_ns(&self) -> u64 {
+        self.levels.iter().flat_map(|l| l.iter()).sum()
+    }
+
+    /// Simulate a run on `procs` virtual processors.
+    pub fn run(&self, procs: usize) -> SimResult {
+        let procs = procs.max(1);
+        let mut total = 0u64;
+        let mut level_makespans = Vec::with_capacity(self.levels.len());
+        let mut busy = vec![0u64; procs];
+        for costs in &self.levels {
+            let assign = match self.config.strategy {
+                Strategy::Lpt => partition_greedy(costs, procs),
+                Strategy::Static => {
+                    let mut a: Vec<Vec<usize>> = vec![Vec::new(); procs];
+                    for (i, _) in costs.iter().enumerate() {
+                        a[i % procs].push(i);
+                    }
+                    a
+                }
+            };
+            let queues: Vec<Vec<u64>> = assign
+                .iter()
+                .map(|idxs| idxs.iter().map(|&i| costs[i]).collect())
+                .collect();
+            let ms = makespan(&queues);
+            level_makespans.push(ms);
+            for (p, q) in queues.iter().enumerate() {
+                busy[p] += q.iter().sum::<u64>();
+            }
+            let sync = if procs > 1 {
+                self.config.sync_base_ns + self.config.sync_per_proc_ns * procs as u64
+            } else {
+                0
+            };
+            total += ms + sync;
+        }
+        SimResult {
+            procs,
+            total_ns: total,
+            level_makespan_ns: level_makespans,
+            per_proc_busy_ns: busy,
+        }
+    }
+
+    /// Simulate a sweep of processor counts; returns `(P, total_ns,
+    /// absolute speedup vs P=1)` rows.
+    pub fn sweep(&self, procs: &[usize]) -> Vec<(usize, u64, f64)> {
+        let t1 = self.run(1).total_ns.max(1);
+        procs
+            .iter()
+            .map(|&p| {
+                let r = self.run(p);
+                (p, r.total_ns, t1 as f64 / r.total_ns.max(1) as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_levels(levels: usize, tasks: usize, cost: u64) -> Vec<Vec<u64>> {
+        (0..levels).map(|_| vec![cost; tasks]).collect()
+    }
+
+    #[test]
+    fn one_proc_matches_sequential() {
+        let v = VirtualScheduler::new(uniform_levels(4, 10, 1_000_000), SimConfig::default());
+        assert_eq!(v.run(1).total_ns, v.sequential_ns());
+    }
+
+    #[test]
+    fn linear_speedup_with_big_uniform_tasks() {
+        // 64 tasks of 10ms per level: barrier cost is negligible, so
+        // speedup at 8 procs should be close to 8.
+        let v = VirtualScheduler::new(uniform_levels(5, 64, 10_000_000), SimConfig::default());
+        let rows = v.sweep(&[1, 8]);
+        let s8 = rows[1].2;
+        assert!(s8 > 7.5, "speedup {s8}");
+    }
+
+    #[test]
+    fn speedup_degrades_when_sync_dominates() {
+        // tiny tasks: at 256 procs sync swamps the work
+        let v = VirtualScheduler::new(uniform_levels(20, 256, 10_000), SimConfig::default());
+        let rows = v.sweep(&[64, 256]);
+        let (s64, s256) = (rows[0].2, rows[1].2);
+        assert!(
+            s256 < s64,
+            "expected degradation: s64={s64:.1} s256={s256:.1}"
+        );
+    }
+
+    #[test]
+    fn bigger_problems_scale_further() {
+        // Fig. 7's claim: with more sequential work, the speedup at a
+        // fixed large P increases.
+        let small = VirtualScheduler::new(uniform_levels(5, 64, 200_000), SimConfig::default());
+        let large = VirtualScheduler::new(uniform_levels(5, 64, 20_000_000), SimConfig::default());
+        let s_small = small.sweep(&[256])[0].2;
+        let s_large = large.sweep(&[256])[0].2;
+        assert!(
+            s_large > s_small,
+            "s_large={s_large:.1} s_small={s_small:.1}"
+        );
+    }
+
+    #[test]
+    fn lpt_beats_static_on_skew() {
+        let mut level = vec![1_000u64; 31];
+        level.push(1_000_000);
+        let skewed = vec![level; 3];
+        let lpt = VirtualScheduler::new(
+            skewed.clone(),
+            SimConfig {
+                strategy: Strategy::Lpt,
+                ..SimConfig::default()
+            },
+        );
+        let stat = VirtualScheduler::new(
+            skewed,
+            SimConfig {
+                strategy: Strategy::Static,
+                ..SimConfig::default()
+            },
+        );
+        assert!(lpt.run(4).total_ns <= stat.run(4).total_ns);
+    }
+
+    #[test]
+    fn efficiency_bounded() {
+        let v = VirtualScheduler::new(uniform_levels(3, 16, 1_000_000), SimConfig::default());
+        for p in [1, 2, 4, 32] {
+            let e = v.run(p).efficiency();
+            assert!((0.0..=1.0 + 1e-9).contains(&e), "efficiency {e}");
+        }
+    }
+
+    #[test]
+    fn empty_levels_cost_only_sync() {
+        let v = VirtualScheduler::new(vec![vec![], vec![]], SimConfig::default());
+        assert_eq!(v.run(1).total_ns, 0);
+        let r = v.run(4);
+        assert_eq!(r.total_ns, 2 * (50_000 + 2_000 * 4));
+    }
+}

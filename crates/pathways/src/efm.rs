@@ -1,0 +1,312 @@
+//! Elementary flux mode / extreme pathway enumeration.
+//!
+//! The double-description ("tableau") algorithm of Schuster et al.,
+//! which the paper's §1 identifies as the core of pathway analysis and
+//! as polynomially equivalent to enumerating the vertices of a convex
+//! polyhedron: start from the identity tableau over reactions, process
+//! one metabolite (steady-state constraint) at a time by keeping rows
+//! already at zero and combining positive×negative pairs, pruning any
+//! combination whose support strictly contains another row's support.
+//! Surviving rows are exactly the elementary modes.
+
+use crate::stoich::MetabolicNetwork;
+
+const TOL: f64 = 1e-9;
+
+/// One elementary flux mode in the *original* reaction space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluxMode {
+    /// Flux through each original reaction (normalized: max |flux| = 1;
+    /// reversible reactions may carry negative flux).
+    pub fluxes: Vec<f64>,
+    /// Indices of reactions with nonzero flux, ascending.
+    pub support: Vec<usize>,
+}
+
+/// Tableau row during enumeration (over the split, irreversible
+/// network).
+#[derive(Clone, Debug)]
+struct Row {
+    flux: Vec<f64>,
+    met: Vec<f64>,
+}
+
+impl Row {
+    fn support(&self) -> Vec<usize> {
+        self.flux
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f.abs() > TOL)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn normalize(&mut self) {
+        let max = self.flux.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        if max > TOL {
+            for f in &mut self.flux {
+                *f /= max;
+                if f.abs() <= TOL {
+                    *f = 0.0;
+                }
+            }
+            for m in &mut self.met {
+                *m /= max;
+                if m.abs() <= TOL {
+                    *m = 0.0;
+                }
+            }
+        }
+    }
+}
+
+fn is_strict_subset(a: &[usize], b: &[usize]) -> bool {
+    a.len() < b.len() && a.iter().all(|x| b.binary_search(x).is_ok())
+}
+
+/// Enumerate the elementary flux modes of `net`.
+///
+/// ```
+/// use gsb_pathways::MetabolicNetwork;
+/// let mut net = MetabolicNetwork::new();
+/// net.reaction("in", false, &[("A", 1.0)]);
+/// net.reaction("convert", false, &[("A", -1.0), ("B", 1.0)]);
+/// net.reaction("out", false, &[("B", -1.0)]);
+/// let modes = gsb_pathways::elementary_flux_modes(&net);
+/// assert_eq!(modes.len(), 1);
+/// assert_eq!(modes[0].support, vec![0, 1, 2]);
+/// ```
+///
+/// Reversible reactions
+/// are split, enumerated irreversibly, folded back, and deduplicated
+/// (a fully reversible mode is reported once, with its first nonzero
+/// flux positive).
+pub fn elementary_flux_modes(net: &MetabolicNetwork) -> Vec<FluxMode> {
+    let (split, origin) = net.split_reversible();
+    let s = split.stoichiometric_matrix();
+    let r = split.n_reactions();
+    let m = split.n_metabolites();
+
+    // Initial tableau: identity flux part, S-columns as metabolite part.
+    let mut rows: Vec<Row> = (0..r)
+        .map(|j| {
+            let mut flux = vec![0.0; r];
+            flux[j] = 1.0;
+            Row {
+                flux,
+                met: (0..m).map(|i| s[i][j]).collect(),
+            }
+        })
+        .collect();
+
+    for i in 0..m {
+        let (zeros, nonzeros): (Vec<Row>, Vec<Row>) =
+            rows.drain(..).partition(|row| row.met[i].abs() <= TOL);
+        let mut next = zeros;
+        let pos: Vec<&Row> = nonzeros.iter().filter(|r| r.met[i] > 0.0).collect();
+        let neg: Vec<&Row> = nonzeros.iter().filter(|r| r.met[i] < 0.0).collect();
+        let mut candidates = Vec::new();
+        for p in &pos {
+            for q in &neg {
+                let (a, b) = (-q.met[i], p.met[i]); // a·p + b·q zeroes column i
+                let mut combined = Row {
+                    flux: p
+                        .flux
+                        .iter()
+                        .zip(&q.flux)
+                        .map(|(x, y)| a * x + b * y)
+                        .collect(),
+                    met: p
+                        .met
+                        .iter()
+                        .zip(&q.met)
+                        .map(|(x, y)| a * x + b * y)
+                        .collect(),
+                };
+                combined.met[i] = 0.0;
+                combined.normalize();
+                candidates.push(combined);
+            }
+        }
+        // Elementarity: keep a candidate iff no other surviving row's
+        // support is a strict subset, and drop duplicate supports (an
+        // elementary mode is determined by its support up to scale).
+        let mut all: Vec<Row> = next.drain(..).chain(candidates).collect();
+        let supports: Vec<Vec<usize>> = all.iter().map(Row::support).collect();
+        let mut keep = vec![true; all.len()];
+        for x in 0..all.len() {
+            if !keep[x] {
+                continue;
+            }
+            for y in 0..all.len() {
+                if x == y || !keep[y] {
+                    continue;
+                }
+                if is_strict_subset(&supports[y], &supports[x]) {
+                    keep[x] = false;
+                    break;
+                }
+                if supports[x] == supports[y] && y < x {
+                    keep[x] = false; // duplicate support, keep first
+                    break;
+                }
+            }
+        }
+        rows = all
+            .drain(..)
+            .zip(keep)
+            .filter_map(|(row, k)| k.then_some(row))
+            .collect();
+    }
+
+    // Fold the split fluxes back to the original reaction space.
+    let n_orig = net.n_reactions();
+    let mut modes: Vec<FluxMode> = Vec::new();
+    'rows: for row in &rows {
+        let mut fluxes = vec![0.0f64; n_orig];
+        for (j, &(orig, dir)) in origin.iter().enumerate() {
+            fluxes[orig] += f64::from(dir) * row.flux[j];
+        }
+        let max = fluxes.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+        if max <= TOL {
+            continue; // forward+backward two-cycle of a split reaction
+        }
+        for f in &mut fluxes {
+            *f /= max;
+            if f.abs() <= TOL {
+                *f = 0.0;
+            }
+        }
+        // canonical sign: first nonzero flux positive
+        if let Some(first) = fluxes.iter().find(|f| f.abs() > TOL) {
+            if *first < 0.0 {
+                for f in &mut fluxes {
+                    *f = -*f;
+                }
+            }
+        }
+        let support: Vec<usize> = fluxes
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f.abs() > TOL)
+            .map(|(i, _)| i)
+            .collect();
+        for existing in &modes {
+            if existing.support == support {
+                continue 'rows; // reverse duplicate of a reversible mode
+            }
+        }
+        modes.push(FluxMode { fluxes, support });
+    }
+    modes.sort_by(|a, b| a.support.cmp(&b.support));
+    modes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stoich::example_linear_chain;
+
+    fn assert_all_steady(net: &MetabolicNetwork, modes: &[FluxMode]) {
+        for m in modes {
+            assert!(
+                net.is_steady_state(&m.fluxes, 1e-6),
+                "mode {:?} violates steady state: residual {:?}",
+                m.fluxes,
+                net.residual(&m.fluxes)
+            );
+        }
+    }
+
+    #[test]
+    fn linear_chain_has_one_mode() {
+        let net = example_linear_chain();
+        let modes = elementary_flux_modes(&net);
+        assert_eq!(modes.len(), 1);
+        assert_eq!(modes[0].support, vec![0, 1, 2, 3]);
+        assert_all_steady(&net, &modes);
+    }
+
+    #[test]
+    fn diamond_has_two_modes() {
+        // A → B → D and A → C → D
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("A_B", false, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("A_C", false, &[("A", -1.0), ("C", 1.0)]);
+        net.reaction("B_D", false, &[("B", -1.0), ("D", 1.0)]);
+        net.reaction("C_D", false, &[("C", -1.0), ("D", 1.0)]);
+        net.reaction("out_D", false, &[("D", -1.0)]);
+        let modes = elementary_flux_modes(&net);
+        assert_eq!(modes.len(), 2);
+        assert_all_steady(&net, &modes);
+        let supports: Vec<_> = modes.iter().map(|m| m.support.clone()).collect();
+        assert!(supports.contains(&vec![0, 1, 3, 5]));
+        assert!(supports.contains(&vec![0, 2, 4, 5]));
+    }
+
+    #[test]
+    fn reversible_reaction_reported_once() {
+        // A ⇌ B with exchange on both sides: one mode A→B (canonical
+        // sign), its reverse deduplicated... plus nothing else.
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", true, &[("A", 1.0)]);
+        net.reaction("A_B", true, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("out_B", true, &[("B", -1.0)]);
+        let modes = elementary_flux_modes(&net);
+        assert_eq!(modes.len(), 1, "modes: {modes:?}");
+        assert_eq!(modes[0].support, vec![0, 1, 2]);
+        assert_all_steady(&net, &modes);
+    }
+
+    #[test]
+    fn stoichiometry_scales_fluxes() {
+        // 2A → B: the mode must carry flux ratio 1:2 between uptake of
+        // A (doubled) and production of B.
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("2A_B", false, &[("A", -2.0), ("B", 1.0)]);
+        net.reaction("out_B", false, &[("B", -1.0)]);
+        let modes = elementary_flux_modes(&net);
+        assert_eq!(modes.len(), 1);
+        let m = &modes[0];
+        assert!((m.fluxes[0] / m.fluxes[1] - 2.0).abs() < 1e-9);
+        assert_all_steady(&net, &modes);
+    }
+
+    #[test]
+    fn supports_are_minimal() {
+        // No EFM support may strictly contain another (elementarity).
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("A_B", false, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("A_C", false, &[("A", -1.0), ("C", 1.0)]);
+        net.reaction("B_C", false, &[("B", -1.0), ("C", 1.0)]);
+        net.reaction("out_C", false, &[("C", -1.0)]);
+        let modes = elementary_flux_modes(&net);
+        assert_all_steady(&net, &modes);
+        for a in &modes {
+            for b in &modes {
+                if a.support != b.support {
+                    assert!(
+                        !is_strict_subset(&a.support, &b.support),
+                        "{:?} ⊂ {:?}",
+                        a.support,
+                        b.support
+                    );
+                }
+            }
+        }
+        assert_eq!(modes.len(), 2);
+    }
+
+    #[test]
+    fn dead_end_metabolite_kills_modes() {
+        // A → B with no way to consume B: no steady-state mode.
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("A_B", false, &[("A", -1.0), ("B", 1.0)]);
+        let modes = elementary_flux_modes(&net);
+        assert!(modes.is_empty(), "modes: {modes:?}");
+    }
+}

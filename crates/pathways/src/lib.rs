@@ -1,0 +1,34 @@
+//! # gsb-pathways — metabolic pathway analysis substrate
+//!
+//! The SC'05 paper's first motivating application (§1): "the
+//! enumeration of a complete set of 'systemically independent'
+//! metabolic pathways, termed 'extreme pathways', is at the core of
+//! these approaches", with the noted mitigations of the exponential
+//! blow-up — "considering the reduced reaction network (with the enzyme
+//! subsets taken as combined reactions)". This crate implements that
+//! stack from scratch:
+//!
+//! * [`stoich`] — metabolic networks and their stoichiometric matrices;
+//! * [`subsets`] — enzyme-subset detection (reactions with structurally
+//!   fixed flux ratios, via the kernel of S);
+//! * [`reduce`] — the METATOOL-style reduced network: enzyme subsets
+//!   merged into combined reactions, with mode expansion back to the
+//!   original space;
+//! * [`efm`] — elementary flux mode / extreme pathway enumeration by
+//!   the double-description tableau algorithm (Schuster-style), which
+//!   is exactly the convex-polyhedron vertex enumeration the paper
+//!   calls NP-hard.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod efm;
+pub mod models;
+pub mod reduce;
+pub mod stoich;
+pub mod subsets;
+
+pub use efm::{elementary_flux_modes, FluxMode};
+pub use stoich::{MetabolicNetwork, Reaction};
+pub use reduce::{reduce_network, ReducedNetwork};
+pub use subsets::enzyme_subsets;

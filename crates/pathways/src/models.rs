@@ -1,0 +1,141 @@
+//! Curated example networks with regression-tested pathway structure.
+//!
+//! [`core_carbon`] is a simplified core-carbon-metabolism model in the
+//! style of the networks the extreme-pathway papers analyze
+//! (glycolysis trunk, a pentose-phosphate-like bypass, fermentation vs.
+//! respiration branch, and exchange fluxes). Small enough to enumerate
+//! in microseconds, rich enough to exercise subsets, reduction, and
+//! reversibility handling.
+
+use crate::stoich::MetabolicNetwork;
+
+/// A ~14-reaction core-carbon model. Metabolites: GLC (glucose), G6P,
+/// F6P, T3P (triose), PYR (pyruvate), ACE (acetate-like overflow
+/// product), CO2, ATP, NADH.
+///
+/// Known structure (pinned by tests): every steady-state mode takes
+/// glucose to some mix of overflow product, CO2, and biomass drain;
+/// ATP/NADH are balanced internally.
+pub fn core_carbon() -> MetabolicNetwork {
+    let mut net = MetabolicNetwork::new();
+    // Exchange fluxes
+    net.reaction("glc_uptake", false, &[("GLC", 1.0)]);
+    net.reaction("ace_export", false, &[("ACE", -1.0)]);
+    net.reaction("co2_export", false, &[("CO2", -1.0)]);
+    net.reaction("atp_drain", false, &[("ATP", -1.0)]); // growth/maintenance
+    // Glycolysis trunk
+    net.reaction("hexokinase", false, &[("GLC", -1.0), ("ATP", -1.0), ("G6P", 1.0)]);
+    net.reaction("pgi", true, &[("G6P", -1.0), ("F6P", 1.0)]);
+    net.reaction(
+        "aldolase_chain",
+        false,
+        &[("F6P", -1.0), ("ATP", -1.0), ("T3P", 2.0)],
+    );
+    net.reaction(
+        "lower_glycolysis",
+        false,
+        &[("T3P", -1.0), ("PYR", 1.0), ("ATP", 2.0), ("NADH", 1.0)],
+    );
+    // Pentose-phosphate-like bypass: G6P -> T3P + CO2 (lumped), no ATP
+    net.reaction(
+        "ppp_bypass",
+        false,
+        &[("G6P", -1.0), ("T3P", 0.5), ("CO2", 1.0), ("NADH", 2.0)],
+    );
+    // Fermentation: PYR + NADH -> ACE (lumped overflow, reoxidizes NADH)
+    net.reaction(
+        "fermentation",
+        false,
+        &[("PYR", -1.0), ("NADH", -1.0), ("ACE", 1.0)],
+    );
+    // Respiration: PYR + NADH burn to CO2, making ATP (lumped TCA+ETC)
+    net.reaction(
+        "respiration",
+        false,
+        &[("PYR", -1.0), ("NADH", -1.0), ("CO2", 3.0), ("ATP", 4.0)],
+    );
+    // NADH shuttle valve: NADH -> ATP (lumped oxidative phosphorylation
+    // for excess redox)
+    net.reaction("oxphos", false, &[("NADH", -1.0), ("ATP", 1.5)]);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efm::elementary_flux_modes;
+    use crate::reduce::reduce_network;
+    use crate::subsets::enzyme_subsets;
+
+    #[test]
+    fn model_shape() {
+        let net = core_carbon();
+        assert_eq!(net.n_metabolites(), 9);
+        assert_eq!(net.n_reactions(), 12);
+    }
+
+    #[test]
+    fn modes_exist_and_are_steady() {
+        let net = core_carbon();
+        let modes = elementary_flux_modes(&net);
+        assert!(!modes.is_empty(), "core model must have pathways");
+        for m in &modes {
+            assert!(
+                net.is_steady_state(&m.fluxes, 1e-6),
+                "mode {:?}",
+                m.support
+            );
+            // every mode must move carbon: glucose uptake active
+            assert!(m.fluxes[0] > 0.0, "mode without uptake: {:?}", m.support);
+        }
+        // regression: the enumeration is deterministic
+        let modes2 = elementary_flux_modes(&net);
+        assert_eq!(modes.len(), modes2.len());
+    }
+
+    #[test]
+    fn regression_mode_count() {
+        // Pinned: changing the algorithm must not silently change the
+        // pathway count of the curated model.
+        let modes = elementary_flux_modes(&core_carbon());
+        assert_eq!(modes.len(), 4, "supports: {:?}",
+            modes.iter().map(|m| m.support.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn glycolysis_trunk_is_a_subset() {
+        // hexokinase and the uptake are locked 1:1 (only consumer of GLC).
+        let net = core_carbon();
+        let (subsets, blocked) = enzyme_subsets(&net);
+        assert!(blocked.is_empty());
+        let find = |name: &str| {
+            net.reactions()
+                .iter()
+                .position(|r| r.name == name)
+                .unwrap()
+        };
+        let uptake = find("glc_uptake");
+        let hexo = find("hexokinase");
+        let together = subsets
+            .iter()
+            .any(|s| s.contains(&uptake) && s.contains(&hexo));
+        assert!(together, "subsets: {subsets:?}");
+    }
+
+    #[test]
+    fn reduction_shrinks_and_expands_back() {
+        let net = core_carbon();
+        let red = reduce_network(&net);
+        assert!(red.network.n_reactions() < net.n_reactions());
+        let reduced_modes = elementary_flux_modes(&red.network);
+        for m in &reduced_modes {
+            let full = red.expand_mode(&m.fluxes);
+            assert!(net.is_steady_state(&full, 1e-6));
+        }
+        assert_eq!(
+            reduced_modes.len(),
+            elementary_flux_modes(&net).len(),
+            "reduction must preserve the pathway count"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Network reduction by enzyme-subset merging.
+//!
+//! The paper (§1) lists "considering the reduced reaction network (with
+//! the enzyme subsets taken as combined reactions)" as the standard
+//! mitigation of the extreme-pathway blow-up [11, 23]. Each enzyme
+//! subset — reactions structurally locked to fixed flux ratios — is
+//! collapsed into one combined reaction whose stoichiometry is the
+//! ratio-weighted sum of its members; intermediate metabolites cancel
+//! out. Elementary flux modes of the reduced network are in one-to-one
+//! correspondence with those of the original, which [`ReducedNetwork::expand_mode`]
+//! realizes and the tests verify.
+
+use crate::stoich::{MetabolicNetwork, Reaction};
+use crate::subsets::{enzyme_subsets, kernel_basis};
+
+const TOL: f64 = 1e-9;
+
+/// Result of reducing a network.
+#[derive(Clone, Debug)]
+pub struct ReducedNetwork {
+    /// The reduced network (one reaction per enzyme subset).
+    pub network: MetabolicNetwork,
+    /// For each reduced reaction: the original reaction indices and the
+    /// flux each carries per unit of combined flux.
+    pub members: Vec<Vec<(usize, f64)>>,
+    /// Original reactions that can carry no steady-state flux.
+    pub blocked: Vec<usize>,
+    /// Number of reactions in the original network.
+    pub original_reactions: usize,
+}
+
+/// Merge every enzyme subset into a single combined reaction.
+pub fn reduce_network(net: &MetabolicNetwork) -> ReducedNetwork {
+    let (subsets, blocked) = enzyme_subsets(net);
+    let s = net.stoichiometric_matrix();
+    let r = net.n_reactions();
+    let basis = kernel_basis(&s, r);
+    let kernel_row = |i: usize| -> Vec<f64> { basis.iter().map(|b| b[i]).collect() };
+
+    let mut reduced = MetabolicNetwork::new();
+    // Preserve metabolite interning (names and indices).
+    for name in net.metabolite_names() {
+        reduced.metabolite(name);
+    }
+    let mut members_out = Vec::with_capacity(subsets.len());
+    for subset in &subsets {
+        let lead = subset[0];
+        // Ratios relative to the subset's lead reaction, read off any
+        // kernel vector in which the subset is active.
+        let lead_row = kernel_row(lead);
+        let dim = lead_row
+            .iter()
+            .position(|x| x.abs() > TOL)
+            .expect("unblocked reaction has a nonzero kernel entry");
+        let lead_val = lead_row[dim];
+        let ratios: Vec<(usize, f64)> = subset
+            .iter()
+            .map(|&i| (i, kernel_row(i)[dim] / lead_val))
+            .collect();
+        // Combined stoichiometry: ratio-weighted sum of member columns;
+        // internal intermediates cancel.
+        let mut combined = vec![0.0f64; net.n_metabolites()];
+        for &(i, ratio) in &ratios {
+            for &(m, c) in &net.reactions()[i].stoich {
+                combined[m] += ratio * c;
+            }
+        }
+        let stoich: Vec<(usize, f64)> = combined
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, c)| c.abs() > TOL)
+            .collect();
+        // The combined reaction can run backward only if every member
+        // either is reversible or carries negative ratio-forward flux
+        // symmetry; conservatively: all members reversible.
+        let reversible = subset.iter().all(|&i| net.reactions()[i].reversible);
+        let name = subset
+            .iter()
+            .map(|&i| net.reactions()[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+        push_raw_reaction(&mut reduced, Reaction {
+            name,
+            reversible,
+            stoich,
+        });
+        members_out.push(ratios);
+    }
+    ReducedNetwork {
+        network: reduced,
+        members: members_out,
+        blocked,
+        original_reactions: r,
+    }
+}
+
+/// Append a reaction whose stoichiometry is already in metabolite
+/// indices (the builder API takes names).
+fn push_raw_reaction(net: &mut MetabolicNetwork, reaction: Reaction) {
+    let names: Vec<String> = net.metabolite_names().to_vec();
+    let by_name: Vec<(&str, f64)> = reaction
+        .stoich
+        .iter()
+        .map(|&(m, c)| (names[m].as_str(), c))
+        .collect();
+    net.reaction(&reaction.name, reaction.reversible, &by_name);
+}
+
+impl ReducedNetwork {
+    /// Expand a flux vector over the reduced network back to the
+    /// original reaction space.
+    pub fn expand_mode(&self, reduced_flux: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            reduced_flux.len(),
+            self.network.n_reactions(),
+            "flux length mismatch"
+        );
+        let mut full = vec![0.0f64; self.original_reactions];
+        for (subset, &v) in self.members.iter().zip(reduced_flux) {
+            for &(orig, ratio) in subset {
+                full[orig] += ratio * v;
+            }
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::efm::elementary_flux_modes;
+    use crate::stoich::example_linear_chain;
+
+    fn branched() -> MetabolicNetwork {
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("A_B", false, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("out_B", false, &[("B", -1.0)]);
+        net.reaction("A_C", false, &[("A", -1.0), ("C", 1.0)]);
+        net.reaction("out_C", false, &[("C", -1.0)]);
+        net
+    }
+
+    #[test]
+    fn linear_chain_collapses_to_one_reaction() {
+        let net = example_linear_chain();
+        let red = reduce_network(&net);
+        assert_eq!(red.network.n_reactions(), 1);
+        // the whole chain nets to nothing: uptake and excretion cancel
+        assert!(red.network.reactions()[0].stoich.is_empty());
+        assert_eq!(red.members[0].len(), 4);
+        for &(_, ratio) in &red.members[0] {
+            assert!((ratio - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn branched_reduces_to_three() {
+        let net = branched();
+        let red = reduce_network(&net);
+        assert_eq!(red.network.n_reactions(), 3);
+        assert!(red.blocked.is_empty());
+        // Intermediates B and C cancel inside the merged branches: the
+        // two branch reactions consume exactly one A each.
+        let consume_a: Vec<bool> = red
+            .network
+            .reactions()
+            .iter()
+            .map(|r| r.stoich == vec![(0, -1.0)])
+            .collect();
+        assert_eq!(consume_a.iter().filter(|&&x| x).count(), 2);
+    }
+
+    #[test]
+    fn efms_of_reduced_expand_to_original_modes() {
+        let net = branched();
+        let red = reduce_network(&net);
+        let reduced_modes = elementary_flux_modes(&red.network);
+        let original_modes = elementary_flux_modes(&net);
+        assert_eq!(reduced_modes.len(), original_modes.len());
+        for m in &reduced_modes {
+            let full = red.expand_mode(&m.fluxes);
+            assert!(
+                net.is_steady_state(&full, 1e-6),
+                "expanded mode {full:?} not steady"
+            );
+        }
+    }
+
+    #[test]
+    fn stoichiometric_ratios_preserved() {
+        // 2A -> B chained with B -> C: the subset carries flux ratio
+        // u:v = 1:... combined must consume 2 A per C produced.
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("2A_B", false, &[("A", -2.0), ("B", 1.0)]);
+        net.reaction("B_C", false, &[("B", -1.0), ("C", 1.0)]);
+        net.reaction("out_C", false, &[("C", -1.0)]);
+        let red = reduce_network(&net);
+        assert_eq!(red.network.n_reactions(), 1);
+        let modes = elementary_flux_modes(&net);
+        assert_eq!(modes.len(), 1);
+        // in_A runs at 2x the rate of 2A_B
+        let m = &modes[0];
+        assert!((m.fluxes[0] / m.fluxes[1] - 2.0).abs() < 1e-9);
+        // reduction's ratios say the same
+        let ratios = &red.members[0];
+        let get = |i: usize| ratios.iter().find(|&&(j, _)| j == i).unwrap().1;
+        assert!((get(0) / get(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocked_reactions_are_dropped() {
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("out_A", false, &[("A", -1.0)]);
+        net.reaction("A_dead", false, &[("A", -1.0), ("DEAD", 1.0)]);
+        let red = reduce_network(&net);
+        assert_eq!(red.blocked, vec![2]);
+        assert_eq!(red.network.n_reactions(), 1);
+    }
+
+    #[test]
+    fn reversibility_requires_all_members() {
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", true, &[("A", 1.0)]);
+        net.reaction("A_B", false, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("out_B", true, &[("B", -1.0)]);
+        let red = reduce_network(&net);
+        assert_eq!(red.network.n_reactions(), 1);
+        assert!(!red.network.reactions()[0].reversible);
+    }
+}

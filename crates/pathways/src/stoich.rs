@@ -1,0 +1,203 @@
+//! Metabolic networks and stoichiometric matrices.
+
+use std::collections::HashMap;
+
+/// One reaction: named, optionally reversible, with stoichiometric
+/// coefficients over the network's *internal* metabolites (negative =
+/// consumed, positive = produced). External metabolites are simply
+/// omitted, following the convention that exchange fluxes are
+/// unconstrained.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reaction {
+    /// Display name (e.g. an enzyme).
+    pub name: String,
+    /// Whether the flux may run negative.
+    pub reversible: bool,
+    /// `(metabolite index, coefficient)` pairs.
+    pub stoich: Vec<(usize, f64)>,
+}
+
+/// A metabolic reaction network over named internal metabolites.
+#[derive(Clone, Debug, Default)]
+pub struct MetabolicNetwork {
+    metabolites: Vec<String>,
+    met_index: HashMap<String, usize>,
+    reactions: Vec<Reaction>,
+}
+
+impl MetabolicNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a metabolite by name, returning its index.
+    pub fn metabolite(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.met_index.get(name) {
+            return i;
+        }
+        let i = self.metabolites.len();
+        self.metabolites.push(name.to_string());
+        self.met_index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Add a reaction from `(metabolite name, coefficient)` pairs.
+    /// Consumed metabolites carry negative coefficients.
+    pub fn reaction(
+        &mut self,
+        name: &str,
+        reversible: bool,
+        stoich: &[(&str, f64)],
+    ) -> usize {
+        let stoich = stoich
+            .iter()
+            .map(|&(m, c)| (self.metabolite(m), c))
+            .collect();
+        self.reactions.push(Reaction {
+            name: name.to_string(),
+            reversible,
+            stoich,
+        });
+        self.reactions.len() - 1
+    }
+
+    /// Number of internal metabolites.
+    pub fn n_metabolites(&self) -> usize {
+        self.metabolites.len()
+    }
+
+    /// Number of reactions.
+    pub fn n_reactions(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Metabolite names in index order.
+    pub fn metabolite_names(&self) -> &[String] {
+        &self.metabolites
+    }
+
+    /// The reactions.
+    pub fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+
+    /// Dense stoichiometric matrix S (metabolites × reactions):
+    /// steady state is `S · v = 0`.
+    pub fn stoichiometric_matrix(&self) -> Vec<Vec<f64>> {
+        let mut s = vec![vec![0.0; self.reactions.len()]; self.metabolites.len()];
+        for (j, r) in self.reactions.iter().enumerate() {
+            for &(m, c) in &r.stoich {
+                s[m][j] += c;
+            }
+        }
+        s
+    }
+
+    /// Split every reversible reaction into forward + backward
+    /// irreversible halves (the standard preprocessing for extreme
+    /// pathway enumeration). Returns the new network and, for each new
+    /// reaction, `(original index, direction)` with `+1` forward, `-1`
+    /// backward.
+    pub fn split_reversible(&self) -> (MetabolicNetwork, Vec<(usize, i8)>) {
+        let mut out = MetabolicNetwork::new();
+        out.metabolites = self.metabolites.clone();
+        out.met_index = self.met_index.clone();
+        let mut origin = Vec::new();
+        for (i, r) in self.reactions.iter().enumerate() {
+            out.reactions.push(Reaction {
+                name: r.name.clone(),
+                reversible: false,
+                stoich: r.stoich.clone(),
+            });
+            origin.push((i, 1i8));
+            if r.reversible {
+                out.reactions.push(Reaction {
+                    name: format!("{}_rev", r.name),
+                    reversible: false,
+                    stoich: r.stoich.iter().map(|&(m, c)| (m, -c)).collect(),
+                });
+                origin.push((i, -1));
+            }
+        }
+        (out, origin)
+    }
+
+    /// Steady-state residual `S · v` for a flux vector.
+    pub fn residual(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n_reactions(), "flux length mismatch");
+        let s = self.stoichiometric_matrix();
+        s.iter()
+            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Is `v` a steady-state flux (within tolerance) respecting
+    /// irreversibility?
+    pub fn is_steady_state(&self, v: &[f64], tol: f64) -> bool {
+        let ok_dirs = self
+            .reactions
+            .iter()
+            .zip(v)
+            .all(|(r, &f)| r.reversible || f >= -tol);
+        ok_dirs && self.residual(v).iter().all(|x| x.abs() <= tol)
+    }
+}
+
+/// A classic textbook example: linear chain A → B → C with uptake and
+/// excretion, plus a bypass. Used in tests and docs.
+pub fn example_linear_chain() -> MetabolicNetwork {
+    let mut net = MetabolicNetwork::new();
+    net.reaction("uptake_A", false, &[("A", 1.0)]);
+    net.reaction("A_to_B", false, &[("A", -1.0), ("B", 1.0)]);
+    net.reaction("B_to_C", false, &[("B", -1.0), ("C", 1.0)]);
+    net.reaction("excrete_C", false, &[("C", -1.0)]);
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut net = MetabolicNetwork::new();
+        let a = net.metabolite("A");
+        let b = net.metabolite("B");
+        assert_eq!(net.metabolite("A"), a);
+        assert_ne!(a, b);
+        assert_eq!(net.metabolite_names(), &["A", "B"]);
+    }
+
+    #[test]
+    fn stoichiometric_matrix_shape() {
+        let net = example_linear_chain();
+        let s = net.stoichiometric_matrix();
+        assert_eq!(s.len(), 3); // A, B, C
+        assert_eq!(s[0].len(), 4);
+        // A row: +1 (uptake), -1 (A_to_B)
+        assert_eq!(s[0], vec![1.0, -1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn steady_state_check() {
+        let net = example_linear_chain();
+        assert!(net.is_steady_state(&[1.0, 1.0, 1.0, 1.0], 1e-9));
+        assert!(!net.is_steady_state(&[1.0, 0.0, 1.0, 1.0], 1e-9));
+        // negative flux through irreversible reaction rejected
+        assert!(!net.is_steady_state(&[-1.0, -1.0, -1.0, -1.0], 1e-9));
+    }
+
+    #[test]
+    fn split_reversible_doubles_only_reversible() {
+        let mut net = MetabolicNetwork::new();
+        net.reaction("r1", true, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("r2", false, &[("B", -1.0)]);
+        let (split, origin) = net.split_reversible();
+        assert_eq!(split.n_reactions(), 3);
+        assert_eq!(origin, vec![(0, 1), (0, -1), (1, 1)]);
+        assert!(split.reactions().iter().all(|r| !r.reversible));
+        // reversed stoichiometry negated
+        assert_eq!(split.reactions()[1].stoich[0].1, 1.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Enzyme subsets: reactions whose steady-state fluxes are structurally
+//! locked to fixed ratios.
+//!
+//! Pfeiffer et al.'s METATOOL reduction, which the paper (§1) lists as
+//! one mitigation of the extreme-pathway blow-up: "considering the
+//! reduced reaction network (with the enzyme subsets taken as combined
+//! reactions)". Two reactions belong to one subset iff their rows in a
+//! kernel basis of S are proportional — then every steady-state flux
+//! carries them in the same ratio, so they can be merged.
+
+use crate::stoich::MetabolicNetwork;
+
+const TOL: f64 = 1e-9;
+
+/// Kernel (nullspace) basis of a dense matrix `a` (rows × cols), as
+/// vectors of length `cols`. Gaussian elimination with partial
+/// pivoting.
+pub fn kernel_basis(a: &[Vec<f64>], cols: usize) -> Vec<Vec<f64>> {
+    let rows = a.len();
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut pivot_col_of_row = Vec::new();
+    let mut r = 0usize;
+    for c in 0..cols {
+        // find pivot
+        let piv = (r..rows).max_by(|&x, &y| {
+            m[x][c]
+                .abs()
+                .partial_cmp(&m[y][c].abs())
+                .expect("no NaN in stoichiometry")
+        });
+        let Some(p) = piv else { break };
+        if m[p][c].abs() <= TOL {
+            continue;
+        }
+        m.swap(r, p);
+        let pv = m[r][c];
+        for x in &mut m[r] {
+            *x /= pv;
+        }
+        for i in 0..rows {
+            if i != r && m[i][c].abs() > TOL {
+                let f = m[i][c];
+                let pivot_row = m[r].clone();
+                for (x, p) in m[i].iter_mut().zip(&pivot_row) {
+                    *x -= f * p;
+                }
+            }
+        }
+        pivot_col_of_row.push(c);
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    let pivot_cols: Vec<usize> = pivot_col_of_row.clone();
+    let free_cols: Vec<usize> = (0..cols).filter(|c| !pivot_cols.contains(c)).collect();
+    let mut basis = Vec::with_capacity(free_cols.len());
+    for &fc in &free_cols {
+        let mut v = vec![0.0; cols];
+        v[fc] = 1.0;
+        for (row, &pc) in pivot_col_of_row.iter().enumerate() {
+            v[pc] = -m[row][fc];
+        }
+        basis.push(v);
+    }
+    basis
+}
+
+/// Group reactions into enzyme subsets. Returns the partition as lists
+/// of reaction indices; reactions that are structurally *blocked*
+/// (zero in every kernel vector — they can carry no steady-state flux)
+/// are returned separately.
+pub fn enzyme_subsets(net: &MetabolicNetwork) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let s = net.stoichiometric_matrix();
+    let r = net.n_reactions();
+    let basis = kernel_basis(&s, r);
+    // Reaction i's "kernel row" is (basis[0][i], ..., basis[d-1][i]).
+    let row = |i: usize| -> Vec<f64> { basis.iter().map(|b| b[i]).collect() };
+    let blocked: Vec<usize> = (0..r)
+        .filter(|&i| row(i).iter().all(|x| x.abs() <= TOL))
+        .collect();
+    let mut assigned = vec![false; r];
+    for &b in &blocked {
+        assigned[b] = true;
+    }
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
+    for i in 0..r {
+        if assigned[i] {
+            continue;
+        }
+        assigned[i] = true;
+        let ri = row(i);
+        let mut group = vec![i];
+        #[allow(clippy::needless_range_loop)] // j indexes both `assigned` and `row`
+        for j in i + 1..r {
+            if assigned[j] {
+                continue;
+            }
+            if proportional(&ri, &row(j)) {
+                assigned[j] = true;
+                group.push(j);
+            }
+        }
+        subsets.push(group);
+    }
+    (subsets, blocked)
+}
+
+/// Are two equal-length vectors proportional (including sign)?
+fn proportional(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    // cross-product test: a[i]*b[j] == a[j]*b[i] for all pairs, with
+    // supports equal
+    let support_match = a
+        .iter()
+        .zip(b)
+        .all(|(&x, &y)| (x.abs() > TOL) == (y.abs() > TOL));
+    if !support_match {
+        return false;
+    }
+    for i in 0..a.len() {
+        for j in i + 1..a.len() {
+            if (a[i] * b[j] - a[j] * b[i]).abs() > 1e-6 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stoich::example_linear_chain;
+
+    #[test]
+    fn kernel_of_identity_is_empty() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(kernel_basis(&a, 2).is_empty());
+    }
+
+    #[test]
+    fn kernel_dimension() {
+        // one equation, three unknowns: kernel dim 2
+        let a = vec![vec![1.0, 1.0, 1.0]];
+        let basis = kernel_basis(&a, 3);
+        assert_eq!(basis.len(), 2);
+        for v in &basis {
+            let dot: f64 = v.iter().sum();
+            assert!(dot.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_chain_is_one_subset() {
+        // every reaction in the chain carries the same flux
+        let net = example_linear_chain();
+        let (subsets, blocked) = enzyme_subsets(&net);
+        assert!(blocked.is_empty());
+        assert_eq!(subsets.len(), 1);
+        assert_eq!(subsets[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn branch_splits_subsets() {
+        // A → B and A → C branch: uptake is its own subset, each branch
+        // (conversion + excretion) is a subset.
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("A_B", false, &[("A", -1.0), ("B", 1.0)]);
+        net.reaction("out_B", false, &[("B", -1.0)]);
+        net.reaction("A_C", false, &[("A", -1.0), ("C", 1.0)]);
+        net.reaction("out_C", false, &[("C", -1.0)]);
+        let (subsets, blocked) = enzyme_subsets(&net);
+        assert!(blocked.is_empty());
+        assert_eq!(subsets.len(), 3);
+        assert!(subsets.contains(&vec![0]));
+        assert!(subsets.contains(&vec![1, 2]));
+        assert!(subsets.contains(&vec![3, 4]));
+    }
+
+    #[test]
+    fn dead_end_reaction_is_blocked() {
+        let mut net = MetabolicNetwork::new();
+        net.reaction("in_A", false, &[("A", 1.0)]);
+        net.reaction("out_A", false, &[("A", -1.0)]);
+        net.reaction("A_to_dead", false, &[("A", -1.0), ("DEAD", 1.0)]);
+        let (subsets, blocked) = enzyme_subsets(&net);
+        assert_eq!(blocked, vec![2]);
+        assert_eq!(subsets, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn proportional_handles_zero_vectors() {
+        assert!(proportional(&[0.0, 0.0], &[0.0, 0.0]));
+        assert!(!proportional(&[1.0, 0.0], &[0.0, 1.0]));
+        assert!(proportional(&[1.0, 2.0], &[2.0, 4.0]));
+        assert!(proportional(&[1.0, -2.0], &[-0.5, 1.0]));
+    }
+}

@@ -1,0 +1,49 @@
+//! Out-of-core enumeration: reproduce the paper's motivating
+//! observation (§1) that disk-backed clique storage pays a heavy I/O
+//! tax — the reason the framework wants "ultra-large globally
+//! addressable memory".
+//!
+//! ```sh
+//! cargo run --release --example out_of_core
+//! ```
+
+use gsb::core::sink::CountSink;
+use gsb::core::store::SpillConfig;
+use gsb::core::{CliqueEnumerator, EnumConfig};
+use gsb::graph::generators::{planted, Module};
+use std::time::Instant;
+
+fn main() {
+    let g = planted(
+        500,
+        0.006,
+        &[Module::clique(13), Module::clique(11), Module::clique(9)],
+        5,
+    );
+    println!("graph: {} vertices, {} edges", g.n(), g.m());
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+
+    let t0 = Instant::now();
+    let mut sink = CountSink::default();
+    enumerator.enumerate(&g, &mut sink);
+    let in_core = t0.elapsed();
+    println!("in-core:           {} cliques in {in_core:?}", sink.count);
+
+    for budget in [8 << 20, 512 << 10, 0usize] {
+        let t0 = Instant::now();
+        let mut sink = CountSink::default();
+        let stats = enumerator
+            .enumerate_spilled(&g, &mut sink, &SpillConfig::in_temp(budget))
+            .expect("spill I/O");
+        let took = t0.elapsed();
+        println!(
+            "budget {:>9} B: {} cliques in {took:?} ({} read back from disk, {:.1}x in-core)",
+            budget,
+            sink.count,
+            stats.total_bytes_read(),
+            took.as_secs_f64() / in_core.as_secs_f64().max(1e-9)
+        );
+    }
+    println!("\nThe paper's conclusion, measured: the algorithm is the same;");
+    println!("only the storage changed, and I/O dominates as memory shrinks.");
+}

@@ -1,0 +1,79 @@
+//! Cross-crate validation: every algorithm that answers the same
+//! question must give the same answer, on workloads shaped like the
+//! paper's evaluation graphs.
+
+use gsb::core::bk::{base_bk_sorted, improved_bk_sorted};
+use gsb::core::kose::kose_ram_sorted;
+use gsb::core::sink::CollectSink;
+use gsb::core::{maximum_clique_size, CliqueEnumerator, EnumConfig};
+use gsb::fpt::maximum_clique_via_vc;
+use gsb::graph::generators::{correlation_like, CorrelationProfile};
+use gsb::graph::reduce::clique_upper_bound;
+use gsb::graph::BitGraph;
+
+fn workload(seed: u64) -> BitGraph {
+    let mut profile = CorrelationProfile::myogenic_like(150);
+    profile.max_module = 10;
+    correlation_like(&profile, seed)
+}
+
+fn ce_sorted(g: &BitGraph, min_k: usize) -> Vec<Vec<u32>> {
+    let mut sink = CollectSink::default();
+    CliqueEnumerator::new(EnumConfig {
+        min_k,
+        ..Default::default()
+    })
+    .enumerate(g, &mut sink);
+    let mut v = sink.cliques;
+    v.sort();
+    v
+}
+
+#[test]
+fn four_enumerators_agree_on_correlation_workloads() {
+    for seed in 0..4 {
+        let g = workload(seed);
+        let bk = base_bk_sorted(&g);
+        assert_eq!(improved_bk_sorted(&g), bk, "seed {seed}");
+        assert_eq!(kose_ram_sorted(&g, 1), bk, "seed {seed}");
+        assert_eq!(ce_sorted(&g, 1), bk, "seed {seed}");
+    }
+}
+
+#[test]
+fn maximum_clique_routes_agree() {
+    for seed in 0..4 {
+        let g = workload(100 + seed);
+        let direct = maximum_clique_size(&g);
+        let via_vc = maximum_clique_via_vc(&g).len();
+        assert_eq!(direct, via_vc, "seed {seed}");
+        assert!(direct <= clique_upper_bound(&g), "seed {seed}");
+        // ω equals the largest maximal clique size
+        let largest = ce_sorted(&g, 1).iter().map(Vec::len).max().unwrap_or(0);
+        assert_eq!(direct, largest, "seed {seed}");
+    }
+}
+
+#[test]
+fn seeded_enumeration_equals_filtered_full_enumeration() {
+    for seed in 0..3 {
+        let g = workload(200 + seed);
+        let omega = maximum_clique_size(&g);
+        for min_k in [4, omega.saturating_sub(2).max(4)] {
+            let full: Vec<_> = ce_sorted(&g, 1)
+                .into_iter()
+                .filter(|c| c.len() >= min_k)
+                .collect();
+            assert_eq!(ce_sorted(&g, min_k), full, "seed {seed} min_k {min_k}");
+        }
+    }
+}
+
+#[test]
+fn every_reported_clique_is_genuinely_maximal() {
+    let g = workload(777);
+    for c in ce_sorted(&g, 3) {
+        let vs: Vec<usize> = c.iter().map(|&v| v as usize).collect();
+        assert!(g.is_maximal_clique(&vs), "{c:?}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Extremal and stress instances: the Moon–Moser bound the paper cites
+//! ("a network with n nodes can have as many as 3^(n/3) maximal
+//! cliques" \[25\]), exercised across every enumeration configuration.
+
+use gsb_core::sink::{CountSink, HistogramSink};
+use gsb_core::store::SpillConfig;
+use gsb_core::{CliqueEnumerator, EnumConfig, ParallelConfig, ParallelEnumerator};
+use gsb_graph::BitGraph;
+use std::sync::Arc;
+
+/// The Moon–Moser graph: complete n-partite with parts of size 3
+/// (complement of n/3 disjoint triangles) — exactly 3^(n/3) maximal
+/// cliques, every one of size n/3.
+fn moon_moser(parts: usize) -> BitGraph {
+    let n = 3 * parts;
+    let mut g = BitGraph::complete(n);
+    for p in 0..parts {
+        let a = 3 * p;
+        g.remove_edge(a, a + 1);
+        g.remove_edge(a, a + 2);
+        g.remove_edge(a + 1, a + 2);
+    }
+    g
+}
+
+#[test]
+fn moon_moser_counts_exact() {
+    for parts in 2..=7 {
+        let g = moon_moser(parts);
+        let mut sink = HistogramSink::default();
+        CliqueEnumerator::new(EnumConfig {
+            min_k: 1,
+            ..Default::default()
+        })
+        .enumerate(&g, &mut sink);
+        let expect = 3usize.pow(parts as u32);
+        assert_eq!(sink.total(), expect, "parts={parts}");
+        // every maximal clique has exactly one vertex per part
+        assert_eq!(sink.sizes[parts], expect, "parts={parts}");
+        assert_eq!(sink.max_size(), parts);
+    }
+}
+
+#[test]
+fn moon_moser_parallel_and_spilled_agree() {
+    let parts = 6; // 729 maximal cliques
+    let g = moon_moser(parts);
+    let expect = 3usize.pow(parts as u32);
+
+    let garc = Arc::new(g.clone());
+    let mut par = CountSink::default();
+    ParallelEnumerator::new(ParallelConfig {
+        threads: 4,
+        enum_config: EnumConfig {
+            min_k: 1,
+            ..Default::default()
+        },
+        ..Default::default()
+    })
+    .enumerate(&garc, &mut par);
+    assert_eq!(par.count, expect);
+
+    let mut spilled = CountSink::default();
+    CliqueEnumerator::new(EnumConfig {
+        min_k: 1,
+        ..Default::default()
+    })
+    .enumerate_spilled(&g, &mut spilled, &SpillConfig::in_temp(1024))
+    .unwrap();
+    assert_eq!(spilled.count, expect);
+}
+
+#[test]
+fn moon_moser_memory_grows_to_the_final_level() {
+    // Unlike correlation graphs (rise-peak-fall, Fig. 9), the extremal
+    // instance has *every* maximal clique at the top size, so its
+    // candidate storage grows right up to the last level — the paper's
+    // 3^(n/3) worst case in action.
+    let g = moon_moser(6);
+    let mut sink = CountSink::default();
+    let stats = CliqueEnumerator::new(EnumConfig {
+        min_k: 1,
+        ..Default::default()
+    })
+    .enumerate(&g, &mut sink);
+    let bytes: Vec<usize> = stats.levels.iter().map(|l| l.memory.formula_bytes).collect();
+    assert!(
+        bytes.windows(2).all(|w| w[1] > w[0]),
+        "profile not monotone: {bytes:?}"
+    );
+    // all maximal cliques surface at the last expansion
+    let per_level: Vec<usize> = stats.levels.iter().map(|l| l.maximal_found).collect();
+    assert_eq!(*per_level.last().unwrap(), 3usize.pow(6));
+    assert!(per_level[..per_level.len() - 1].iter().all(|&m| m == 0));
+}
+
+#[test]
+fn wah_pipeline_equivalence_on_extremal_graph() {
+    use gsb_core::wahclique::wah_base_bk_sorted;
+    use gsb_graph::compressed::WahGraph;
+    let g = moon_moser(5);
+    let compressed = WahGraph::from_bitgraph(&g);
+    let via_wah = wah_base_bk_sorted(&compressed);
+    let via_plain = gsb_core::bk::base_bk_sorted(&g);
+    assert_eq!(via_wah, via_plain);
+    assert_eq!(via_wah.len(), 3usize.pow(5));
+}
+
+#[test]
+fn kose_survives_the_extremal_instance() {
+    // the baseline also gets the count right, just slowly
+    let g = moon_moser(5); // 243 cliques
+    let got = gsb_core::kose::kose_ram_sorted(&g, 1);
+    assert_eq!(got.len(), 243);
+}

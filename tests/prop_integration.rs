@@ -1,0 +1,101 @@
+//! Cross-crate property tests on arbitrary graphs: the pipeline facade,
+//! both maximum-clique routes, paraclique containment, and the memory
+//! accounting identities.
+
+use gsb::core::memory::LevelMemory;
+use gsb::core::sink::CollectSink;
+use gsb::core::sublist::Level;
+use gsb::core::{maximum_clique, CliquePipeline};
+use gsb::fpt::maximum_clique_via_vc;
+use gsb::fpt::vc::{is_vertex_cover, minimum_vertex_cover};
+use gsb::graph::BitGraph;
+use proptest::prelude::*;
+
+const N: usize = 16;
+
+fn arb_graph() -> impl Strategy<Value = BitGraph> {
+    prop::collection::vec(any::<bool>(), N * (N - 1) / 2).prop_map(|bits| {
+        let mut g = BitGraph::new(N);
+        let mut it = bits.into_iter();
+        for u in 0..N {
+            for v in u + 1..N {
+                if it.next().unwrap() {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn maxclique_routes_and_pipeline_agree(g in arb_graph()) {
+        let direct = maximum_clique(&g).len();
+        let via_vc = maximum_clique_via_vc(&g).len();
+        prop_assert_eq!(direct, via_vc);
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new().min_size(1).run(&g, &mut sink);
+        prop_assert_eq!(report.maximum_clique, Some(direct));
+        let biggest = sink.cliques.iter().map(Vec::len).max().unwrap_or(0);
+        prop_assert_eq!(biggest, direct);
+    }
+
+    #[test]
+    fn vc_complement_identity(g in arb_graph()) {
+        // |min VC| + |max IS| = n, and the clique complement identity
+        let cover = minimum_vertex_cover(&g);
+        prop_assert!(is_vertex_cover(&g, &cover));
+        let clique_in_complement = maximum_clique(&g.complement()).len();
+        prop_assert_eq!(cover.len() + clique_in_complement, N);
+    }
+
+    #[test]
+    fn paraclique_contains_seed_and_stays_dense(g in arb_graph(), pct in 0.7f64..=1.0) {
+        let seed = maximum_clique(&g);
+        if seed.is_empty() {
+            return Ok(());
+        }
+        let pc = gsb::core::paraclique::paraclique(&g, &seed, pct);
+        for v in &seed {
+            prop_assert!(pc.contains(v));
+        }
+        if pct == 1.0 {
+            // glom factor 1.0 keeps it a clique
+            let vs: Vec<usize> = pc.iter().map(|&v| v as usize).collect();
+            prop_assert!(g.is_clique(&vs));
+        }
+    }
+
+    #[test]
+    fn memory_formula_is_additive_over_sublists(g in arb_graph()) {
+        use gsb::core::kclique::seed_level;
+        let (level, _) = seed_level(&g, 3);
+        let mem = LevelMemory::account(&level, g.n());
+        let by_hand: usize = level
+            .sublists
+            .iter()
+            .map(|sl| sl.formula_bytes(g.n()))
+            .sum();
+        prop_assert_eq!(mem.formula_bytes, by_hand);
+        prop_assert_eq!(mem.n_cliques, level.n_cliques());
+        let empty = LevelMemory::account(&Level { k: 4, sublists: vec![] }, g.n());
+        prop_assert_eq!(empty.formula_bytes, 0);
+    }
+
+    #[test]
+    fn graph_stack_votes_bound_each_other(g1 in arb_graph(), g2 in arb_graph(), g3 in arb_graph()) {
+        use gsb::graph::ops::{intersection, union, GraphStack};
+        let u = union(&g1, &union(&g2, &g3));
+        let i = intersection(&g1, &intersection(&g2, &g3));
+        let stack = GraphStack::from_graphs(vec![g1, g2, g3]);
+        prop_assert_eq!(stack.at_least(1), u);
+        prop_assert_eq!(stack.at_least(3), i);
+        let mid = stack.at_least(2);
+        for (a, b) in mid.edges() {
+            prop_assert!(stack.support(a, b) >= 2);
+        }
+    }
+}
