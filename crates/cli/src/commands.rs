@@ -3,9 +3,13 @@
 
 use crate::args::Args;
 use crate::CliError;
+use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig, RunMeta};
 use gsb_core::sink::{CollectSink, CountSink};
 use gsb_core::store::SpillConfig;
-use gsb_core::{CliqueEnumerator, EnumConfig, ParallelConfig, ParallelEnumerator};
+use gsb_core::{
+    CliqueEnumerator, CliquePipeline, EnumConfig, ParallelConfig, ParallelEnumerator,
+    PipelineReport, WriterSink,
+};
 use gsb_graph::generators::{correlation_like, gnp, planted, CorrelationProfile, Module};
 use gsb_graph::{io as gio, BitGraph};
 use std::fmt::Write as _;
@@ -107,7 +111,17 @@ pub fn stats(argv: &[String]) -> Result<String, CliError> {
 pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     let a = Args::parse(
         argv,
-        &["min", "max", "threads", "spill-budget", "order", "out"],
+        &[
+            "min",
+            "max",
+            "threads",
+            "spill-budget",
+            "order",
+            "out",
+            "checkpoint-dir",
+            "checkpoint-secs",
+            "memory-budget",
+        ],
         &["count-only"],
         1,
     )?;
@@ -121,6 +135,37 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     let threads: usize = a.flag_or("threads", 1)?;
     let spill_budget: Option<usize> = a.flag_opt("spill-budget")?;
     let count_only = a.switch("count-only");
+
+    // Fault-tolerant pipeline path: checkpointing and/or a memory
+    // budget route through CliquePipeline instead of the raw
+    // enumerators.
+    let checkpoint_dir = a.flag("checkpoint-dir").map(str::to_string);
+    let checkpoint_secs: Option<u64> = a.flag_opt("checkpoint-secs")?;
+    let memory_budget: Option<usize> = a.flag_opt("memory-budget")?;
+    if checkpoint_dir.is_some() || memory_budget.is_some() {
+        if a.flag("order").is_some() || spill_budget.is_some() {
+            return Err(CliError::Usage(
+                "--checkpoint-dir/--memory-budget conflict with --order and --spill-budget"
+                    .into(),
+            ));
+        }
+        return cliques_pipeline(
+            &a,
+            path,
+            &g,
+            config,
+            threads,
+            count_only,
+            checkpoint_dir.as_deref(),
+            checkpoint_secs,
+            memory_budget,
+        );
+    }
+    if checkpoint_secs.is_some() {
+        return Err(CliError::Usage(
+            "--checkpoint-secs requires --checkpoint-dir".into(),
+        ));
+    }
 
     // Optional vertex reordering (sequential path only).
     if let Some(order_name) = a.flag("order") {
@@ -219,6 +264,191 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
         }
     }
     Ok(render_cliques(&collect, &count, count_only))
+}
+
+/// The fault-tolerant `gsb cliques` variant: checkpointing and/or a
+/// memory budget through [`CliquePipeline`].
+#[allow(clippy::too_many_arguments)]
+fn cliques_pipeline(
+    a: &Args,
+    graph_path: &str,
+    g: &BitGraph,
+    config: EnumConfig,
+    threads: usize,
+    count_only: bool,
+    checkpoint_dir: Option<&str>,
+    checkpoint_secs: Option<u64>,
+    memory_budget: Option<usize>,
+) -> Result<String, CliError> {
+    let mut pipe = CliquePipeline::new()
+        .min_size(config.min_k)
+        .threads(threads)
+        .skip_exact_bound();
+    if let Some(mx) = config.max_k {
+        pipe = pipe.max_size(mx);
+    }
+    if let Some(budget) = memory_budget {
+        pipe = pipe.memory_budget(budget);
+    }
+
+    if let Some(dir) = checkpoint_dir {
+        // Resume needs a durable output file to reconcile against:
+        // in-memory results would vanish with the crash being guarded
+        // against.
+        let Some(out_path) = a.flag("out") else {
+            return Err(CliError::Usage(
+                "--checkpoint-dir requires --out FILE (resume appends to it)".into(),
+            ));
+        };
+        if count_only {
+            return Err(CliError::Usage(
+                "--checkpoint-dir conflicts with --count-only".into(),
+            ));
+        }
+        let ckpt = match checkpoint_secs {
+            Some(secs) => CheckpointConfig::every_secs(dir, secs),
+            None => CheckpointConfig::every_level(dir),
+        };
+        std::fs::create_dir_all(dir)?;
+        RunMeta {
+            graph: graph_path.to_string(),
+            min_k: config.min_k,
+            max_k: config.max_k,
+            threads,
+            out: Some(out_path.to_string()),
+        }
+        .save(Path::new(dir))?;
+        pipe = pipe.checkpoint(ckpt);
+        let file = std::fs::File::create(out_path)?;
+        let mut sink = WriterSink::new(file);
+        let report = pipe.try_run(g, &mut sink)?;
+        let written = sink.finish()?;
+        let mut out = format!("wrote {written} maximal cliques to {out_path}\n");
+        let _ = writeln!(
+            out,
+            "checkpointed {} level(s) in {dir} (cleaned up on completion)",
+            report.checkpoints.len()
+        );
+        append_degradation_note(&mut out, &report);
+        return Ok(out);
+    }
+
+    // Memory budget without checkpointing: any sink works.
+    if let Some(out_path) = a.flag("out") {
+        if count_only {
+            return Err(CliError::Usage("--out and --count-only conflict".into()));
+        }
+        let file = std::fs::File::create(out_path)?;
+        let mut sink = WriterSink::new(file);
+        let report = pipe.try_run(g, &mut sink)?;
+        let written = sink.finish()?;
+        let mut out = format!("wrote {written} maximal cliques to {out_path}\n");
+        append_degradation_note(&mut out, &report);
+        return Ok(out);
+    }
+    let mut collect = CollectSink::default();
+    let mut count = CountSink::default();
+    let report = if count_only {
+        pipe.try_run(g, &mut count)?
+    } else {
+        pipe.try_run(g, &mut collect)?
+    };
+    let mut out = render_cliques(&collect, &count, count_only);
+    append_degradation_note(&mut out, &report);
+    Ok(out)
+}
+
+fn append_degradation_note(out: &mut String, report: &PipelineReport) {
+    if let Some(k) = report.degraded_at {
+        let bytes = report
+            .spill_stats
+            .as_ref()
+            .map_or(0, gsb_core::spill::SpillStats::total_bytes_read);
+        let _ = writeln!(
+            out,
+            "memory budget reached at level {k}: finished out of core ({bytes} bytes read back)"
+        );
+    }
+}
+
+/// `gsb resume` — continue a checkpointed `cliques` run after a crash.
+pub fn resume(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &["threads"], &[], 1)?;
+    let dir = a.required_positional(0, "CHECKPOINT_DIR")?;
+    let meta = RunMeta::load(Path::new(dir)).map_err(|_| {
+        CliError::Runtime(format!(
+            "no run.meta in {dir} — nothing to resume (directory never checkpointed, \
+             or the run completed and cleaned up)"
+        ))
+    })?;
+    let g = load(&meta.graph)?;
+    let Some((k_ckpt, _)) = latest_checkpoint(Path::new(dir), g.n())? else {
+        return Err(CliError::Runtime(format!(
+            "no usable checkpoint in {dir} (the run may have completed)"
+        )));
+    };
+    let out_path = meta.out.clone().ok_or_else(|| {
+        CliError::Runtime("run.meta records no output file; cannot reconcile".into())
+    })?;
+    // Reconcile the output file with the checkpoint cut: the resumed
+    // run re-emits every clique of size > k_ckpt, so keep only
+    // well-formed lines at or below it (this also drops a line torn by
+    // the crash mid-write).
+    let kept = truncate_output(&out_path, k_ckpt)?;
+    let file = std::fs::OpenOptions::new().append(true).open(&out_path)?;
+    let mut sink = WriterSink::new(file);
+    let threads = a
+        .flag_opt::<usize>("threads")?
+        .unwrap_or(meta.threads)
+        .max(1);
+    let mut pipe = CliquePipeline::new()
+        .min_size(meta.min_k.max(1))
+        .threads(threads)
+        .skip_exact_bound()
+        .checkpoint(CheckpointConfig::every_level(dir));
+    if let Some(mx) = meta.max_k {
+        pipe = pipe.max_size(mx);
+    }
+    let report = pipe.resume(&g, &mut sink)?;
+    let appended = sink.finish()?;
+    let mut out = format!(
+        "resumed {} from its level-{k_ckpt} checkpoint: kept {kept} cliques (size <= {k_ckpt}), \
+         appended {appended} more to {out_path}\n",
+        meta.graph
+    );
+    append_degradation_note(&mut out, &report);
+    Ok(out)
+}
+
+/// Keep only well-formed `size\tv1 v2 ...` lines with `size <= max_k`;
+/// atomically replace the file. Returns how many lines were kept.
+fn truncate_output(path: &str, max_k: usize) -> Result<usize, CliError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        // The crash may have happened before the file was created.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(CliError::Io(e)),
+    };
+    let mut kept = String::with_capacity(text.len());
+    let mut kept_lines = 0usize;
+    for line in text.lines() {
+        let Some((size, rest)) = line.split_once('\t') else {
+            continue;
+        };
+        let Ok(k) = size.parse::<usize>() else {
+            continue;
+        };
+        if k > max_k || rest.split_whitespace().count() != k {
+            continue;
+        }
+        kept.push_str(line);
+        kept.push('\n');
+        kept_lines += 1;
+    }
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, kept.as_bytes())?;
+    std::fs::rename(&tmp, path)?;
+    Ok(kept_lines)
 }
 
 fn render_cliques(collect: &CollectSink, count: &CountSink, count_only: bool) -> String {
@@ -508,6 +738,119 @@ mod tests {
         assert_eq!(g1, g2);
         let _ = std::fs::remove_file(&a_path);
         let _ = std::fs::remove_file(&b_path);
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        let path = tmp("g8.txt");
+        generate(&argv(&["--kind", "gnp", "--n", "12", "--p", "0.3", "--out", &path])).unwrap();
+        // --checkpoint-dir without --out
+        let err = cliques(&argv(&[&path, "--checkpoint-dir", "/tmp/x"])).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        // --checkpoint-secs without --checkpoint-dir
+        let err = cliques(&argv(&[&path, "--checkpoint-secs", "5"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
+        // conflicts with the one-shot spill/order paths
+        let err =
+            cliques(&argv(&[&path, "--memory-budget", "1000", "--order", "degree"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_cleans_up() {
+        let path = tmp("g9.txt");
+        let dir = tmp("g9-ckpt");
+        let out = tmp("g9.out");
+        generate(&argv(&[
+            "--kind", "planted", "--n", "32", "--modules", "7,5", "--seed", "11", "--out", &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+        let report = cliques(&argv(&[
+            &path, "--min", "3", "--checkpoint-dir", &dir, "--out", &out,
+        ]))
+        .unwrap();
+        assert!(report.contains("checkpointed"), "{report}");
+        let mut a: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
+        let written = std::fs::read_to_string(&out).unwrap();
+        let mut b: Vec<&str> = written.lines().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // success cleaned the checkpoint dir: nothing to resume
+        let err = resume(&argv(&[&dir])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_completes_a_crashed_run_byte_identically() {
+        use gsb_core::checkpoint::CheckpointManager;
+        use gsb_core::EnumStats;
+
+        let path = tmp("g10.txt");
+        let dir = tmp("g10-ckpt");
+        let out = tmp("g10.out");
+        generate(&argv(&[
+            "--kind", "planted", "--n", "34", "--modules", "8,6", "--seed", "29", "--out", &path,
+        ]))
+        .unwrap();
+        let expected = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+
+        // Manufacture the crashed state: step the enumerator to level 4,
+        // persist a real checkpoint + run.meta, and write the output
+        // file as the dying run left it — the cliques emitted so far
+        // plus a line torn mid-write.
+        let g = load(&path).unwrap();
+        let seq = CliqueEnumerator::new(EnumConfig::default());
+        let mut pre = gsb_core::sink::CollectSink::default();
+        let mut stats = EnumStats::default();
+        let mut level = seq.init_level(&g, &mut pre, &mut stats);
+        while level.k < 4 && !level.sublists.is_empty() {
+            let (next, _) = seq.step(&g, &level, &mut pre);
+            level = next;
+        }
+        let k_ckpt = level.k;
+        let mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        {
+            let mut mgr = mgr;
+            mgr.force(&level).unwrap();
+            // crash: dropped without finish(), files stay
+        }
+        RunMeta {
+            graph: path.clone(),
+            min_k: 3,
+            max_k: None,
+            threads: 1,
+            out: Some(out.clone()),
+        }
+        .save(Path::new(&dir))
+        .unwrap();
+        let mut crashed = String::new();
+        for c in pre.cliques.iter().filter(|c| c.len() <= k_ckpt) {
+            let verts: Vec<String> = c.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(crashed, "{}\t{}", c.len(), verts.join(" "));
+        }
+        crashed.push_str("6\t1 2"); // torn by the crash: no newline, wrong arity
+        std::fs::write(&out, &crashed).unwrap();
+
+        let report = resume(&argv(&[&dir])).unwrap();
+        assert!(report.contains(&format!("level-{k_ckpt} checkpoint")), "{report}");
+        let resumed = std::fs::read_to_string(&out).unwrap();
+        let mut got: Vec<&str> = resumed.lines().collect();
+        let mut want: Vec<&str> = expected.lines().filter(|l| !l.starts_with('#')).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got.len(), want.len(), "clique counts differ");
+        assert_eq!(got, want);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -36,6 +36,22 @@ pub enum CliError {
     Io(std::io::Error),
     /// Graph file was malformed.
     Parse(gsb_graph::io::ParseError),
+    /// Checkpoint/spill storage failed or is corrupt.
+    Store(gsb_core::StoreError),
+    /// The enumeration runtime failed (worker panics, nothing to
+    /// resume, ...).
+    Runtime(String),
+}
+
+impl CliError {
+    /// Process exit code: 2 for usage/argument mistakes (the operator
+    /// should fix the command line), 1 for runtime failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) | CliError::Args(_) => 2,
+            CliError::Io(_) | CliError::Parse(_) | CliError::Store(_) | CliError::Runtime(_) => 1,
+        }
+    }
 }
 
 impl fmt::Display for CliError {
@@ -45,6 +61,8 @@ impl fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Store(e) => write!(f, "storage error: {e}"),
+            CliError::Runtime(msg) => write!(f, "runtime error: {msg}"),
         }
     }
 }
@@ -69,6 +87,21 @@ impl From<gsb_graph::io::ParseError> for CliError {
     }
 }
 
+impl From<gsb_core::StoreError> for CliError {
+    fn from(e: gsb_core::StoreError) -> Self {
+        CliError::Store(e)
+    }
+}
+
+impl From<gsb_core::PipelineError> for CliError {
+    fn from(e: gsb_core::PipelineError) -> Self {
+        match e {
+            gsb_core::PipelineError::Store(e) => CliError::Store(e),
+            other => CliError::Runtime(other.to_string()),
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 gsb — genome-scale clique analysis (SC'05 framework)
@@ -79,7 +112,9 @@ USAGE:
   gsb stats FILE
   gsb cliques FILE [--min K] [--max K] [--threads T] [--count-only]
                [--spill-budget BYTES] [--order natural|degeneracy|degree]
-               [--out FILE]
+               [--out FILE] [--checkpoint-dir DIR] [--checkpoint-secs S]
+               [--memory-budget BYTES]
+  gsb resume CHECKPOINT_DIR [--threads T]
   gsb maxclique FILE [--via-vc]
   gsb vc FILE [--k K]
   gsb fvs FILE
@@ -88,7 +123,14 @@ USAGE:
   gsb help
 
 Graph files: whitespace edge lists (0-indexed), or DIMACS with a
-.clq/.dimacs extension. Sequence files: one sequence per line.";
+.clq/.dimacs extension. Sequence files: one sequence per line.
+
+Crash recovery: `cliques --checkpoint-dir DIR --out FILE` persists the
+current level at each barrier (every --checkpoint-secs seconds if
+given); after a crash, `gsb resume DIR` reloads the newest valid
+checkpoint and completes the run, appending to the original output
+file. `--memory-budget BYTES` degrades to the out-of-core enumerator
+instead of exceeding the budget.";
 
 /// Dispatch a full argv (without the program name) and return the
 /// report to print.
@@ -101,6 +143,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "generate" => commands::generate(rest),
         "stats" => commands::stats(rest),
         "cliques" => commands::cliques(rest),
+        "resume" => commands::resume(rest),
         "maxclique" => commands::maxclique(rest),
         "vc" => commands::vertex_cover(rest),
         "fvs" => commands::fvs(rest),

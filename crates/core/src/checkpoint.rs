@@ -1,0 +1,415 @@
+//! Crash-safe automated checkpointing at level barriers.
+//!
+//! The levelwise algorithm has a natural consistent cut: when level
+//! `k` is fully built, every maximal clique of size `< k` has already
+//! been emitted and the level alone determines the rest of the run.
+//! Persisting `L_k` at (some) barriers turns a multi-day genome-scale
+//! enumeration into a resumable one — a crash costs at most the work
+//! since the newest checkpoint, not the whole run.
+//!
+//! [`CheckpointManager`] owns the directory, applies a
+//! [`CheckpointPolicy`] (every level, every N seconds of wall clock, or
+//! off), prunes old files, and exposes [`latest_checkpoint`] for the
+//! resume path, which walks checkpoints newest-first and falls back
+//! past corrupt ones. [`RunMeta`] records the run parameters next to
+//! the checkpoints so `gsb resume` can re-derive the original
+//! invocation.
+
+use crate::store::{self, StoreError};
+use crate::sublist::Level;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// When to persist a level checkpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Never checkpoint (the manager still writes on [`CheckpointManager::force`]).
+    Off,
+    /// Checkpoint at every level barrier — cheapest recovery, most I/O.
+    EveryLevel,
+    /// Checkpoint at the first barrier after this much wall-clock time
+    /// has elapsed since the previous checkpoint.
+    Every(Duration),
+}
+
+/// Where and how often to checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory holding `ckpt-k*.lvl` files and `run.meta`.
+    pub dir: PathBuf,
+    /// Cadence policy.
+    pub policy: CheckpointPolicy,
+    /// How many newest checkpoints to keep (older ones are pruned).
+    /// Keeping more than one lets resume fall back when the newest
+    /// file is corrupt. Clamped to at least 1.
+    pub keep: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint at every level barrier into `dir`, keeping two files.
+    pub fn every_level(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            policy: CheckpointPolicy::EveryLevel,
+            keep: 2,
+        }
+    }
+
+    /// Checkpoint at the first barrier after each `secs` seconds.
+    pub fn every_secs(dir: impl Into<PathBuf>, secs: u64) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            policy: CheckpointPolicy::Every(Duration::from_secs(secs)),
+            keep: 2,
+        }
+    }
+}
+
+fn checkpoint_path(dir: &Path, k: usize) -> PathBuf {
+    dir.join(format!("ckpt-k{k:05}.lvl"))
+}
+
+/// Parse `ckpt-k00007.lvl` → `7`.
+fn parse_checkpoint_name(name: &str) -> Option<usize> {
+    let rest = name.strip_prefix("ckpt-k")?.strip_suffix(".lvl")?;
+    rest.parse().ok()
+}
+
+/// Drives checkpoint writes during an enumeration run.
+pub struct CheckpointManager {
+    config: CheckpointConfig,
+    last_write: Instant,
+    written: Vec<usize>,
+}
+
+impl CheckpointManager {
+    /// Create the checkpoint directory and a manager over it.
+    pub fn new(config: CheckpointConfig) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(&config.dir)?;
+        Ok(CheckpointManager {
+            config,
+            last_write: Instant::now(),
+            written: Vec::new(),
+        })
+    }
+
+    /// The directory this manager writes into.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Levels checkpointed so far (ascending).
+    pub fn written(&self) -> &[usize] {
+        &self.written
+    }
+
+    /// Called at each level barrier with the freshly built level.
+    /// Writes a checkpoint when the policy says so; returns whether one
+    /// was written.
+    pub fn observe_level(&mut self, level: &Level) -> Result<bool, StoreError> {
+        let due = match self.config.policy {
+            CheckpointPolicy::Off => false,
+            CheckpointPolicy::EveryLevel => true,
+            CheckpointPolicy::Every(interval) => self.last_write.elapsed() >= interval,
+        };
+        if !due {
+            return Ok(false);
+        }
+        self.force(level)?;
+        Ok(true)
+    }
+
+    /// Write a checkpoint for `level` regardless of policy, then prune
+    /// to the `keep` newest files.
+    pub fn force(&mut self, level: &Level) -> Result<(), StoreError> {
+        crate::failpoint::inject("checkpoint.write")?;
+        let path = checkpoint_path(&self.config.dir, level.k);
+        store::write_level(&path, level)?;
+        self.last_write = Instant::now();
+        if self.written.last() != Some(&level.k) {
+            self.written.push(level.k);
+        }
+        self.prune();
+        Ok(())
+    }
+
+    fn prune(&mut self) {
+        let keep = self.config.keep.max(1);
+        while self.written.len() > keep {
+            let k = self.written.remove(0);
+            let _ = std::fs::remove_file(checkpoint_path(&self.config.dir, k));
+        }
+    }
+
+    /// The run completed: checkpoints are no longer needed. Best-effort
+    /// removal of every `ckpt-k*.lvl` and `run.meta` in the directory
+    /// (not only the ones this manager wrote), so a later `resume` on
+    /// the same directory reports "nothing to resume" instead of
+    /// silently redoing finished work.
+    pub fn finish(self) {
+        let Ok(entries) = std::fs::read_dir(&self.config.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if parse_checkpoint_name(&name).is_some() || name == RUN_META_FILE {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Find the newest usable checkpoint in `dir` for a graph with
+/// `graph_n` vertices.
+///
+/// Scans `ckpt-k*.lvl` files k-descending. A corrupt file (torn,
+/// checksum failure, bad magic) is skipped and the next-older one is
+/// tried — that is why the manager keeps more than one. A checkpoint
+/// that parses but was taken over a *different graph* is a hard
+/// [`StoreError::GraphMismatch`]: falling back would silently enumerate
+/// the wrong problem. Returns `Ok(None)` when the directory holds no
+/// checkpoint files at all, and the last decode error when every
+/// candidate is corrupt.
+pub fn latest_checkpoint(
+    dir: &Path,
+    graph_n: usize,
+) -> Result<Option<(usize, Level)>, StoreError> {
+    let mut ks: Vec<usize> = std::fs::read_dir(dir)?
+        .flatten()
+        .filter_map(|e| parse_checkpoint_name(&e.file_name().to_string_lossy()))
+        .collect();
+    ks.sort_unstable();
+    let mut last_err = None;
+    for k in ks.into_iter().rev() {
+        match store::read_level_meta(&checkpoint_path(dir, k)) {
+            Ok((level, n_bits)) => {
+                if n_bits != 0 && n_bits != graph_n {
+                    return Err(StoreError::GraphMismatch {
+                        checkpoint_bits: n_bits,
+                        graph_bits: graph_n,
+                    });
+                }
+                return Ok(Some((k, level)));
+            }
+            Err(e @ StoreError::GraphMismatch { .. }) => return Err(e),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match last_err {
+        Some(e) => Err(e),
+        None => Ok(None),
+    }
+}
+
+const RUN_META_FILE: &str = "run.meta";
+
+/// Parameters of a checkpointed run, persisted as `run.meta` next to
+/// the checkpoints so `gsb resume <dir>` needs no other arguments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Path of the input graph file.
+    pub graph: String,
+    /// Minimum clique size reported.
+    pub min_k: usize,
+    /// Maximum clique size reported (`None` = unbounded).
+    pub max_k: Option<usize>,
+    /// Worker threads (0 = sequential).
+    pub threads: usize,
+    /// Output file path (`None` = stdout; resume requires a file).
+    pub out: Option<String>,
+}
+
+impl RunMeta {
+    /// Persist atomically as simple `key=value` lines.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        let mut text = String::new();
+        text.push_str(&format!("graph={}\n", self.graph));
+        text.push_str(&format!("min_k={}\n", self.min_k));
+        if let Some(max_k) = self.max_k {
+            text.push_str(&format!("max_k={max_k}\n"));
+        }
+        text.push_str(&format!("threads={}\n", self.threads));
+        if let Some(out) = &self.out {
+            text.push_str(&format!("out={out}\n"));
+        }
+        let path = dir.join(RUN_META_FILE);
+        let tmp = dir.join(format!("{RUN_META_FILE}.tmp"));
+        std::fs::write(&tmp, text.as_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Load `run.meta` from `dir`. Unknown keys are ignored so older
+    /// builds can read files written by newer ones.
+    pub fn load(dir: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(dir.join(RUN_META_FILE))?;
+        let mut meta = RunMeta::default();
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key {
+                "graph" => meta.graph = value.to_string(),
+                "min_k" => meta.min_k = value.parse().unwrap_or(0),
+                "max_k" => meta.max_k = value.parse().ok(),
+                "threads" => meta.threads = value.parse().unwrap_or(0),
+                "out" => meta.out = Some(value.to_string()),
+                _ => {}
+            }
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sublist::SubList;
+    use gsb_graph::BitGraph;
+
+    fn temp_ckpt_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gsb-ckpt-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn level_for(g: &BitGraph, k: usize) -> Level {
+        let sublists = (0..3)
+            .map(|i| SubList {
+                prefix: vec![i],
+                cn: g.common_neighbors(&[i as usize]),
+                tails: vec![i + 1],
+            })
+            .collect();
+        Level { k, sublists }
+    }
+
+    #[test]
+    fn every_level_policy_writes_and_prunes() {
+        let dir = temp_ckpt_dir("prune");
+        let g = BitGraph::complete(10);
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        for k in 2..6 {
+            assert!(mgr.observe_level(&level_for(&g, k)).unwrap());
+        }
+        // keep=2: only k=4 and k=5 remain
+        assert_eq!(mgr.written(), &[4, 5]);
+        assert!(!checkpoint_path(&dir, 2).exists());
+        assert!(!checkpoint_path(&dir, 3).exists());
+        assert!(checkpoint_path(&dir, 4).exists());
+        assert!(checkpoint_path(&dir, 5).exists());
+        let (k, level) = latest_checkpoint(&dir, 10).unwrap().expect("has checkpoint");
+        assert_eq!(k, 5);
+        assert_eq!(level.sublists.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn off_policy_never_writes_but_force_does() {
+        let dir = temp_ckpt_dir("off");
+        let g = BitGraph::complete(10);
+        let mut config = CheckpointConfig::every_level(&dir);
+        config.policy = CheckpointPolicy::Off;
+        let mut mgr = CheckpointManager::new(config).unwrap();
+        assert!(!mgr.observe_level(&level_for(&g, 2)).unwrap());
+        assert!(latest_checkpoint(&dir, 10).unwrap().is_none());
+        mgr.force(&level_for(&g, 2)).unwrap();
+        assert!(latest_checkpoint(&dir, 10).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = temp_ckpt_dir("fallback");
+        let g = BitGraph::complete(10);
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.observe_level(&level_for(&g, 3)).unwrap();
+        mgr.observe_level(&level_for(&g, 4)).unwrap();
+        // corrupt the newest one
+        let newest = checkpoint_path(&dir, 4);
+        let mut raw = std::fs::read(&newest).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x04;
+        std::fs::write(&newest, &raw).unwrap();
+        let (k, _) = latest_checkpoint(&dir, 10).unwrap().expect("fallback");
+        assert_eq!(k, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn all_corrupt_is_an_error_not_a_panic() {
+        let dir = temp_ckpt_dir("allbad");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(checkpoint_path(&dir, 2), b"garbage").unwrap();
+        assert!(latest_checkpoint(&dir, 10).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn graph_mismatch_is_a_hard_error() {
+        let dir = temp_ckpt_dir("mismatch");
+        let g = BitGraph::complete(10);
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.observe_level(&level_for(&g, 3)).unwrap();
+        let err = latest_checkpoint(&dir, 99).unwrap_err();
+        assert!(matches!(err, StoreError::GraphMismatch { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn finish_removes_checkpoints_and_meta() {
+        let dir = temp_ckpt_dir("finish");
+        let g = BitGraph::complete(10);
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.observe_level(&level_for(&g, 3)).unwrap();
+        RunMeta {
+            graph: "g.graph".into(),
+            min_k: 3,
+            max_k: None,
+            threads: 0,
+            out: Some("out.txt".into()),
+        }
+        .save(&dir)
+        .unwrap();
+        mgr.finish();
+        assert!(latest_checkpoint(&dir, 10).unwrap().is_none());
+        assert!(RunMeta::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_meta_roundtrip() {
+        let dir = temp_ckpt_dir("meta");
+        std::fs::create_dir_all(&dir).unwrap();
+        let meta = RunMeta {
+            graph: "data/y2h.graph".into(),
+            min_k: 4,
+            max_k: Some(12),
+            threads: 8,
+            out: Some("cliques.tsv".into()),
+        };
+        meta.save(&dir).unwrap();
+        assert_eq!(RunMeta::load(&dir).unwrap(), meta);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timed_policy_respects_interval() {
+        let dir = temp_ckpt_dir("timed");
+        let g = BitGraph::complete(10);
+        let config = CheckpointConfig::every_secs(&dir, 3600);
+        let mut mgr = CheckpointManager::new(config).unwrap();
+        // interval far in the future: no write at the barrier
+        assert!(!mgr.observe_level(&level_for(&g, 2)).unwrap());
+        // zero interval: always due
+        let mut config = CheckpointConfig::every_secs(&dir, 0);
+        config.keep = 1;
+        let mut mgr = CheckpointManager::new(config).unwrap();
+        assert!(mgr.observe_level(&level_for(&g, 2)).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

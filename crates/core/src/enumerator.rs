@@ -223,8 +223,9 @@ impl CliqueEnumerator {
     /// ("takes as input a list of all edges (2-cliques) in non-repeating
     /// canonical order"), else seeded by the k-clique enumerator at
     /// `min_k`. Maximal cliques smaller than the first expandable level
-    /// are reported here.
-    pub(crate) fn init_level(
+    /// are reported here. Public so external drivers (tests, custom
+    /// harnesses) can run the level loop by hand with [`Self::step`].
+    pub fn init_level(
         &self,
         g: &BitGraph,
         sink: &mut impl CliqueSink,

@@ -1,0 +1,252 @@
+//! Deterministic fault injection for crash-safety testing.
+//!
+//! Long genome-scale runs fail in ways unit tests never exercise: a
+//! worker thread panics three hours in, a spill write hits a full disk,
+//! the process is killed at a level barrier. This module plants named
+//! *failpoints* at those sites — spill writes (`spill.write`),
+//! checkpoint writes (`checkpoint.write`), worker jobs
+//! (`parallel.worker`), the allocation-budget check (`memory.budget`),
+//! and the level barrier itself (`pipeline.barrier`) — so the recovery
+//! paths can be driven deterministically.
+//!
+//! Without the `failpoints` cargo feature every call compiles to a
+//! no-op; the feature is for the test suite only and must never be
+//! enabled in production builds. Actions are keyed on a per-site hit
+//! counter, so "pass twice, then fail" scenarios (crash at the third
+//! barrier) are reproducible without wall-clock or randomness.
+
+/// What a triggered failpoint does, over a site's 0-based hit counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic on hits `skip .. skip + times`.
+    Panic {
+        /// Hits that pass through before the action triggers.
+        skip: u32,
+        /// How many hits trigger once armed (`u32::MAX` = forever).
+        times: u32,
+    },
+    /// Return an injected `std::io::Error` on hits `skip .. skip + times`.
+    Error {
+        /// Hits that pass through before the action triggers.
+        skip: u32,
+        /// How many hits trigger once armed (`u32::MAX` = forever).
+        times: u32,
+    },
+}
+
+impl FailAction {
+    /// Panic on the first hit only (a transient fault: retry succeeds).
+    pub fn panic_once() -> Self {
+        FailAction::Panic { skip: 0, times: 1 }
+    }
+
+    /// Panic on every hit (a persistent fault: retries fail too).
+    pub fn panic_always() -> Self {
+        FailAction::Panic {
+            skip: 0,
+            times: u32::MAX,
+        }
+    }
+
+    /// Pass `n` hits, then panic forever — "crash at the (n+1)-th site
+    /// visit", e.g. the process dying at a specific level barrier.
+    pub fn panic_after(n: u32) -> Self {
+        FailAction::Panic {
+            skip: n,
+            times: u32::MAX,
+        }
+    }
+
+    /// Injected I/O error on the first hit only.
+    pub fn error_once() -> Self {
+        FailAction::Error { skip: 0, times: 1 }
+    }
+
+    /// Injected I/O error on every hit (e.g. a full disk).
+    pub fn error_always() -> Self {
+        FailAction::Error {
+            skip: 0,
+            times: u32::MAX,
+        }
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod active {
+    use super::FailAction;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+
+    struct Site {
+        action: FailAction,
+        hits: u32,
+    }
+
+    fn registry() -> &'static Mutex<HashMap<String, Site>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    pub fn configure(site: &str, action: FailAction) {
+        registry()
+            .lock()
+            .expect("failpoint registry poisoned")
+            .insert(site.to_string(), Site { action, hits: 0 });
+    }
+
+    pub fn clear(site: &str) {
+        registry()
+            .lock()
+            .expect("failpoint registry poisoned")
+            .remove(site);
+    }
+
+    pub fn reset_all() {
+        registry()
+            .lock()
+            .expect("failpoint registry poisoned")
+            .clear();
+    }
+
+    pub fn hits(site: &str) -> u32 {
+        registry()
+            .lock()
+            .expect("failpoint registry poisoned")
+            .get(site)
+            .map_or(0, |s| s.hits)
+    }
+
+    pub fn inject(site: &str) -> std::io::Result<()> {
+        // Decide while holding the lock, act after releasing it, so a
+        // panicking failpoint does not poison the registry.
+        let fire = {
+            let mut map = registry().lock().expect("failpoint registry poisoned");
+            match map.get_mut(site) {
+                None => None,
+                Some(s) => {
+                    let hit = s.hits;
+                    s.hits = s.hits.saturating_add(1);
+                    let (skip, times, is_panic) = match s.action {
+                        FailAction::Panic { skip, times } => (skip, times, true),
+                        FailAction::Error { skip, times } => (skip, times, false),
+                    };
+                    let armed = hit >= skip && (hit - skip) < times;
+                    armed.then_some(is_panic)
+                }
+            }
+        };
+        match fire {
+            None => Ok(()),
+            Some(true) => panic!("failpoint {site:?} triggered (injected panic)"),
+            Some(false) => Err(std::io::Error::other(format!(
+                "failpoint {site:?} triggered (injected I/O error)"
+            ))),
+        }
+    }
+}
+
+/// Arm a failpoint. No-op without the `failpoints` feature.
+pub fn configure(site: &str, action: FailAction) {
+    #[cfg(feature = "failpoints")]
+    active::configure(site, action);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = (site, action);
+}
+
+/// Disarm one failpoint. No-op without the `failpoints` feature.
+pub fn clear(site: &str) {
+    #[cfg(feature = "failpoints")]
+    active::clear(site);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = site;
+}
+
+/// Disarm every failpoint. No-op without the `failpoints` feature.
+pub fn reset_all() {
+    #[cfg(feature = "failpoints")]
+    active::reset_all();
+}
+
+/// How many times an armed site has been hit (0 when disarmed or the
+/// feature is off) — for asserting that a recovery path actually
+/// exercised the site.
+pub fn hits(site: &str) -> u32 {
+    #[cfg(feature = "failpoints")]
+    return active::hits(site);
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        0
+    }
+}
+
+/// Evaluate the failpoint at `site`: panics or returns an injected
+/// error when armed, otherwise `Ok(())`. Compiles to a no-op without
+/// the `failpoints` feature.
+#[inline]
+pub fn inject(site: &str) -> std::io::Result<()> {
+    #[cfg(feature = "failpoints")]
+    return active::inject(site);
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = site;
+        Ok(())
+    }
+}
+
+/// RAII failpoint arming: configures on construction, disarms on drop
+/// (including unwinds), so a failing test cannot leave a global
+/// failpoint armed for its neighbors.
+pub struct FailGuard {
+    site: &'static str,
+}
+
+impl FailGuard {
+    /// Arm `site` with `action` until the guard drops.
+    pub fn new(site: &'static str, action: FailAction) -> Self {
+        configure(site, action);
+        FailGuard { site }
+    }
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        clear(self.site);
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_sites_pass() {
+        assert!(inject("no.such.site").is_ok());
+        assert_eq!(hits("no.such.site"), 0);
+    }
+
+    #[test]
+    fn error_after_skip_counts_hits() {
+        let _g = FailGuard::new("fp.test.skip", FailAction::Error { skip: 2, times: 1 });
+        assert!(inject("fp.test.skip").is_ok());
+        assert!(inject("fp.test.skip").is_ok());
+        assert!(inject("fp.test.skip").is_err());
+        assert!(inject("fp.test.skip").is_ok()); // times exhausted
+        assert_eq!(hits("fp.test.skip"), 4);
+    }
+
+    #[test]
+    fn panic_action_panics_and_guard_disarms() {
+        {
+            let _g = FailGuard::new("fp.test.panic", FailAction::panic_once());
+            let err = std::panic::catch_unwind(|| {
+                let _ = inject("fp.test.panic");
+            });
+            assert!(err.is_err());
+            // countdown exhausted: second hit passes
+            assert!(inject("fp.test.panic").is_ok());
+        }
+        // guard dropped: site disarmed, counter gone
+        assert_eq!(hits("fp.test.panic"), 0);
+    }
+}

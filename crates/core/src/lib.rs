@@ -44,7 +44,9 @@
 
 pub mod analysis;
 pub mod bk;
+pub mod checkpoint;
 pub mod enumerator;
+pub mod failpoint;
 pub mod kclique;
 pub mod kose;
 pub mod maxclique;
@@ -59,12 +61,14 @@ pub mod store;
 pub mod sublist;
 pub mod wahclique;
 
+pub use checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager, CheckpointPolicy, RunMeta};
 pub use enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 pub use kose::{kose_ram, kose_ram_with, KoseSearch};
 pub use maxclique::{maximum_clique, maximum_clique_size};
 pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats};
-pub use pipeline::{CliquePipeline, PipelineReport};
+pub use pipeline::{CliquePipeline, PipelineError, PipelineReport};
 pub use sink::{CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, WriterSink};
+pub use store::{SpillConfig, StoreError};
 pub use sublist::{Level, SubList};
 
 /// Vertex index type: 32 bits, matching the paper's per-vertex-index

@@ -54,6 +54,33 @@ impl LevelMemory {
     pub fn with_next(&self, next: &LevelMemory) -> usize {
         self.formula_bytes + next.formula_bytes
     }
+
+    /// Conservative projection of the *next* level's formula bytes,
+    /// before building it.
+    ///
+    /// The paper's growth bound (§2.3): each sub-list with `t` tails
+    /// yields at most `t·(t−1)/2 ≤ (t−1)²` children, but the only
+    /// quantity known without expanding is the candidate count, which
+    /// satisfies `N[k+1] ≤ M[k] − 2·N[k]` (every child sub-list consumes
+    /// a tail pair). We take `N' = M[k] − 2·N[k]` (clamped at 0) for the
+    /// sub-list count and `M' ≈ M[k]` for the clique count — a heuristic,
+    /// not a bound: dense levels can exceed it. It is meant as a cheap
+    /// degradation trigger, not an admission-control guarantee.
+    pub fn projected_next_bytes(&self, k: usize, n: usize) -> usize {
+        let c = std::mem::size_of::<Vertex>();
+        let n_next = self.n_cliques.saturating_sub(2 * self.n_sublists);
+        let m_next = self.n_cliques;
+        m_next * c
+            + n_next * (k.max(1) * c + n.div_ceil(8))
+            + n_next * std::mem::size_of::<usize>()
+    }
+
+    /// Projected transient peak of the upcoming level step: this level
+    /// plus the projected next one, both resident while expanding.
+    pub fn projected_peak_bytes(&self, k: usize, n: usize) -> usize {
+        self.formula_bytes
+            .saturating_add(self.projected_next_bytes(k, n))
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +136,29 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(a.with_next(&b), 150);
+    }
+
+    #[test]
+    fn projection_is_monotone_and_zero_safe() {
+        let empty = LevelMemory::default();
+        assert_eq!(empty.projected_next_bytes(3, 100), 0);
+        let mem = LevelMemory {
+            n_sublists: 2,
+            n_cliques: 10,
+            formula_bytes: 500,
+            heap_bytes: 600,
+        };
+        // N' = 10 - 4 = 6, M' = 10, c = 4, n = 80 → ceil(80/8) = 10
+        // 10*4 + 6*(3*4 + 10) + 6*8 = 40 + 132 + 48
+        assert_eq!(mem.projected_next_bytes(3, 80), 220);
+        assert_eq!(mem.projected_peak_bytes(3, 80), 720);
+        // more sub-lists than pairs: projection clamps to the M' term
+        let tight = LevelMemory {
+            n_sublists: 10,
+            n_cliques: 10,
+            ..Default::default()
+        };
+        assert_eq!(tight.projected_next_bytes(3, 80), 40);
     }
 
     #[test]

@@ -12,17 +12,30 @@
 //! independent of the partition; results are sorted per level before
 //! delivery, so output order is identical to the sequential enumerator
 //! up to within-level ordering.
+//!
+//! ## Fault tolerance
+//!
+//! [`enumerate_resilient`](ParallelEnumerator::enumerate_resilient) is
+//! the crash-aware driver: a round whose worker panics is discarded
+//! wholesale (no partial emissions), dead threads are respawned, and
+//! the level is retried once from its snapshot before the failure is
+//! surfaced as a typed [`ParallelRunError`]. A per-level barrier hook
+//! lets the pipeline write checkpoints and demand degradation to the
+//! out-of-core path mid-flight.
 
 use crate::enumerator::{EnumConfig, LevelReport};
 use crate::memory::LevelMemory;
 use crate::sink::{CliqueSink, CollectSink};
+use crate::store::StoreError;
 use crate::sublist::{Level, SubList};
 use crate::Clique;
 use gsb_bitset::BitSet;
 use gsb_graph::BitGraph;
 use gsb_par::balance::{partition_greedy, rebalance, BalancePolicy};
 use gsb_par::stats::{LevelStats, RunStats};
-use gsb_par::WorkerPool;
+use gsb_par::{RoundError, WorkerPool};
+use parking_lot::Mutex;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -73,6 +86,77 @@ pub struct ParallelStats {
     pub run: RunStats,
     /// Total maximal cliques reported.
     pub total_maximal: usize,
+    /// Levels whose first round failed (worker panic) and were retried
+    /// successfully from their snapshot.
+    pub retried_levels: Vec<usize>,
+}
+
+/// Verdict of the per-level barrier hook.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierControl {
+    /// Expand this level as usual.
+    Continue,
+    /// Stop the in-core parallel run and hand the level back (the
+    /// pipeline continues it out of core).
+    Degrade,
+}
+
+/// How a resilient parallel run ended.
+pub enum ParallelOutcome {
+    /// Ran to completion.
+    Complete(ParallelStats),
+    /// The barrier hook demanded degradation; `level` is unexpanded and
+    /// everything of size `< level.k + 1` was already emitted.
+    Degraded {
+        /// The snapshot to continue from.
+        level: Level,
+        /// Statistics up to the handoff.
+        stats: ParallelStats,
+    },
+}
+
+/// A resilient parallel run failed.
+#[derive(Debug)]
+pub enum ParallelRunError {
+    /// A level's round failed twice (original + one retry from the
+    /// snapshot). `level` is the unexpanded snapshot, so the caller can
+    /// persist a final checkpoint before aborting.
+    Round {
+        /// The level being expanded when the workers failed.
+        k: usize,
+        /// The worker failures of the retry round.
+        error: RoundError,
+        /// The unexpanded level snapshot.
+        level: Level,
+    },
+    /// The barrier hook (checkpoint write, budget check) failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for ParallelRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParallelRunError::Round { k, error, .. } => {
+                write!(f, "level {k} failed after retry: {error}")
+            }
+            ParallelRunError::Store(e) => write!(f, "barrier failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelRunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParallelRunError::Round { error, .. } => Some(error),
+            ParallelRunError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for ParallelRunError {
+    fn from(e: StoreError) -> Self {
+        ParallelRunError::Store(e)
+    }
 }
 
 /// What one worker returns for one level.
@@ -83,46 +167,139 @@ struct WorkerOut {
     units: u64,
 }
 
+/// The per-round job: expand a batch of sub-lists locally, no
+/// cross-talk. Built by a free function so a retry can recreate it
+/// after the original closure was consumed by the failed round.
+fn worker_job(graph: Arc<BitGraph>) -> impl Fn(usize, Vec<SubList>) -> WorkerOut + Send + Sync {
+    move |_w, batch: Vec<SubList>| {
+        if let Err(e) = crate::failpoint::inject("parallel.worker") {
+            panic!("{e}");
+        }
+        let local_m: usize = batch.iter().map(SubList::len).sum();
+        let mut out = WorkerOut {
+            // paper's bound N[k+1] <= M[k] - 2N[k], per worker
+            new_sublists: Vec::with_capacity(local_m.saturating_sub(2 * batch.len())),
+            maximal: Vec::new(),
+            tasks: batch.len(),
+            units: 0,
+        };
+        let mut collect = CollectSink::default();
+        let mut buf = BitSet::new(graph.n());
+        for sl in &batch {
+            let (_found, units) = crate::enumerator::expand_sublist(
+                &graph,
+                sl,
+                &mut buf,
+                &mut collect,
+                &mut out.new_sublists,
+            );
+            out.units += units;
+        }
+        out.maximal = collect.cliques;
+        out
+    }
+}
+
+/// Partition sub-lists over `threads` queues with LPT on estimated cost.
+fn partition_level(sublists: Vec<SubList>, threads: usize) -> Vec<Vec<SubList>> {
+    let costs: Vec<u64> = sublists.iter().map(SubList::cost).collect();
+    let parts = partition_greedy(&costs, threads);
+    let mut queues: Vec<Vec<SubList>> = vec![Vec::new(); threads];
+    let mut slots: Vec<Option<SubList>> = sublists.into_iter().map(Some).collect();
+    for (w, idxs) in parts.iter().enumerate() {
+        for &i in idxs {
+            queues[w].push(slots[i].take().expect("each task assigned once"));
+        }
+    }
+    queues
+}
+
 /// The multithreaded Clique Enumerator.
 pub struct ParallelEnumerator {
     /// Run configuration.
     pub config: ParallelConfig,
-    pool: WorkerPool,
+    // Mutex (not for sharing — the enumerator is used from one thread)
+    // so respawning dead workers, which needs `&mut WorkerPool`, works
+    // behind the long-standing `&self` entry points.
+    pool: Mutex<WorkerPool>,
 }
 
 impl ParallelEnumerator {
     /// Build an enumerator (spawns the worker pool).
     pub fn new(config: ParallelConfig) -> Self {
         ParallelEnumerator {
-            pool: WorkerPool::new(config.threads),
+            pool: Mutex::new(WorkerPool::new(config.threads)),
             config,
         }
     }
 
     /// Enumerate maximal cliques of `g`, delivering them level by level
     /// (non-decreasing size) into `sink`.
+    ///
+    /// Panics if a worker round fails twice; use
+    /// [`enumerate_resilient`](Self::enumerate_resilient) to handle
+    /// failures as values.
     pub fn enumerate(&self, g: &Arc<BitGraph>, sink: &mut impl CliqueSink) -> ParallelStats {
+        let outcome = self.enumerate_resilient(g, None, sink, |_level, _mem, _sink| {
+            Ok(BarrierControl::Continue)
+        });
+        match outcome {
+            Ok(ParallelOutcome::Complete(stats)) => stats,
+            Ok(ParallelOutcome::Degraded { .. }) => {
+                unreachable!("no-op barrier never degrades")
+            }
+            Err(e) => panic!("parallel enumeration failed: {e}"),
+        }
+    }
+
+    /// Fault-tolerant enumeration.
+    ///
+    /// * `start`: `None` runs from scratch (seeding `min_k`-cliques and
+    ///   emitting them as the sequential enumerator does); `Some(level)`
+    ///   continues from a snapshot — e.g. a checkpoint — whose seeds
+    ///   were already emitted by the original run.
+    /// * `barrier` runs once per level *before* expansion, with the
+    ///   level snapshot and its memory accounting; it may persist a
+    ///   checkpoint (errors propagate) and may demand
+    ///   [`BarrierControl::Degrade`], which stops the in-core run and
+    ///   returns the unexpanded level for out-of-core continuation.
+    ///
+    /// A round that fails (worker panic) is discarded — partial results
+    /// never reach `sink` — dead workers are respawned, and the level is
+    /// retried once from its snapshot. A second failure aborts with
+    /// [`ParallelRunError::Round`] carrying the snapshot, so the caller
+    /// can write a final checkpoint.
+    pub fn enumerate_resilient<S, B>(
+        &self,
+        g: &Arc<BitGraph>,
+        start: Option<Level>,
+        sink: &mut S,
+        mut barrier: B,
+    ) -> Result<ParallelOutcome, ParallelRunError>
+    where
+        S: CliqueSink,
+        B: FnMut(&Level, &LevelMemory, &mut S) -> Result<BarrierControl, StoreError>,
+    {
         let wall = Instant::now();
         let mut stats = ParallelStats::default();
-        let threads = self.pool.threads();
+        let threads = self.pool.lock().threads();
 
-        // Initialization is sequential and cheap relative to expansion.
-        let seq = crate::enumerator::CliqueEnumerator::new(self.config.enum_config);
-        let mut init_stats = crate::enumerator::EnumStats::default();
-        let init = seq.init_level(g, sink, &mut init_stats);
-        stats.total_maximal += init_stats.total_maximal;
+        let init = match start {
+            Some(level) => level,
+            None => {
+                // Initialization is sequential and cheap relative to
+                // expansion.
+                let seq = crate::enumerator::CliqueEnumerator::new(self.config.enum_config);
+                let mut init_stats = crate::enumerator::EnumStats::default();
+                let init = seq.init_level(g, sink, &mut init_stats);
+                stats.total_maximal += init_stats.total_maximal;
+                init
+            }
+        };
         let mut k = init.k;
 
         // Initial distribution: LPT over estimated sub-list costs.
-        let costs: Vec<u64> = init.sublists.iter().map(SubList::cost).collect();
-        let parts = partition_greedy(&costs, threads);
-        let mut queues: Vec<Vec<SubList>> = vec![Vec::new(); threads];
-        let mut sublists: Vec<Option<SubList>> = init.sublists.into_iter().map(Some).collect();
-        for (w, idxs) in parts.iter().enumerate() {
-            for &i in idxs {
-                queues[w].push(sublists[i].take().expect("each task assigned once"));
-            }
-        }
+        let mut queues = partition_level(init.sublists, threads);
 
         loop {
             let total_tasks: usize = queues.iter().map(Vec::len).sum();
@@ -134,44 +311,60 @@ impl ParallelEnumerator {
                     break;
                 }
             }
-            // Account this level before consuming it.
+            // Snapshot this level before consuming it: the barrier hook
+            // checkpoints it, the memory watchdog inspects it, and a
+            // failed round retries from it.
             let level_view = Level {
                 k,
                 sublists: queues.iter().flatten().cloned().collect(),
             };
             let memory = LevelMemory::account(&level_view, g.n());
-            drop(level_view);
+            match barrier(&level_view, &memory, sink)? {
+                BarrierControl::Continue => {}
+                BarrierControl::Degrade => {
+                    stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
+                    return Ok(ParallelOutcome::Degraded {
+                        level: level_view,
+                        stats,
+                    });
+                }
+            }
 
             // One level-synchronous round: workers expand their local
             // sub-lists with no cross-talk.
             let batches: Vec<Vec<SubList>> = std::mem::take(&mut queues);
-            let graph = Arc::clone(g);
-            let outputs = self.pool.run_round(batches, move |_w, batch: Vec<SubList>| {
-                let local_m: usize = batch.iter().map(SubList::len).sum();
-                let mut out = WorkerOut {
-                    // paper's bound N[k+1] <= M[k] - 2N[k], per worker
-                    new_sublists: Vec::with_capacity(
-                        local_m.saturating_sub(2 * batch.len()),
-                    ),
-                    maximal: Vec::new(),
-                    tasks: batch.len(),
-                    units: 0,
-                };
-                let mut collect = CollectSink::default();
-                let mut buf = BitSet::new(graph.n());
-                for sl in &batch {
-                    let (_found, units) = crate::enumerator::expand_sublist(
-                        &graph,
-                        sl,
-                        &mut buf,
-                        &mut collect,
-                        &mut out.new_sublists,
-                    );
-                    out.units += units;
+            let first = self
+                .pool
+                .lock()
+                .run_round_checked(batches, worker_job(Arc::clone(g)));
+            let outputs = match first {
+                Ok(outputs) => outputs,
+                Err(round_error) => {
+                    // The whole round is discarded; re-partition the
+                    // snapshot and retry once on respawned workers.
+                    let retry_batches = partition_level(level_view.sublists.clone(), threads);
+                    match self
+                        .pool
+                        .lock()
+                        .run_round_checked(retry_batches, worker_job(Arc::clone(g)))
+                    {
+                        Ok(outputs) => {
+                            stats.retried_levels.push(k);
+                            outputs
+                        }
+                        Err(error) => {
+                            let _ = round_error; // superseded by the retry's error
+                            stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
+                            return Err(ParallelRunError::Round {
+                                k,
+                                error,
+                                level: level_view,
+                            });
+                        }
+                    }
                 }
-                out.maximal = collect.cliques;
-                out
-            });
+            };
+            drop(level_view);
 
             // Scheduler: collect results, report cliques in canonical
             // order, update stats.
@@ -213,17 +406,7 @@ impl ParallelEnumerator {
                 BalanceStrategy::Static => 0,
                 BalanceStrategy::Repartition => {
                     let flat: Vec<SubList> = new_queues.drain(..).flatten().collect();
-                    let costs: Vec<u64> = flat.iter().map(SubList::cost).collect();
-                    let parts = partition_greedy(&costs, threads);
-                    let mut slots: Vec<Option<SubList>> = flat.into_iter().map(Some).collect();
-                    new_queues = parts
-                        .iter()
-                        .map(|idxs| {
-                            idxs.iter()
-                                .map(|&i| slots[i].take().expect("assigned once"))
-                                .collect()
-                        })
-                        .collect();
+                    new_queues = partition_level(flat, threads);
                     0
                 }
             };
@@ -247,7 +430,7 @@ impl ParallelEnumerator {
             k += 1;
         }
         stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
-        stats
+        Ok(ParallelOutcome::Complete(stats))
     }
 }
 
@@ -346,6 +529,7 @@ mod tests {
             assert_eq!(l.per_worker_ns.len(), 4);
         }
         assert!(stats.run.wall_ns > 0);
+        assert!(stats.retried_levels.is_empty());
     }
 
     #[test]
@@ -373,5 +557,66 @@ mod tests {
         );
         assert!(got.is_empty());
         assert_eq!(stats.total_maximal, 0);
+    }
+
+    #[test]
+    fn resilient_from_snapshot_matches_rest_of_run() {
+        // Step sequentially to the level-3 barrier, then hand the level
+        // to the resilient parallel driver as a resume snapshot.
+        let g = planted(34, 0.1, &[Module::clique(8), Module::clique(6)], 9);
+        let expect = bk_at_least(&g, 3);
+
+        let seq = crate::enumerator::CliqueEnumerator::new(EnumConfig::default());
+        let mut sink = CollectSink::default();
+        let mut init_stats = crate::enumerator::EnumStats::default();
+        let mut level = seq.init_level(&g, &mut sink, &mut init_stats);
+        while level.k < 3 && !level.sublists.is_empty() {
+            let (next, _) = seq.step(&g, &level, &mut sink);
+            level = next;
+        }
+        let garc = Arc::new(g.clone());
+        let outcome = ParallelEnumerator::new(ParallelConfig {
+            threads: 3,
+            ..Default::default()
+        })
+        .enumerate_resilient(&garc, Some(level), &mut sink, |_l, _m, _s| {
+            Ok(BarrierControl::Continue)
+        })
+        .expect("resilient run");
+        assert!(matches!(outcome, ParallelOutcome::Complete(_)));
+        let mut got = sink.cliques;
+        got.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn barrier_degrade_hands_back_unexpanded_level() {
+        let g = planted(30, 0.1, &[Module::clique(8)], 5);
+        let garc = Arc::new(g.clone());
+        let mut sink = CollectSink::default();
+        let enumerator = ParallelEnumerator::new(ParallelConfig {
+            threads: 2,
+            ..Default::default()
+        });
+        let outcome = enumerator
+            .enumerate_resilient(&garc, None, &mut sink, |level, _m, _s| {
+                Ok(if level.k >= 4 {
+                    BarrierControl::Degrade
+                } else {
+                    BarrierControl::Continue
+                })
+            })
+            .expect("resilient run");
+        let ParallelOutcome::Degraded { level, .. } = outcome else {
+            panic!("expected degradation at k=4");
+        };
+        assert_eq!(level.k, 4);
+        assert!(!level.sublists.is_empty());
+        // continuing sequentially from the handoff completes the run
+        let seq = crate::enumerator::CliqueEnumerator::new(EnumConfig::default());
+        seq.enumerate_from_level(&g, level, &mut sink);
+        let mut got = sink.cliques;
+        got.sort();
+        assert_eq!(got, bk_at_least(&g, 3));
     }
 }

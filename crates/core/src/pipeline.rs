@@ -5,14 +5,94 @@
 //! k is the user-supplied lower bound (Section 2.2). A maximal clique
 //! enumeration algorithm (Section 2.3) is then employed using the
 //! non-maximal k-cliques as input."
+//!
+//! ## Fault tolerance
+//!
+//! The pipeline is also the fault-tolerant runtime. When configured
+//! with [`checkpoint`](CliquePipeline::checkpoint) and/or
+//! [`memory_budget`](CliquePipeline::memory_budget) it drives the
+//! enumeration through per-level barriers where it
+//!
+//! 1. flushes durable sinks and persists the level atomically (crash
+//!    recovery: [`CliquePipeline::resume`] reloads the newest valid
+//!    checkpoint and re-expands it, emitting only sizes above it);
+//! 2. projects the next level's footprint and, when it would exceed the
+//!    budget, *degrades* mid-flight to the out-of-core enumerator
+//!    instead of dying on allocation;
+//! 3. contains worker panics: a failed parallel round is discarded and
+//!    retried once on respawned workers; a second failure writes a
+//!    final checkpoint and surfaces [`PipelineError::Workers`].
+//!
+//! Without those options `run` takes the original in-core fast path.
 
+use crate::checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager};
 use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats};
 use crate::maxclique::maximum_clique_size;
-use crate::parallel::{ParallelConfig, ParallelEnumerator, ParallelStats};
+use crate::memory::LevelMemory;
+use crate::parallel::{
+    BarrierControl, ParallelConfig, ParallelEnumerator, ParallelOutcome, ParallelRunError,
+    ParallelStats,
+};
 use crate::sink::CliqueSink;
+use crate::spill::SpillStats;
+use crate::store::{SpillConfig, StoreError};
+use crate::sublist::Level;
 use gsb_graph::reduce::clique_upper_bound;
 use gsb_graph::BitGraph;
+use gsb_par::RoundError;
+use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// A pipeline run failed (only possible with fault-tolerance options:
+/// the plain in-core path is infallible).
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Checkpoint or spill I/O / corruption, or a durable sink that
+    /// could not be flushed at a barrier.
+    Store(StoreError),
+    /// A parallel level failed twice (original round + retry). When
+    /// checkpointing is configured, a final checkpoint of the failed
+    /// level was written before this was returned, so the run is
+    /// resumable.
+    Workers {
+        /// The level whose workers failed.
+        k: usize,
+        /// The retry round's failures.
+        error: RoundError,
+    },
+    /// `resume` found no checkpoint (none configured, none written, or
+    /// the run had already completed and cleaned up).
+    NoCheckpoint,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Store(e) => write!(f, "pipeline storage error: {e}"),
+            PipelineError::Workers { k, error } => {
+                write!(f, "workers failed at level {k} after retry: {error}")
+            }
+            PipelineError::NoCheckpoint => write!(f, "no checkpoint to resume from"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Store(e) => Some(e),
+            PipelineError::Workers { error, .. } => Some(error),
+            PipelineError::NoCheckpoint => None,
+        }
+    }
+}
+
+impl From<StoreError> for PipelineError {
+    fn from(e: StoreError) -> Self {
+        PipelineError::Store(e)
+    }
+}
 
 /// Builder for a full clique-analysis run.
 #[derive(Clone, Debug)]
@@ -21,6 +101,9 @@ pub struct CliquePipeline {
     max_k: Option<usize>,
     threads: usize,
     exact_upper_bound: bool,
+    checkpoint: Option<CheckpointConfig>,
+    memory_budget: Option<usize>,
+    degrade_dir: Option<PathBuf>,
 }
 
 impl Default for CliquePipeline {
@@ -30,6 +113,9 @@ impl Default for CliquePipeline {
             max_k: None,
             threads: 1,
             exact_upper_bound: true,
+            checkpoint: None,
+            memory_budget: None,
+            degrade_dir: None,
         }
     }
 }
@@ -47,6 +133,25 @@ pub struct PipelineReport {
     pub enum_stats: Option<EnumStats>,
     /// Parallel stats (multi-threaded runs).
     pub parallel_stats: Option<ParallelStats>,
+    /// The checkpoint level this run resumed from, if any.
+    pub resumed_from: Option<usize>,
+    /// The level at which the run degraded to the out-of-core path, if
+    /// the memory watchdog fired.
+    pub degraded_at: Option<usize>,
+    /// Levels that were checkpointed (and later cleaned up on success).
+    pub checkpoints: Vec<usize>,
+    /// Out-of-core stats for the degraded tail of the run, if any.
+    pub spill_stats: Option<SpillStats>,
+}
+
+/// What the resilient driver hands back to the report assembly.
+#[derive(Default)]
+struct ResilientOutcome {
+    enum_stats: Option<EnumStats>,
+    parallel_stats: Option<ParallelStats>,
+    spill_stats: Option<SpillStats>,
+    checkpoints: Vec<usize>,
+    degraded_at: Option<usize>,
 }
 
 impl CliquePipeline {
@@ -82,16 +187,39 @@ impl CliquePipeline {
         self
     }
 
-    /// Run the pipeline, delivering maximal cliques to `sink` in
-    /// non-decreasing size order.
-    pub fn run(&self, g: &BitGraph, sink: &mut impl CliqueSink) -> PipelineReport {
+    /// Persist level checkpoints per `config` so a killed run can be
+    /// continued with [`resume`](Self::resume). Durable sinks are
+    /// flushed before every checkpoint write, so everything a resumed
+    /// run skips is already on disk.
+    pub fn checkpoint(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoint = Some(config);
+        self
+    }
+
+    /// Graceful degradation under memory pressure: at each barrier,
+    /// project the upcoming level step's footprint
+    /// ([`LevelMemory::projected_peak_bytes`]) and, when it exceeds
+    /// `bytes`, finish the run with the out-of-core enumerator bounded
+    /// by the same budget instead of allocating past it.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Directory for spill files when degradation kicks in (default:
+    /// the checkpoint directory if configured, else the system temp
+    /// directory).
+    pub fn degrade_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.degrade_dir = Some(dir.into());
+        self
+    }
+
+    fn enum_config(&self, g: &BitGraph) -> (usize, Option<usize>, EnumConfig) {
         // Stage 1: bounds. The cheap bound caps the level loop; the
         // exact bound reproduces the paper's "maximum clique size
         // was 17 / 110 / 28" preamble.
         let upper_bound = clique_upper_bound(g);
-        let maximum = self
-            .exact_upper_bound
-            .then(|| maximum_clique_size(g));
+        let maximum = self.exact_upper_bound.then(|| maximum_clique_size(g));
         let effective_max = match (self.max_k, maximum) {
             (Some(mx), Some(exact)) => Some(mx.min(exact)),
             (Some(mx), None) => Some(mx.min(upper_bound)),
@@ -102,33 +230,281 @@ impl CliquePipeline {
             max_k: effective_max,
             record_costs: false,
         };
+        (upper_bound, maximum, config)
+    }
+
+    fn spill_config(&self) -> SpillConfig {
+        let dir = self
+            .degrade_dir
+            .clone()
+            .or_else(|| self.checkpoint.as_ref().map(|c| c.dir.clone()))
+            .unwrap_or_else(std::env::temp_dir);
+        SpillConfig {
+            budget_bytes: self.memory_budget.unwrap_or(usize::MAX),
+            dir,
+        }
+    }
+
+    /// Run the pipeline, delivering maximal cliques to `sink` in
+    /// non-decreasing size order.
+    ///
+    /// Panics on failure; failures are only possible when checkpointing
+    /// or a memory budget is configured — use
+    /// [`try_run`](Self::try_run) to handle them as values.
+    pub fn run(&self, g: &BitGraph, sink: &mut impl CliqueSink) -> PipelineReport {
+        self.try_run(g, sink)
+            .unwrap_or_else(|e| panic!("pipeline failed: {e}"))
+    }
+
+    /// Run the pipeline, surfacing checkpoint/budget/worker failures as
+    /// [`PipelineError`] values.
+    pub fn try_run(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+    ) -> Result<PipelineReport, PipelineError> {
+        let (upper_bound, maximum, config) = self.enum_config(g);
+
         // Stages 2+3: seed at min_k (inside the enumerator) and run the
         // levelwise enumeration.
-        if self.threads == 1 {
-            let stats = CliqueEnumerator::new(config).enumerate(g, sink);
-            PipelineReport {
-                upper_bound,
-                maximum_clique: maximum,
-                min_k: self.min_k,
-                enum_stats: Some(stats),
-                parallel_stats: None,
+        let outcome = if self.checkpoint.is_none() && self.memory_budget.is_none() {
+            // Original infallible in-core fast path.
+            if self.threads == 1 {
+                ResilientOutcome {
+                    enum_stats: Some(CliqueEnumerator::new(config).enumerate(g, sink)),
+                    ..Default::default()
+                }
+            } else {
+                let par = ParallelEnumerator::new(ParallelConfig {
+                    threads: self.threads,
+                    enum_config: config,
+                    ..Default::default()
+                });
+                let garc = Arc::new(g.clone());
+                ResilientOutcome {
+                    parallel_stats: Some(par.enumerate(&garc, sink)),
+                    ..Default::default()
+                }
             }
         } else {
-            let par = ParallelEnumerator::new(ParallelConfig {
-                threads: self.threads,
-                enum_config: config,
-                ..Default::default()
-            });
-            let garc = Arc::new(g.clone());
-            let stats = par.enumerate(&garc, sink);
-            PipelineReport {
-                upper_bound,
-                maximum_clique: maximum,
-                min_k: self.min_k,
-                enum_stats: None,
-                parallel_stats: Some(stats),
+            self.run_resilient(g, sink, None, config)?
+        };
+        Ok(PipelineReport {
+            upper_bound,
+            maximum_clique: maximum,
+            min_k: self.min_k,
+            enum_stats: outcome.enum_stats,
+            parallel_stats: outcome.parallel_stats,
+            resumed_from: None,
+            degraded_at: outcome.degraded_at,
+            checkpoints: outcome.checkpoints,
+            spill_stats: outcome.spill_stats,
+        })
+    }
+
+    /// Continue an interrupted run from the newest valid checkpoint in
+    /// the configured checkpoint directory.
+    ///
+    /// The checkpointed level is re-expanded, so only cliques of size
+    /// *greater than* the checkpoint level are emitted into `sink`; the
+    /// caller owns everything the original run emitted before the
+    /// crash (for file sinks: truncate to lines of size ≤ the
+    /// checkpoint level — `gsb resume` does exactly that). Fails with
+    /// [`PipelineError::NoCheckpoint`] when there is nothing to resume
+    /// and [`StoreError::GraphMismatch`] when the checkpoint belongs to
+    /// a different graph.
+    pub fn resume(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+    ) -> Result<PipelineReport, PipelineError> {
+        let ckpt = self.checkpoint.as_ref().ok_or(PipelineError::NoCheckpoint)?;
+        let Some((k, level)) = latest_checkpoint(&ckpt.dir, g.n())? else {
+            return Err(PipelineError::NoCheckpoint);
+        };
+        let (upper_bound, maximum, config) = self.enum_config(g);
+        let outcome = self.run_resilient(g, sink, Some(level), config)?;
+        Ok(PipelineReport {
+            upper_bound,
+            maximum_clique: maximum,
+            min_k: self.min_k,
+            enum_stats: outcome.enum_stats,
+            parallel_stats: outcome.parallel_stats,
+            resumed_from: Some(k),
+            degraded_at: outcome.degraded_at,
+            checkpoints: outcome.checkpoints,
+            spill_stats: outcome.spill_stats,
+        })
+    }
+
+    /// The barrier-driven driver behind `try_run` (with options) and
+    /// `resume`.
+    fn run_resilient<S: CliqueSink>(
+        &self,
+        g: &BitGraph,
+        sink: &mut S,
+        start: Option<Level>,
+        config: EnumConfig,
+    ) -> Result<ResilientOutcome, PipelineError> {
+        let mut manager = self
+            .checkpoint
+            .clone()
+            .map(CheckpointManager::new)
+            .transpose()?;
+        let budget = self.memory_budget;
+        let g_n = g.n();
+
+        let outcome = if self.threads == 1 {
+            self.run_resilient_sequential(g, sink, start, config, &mut manager, budget, g_n)?
+        } else {
+            self.run_resilient_parallel(g, sink, start, config, &mut manager, budget, g_n)?
+        };
+        Ok(outcome)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_resilient_sequential<S: CliqueSink>(
+        &self,
+        g: &BitGraph,
+        sink: &mut S,
+        start: Option<Level>,
+        config: EnumConfig,
+        manager: &mut Option<CheckpointManager>,
+        budget: Option<usize>,
+        g_n: usize,
+    ) -> Result<ResilientOutcome, PipelineError> {
+        let seq = CliqueEnumerator::new(config);
+        let mut outcome = ResilientOutcome::default();
+        let mut stats = EnumStats::default();
+        let mut level = match start {
+            Some(level) => level,
+            None => seq.init_level(g, sink, &mut stats),
+        };
+        loop {
+            if level.sublists.is_empty() {
+                break;
             }
+            if let Some(mx) = config.max_k {
+                if level.k >= mx {
+                    break;
+                }
+            }
+            let memory = LevelMemory::account(&level, g_n);
+            match at_barrier(manager, budget, &level, &memory, sink, g_n)? {
+                BarrierControl::Continue => {}
+                BarrierControl::Degrade => {
+                    outcome.degraded_at = Some(level.k);
+                    let spill = self.spill_config();
+                    let spill_stats = seq
+                        .enumerate_spilled_from_level(g, level, sink, &spill)
+                        .map_err(PipelineError::Store)?;
+                    stats.total_maximal += spill_stats.total_maximal;
+                    outcome.spill_stats = Some(spill_stats);
+                    break;
+                }
+            }
+            let (next, report) = seq.step(g, &level, sink);
+            stats.total_maximal += report.maximal_found;
+            stats.levels.push(report);
+            level = next;
         }
+        finish_checkpoints(manager, &mut outcome);
+        outcome.enum_stats = Some(stats);
+        Ok(outcome)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_resilient_parallel<S: CliqueSink>(
+        &self,
+        g: &BitGraph,
+        sink: &mut S,
+        start: Option<Level>,
+        config: EnumConfig,
+        manager: &mut Option<CheckpointManager>,
+        budget: Option<usize>,
+        g_n: usize,
+    ) -> Result<ResilientOutcome, PipelineError> {
+        let mut outcome = ResilientOutcome::default();
+        let par = ParallelEnumerator::new(ParallelConfig {
+            threads: self.threads,
+            enum_config: config,
+            ..Default::default()
+        });
+        let garc = Arc::new(g.clone());
+        let result = par.enumerate_resilient(&garc, start, sink, |level, memory, sink| {
+            at_barrier(manager, budget, level, memory, sink, g_n).map_err(|e| match e {
+                PipelineError::Store(e) => e,
+                // at_barrier only produces Store errors
+                other => StoreError::Io(std::io::Error::other(other.to_string())),
+            })
+        });
+        match result {
+            Ok(ParallelOutcome::Complete(stats)) => {
+                outcome.parallel_stats = Some(stats);
+            }
+            Ok(ParallelOutcome::Degraded { level, stats }) => {
+                outcome.degraded_at = Some(level.k);
+                outcome.parallel_stats = Some(stats);
+                let spill = self.spill_config();
+                let spill_stats = CliqueEnumerator::new(config)
+                    .enumerate_spilled_from_level(g, level, sink, &spill)
+                    .map_err(PipelineError::Store)?;
+                outcome.spill_stats = Some(spill_stats);
+            }
+            Err(ParallelRunError::Round { k, error, level }) => {
+                // Abort, but leave a final checkpoint of the failed
+                // level so the operator can fix the cause and resume.
+                if let Some(mgr) = manager.as_mut() {
+                    let _ = sink.flush_barrier();
+                    let _ = mgr.force(&level);
+                    outcome.checkpoints = mgr.written().to_vec();
+                }
+                return Err(PipelineError::Workers { k, error });
+            }
+            Err(ParallelRunError::Store(e)) => return Err(PipelineError::Store(e)),
+        }
+        finish_checkpoints(manager, &mut outcome);
+        Ok(outcome)
+    }
+}
+
+/// The per-level barrier: fault injection, memory watchdog, durable
+/// sink flush, checkpoint write.
+fn at_barrier<S: CliqueSink>(
+    manager: &mut Option<CheckpointManager>,
+    budget: Option<usize>,
+    level: &Level,
+    memory: &LevelMemory,
+    sink: &mut S,
+    g_n: usize,
+) -> Result<BarrierControl, PipelineError> {
+    if let Some(budget) = budget {
+        crate::failpoint::inject("memory.budget").map_err(StoreError::Io)?;
+        if memory.projected_peak_bytes(level.k, g_n) > budget {
+            return Ok(BarrierControl::Degrade);
+        }
+    }
+    if let Some(mgr) = manager.as_mut() {
+        // Flush the sink first: once the checkpoint exists, a resumed
+        // run will never re-emit anything at or below this level, so
+        // those cliques must already be out of volatile buffers.
+        sink.flush_barrier()
+            .map_err(|e| PipelineError::Store(StoreError::Io(e)))?;
+        mgr.observe_level(level)?;
+    }
+    // The crash-simulation site sits after the checkpoint write: a kill
+    // here models dying at the barrier with the freshest possible
+    // checkpoint on disk — resume must still produce identical output.
+    crate::failpoint::inject("pipeline.barrier").map_err(StoreError::Io)?;
+    Ok(BarrierControl::Continue)
+}
+
+/// Successful completion: record which levels were checkpointed, then
+/// remove the now-useless checkpoint files.
+fn finish_checkpoints(manager: &mut Option<CheckpointManager>, outcome: &mut ResilientOutcome) {
+    if let Some(mgr) = manager.take() {
+        outcome.checkpoints = mgr.written().to_vec();
+        mgr.finish();
     }
 }
 
@@ -154,6 +530,8 @@ mod tests {
             .collect();
         assert_eq!(got, expect);
         assert!(report.enum_stats.is_some());
+        assert!(report.resumed_from.is_none());
+        assert!(report.degraded_at.is_none());
     }
 
     #[test]
@@ -206,5 +584,125 @@ mod tests {
             .filter(|c| c.len() >= 3)
             .collect();
         assert_eq!(got, expect);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gsb-pipeline-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_cleans_up() {
+        let g = planted(36, 0.1, &[Module::clique(9), Module::clique(6)], 17);
+        let mut plain = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut plain);
+
+        let dir = temp_dir("ckpt-match");
+        for threads in [1usize, 4] {
+            let mut sink = CollectSink::default();
+            let report = CliquePipeline::new()
+                .min_size(3)
+                .threads(threads)
+                .checkpoint(CheckpointConfig::every_level(&dir))
+                .try_run(&g, &mut sink)
+                .expect("checkpointed run");
+            let mut a = plain.cliques.clone();
+            let mut b = sink.cliques;
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "threads={threads}");
+            assert!(!report.checkpoints.is_empty(), "no checkpoints written");
+            // success cleans up: nothing left to resume
+            let err = CliquePipeline::new()
+                .min_size(3)
+                .checkpoint(CheckpointConfig::every_level(&dir))
+                .resume(&g, &mut CollectSink::default())
+                .unwrap_err();
+            assert!(matches!(err, PipelineError::NoCheckpoint));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_from_manufactured_checkpoint_completes_the_set() {
+        // Simulate a crash: run the first levels by hand, write a real
+        // checkpoint, then resume through the pipeline and check the
+        // union of pre-crash and post-resume cliques equals a full run.
+        let g = planted(34, 0.1, &[Module::clique(8), Module::clique(6)], 29);
+        let mut full = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut full);
+
+        let seq = CliqueEnumerator::new(EnumConfig::default());
+        let mut pre_crash = CollectSink::default();
+        let mut enum_stats = EnumStats::default();
+        let mut level = seq.init_level(&g, &mut pre_crash, &mut enum_stats);
+        while level.k < 4 && !level.sublists.is_empty() {
+            let (next, _) = seq.step(&g, &level, &mut pre_crash);
+            level = next;
+        }
+        let dir = temp_dir("resume");
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.force(&level).unwrap();
+        // the crash: `mgr` is dropped without finish(), files stay
+
+        let mut post = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .checkpoint(CheckpointConfig::every_level(&dir))
+            .resume(&g, &mut post)
+            .expect("resume");
+        assert_eq!(report.resumed_from, Some(level.k));
+        // resumed run emits only sizes > checkpoint level
+        assert!(post.cliques.iter().all(|c| c.len() > level.k));
+        // pre-crash cliques ≤ k + resumed > k = the full set
+        let mut combined: Vec<_> = pre_crash
+            .cliques
+            .into_iter()
+            .filter(|c| c.len() <= level.k)
+            .chain(post.cliques)
+            .collect();
+        combined.sort();
+        let mut expect = full.cliques;
+        expect.sort();
+        assert_eq!(combined, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_budget_degrades_and_stays_correct() {
+        let g = planted(36, 0.1, &[Module::clique(9)], 3);
+        let mut plain = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut plain);
+        // A tiny budget forces degradation at the first barrier.
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .memory_budget(64)
+            .try_run(&g, &mut sink)
+            .expect("degraded run");
+        assert!(report.degraded_at.is_some(), "watchdog never fired");
+        assert!(report.spill_stats.is_some());
+        let mut a = plain.cliques;
+        let mut b = sink.cliques;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generous_budget_never_degrades() {
+        let g = planted(30, 0.1, &[Module::clique(7)], 9);
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .memory_budget(usize::MAX)
+            .try_run(&g, &mut sink)
+            .expect("run");
+        assert!(report.degraded_at.is_none());
+        assert!(report.spill_stats.is_none());
     }
 }

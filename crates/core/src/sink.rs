@@ -12,6 +12,15 @@ use crate::{Clique, Vertex};
 pub trait CliqueSink {
     /// One maximal clique, vertices sorted ascending.
     fn maximal(&mut self, clique: &[Vertex]);
+
+    /// Called by checkpointing drivers right before a checkpoint is
+    /// persisted: a durable sink must make everything received so far
+    /// durable too, or a crash after the checkpoint would lose cliques
+    /// the resumed run will never re-emit. In-memory sinks (the
+    /// default) have nothing to do.
+    fn flush_barrier(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Retains every maximal clique.
@@ -76,6 +85,10 @@ impl<S: CliqueSink + ?Sized> CliqueSink for &mut S {
     fn maximal(&mut self, clique: &[Vertex]) {
         (**self).maximal(clique);
     }
+
+    fn flush_barrier(&mut self) -> std::io::Result<()> {
+        (**self).flush_barrier()
+    }
 }
 
 /// Streams cliques to any writer as `size\tv1 v2 …` lines — the
@@ -131,6 +144,16 @@ impl<W: std::io::Write> CliqueSink for WriterSink<W> {
             return;
         }
         self.written += 1;
+    }
+
+    fn flush_barrier(&mut self) -> std::io::Result<()> {
+        use std::io::Write as _;
+        if let Some(e) = self.error.take() {
+            self.error = Some(std::io::Error::new(e.kind(), e.to_string()));
+            return Err(e);
+        }
+        self.writer.flush()?;
+        self.writer.get_mut().flush()
     }
 }
 
@@ -201,6 +224,34 @@ mod tests {
             sink.maximal(&[1, 2, 3, 4, 5, 6, 7, 8]);
         }
         assert!(sink.finish().is_err());
+    }
+
+    #[test]
+    fn flush_barrier_pushes_buffered_lines_down() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        // default impl is a no-op
+        assert!(CollectSink::default().flush_barrier().is_ok());
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Shared::default();
+        let mut sink = WriterSink::new(shared.clone());
+        sink.maximal(&[1, 2, 3]);
+        assert!(
+            shared.0.borrow().is_empty(),
+            "one short line should still sit in the BufWriter"
+        );
+        sink.flush_barrier().unwrap();
+        assert_eq!(&*shared.0.borrow(), b"3\t1 2 3\n");
     }
 
     #[test]

@@ -7,10 +7,18 @@
 //! bottleneck". It exists here so the comparison is measurable on the
 //! same codebase: identical expansion kernel, only the level storage
 //! differs. See the `ablation_spill` bench.
+//!
+//! Besides the benchmark role, the spilled loop is the *degraded mode*
+//! of the fault-tolerant pipeline: when a run's projected footprint
+//! exceeds its memory budget, [`CliquePipeline`](crate::CliquePipeline)
+//! hands the current level to
+//! [`enumerate_spilled_from_level`](CliqueEnumerator::enumerate_spilled_from_level)
+//! and finishes out of core instead of dying on allocation.
 
 use crate::enumerator::{CliqueEnumerator, EnumStats};
 use crate::sink::CliqueSink;
-use crate::store::{LevelStore, SpillConfig};
+use crate::store::{LevelStore, SpillConfig, StoreError};
+use crate::sublist::Level;
 use gsb_bitset::BitSet;
 use gsb_graph::BitGraph;
 use std::time::Instant;
@@ -59,12 +67,43 @@ impl CliqueEnumerator {
         g: &BitGraph,
         sink: &mut impl CliqueSink,
         spill: &SpillConfig,
-    ) -> std::io::Result<SpillStats> {
+    ) -> Result<SpillStats, StoreError> {
         let start = Instant::now();
         let mut stats = SpillStats::default();
         let mut enum_stats = EnumStats::default();
         let init = self.init_level(g, sink, &mut enum_stats);
         stats.total_maximal += enum_stats.total_maximal;
+        self.run_spilled_from(g, init, sink, spill, &mut stats)?;
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        Ok(stats)
+    }
+
+    /// Continue an enumeration out of core from an already-built level
+    /// (a checkpoint, or the resident level of an in-core run that hit
+    /// its memory budget). Emits cliques of size `> level.k` only; the
+    /// caller is responsible for everything emitted before the handoff.
+    pub fn enumerate_spilled_from_level(
+        &self,
+        g: &BitGraph,
+        level: Level,
+        sink: &mut impl CliqueSink,
+        spill: &SpillConfig,
+    ) -> Result<SpillStats, StoreError> {
+        let start = Instant::now();
+        let mut stats = SpillStats::default();
+        self.run_spilled_from(g, level, sink, spill, &mut stats)?;
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        Ok(stats)
+    }
+
+    fn run_spilled_from(
+        &self,
+        g: &BitGraph,
+        init: Level,
+        sink: &mut impl CliqueSink,
+        spill: &SpillConfig,
+        stats: &mut SpillStats,
+    ) -> Result<(), StoreError> {
         let mut k = init.k;
         let mut current = LevelStore::new(spill, g.n());
         for sl in init.sublists {
@@ -85,10 +124,10 @@ impl CliqueEnumerator {
             let spilled = current.spilled_len();
             let mut next = LevelStore::new(spill, g.n());
             let mut maximal_found = 0usize;
-            let mut io_error: Option<std::io::Error> = None;
+            let mut push_error: Option<StoreError> = None;
             let mut scratch = Vec::new();
             let report = current.drain(|sl| {
-                if io_error.is_some() {
+                if push_error.is_some() {
                     return;
                 }
                 scratch.clear();
@@ -97,12 +136,12 @@ impl CliqueEnumerator {
                 maximal_found += found;
                 for nsl in scratch.drain(..) {
                     if let Err(e) = next.push(nsl) {
-                        io_error = Some(e);
+                        push_error = Some(e);
                         return;
                     }
                 }
             })?;
-            if let Some(e) = io_error {
+            if let Some(e) = push_error {
                 return Err(e);
             }
             stats.total_maximal += maximal_found;
@@ -116,8 +155,7 @@ impl CliqueEnumerator {
             current = next;
             k += 1;
         }
-        stats.wall_ns = start.elapsed().as_nanos() as u64;
-        Ok(stats)
+        Ok(())
     }
 }
 
@@ -195,5 +233,29 @@ mod tests {
             assert_eq!(l.spilled, l.sublists);
         }
         assert!(stats.wall_ns > 0);
+    }
+
+    #[test]
+    fn from_level_handoff_matches_full_run() {
+        // Run in core up to the level-3 barrier, hand that level to the
+        // spilled loop, and check the combined output equals one run.
+        let g = planted(36, 0.1, &[Module::clique(8), Module::clique(6)], 21);
+        let config = EnumConfig::default();
+        let expect = in_core(&g, config);
+
+        let enumerator = CliqueEnumerator::new(config);
+        let mut sink = CollectSink::default();
+        let mut enum_stats = EnumStats::default();
+        let mut level = enumerator.init_level(&g, &mut sink, &mut enum_stats);
+        while level.k < 3 && !level.sublists.is_empty() {
+            let (next, _) = enumerator.step(&g, &level, &mut sink);
+            level = next;
+        }
+        enumerator
+            .enumerate_spilled_from_level(&g, level, &mut sink, &SpillConfig::in_temp(0))
+            .expect("io ok");
+        let mut got = sink.cliques;
+        got.sort();
+        assert_eq!(got, expect);
     }
 }

@@ -10,14 +10,156 @@
 //! level in memory until a byte budget is exceeded and spills the rest
 //! to disk, streaming it back for the next expansion pass. The
 //! `ablation_spill` bench quantifies the I/O penalty the paper reports.
+//!
+//! ## Crash safety
+//!
+//! Every on-disk record is framed `[len: u32][crc32: u32][payload]`, so
+//! a torn write, truncated file, or flipped bit surfaces as a typed
+//! [`StoreError`] instead of a panic or silently wrong data. Level
+//! checkpoints are written atomically (temp file + fsync + rename) in a
+//! versioned format that also records the graph's bitmap width, letting
+//! resume reject a checkpoint taken against a different graph.
 
 use crate::sublist::SubList;
 use crate::Vertex;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gsb_bitset::BitSet;
+use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Errors from the binary store: spill files and level checkpoints.
+///
+/// Corruption is reported as data (which file region, which checksum),
+/// never as a panic: a multi-day enumeration must be able to fall back
+/// to an older checkpoint when the newest one is torn.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with a known checkpoint magic.
+    BadMagic {
+        /// The first 8 bytes found, little-endian.
+        found: u64,
+    },
+    /// Data ends mid-header or mid-record (torn write / truncation).
+    Torn {
+        /// Which structure was being read.
+        context: &'static str,
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A record or header failed its CRC32 check (bit rot, partial
+    /// overwrite).
+    Checksum {
+        /// Which structure was being read.
+        context: &'static str,
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the data.
+        computed: u32,
+    },
+    /// The file holds a different number of records than its header
+    /// claims.
+    CountMismatch {
+        /// Records promised by the header.
+        expected: usize,
+        /// Records actually decodable.
+        found: usize,
+    },
+    /// The checkpoint was taken over a different graph (common-neighbor
+    /// bitmap width disagrees with the graph's vertex count).
+    GraphMismatch {
+        /// Bitmap width recorded in the checkpoint.
+        checkpoint_bits: usize,
+        /// Vertex count of the graph being resumed.
+        graph_bits: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "not a gsb level checkpoint (magic {found:#018x})")
+            }
+            StoreError::Torn {
+                context,
+                needed,
+                have,
+            } => write!(
+                f,
+                "torn {context}: needs {needed} bytes, only {have} available"
+            ),
+            StoreError::Checksum {
+                context,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "corrupt {context}: stored crc32 {stored:#010x}, computed {computed:#010x}"
+            ),
+            StoreError::CountMismatch { expected, found } => write!(
+                f,
+                "record count mismatch: header claims {expected}, file holds {found}"
+            ),
+            StoreError::GraphMismatch {
+                checkpoint_bits,
+                graph_bits,
+            } => write!(
+                f,
+                "checkpoint is for a {checkpoint_bits}-vertex graph, not {graph_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data` — the per-record integrity
+/// check of the spill/checkpoint formats.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
 
 /// Encode one sub-list into a length-prefixed binary record.
 ///
@@ -39,27 +181,99 @@ pub fn encode_sublist(sl: &SubList, buf: &mut BytesMut) {
 }
 
 /// Decode one sub-list from the reader side of [`encode_sublist`].
-/// Returns `None` at a clean end of input; panics on a torn record
-/// (torn spill files are unrecoverable corruption, not a user error).
-pub fn decode_sublist(buf: &mut Bytes) -> Option<SubList> {
+/// Returns `Ok(None)` at a clean end of input and a typed
+/// [`StoreError::Torn`] on a short read — corruption is an error to
+/// recover from, not a panic.
+pub fn decode_sublist(buf: &mut Bytes) -> Result<Option<SubList>, StoreError> {
     if buf.remaining() == 0 {
-        return None;
+        return Ok(None);
     }
-    assert!(buf.remaining() >= 12, "torn sub-list header");
+    if buf.remaining() < 12 {
+        return Err(StoreError::Torn {
+            context: "sub-list header",
+            needed: 12,
+            have: buf.remaining(),
+        });
+    }
     let prefix_len = buf.get_u32_le() as usize;
     let tails_len = buf.get_u32_le() as usize;
     let n_bits = buf.get_u32_le() as usize;
     let words = gsb_bitset::words_for(n_bits);
     let need = 4 * (prefix_len + tails_len) + 8 * words;
-    assert!(buf.remaining() >= need, "torn sub-list body");
+    if buf.remaining() < need {
+        return Err(StoreError::Torn {
+            context: "sub-list body",
+            needed: need,
+            have: buf.remaining(),
+        });
+    }
     let prefix: Vec<Vertex> = (0..prefix_len).map(|_| buf.get_u32_le()).collect();
     let tails: Vec<Vertex> = (0..tails_len).map(|_| buf.get_u32_le()).collect();
     let cn_words: Vec<u64> = (0..words).map(|_| buf.get_u64_le()).collect();
-    Some(SubList {
+    Ok(Some(SubList {
         prefix,
         cn: BitSet::from_words(n_bits, cn_words),
         tails,
-    })
+    }))
+}
+
+/// Append one sub-list as a CRC-framed record:
+/// `[payload_len: u32][crc32(payload): u32][payload]`. `scratch` is a
+/// reusable encode buffer.
+pub fn encode_record(sl: &SubList, out: &mut BytesMut, scratch: &mut BytesMut) {
+    scratch.clear();
+    encode_sublist(sl, scratch);
+    out.put_u32_le(scratch.len() as u32);
+    out.put_u32_le(crc32(scratch));
+    out.extend_from_slice(scratch);
+}
+
+/// Read back one CRC-framed record written by [`encode_record`].
+/// Returns `Ok(None)` at a clean end of input; any torn frame or
+/// checksum failure is a typed error.
+pub fn decode_record(bytes: &mut Bytes) -> Result<Option<SubList>, StoreError> {
+    if bytes.remaining() == 0 {
+        return Ok(None);
+    }
+    if bytes.remaining() < 8 {
+        return Err(StoreError::Torn {
+            context: "record frame",
+            needed: 8,
+            have: bytes.remaining(),
+        });
+    }
+    let len = bytes.get_u32_le() as usize;
+    let stored = bytes.get_u32_le();
+    if bytes.remaining() < len {
+        return Err(StoreError::Torn {
+            context: "record payload",
+            needed: len,
+            have: bytes.remaining(),
+        });
+    }
+    let computed = crc32(&bytes.chunk()[..len]);
+    if computed != stored {
+        return Err(StoreError::Checksum {
+            context: "record payload",
+            stored,
+            computed,
+        });
+    }
+    // The payload checksum passed, so decoding consumes exactly `len`
+    // bytes; a disagreement means the frame length itself lied.
+    let before = bytes.remaining();
+    let sl = decode_sublist(bytes)?.ok_or(StoreError::Torn {
+        context: "empty record payload",
+        needed: 12,
+        have: 0,
+    })?;
+    if before - bytes.remaining() != len {
+        return Err(StoreError::CountMismatch {
+            expected: len,
+            found: before - bytes.remaining(),
+        });
+    }
+    Ok(Some(sl))
 }
 
 /// Spill configuration for enumeration runs.
@@ -92,6 +306,7 @@ pub struct LevelStore {
     resident_bytes: usize,
     spill: Option<Spill>,
     total: usize,
+    scratch: BytesMut,
 }
 
 struct Spill {
@@ -112,6 +327,7 @@ impl LevelStore {
             resident_bytes: 0,
             spill: None,
             total: 0,
+            scratch: BytesMut::new(),
         }
     }
 
@@ -135,14 +351,14 @@ impl LevelStore {
         self.spill.as_ref().map_or(0, |s| s.records)
     }
 
-    /// Bytes written to the spill file so far.
+    /// Bytes written to the spill file so far (framing included).
     pub fn spilled_bytes(&self) -> u64 {
         self.spill.as_ref().map_or(0, |s| s.bytes_written)
     }
 
-    /// Append a sub-list, spilling it to disk if the memory budget is
-    /// exhausted.
-    pub fn push(&mut self, sl: SubList) -> std::io::Result<()> {
+    /// Append a sub-list, spilling it to disk (as a CRC-framed record)
+    /// if the memory budget is exhausted.
+    pub fn push(&mut self, sl: SubList) -> Result<(), StoreError> {
         self.total += 1;
         let cost = sl.formula_bytes(self.graph_n);
         if self.resident_bytes + cost <= self.budget_bytes {
@@ -150,6 +366,7 @@ impl LevelStore {
             self.resident.push(sl);
             return Ok(());
         }
+        crate::failpoint::inject("spill.write")?;
         let spill = match &mut self.spill {
             Some(s) => s,
             None => {
@@ -171,7 +388,7 @@ impl LevelStore {
             }
         };
         let mut buf = BytesMut::new();
-        encode_sublist(&sl, &mut buf);
+        encode_record(&sl, &mut buf, &mut self.scratch);
         let writer = spill.writer.as_mut().expect("writer open while pushing");
         writer.write_all(&buf)?;
         spill.bytes_written += buf.len() as u64;
@@ -181,7 +398,9 @@ impl LevelStore {
 
     /// Drain the store, applying `f` to every sub-list: resident ones
     /// first (moved out), then spilled ones streamed back from disk.
-    pub fn drain(mut self, mut f: impl FnMut(SubList)) -> std::io::Result<DrainReport> {
+    /// Torn or corrupt spill records surface as typed errors; the spill
+    /// file is removed either way.
+    pub fn drain(mut self, mut f: impl FnMut(SubList)) -> Result<DrainReport, StoreError> {
         for sl in self.resident.drain(..) {
             f(sl);
         }
@@ -189,24 +408,35 @@ impl LevelStore {
             read_back: 0,
             bytes_read: 0,
         };
-        if let Some(mut spill) = self.spill.take() {
+        let Some(mut spill) = self.spill.take() else {
+            return Ok(report);
+        };
+        let result = (|| -> Result<(), StoreError> {
             // flush and reopen for reading
             if let Some(w) = spill.writer.take() {
-                w.into_inner().map_err(std::io::IntoInnerError::into_error)?.sync_all()?;
+                w.into_inner()
+                    .map_err(std::io::IntoInnerError::into_error)?
+                    .sync_all()?;
             }
             let mut reader = BufReader::new(File::open(&spill.path)?);
             let mut raw = Vec::with_capacity(spill.bytes_written as usize);
             reader.read_to_end(&mut raw)?;
             report.bytes_read = raw.len() as u64;
             let mut bytes = Bytes::from(raw);
-            while let Some(sl) = decode_sublist(&mut bytes) {
+            while let Some(sl) = decode_record(&mut bytes)? {
                 report.read_back += 1;
                 f(sl);
             }
-            assert_eq!(report.read_back, spill.records, "spill file truncated");
-            let _ = std::fs::remove_file(&spill.path);
-        }
-        Ok(report)
+            if report.read_back != spill.records {
+                return Err(StoreError::CountMismatch {
+                    expected: spill.records,
+                    found: report.read_back,
+                });
+            }
+            Ok(())
+        })();
+        let _ = std::fs::remove_file(&spill.path);
+        result.map(|()| report)
     }
 }
 
@@ -228,44 +458,157 @@ pub struct DrainReport {
     pub bytes_read: u64,
 }
 
-const CHECKPOINT_MAGIC: u64 = 0x5343_3035_474C_5631; // "SC05GLV1"
+/// Legacy (v1) checkpoint magic: unframed records, no checksums.
+/// Still readable for files written by earlier builds.
+const CHECKPOINT_MAGIC_V1: u64 = 0x5343_3035_474C_5631; // "SC05GLV1"
+/// Current (v2) checkpoint magic: CRC-checked header carrying the
+/// graph's bitmap width, CRC-framed records.
+const CHECKPOINT_MAGIC_V2: u64 = 0x5343_3035_474C_5632; // "SC05GLV2"
+
+/// v2 header: magic u64 | k u32 | n_bits u32 | count u64, then a u32
+/// CRC over those 24 bytes.
+const V2_HEADER_BYTES: usize = 24;
 
 /// Write a whole level (the paper's `L_k`) as a checkpoint file:
 /// genome-scale runs took the original authors hours to days, and a
 /// levelwise algorithm has a natural consistent cut at every barrier.
-pub fn write_level(path: &Path, level: &crate::sublist::Level) -> std::io::Result<()> {
+///
+/// The write is atomic: the bytes go to a sibling temp file which is
+/// fsynced and renamed over `path`, so a crash mid-checkpoint leaves
+/// either the previous checkpoint or none — never a torn one under the
+/// final name. The graph's bitmap width (from the first sub-list) is
+/// recorded so resume can reject a checkpoint from a different graph.
+pub fn write_level(path: &Path, level: &crate::sublist::Level) -> Result<(), StoreError> {
+    let n_bits = level.sublists.first().map_or(0, |sl| sl.cn.len());
     let mut buf = BytesMut::new();
-    buf.put_u64_le(CHECKPOINT_MAGIC);
+    buf.put_u64_le(CHECKPOINT_MAGIC_V2);
     buf.put_u32_le(level.k as u32);
+    buf.put_u32_le(n_bits as u32);
     buf.put_u64_le(level.sublists.len() as u64);
+    buf.put_u32_le(crc32(&buf[..V2_HEADER_BYTES]));
+    let mut scratch = BytesMut::new();
     for sl in &level.sublists {
-        encode_sublist(sl, &mut buf);
+        encode_record(sl, &mut buf, &mut scratch);
     }
-    let mut file = BufWriter::new(File::create(path)?);
-    file.write_all(&buf)?;
-    file.into_inner()
-        .map_err(std::io::IntoInnerError::into_error)?
-        .sync_all()
+    let tmp = sibling_tmp(path);
+    let result = (|| -> Result<(), StoreError> {
+        let mut file = BufWriter::new(File::create(&tmp)?);
+        file.write_all(&buf)?;
+        file.into_inner()
+            .map_err(std::io::IntoInnerError::into_error)?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        // Best-effort directory sync so the rename itself is durable;
+        // not all platforms/filesystems allow opening a directory.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| "checkpoint".into(), |n| n.to_os_string());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Read a level checkpoint written by [`write_level`] (v2, or legacy
+/// v1 files from earlier builds), returning the level and the bitmap
+/// width it was taken over (0 when unknown: v1 files and empty levels).
+pub fn read_level_meta(path: &Path) -> Result<(crate::sublist::Level, usize), StoreError> {
+    let raw = std::fs::read(path)?;
+    let mut bytes = Bytes::from(raw);
+    if bytes.remaining() < 8 {
+        return Err(StoreError::Torn {
+            context: "checkpoint magic",
+            needed: 8,
+            have: bytes.remaining(),
+        });
+    }
+    let magic = bytes.get_u64_le();
+    match magic {
+        CHECKPOINT_MAGIC_V2 => read_level_v2(bytes),
+        CHECKPOINT_MAGIC_V1 => read_level_v1(bytes).map(|l| (l, 0)),
+        found => Err(StoreError::BadMagic { found }),
+    }
 }
 
 /// Read a level checkpoint written by [`write_level`].
-pub fn read_level(path: &Path) -> std::io::Result<crate::sublist::Level> {
-    let raw = std::fs::read(path)?;
-    let mut bytes = Bytes::from(raw);
-    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+pub fn read_level(path: &Path) -> Result<crate::sublist::Level, StoreError> {
+    read_level_meta(path).map(|(level, _)| level)
+}
+
+fn read_level_v2(mut bytes: Bytes) -> Result<(crate::sublist::Level, usize), StoreError> {
+    // 16 header bytes after the magic, plus the 4-byte header CRC.
     if bytes.remaining() < 20 {
-        return Err(bad("truncated checkpoint header"));
+        return Err(StoreError::Torn {
+            context: "checkpoint header",
+            needed: 20,
+            have: bytes.remaining(),
+        });
     }
-    if bytes.get_u64_le() != CHECKPOINT_MAGIC {
-        return Err(bad("not a gsb level checkpoint"));
+    let k = bytes.get_u32_le() as usize;
+    let n_bits = bytes.get_u32_le() as usize;
+    let count = bytes.get_u64_le() as usize;
+    let stored = bytes.get_u32_le();
+    let mut header = BytesMut::new();
+    header.put_u64_le(CHECKPOINT_MAGIC_V2);
+    header.put_u32_le(k as u32);
+    header.put_u32_le(n_bits as u32);
+    header.put_u64_le(count as u64);
+    let computed = crc32(&header);
+    if computed != stored {
+        return Err(StoreError::Checksum {
+            context: "checkpoint header",
+            stored,
+            computed,
+        });
+    }
+    let mut sublists = Vec::with_capacity(count.min(1 << 20));
+    while let Some(sl) = decode_record(&mut bytes)? {
+        sublists.push(sl);
+        if sublists.len() > count {
+            break;
+        }
+    }
+    if sublists.len() != count {
+        return Err(StoreError::CountMismatch {
+            expected: count,
+            found: sublists.len(),
+        });
+    }
+    Ok((crate::sublist::Level { k, sublists }, n_bits))
+}
+
+fn read_level_v1(mut bytes: Bytes) -> Result<crate::sublist::Level, StoreError> {
+    if bytes.remaining() < 12 {
+        return Err(StoreError::Torn {
+            context: "checkpoint header",
+            needed: 12,
+            have: bytes.remaining(),
+        });
     }
     let k = bytes.get_u32_le() as usize;
     let count = bytes.get_u64_le() as usize;
-    let mut sublists = Vec::with_capacity(count);
+    let mut sublists = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        match decode_sublist(&mut bytes) {
+        match decode_sublist(&mut bytes)? {
             Some(sl) => sublists.push(sl),
-            None => return Err(bad("checkpoint shorter than its header claims")),
+            None => {
+                return Err(StoreError::CountMismatch {
+                    expected: count,
+                    found: sublists.len(),
+                })
+            }
         }
     }
     Ok(crate::sublist::Level { k, sublists })
@@ -310,11 +653,11 @@ mod tests {
             let mut buf = BytesMut::new();
             encode_sublist(&sl, &mut buf);
             let mut bytes = buf.freeze();
-            let back = decode_sublist(&mut bytes).expect("one record");
+            let back = decode_sublist(&mut bytes).unwrap().expect("one record");
             assert_eq!(back.prefix, sl.prefix);
             assert_eq!(back.tails, sl.tails);
             assert_eq!(back.cn, sl.cn);
-            assert!(decode_sublist(&mut bytes).is_none());
+            assert!(decode_sublist(&mut bytes).unwrap().is_none());
         }
     }
 
@@ -327,12 +670,59 @@ mod tests {
         }
         let mut bytes = buf.freeze();
         let mut back = Vec::new();
-        while let Some(sl) = decode_sublist(&mut bytes) {
+        while let Some(sl) = decode_sublist(&mut bytes).unwrap() {
             back.push(sl);
         }
         assert_eq!(back.len(), sls.len());
         for (a, b) in back.iter().zip(&sls) {
             assert_eq!(a.tails, b.tails);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // IEEE 802.3 reference values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn framed_record_roundtrip_and_detection() {
+        let sl = &sample_sublists(40, 1)[0];
+        let mut buf = BytesMut::new();
+        let mut scratch = BytesMut::new();
+        encode_record(sl, &mut buf, &mut scratch);
+        let clean: Vec<u8> = buf.to_vec();
+
+        // clean round-trip
+        let mut bytes = Bytes::from(clean.clone());
+        let back = decode_record(&mut bytes).unwrap().expect("one record");
+        assert_eq!(back.tails, sl.tails);
+        assert!(decode_record(&mut bytes).unwrap().is_none());
+
+        // every truncation is torn, never a panic or silent success
+        for cut in 0..clean.len() {
+            let mut bytes = Bytes::from(clean[..cut].to_vec());
+            if cut == 0 {
+                assert!(decode_record(&mut bytes).unwrap().is_none());
+            } else {
+                assert!(decode_record(&mut bytes).is_err(), "cut at {cut}");
+            }
+        }
+
+        // every single-bit flip is detected (CRC32 catches all 1-bit
+        // errors; flips in the frame fields fail length or crc checks)
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bad = clean.clone();
+                bad[byte] ^= 1 << bit;
+                let mut bytes = Bytes::from(bad);
+                assert!(
+                    decode_record(&mut bytes).is_err(),
+                    "flip byte {byte} bit {bit} undetected"
+                );
+            }
         }
     }
 
@@ -394,6 +784,30 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_spill_file_yields_typed_error_and_is_removed() {
+        let config = SpillConfig::in_temp(0);
+        let mut store = LevelStore::new(&config, 40);
+        for sl in sample_sublists(40, 4) {
+            store.push(sl).unwrap();
+        }
+        let path = store.spill.as_ref().unwrap().path.clone();
+        // flip one payload bit behind the store's back
+        if let Some(w) = store.spill.as_mut().unwrap().writer.take() {
+            w.into_inner().unwrap().sync_all().unwrap();
+        }
+        let mut raw = std::fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0x10;
+        std::fs::write(&path, &raw).unwrap();
+        let err = store.drain(|_| {}).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Checksum { .. } | StoreError::CountMismatch { .. }),
+            "unexpected error {err}"
+        );
+        assert!(!path.exists(), "spill file leaked after failed drain");
+    }
+
+    #[test]
     fn spill_file_removed_on_drop() {
         let config = SpillConfig::in_temp(0);
         let mut store = LevelStore::new(&config, 40);
@@ -410,5 +824,40 @@ mod tests {
     fn dir_writable_checks() {
         assert!(dir_writable(&std::env::temp_dir()));
         assert!(!dir_writable(Path::new("/nonexistent-gsb-dir")));
+    }
+
+    #[test]
+    fn v1_checkpoints_still_readable() {
+        let sls = sample_sublists(40, 3);
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(CHECKPOINT_MAGIC_V1);
+        buf.put_u32_le(3);
+        buf.put_u64_le(sls.len() as u64);
+        for sl in &sls {
+            encode_sublist(sl, &mut buf);
+        }
+        let path = std::env::temp_dir().join(format!("gsb-v1-compat-{}.lvl", std::process::id()));
+        std::fs::write(&path, &buf[..]).unwrap();
+        let (level, n_bits) = read_level_meta(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(level.k, 3);
+        assert_eq!(level.sublists.len(), 3);
+        assert_eq!(n_bits, 0, "v1 files carry no graph width");
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let level = crate::sublist::Level {
+            k: 4,
+            sublists: sample_sublists(40, 6),
+        };
+        let path = std::env::temp_dir().join(format!("gsb-atomic-{}.lvl", std::process::id()));
+        write_level(&path, &level).unwrap();
+        assert!(!sibling_tmp(&path).exists(), "temp file left behind");
+        let (back, n_bits) = read_level_meta(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(back.k, 4);
+        assert_eq!(back.sublists.len(), 6);
+        assert_eq!(n_bits, 40);
     }
 }

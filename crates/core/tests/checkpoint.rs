@@ -1,11 +1,17 @@
 //! Checkpoint/resume: interrupting an enumeration at any level barrier
 //! and resuming from the persisted level must reproduce the full run.
+//!
+//! All on-disk state lives in a [`util::TempDirGuard`] so a failing
+//! assertion cannot leak checkpoint files into the system temp dir.
+
+mod util;
 
 use gsb_core::sink::CollectSink;
 use gsb_core::store::{read_level, write_level};
 use gsb_core::{CliqueEnumerator, EnumConfig, Vertex};
 use gsb_graph::generators::{planted, Module};
 use gsb_graph::BitGraph;
+use util::TempDirGuard;
 
 fn full_run(g: &BitGraph) -> Vec<Vec<Vertex>> {
     let mut sink = CollectSink::default();
@@ -17,6 +23,7 @@ fn full_run(g: &BitGraph) -> Vec<Vec<Vertex>> {
 
 #[test]
 fn interrupt_resume_at_every_level() {
+    let dir = TempDirGuard::new("ckpt-every-level");
     let g = planted(36, 0.08, &[Module::clique(9), Module::clique(6)], 7);
     let expect = full_run(&g);
     let enumerator = CliqueEnumerator::default();
@@ -25,18 +32,13 @@ fn interrupt_resume_at_every_level() {
     // race a resumed run to completion — results must always match.
     let mut sink = CollectSink::default();
     let mut stats_shim = gsb_core::EnumStats::default();
-    let mut level = test_init(&enumerator, &g, &mut sink, &mut stats_shim);
+    let mut level = enumerator.init_level(&g, &mut sink, &mut stats_shim);
     let mut checkpoints = 0;
     while !level.is_empty() {
         // checkpoint here
-        let path = std::env::temp_dir().join(format!(
-            "gsb-ckpt-{}-{}.lvl",
-            std::process::id(),
-            level.k
-        ));
+        let path = dir.file(&format!("ckpt-{}.lvl", level.k));
         write_level(&path, &level).unwrap();
         let restored = read_level(&path).unwrap();
-        std::fs::remove_file(&path).unwrap();
         assert_eq!(restored.k, level.k);
         assert_eq!(restored.n_cliques(), level.n_cliques());
 
@@ -60,32 +62,14 @@ fn interrupt_resume_at_every_level() {
     assert_eq!(all, expect);
 }
 
-/// Mirror of the enumerator's private init: build the level-2 input via
-/// the public seeding API (min_k <= 3 starts from edges, which
-/// `seed_level(g, 2)` reproduces).
-fn test_init(
-    _enumerator: &CliqueEnumerator,
-    g: &BitGraph,
-    sink: &mut CollectSink,
-    _stats: &mut gsb_core::EnumStats,
-) -> gsb_core::sublist::Level {
-    let (level, maximal) = gsb_core::kclique::seed_level(g, 2);
-    for c in &maximal {
-        if c.len() >= 3 {
-            sink.cliques.push(c.clone());
-        }
-    }
-    level
-}
-
 #[test]
 fn seeded_level_roundtrips_through_disk() {
+    let dir = TempDirGuard::new("ckpt-seed");
     let g = planted(30, 0.1, &[Module::clique(8)], 2);
     let (level, _) = gsb_core::kclique::seed_level(&g, 4);
-    let path = std::env::temp_dir().join(format!("gsb-ckpt-seed-{}.lvl", std::process::id()));
+    let path = dir.file("seed.lvl");
     write_level(&path, &level).unwrap();
     let restored = read_level(&path).unwrap();
-    std::fs::remove_file(&path).unwrap();
     assert_eq!(restored.k, level.k);
     assert_eq!(restored.n_sublists(), level.n_sublists());
     for (a, b) in restored.sublists.iter().zip(&level.sublists) {
@@ -114,10 +98,10 @@ fn seeded_level_roundtrips_through_disk() {
 
 #[test]
 fn corrupt_checkpoints_are_rejected() {
-    let path = std::env::temp_dir().join(format!("gsb-ckpt-bad-{}.lvl", std::process::id()));
+    let dir = TempDirGuard::new("ckpt-bad");
+    let path = dir.file("bad.lvl");
     std::fs::write(&path, b"not a checkpoint").unwrap();
     assert!(read_level(&path).is_err());
     std::fs::write(&path, 0x5343_3035_474C_5631u64.to_le_bytes()).unwrap();
     assert!(read_level(&path).is_err()); // truncated after magic
-    std::fs::remove_file(&path).unwrap();
 }

@@ -1,0 +1,286 @@
+//! Fault-tolerance integration tests: corrupted checkpoints must fail
+//! with typed errors (never a panic), the memory watchdog must degrade
+//! without changing the answer, and — with the `failpoints` feature —
+//! injected crashes at every site must leave the runtime resumable.
+//!
+//! Run the gated half with:
+//! `cargo test -p gsb-core --test resilience --features failpoints`
+
+mod util;
+
+use gsb_core::sink::CollectSink;
+use gsb_core::store::{read_level, write_level};
+use gsb_core::{CliqueEnumerator, CliquePipeline, EnumStats, Vertex};
+use gsb_graph::generators::{planted, Module};
+use gsb_graph::BitGraph;
+use util::TempDirGuard;
+
+fn workload() -> BitGraph {
+    planted(30, 0.1, &[Module::clique(7), Module::clique(5)], 11)
+}
+
+fn plain_sorted(g: &BitGraph) -> Vec<Vec<Vertex>> {
+    let mut sink = CollectSink::default();
+    CliquePipeline::new().min_size(3).run(g, &mut sink);
+    let mut v = sink.cliques;
+    v.sort();
+    v
+}
+
+/// A real (small) checkpoint file to mutilate.
+fn checkpoint_bytes(dir: &TempDirGuard) -> Vec<u8> {
+    let g = planted(16, 0.15, &[Module::clique(5)], 3);
+    let seq = CliqueEnumerator::default();
+    let mut sink = CollectSink::default();
+    let mut stats = EnumStats::default();
+    let level = seq.init_level(&g, &mut sink, &mut stats);
+    assert!(!level.sublists.is_empty());
+    let path = dir.file("pristine.lvl");
+    write_level(&path, &level).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let restored = read_level(&path).unwrap();
+    assert_eq!(restored.k, level.k);
+    assert_eq!(restored.n_sublists(), level.n_sublists());
+    bytes
+}
+
+#[test]
+fn truncation_at_every_byte_offset_is_a_typed_error() {
+    let dir = TempDirGuard::new("res-trunc");
+    let full = checkpoint_bytes(&dir);
+    let path = dir.file("truncated.lvl");
+    // Every proper prefix — a crash mid-write can tear the file
+    // anywhere — must produce Err, never a panic and never a
+    // partially-believed level.
+    for len in 0..full.len() {
+        std::fs::write(&path, &full[..len]).unwrap();
+        assert!(
+            read_level(&path).is_err(),
+            "truncation at byte {len}/{} was accepted",
+            full.len()
+        );
+    }
+}
+
+#[test]
+fn single_bit_corruption_is_always_detected() {
+    let dir = TempDirGuard::new("res-bitflip");
+    let full = checkpoint_bytes(&dir);
+    let path = dir.file("flipped.lvl");
+    for byte in 0..full.len() {
+        for bit in 0..8 {
+            let mut bad = full.clone();
+            bad[byte] ^= 1 << bit;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                read_level(&path).is_err(),
+                "flip of bit {bit} in byte {byte} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_runs_match_in_core_runs_at_any_thread_count() {
+    let g = workload();
+    let expect = plain_sorted(&g);
+    for threads in [1usize, 4] {
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .threads(threads)
+            .memory_budget(64)
+            .try_run(&g, &mut sink)
+            .expect("degraded run");
+        assert!(
+            report.degraded_at.is_some(),
+            "threads={threads}: tiny budget never degraded"
+        );
+        let mut got = sink.cliques;
+        got.sort();
+        assert_eq!(got, expect, "threads={threads}");
+    }
+}
+
+#[cfg(feature = "failpoints")]
+mod failpoints {
+    use super::*;
+    use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig};
+    use gsb_core::failpoint::{FailAction, FailGuard};
+    use gsb_core::sink::CliqueSink;
+    use gsb_core::store::SpillConfig;
+    use gsb_core::PipelineError;
+    use std::panic::AssertUnwindSafe;
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+    /// Failpoints are process-global; the harness runs tests on
+    /// parallel threads, so every failpoint test takes this lock.
+    fn serialize() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// A sink whose collected cliques survive an unwinding panic — the
+    /// in-process stand-in for the output a killed run left on disk.
+    #[derive(Clone)]
+    struct SharedSink(Arc<Mutex<Vec<Vec<Vertex>>>>);
+
+    impl CliqueSink for SharedSink {
+        fn maximal(&mut self, clique: &[Vertex]) {
+            self.0
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(clique.to_vec());
+        }
+    }
+
+    #[test]
+    fn spill_write_failure_is_a_typed_error() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-spill");
+        let _fp = FailGuard::new("spill.write", FailAction::error_always());
+        let g = workload();
+        let spill = SpillConfig {
+            budget_bytes: 0, // force every level through the spill path
+            dir: dir.path().to_path_buf(),
+        };
+        let err = CliqueEnumerator::default()
+            .enumerate_spilled(&g, &mut CollectSink::default(), &spill)
+            .unwrap_err();
+        assert!(err.to_string().contains("failpoint"), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_write_failure_aborts_with_store_error() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-ckpt-write");
+        let _fp = FailGuard::new("checkpoint.write", FailAction::error_always());
+        let g = workload();
+        let err = CliquePipeline::new()
+            .min_size(3)
+            .checkpoint(CheckpointConfig::every_level(dir.path()))
+            .try_run(&g, &mut CollectSink::default())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Store(_)), "{err}");
+    }
+
+    #[test]
+    fn memory_budget_probe_failure_aborts() {
+        let _serial = serialize();
+        let _fp = FailGuard::new("memory.budget", FailAction::error_always());
+        let g = workload();
+        let err = CliquePipeline::new()
+            .min_size(3)
+            .memory_budget(usize::MAX)
+            .try_run(&g, &mut CollectSink::default())
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::Store(_)), "{err}");
+    }
+
+    /// The acceptance scenario: kill the run at each successive level
+    /// barrier (panic fires *after* the checkpoint is on disk), resume
+    /// from the surviving files, and require the union of pre-crash and
+    /// post-resume output to equal an uninterrupted run — at every
+    /// single barrier.
+    #[test]
+    fn crash_at_every_barrier_resumes_to_identical_output() {
+        let _serial = serialize();
+        let g = workload();
+        let expect = plain_sorted(&g);
+        let mut crashes = 0u32;
+        for barrier in 0..32 {
+            let dir = TempDirGuard::new("fp-barrier");
+            let store = Arc::new(Mutex::new(Vec::new()));
+            let mut sink = SharedSink(store.clone());
+            let pipe = CliquePipeline::new()
+                .min_size(3)
+                .checkpoint(CheckpointConfig::every_level(dir.path()));
+            let crashed = {
+                let _fp = FailGuard::new("pipeline.barrier", FailAction::panic_after(barrier));
+                std::panic::catch_unwind(AssertUnwindSafe(|| pipe.try_run(&g, &mut sink))).is_err()
+            };
+            if !crashed {
+                // The run outlived the armed barrier index: every
+                // barrier has now been crash-tested.
+                assert!(crashes >= 2, "workload too shallow: {crashes} barriers");
+                let mut got = store
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .clone();
+                got.sort();
+                assert_eq!(got, expect, "uncrashed control run diverged");
+                return;
+            }
+            crashes += 1;
+            let (k, _) = latest_checkpoint(dir.path(), g.n())
+                .expect("checkpoint dir readable")
+                .expect("crash left no checkpoint");
+            let mut post = CollectSink::default();
+            let report = pipe.resume(&g, &mut post).expect("resume");
+            assert_eq!(report.resumed_from, Some(k));
+            assert!(post.cliques.iter().all(|c| c.len() > k));
+            let pre = store
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .clone();
+            let mut combined: Vec<Vec<Vertex>> = pre
+                .into_iter()
+                .filter(|c| c.len() <= k)
+                .chain(post.cliques)
+                .collect();
+            combined.sort();
+            assert_eq!(combined, expect, "barrier {barrier} (checkpoint level {k})");
+        }
+        panic!("run never completed: more than 32 barriers?");
+    }
+
+    #[test]
+    fn worker_panic_is_retried_and_output_is_unchanged() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-worker-once");
+        let g = workload();
+        let expect = plain_sorted(&g);
+        let _fp = FailGuard::new("parallel.worker", FailAction::panic_once());
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .threads(4)
+            .checkpoint(CheckpointConfig::every_level(dir.path()))
+            .try_run(&g, &mut sink)
+            .expect("transient worker panic must not fail the run");
+        let stats = report.parallel_stats.expect("parallel run");
+        assert!(
+            !stats.retried_levels.is_empty(),
+            "panic was injected but no level was retried"
+        );
+        let mut got = sink.cliques;
+        got.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn persistent_worker_panic_fails_but_leaves_a_checkpoint() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-worker-always");
+        let g = workload();
+        let _fp = FailGuard::new("parallel.worker", FailAction::panic_always());
+        let err = CliquePipeline::new()
+            .min_size(3)
+            .threads(4)
+            .checkpoint(CheckpointConfig::every_level(dir.path()))
+            .try_run(&g, &mut CollectSink::default())
+            .unwrap_err();
+        let PipelineError::Workers { k, error } = err else {
+            panic!("expected Workers error, got: {err}");
+        };
+        assert!(!error.failures.is_empty());
+        // The abort wrote a final checkpoint of the failed level: the
+        // run is resumable once the fault is gone.
+        let (k_ckpt, _) = latest_checkpoint(dir.path(), g.n())
+            .expect("checkpoint dir readable")
+            .expect("no final checkpoint after worker abort");
+        assert_eq!(k_ckpt, k);
+    }
+}

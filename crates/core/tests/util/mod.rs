@@ -1,0 +1,43 @@
+//! Shared integration-test helpers.
+//!
+//! Each integration-test binary compiles its own copy and may use only
+//! part of the surface, so unused-item lints are off.
+#![allow(dead_code)]
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A per-test scratch directory that is removed on drop, even when the
+/// test panics partway through — temp files never outlive the test.
+pub struct TempDirGuard {
+    path: PathBuf,
+}
+
+impl TempDirGuard {
+    pub fn new(tag: &str) -> Self {
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "gsb-test-{tag}-{}-{seq}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path).expect("create test temp dir");
+        TempDirGuard { path }
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path for `name` inside the guarded directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}

@@ -4,18 +4,88 @@
 //! generation simultaneously and independently" — §2.3) and each round
 //! delivers one batch per worker, preserving task affinity: a worker
 //! keeps operating on its own batch unless the balancer moved work.
+//!
+//! ## Panic containment
+//!
+//! A panic inside a job is caught on the worker thread and reported
+//! through the round's result channel, so one poisoned sub-list cannot
+//! deadlock the barrier or kill a multi-hour run: the round returns
+//! [`RoundError`] naming the failed workers, the surviving workers'
+//! results are discarded (a round is all-or-nothing), and
+//! [`WorkerPool::run_round_checked`] respawns any dead threads before
+//! the next round.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One worker's failure within a round.
+#[derive(Clone, Debug)]
+pub struct WorkerFailure {
+    /// Index of the worker whose job failed.
+    pub worker: usize,
+    /// The panic payload, stringified (`Box<dyn Any>` payloads that are
+    /// not strings become `"<non-string panic payload>"`).
+    pub panic_message: String,
+}
+
+/// A round in which at least one worker's job panicked (or its thread
+/// died). The round's outputs are discarded wholesale — partial results
+/// never reach the caller, so a retried round cannot double-count.
+#[derive(Clone, Debug)]
+pub struct RoundError {
+    /// Every worker that failed this round.
+    pub failures: Vec<WorkerFailure>,
+}
+
+impl fmt::Display for RoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} worker(s) failed:", self.failures.len())?;
+        for failure in &self.failures {
+            write!(f, " [worker {}: {}]", failure.worker, failure.panic_message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RoundError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// A fixed set of persistent worker threads, each with its own queue.
 pub struct WorkerPool {
     senders: Vec<Sender<Job>>,
-    handles: Vec<JoinHandle<()>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+}
+
+fn spawn_worker(i: usize) -> (Sender<Job>, JoinHandle<()>) {
+    let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
+    let handle = std::thread::Builder::new()
+        .name(format!("gsb-worker-{i}"))
+        .spawn(move || {
+            // Run until the channel closes (pool drop). Jobs are
+            // panic-wrapped by run_round, so this loop only exits on
+            // channel close — but a defensive catch keeps a raw job
+            // from killing the thread either way.
+            for job in rx.iter() {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+        })
+        .expect("failed to spawn worker thread");
+    (tx, handle)
 }
 
 impl WorkerPool {
@@ -25,18 +95,9 @@ impl WorkerPool {
         let mut senders = Vec::with_capacity(threads);
         let mut handles = Vec::with_capacity(threads);
         for i in 0..threads {
-            let (tx, rx): (Sender<Job>, Receiver<Job>) = unbounded();
-            let handle = std::thread::Builder::new()
-                .name(format!("gsb-worker-{i}"))
-                .spawn(move || {
-                    // Run until the channel closes (pool drop).
-                    for job in rx.iter() {
-                        job();
-                    }
-                })
-                .expect("failed to spawn worker thread");
+            let (tx, handle) = spawn_worker(i);
             senders.push(tx);
-            handles.push(handle);
+            handles.push(Some(handle));
         }
         WorkerPool { senders, handles }
     }
@@ -46,13 +107,77 @@ impl WorkerPool {
         self.senders.len()
     }
 
+    /// How many worker threads have terminated (panicked through the
+    /// defensive net, or otherwise died).
+    pub fn dead_workers(&self) -> usize {
+        self.handles
+            .iter()
+            .filter(|h| h.as_ref().is_none_or(JoinHandle::is_finished))
+            .count()
+    }
+
+    /// Respawn every terminated worker thread; returns how many were
+    /// replaced. Queued jobs on a dead worker's channel are lost (the
+    /// round that enqueued them has already been reported failed).
+    pub fn respawn_dead(&mut self) -> usize {
+        let mut respawned = 0;
+        for i in 0..self.handles.len() {
+            let dead = self.handles[i]
+                .as_ref()
+                .is_none_or(JoinHandle::is_finished);
+            if dead {
+                if let Some(old) = self.handles[i].take() {
+                    let _ = old.join();
+                }
+                let (tx, handle) = spawn_worker(i);
+                self.senders[i] = tx;
+                self.handles[i] = Some(handle);
+                respawned += 1;
+            }
+        }
+        respawned
+    }
+
     /// Execute one level-synchronous round: worker `i` applies `f(i,
     /// batch_i)`; blocks until every worker finishes. Returns each
     /// worker's output and its busy time in nanoseconds (the raw data
     /// behind the paper's Fig. 8 load-balance plot).
     ///
     /// `batches.len()` must equal [`threads`](Self::threads).
+    ///
+    /// Panics if any worker's job panics — use
+    /// [`run_round_checked`](Self::run_round_checked) to get a
+    /// [`RoundError`] instead.
     pub fn run_round<T, R, F>(&self, batches: Vec<T>, f: F) -> Vec<(R, u64)>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        self.round_inner(batches, f)
+            .unwrap_or_else(|e| panic!("worker round failed: {e}"))
+    }
+
+    /// Fault-tolerant round: like [`run_round`](Self::run_round), but a
+    /// panicking job yields `Err(RoundError)` instead of panicking the
+    /// caller, and dead worker threads are respawned before the round
+    /// starts. On error the entire round's outputs are discarded, so
+    /// the caller can retry the same batches without double-counting.
+    pub fn run_round_checked<T, R, F>(
+        &mut self,
+        batches: Vec<T>,
+        f: F,
+    ) -> Result<Vec<(R, u64)>, RoundError>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T) -> R + Send + Sync + 'static,
+    {
+        self.respawn_dead();
+        self.round_inner(batches, f)
+    }
+
+    fn round_inner<T, R, F>(&self, batches: Vec<T>, f: F) -> Result<Vec<(R, u64)>, RoundError>
     where
         T: Send + 'static,
         R: Send + 'static,
@@ -64,38 +189,77 @@ impl WorkerPool {
             "one batch per worker required"
         );
         let f = Arc::new(f);
-        let (done_tx, done_rx) = bounded::<(usize, R, u64)>(self.threads());
+        type Done<R> = (usize, Result<(R, u64), String>);
+        let (done_tx, done_rx) = bounded::<Done<R>>(self.threads());
         for (i, batch) in batches.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let done = done_tx.clone();
             let job: Job = Box::new(move || {
                 let start = Instant::now();
-                let out = f(i, batch);
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, batch))).map_err(|payload| {
+                    panic_message(payload.as_ref())
+                });
                 let ns = start.elapsed().as_nanos() as u64;
                 // Receiver outlives the round; send only fails if the
-                // pool is being torn down mid-round, which run_round's
+                // pool is being torn down mid-round, which round_inner's
                 // blocking recv below makes impossible.
-                let _ = done.send((i, out, ns));
+                let _ = done.send((i, out.map(|r| (r, ns))));
             });
-            self.senders[i].send(job).expect("worker channel closed");
+            if let Err(send_err) = self.senders[i].send(job) {
+                // Worker thread is gone (channel closed). Run its job
+                // inline so the round still completes — the job's own
+                // catch_unwind reports any panic like a worker would.
+                (send_err.0)();
+            }
         }
         drop(done_tx);
         let mut results: Vec<Option<(R, u64)>> = (0..self.threads()).map(|_| None).collect();
-        for _ in 0..self.threads() {
-            let (i, r, ns) = done_rx.recv().expect("worker died mid-round");
-            results[i] = Some((r, ns));
+        let mut failures: Vec<WorkerFailure> = Vec::new();
+        let mut reported = 0;
+        while reported < self.threads() {
+            match done_rx.recv() {
+                Ok((i, Ok(out))) => {
+                    results[i] = Some(out);
+                    reported += 1;
+                }
+                Ok((i, Err(panic_message))) => {
+                    failures.push(WorkerFailure {
+                        worker: i,
+                        panic_message,
+                    });
+                    reported += 1;
+                }
+                // All senders dropped before every worker reported:
+                // thread death outside the job's catch. Mark the
+                // missing slots failed rather than blocking forever.
+                Err(_) => {
+                    for (i, slot) in results.iter().enumerate() {
+                        if slot.is_none() && !failures.iter().any(|fl| fl.worker == i) {
+                            failures.push(WorkerFailure {
+                                worker: i,
+                                panic_message: "worker thread died mid-round".to_string(),
+                            });
+                        }
+                    }
+                    break;
+                }
+            }
         }
-        results
+        if !failures.is_empty() {
+            failures.sort_by_key(|fl| fl.worker);
+            return Err(RoundError { failures });
+        }
+        Ok(results
             .into_iter()
             .map(|r| r.expect("every worker reports"))
-            .collect()
+            .collect())
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.senders.clear(); // close channels; workers drain and exit
-        for h in self.handles.drain(..) {
+        for h in self.handles.drain(..).flatten() {
             let _ = h.join();
         }
     }
@@ -170,5 +334,81 @@ mod tests {
     fn batch_count_must_match() {
         let pool = WorkerPool::new(2);
         pool.run_round(vec![1], |_, x: i32| x);
+    }
+
+    #[test]
+    fn panicking_job_returns_err_not_deadlock() {
+        let mut pool = WorkerPool::new(3);
+        let err = pool
+            .run_round_checked(vec![0u64, 1, 2], |_, x| {
+                if x == 1 {
+                    panic!("poisoned sub-list {x}");
+                }
+                x * 2
+            })
+            .unwrap_err();
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].worker, 1);
+        assert!(
+            err.failures[0].panic_message.contains("poisoned sub-list"),
+            "message: {}",
+            err.failures[0].panic_message
+        );
+    }
+
+    #[test]
+    fn failed_round_does_not_poison_later_rounds() {
+        let mut pool = WorkerPool::new(2);
+        let err = pool.run_round_checked(vec![true, false], |_, fail| {
+            if fail {
+                panic!("boom");
+            }
+            7u64
+        });
+        assert!(err.is_err());
+        // subsequent rounds run normally on the same pool
+        for round in 0..3u64 {
+            let out = pool
+                .run_round_checked(vec![round, round], |_, x| x + 1)
+                .expect("healthy round");
+            assert!(out.iter().all(|(v, _)| *v == round + 1));
+        }
+        // the panicking variant still works on the same pool too
+        let out = pool.run_round(vec![1u64, 2], |_, x| x);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn all_workers_panicking_reports_all() {
+        let mut pool = WorkerPool::new(4);
+        let err = pool
+            .run_round_checked(vec![(); 4], |i, ()| -> u64 { panic!("w{i}") })
+            .unwrap_err();
+        assert_eq!(err.failures.len(), 4);
+        let workers: Vec<usize> = err.failures.iter().map(|f| f.worker).collect();
+        assert_eq!(workers, vec![0, 1, 2, 3]);
+        // pool recovers
+        let out = pool
+            .run_round_checked(vec![(); 4], |i, ()| i as u64)
+            .expect("recovered");
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker round failed")]
+    fn unchecked_round_panics_on_worker_panic() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.run_round(vec![true, false], |_, fail: bool| {
+            if fail {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn respawn_dead_is_noop_on_healthy_pool() {
+        let mut pool = WorkerPool::new(3);
+        assert_eq!(pool.dead_workers(), 0);
+        assert_eq!(pool.respawn_dead(), 0);
     }
 }
