@@ -128,7 +128,14 @@ pub fn local_align(a: &[u8], b: &[u8], scoring: &Scoring) -> Alignment {
     out
 }
 
-fn traceback(a: &[u8], b: &[u8], step: &[Step], width: usize, mut i: usize, mut j: usize) -> Alignment {
+fn traceback(
+    a: &[u8],
+    b: &[u8],
+    step: &[Step],
+    width: usize,
+    mut i: usize,
+    mut j: usize,
+) -> Alignment {
     let mut ra = Vec::new();
     let mut rb = Vec::new();
     loop {

@@ -131,7 +131,7 @@ mod tests {
     fn diverged_enzymes_align_by_position() {
         let a = ["HK", "PGI", "PFK"];
         let b = ["HK", "GPI", "PFK"]; // homolog with a different label
-        // similarity function that knows PGI ~ GPI
+                                      // similarity function that knows PGI ~ GPI
         let sim = |x: &&str, y: &&str| {
             if x == y || (*x == "PGI" && *y == "GPI") {
                 2.0

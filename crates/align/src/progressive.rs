@@ -34,7 +34,11 @@ impl Msa {
 
     /// Strip gaps from a row, recovering the input sequence.
     pub fn ungapped(&self, i: usize) -> Vec<u8> {
-        self.row_for(i).iter().copied().filter(|&c| c != GAP).collect()
+        self.row_for(i)
+            .iter()
+            .copied()
+            .filter(|&c| c != GAP)
+            .collect()
     }
 
     /// Sum-of-pairs score over all columns and row pairs (gap–gap
@@ -91,7 +95,8 @@ fn align_profiles(pa: Vec<Vec<u8>>, pb: Vec<Vec<u8>>, scoring: &Scoring) -> Vec<
     }
     for i in 1..=m {
         for j in 1..=n {
-            let diag = score[(i - 1) * width + j - 1] + column_score(&pa, i - 1, &pb, j - 1, scoring);
+            let diag =
+                score[(i - 1) * width + j - 1] + column_score(&pa, i - 1, &pb, j - 1, scoring);
             let up = score[(i - 1) * width + j] + gapf;
             let left = score[i * width + j - 1] + gapf;
             let (best, dir) = if diag >= up && diag >= left {

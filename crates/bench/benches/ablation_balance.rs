@@ -7,9 +7,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use gsb_core::sink::CountSink;
-use gsb_core::{
-    BalanceStrategy, CliqueEnumerator, EnumConfig, ParallelConfig, ParallelEnumerator,
-};
+use gsb_core::{BalanceStrategy, CliqueEnumerator, EnumConfig, ParallelConfig, ParallelEnumerator};
 use gsb_graph::generators::{planted, Module};
 use gsb_graph::BitGraph;
 use gsb_par::vsim::{SimConfig, Strategy, VirtualScheduler};
@@ -74,11 +72,8 @@ fn rayon_level_sync(g: &BitGraph) -> usize {
     let (mut level, seed_maximal) = seed_level(g, 2);
     let mut total = seed_maximal.len();
     while !level.sublists.is_empty() {
-        let results: Vec<(Vec<SubList>, usize)> = level
-            .sublists
-            .par_iter()
-            .map(|sl| expand(g, sl))
-            .collect();
+        let results: Vec<(Vec<SubList>, usize)> =
+            level.sublists.par_iter().map(|sl| expand(g, sl)).collect();
         let mut next = Vec::new();
         for (subs, maximal) in results {
             next.extend(subs);
@@ -99,8 +94,11 @@ fn bench_strategies(c: &mut Criterion) {
         // seed_level(g,2)'s maximal list is size-2; the enumerator at
         // min_k=3 skips those, so compare ">= 3" counts
         let mut sink2 = CountSink::default();
-        CliqueEnumerator::new(EnumConfig { min_k: 2, ..Default::default() })
-            .enumerate(&g, &mut sink2);
+        CliqueEnumerator::new(EnumConfig {
+            min_k: 2,
+            ..Default::default()
+        })
+        .enumerate(&g, &mut sink2);
         assert_eq!(rayon_level_sync(&g), sink2.count);
         assert!(sink.count <= sink2.count);
     }

@@ -10,12 +10,30 @@ type Experiment = (&'static str, fn(f64) -> String);
 fn main() {
     let scale = gsb_bench::workloads::env_scale();
     let experiments: [Experiment; 6] = [
-        ("Table 1 — Kose RAM vs sequential Clique Enumerator", gsb_bench::experiments::table1),
-        ("Figure 5 — run time vs processors per Init_K", gsb_bench::experiments::fig5),
-        ("Figure 6 — absolute and relative speedups to 64 procs", gsb_bench::experiments::fig6),
-        ("Figure 7 — speedup at 256 procs vs sequential time", gsb_bench::experiments::fig7),
-        ("Figure 8 — load balance across processors", gsb_bench::experiments::fig8),
-        ("Figure 9 — memory usage per clique size", gsb_bench::experiments::fig9),
+        (
+            "Table 1 — Kose RAM vs sequential Clique Enumerator",
+            gsb_bench::experiments::table1,
+        ),
+        (
+            "Figure 5 — run time vs processors per Init_K",
+            gsb_bench::experiments::fig5,
+        ),
+        (
+            "Figure 6 — absolute and relative speedups to 64 procs",
+            gsb_bench::experiments::fig6,
+        ),
+        (
+            "Figure 7 — speedup at 256 procs vs sequential time",
+            gsb_bench::experiments::fig7,
+        ),
+        (
+            "Figure 8 — load balance across processors",
+            gsb_bench::experiments::fig8,
+        ),
+        (
+            "Figure 9 — memory usage per clique size",
+            gsb_bench::experiments::fig9,
+        ),
     ];
     let mut combined = format!("SC'05 reproduction report (GSB_SCALE={scale})\n");
     for (title, f) in experiments {

@@ -120,8 +120,7 @@ pub fn table1(scale: f64) -> String {
 
     let t0 = Instant::now();
     let mut ce_sink = CountSink::default();
-    let ce_stats =
-        CliqueEnumerator::new(EnumConfig::default()).enumerate(&g, &mut ce_sink);
+    let ce_stats = CliqueEnumerator::new(EnumConfig::default()).enumerate(&g, &mut ce_sink);
     let ce_ns = t0.elapsed().as_nanos() as u64;
 
     let t0 = Instant::now();
@@ -347,6 +346,18 @@ pub fn fig8(scale: f64) -> String {
             pstats.levels.len(),
             pstats.total_maximal
         );
+        // Export the 16-thread run in the telemetry record format so
+        // `gsb report` can render the same imbalance table from it.
+        if let Ok(path) = std::env::var("GSB_METRICS_OUT") {
+            match std::fs::write(&path, crate::report::run_jsonl(&pstats)) {
+                Ok(()) => {
+                    let _ = writeln!(out, "wrote per-level run log to {path}");
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "could not write {path}: {e}");
+                }
+            }
+        }
     }
     out
 }
@@ -408,14 +419,7 @@ mod tests {
     #[test]
     fn tiny_experiments_run() {
         // Smoke-test every experiment at a very small scale.
-        for f in [
-            table1 as fn(f64) -> String,
-            fig5,
-            fig6,
-            fig7,
-            fig8,
-            fig9,
-        ] {
+        for f in [table1 as fn(f64) -> String, fig5, fig6, fig7, fig8, fig9] {
             let report = f(0.12);
             assert!(!report.is_empty());
         }

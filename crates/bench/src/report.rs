@@ -1,5 +1,8 @@
-//! Plain-text table reporting shared by the figure binaries.
+//! Plain-text table reporting shared by the figure binaries, plus the
+//! bridge from bench-run statistics to the telemetry record format.
 
+use gsb_core::ParallelStats;
+use gsb_telemetry::{LevelRecord, RunSummary};
 use std::fmt::Write as _;
 
 /// A simple aligned text table.
@@ -86,6 +89,52 @@ pub fn heading(title: &str) {
     println!("\n=== {title} ===\n");
 }
 
+/// Serialise a parallel bench run in the exact JSONL format
+/// `gsb cliques --metrics-out` writes, so `gsb report` and any other
+/// consumer of run logs work on bench output too. One level record per
+/// expanded level, then the summary line.
+pub fn run_jsonl(stats: &ParallelStats) -> String {
+    let mut out = String::new();
+    let mut cumulative = 0u64;
+    let mut wall = 0u64;
+    for (seq, (report, level)) in stats.levels.iter().zip(&stats.run.levels).enumerate() {
+        cumulative += report.maximal_found as u64;
+        wall += report.ns;
+        let record = LevelRecord {
+            seq: seq as u64,
+            k: report.k as u64,
+            sublists: report.sublists as u64,
+            candidates: report.candidates as u64,
+            maximal_level: report.maximal_found as u64,
+            maximal_total: cumulative,
+            level_ns: report.ns,
+            wall_ns: wall,
+            and_ops: report.and_ops,
+            maximality_tests: report.maximality_tests,
+            busy_ns: level.per_worker_ns.clone(),
+            units: level.per_worker_units.clone(),
+            tasks: level.per_worker_tasks.iter().map(|&t| t as u64).collect(),
+            transfers: level.transfers as u64,
+            formula_bytes: report.memory.formula_bytes as u64,
+            heap_bytes: report.memory.heap_bytes as u64,
+            retries: stats.retried_levels.contains(&report.k) as u64,
+            ..Default::default()
+        };
+        out.push_str(&record.to_json());
+        out.push('\n');
+    }
+    let summary = RunSummary {
+        levels: stats.levels.len() as u64,
+        maximal_total: stats.total_maximal as u64,
+        wall_ns: stats.run.wall_ns,
+        retries: stats.retried_levels.len() as u64,
+        ..Default::default()
+    };
+    out.push_str(&summary.to_json());
+    out.push('\n');
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +156,34 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn run_jsonl_parses_as_a_run_log() {
+        use gsb_core::{ParallelConfig, ParallelEnumerator};
+        use gsb_graph::generators::{planted, Module};
+        use std::sync::Arc;
+
+        let g = Arc::new(planted(32, 0.1, &[Module::clique(7)], 5));
+        let mut sink = gsb_core::CountSink::default();
+        let stats = ParallelEnumerator::new(ParallelConfig {
+            threads: 3,
+            ..Default::default()
+        })
+        .enumerate(&g, &mut sink);
+
+        let text = run_jsonl(&stats);
+        let parsed = gsb_telemetry::parse_report(&text).expect("valid run log");
+        assert!(!parsed.truncated);
+        assert_eq!(parsed.levels.len(), stats.levels.len());
+        let summary = parsed.summary.expect("summary line");
+        assert_eq!(summary.maximal_total, stats.total_maximal as u64);
+        for w in parsed.levels.windows(2) {
+            assert!(w[1].k > w[0].k);
+        }
+        for level in &parsed.levels {
+            assert_eq!(level.busy_ns.len(), 3, "one busy time per worker");
+        }
     }
 
     #[test]

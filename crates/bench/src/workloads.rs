@@ -73,8 +73,7 @@ impl Workload {
             Workload::Myogenic => 900,
             Workload::BrainDense => 700,
         };
-        let n = ((base_n as f64 * f) as usize)
-            .clamp(64, self.paper_n());
+        let n = ((base_n as f64 * f) as usize).clamp(64, self.paper_n());
         let profile = match self {
             Workload::BrainSparse => CorrelationProfile::brain_sparse_like(n),
             Workload::Myogenic => CorrelationProfile::myogenic_like(n),
@@ -123,7 +122,11 @@ mod tests {
 
     #[test]
     fn specs_generate_valid_graphs() {
-        for w in [Workload::BrainSparse, Workload::Myogenic, Workload::BrainDense] {
+        for w in [
+            Workload::BrainSparse,
+            Workload::Myogenic,
+            Workload::BrainDense,
+        ] {
             let spec = w.spec_scaled(0.3);
             let g = spec.graph();
             g.validate();

@@ -161,11 +161,14 @@ impl Args {
             Some(raw) => raw
                 .split(',')
                 .map(|piece| {
-                    piece.trim().parse().map_err(|e: T::Err| ArgError::BadValue {
-                        flag: format!("--{name}"),
-                        value: piece.to_string(),
-                        message: e.to_string(),
-                    })
+                    piece
+                        .trim()
+                        .parse()
+                        .map_err(|e: T::Err| ArgError::BadValue {
+                            flag: format!("--{name}"),
+                            value: piece.to_string(),
+                            message: e.to_string(),
+                        })
                 })
                 .collect(),
         }

@@ -3,7 +3,7 @@
 
 use crate::args::Args;
 use crate::CliError;
-use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig, RunMeta};
+use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig, RunMeta, RunProgress};
 use gsb_core::sink::{CollectSink, CountSink};
 use gsb_core::store::SpillConfig;
 use gsb_core::{
@@ -12,8 +12,9 @@ use gsb_core::{
 };
 use gsb_graph::generators::{correlation_like, gnp, planted, CorrelationProfile, Module};
 use gsb_graph::{io as gio, BitGraph};
+use gsb_telemetry::{parse_report, render_report, RunTelemetry, TelemetryConfig};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 fn load(path: &str) -> Result<BitGraph, CliError> {
@@ -33,7 +34,9 @@ fn save(g: &BitGraph, path: &str) -> Result<(), CliError> {
 pub fn generate(argv: &[String]) -> Result<String, CliError> {
     let a = Args::parse(
         argv,
-        &["kind", "n", "p", "density", "modules", "seed", "out", "overlap"],
+        &[
+            "kind", "n", "p", "density", "modules", "seed", "out", "overlap",
+        ],
         &[],
         0,
     )?;
@@ -121,8 +124,9 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
             "checkpoint-dir",
             "checkpoint-secs",
             "memory-budget",
+            "metrics-out",
         ],
-        &["count-only"],
+        &["count-only", "progress"],
         1,
     )?;
     let path = a.required_positional(0, "FILE")?;
@@ -142,10 +146,15 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     let checkpoint_dir = a.flag("checkpoint-dir").map(str::to_string);
     let checkpoint_secs: Option<u64> = a.flag_opt("checkpoint-secs")?;
     let memory_budget: Option<usize> = a.flag_opt("memory-budget")?;
-    if checkpoint_dir.is_some() || memory_budget.is_some() {
+    let telemetry_config = TelemetryConfig {
+        metrics_out: a.flag("metrics-out").map(PathBuf::from),
+        progress: a.switch("progress"),
+    };
+    if checkpoint_dir.is_some() || memory_budget.is_some() || !telemetry_config.is_off() {
         if a.flag("order").is_some() || spill_budget.is_some() {
             return Err(CliError::Usage(
-                "--checkpoint-dir/--memory-budget conflict with --order and --spill-budget"
+                "--checkpoint-dir/--memory-budget/--metrics-out/--progress conflict with \
+                 --order and --spill-budget"
                     .into(),
             ));
         }
@@ -159,6 +168,7 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
             checkpoint_dir.as_deref(),
             checkpoint_secs,
             memory_budget,
+            telemetry_config,
         );
     }
     if checkpoint_secs.is_some() {
@@ -171,8 +181,7 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     if let Some(order_name) = a.flag("order") {
         if threads != 1 || spill_budget.is_some() {
             return Err(CliError::Usage(
-                "--order applies to the plain sequential run (no --threads/--spill-budget)"
-                    .into(),
+                "--order applies to the plain sequential run (no --threads/--spill-budget)".into(),
             ));
         }
         let ordering = match order_name {
@@ -223,8 +232,7 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     if let Some(budget) = spill_budget {
         if threads != 1 {
             return Err(CliError::Usage(
-                "--spill-budget requires --threads 1 (the out-of-core store is sequential)"
-                    .into(),
+                "--spill-budget requires --threads 1 (the out-of-core store is sequential)".into(),
             ));
         }
         let spill = SpillConfig::in_temp(budget);
@@ -279,6 +287,7 @@ fn cliques_pipeline(
     checkpoint_dir: Option<&str>,
     checkpoint_secs: Option<u64>,
     memory_budget: Option<usize>,
+    telemetry_config: TelemetryConfig,
 ) -> Result<String, CliError> {
     let mut pipe = CliquePipeline::new()
         .min_size(config.min_k)
@@ -289,6 +298,9 @@ fn cliques_pipeline(
     }
     if let Some(budget) = memory_budget {
         pipe = pipe.memory_budget(budget);
+    }
+    if !telemetry_config.is_off() {
+        pipe = pipe.telemetry(Arc::new(RunTelemetry::new(telemetry_config)?));
     }
 
     if let Some(dir) = checkpoint_dir {
@@ -373,7 +385,7 @@ fn append_degradation_note(out: &mut String, report: &PipelineReport) {
 
 /// `gsb resume` — continue a checkpointed `cliques` run after a crash.
 pub fn resume(argv: &[String]) -> Result<String, CliError> {
-    let a = Args::parse(argv, &["threads"], &[], 1)?;
+    let a = Args::parse(argv, &["threads", "metrics-out"], &["progress"], 1)?;
     let dir = a.required_positional(0, "CHECKPOINT_DIR")?;
     let meta = RunMeta::load(Path::new(dir)).map_err(|_| {
         CliError::Runtime(format!(
@@ -409,15 +421,48 @@ pub fn resume(argv: &[String]) -> Result<String, CliError> {
     if let Some(mx) = meta.max_k {
         pipe = pipe.max_size(mx);
     }
+    // Cumulative telemetry persisted at the last checkpoint barrier:
+    // report how far the interrupted run had gotten, and let the
+    // pipeline seed its counters from it so exported totals continue.
+    let prior = RunProgress::load(Path::new(dir)).ok();
+    let telemetry_config = TelemetryConfig {
+        metrics_out: a.flag("metrics-out").map(PathBuf::from),
+        progress: a.switch("progress"),
+    };
+    if !telemetry_config.is_off() {
+        pipe = pipe.telemetry(Arc::new(RunTelemetry::new(telemetry_config)?));
+    }
     let report = pipe.resume(&g, &mut sink)?;
     let appended = sink.finish()?;
-    let mut out = format!(
+    let mut out = String::new();
+    if let Some(p) = prior {
+        let _ = writeln!(
+            out,
+            "prior progress: {} cliques across {} level(s) in {:.1}s before the interruption",
+            p.cliques_emitted,
+            p.levels_done,
+            p.wall_ms as f64 / 1e3
+        );
+    }
+    let _ = writeln!(
+        out,
         "resumed {} from its level-{k_ckpt} checkpoint: kept {kept} cliques (size <= {k_ckpt}), \
-         appended {appended} more to {out_path}\n",
+         appended {appended} more to {out_path}",
         meta.graph
     );
     append_degradation_note(&mut out, &report);
     Ok(out)
+}
+
+/// `gsb report` — render a `--metrics-out` JSONL run log as the
+/// per-level summary and Fig. 8-style worker-imbalance tables.
+pub fn report(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 1)?;
+    let path = a.required_positional(0, "RUN_JSONL")?;
+    let text = std::fs::read_to_string(path)?;
+    let parsed = parse_report(&text)
+        .map_err(|e| CliError::Runtime(format!("{path} is not a valid run log: {e}")))?;
+    Ok(render_report(&parsed))
 }
 
 /// Keep only well-formed `size\tv1 v2 ...` lines with `size <= max_k`;
@@ -495,7 +540,11 @@ pub fn vertex_cover(argv: &[String]) -> Result<String, CliError> {
         Some(k) => match gsb_fpt::vertex_cover_decision(&g, k) {
             Some(cover) => {
                 let text: Vec<String> = cover.iter().map(usize::to_string).collect();
-                Ok(format!("YES: cover of size {} <= {k}: {}\n", cover.len(), text.join(" ")))
+                Ok(format!(
+                    "YES: cover of size {} <= {k}: {}\n",
+                    cover.len(),
+                    text.join(" ")
+                ))
             }
             None => Ok(format!("NO: no vertex cover of size <= {k}\n")),
         },
@@ -604,8 +653,18 @@ mod tests {
     fn generate_stats_cliques_roundtrip() {
         let path = tmp("g1.txt");
         let report = generate(&argv(&[
-            "--kind", "planted", "--n", "40", "--p", "0.02", "--modules", "6,5", "--seed", "3",
-            "--out", &path,
+            "--kind",
+            "planted",
+            "--n",
+            "40",
+            "--p",
+            "0.02",
+            "--modules",
+            "6,5",
+            "--seed",
+            "3",
+            "--out",
+            &path,
         ]))
         .unwrap();
         assert!(report.contains("40 vertices"));
@@ -630,7 +689,14 @@ mod tests {
     fn cliques_count_only_and_threads_agree() {
         let path = tmp("g2.txt");
         generate(&argv(&[
-            "--kind", "planted", "--n", "36", "--modules", "7", "--out", &path,
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "7",
+            "--out",
+            &path,
         ]))
         .unwrap();
         let seq = cliques(&argv(&[&path, "--count-only"])).unwrap();
@@ -646,13 +712,19 @@ mod tests {
         let path = tmp("g6.txt");
         let out = tmp("g6.cliques");
         generate(&argv(&[
-            "--kind", "planted", "--n", "30", "--modules", "6,5", "--out", &path,
+            "--kind",
+            "planted",
+            "--n",
+            "30",
+            "--modules",
+            "6,5",
+            "--out",
+            &path,
         ]))
         .unwrap();
         let plain = cliques(&argv(&[&path, "--min", "4"])).unwrap();
         for order in ["natural", "degeneracy", "degree"] {
-            let ordered =
-                cliques(&argv(&[&path, "--min", "4", "--order", order])).unwrap();
+            let ordered = cliques(&argv(&[&path, "--min", "4", "--order", order])).unwrap();
             // same clique set (line sets match after sorting)
             let mut a: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
             let mut b: Vec<&str> = ordered.lines().filter(|l| !l.starts_with('#')).collect();
@@ -676,7 +748,14 @@ mod tests {
     fn maxclique_both_routes() {
         let path = tmp("g3.txt");
         generate(&argv(&[
-            "--kind", "planted", "--n", "30", "--modules", "6", "--out", &path,
+            "--kind",
+            "planted",
+            "--n",
+            "30",
+            "--modules",
+            "6",
+            "--out",
+            &path,
         ]))
         .unwrap();
         let direct = maxclique(&argv(&[&path])).unwrap();
@@ -699,7 +778,10 @@ mod tests {
     #[test]
     fn vc_and_fvs_run() {
         let path = tmp("g4.txt");
-        generate(&argv(&["--kind", "gnp", "--n", "14", "--p", "0.3", "--out", &path])).unwrap();
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "14", "--p", "0.3", "--out", &path,
+        ]))
+        .unwrap();
         let vc_min = vertex_cover(&argv(&[&path])).unwrap();
         assert!(vc_min.contains("minimum vertex cover size"));
         let vc_yes = vertex_cover(&argv(&[&path, "--k", "14"])).unwrap();
@@ -730,7 +812,10 @@ mod tests {
     fn convert_edge_list_to_dimacs() {
         let a_path = tmp("g5.txt");
         let b_path = tmp("g5.clq");
-        generate(&argv(&["--kind", "gnp", "--n", "10", "--p", "0.4", "--out", &a_path])).unwrap();
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "10", "--p", "0.4", "--out", &a_path,
+        ]))
+        .unwrap();
         let report = convert(&argv(&[&a_path, &b_path])).unwrap();
         assert!(report.contains("converted"));
         let g1 = load(&a_path).unwrap();
@@ -743,7 +828,10 @@ mod tests {
     #[test]
     fn checkpoint_flags_are_validated() {
         let path = tmp("g8.txt");
-        generate(&argv(&["--kind", "gnp", "--n", "12", "--p", "0.3", "--out", &path])).unwrap();
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "12", "--p", "0.3", "--out", &path,
+        ]))
+        .unwrap();
         // --checkpoint-dir without --out
         let err = cliques(&argv(&[&path, "--checkpoint-dir", "/tmp/x"])).unwrap_err();
         assert!(err.to_string().contains("--out"), "{err}");
@@ -751,8 +839,14 @@ mod tests {
         let err = cliques(&argv(&[&path, "--checkpoint-secs", "5"])).unwrap_err();
         assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
         // conflicts with the one-shot spill/order paths
-        let err =
-            cliques(&argv(&[&path, "--memory-budget", "1000", "--order", "degree"])).unwrap_err();
+        let err = cliques(&argv(&[
+            &path,
+            "--memory-budget",
+            "1000",
+            "--order",
+            "degree",
+        ]))
+        .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         assert_eq!(err.exit_code(), 2);
         let _ = std::fs::remove_file(&path);
@@ -764,12 +858,27 @@ mod tests {
         let dir = tmp("g9-ckpt");
         let out = tmp("g9.out");
         generate(&argv(&[
-            "--kind", "planted", "--n", "32", "--modules", "7,5", "--seed", "11", "--out", &path,
+            "--kind",
+            "planted",
+            "--n",
+            "32",
+            "--modules",
+            "7,5",
+            "--seed",
+            "11",
+            "--out",
+            &path,
         ]))
         .unwrap();
         let plain = cliques(&argv(&[&path, "--min", "3"])).unwrap();
         let report = cliques(&argv(&[
-            &path, "--min", "3", "--checkpoint-dir", &dir, "--out", &out,
+            &path,
+            "--min",
+            "3",
+            "--checkpoint-dir",
+            &dir,
+            "--out",
+            &out,
         ]))
         .unwrap();
         assert!(report.contains("checkpointed"), "{report}");
@@ -796,7 +905,16 @@ mod tests {
         let dir = tmp("g10-ckpt");
         let out = tmp("g10.out");
         generate(&argv(&[
-            "--kind", "planted", "--n", "34", "--modules", "8,6", "--seed", "29", "--out", &path,
+            "--kind",
+            "planted",
+            "--n",
+            "34",
+            "--modules",
+            "8,6",
+            "--seed",
+            "29",
+            "--out",
+            &path,
         ]))
         .unwrap();
         let expected = cliques(&argv(&[&path, "--min", "3"])).unwrap();
@@ -830,6 +948,14 @@ mod tests {
         }
         .save(Path::new(&dir))
         .unwrap();
+        let pre_count = pre.cliques.iter().filter(|c| c.len() <= k_ckpt).count() as u64;
+        RunProgress {
+            cliques_emitted: pre_count,
+            levels_done: k_ckpt as u64 - 2,
+            wall_ms: 1500,
+        }
+        .save(Path::new(&dir))
+        .unwrap();
         let mut crashed = String::new();
         for c in pre.cliques.iter().filter(|c| c.len() <= k_ckpt) {
             let verts: Vec<String> = c.iter().map(|v| v.to_string()).collect();
@@ -839,7 +965,15 @@ mod tests {
         std::fs::write(&out, &crashed).unwrap();
 
         let report = resume(&argv(&[&dir])).unwrap();
-        assert!(report.contains(&format!("level-{k_ckpt} checkpoint")), "{report}");
+        assert!(
+            report.contains(&format!("level-{k_ckpt} checkpoint")),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!("prior progress: {pre_count} cliques")),
+            "{report}"
+        );
+        assert!(report.contains("1.5s before the interruption"), "{report}");
         let resumed = std::fs::read_to_string(&out).unwrap();
         let mut got: Vec<&str> = resumed.lines().collect();
         let mut want: Vec<&str> = expected.lines().filter(|l| !l.starts_with('#')).collect();
@@ -851,6 +985,110 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&out);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_out_produces_schema_valid_monotone_records() {
+        let path = tmp("g11.txt");
+        let jsonl = tmp("g11.jsonl");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "8,6",
+            "--seed",
+            "7",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "3", "--count-only"])).unwrap();
+        let with_metrics = cliques(&argv(&[
+            &path,
+            "--min",
+            "3",
+            "--threads",
+            "3",
+            "--count-only",
+            "--metrics-out",
+            &jsonl,
+        ]))
+        .unwrap();
+        // telemetry must not change the enumeration result
+        assert_eq!(plain, with_metrics);
+
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let parsed = gsb_telemetry::parse_report(&text).expect("valid run log");
+        assert!(!parsed.truncated);
+        assert!(!parsed.levels.is_empty(), "no level records");
+        for w in parsed.levels.windows(2) {
+            assert!(w[1].k > w[0].k, "level k not monotone: {w:?}");
+            assert!(w[1].maximal_total >= w[0].maximal_total);
+        }
+        for level in &parsed.levels {
+            assert!(level.sublists > 0, "empty sub-list count: {level:?}");
+            assert!(!level.busy_ns.is_empty(), "no per-worker busy time");
+        }
+        let summary = parsed.summary.as_ref().expect("summary record");
+        let total: u64 = plain.split_whitespace().next().unwrap().parse().unwrap();
+        assert_eq!(summary.maximal_total, total);
+        assert!(summary.maximal_total > 0);
+
+        // and the rendered report round-trips from the same file
+        let rendered = report(&argv(&[&jsonl])).unwrap();
+        assert!(rendered.contains("Per-level summary"), "{rendered}");
+        assert!(rendered.contains("Worker imbalance"), "{rendered}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&jsonl);
+    }
+
+    #[test]
+    fn report_tolerates_a_crash_truncated_run_log() {
+        let path = tmp("g13.txt");
+        let jsonl = tmp("g13.jsonl");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "30",
+            "--modules",
+            "7",
+            "--seed",
+            "2",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        cliques(&argv(&[&path, "--count-only", "--metrics-out", &jsonl])).unwrap();
+        // Simulate dying mid-write: chop the file inside its last line.
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let cut = text.trim_end().len() - 10;
+        std::fs::write(&jsonl, &text[..cut]).unwrap();
+        let rendered = report(&argv(&[&jsonl])).unwrap();
+        assert!(rendered.contains("truncated"), "{rendered}");
+        assert!(rendered.contains("Per-level summary"), "{rendered}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&jsonl);
+    }
+
+    #[test]
+    fn report_rejects_garbage_and_metrics_conflicts_are_usage_errors() {
+        let bad = tmp("bad.jsonl");
+        std::fs::write(&bad, "not json at all\nstill not\n").unwrap();
+        let err = report(&argv(&[&bad])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let _ = std::fs::remove_file(&bad);
+
+        let path = tmp("g12.txt");
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "12", "--p", "0.3", "--out", &path,
+        ]))
+        .unwrap();
+        let err = cliques(&argv(&[&path, "--progress", "--order", "degree"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //!   graphs to an edge-list/DIMACS file;
 //! * `stats` — profile a graph file (n, m, density, degrees, triangles);
 //! * `cliques` — enumerate maximal cliques in non-decreasing size order,
-//!   with `Init_K`/max bounds, threads, and optional disk spill;
+//!   with `Init_K`/max bounds, threads, optional disk spill, and
+//!   telemetry export (`--metrics-out`, `--progress`);
+//! * `report` — render a `--metrics-out` run log as per-level and
+//!   worker-imbalance tables;
 //! * `maxclique` — exact maximum clique (direct B&B or the FPT
 //!   vertex-cover route);
 //! * `vc` — minimum vertex cover / decision;
@@ -113,8 +116,9 @@ USAGE:
   gsb cliques FILE [--min K] [--max K] [--threads T] [--count-only]
                [--spill-budget BYTES] [--order natural|degeneracy|degree]
                [--out FILE] [--checkpoint-dir DIR] [--checkpoint-secs S]
-               [--memory-budget BYTES]
-  gsb resume CHECKPOINT_DIR [--threads T]
+               [--memory-budget BYTES] [--metrics-out RUN_JSONL] [--progress]
+  gsb resume CHECKPOINT_DIR [--threads T] [--metrics-out RUN_JSONL] [--progress]
+  gsb report RUN_JSONL
   gsb maxclique FILE [--via-vc]
   gsb vc FILE [--k K]
   gsb fvs FILE
@@ -130,7 +134,12 @@ current level at each barrier (every --checkpoint-secs seconds if
 given); after a crash, `gsb resume DIR` reloads the newest valid
 checkpoint and completes the run, appending to the original output
 file. `--memory-budget BYTES` degrades to the out-of-core enumerator
-instead of exceeding the budget.";
+instead of exceeding the budget.
+
+Telemetry: `cliques --metrics-out run.jsonl` writes one JSON record per
+level barrier plus a final summary; `--progress` prints a live status
+line to stderr. `gsb report run.jsonl` renders the per-level summary
+and the Fig. 8-style worker-imbalance table from such a file.";
 
 /// Dispatch a full argv (without the program name) and return the
 /// report to print.
@@ -144,6 +153,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "stats" => commands::stats(rest),
         "cliques" => commands::cliques(rest),
         "resume" => commands::resume(rest),
+        "report" => commands::report(rest),
         "maxclique" => commands::maxclique(rest),
         "vc" => commands::vertex_cover(rest),
         "fvs" => commands::fvs(rest),

@@ -28,10 +28,7 @@ pub fn participation_counts(n: usize, cliques: &[Clique]) -> Vec<usize> {
 /// first entry is the hub.
 pub fn hubs(n: usize, cliques: &[Clique]) -> Vec<(usize, usize)> {
     let counts = participation_counts(n, cliques);
-    let mut order: Vec<(usize, usize)> = counts
-        .into_iter()
-        .enumerate()
-        .collect();
+    let mut order: Vec<(usize, usize)> = counts.into_iter().enumerate().collect();
     order.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
     order
 }

@@ -20,6 +20,15 @@ use crate::sublist::Level;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
+/// The cost of one checkpoint write, for telemetry export.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointWrite {
+    /// Wall time of the write (encode + fsync + rename), ns.
+    pub ns: u64,
+    /// Bytes written (header + framed records).
+    pub bytes: u64,
+}
+
 /// When to persist a level checkpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CheckpointPolicy {
@@ -104,33 +113,38 @@ impl CheckpointManager {
     }
 
     /// Called at each level barrier with the freshly built level.
-    /// Writes a checkpoint when the policy says so; returns whether one
-    /// was written.
-    pub fn observe_level(&mut self, level: &Level) -> Result<bool, StoreError> {
+    /// Writes a checkpoint when the policy says so; returns the write's
+    /// cost when one was written, `None` when the policy skipped it.
+    pub fn observe_level(&mut self, level: &Level) -> Result<Option<CheckpointWrite>, StoreError> {
         let due = match self.config.policy {
             CheckpointPolicy::Off => false,
             CheckpointPolicy::EveryLevel => true,
             CheckpointPolicy::Every(interval) => self.last_write.elapsed() >= interval,
         };
         if !due {
-            return Ok(false);
+            return Ok(None);
         }
-        self.force(level)?;
-        Ok(true)
+        self.force(level).map(Some)
     }
 
     /// Write a checkpoint for `level` regardless of policy, then prune
-    /// to the `keep` newest files.
-    pub fn force(&mut self, level: &Level) -> Result<(), StoreError> {
+    /// to the `keep` newest files. Returns the write's latency and
+    /// size for the telemetry layer.
+    pub fn force(&mut self, level: &Level) -> Result<CheckpointWrite, StoreError> {
         crate::failpoint::inject("checkpoint.write")?;
+        let start = Instant::now();
         let path = checkpoint_path(&self.config.dir, level.k);
-        store::write_level(&path, level)?;
+        let bytes = store::write_level(&path, level)?;
+        let write = CheckpointWrite {
+            ns: start.elapsed().as_nanos() as u64,
+            bytes,
+        };
         self.last_write = Instant::now();
         if self.written.last() != Some(&level.k) {
             self.written.push(level.k);
         }
         self.prune();
-        Ok(())
+        Ok(write)
     }
 
     fn prune(&mut self) {
@@ -153,7 +167,10 @@ impl CheckpointManager {
         for entry in entries.flatten() {
             let name = entry.file_name();
             let name = name.to_string_lossy();
-            if parse_checkpoint_name(&name).is_some() || name == RUN_META_FILE {
+            if parse_checkpoint_name(&name).is_some()
+                || name == RUN_META_FILE
+                || name == PROGRESS_FILE
+            {
                 let _ = std::fs::remove_file(entry.path());
             }
         }
@@ -171,10 +188,7 @@ impl CheckpointManager {
 /// the wrong problem. Returns `Ok(None)` when the directory holds no
 /// checkpoint files at all, and the last decode error when every
 /// candidate is corrupt.
-pub fn latest_checkpoint(
-    dir: &Path,
-    graph_n: usize,
-) -> Result<Option<(usize, Level)>, StoreError> {
+pub fn latest_checkpoint(dir: &Path, graph_n: usize) -> Result<Option<(usize, Level)>, StoreError> {
     let mut ks: Vec<usize> = std::fs::read_dir(dir)?
         .flatten()
         .filter_map(|e| parse_checkpoint_name(&e.file_name().to_string_lossy()))
@@ -262,6 +276,57 @@ impl RunMeta {
     }
 }
 
+const PROGRESS_FILE: &str = "progress.meta";
+
+/// Cumulative run telemetry persisted as `progress.meta` next to the
+/// checkpoints at every checkpoint barrier, so `gsb resume` can report
+/// how far the interrupted run had gotten and the resumed run's
+/// telemetry totals continue from there instead of restarting at zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunProgress {
+    /// Maximal cliques emitted up to (and including) the checkpointed
+    /// level barrier.
+    pub cliques_emitted: u64,
+    /// Level barriers completed.
+    pub levels_done: u64,
+    /// Wall-clock time spent so far, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl RunProgress {
+    /// Persist atomically as simple `key=value` lines.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        let text = format!(
+            "cliques_emitted={}\nlevels_done={}\nwall_ms={}\n",
+            self.cliques_emitted, self.levels_done, self.wall_ms
+        );
+        let path = dir.join(PROGRESS_FILE);
+        let tmp = dir.join(format!("{PROGRESS_FILE}.tmp"));
+        std::fs::write(&tmp, text.as_bytes())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Load `progress.meta` from `dir`. Unknown keys are ignored so
+    /// older builds can read files written by newer ones.
+    pub fn load(dir: &Path) -> Result<Self, StoreError> {
+        let text = std::fs::read_to_string(dir.join(PROGRESS_FILE))?;
+        let mut progress = RunProgress::default();
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            match key {
+                "cliques_emitted" => progress.cliques_emitted = value.parse().unwrap_or(0),
+                "levels_done" => progress.levels_done = value.parse().unwrap_or(0),
+                "wall_ms" => progress.wall_ms = value.parse().unwrap_or(0),
+                _ => {}
+            }
+        }
+        Ok(progress)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,10 +334,7 @@ mod tests {
     use gsb_graph::BitGraph;
 
     fn temp_ckpt_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gsb-ckpt-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("gsb-ckpt-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -294,7 +356,8 @@ mod tests {
         let g = BitGraph::complete(10);
         let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
         for k in 2..6 {
-            assert!(mgr.observe_level(&level_for(&g, k)).unwrap());
+            let write = mgr.observe_level(&level_for(&g, k)).unwrap();
+            assert!(write.expect("every-level policy writes").bytes > 0);
         }
         // keep=2: only k=4 and k=5 remain
         assert_eq!(mgr.written(), &[4, 5]);
@@ -302,7 +365,9 @@ mod tests {
         assert!(!checkpoint_path(&dir, 3).exists());
         assert!(checkpoint_path(&dir, 4).exists());
         assert!(checkpoint_path(&dir, 5).exists());
-        let (k, level) = latest_checkpoint(&dir, 10).unwrap().expect("has checkpoint");
+        let (k, level) = latest_checkpoint(&dir, 10)
+            .unwrap()
+            .expect("has checkpoint");
         assert_eq!(k, 5);
         assert_eq!(level.sublists.len(), 3);
         std::fs::remove_dir_all(&dir).unwrap();
@@ -315,7 +380,7 @@ mod tests {
         let mut config = CheckpointConfig::every_level(&dir);
         config.policy = CheckpointPolicy::Off;
         let mut mgr = CheckpointManager::new(config).unwrap();
-        assert!(!mgr.observe_level(&level_for(&g, 2)).unwrap());
+        assert!(mgr.observe_level(&level_for(&g, 2)).unwrap().is_none());
         assert!(latest_checkpoint(&dir, 10).unwrap().is_none());
         mgr.force(&level_for(&g, 2)).unwrap();
         assert!(latest_checkpoint(&dir, 10).unwrap().is_some());
@@ -375,9 +440,37 @@ mod tests {
         }
         .save(&dir)
         .unwrap();
+        RunProgress {
+            cliques_emitted: 7,
+            levels_done: 2,
+            wall_ms: 13,
+        }
+        .save(&dir)
+        .unwrap();
         mgr.finish();
         assert!(latest_checkpoint(&dir, 10).unwrap().is_none());
         assert!(RunMeta::load(&dir).is_err());
+        assert!(RunProgress::load(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn run_progress_roundtrip_and_unknown_keys() {
+        let dir = temp_ckpt_dir("progress");
+        std::fs::create_dir_all(&dir).unwrap();
+        let progress = RunProgress {
+            cliques_emitted: 12345,
+            levels_done: 9,
+            wall_ms: 60_001,
+        };
+        progress.save(&dir).unwrap();
+        assert_eq!(RunProgress::load(&dir).unwrap(), progress);
+        // forward compatibility: unknown keys are skipped
+        let path = dir.join(PROGRESS_FILE);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("future_field=42\n");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(RunProgress::load(&dir).unwrap(), progress);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -404,12 +497,12 @@ mod tests {
         let config = CheckpointConfig::every_secs(&dir, 3600);
         let mut mgr = CheckpointManager::new(config).unwrap();
         // interval far in the future: no write at the barrier
-        assert!(!mgr.observe_level(&level_for(&g, 2)).unwrap());
+        assert!(mgr.observe_level(&level_for(&g, 2)).unwrap().is_none());
         // zero interval: always due
         let mut config = CheckpointConfig::every_secs(&dir, 0);
         config.keep = 1;
         let mut mgr = CheckpointManager::new(config).unwrap();
-        assert!(mgr.observe_level(&level_for(&g, 2)).unwrap());
+        assert!(mgr.observe_level(&level_for(&g, 2)).unwrap().is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -73,6 +73,13 @@ pub struct LevelReport {
     pub ns: u64,
     /// Memory accounting for this level's candidates.
     pub memory: LevelMemory,
+    /// Bitmap AND operations performed (one per prefix extension, one
+    /// per surviving pair's maximality probe, one per kept sub-list's
+    /// common-neighbor clone).
+    pub and_ops: u64,
+    /// Any-bit (`BitOneExists`) maximality tests performed — one per
+    /// adjacent tail pair, each deciding candidate vs. maximal.
+    pub maximality_tests: u64,
 }
 
 /// Full run statistics.
@@ -95,12 +102,7 @@ impl EnumStats {
     /// levels divided by total units), for converting the deterministic
     /// per-sub-list costs into time.
     pub fn ns_per_unit(&self) -> f64 {
-        let total_units: u64 = self
-            .costs
-            .iter()
-            .flatten()
-            .flat_map(|l| l.iter())
-            .sum();
+        let total_units: u64 = self.costs.iter().flatten().flat_map(|l| l.iter()).sum();
         if total_units == 0 {
             return 0.0;
         }
@@ -188,16 +190,20 @@ impl CliqueEnumerator {
                 ),
             };
             let mut maximal_found = 0usize;
+            let mut and_ops = 0u64;
+            let mut maximality_tests = 0u64;
             let record = stats.costs.is_some();
             let mut level_costs = Vec::new();
             if record {
                 level_costs.reserve(level.sublists.len());
             }
             for sl in &level.sublists {
-                let (found, units) = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
-                maximal_found += found;
+                let out = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
+                maximal_found += out.maximal;
+                and_ops += out.and_ops;
+                maximality_tests += out.tests;
                 if record {
-                    level_costs.push(units);
+                    level_costs.push(out.units);
                 }
             }
             if let Some(costs) = stats.costs.as_mut() {
@@ -212,6 +218,8 @@ impl CliqueEnumerator {
                 maximal_found,
                 ns: level_start.elapsed().as_nanos() as u64,
                 memory,
+                and_ops,
+                maximality_tests,
             });
             level = next;
         }
@@ -290,20 +298,27 @@ impl CliqueEnumerator {
     /// sink. This is the natural checkpoint granularity: persist the
     /// returned level with [`crate::store::write_level`] and resume
     /// with [`Self::enumerate_from_level`].
-    pub fn step(&self, g: &BitGraph, level: &Level, sink: &mut impl CliqueSink) -> (Level, LevelReport) {
+    pub fn step(
+        &self,
+        g: &BitGraph,
+        level: &Level,
+        sink: &mut impl CliqueSink,
+    ) -> (Level, LevelReport) {
         let level_start = Instant::now();
         let memory = LevelMemory::account(level, g.n());
         let mut next = Level {
             k: level.k + 1,
-            sublists: Vec::with_capacity(
-                memory.n_cliques.saturating_sub(2 * memory.n_sublists),
-            ),
+            sublists: Vec::with_capacity(memory.n_cliques.saturating_sub(2 * memory.n_sublists)),
         };
         let mut buf = BitSet::new(g.n());
         let mut maximal_found = 0usize;
+        let mut and_ops = 0u64;
+        let mut maximality_tests = 0u64;
         for sl in &level.sublists {
-            let (found, _units) = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
-            maximal_found += found;
+            let out = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
+            maximal_found += out.maximal;
+            and_ops += out.and_ops;
+            maximality_tests += out.tests;
         }
         next.sublists.shrink_to_fit();
         let report = LevelReport {
@@ -313,6 +328,8 @@ impl CliqueEnumerator {
             maximal_found,
             ns: level_start.elapsed().as_nanos() as u64,
             memory,
+            and_ops,
+            maximality_tests,
         };
         (next, report)
     }
@@ -348,32 +365,54 @@ impl CliqueEnumerator {
     }
 }
 
+/// What [`expand_sublist`] did: emissions plus the operation counts the
+/// telemetry layer exports per level.
+pub(crate) struct ExpandOut {
+    /// Maximal (k+1)-cliques emitted.
+    pub maximal: usize,
+    /// Deterministic work units (u64-word operations plus pair
+    /// iterations — the portable cost measure the scaling simulation
+    /// replays).
+    pub units: u64,
+    /// Bitmap AND operations (prefix extensions, maximality probes,
+    /// kept common-neighbor clones).
+    pub and_ops: u64,
+    /// Any-bit maximality tests (one per adjacent tail pair).
+    pub tests: u64,
+}
+
 /// Expand one k-clique sub-list into (k+1)-clique sub-lists — the
-/// paper's `GenerateKCliques` inner loops (Fig. 3). Returns the number
-/// of maximal (k+1)-cliques emitted and the deterministic work units
-/// spent (u64-word operations plus pair iterations — the portable cost
-/// measure the scaling simulation replays). `buf` is a scratch bitmap
-/// reused across calls to avoid one allocation per prefix extension.
+/// paper's `GenerateKCliques` inner loops (Fig. 3). `buf` is a scratch
+/// bitmap reused across calls to avoid one allocation per prefix
+/// extension.
 pub(crate) fn expand_sublist(
     g: &BitGraph,
     sl: &SubList,
     buf: &mut BitSet,
     sink: &mut impl CliqueSink,
     out: &mut Vec<SubList>,
-) -> (usize, u64) {
+) -> ExpandOut {
     let mut maximal = 0usize;
     let tails = &sl.tails;
     if tails.len() < 2 {
-        return (0, 1);
+        return ExpandOut {
+            maximal: 0,
+            units: 1,
+            and_ops: 0,
+            tests: 0,
+        };
     }
     let words = gsb_bitset::words_for(g.n()) as u64;
     let mut units = 0u64;
+    let mut and_ops = 0u64;
+    let mut tests = 0u64;
     let mut clique: Vec<Vertex> = Vec::with_capacity(sl.prefix.len() + 2);
     for i in 0..tails.len() - 1 {
         let v = tails[i];
         // CN(prefix ∪ {v}) = CN(prefix) ∧ N(v)
         BitSet::and_into(&sl.cn, g.neighbors(v as usize), buf);
         units += words;
+        and_ops += 1;
         let mut new_tails: Vec<Vertex> = Vec::new();
         for &u in &tails[i + 1..] {
             units += 1;
@@ -383,6 +422,8 @@ pub(crate) fn expand_sublist(
             // CN(prefix ∪ {v, u}) = CN(prefix ∪ {v}) ∧ N(u):
             // any bit set ⇒ candidate, none ⇒ maximal (BitOneExists).
             units += words;
+            and_ops += 1;
+            tests += 1;
             if buf.intersects(g.neighbors(u as usize)) {
                 new_tails.push(u);
             } else {
@@ -399,6 +440,7 @@ pub(crate) fn expand_sublist(
             prefix.extend_from_slice(&sl.prefix);
             prefix.push(v);
             units += words; // CN clone for the kept sub-list
+            and_ops += 1;
             out.push(SubList {
                 prefix,
                 cn: buf.clone(),
@@ -406,7 +448,12 @@ pub(crate) fn expand_sublist(
             });
         }
     }
-    (maximal, units.max(1))
+    ExpandOut {
+        maximal,
+        units: units.max(1),
+        and_ops,
+        tests,
+    }
 }
 
 #[cfg(test)]
@@ -450,7 +497,13 @@ mod tests {
         g.add_edge(0, 5);
         g.add_edge(1, 5); // triangles {0,1,5}? 0-1 edge exists → {0,1,5}
         g.add_edge(2, 6); // triangle {2,6,?}: 2-6, need shared... leave as edge
-        let got = enumerate_sorted(&g, EnumConfig { min_k: 3, ..Default::default() });
+        let got = enumerate_sorted(
+            &g,
+            EnumConfig {
+                min_k: 3,
+                ..Default::default()
+            },
+        );
         let expect = bk_at_least(&g, 3);
         assert_eq!(got, expect);
         // sanity: the K5, the K4, and the clique bridging them are found
@@ -579,10 +632,13 @@ mod tests {
             },
         );
         assert_eq!(got, vec![vec![0], vec![1]]);
-        let got = enumerate_sorted(&BitGraph::complete(2), EnumConfig {
-            min_k: 2,
-            ..Default::default()
-        });
+        let got = enumerate_sorted(
+            &BitGraph::complete(2),
+            EnumConfig {
+                min_k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(got, vec![vec![0, 1]]);
     }
 }

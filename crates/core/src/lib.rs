@@ -61,7 +61,10 @@ pub mod store;
 pub mod sublist;
 pub mod wahclique;
 
-pub use checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager, CheckpointPolicy, RunMeta};
+pub use checkpoint::{
+    latest_checkpoint, CheckpointConfig, CheckpointManager, CheckpointPolicy, CheckpointWrite,
+    RunMeta, RunProgress,
+};
 pub use enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 pub use kose::{kose_ram, kose_ram_with, KoseSearch};
 pub use maxclique::{maximum_clique, maximum_clique_size};

@@ -70,9 +70,7 @@ impl LevelMemory {
         let c = std::mem::size_of::<Vertex>();
         let n_next = self.n_cliques.saturating_sub(2 * self.n_sublists);
         let m_next = self.n_cliques;
-        m_next * c
-            + n_next * (k.max(1) * c + n.div_ceil(8))
-            + n_next * std::mem::size_of::<usize>()
+        m_next * c + n_next * (k.max(1) * c + n.div_ceil(8)) + n_next * std::mem::size_of::<usize>()
     }
 
     /// Projected transient peak of the upcoming level step: this level
@@ -120,7 +118,13 @@ mod tests {
 
     #[test]
     fn empty_level_is_cheap() {
-        let mem = LevelMemory::account(&Level { k: 4, sublists: Vec::new() }, 100);
+        let mem = LevelMemory::account(
+            &Level {
+                k: 4,
+                sublists: Vec::new(),
+            },
+            100,
+        );
         assert_eq!(mem.formula_bytes, 0);
         assert_eq!(mem.n_cliques, 0);
     }

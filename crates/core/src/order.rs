@@ -69,10 +69,8 @@ pub fn enumerate_ordered(
     let relabeled = g.relabeled(&perm);
     let enumerator = CliqueEnumerator::new(config);
     let mut mapped = FnSink(|clique: &[Vertex]| {
-        let mut original: Vec<Vertex> = clique
-            .iter()
-            .map(|&v| perm[v as usize] as Vertex)
-            .collect();
+        let mut original: Vec<Vertex> =
+            clique.iter().map(|&v| perm[v as usize] as Vertex).collect();
         original.sort_unstable();
         sink.maximal(&original);
     });

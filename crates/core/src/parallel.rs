@@ -165,6 +165,8 @@ struct WorkerOut {
     maximal: Vec<Clique>,
     tasks: usize,
     units: u64,
+    and_ops: u64,
+    tests: u64,
 }
 
 /// The per-round job: expand a batch of sub-lists locally, no
@@ -182,18 +184,22 @@ fn worker_job(graph: Arc<BitGraph>) -> impl Fn(usize, Vec<SubList>) -> WorkerOut
             maximal: Vec::new(),
             tasks: batch.len(),
             units: 0,
+            and_ops: 0,
+            tests: 0,
         };
         let mut collect = CollectSink::default();
         let mut buf = BitSet::new(graph.n());
         for sl in &batch {
-            let (_found, units) = crate::enumerator::expand_sublist(
+            let expanded = crate::enumerator::expand_sublist(
                 &graph,
                 sl,
                 &mut buf,
                 &mut collect,
                 &mut out.new_sublists,
             );
-            out.units += units;
+            out.units += expanded.units;
+            out.and_ops += expanded.and_ops;
+            out.tests += expanded.tests;
         }
         out.maximal = collect.cliques;
         out
@@ -274,11 +280,34 @@ impl ParallelEnumerator {
         g: &Arc<BitGraph>,
         start: Option<Level>,
         sink: &mut S,
-        mut barrier: B,
+        barrier: B,
     ) -> Result<ParallelOutcome, ParallelRunError>
     where
         S: CliqueSink,
         B: FnMut(&Level, &LevelMemory, &mut S) -> Result<BarrierControl, StoreError>,
+    {
+        self.enumerate_observed(g, start, sink, barrier, |_report, _stats, _retried| {})
+    }
+
+    /// [`enumerate_resilient`](Self::enumerate_resilient) with a
+    /// telemetry tap: `observe` runs right after each level completes
+    /// (results collected, cliques emitted, balancer applied) with the
+    /// level's algorithmic report, its per-worker timing, and whether
+    /// the level's first round failed and was retried. This is how the
+    /// pipeline exports one consistent record per level barrier without
+    /// the workers ever touching a shared channel mid-level.
+    pub fn enumerate_observed<S, B, O>(
+        &self,
+        g: &Arc<BitGraph>,
+        start: Option<Level>,
+        sink: &mut S,
+        mut barrier: B,
+        mut observe: O,
+    ) -> Result<ParallelOutcome, ParallelRunError>
+    where
+        S: CliqueSink,
+        B: FnMut(&Level, &LevelMemory, &mut S) -> Result<BarrierControl, StoreError>,
+        O: FnMut(&LevelReport, &LevelStats, bool),
     {
         let wall = Instant::now();
         let mut stats = ParallelStats::default();
@@ -337,6 +366,7 @@ impl ParallelEnumerator {
                 .pool
                 .lock()
                 .run_round_checked(batches, worker_job(Arc::clone(g)));
+            let mut retried = false;
             let outputs = match first {
                 Ok(outputs) => outputs,
                 Err(round_error) => {
@@ -350,6 +380,7 @@ impl ParallelEnumerator {
                     {
                         Ok(outputs) => {
                             stats.retried_levels.push(k);
+                            retried = true;
                             outputs
                         }
                         Err(error) => {
@@ -371,12 +402,16 @@ impl ParallelEnumerator {
             let mut per_worker_ns = Vec::with_capacity(threads);
             let mut per_worker_units = Vec::with_capacity(threads);
             let mut per_worker_tasks = Vec::with_capacity(threads);
+            let mut and_ops = 0u64;
+            let mut maximality_tests = 0u64;
             let mut maximal: Vec<Clique> = Vec::new();
             let mut new_queues: Vec<Vec<SubList>> = Vec::with_capacity(threads);
             for (out, ns) in outputs {
                 per_worker_ns.push(ns);
                 per_worker_units.push(out.units);
                 per_worker_tasks.push(out.tasks);
+                and_ops += out.and_ops;
+                maximality_tests += out.tests;
                 maximal.extend(out.maximal);
                 new_queues.push(out.new_sublists);
             }
@@ -418,6 +453,8 @@ impl ParallelEnumerator {
                 maximal_found,
                 ns: *per_worker_ns.iter().max().unwrap_or(&0),
                 memory,
+                and_ops,
+                maximality_tests,
             });
             stats.run.levels.push(LevelStats {
                 level: k,
@@ -426,6 +463,11 @@ impl ParallelEnumerator {
                 per_worker_tasks,
                 transfers,
             });
+            observe(
+                stats.levels.last().expect("just pushed"),
+                stats.run.levels.last().expect("just pushed"),
+                retried,
+            );
             queues = new_queues;
             k += 1;
         }

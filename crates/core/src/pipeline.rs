@@ -25,8 +25,8 @@
 //!
 //! Without those options `run` takes the original in-core fast path.
 
-use crate::checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager};
-use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats};
+use crate::checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager, RunProgress};
+use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 use crate::maxclique::maximum_clique_size;
 use crate::memory::LevelMemory;
 use crate::parallel::{
@@ -37,9 +37,11 @@ use crate::sink::CliqueSink;
 use crate::spill::SpillStats;
 use crate::store::{SpillConfig, StoreError};
 use crate::sublist::Level;
+use crate::Vertex;
 use gsb_graph::reduce::clique_upper_bound;
 use gsb_graph::BitGraph;
 use gsb_par::RoundError;
+use gsb_telemetry::{LevelRecord, RunSummary, RunTelemetry, TelemetryConfig};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -104,6 +106,7 @@ pub struct CliquePipeline {
     checkpoint: Option<CheckpointConfig>,
     memory_budget: Option<usize>,
     degrade_dir: Option<PathBuf>,
+    telemetry: Option<Arc<RunTelemetry>>,
 }
 
 impl Default for CliquePipeline {
@@ -116,6 +119,7 @@ impl Default for CliquePipeline {
             checkpoint: None,
             memory_budget: None,
             degrade_dir: None,
+            telemetry: None,
         }
     }
 }
@@ -214,6 +218,16 @@ impl CliquePipeline {
         self
     }
 
+    /// Attach a run-telemetry sink: one [`LevelRecord`] per level
+    /// barrier (JSONL export and/or live progress per its
+    /// [`TelemetryConfig`]), plus a final [`RunSummary`]. Routes the run
+    /// through the barrier-driven driver even without checkpointing or
+    /// a memory budget.
+    pub fn telemetry(mut self, telemetry: Arc<RunTelemetry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     fn enum_config(&self, g: &BitGraph) -> (usize, Option<usize>, EnumConfig) {
         // Stage 1: bounds. The cheap bound caps the level loop; the
         // exact bound reproduces the paper's "maximum clique size
@@ -267,7 +281,10 @@ impl CliquePipeline {
 
         // Stages 2+3: seed at min_k (inside the enumerator) and run the
         // levelwise enumeration.
-        let outcome = if self.checkpoint.is_none() && self.memory_budget.is_none() {
+        let outcome = if self.checkpoint.is_none()
+            && self.memory_budget.is_none()
+            && self.telemetry.is_none()
+        {
             // Original infallible in-core fast path.
             if self.threads == 1 {
                 ResilientOutcome {
@@ -289,7 +306,7 @@ impl CliquePipeline {
         } else {
             self.run_resilient(g, sink, None, config)?
         };
-        Ok(PipelineReport {
+        let report = PipelineReport {
             upper_bound,
             maximum_clique: maximum,
             min_k: self.min_k,
@@ -299,7 +316,9 @@ impl CliquePipeline {
             degraded_at: outcome.degraded_at,
             checkpoints: outcome.checkpoints,
             spill_stats: outcome.spill_stats,
-        })
+        };
+        self.finish_telemetry(&report)?;
+        Ok(report)
     }
 
     /// Continue an interrupted run from the newest valid checkpoint in
@@ -318,13 +337,29 @@ impl CliquePipeline {
         g: &BitGraph,
         sink: &mut impl CliqueSink,
     ) -> Result<PipelineReport, PipelineError> {
-        let ckpt = self.checkpoint.as_ref().ok_or(PipelineError::NoCheckpoint)?;
+        let ckpt = self
+            .checkpoint
+            .as_ref()
+            .ok_or(PipelineError::NoCheckpoint)?;
         let Some((k, level)) = latest_checkpoint(&ckpt.dir, g.n())? else {
             return Err(PipelineError::NoCheckpoint);
         };
+        // Carry the interrupted run's cumulative progress into this
+        // run's telemetry so totals keep counting from where it died.
+        // A checkpoint dir written by an older build has no progress
+        // file; resume still works, the totals just restart at zero.
+        if let (Some(telemetry), Ok(progress)) =
+            (self.telemetry.as_ref(), RunProgress::load(&ckpt.dir))
+        {
+            telemetry.seed_prior(
+                progress.cliques_emitted,
+                progress.levels_done,
+                progress.wall_ms.saturating_mul(1_000_000),
+            );
+        }
         let (upper_bound, maximum, config) = self.enum_config(g);
         let outcome = self.run_resilient(g, sink, Some(level), config)?;
-        Ok(PipelineReport {
+        let report = PipelineReport {
             upper_bound,
             maximum_clique: maximum,
             min_k: self.min_k,
@@ -334,7 +369,25 @@ impl CliquePipeline {
             degraded_at: outcome.degraded_at,
             checkpoints: outcome.checkpoints,
             spill_stats: outcome.spill_stats,
-        })
+        };
+        self.finish_telemetry(&report)?;
+        Ok(report)
+    }
+
+    /// Write the final summary record when the caller attached
+    /// telemetry. The internal quiet instance used by plain resilient
+    /// runs has no outputs, so skipping it here loses nothing.
+    fn finish_telemetry(&self, report: &PipelineReport) -> Result<(), PipelineError> {
+        if let Some(telemetry) = self.telemetry.as_ref() {
+            telemetry
+                .finish(RunSummary {
+                    degraded_at: report.degraded_at.map(|k| k as u64),
+                    max_clique: report.maximum_clique.unwrap_or(0) as u64,
+                    ..Default::default()
+                })
+                .map_err(|e| PipelineError::Store(StoreError::Io(e)))?;
+        }
+        Ok(())
     }
 
     /// The barrier-driven driver behind `try_run` (with options) and
@@ -353,11 +406,39 @@ impl CliquePipeline {
             .transpose()?;
         let budget = self.memory_budget;
         let g_n = g.n();
+        // Even without caller-attached telemetry the resilient driver
+        // keeps a quiet (no-output) instance, so checkpoint barriers
+        // can always persist cumulative RunProgress for resume.
+        let telemetry = match self.telemetry.clone() {
+            Some(t) => t,
+            None => Arc::new(
+                RunTelemetry::new(TelemetryConfig::default())
+                    .map_err(|e| PipelineError::Store(StoreError::Io(e)))?,
+            ),
+        };
 
         let outcome = if self.threads == 1 {
-            self.run_resilient_sequential(g, sink, start, config, &mut manager, budget, g_n)?
+            self.run_resilient_sequential(
+                g,
+                sink,
+                start,
+                config,
+                &mut manager,
+                budget,
+                g_n,
+                &telemetry,
+            )?
         } else {
-            self.run_resilient_parallel(g, sink, start, config, &mut manager, budget, g_n)?
+            self.run_resilient_parallel(
+                g,
+                sink,
+                start,
+                config,
+                &mut manager,
+                budget,
+                g_n,
+                &telemetry,
+            )?
         };
         Ok(outcome)
     }
@@ -372,13 +453,18 @@ impl CliquePipeline {
         manager: &mut Option<CheckpointManager>,
         budget: Option<usize>,
         g_n: usize,
+        telemetry: &RunTelemetry,
     ) -> Result<ResilientOutcome, PipelineError> {
         let seq = CliqueEnumerator::new(config);
         let mut outcome = ResilientOutcome::default();
         let mut stats = EnumStats::default();
+        let mut sink = TelemetrySink {
+            inner: sink,
+            telemetry,
+        };
         let mut level = match start {
             Some(level) => level,
-            None => seq.init_level(g, sink, &mut stats),
+            None => seq.init_level(g, &mut sink, &mut stats),
         };
         loop {
             if level.sublists.is_empty() {
@@ -390,21 +476,26 @@ impl CliquePipeline {
                 }
             }
             let memory = LevelMemory::account(&level, g_n);
-            match at_barrier(manager, budget, &level, &memory, sink, g_n)? {
+            match at_barrier(manager, budget, &level, &memory, &mut sink, g_n, telemetry)? {
                 BarrierControl::Continue => {}
                 BarrierControl::Degrade => {
                     outcome.degraded_at = Some(level.k);
                     let spill = self.spill_config();
                     let spill_stats = seq
-                        .enumerate_spilled_from_level(g, level, sink, &spill)
+                        .enumerate_spilled_from_level(g, level, &mut sink, &spill)
                         .map_err(PipelineError::Store)?;
                     stats.total_maximal += spill_stats.total_maximal;
+                    record_spill_levels(telemetry, &spill_stats)?;
                     outcome.spill_stats = Some(spill_stats);
                     break;
                 }
             }
-            let (next, report) = seq.step(g, &level, sink);
+            let projected = memory.projected_peak_bytes(level.k, g_n) as u64;
+            let (next, report) = seq.step(g, &level, &mut sink);
             stats.total_maximal += report.maximal_found;
+            telemetry
+                .on_level(level_record(&report, projected))
+                .map_err(|e| PipelineError::Store(StoreError::Io(e)))?;
             stats.levels.push(report);
             level = next;
         }
@@ -423,6 +514,7 @@ impl CliquePipeline {
         manager: &mut Option<CheckpointManager>,
         budget: Option<usize>,
         g_n: usize,
+        telemetry: &RunTelemetry,
     ) -> Result<ResilientOutcome, PipelineError> {
         let mut outcome = ResilientOutcome::default();
         let par = ParallelEnumerator::new(ParallelConfig {
@@ -431,13 +523,46 @@ impl CliquePipeline {
             ..Default::default()
         });
         let garc = Arc::new(g.clone());
-        let result = par.enumerate_resilient(&garc, start, sink, |level, memory, sink| {
-            at_barrier(manager, budget, level, memory, sink, g_n).map_err(|e| match e {
-                PipelineError::Store(e) => e,
-                // at_barrier only produces Store errors
-                other => StoreError::Io(std::io::Error::other(other.to_string())),
-            })
-        });
+        let mut sink = TelemetrySink {
+            inner: sink,
+            telemetry,
+        };
+        // The observer can't propagate errors itself; park the first
+        // write failure and surface it after the run.
+        let mut telemetry_err: Option<std::io::Error> = None;
+        let result = par.enumerate_observed(
+            &garc,
+            start,
+            &mut sink,
+            |level, memory, sink| {
+                at_barrier(manager, budget, level, memory, sink, g_n, telemetry).map_err(|e| {
+                    match e {
+                        PipelineError::Store(e) => e,
+                        // at_barrier only produces Store errors
+                        other => StoreError::Io(std::io::Error::other(other.to_string())),
+                    }
+                })
+            },
+            |report, level_stats, retried| {
+                let projected = report.memory.projected_peak_bytes(report.k, g_n) as u64;
+                let mut record = level_record(report, projected);
+                record.busy_ns = level_stats.per_worker_ns.clone();
+                record.units = level_stats.per_worker_units.clone();
+                record.tasks = level_stats
+                    .per_worker_tasks
+                    .iter()
+                    .map(|&t| t as u64)
+                    .collect();
+                record.transfers = level_stats.transfers as u64;
+                if retried {
+                    record.retries = 1;
+                    telemetry.note_retry();
+                }
+                if let Err(e) = telemetry.on_level(record) {
+                    telemetry_err.get_or_insert(e);
+                }
+            },
+        );
         match result {
             Ok(ParallelOutcome::Complete(stats)) => {
                 outcome.parallel_stats = Some(stats);
@@ -447,8 +572,9 @@ impl CliquePipeline {
                 outcome.parallel_stats = Some(stats);
                 let spill = self.spill_config();
                 let spill_stats = CliqueEnumerator::new(config)
-                    .enumerate_spilled_from_level(g, level, sink, &spill)
+                    .enumerate_spilled_from_level(g, level, &mut sink, &spill)
                     .map_err(PipelineError::Store)?;
+                record_spill_levels(telemetry, &spill_stats)?;
                 outcome.spill_stats = Some(spill_stats);
             }
             Err(ParallelRunError::Round { k, error, level }) => {
@@ -463,13 +589,80 @@ impl CliquePipeline {
             }
             Err(ParallelRunError::Store(e)) => return Err(PipelineError::Store(e)),
         }
+        if let Some(e) = telemetry_err {
+            return Err(PipelineError::Store(StoreError::Io(e)));
+        }
         finish_checkpoints(manager, &mut outcome);
         Ok(outcome)
     }
 }
 
+/// Counts every emitted clique into the run telemetry before forwarding
+/// to the real sink. Wrapping the sink (instead of summing per-level
+/// reports) makes the cumulative total exact: seeds emitted during
+/// level initialization and the degraded out-of-core tail never produce
+/// a per-level record, but they do pass through here.
+struct TelemetrySink<'a, S: CliqueSink> {
+    inner: &'a mut S,
+    telemetry: &'a RunTelemetry,
+}
+
+impl<S: CliqueSink> CliqueSink for TelemetrySink<'_, S> {
+    fn maximal(&mut self, clique: &[Vertex]) {
+        self.telemetry.add_cliques(1);
+        self.inner.maximal(clique);
+    }
+
+    fn flush_barrier(&mut self) -> std::io::Result<()> {
+        self.inner.flush_barrier()
+    }
+}
+
+/// A [`LevelRecord`] with the fields every execution mode shares;
+/// parallel runs layer per-worker data on top.
+fn level_record(report: &LevelReport, projected_bytes: u64) -> LevelRecord {
+    LevelRecord {
+        k: report.k as u64,
+        sublists: report.sublists as u64,
+        candidates: report.candidates as u64,
+        maximal_level: report.maximal_found as u64,
+        level_ns: report.ns,
+        and_ops: report.and_ops,
+        maximality_tests: report.maximality_tests,
+        projected_bytes,
+        formula_bytes: report.memory.formula_bytes as u64,
+        heap_bytes: report.memory.heap_bytes as u64,
+        ..Default::default()
+    }
+}
+
+/// Emit one degraded-mode record per out-of-core level so the JSONL
+/// stream covers the whole run even after the watchdog fires.
+fn record_spill_levels(
+    telemetry: &RunTelemetry,
+    spill_stats: &SpillStats,
+) -> Result<(), PipelineError> {
+    for level in &spill_stats.levels {
+        telemetry.note_spill(level.bytes_read);
+        let record = LevelRecord {
+            k: level.k as u64,
+            sublists: level.sublists as u64,
+            maximal_level: level.maximal_found as u64,
+            level_ns: level.ns,
+            degraded: true,
+            ..Default::default()
+        };
+        telemetry
+            .on_level(record)
+            .map_err(|e| PipelineError::Store(StoreError::Io(e)))?;
+    }
+    Ok(())
+}
+
 /// The per-level barrier: fault injection, memory watchdog, durable
-/// sink flush, checkpoint write.
+/// sink flush, checkpoint write (plus its telemetry and progress
+/// bookkeeping).
+#[allow(clippy::too_many_arguments)]
 fn at_barrier<S: CliqueSink>(
     manager: &mut Option<CheckpointManager>,
     budget: Option<usize>,
@@ -477,6 +670,7 @@ fn at_barrier<S: CliqueSink>(
     memory: &LevelMemory,
     sink: &mut S,
     g_n: usize,
+    telemetry: &RunTelemetry,
 ) -> Result<BarrierControl, PipelineError> {
     if let Some(budget) = budget {
         crate::failpoint::inject("memory.budget").map_err(StoreError::Io)?;
@@ -490,7 +684,18 @@ fn at_barrier<S: CliqueSink>(
         // those cliques must already be out of volatile buffers.
         sink.flush_barrier()
             .map_err(|e| PipelineError::Store(StoreError::Io(e)))?;
-        mgr.observe_level(level)?;
+        if let Some(write) = mgr.observe_level(level)? {
+            telemetry.note_checkpoint(write.ns, write.bytes);
+            // Everything of size ≤ level.k is flushed and the level is
+            // durable, so these totals are exactly what a resumed run
+            // should continue from.
+            RunProgress {
+                cliques_emitted: telemetry.cliques_emitted(),
+                levels_done: telemetry.levels_completed(),
+                wall_ms: telemetry.wall_ns() / 1_000_000,
+            }
+            .save(mgr.dir())?;
+        }
     }
     // The crash-simulation site sits after the checkpoint write: a kill
     // here models dying at the barrier with the freshest possible
@@ -540,7 +745,10 @@ mod tests {
         let mut s1 = CollectSink::default();
         CliquePipeline::new().min_size(3).run(&g, &mut s1);
         let mut s4 = CollectSink::default();
-        let report = CliquePipeline::new().min_size(3).threads(4).run(&g, &mut s4);
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .threads(4)
+            .run(&g, &mut s4);
         let mut a = s1.cliques;
         let mut b = s4.cliques;
         a.sort();
@@ -557,10 +765,7 @@ mod tests {
             .min_size(4)
             .max_size(5)
             .run(&g, &mut sink);
-        assert!(sink
-            .cliques
-            .iter()
-            .all(|c| (4..=5).contains(&c.len())));
+        assert!(sink.cliques.iter().all(|c| (4..=5).contains(&c.len())));
         let expect = base_bk_sorted(&g)
             .into_iter()
             .filter(|c| (4..=5).contains(&c.len()))
@@ -587,10 +792,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "gsb-pipeline-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gsb-pipeline-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -691,6 +894,40 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn telemetry_covers_the_run_including_the_degraded_tail() {
+        let g = planted(36, 0.1, &[Module::clique(9)], 3);
+        let jsonl = temp_dir("telemetry").with_extension("jsonl");
+        let telemetry = Arc::new(
+            RunTelemetry::new(TelemetryConfig {
+                metrics_out: Some(jsonl.clone()),
+                progress: false,
+            })
+            .unwrap(),
+        );
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .memory_budget(64)
+            .telemetry(telemetry)
+            .try_run(&g, &mut sink)
+            .expect("degraded telemetry run");
+        assert!(report.degraded_at.is_some());
+
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let parsed = gsb_telemetry::parse_report(&text).expect("valid run log");
+        assert!(
+            parsed.levels.iter().any(|l| l.degraded),
+            "no degraded record"
+        );
+        let summary = parsed.summary.expect("summary line");
+        assert_eq!(summary.degraded_at, report.degraded_at.map(|k| k as u64));
+        // sink-wrapped counting means the exported total is exact even
+        // though most cliques were emitted by the out-of-core tail
+        assert_eq!(summary.maximal_total, sink.cliques.len() as u64);
+        let _ = std::fs::remove_file(&jsonl);
     }
 
     #[test]

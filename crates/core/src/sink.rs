@@ -64,10 +64,7 @@ impl HistogramSink {
 
     /// Largest size with a nonzero count.
     pub fn max_size(&self) -> usize {
-        self.sizes
-            .iter()
-            .rposition(|&c| c > 0)
-            .unwrap_or(0)
+        self.sizes.iter().rposition(|&c| c > 0).unwrap_or(0)
     }
 }
 

@@ -36,6 +36,8 @@ pub struct SpillLevelReport {
     pub bytes_read: u64,
     /// Wall time (ns).
     pub ns: u64,
+    /// Maximal (k+1)-cliques emitted while expanding this level.
+    pub maximal_found: usize,
 }
 
 /// Statistics of an out-of-core run.
@@ -131,9 +133,9 @@ impl CliqueEnumerator {
                     return;
                 }
                 scratch.clear();
-                let (found, _units) =
+                let expanded =
                     crate::enumerator::expand_sublist(g, &sl, &mut buf, sink, &mut scratch);
-                maximal_found += found;
+                maximal_found += expanded.maximal;
                 for nsl in scratch.drain(..) {
                     if let Err(e) = next.push(nsl) {
                         push_error = Some(e);
@@ -151,6 +153,7 @@ impl CliqueEnumerator {
                 spilled,
                 bytes_read: report.bytes_read,
                 ns: level_start.elapsed().as_nanos() as u64,
+                maximal_found,
             });
             current = next;
             k += 1;

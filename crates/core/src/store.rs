@@ -140,7 +140,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut bit = 0;
         while bit < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             bit += 1;
         }
         table[i] = c;
@@ -373,10 +377,9 @@ impl LevelStore {
                 static SPILL_SEQ: std::sync::atomic::AtomicU64 =
                     std::sync::atomic::AtomicU64::new(0);
                 let seq = SPILL_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let path = self.dir.join(format!(
-                    "gsb-spill-{}-{seq}.bin",
-                    std::process::id()
-                ));
+                let path = self
+                    .dir
+                    .join(format!("gsb-spill-{}-{seq}.bin", std::process::id()));
                 let file = File::create(&path)?;
                 self.spill = Some(Spill {
                     path,
@@ -478,7 +481,9 @@ const V2_HEADER_BYTES: usize = 24;
 /// either the previous checkpoint or none — never a torn one under the
 /// final name. The graph's bitmap width (from the first sub-list) is
 /// recorded so resume can reject a checkpoint from a different graph.
-pub fn write_level(path: &Path, level: &crate::sublist::Level) -> Result<(), StoreError> {
+/// Returns the bytes written (header + framed records), which the
+/// telemetry layer reports as the checkpoint's I/O cost.
+pub fn write_level(path: &Path, level: &crate::sublist::Level) -> Result<u64, StoreError> {
     let n_bits = level.sublists.first().map_or(0, |sl| sl.cn.len());
     let mut buf = BytesMut::new();
     buf.put_u64_le(CHECKPOINT_MAGIC_V2);
@@ -491,7 +496,7 @@ pub fn write_level(path: &Path, level: &crate::sublist::Level) -> Result<(), Sto
         encode_record(sl, &mut buf, &mut scratch);
     }
     let tmp = sibling_tmp(path);
-    let result = (|| -> Result<(), StoreError> {
+    let result = (|| -> Result<u64, StoreError> {
         let mut file = BufWriter::new(File::create(&tmp)?);
         file.write_all(&buf)?;
         file.into_inner()
@@ -505,7 +510,7 @@ pub fn write_level(path: &Path, level: &crate::sublist::Level) -> Result<(), Sto
                 let _ = d.sync_all();
             }
         }
-        Ok(())
+        Ok(buf.len() as u64)
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
@@ -684,7 +689,10 @@ mod tests {
         // IEEE 802.3 reference values.
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]
@@ -752,7 +760,10 @@ mod tests {
             store.push(sl).unwrap();
         }
         assert_eq!(store.len(), 20);
-        assert!(store.spilled_len() > 0, "budget should have forced spilling");
+        assert!(
+            store.spilled_len() > 0,
+            "budget should have forced spilling"
+        );
         assert!(store.spilled_bytes() > 0);
         let mut tails = Vec::new();
         let report = store.drain(|sl| tails.push(sl.tails.clone())).unwrap();
@@ -801,7 +812,10 @@ mod tests {
         std::fs::write(&path, &raw).unwrap();
         let err = store.drain(|_| {}).unwrap_err();
         assert!(
-            matches!(err, StoreError::Checksum { .. } | StoreError::CountMismatch { .. }),
+            matches!(
+                err,
+                StoreError::Checksum { .. } | StoreError::CountMismatch { .. }
+            ),
             "unexpected error {err}"
         );
         assert!(!path.exists(), "spill file leaked after failed drain");

@@ -69,8 +69,7 @@ impl SubList {
     /// `|tails|·c + (k−1)·c + ⌈n/8⌉ + sizeof(ptr)`.
     pub fn formula_bytes(&self, n: usize) -> usize {
         let c = std::mem::size_of::<Vertex>();
-        self.tails.len() * c + self.prefix.len() * c + n.div_ceil(8)
-            + std::mem::size_of::<usize>()
+        self.tails.len() * c + self.prefix.len() * c + n.div_ceil(8) + std::mem::size_of::<usize>()
     }
 
     /// Actual heap bytes held.

@@ -86,10 +86,7 @@ mod tests {
     fn degenerate_graphs() {
         assert!(wah_base_bk_sorted(&WahGraph::from_bitgraph(&BitGraph::new(0))).is_empty());
         let g = BitGraph::new(3); // edgeless
-        assert_eq!(
-            wah_base_bk_sorted(&WahGraph::from_bitgraph(&g)).len(),
-            3
-        );
+        assert_eq!(wah_base_bk_sorted(&WahGraph::from_bitgraph(&g)).len(), 3);
         let g = BitGraph::complete(5);
         assert_eq!(
             wah_base_bk_sorted(&WahGraph::from_bitgraph(&g)),

@@ -55,7 +55,10 @@ fn interrupt_resume_at_every_level() {
         let (next, _) = enumerator.step(&g, &level, &mut sink);
         level = next;
     }
-    assert!(checkpoints >= 3, "workload too shallow: {checkpoints} levels");
+    assert!(
+        checkpoints >= 3,
+        "workload too shallow: {checkpoints} levels"
+    );
     // primary run, driven level by level, also matches
     let mut all = sink.cliques;
     all.sort();

@@ -18,10 +18,8 @@ pub struct TempDirGuard {
 impl TempDirGuard {
     pub fn new(tag: &str) -> Self {
         let seq = SEQ.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "gsb-test-{tag}-{}-{seq}",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("gsb-test-{tag}-{}-{seq}", std::process::id()));
         std::fs::create_dir_all(&path).expect("create test temp dir");
         TempDirGuard { path }
     }

@@ -55,9 +55,8 @@ impl CorrelationMatrix {
 
     /// Iterate `(i, j, r)` over all pairs `i < j`.
     pub fn iter_pairs(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        (0..self.n).flat_map(move |i| {
-            (i + 1..self.n).map(move |j| (i, j, self.upper[self.idx(i, j)]))
-        })
+        (0..self.n)
+            .flat_map(move |i| (i + 1..self.n).map(move |j| (i, j, self.upper[self.idx(i, j)])))
     }
 
     /// Number of stored pairs.
@@ -152,11 +151,8 @@ mod tests {
 
     #[test]
     fn matrix_symmetry_and_diagonal() {
-        let m = ExpressionMatrix::from_rows(
-            3,
-            4,
-            vec![1., 2., 3., 4., 4., 3., 2., 1., 1., 3., 2., 4.],
-        );
+        let m =
+            ExpressionMatrix::from_rows(3, 4, vec![1., 2., 3., 4., 4., 3., 2., 1., 1., 3., 2., 4.]);
         let c = pearson_matrix(&m);
         assert_eq!(c.get(0, 0), 1.0);
         assert_eq!(c.get(0, 1), c.get(1, 0));
@@ -167,11 +163,7 @@ mod tests {
 
     #[test]
     fn packed_index_covers_triangle() {
-        let m = ExpressionMatrix::from_rows(
-            5,
-            3,
-            (0..15).map(|x| (x as f64).sin()).collect(),
-        );
+        let m = ExpressionMatrix::from_rows(5, 3, (0..15).map(|x| (x as f64).sin()).collect());
         let c = pearson_matrix(&m);
         let mut seen = std::collections::BTreeSet::new();
         for (i, j, _) in c.iter_pairs() {

@@ -56,7 +56,12 @@ pub fn filter_low_variance(
 pub fn keep_top_variance(m: &ExpressionMatrix, top: usize) -> (ExpressionMatrix, Vec<usize>) {
     let vars = gene_variances(m);
     let mut order: Vec<usize> = (0..m.genes()).collect();
-    order.sort_by(|&a, &b| vars[b].partial_cmp(&vars[a]).expect("no NaN variance").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        vars[b]
+            .partial_cmp(&vars[a])
+            .expect("no NaN variance")
+            .then(a.cmp(&b))
+    });
     let mut kept: Vec<usize> = order.into_iter().take(top).collect();
     kept.sort_unstable();
     let mut out = ExpressionMatrix::zeros(kept.len(), m.conditions());
@@ -103,11 +108,7 @@ mod tests {
 
     #[test]
     fn filter_drops_flat_genes() {
-        let m = ExpressionMatrix::from_rows(
-            3,
-            3,
-            vec![5., 5., 5., 1., 2., 3., 7., 7., 7.1],
-        );
+        let m = ExpressionMatrix::from_rows(3, 3, vec![5., 5., 5., 1., 2., 3., 7., 7., 7.1]);
         let (f, kept) = filter_low_variance(&m, 0.01);
         assert_eq!(kept, vec![1]);
         assert_eq!(f.genes(), 1);
@@ -116,11 +117,7 @@ mod tests {
 
     #[test]
     fn top_variance_keeps_order_and_indices() {
-        let m = ExpressionMatrix::from_rows(
-            3,
-            2,
-            vec![0., 10., 0., 1., 0., 5.],
-        );
+        let m = ExpressionMatrix::from_rows(3, 2, vec![0., 10., 0., 1., 0., 5.]);
         let (f, kept) = keep_top_variance(&m, 2);
         assert_eq!(kept, vec![0, 2]);
         assert_eq!(f.genes(), 2);

@@ -73,7 +73,9 @@ impl ExpressionMatrix {
 
     /// Iterate over gene profiles.
     pub fn rows(&self) -> impl Iterator<Item = &[f64]> {
-        self.data.chunks_exact(self.conditions.max(1)).take(self.genes)
+        self.data
+            .chunks_exact(self.conditions.max(1))
+            .take(self.genes)
     }
 }
 

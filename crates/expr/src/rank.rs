@@ -10,7 +10,8 @@ pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
     let n = xs.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        xs[a].partial_cmp(&xs[b])
+        xs[a]
+            .partial_cmp(&xs[b])
             .unwrap_or_else(|| xs[a].is_nan().cmp(&xs[b].is_nan()))
     });
     let mut ranks = vec![0.0; n];

@@ -37,8 +37,18 @@ pub fn normal_quantile(p: f64) -> f64 {
         return f64::INFINITY;
     }
     // Beasley-Springer-Moro
-    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
-    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
     const C: [f64; 9] = [
         0.3374754822726147,
         0.9761690190917186,
@@ -153,8 +163,8 @@ mod tests {
 
     #[test]
     fn bonferroni_is_stricter() {
-        use crate::matrix::ExpressionMatrix;
         use crate::correlation::pearson_matrix;
+        use crate::matrix::ExpressionMatrix;
         let m = ExpressionMatrix::from_rows(
             20,
             12,

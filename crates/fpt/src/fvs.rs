@@ -196,10 +196,7 @@ mod tests {
 
     #[test]
     fn two_disjoint_cycles_need_two() {
-        let g = BitGraph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = BitGraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
         let s = feedback_vertex_set(&g);
         assert_eq!(s.len(), 2);
         assert!(is_feedback_vertex_set(&g, &s));

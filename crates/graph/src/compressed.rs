@@ -64,8 +64,8 @@ impl WahGraph {
         if n == 0 {
             return 1.0;
         }
-        let plain = n * gsb_bitset::words_for(n) * 8
-            + n * std::mem::size_of::<gsb_bitset::BitSet>();
+        let plain =
+            n * gsb_bitset::words_for(n) * 8 + n * std::mem::size_of::<gsb_bitset::BitSet>();
         plain as f64 / self.heap_bytes().max(1) as f64
     }
 

@@ -100,10 +100,7 @@ pub struct Module {
 impl Module {
     /// An exact planted clique of `size` vertices.
     pub fn clique(size: usize) -> Self {
-        Module {
-            size,
-            density: 1.0,
-        }
+        Module { size, density: 1.0 }
     }
 }
 
@@ -211,7 +208,9 @@ pub fn correlation_like(profile: &CorrelationProfile, seed: u64) -> BitGraph {
         let n_shared = if prev.is_empty() {
             0
         } else {
-            ((size as f64 * overlap) as usize).min(prev.len()).min(size - 1)
+            ((size as f64 * overlap) as usize)
+                .min(prev.len())
+                .min(size - 1)
         };
         let mut prev_shuffled = prev.clone();
         prev_shuffled.shuffle(&mut rng);

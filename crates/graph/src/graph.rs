@@ -138,9 +138,9 @@ impl BitGraph {
 
     /// Are all given vertices pairwise adjacent? (Clique test.)
     pub fn is_clique(&self, vs: &[usize]) -> bool {
-        vs.iter().enumerate().all(|(i, &u)| {
-            vs[i + 1..].iter().all(|&v| self.has_edge(u, v))
-        })
+        vs.iter()
+            .enumerate()
+            .all(|(i, &u)| vs[i + 1..].iter().all(|&v| self.has_edge(u, v)))
     }
 
     /// Common neighbors of a vertex set: `⋀ N(v)`, minus the set itself.

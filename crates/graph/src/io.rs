@@ -62,8 +62,7 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<BitGraph, 
         if n.is_none() {
             if let Some(comment) = line.split_once('#').map(|(_, c)| c) {
                 if let Some(rest) = comment.trim().strip_prefix("n=") {
-                    let digits: String =
-                        rest.chars().take_while(char::is_ascii_digit).collect();
+                    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
                     if let Ok(hint) = digits.parse::<usize>() {
                         n = Some(hint);
                     }
@@ -136,7 +135,10 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<BitGraph, ParseError> {
             let mut it = rest.split_whitespace();
             let kind = it.next().unwrap_or("");
             if kind != "edge" && kind != "col" {
-                return Err(malformed(li + 1, format!("unsupported problem kind {kind:?}")));
+                return Err(malformed(
+                    li + 1,
+                    format!("unsupported problem kind {kind:?}"),
+                ));
             }
             let n: usize = it
                 .next()
@@ -160,7 +162,10 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<BitGraph, ParseError> {
                 .parse()
                 .map_err(|e| malformed(li + 1, format!("bad v: {e}")))?;
             if u == 0 || v == 0 || u > g.n() || v > g.n() {
-                return Err(malformed(li + 1, "vertex out of range (DIMACS is 1-indexed)"));
+                return Err(malformed(
+                    li + 1,
+                    "vertex out of range (DIMACS is 1-indexed)",
+                ));
             }
             g.add_edge(u - 1, v - 1);
         } else {

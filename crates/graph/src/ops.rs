@@ -151,10 +151,7 @@ mod tests {
             union(&a, &b).edges().collect::<Vec<_>>(),
             vec![(0, 1), (0, 4), (1, 2), (3, 4)]
         );
-        assert_eq!(
-            difference(&a, &b).edges().collect::<Vec<_>>(),
-            vec![(0, 1)]
-        );
+        assert_eq!(difference(&a, &b).edges().collect::<Vec<_>>(), vec![(0, 1)]);
     }
 
     #[test]

@@ -130,10 +130,7 @@ mod tests {
     #[test]
     fn core_removes_pendants() {
         // star K1,3 plus a triangle hanging off vertex 0
-        let g = BitGraph::from_edges(
-            6,
-            [(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (0, 5)],
-        );
+        let g = BitGraph::from_edges(6, [(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (0, 5)]);
         let core2 = core_vertices(&g, 2);
         assert_eq!(core2.to_vec(), vec![0, 4, 5]);
         let core3 = core_vertices(&g, 3);

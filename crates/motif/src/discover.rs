@@ -74,8 +74,7 @@ pub fn find_motifs(seqs: &[Vec<u8>], params: &MotifParams) -> Vec<Motif> {
         .cliques
         .iter()
         .filter_map(|clique| {
-            let members: Vec<&KmerSite> =
-                clique.iter().map(|&v| &sites[v as usize]).collect();
+            let members: Vec<&KmerSite> = clique.iter().map(|&v| &sites[v as usize]).collect();
             let mut seq_ids: Vec<usize> = members.iter().map(|s| s.seq).collect();
             seq_ids.sort_unstable();
             seq_ids.dedup();
@@ -173,9 +172,9 @@ mod tests {
         let found = find_motifs(&seqs, &MotifParams { l: 10, d: 1, q: 5 });
         assert!(!found.is_empty(), "no motif found");
         // some reported motif must cover most planted sites
-        let hit = found.iter().any(|m| {
-            truth.iter().filter(|t| m.sites.contains(t)).count() >= 5
-        });
+        let hit = found
+            .iter()
+            .any(|m| truth.iter().filter(|t| m.sites.contains(t)).count() >= 5);
         assert!(hit, "planted sites not recovered: {found:?}");
         // and its consensus should be close to the planted motif
         let best = found
@@ -200,9 +199,6 @@ mod tests {
         let found = find_motifs(&seqs, &MotifParams { l: 10, d: 0, q: 3 });
         assert!(found.iter().any(|m| m.support() >= 3));
         let found4 = find_motifs(&seqs, &MotifParams { l: 10, d: 0, q: 4 });
-        assert!(
-            found4.iter().all(|m| m.support() >= 4),
-            "quorum violated"
-        );
+        assert!(found4.iter().all(|m| m.support() >= 4), "quorum violated");
     }
 }

@@ -44,7 +44,14 @@ mod tests {
         let sites = kmers(&seqs, 3);
         assert_eq!(sites.len(), 3); // ACG, CGT, GTA; "GG" too short
         assert_eq!(sites[0].text, b"ACG".to_vec());
-        assert_eq!(sites[2], KmerSite { seq: 0, pos: 2, text: b"GTA".to_vec() });
+        assert_eq!(
+            sites[2],
+            KmerSite {
+                seq: 0,
+                pos: 2,
+                text: b"GTA".to_vec()
+            }
+        );
     }
 
     #[test]

@@ -158,9 +158,8 @@ mod tests {
         let policy = BalancePolicy::default();
         let moves = rebalance(&mut queues, &policy);
         assert!(!moves.is_empty());
-        let spread =
-            queues.iter().map(|q| q.iter().sum::<u64>()).max().unwrap()
-                - queues.iter().map(|q| q.iter().sum::<u64>()).min().unwrap();
+        let spread = queues.iter().map(|q| q.iter().sum::<u64>()).max().unwrap()
+            - queues.iter().map(|q| q.iter().sum::<u64>()).min().unwrap();
         assert!(spread <= 10, "spread {spread} after rebalance");
         for m in &moves {
             assert_eq!((m.from, m.to), (0, 1));
@@ -206,10 +205,7 @@ mod tests {
             let item = names[m.from].remove(m.task);
             names[m.to].push(item);
         }
-        assert_eq!(
-            names.iter().map(|q| q.len()).sum::<usize>(),
-            before_counts
-        );
+        assert_eq!(names.iter().map(|q| q.len()).sum::<usize>(), before_counts);
         for (q, n) in queues.iter().zip(&names) {
             assert_eq!(q.len(), n.len());
         }

@@ -122,9 +122,7 @@ impl WorkerPool {
     pub fn respawn_dead(&mut self) -> usize {
         let mut respawned = 0;
         for i in 0..self.handles.len() {
-            let dead = self.handles[i]
-                .as_ref()
-                .is_none_or(JoinHandle::is_finished);
+            let dead = self.handles[i].as_ref().is_none_or(JoinHandle::is_finished);
             if dead {
                 if let Some(old) = self.handles[i].take() {
                     let _ = old.join();
@@ -196,9 +194,8 @@ impl WorkerPool {
             let done = done_tx.clone();
             let job: Job = Box::new(move || {
                 let start = Instant::now();
-                let out = catch_unwind(AssertUnwindSafe(|| f(i, batch))).map_err(|payload| {
-                    panic_message(payload.as_ref())
-                });
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, batch)))
+                    .map_err(|payload| panic_message(payload.as_ref()));
                 let ns = start.elapsed().as_nanos() as u64;
                 // Receiver outlives the round; send only fails if the
                 // pool is being torn down mid-round, which round_inner's

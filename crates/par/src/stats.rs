@@ -186,4 +186,70 @@ mod tests {
         assert_eq!(run.mean_worker_ns(), 20.0);
         assert_eq!(run.total_transfers(), 1);
     }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let run = RunStats::default();
+        assert!(run.per_worker_totals().is_empty());
+        assert!(run.per_worker_unit_totals().is_empty());
+        assert_eq!(run.mean_worker_ns(), 0.0);
+        assert_eq!(run.stddev_worker_ns(), 0.0);
+        assert_eq!(run.total_transfers(), 0);
+    }
+
+    #[test]
+    fn single_worker_has_no_spread() {
+        let l = LevelStats {
+            level: 3,
+            per_worker_ns: vec![1234],
+            per_worker_units: vec![99],
+            per_worker_tasks: vec![7],
+            transfers: 0,
+        };
+        assert_eq!(l.mean_ns(), 1234.0);
+        assert_eq!(l.stddev_ns(), 0.0);
+        assert_eq!(l.imbalance(), 0.0);
+        let run = RunStats {
+            levels: vec![l],
+            wall_ns: 1234,
+        };
+        assert_eq!(run.per_worker_totals(), vec![1234]);
+        assert_eq!(run.stddev_worker_ns(), 0.0);
+    }
+
+    #[test]
+    fn ragged_levels_pad_missing_workers_with_zero() {
+        // A run whose worker count changed between levels (e.g. a
+        // respawned pool after a contained panic): totals must be sized
+        // by the widest level, with absent workers contributing zero.
+        let run = RunStats {
+            levels: vec![
+                LevelStats {
+                    level: 3,
+                    per_worker_ns: vec![10, 20, 30],
+                    per_worker_units: vec![1, 2, 3],
+                    per_worker_tasks: vec![1, 1, 1],
+                    transfers: 2,
+                },
+                LevelStats {
+                    level: 4,
+                    per_worker_ns: vec![40],
+                    per_worker_units: vec![4],
+                    per_worker_tasks: vec![1],
+                    transfers: 0,
+                },
+            ],
+            wall_ns: 100,
+        };
+        assert_eq!(run.per_worker_totals(), vec![50, 20, 30]);
+        assert_eq!(run.per_worker_unit_totals(), vec![5, 2, 3]);
+        let totals = run.per_worker_totals();
+        assert!((mean(&totals) - 100.0 / 3.0).abs() < 1e-12);
+        // stddev over [50, 20, 30]: mean 33.33, population variance
+        // (16.67^2 + 13.33^2 + 3.33^2)/3
+        let m: f64 = 100.0 / 3.0;
+        let var = ((50.0 - m).powi(2) + (20.0 - m).powi(2) + (30.0 - m).powi(2)) / 3.0;
+        assert!((stddev(&totals) - var.sqrt()).abs() < 1e-9);
+        assert_eq!(run.total_transfers(), 2);
+    }
 }

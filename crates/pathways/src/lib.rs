@@ -29,6 +29,6 @@ pub mod stoich;
 pub mod subsets;
 
 pub use efm::{elementary_flux_modes, FluxMode};
-pub use stoich::{MetabolicNetwork, Reaction};
 pub use reduce::{reduce_network, ReducedNetwork};
+pub use stoich::{MetabolicNetwork, Reaction};
 pub use subsets::enzyme_subsets;

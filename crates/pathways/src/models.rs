@@ -23,8 +23,12 @@ pub fn core_carbon() -> MetabolicNetwork {
     net.reaction("ace_export", false, &[("ACE", -1.0)]);
     net.reaction("co2_export", false, &[("CO2", -1.0)]);
     net.reaction("atp_drain", false, &[("ATP", -1.0)]); // growth/maintenance
-    // Glycolysis trunk
-    net.reaction("hexokinase", false, &[("GLC", -1.0), ("ATP", -1.0), ("G6P", 1.0)]);
+                                                        // Glycolysis trunk
+    net.reaction(
+        "hexokinase",
+        false,
+        &[("GLC", -1.0), ("ATP", -1.0), ("G6P", 1.0)],
+    );
     net.reaction("pgi", true, &[("G6P", -1.0), ("F6P", 1.0)]);
     net.reaction(
         "aldolase_chain",
@@ -80,11 +84,7 @@ mod tests {
         let modes = elementary_flux_modes(&net);
         assert!(!modes.is_empty(), "core model must have pathways");
         for m in &modes {
-            assert!(
-                net.is_steady_state(&m.fluxes, 1e-6),
-                "mode {:?}",
-                m.support
-            );
+            assert!(net.is_steady_state(&m.fluxes, 1e-6), "mode {:?}", m.support);
             // every mode must move carbon: glucose uptake active
             assert!(m.fluxes[0] > 0.0, "mode without uptake: {:?}", m.support);
         }
@@ -98,8 +98,12 @@ mod tests {
         // Pinned: changing the algorithm must not silently change the
         // pathway count of the curated model.
         let modes = elementary_flux_modes(&core_carbon());
-        assert_eq!(modes.len(), 4, "supports: {:?}",
-            modes.iter().map(|m| m.support.clone()).collect::<Vec<_>>());
+        assert_eq!(
+            modes.len(),
+            4,
+            "supports: {:?}",
+            modes.iter().map(|m| m.support.clone()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -108,12 +112,7 @@ mod tests {
         let net = core_carbon();
         let (subsets, blocked) = enzyme_subsets(&net);
         assert!(blocked.is_empty());
-        let find = |name: &str| {
-            net.reactions()
-                .iter()
-                .position(|r| r.name == name)
-                .unwrap()
-        };
+        let find = |name: &str| net.reactions().iter().position(|r| r.name == name).unwrap();
         let uptake = find("glc_uptake");
         let hexo = find("hexokinase");
         let together = subsets

@@ -79,11 +79,14 @@ pub fn reduce_network(net: &MetabolicNetwork) -> ReducedNetwork {
             .map(|&i| net.reactions()[i].name.as_str())
             .collect::<Vec<_>>()
             .join("+");
-        push_raw_reaction(&mut reduced, Reaction {
-            name,
-            reversible,
-            stoich,
-        });
+        push_raw_reaction(
+            &mut reduced,
+            Reaction {
+                name,
+                reversible,
+                stoich,
+            },
+        );
         members_out.push(ratios);
     }
     ReducedNetwork {

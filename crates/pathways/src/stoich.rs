@@ -44,12 +44,7 @@ impl MetabolicNetwork {
 
     /// Add a reaction from `(metabolite name, coefficient)` pairs.
     /// Consumed metabolites carry negative coefficients.
-    pub fn reaction(
-        &mut self,
-        name: &str,
-        reversible: bool,
-        stoich: &[(&str, f64)],
-    ) -> usize {
+    pub fn reaction(&mut self, name: &str, reversible: bool, stoich: &[(&str, f64)]) -> usize {
         let stoich = stoich
             .iter()
             .map(|&(m, c)| (self.metabolite(m), c))

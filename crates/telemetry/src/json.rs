@@ -1,0 +1,509 @@
+//! A minimal JSON writer and parser.
+//!
+//! The offline build environment stubs out external crates, so the
+//! record schema is served by a small hand-rolled implementation:
+//! a push-style object/array writer and a recursive-descent parser
+//! producing a [`JsonValue`] tree. Covers exactly the JSON subset the
+//! run-report schema uses (objects, arrays, strings, numbers, bools,
+//! null); numbers parse into `f64` with a lossless `u64` fast path.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number that fits a `u64` without loss.
+    UInt(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object. Key order is not preserved; lookups are by name.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object, `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v),
+            JsonValue::Float(f) if *f >= 0.0 && f.fract() == 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is one.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: member as `u64`, defaulting to 0 when absent.
+    pub fn u64_or_zero(&self, key: &str) -> u64 {
+        self.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+    }
+
+    /// Convenience: member as a `Vec<u64>`, empty when absent.
+    pub fn u64_array(&self, key: &str) -> Vec<u64> {
+        self.get(key)
+            .and_then(JsonValue::as_array)
+            .map(|a| a.iter().filter_map(JsonValue::as_u64).collect())
+            .unwrap_or_default()
+    }
+}
+
+/// Parse error: byte offset and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one complete JSON value from `input`. Trailing non-whitespace
+/// is an error (each run-report line is exactly one object).
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError {
+            offset: pos,
+            message: "trailing characters",
+        });
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8, message: &'static str) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message,
+        })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError {
+            offset: *pos,
+            message: "unexpected end of input",
+        }),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') => parse_keyword(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &'static str,
+    value: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(JsonError {
+            offset: *pos,
+            message: "invalid literal",
+        })
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'{', "expected '{'")?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':', "expected ':'")?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or '}'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    expect(bytes, pos, b'[', "expected '['")?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "expected ',' or ']'",
+                })
+            }
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"', "expected '\"'")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => {
+                return Err(JsonError {
+                    offset: *pos,
+                    message: "unterminated string",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or(JsonError {
+                    offset: *pos,
+                    message: "unterminated escape",
+                })?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000C}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos..*pos + 4).ok_or(JsonError {
+                            offset: *pos,
+                            message: "truncated \\u escape",
+                        })?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError {
+                                offset: *pos,
+                                message: "invalid \\u escape",
+                            })?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our writer;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => {
+                        return Err(JsonError {
+                            offset: *pos - 1,
+                            message: "invalid escape",
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is &str, so boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).unwrap());
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).unwrap();
+    if !text.contains(['.', 'e', 'E']) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(JsonValue::Float)
+        .map_err(|_| JsonError {
+            offset: start,
+            message: "invalid number",
+        })
+}
+
+/// Push-style writer for one JSON object on a single line.
+///
+/// ```
+/// use gsb_telemetry::json::ObjectWriter;
+/// let mut w = ObjectWriter::new();
+/// w.str_field("type", "level").u64_field("k", 3).u64_slice_field("busy", &[1, 2]);
+/// assert_eq!(w.finish(), r#"{"type":"level","k":3,"busy":[1,2]}"#);
+/// ```
+#[derive(Debug)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjectWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectWriter {
+    /// Start a new object.
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) -> &mut Self {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+        self
+    }
+
+    /// Append a string field.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Append an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Append a float field (finite values only; non-finite become null).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Append a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Append an array-of-u64 field.
+    pub fn u64_slice_field(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.key(key);
+        self.buf.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            let _ = write!(self.buf, "{v}");
+        }
+        self.buf.push(']');
+        self
+    }
+
+    /// Close the object and return the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+fn write_escaped(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_then_parser_round_trips() {
+        let mut w = ObjectWriter::new();
+        w.str_field("type", "level")
+            .u64_field("k", 5)
+            .f64_field("ratio", 0.25)
+            .bool_field("degraded", false)
+            .u64_slice_field("busy_ns", &[10, 20, 30]);
+        let line = w.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("level"));
+        assert_eq!(v.u64_or_zero("k"), 5);
+        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.25));
+        assert_eq!(v.get("degraded").unwrap().as_bool(), Some(false));
+        assert_eq!(v.u64_array("busy_ns"), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn escapes_survive_round_trip() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let mut w = ObjectWriter::new();
+        w.str_field("s", nasty);
+        let line = w.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(parse(r#"{"k":3"#).is_err());
+        assert!(parse(r#"{"k":"#).is_err());
+        assert!(parse(r#"{"k"#).is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse(r#"{"k":3} extra"#).is_err());
+    }
+
+    #[test]
+    fn numbers_parse_uint_fast_path_and_float() {
+        assert_eq!(
+            parse("18446744073709551615").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parse("-2").unwrap().as_f64(), Some(-2.0));
+        assert_eq!(parse("2e3").unwrap().as_f64(), Some(2000.0));
+    }
+
+    #[test]
+    fn nested_arrays_and_objects() {
+        let v = parse(r#"{"a":[{"b":1},{"b":2}],"c":null}"#).unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[1].u64_or_zero("b"), 2);
+        assert_eq!(v.get("c"), Some(&JsonValue::Null));
+    }
+}

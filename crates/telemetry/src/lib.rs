@@ -1,0 +1,41 @@
+//! # gsb-telemetry — the run-observability spine
+//!
+//! The paper's headline design choice — enumerating maximal cliques in
+//! *non-decreasing size order* — exists so that "a run can be bounded
+//! and its progress tracked" (§2). This crate is the tracking half: a
+//! zero-dependency event layer every other crate reports into, exported
+//! three ways (machine-readable JSON lines, a live stderr progress
+//! line, and the `gsb report` renderer).
+//!
+//! * [`recorder`] — the [`Recorder`](recorder::Recorder) trait:
+//!   counters, gauges, and histograms backed by atomics (lock-free on
+//!   the hot path once a handle is held) plus span-style timed scopes.
+//!   [`NoopRecorder`](recorder::NoopRecorder) compiles away under
+//!   monomorphization when telemetry is disabled.
+//! * [`json`] — a minimal hand-rolled JSON writer/parser (the offline
+//!   build environment stubs external crates, and the record schema is
+//!   flat enough not to need one).
+//! * [`record`] — [`LevelRecord`](record::LevelRecord): one consistent
+//!   snapshot per level barrier, the unit of the JSON-lines run report,
+//!   and [`RunSummary`](record::RunSummary), the final record.
+//! * [`runlog`] — [`RunTelemetry`](runlog::RunTelemetry): the shared
+//!   handle a run threads through the pipeline; owns the JSONL writer,
+//!   the cumulative counters, and the live progress line with its
+//!   level-growth ETA.
+//! * [`report`] — parse a run report back (tolerating a truncated last
+//!   line — the file of a crashed run) and render the Fig. 8-style
+//!   per-level imbalance table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod record;
+pub mod recorder;
+pub mod report;
+pub mod runlog;
+
+pub use record::{LevelRecord, RecordError, RunSummary};
+pub use recorder::{AtomicRecorder, Counter, Gauge, Histogram, NoopRecorder, Recorder, TimedScope};
+pub use report::{parse_report, render_report, ParsedReport};
+pub use runlog::{RunTelemetry, TelemetryConfig};

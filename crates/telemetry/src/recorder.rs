@@ -1,0 +1,416 @@
+//! The event layer: counters, gauges, histograms, timed scopes.
+//!
+//! Two implementations of one trait:
+//!
+//! * [`AtomicRecorder`] — named instruments backed by `AtomicU64`.
+//!   Looking an instrument up by name takes a short read lock; *using*
+//!   a held handle ([`Counter`], [`Gauge`], [`Histogram`]) is a single
+//!   relaxed atomic op, so hot loops resolve their handles once and
+//!   stay lock-free.
+//! * [`NoopRecorder`] — every method is an empty inlinable body. Code
+//!   instrumented generically over `R: Recorder` compiles the
+//!   telemetry away entirely when handed the no-op.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Sink for telemetry events. Implementations must be cheap and
+/// thread-safe: enumeration workers report from the level barrier
+/// without coordination.
+pub trait Recorder: Send + Sync {
+    /// Add `delta` to the named monotonic counter.
+    fn add(&self, key: &'static str, delta: u64);
+
+    /// Set the named gauge to `value` (last write wins).
+    fn set(&self, key: &'static str, value: u64);
+
+    /// Record one sample into the named histogram.
+    fn observe(&self, key: &'static str, value: u64);
+
+    /// Whether events are being retained. Callers may skip building
+    /// expensive event payloads when this is `false`.
+    fn enabled(&self) -> bool;
+
+    /// Span-style timing: the returned guard records elapsed
+    /// nanoseconds into the `key` histogram when dropped.
+    fn span(&self, key: &'static str) -> TimedScope<'_>
+    where
+        Self: Sized,
+    {
+        TimedScope {
+            recorder: if self.enabled() { Some(self) } else { None },
+            key,
+            start: Instant::now(),
+        }
+    }
+}
+
+/// Guard that reports its lifetime into a histogram on drop.
+/// Created by [`Recorder::span`].
+pub struct TimedScope<'a> {
+    recorder: Option<&'a dyn Recorder>,
+    key: &'static str,
+    start: Instant,
+}
+
+impl TimedScope<'_> {
+    /// Nanoseconds since the scope opened (without closing it).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+}
+
+impl Drop for TimedScope<'_> {
+    fn drop(&mut self) {
+        if let Some(r) = self.recorder {
+            r.observe(self.key, self.start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Discards everything. `enabled()` is `false`, so generic callers can
+/// skip payload construction; the methods themselves are empty and
+/// vanish under inlining.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline(always)]
+    fn add(&self, _key: &'static str, _delta: u64) {}
+    #[inline(always)]
+    fn set(&self, _key: &'static str, _value: u64) {}
+    #[inline(always)]
+    fn observe(&self, _key: &'static str, _value: u64) {}
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A handle to one monotonic counter. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A handle to one gauge (last write wins). Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two buckets: bucket `i` counts samples whose
+/// value needs `i` significant bits (bucket 0 holds the value 0).
+const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A lock-free log₂-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl HistogramCore {
+    fn observe(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()) as usize; // 0 for value 0
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// A handle to one histogram. Cloning shares the cells.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.0.observe(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile from the log₂ buckets: returns the upper
+    /// bound of the bucket containing the `q`-quantile sample
+    /// (`0.0 ..= 1.0`). Coarse by construction — within a factor of two.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return if i == 0 {
+                    0
+                } else {
+                    (1u64 << (i - 1)).saturating_mul(2) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
+}
+
+#[derive(Default)]
+struct Instruments {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A registry of named atomic instruments.
+///
+/// Name-based [`Recorder`] calls take a read lock to find the cell;
+/// for hot paths, resolve a [`Counter`]/[`Gauge`]/[`Histogram`] handle
+/// once via [`counter`](AtomicRecorder::counter) & friends and update
+/// it lock-free.
+#[derive(Default)]
+pub struct AtomicRecorder {
+    instruments: RwLock<Instruments>,
+}
+
+impl std::fmt::Debug for AtomicRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot_counters();
+        f.debug_struct("AtomicRecorder")
+            .field("counters", &snap)
+            .finish()
+    }
+}
+
+impl AtomicRecorder {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Handle to the named counter, creating it on first use.
+    pub fn counter(&self, key: &'static str) -> Counter {
+        if let Some(c) = self.instruments.read().unwrap().counters.get(key) {
+            return c.clone();
+        }
+        let mut w = self.instruments.write().unwrap();
+        w.counters.entry(key).or_default().clone()
+    }
+
+    /// Handle to the named gauge, creating it on first use.
+    pub fn gauge(&self, key: &'static str) -> Gauge {
+        if let Some(g) = self.instruments.read().unwrap().gauges.get(key) {
+            return g.clone();
+        }
+        let mut w = self.instruments.write().unwrap();
+        w.gauges.entry(key).or_default().clone()
+    }
+
+    /// Handle to the named histogram, creating it on first use.
+    pub fn histogram(&self, key: &'static str) -> Histogram {
+        if let Some(h) = self.instruments.read().unwrap().histograms.get(key) {
+            return h.clone();
+        }
+        let mut w = self.instruments.write().unwrap();
+        w.histograms.entry(key).or_default().clone()
+    }
+
+    /// Sorted snapshot of every counter's current value.
+    pub fn snapshot_counters(&self) -> BTreeMap<&'static str, u64> {
+        self.instruments
+            .read()
+            .unwrap()
+            .counters
+            .iter()
+            .map(|(&k, c)| (k, c.get()))
+            .collect()
+    }
+
+    /// Sorted snapshot of every gauge's current value.
+    pub fn snapshot_gauges(&self) -> BTreeMap<&'static str, u64> {
+        self.instruments
+            .read()
+            .unwrap()
+            .gauges
+            .iter()
+            .map(|(&k, g)| (k, g.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram as `(count, sum, max)`.
+    pub fn snapshot_histograms(&self) -> BTreeMap<&'static str, (u64, u64, u64)> {
+        self.instruments
+            .read()
+            .unwrap()
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k, (h.count(), h.sum(), h.max())))
+            .collect()
+    }
+}
+
+impl Recorder for AtomicRecorder {
+    fn add(&self, key: &'static str, delta: u64) {
+        self.counter(key).add(delta);
+    }
+
+    fn set(&self, key: &'static str, value: u64) {
+        self.gauge(key).set(value);
+    }
+
+    fn observe(&self, key: &'static str, value: u64) {
+        self.histogram(key).observe(value);
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = AtomicRecorder::new();
+        r.add("cliques", 3);
+        r.add("cliques", 4);
+        r.add("levels", 1);
+        assert_eq!(r.counter("cliques").get(), 7);
+        let snap = r.snapshot_counters();
+        assert_eq!(snap.get("cliques"), Some(&7));
+        assert_eq!(snap.get("levels"), Some(&1));
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let r = AtomicRecorder::new();
+        r.set("projected_bytes", 100);
+        r.set("projected_bytes", 42);
+        assert_eq!(r.gauge("projected_bytes").get(), 42);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        // the 0-quantile bucket bound is exact for 0
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+        // the max lives in the [512, 1023] bucket
+        assert!(h.quantile_upper_bound(1.0) >= 1000);
+        assert_eq!(Histogram::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn handles_are_lock_free_shared_cells() {
+        let r = AtomicRecorder::new();
+        let c = r.counter("shared");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(r.counter("shared").get(), 4000);
+    }
+
+    #[test]
+    fn noop_disables_and_discards() {
+        let r = NoopRecorder;
+        assert!(!r.enabled());
+        r.add("x", 1);
+        r.set("x", 1);
+        r.observe("x", 1);
+        // span on a noop records nothing and must not panic
+        drop(r.span("x"));
+    }
+
+    #[test]
+    fn spans_record_elapsed_into_histogram() {
+        let r = AtomicRecorder::new();
+        {
+            let s = r.span("barrier_ns");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(s.elapsed_ns() > 0);
+        }
+        let h = r.histogram("barrier_ns");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "2ms sleep recorded {} ns", h.sum());
+    }
+}

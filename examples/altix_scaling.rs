@@ -42,10 +42,17 @@ fn main() {
             strategy: Strategy::Lpt,
         },
     );
-    println!("\n{:>5}  {:>12}  {:>8}  {:>10}", "P", "time", "speedup", "efficiency");
+    println!(
+        "\n{:>5}  {:>12}  {:>8}  {:>10}",
+        "P", "time", "speedup", "efficiency"
+    );
     for &(p, ns, s) in vs.sweep(&[1, 2, 4, 8, 16, 32, 64, 128, 256]).iter() {
         let eff = vs.run(p).efficiency();
-        println!("{p:>5}  {:>9.3} ms  {s:>8.1}  {:>9.1}%", ns as f64 / 1e6, 100.0 * eff);
+        println!(
+            "{p:>5}  {:>9.3} ms  {s:>8.1}  {:>9.1}%",
+            ns as f64 / 1e6,
+            100.0 * eff
+        );
     }
 
     // 3. Contrast with a balancing-free static partition.

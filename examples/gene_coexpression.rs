@@ -14,9 +14,9 @@
 use gsb::core::paraclique::{paraclique, subgraph_density};
 use gsb::core::{CollectSink, EnumConfig, ParallelConfig, ParallelEnumerator};
 use gsb::expr::normalize::zscore_rows;
+use gsb::expr::synth::SynthModule;
 use gsb::expr::threshold::graph_at_density;
 use gsb::expr::{spearman_matrix, SynthConfig};
-use gsb::expr::synth::SynthModule;
 use std::sync::Arc;
 
 fn main() {
@@ -26,9 +26,18 @@ fn main() {
         genes: 400,
         conditions: 60,
         modules: vec![
-            SynthModule { size: 14, strength: 0.95 },
-            SynthModule { size: 10, strength: 0.92 },
-            SynthModule { size: 7, strength: 0.90 },
+            SynthModule {
+                size: 14,
+                strength: 0.95,
+            },
+            SynthModule {
+                size: 10,
+                strength: 0.92,
+            },
+            SynthModule {
+                size: 7,
+                strength: 0.90,
+            },
         ],
         noise: 1.0,
         seed: 2005,
@@ -59,7 +68,10 @@ fn main() {
     let mut sink = CollectSink::default();
     let enumerator = ParallelEnumerator::new(ParallelConfig {
         threads: 4,
-        enum_config: EnumConfig { min_k: 5, ..Default::default() },
+        enum_config: EnumConfig {
+            min_k: 5,
+            ..Default::default()
+        },
         ..Default::default()
     });
     let stats = enumerator.enumerate(&garc, &mut sink);
@@ -83,8 +95,7 @@ fn main() {
             subgraph_density(&garc, &pc)
         );
         // How well did we recover the strongest planted module?
-        let planted: std::collections::BTreeSet<u32> =
-            truth[0].iter().map(|&g| g as u32).collect();
+        let planted: std::collections::BTreeSet<u32> = truth[0].iter().map(|&g| g as u32).collect();
         let found: std::collections::BTreeSet<u32> = pc.iter().copied().collect();
         let hit = planted.intersection(&found).count();
         println!(

@@ -22,7 +22,10 @@ fn main() {
 
     // Route 1: direct branch & bound with a coloring bound.
     let direct = maximum_clique(&g);
-    println!("direct B&B maximum clique (size {}): {direct:?}", direct.len());
+    println!(
+        "direct B&B maximum clique (size {}): {direct:?}",
+        direct.len()
+    );
 
     // Route 2: the paper's FPT route — "clique is not FPT unless the W
     // hierarchy collapses. Thus we focus instead on clique's
@@ -46,5 +49,8 @@ fn main() {
     let omega = direct.len();
     assert!(clique_decision_via_vc(&g, omega));
     assert!(!clique_decision_via_vc(&g, omega + 1));
-    println!("decision queries agree: clique({omega}) yes, clique({}) no", omega + 1);
+    println!(
+        "decision queries agree: clique({omega}) yes, clique({}) no",
+        omega + 1
+    );
 }

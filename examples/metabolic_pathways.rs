@@ -82,7 +82,10 @@ fn main() {
         red.network.n_reactions()
     );
     let core_modes = elementary_flux_modes(&red.network);
-    println!("{} extreme pathways through central carbon:", core_modes.len());
+    println!(
+        "{} extreme pathways through central carbon:",
+        core_modes.len()
+    );
     for m in &core_modes {
         let full = red.expand_mode(&m.fluxes);
         assert!(core.is_steady_state(&full, 1e-6));

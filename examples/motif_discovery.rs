@@ -53,7 +53,11 @@ fn main() {
     );
 
     let motifs = find_motifs(&promoters, &params);
-    println!("{} candidate motifs above quorum {}", motifs.len(), params.q);
+    println!(
+        "{} candidate motifs above quorum {}",
+        motifs.len(),
+        params.q
+    );
     let Some(best) = motifs.first() else {
         println!("nothing found — raise d or lower the quorum");
         return;
@@ -64,7 +68,11 @@ fn main() {
         best.support()
     );
     for &(seq, pos) in &best.sites {
-        let mark = if truth.contains(&(seq, pos)) { "planted" } else { "extra" };
+        let mark = if truth.contains(&(seq, pos)) {
+            "planted"
+        } else {
+            "extra"
+        };
         println!("  promoter {seq} @ {pos} ({mark})");
     }
     let recovered = truth.iter().filter(|t| best.sites.contains(t)).count();

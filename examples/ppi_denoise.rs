@@ -47,7 +47,11 @@ fn main() {
     // Ground truth: 120 proteins, two complexes (cliques) of sizes 9
     // and 7 over a sparse bait-prey background.
     let truth = planted(120, 0.015, &[Module::clique(9), Module::clique(7)], 1);
-    println!("ground truth: {} proteins, {} interactions", truth.n(), truth.m());
+    println!(
+        "ground truth: {} proteins, {} interactions",
+        truth.n(),
+        truth.m()
+    );
 
     // Five replicate screens, each with 20% false negatives and ~60
     // false positives (two-hybrid-like noise).
@@ -72,8 +76,11 @@ fn main() {
     // cliques of size >= 5.
     let consensus = stack.at_least(3);
     let mut sink = CollectSink::default();
-    CliqueEnumerator::new(EnumConfig { min_k: 5, ..Default::default() })
-        .enumerate(&consensus, &mut sink);
+    CliqueEnumerator::new(EnumConfig {
+        min_k: 5,
+        ..Default::default()
+    })
+    .enumerate(&consensus, &mut sink);
     println!("putative complexes (maximal cliques, size >= 5) in the consensus:");
     for c in &sink.cliques {
         println!("  size {:2}: {:?}", c.len(), c);

@@ -46,19 +46,19 @@ pub use gsb_core as core;
 pub use gsb_expr as expr;
 pub use gsb_fpt as fpt;
 pub use gsb_graph as graph;
-pub use gsb_par as par;
 pub use gsb_motif as motif;
+pub use gsb_par as par;
 pub use gsb_pathways as pathways;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use gsb_align::{align_pathways, global_align, progressive_msa, Scoring};
     pub use gsb_bitset::BitSet;
-    pub use gsb_motif::{find_motifs, MotifParams};
     pub use gsb_core::{
         CliqueEnumerator, CliquePipeline, CliqueSink, CollectSink, CountSink, EnumConfig,
         HistogramSink, ParallelConfig, ParallelEnumerator,
     };
     pub use gsb_expr::{pearson_matrix, spearman_matrix, ExpressionMatrix, SynthConfig};
     pub use gsb_graph::BitGraph;
+    pub use gsb_motif::{find_motifs, MotifParams};
 }

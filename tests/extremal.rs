@@ -83,7 +83,11 @@ fn moon_moser_memory_grows_to_the_final_level() {
         ..Default::default()
     })
     .enumerate(&g, &mut sink);
-    let bytes: Vec<usize> = stats.levels.iter().map(|l| l.memory.formula_bytes).collect();
+    let bytes: Vec<usize> = stats
+        .levels
+        .iter()
+        .map(|l| l.memory.formula_bytes)
+        .collect();
     assert!(
         bytes.windows(2).all(|w| w[1] > w[0]),
         "profile not monotone: {bytes:?}"

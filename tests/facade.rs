@@ -20,13 +20,21 @@ fn prelude_covers_the_main_pipeline() {
     let al = global_align(b"ACGT", b"ACGT", &Scoring::default());
     assert_eq!(al.identity(), 1.0);
 
-    // motif discovery
-    let seqs = vec![b"AAGATTACAA".to_vec(), b"TTGATTACTT".to_vec()];
+    // motif discovery: with d = 0 a motif is an exact 7-mer occurring
+    // in >= q sequences, so both sequences must contain GATTACA
+    // verbatim (the old second sequence TTGATTACTT has only the
+    // windows TTGATTA/TGATTAC/GATTACT/ATTACTT — none is GATTACA).
+    let seqs = vec![b"AAGATTACAA".to_vec(), b"TTGATTACATT".to_vec()];
     let found = find_motifs(&seqs, &MotifParams { l: 7, d: 0, q: 2 });
     assert!(found.iter().any(|m| m.consensus == b"GATTACA".to_vec()));
 
     // pathway alignment
-    let pw = align_pathways(&["a", "b"], &["a", "b"], |x, y| if x == y { 1.0 } else { -1.0 }, -1.0);
+    let pw = align_pathways(
+        &["a", "b"],
+        &["a", "b"],
+        |x, y| if x == y { 1.0 } else { -1.0 },
+        -1.0,
+    );
     assert_eq!(pw.matches().len(), 2);
 
     // bit-level substrate
@@ -36,7 +44,10 @@ fn prelude_covers_the_main_pipeline() {
 
 #[test]
 fn subsystem_modules_are_reachable() {
-    assert_eq!(gsb::fpt::minimum_vertex_cover(&gsb::graph::BitGraph::new(3)).len(), 0);
+    assert_eq!(
+        gsb::fpt::minimum_vertex_cover(&gsb::graph::BitGraph::new(3)).len(),
+        0
+    );
     let net = gsb::pathways::models::core_carbon();
     assert_eq!(net.n_reactions(), 12);
     let vs = gsb::par::VirtualScheduler::new(vec![vec![100; 4]], gsb::par::SimConfig::default());

@@ -69,11 +69,7 @@ fn all_strategies_match_sequential() {
         BalanceStrategy::Static,
         BalanceStrategy::Repartition,
     ] {
-        assert_eq!(
-            parallel(&garc, 4, strategy, config),
-            expect,
-            "{strategy:?}"
-        );
+        assert_eq!(parallel(&garc, 4, strategy, config), expect, "{strategy:?}");
     }
 }
 
