@@ -1,11 +1,22 @@
 //! Ablation A4: plain vs. WAH-compressed bitmaps (the paper's §4
 //! future-work direction, built). AND + any-bit tests at genome scale
 //! (n = 12,422) across sparsities, plus the space ratio printed once.
+//!
+//! Extended with the levelwise-backend ablation: the same generic
+//! enumeration kernel run over dense, WAH, and hybrid neighbor sets on
+//! a planted-module workload, with one measured pass per backend
+//! exported to `BENCH_backends.json` so the perf trajectory of the
+//! compressed enumerator is recorded run over run.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gsb_bitset::{BitSet, WahBitSet};
+use gsb_bitset::{BitSet, HybridSet, NeighborSet, WahBitSet};
+use gsb_core::sink::CountSink;
+use gsb_core::{CliqueEnumerator, EnumConfig, EnumStats, InMemoryLevel};
+use gsb_graph::generators::{planted, Module};
+use gsb_graph::BitGraph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
 
 const N: usize = 12_422;
 
@@ -62,5 +73,77 @@ fn bench_wah(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wah);
+fn backend_workload() -> BitGraph {
+    planted(
+        400,
+        0.008,
+        &[Module::clique(13), Module::clique(11), Module::clique(9)],
+        21,
+    )
+}
+
+fn run_levelwise<S: NeighborSet>(g: &BitGraph) -> (usize, EnumStats) {
+    let mut sink = CountSink::default();
+    let stats = CliqueEnumerator::<S, InMemoryLevel<S>>::with_backend(EnumConfig::default(), ())
+        .enumerate(g, &mut sink);
+    (sink.count, stats)
+}
+
+/// One JSON record per backend from a single measured pass: wall time,
+/// clique count (must agree across backends), total AND ops, and the
+/// peak per-level heap footprint — the number WAH is supposed to move.
+fn export_backend_json(g: &BitGraph) {
+    let mut records = String::new();
+    for (name, (count, stats)) in [
+        ("dense", run_levelwise::<BitSet>(g)),
+        ("wah", run_levelwise::<WahBitSet>(g)),
+        ("hybrid", run_levelwise::<HybridSet>(g)),
+    ] {
+        let peak_heap = stats
+            .levels
+            .iter()
+            .map(|l| l.memory.heap_bytes)
+            .max()
+            .unwrap_or(0);
+        let and_ops: u64 = stats.levels.iter().map(|l| l.and_ops).sum();
+        if !records.is_empty() {
+            records.push(',');
+        }
+        let _ = write!(
+            records,
+            "\n    {{\"backend\":\"{name}\",\"wall_ns\":{},\"maximal\":{count},\
+             \"and_ops\":{and_ops},\"peak_heap_bytes\":{peak_heap}}}",
+            stats.wall_ns
+        );
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"levelwise_backends\",\n  \"n\": {},\n  \"m\": {},\n  \
+         \"results\": [{records}\n  ]\n}}\n",
+        g.n(),
+        g.m()
+    );
+    match std::fs::write("BENCH_backends.json", &json) {
+        Ok(()) => println!("wrote BENCH_backends.json"),
+        Err(e) => eprintln!("could not write BENCH_backends.json: {e}"),
+    }
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let g = backend_workload();
+    export_backend_json(&g);
+    let mut group = c.benchmark_group("levelwise_backends");
+    group.sample_size(10);
+    group.bench_function("dense", |b| {
+        b.iter(|| black_box(run_levelwise::<BitSet>(&g).0));
+    });
+    group.bench_function("wah", |b| {
+        b.iter(|| black_box(run_levelwise::<WahBitSet>(&g).0));
+    });
+    group.bench_function("hybrid", |b| {
+        b.iter(|| black_box(run_levelwise::<HybridSet>(&g).0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wah, bench_backends);
 criterion_main!(benches);

@@ -29,10 +29,12 @@
 
 mod bitset;
 mod counter;
+mod neighbor;
 mod wah;
 
 pub use bitset::{BitSet, Ones};
 pub use counter::SliceCounter;
+pub use neighbor::{HybridSet, NeighborSet, KIND_DENSE, KIND_HYBRID, KIND_WAH};
 pub use wah::WahBitSet;
 
 /// Number of bits per storage word.

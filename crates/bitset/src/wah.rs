@@ -274,46 +274,310 @@ impl WahBitSet {
         }
     }
 
+    /// Compressed AND written into `out`, reusing `out`'s code
+    /// allocation. The hot-loop form of [`and`](Self::and): the
+    /// enumeration kernel calls this once per candidate expansion, so
+    /// the output buffer must not reallocate on every call.
+    pub fn and_into(a: &Self, b: &Self, out: &mut Self) {
+        let mut code = std::mem::take(&mut out.code);
+        code.clear();
+        let mut builder = Builder {
+            nbits: a.nbits,
+            code,
+        };
+        merge_into(a, b, &mut builder, |x, y| x & y, |fa, fb| fa && fb);
+        out.nbits = a.nbits;
+        out.code = builder.code;
+    }
+
+    /// Membership test, decoded from the compressed form.
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.nbits {
+            return false;
+        }
+        let (target, off) = (i / GROUP_BITS, i % GROUP_BITS);
+        let mut pos = 0usize;
+        for (count, g) in self.runs() {
+            match g {
+                Group::Fill(v) => {
+                    if target < pos + count as usize {
+                        return v;
+                    }
+                    pos += count as usize;
+                }
+                Group::Literal(w) => {
+                    if target == pos {
+                        return w & (1u64 << off) != 0;
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Set bit `i` in place by group surgery: a literal group flips one
+    /// bit; a fill run splits into fill/literal/fill. The result may be
+    /// non-canonical (e.g. a literal equal to a fill word) — every
+    /// operation tolerates that, but structural equality (`==`) between
+    /// logically equal sets built along different paths is not
+    /// guaranteed.
+    pub fn set_bit(&mut self, i: usize) {
+        self.write_bit(i, true);
+    }
+
+    /// Clear bit `i` in place (see [`set_bit`](Self::set_bit) for the
+    /// encoding caveats).
+    pub fn clear_bit(&mut self, i: usize) {
+        self.write_bit(i, false);
+    }
+
+    fn write_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        let (target, off) = (i / GROUP_BITS, i % GROUP_BITS);
+        let mut pos = 0usize;
+        for idx in 0..self.code.len() {
+            let w = self.code[idx];
+            if w & FILL_FLAG != 0 {
+                let count = (w & MAX_FILL) as usize;
+                let fill = w & FILL_VALUE != 0;
+                if target < pos + count {
+                    if fill == value {
+                        return; // already the requested value
+                    }
+                    let pre = (target - pos) as u64;
+                    let post = count as u64 - pre - 1;
+                    let fill_word = FILL_FLAG | if fill { FILL_VALUE } else { 0 };
+                    let base = if fill { LITERAL_MASK } else { 0 };
+                    let lit = (base ^ (1u64 << off)) & LITERAL_MASK;
+                    let mut repl = Vec::with_capacity(3);
+                    if pre > 0 {
+                        repl.push(fill_word | pre);
+                    }
+                    repl.push(lit);
+                    if post > 0 {
+                        repl.push(fill_word | post);
+                    }
+                    self.code.splice(idx..idx + 1, repl);
+                    return;
+                }
+                pos += count;
+            } else {
+                if target == pos {
+                    if value {
+                        self.code[idx] |= 1u64 << off;
+                    } else {
+                        self.code[idx] &= !(1u64 << off);
+                    }
+                    return;
+                }
+                pos += 1;
+            }
+        }
+        unreachable!("group {target} not covered by encoding");
+    }
+
+    /// Decompress into an existing plain bitset (reusing its words).
+    pub fn expand_into(&self, out: &mut BitSet) {
+        if out.len() != self.nbits {
+            *out = BitSet::new(self.nbits);
+        } else {
+            out.clear();
+        }
+        let last_mask = partial_last_mask(self.nbits);
+        let ngroups = self.nbits.div_ceil(GROUP_BITS);
+        let mut pos = 0usize;
+        for (count, g) in self.runs() {
+            match g {
+                Group::Fill(false) => pos += count as usize,
+                Group::Fill(true) => {
+                    for gi in pos..pos + count as usize {
+                        let v = if gi + 1 == ngroups {
+                            LITERAL_MASK & last_mask
+                        } else {
+                            LITERAL_MASK
+                        };
+                        or_group(out.words_mut(), gi, v);
+                    }
+                    pos += count as usize;
+                }
+                Group::Literal(w) => {
+                    let v = if pos + 1 == ngroups { w & last_mask } else { w };
+                    or_group(out.words_mut(), pos, v);
+                    pos += 1;
+                }
+            }
+        }
+    }
+
+    /// `out &= self`, operating on the compressed runs against a plain
+    /// bitset of the same universe.
+    pub fn and_assign_dense(&self, out: &mut BitSet) {
+        assert_eq!(self.nbits, out.len(), "universe mismatch");
+        let mut pos = 0usize;
+        for (count, g) in self.runs() {
+            match g {
+                Group::Fill(true) => pos += count as usize,
+                Group::Fill(false) => {
+                    for gi in pos..pos + count as usize {
+                        and_group(out.words_mut(), gi, 0);
+                    }
+                    pos += count as usize;
+                }
+                Group::Literal(w) => {
+                    and_group(out.words_mut(), pos, w);
+                    pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Does `self & other` have any set bit, for a plain `other`?
+    /// Walks the compressed runs without materializing either side.
+    pub fn intersects_dense(&self, other: &BitSet) -> bool {
+        assert_eq!(self.nbits, other.len(), "universe mismatch");
+        let mut pos = 0usize;
+        for (count, g) in self.runs() {
+            match g {
+                Group::Fill(false) => pos += count as usize,
+                Group::Fill(true) => {
+                    for gi in pos..pos + count as usize {
+                        if extract_group(other, gi) != 0 {
+                            return true;
+                        }
+                    }
+                    pos += count as usize;
+                }
+                Group::Literal(w) => {
+                    if extract_group(other, pos) & w != 0 {
+                        return true;
+                    }
+                    pos += 1;
+                }
+            }
+        }
+        false
+    }
+
+    /// Append the code words as little-endian bytes (the record codecs'
+    /// on-disk form; framing and checksums live at the record layer).
+    pub fn serialize_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.code.len() * 8);
+        for w in &self.code {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Rebuild from little-endian code bytes for a `nbits` universe.
+    /// Returns `None` when the bytes are not a whole number of words or
+    /// the decoded groups do not cover the universe exactly.
+    pub fn deserialize(nbits: usize, bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        let code: Vec<u64> = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        let mut groups = 0u64;
+        for w in &code {
+            groups += if w & FILL_FLAG != 0 { w & MAX_FILL } else { 1 };
+        }
+        if groups != nbits.div_ceil(GROUP_BITS) as u64 {
+            return None;
+        }
+        Some(WahBitSet { nbits, code })
+    }
+
     fn merge(
         &self,
         other: &Self,
         lit_op: impl Fn(u64, u64) -> u64,
         fill_op: impl Fn(bool, bool) -> bool,
     ) -> Self {
-        assert_eq!(self.nbits, other.nbits, "universe mismatch");
         let mut out = Builder::new(self.nbits);
-        let mut xa = RunCursor::new(&self.code);
-        let mut xb = RunCursor::new(&other.code);
-        let (mut ra, mut rb) = (xa.next(), xb.next());
-        loop {
-            let ((ca, ga), (cb, gb)) = match (ra, rb) {
-                (Some(a), Some(b)) => (a, b),
-                (None, None) => break,
-                _ => unreachable!("equal universes decode to equal group counts"),
-            };
-            let step = ca.min(cb);
-            match (ga, gb) {
-                (Group::Fill(fa), Group::Fill(fb)) => out.push_fill(fill_op(fa, fb), step),
-                (Group::Fill(f), Group::Literal(w)) => {
-                    let fw = if f { LITERAL_MASK } else { 0 };
-                    out.push_group(lit_op(fw, w) & LITERAL_MASK, step);
-                }
-                (Group::Literal(w), Group::Fill(f)) => {
-                    let fw = if f { LITERAL_MASK } else { 0 };
-                    out.push_group(lit_op(w, fw) & LITERAL_MASK, step);
-                }
-                (Group::Literal(a), Group::Literal(b)) => {
-                    out.push_group(lit_op(a, b) & LITERAL_MASK, step)
-                }
-            }
-            ra = advance(ra, step, &mut xa);
-            rb = advance(rb, step, &mut xb);
-        }
+        merge_into(self, other, &mut out, lit_op, fill_op);
         out.finish()
     }
 
     fn runs(&self) -> RunCursor<'_> {
         RunCursor::new(&self.code)
+    }
+}
+
+/// The shared pair-walk behind every binary operation: decode both
+/// operands run-by-run, apply the op over the overlap, append to `out`.
+fn merge_into(
+    a: &WahBitSet,
+    b: &WahBitSet,
+    out: &mut Builder,
+    lit_op: impl Fn(u64, u64) -> u64,
+    fill_op: impl Fn(bool, bool) -> bool,
+) {
+    assert_eq!(a.nbits, b.nbits, "universe mismatch");
+    let mut xa = RunCursor::new(&a.code);
+    let mut xb = RunCursor::new(&b.code);
+    let (mut ra, mut rb) = (xa.next(), xb.next());
+    loop {
+        let ((ca, ga), (cb, gb)) = match (ra, rb) {
+            (Some(a), Some(b)) => (a, b),
+            (None, None) => break,
+            _ => unreachable!("equal universes decode to equal group counts"),
+        };
+        let step = ca.min(cb);
+        match (ga, gb) {
+            (Group::Fill(fa), Group::Fill(fb)) => out.push_fill(fill_op(fa, fb), step),
+            (Group::Fill(f), Group::Literal(w)) => {
+                let fw = if f { LITERAL_MASK } else { 0 };
+                out.push_group(lit_op(fw, w) & LITERAL_MASK, step);
+            }
+            (Group::Literal(w), Group::Fill(f)) => {
+                let fw = if f { LITERAL_MASK } else { 0 };
+                out.push_group(lit_op(w, fw) & LITERAL_MASK, step);
+            }
+            (Group::Literal(a), Group::Literal(b)) => {
+                out.push_group(lit_op(a, b) & LITERAL_MASK, step)
+            }
+        }
+        ra = advance(ra, step, &mut xa);
+        rb = advance(rb, step, &mut xb);
+    }
+}
+
+/// Mask for the (possibly partial) final 63-bit group of a universe.
+fn partial_last_mask(nbits: usize) -> u64 {
+    if nbits.is_multiple_of(GROUP_BITS) {
+        LITERAL_MASK
+    } else {
+        (1u64 << (nbits % GROUP_BITS)) - 1
+    }
+}
+
+/// OR 63-bit group `g` into a plain word array (two-word shift; the
+/// caller guarantees `value` has no bits beyond the universe).
+fn or_group(words: &mut [u64], g: usize, value: u64) {
+    let start = g * GROUP_BITS;
+    let (wi, off) = (start / 64, start % 64);
+    if wi < words.len() {
+        words[wi] |= value << off;
+    }
+    if off != 0 && wi + 1 < words.len() {
+        words[wi + 1] |= value >> (64 - off);
+    }
+}
+
+/// AND 63-bit group `g` of a plain word array with `value`, leaving
+/// neighboring groups' bits untouched.
+fn and_group(words: &mut [u64], g: usize, value: u64) {
+    let start = g * GROUP_BITS;
+    let (wi, off) = (start / 64, start % 64);
+    if wi < words.len() {
+        let mask_lo = LITERAL_MASK << off;
+        words[wi] &= !mask_lo | (value << off);
+    }
+    if off != 0 && wi + 1 < words.len() {
+        let mask_hi = LITERAL_MASK >> (64 - off);
+        words[wi + 1] &= !mask_hi | (value >> (64 - off));
     }
 }
 
@@ -646,5 +910,149 @@ mod tests {
         let wa = WahBitSet::from_bitset(&a);
         let wf = WahBitSet::from_bitset(&BitSet::full(300));
         assert_eq!(wa.and(&wf).to_bitset(), a);
+    }
+
+    #[test]
+    fn and_into_matches_and_and_reuses_buffer() {
+        let a = BitSet::from_ones(500, [0, 63, 64, 200, 499]);
+        let b = BitSet::from_ones(500, [63, 200, 300]);
+        let (wa, wb) = (WahBitSet::from_bitset(&a), WahBitSet::from_bitset(&b));
+        let mut out = WahBitSet::zero(500);
+        for _ in 0..3 {
+            WahBitSet::and_into(&wa, &wb, &mut out);
+            assert_eq!(out.to_bitset(), a.and(&b));
+        }
+        // buffer works across differing operands too
+        WahBitSet::and_into(&wb, &wb, &mut out);
+        assert_eq!(out.to_bitset(), b);
+    }
+
+    #[test]
+    fn set_and_clear_bit_match_plain() {
+        for n in [1usize, 63, 64, 126, 500] {
+            let mut plain = BitSet::new(n);
+            let mut wah = WahBitSet::zero(n);
+            let probes: Vec<usize> = [0, 1, 62, 63, 64, n / 2, n - 1]
+                .into_iter()
+                .filter(|&i| i < n)
+                .collect();
+            for &i in &probes {
+                plain.insert(i);
+                wah.set_bit(i);
+                assert_eq!(wah.to_bitset(), plain, "set {i} n={n}");
+                assert!(wah.contains(i));
+            }
+            // idempotent sets, then clears
+            for &i in &probes {
+                wah.set_bit(i);
+                assert_eq!(wah.to_bitset(), plain, "re-set {i} n={n}");
+            }
+            for &i in &probes {
+                plain.remove(i);
+                wah.clear_bit(i);
+                assert_eq!(wah.to_bitset(), plain, "clear {i} n={n}");
+                assert!(!wah.contains(i));
+            }
+            assert!(!wah.any());
+        }
+    }
+
+    #[test]
+    fn set_bit_splits_one_fills() {
+        let mut wah = WahBitSet::from_bitset(&BitSet::full(630));
+        wah.clear_bit(315);
+        let mut expect = BitSet::full(630);
+        expect.remove(315);
+        assert_eq!(wah.to_bitset(), expect);
+        assert_eq!(wah.count_ones(), 629);
+        wah.set_bit(315);
+        assert_eq!(wah.to_bitset(), BitSet::full(630));
+    }
+
+    #[test]
+    fn mutated_encodings_interoperate_with_ops() {
+        // set_bit/clear_bit may leave non-canonical literals; every
+        // operation must still read them correctly.
+        let mut a = WahBitSet::zero(200);
+        a.set_bit(5);
+        a.set_bit(150);
+        a.clear_bit(5);
+        let b = WahBitSet::singleton(200, 150);
+        assert!(a.intersects(&b));
+        assert_eq!(a.and(&b).count_ones(), 1);
+        assert_eq!(a.first_one(), Some(150));
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![150]);
+    }
+
+    #[test]
+    fn contains_matches_plain() {
+        let plain = BitSet::from_ones(400, [0, 62, 63, 64, 126, 399]);
+        let wah = WahBitSet::from_bitset(&plain);
+        for i in 0..400 {
+            assert_eq!(wah.contains(i), plain.contains(i), "bit {i}");
+        }
+        assert!(!wah.contains(400));
+    }
+
+    #[test]
+    fn expand_into_matches_to_bitset() {
+        for (n, ones) in [
+            (0usize, vec![]),
+            (63, vec![0usize, 62]),
+            (64, vec![63]),
+            (126, vec![0, 62, 63, 125]),
+            (1000, vec![0, 500, 999]),
+            (630, (0..630).collect::<Vec<_>>()),
+        ] {
+            let plain = BitSet::from_ones(n, ones.iter().copied());
+            let wah = WahBitSet::from_bitset(&plain);
+            let mut out = BitSet::new(n);
+            wah.expand_into(&mut out);
+            assert_eq!(out, plain, "n={n}");
+            // reuse with stale contents
+            wah.expand_into(&mut out);
+            assert_eq!(out, plain, "n={n} reuse");
+        }
+    }
+
+    #[test]
+    fn mixed_dense_ops_match_plain() {
+        let a = BitSet::from_ones(700, [0, 63, 64, 300, 699]);
+        let b = BitSet::from_ones(700, [63, 300, 500]);
+        let wa = WahBitSet::from_bitset(&a);
+        // dense &= wah
+        let mut out = b.clone();
+        wa.and_assign_dense(&mut out);
+        assert_eq!(out, a.and(&b));
+        assert!(wa.intersects_dense(&b));
+        assert!(!WahBitSet::from_bitset(&BitSet::from_ones(700, [1usize])).intersects_dense(&b));
+        // full-fill runs against dense
+        let wf = WahBitSet::from_bitset(&BitSet::full(700));
+        let mut out = b.clone();
+        wf.and_assign_dense(&mut out);
+        assert_eq!(out, b);
+        assert!(wf.intersects_dense(&b));
+        assert!(!wf.intersects_dense(&BitSet::new(700)));
+    }
+
+    #[test]
+    fn serialize_roundtrips() {
+        for (n, ones) in [
+            (0usize, vec![]),
+            (100, vec![5usize, 99]),
+            (1000, (0..1000).step_by(7).collect::<Vec<_>>()),
+        ] {
+            let wah = WahBitSet::from_bitset(&BitSet::from_ones(n, ones.iter().copied()));
+            let mut bytes = Vec::new();
+            wah.serialize_into(&mut bytes);
+            let back = WahBitSet::deserialize(n, &bytes).expect("roundtrip");
+            assert_eq!(back, wah, "n={n}");
+        }
+        // torn / wrong-universe bytes are rejected
+        let wah = WahBitSet::from_bitset(&BitSet::from_ones(100, [5usize]));
+        let mut bytes = Vec::new();
+        wah.serialize_into(&mut bytes);
+        assert!(WahBitSet::deserialize(100, &bytes[..bytes.len() - 3]).is_none());
+        assert!(WahBitSet::deserialize(5000, &bytes).is_none());
     }
 }

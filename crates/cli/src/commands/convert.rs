@@ -1,0 +1,19 @@
+//! `gsb convert` — translate between graph file formats by extension.
+
+use super::{load, save};
+use crate::args::Args;
+use crate::CliError;
+
+/// `gsb convert`
+pub fn convert(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 2)?;
+    let input = a.required_positional(0, "IN")?;
+    let output = a.required_positional(1, "OUT")?;
+    let g = load(input)?;
+    save(&g, output)?;
+    Ok(format!(
+        "converted {input} -> {output} ({} vertices, {} edges)\n",
+        g.n(),
+        g.m()
+    ))
+}

@@ -1,0 +1,69 @@
+//! `gsb maxclique` / `gsb vc` / `gsb fvs` — the exact and FPT solvers.
+
+use super::load;
+use crate::args::Args;
+use crate::CliError;
+
+/// `gsb maxclique`
+pub fn maxclique(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &["via-vc"], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let clique: Vec<usize> = if a.switch("via-vc") {
+        gsb_fpt::maximum_clique_via_vc(&g)
+    } else {
+        gsb_core::maximum_clique(&g)
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    };
+    let text: Vec<String> = clique.iter().map(usize::to_string).collect();
+    Ok(format!(
+        "maximum clique size {}: {}\n",
+        clique.len(),
+        text.join(" ")
+    ))
+}
+
+/// `gsb vc`
+pub fn vertex_cover(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &["k"], &[], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    match a.flag_opt::<usize>("k")? {
+        Some(k) => match gsb_fpt::vertex_cover_decision(&g, k) {
+            Some(cover) => {
+                let text: Vec<String> = cover.iter().map(usize::to_string).collect();
+                Ok(format!(
+                    "YES: cover of size {} <= {k}: {}\n",
+                    cover.len(),
+                    text.join(" ")
+                ))
+            }
+            None => Ok(format!("NO: no vertex cover of size <= {k}\n")),
+        },
+        None => {
+            let cover = gsb_fpt::minimum_vertex_cover(&g);
+            let text: Vec<String> = cover.iter().map(usize::to_string).collect();
+            Ok(format!(
+                "minimum vertex cover size {}: {}\n",
+                cover.len(),
+                text.join(" ")
+            ))
+        }
+    }
+}
+
+/// `gsb fvs`
+pub fn fvs(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let set = gsb_fpt::feedback_vertex_set(&g);
+    let text: Vec<String> = set.iter().map(usize::to_string).collect();
+    Ok(format!(
+        "minimum feedback vertex set size {}: {}\n",
+        set.len(),
+        text.join(" ")
+    ))
+}

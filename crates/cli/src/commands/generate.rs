@@ -1,0 +1,59 @@
+//! `gsb generate` — synthesize benchmark graphs.
+
+use super::save;
+use crate::args::Args;
+use crate::CliError;
+use gsb_graph::generators::{correlation_like, gnp, planted, CorrelationProfile, Module};
+
+/// `gsb generate`
+pub fn generate(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(
+        argv,
+        &[
+            "kind", "n", "p", "density", "modules", "seed", "out", "overlap",
+        ],
+        &[],
+        0,
+    )?;
+    let kind = a.flag("kind").unwrap_or("gnp").to_string();
+    let n: usize = a.flag_or("n", 100)?;
+    let seed: u64 = a.flag_or("seed", 0)?;
+    let out = a
+        .flag("out")
+        .ok_or(crate::args::ArgError::Required("--out".into()))?
+        .to_string();
+    let g = match kind.as_str() {
+        "gnp" => {
+            let p: f64 = a.flag_or("p", 0.01)?;
+            gnp(n, p, seed)
+        }
+        "planted" => {
+            let p: f64 = a.flag_or("p", 0.01)?;
+            let sizes: Vec<usize> = a.flag_list("modules")?;
+            let modules: Vec<Module> = sizes.into_iter().map(Module::clique).collect();
+            planted(n, p, &modules, seed)
+        }
+        "correlation" => {
+            let density: f64 = a.flag_or("density", 0.002)?;
+            let mut profile = CorrelationProfile::myogenic_like(n);
+            profile.density = density;
+            if let Some(overlap) = a.flag_opt::<f64>("overlap")? {
+                profile.overlap = overlap;
+            }
+            correlation_like(&profile, seed)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --kind {other:?} (gnp | planted | correlation)"
+            )))
+        }
+    };
+    save(&g, &out)?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} edges, density {:.4}%)\n",
+        out,
+        g.n(),
+        g.m(),
+        100.0 * g.density()
+    ))
+}

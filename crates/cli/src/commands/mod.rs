@@ -1,0 +1,657 @@
+//! Subcommand implementations, one module per command. Each command
+//! takes the post-subcommand argv and returns the report text; the
+//! dispatcher in [`crate::run`] stays a thin match over these
+//! re-exports.
+
+mod cliques;
+mod convert;
+mod exact;
+mod generate;
+mod motif;
+mod report;
+mod resume;
+mod stats;
+
+pub use cliques::cliques;
+pub use convert::convert;
+pub use exact::{fvs, maxclique, vertex_cover};
+pub use generate::generate;
+pub use motif::motif;
+pub use report::report;
+pub use resume::resume;
+pub use stats::stats;
+
+use crate::CliError;
+use gsb_core::sink::{CollectSink, CountSink};
+use gsb_graph::{io as gio, BitGraph};
+use std::fmt::Write as _;
+use std::path::Path;
+
+pub(crate) fn load(path: &str) -> Result<BitGraph, CliError> {
+    Ok(gio::load(Path::new(path))?)
+}
+
+pub(crate) fn save(g: &BitGraph, path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)?;
+    match Path::new(path).extension().and_then(|e| e.to_str()) {
+        Some("clq") | Some("dimacs") => gio::write_dimacs(g, file)?,
+        _ => gio::write_edge_list(g, file)?,
+    }
+    Ok(())
+}
+
+pub(crate) fn render_cliques(collect: &CollectSink, count: &CountSink, count_only: bool) -> String {
+    let mut out = String::new();
+    if count_only {
+        let _ = writeln!(out, "{} maximal cliques", count.count);
+    } else {
+        for c in &collect.cliques {
+            let text: Vec<String> = c.iter().map(u32::to_string).collect();
+            let _ = writeln!(out, "{}\t{}", c.len(), text.join(" "));
+        }
+        let _ = writeln!(out, "# {} maximal cliques", collect.cliques.len());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CliError;
+    use gsb_core::checkpoint::{CheckpointConfig, CheckpointManager, RunMeta, RunProgress};
+    use gsb_core::{BackendChoice, CliqueEnumerator, EnumConfig, EnumStats};
+    use std::path::Path;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("gsb-cli-test-{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn generate_stats_cliques_roundtrip() {
+        let path = tmp("g1.txt");
+        let report = generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "40",
+            "--p",
+            "0.02",
+            "--modules",
+            "6,5",
+            "--seed",
+            "3",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        assert!(report.contains("40 vertices"));
+
+        let s = stats(&argv(&[&path])).unwrap();
+        assert!(s.contains("vertices:    40"));
+        assert!(s.contains("clique upper bound"));
+
+        let c = cliques(&argv(&[&path, "--min", "4"])).unwrap();
+        assert!(c.contains("maximal cliques"));
+        // every line is "size\tvertices"
+        for line in c.lines().filter(|l| !l.starts_with('#')) {
+            let (size, rest) = line.split_once('\t').expect("tabbed");
+            let k: usize = size.parse().unwrap();
+            assert_eq!(rest.split_whitespace().count(), k);
+            assert!(k >= 4);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cliques_count_only_and_threads_agree() {
+        let path = tmp("g2.txt");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "7",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let seq = cliques(&argv(&[&path, "--count-only"])).unwrap();
+        let par = cliques(&argv(&[&path, "--count-only", "--threads", "3"])).unwrap();
+        assert_eq!(seq, par);
+        let spill = cliques(&argv(&[&path, "--count-only", "--spill-budget", "0"])).unwrap();
+        assert!(spill.starts_with(&seq.lines().next().unwrap().to_string()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cliques_order_and_out_flags() {
+        let path = tmp("g6.txt");
+        let out = tmp("g6.cliques");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "30",
+            "--modules",
+            "6,5",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "4"])).unwrap();
+        for order in ["natural", "degeneracy", "degree"] {
+            let ordered = cliques(&argv(&[&path, "--min", "4", "--order", order])).unwrap();
+            // same clique set (line sets match after sorting)
+            let mut a: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
+            let mut b: Vec<&str> = ordered.lines().filter(|l| !l.starts_with('#')).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "--order {order}");
+        }
+        assert!(cliques(&argv(&[&path, "--order", "bogus"])).is_err());
+        // streaming output
+        let report = cliques(&argv(&[&path, "--min", "4", "--out", &out])).unwrap();
+        assert!(report.contains("maximal cliques"));
+        let streamed = std::fs::read_to_string(&out).unwrap();
+        let n_lines = streamed.lines().count();
+        let n_plain = plain.lines().filter(|l| !l.starts_with('#')).count();
+        assert_eq!(n_lines, n_plain);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn cliques_backend_flag_matches_dense() {
+        let path = tmp("g14.txt");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "34",
+            "--modules",
+            "7,5",
+            "--seed",
+            "17",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let dense = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+        let mut want: Vec<&str> = dense.lines().filter(|l| !l.starts_with('#')).collect();
+        want.sort();
+        for backend in ["dense", "wah", "hybrid"] {
+            for threads in ["1", "3"] {
+                let alt = cliques(&argv(&[
+                    &path,
+                    "--min",
+                    "3",
+                    "--backend",
+                    backend,
+                    "--threads",
+                    threads,
+                ]))
+                .unwrap();
+                let mut got: Vec<&str> = alt.lines().filter(|l| !l.starts_with('#')).collect();
+                got.sort();
+                assert_eq!(got, want, "--backend {backend} --threads {threads}");
+            }
+        }
+        // unknown names and conflicts are usage errors
+        let err = cliques(&argv(&[&path, "--backend", "lzma"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("unknown backend"), "{err}");
+        let err = cliques(&argv(&[&path, "--backend", "wah", "--order", "degree"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = cliques(&argv(&[&path, "--backend", "wah", "--spill-budget", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn maxclique_both_routes() {
+        let path = tmp("g3.txt");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "30",
+            "--modules",
+            "6",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let direct = maxclique(&argv(&[&path])).unwrap();
+        let viavc = maxclique(&argv(&[&path, "--via-vc"])).unwrap();
+        let size = |s: &str| {
+            s.split("size ")
+                .nth(1)
+                .unwrap()
+                .split(':')
+                .next()
+                .unwrap()
+                .parse::<usize>()
+                .unwrap()
+        };
+        assert_eq!(size(&direct), size(&viavc));
+        assert!(size(&direct) >= 6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn vc_and_fvs_run() {
+        let path = tmp("g4.txt");
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "14", "--p", "0.3", "--out", &path,
+        ]))
+        .unwrap();
+        let vc_min = vertex_cover(&argv(&[&path])).unwrap();
+        assert!(vc_min.contains("minimum vertex cover size"));
+        let vc_yes = vertex_cover(&argv(&[&path, "--k", "14"])).unwrap();
+        assert!(vc_yes.starts_with("YES"));
+        let vc_no = vertex_cover(&argv(&[&path, "--k", "0"])).unwrap();
+        assert!(vc_no.starts_with("NO"));
+        let f = fvs(&argv(&[&path])).unwrap();
+        assert!(f.contains("feedback vertex set"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn motif_subcommand_end_to_end() {
+        let path = tmp("seqs.txt");
+        // three sequences sharing an exact 8-mer
+        std::fs::write(
+            &path,
+            "AAAAAGATTACAGGTTTT\nCCCCGATTACAGGCCCC\n# comment\nTTGATTACAGGTTAAAA\n",
+        )
+        .unwrap();
+        let report = motif(&argv(&[&path, "--l", "8", "--d", "0", "--q", "3"])).unwrap();
+        assert!(report.contains("GATTACAG"), "{report}");
+        assert!(motif(&argv(&[&path])).is_err()); // --l required
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn convert_edge_list_to_dimacs() {
+        let a_path = tmp("g5.txt");
+        let b_path = tmp("g5.clq");
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "10", "--p", "0.4", "--out", &a_path,
+        ]))
+        .unwrap();
+        let report = convert(&argv(&[&a_path, &b_path])).unwrap();
+        assert!(report.contains("converted"));
+        let g1 = load(&a_path).unwrap();
+        let g2 = load(&b_path).unwrap();
+        assert_eq!(g1, g2);
+        let _ = std::fs::remove_file(&a_path);
+        let _ = std::fs::remove_file(&b_path);
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        let path = tmp("g8.txt");
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "12", "--p", "0.3", "--out", &path,
+        ]))
+        .unwrap();
+        // --checkpoint-dir without --out
+        let err = cliques(&argv(&[&path, "--checkpoint-dir", "/tmp/x"])).unwrap_err();
+        assert!(err.to_string().contains("--out"), "{err}");
+        // --checkpoint-secs without --checkpoint-dir
+        let err = cliques(&argv(&[&path, "--checkpoint-secs", "5"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
+        // conflicts with the one-shot spill/order paths
+        let err = cliques(&argv(&[
+            &path,
+            "--memory-budget",
+            "1000",
+            "--order",
+            "degree",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.exit_code(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_run_matches_plain_and_cleans_up() {
+        let path = tmp("g9.txt");
+        let dir = tmp("g9-ckpt");
+        let out = tmp("g9.out");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "32",
+            "--modules",
+            "7,5",
+            "--seed",
+            "11",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+        let report = cliques(&argv(&[
+            &path,
+            "--min",
+            "3",
+            "--checkpoint-dir",
+            &dir,
+            "--out",
+            &out,
+        ]))
+        .unwrap();
+        assert!(report.contains("checkpointed"), "{report}");
+        let mut a: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
+        let written = std::fs::read_to_string(&out).unwrap();
+        let mut b: Vec<&str> = written.lines().collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // success cleaned the checkpoint dir: nothing to resume
+        let err = resume(&argv(&[&dir])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_completes_a_crashed_run_byte_identically() {
+        let path = tmp("g10.txt");
+        let dir = tmp("g10-ckpt");
+        let out = tmp("g10.out");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "34",
+            "--modules",
+            "8,6",
+            "--seed",
+            "29",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let expected = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+
+        // Manufacture the crashed state: step the enumerator to level 4,
+        // persist a real checkpoint + run.meta, and write the output
+        // file as the dying run left it — the cliques emitted so far
+        // plus a line torn mid-write.
+        let g = load(&path).unwrap();
+        let seq = CliqueEnumerator::new(EnumConfig::default());
+        let mut pre = gsb_core::sink::CollectSink::default();
+        let mut stats = EnumStats::default();
+        let mut level = seq.init_level(&g, &mut pre, &mut stats);
+        while level.k < 4 && !level.sublists.is_empty() {
+            let (next, _) = seq.step(&g, &level, &mut pre);
+            level = next;
+        }
+        let k_ckpt = level.k;
+        let mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        {
+            let mut mgr = mgr;
+            mgr.force(&level).unwrap();
+            // crash: dropped without finish(), files stay
+        }
+        RunMeta {
+            graph: path.clone(),
+            min_k: 3,
+            max_k: None,
+            threads: 1,
+            out: Some(out.clone()),
+            backend: BackendChoice::Dense,
+        }
+        .save(Path::new(&dir))
+        .unwrap();
+        let pre_count = pre.cliques.iter().filter(|c| c.len() <= k_ckpt).count() as u64;
+        RunProgress {
+            cliques_emitted: pre_count,
+            levels_done: k_ckpt as u64 - 2,
+            wall_ms: 1500,
+        }
+        .save(Path::new(&dir))
+        .unwrap();
+        let mut crashed = String::new();
+        for c in pre.cliques.iter().filter(|c| c.len() <= k_ckpt) {
+            let verts: Vec<String> = c.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(crashed, "{}\t{}", c.len(), verts.join(" "));
+        }
+        crashed.push_str("6\t1 2"); // torn by the crash: no newline, wrong arity
+        std::fs::write(&out, &crashed).unwrap();
+
+        let report = resume(&argv(&[&dir])).unwrap();
+        assert!(
+            report.contains(&format!("level-{k_ckpt} checkpoint")),
+            "{report}"
+        );
+        assert!(
+            report.contains(&format!("prior progress: {pre_count} cliques")),
+            "{report}"
+        );
+        assert!(report.contains("1.5s before the interruption"), "{report}");
+        let resumed = std::fs::read_to_string(&out).unwrap();
+        let mut got: Vec<&str> = resumed.lines().collect();
+        let mut want: Vec<&str> = expected.lines().filter(|l| !l.starts_with('#')).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got.len(), want.len(), "clique counts differ");
+        assert_eq!(got, want);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_uses_the_backend_recorded_in_run_meta() {
+        use gsb_bitset::WahBitSet;
+        use gsb_core::InMemoryLevel;
+
+        let path = tmp("g15.txt");
+        let dir = tmp("g15-ckpt");
+        let out = tmp("g15.out");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "34",
+            "--modules",
+            "8,6",
+            "--seed",
+            "31",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let expected = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+
+        // Crash a WAH-backed run at the level-4 barrier: the checkpoint
+        // on disk is in the compressed representation, and run.meta
+        // records backend=wah.
+        let g = load(&path).unwrap();
+        let seq = CliqueEnumerator::<WahBitSet, InMemoryLevel<WahBitSet>>::with_backend(
+            EnumConfig::default(),
+            (),
+        );
+        let mut pre = gsb_core::sink::CollectSink::default();
+        let mut stats = EnumStats::default();
+        let mut level = seq.init_level(&g, &mut pre, &mut stats);
+        while level.k < 4 && !level.sublists.is_empty() {
+            let (next, _) = seq.step(&g, &level, &mut pre);
+            level = next;
+        }
+        let k_ckpt = level.k;
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.force(&level).unwrap();
+        drop(mgr); // crash: no finish(), files stay
+        RunMeta {
+            graph: path.clone(),
+            min_k: 3,
+            max_k: None,
+            threads: 1,
+            out: Some(out.clone()),
+            backend: BackendChoice::Wah,
+        }
+        .save(Path::new(&dir))
+        .unwrap();
+        let meta_text = std::fs::read_to_string(Path::new(&dir).join("run.meta")).unwrap();
+        assert!(meta_text.contains("backend=wah"), "{meta_text}");
+        let mut crashed = String::new();
+        for c in pre.cliques.iter().filter(|c| c.len() <= k_ckpt) {
+            let verts: Vec<String> = c.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(crashed, "{}\t{}", c.len(), verts.join(" "));
+        }
+        std::fs::write(&out, &crashed).unwrap();
+
+        let report = resume(&argv(&[&dir])).unwrap();
+        assert!(
+            report.contains(&format!("level-{k_ckpt} checkpoint")),
+            "{report}"
+        );
+        let resumed = std::fs::read_to_string(&out).unwrap();
+        let mut got: Vec<&str> = resumed.lines().collect();
+        let mut want: Vec<&str> = expected.lines().filter(|l| !l.starts_with('#')).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&out);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_out_produces_schema_valid_monotone_records() {
+        let path = tmp("g11.txt");
+        let jsonl = tmp("g11.jsonl");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "8,6",
+            "--seed",
+            "7",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "3", "--count-only"])).unwrap();
+        let with_metrics = cliques(&argv(&[
+            &path,
+            "--min",
+            "3",
+            "--threads",
+            "3",
+            "--count-only",
+            "--metrics-out",
+            &jsonl,
+        ]))
+        .unwrap();
+        // telemetry must not change the enumeration result
+        assert_eq!(plain, with_metrics);
+
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let parsed = gsb_telemetry::parse_report(&text).expect("valid run log");
+        assert!(!parsed.truncated);
+        assert!(!parsed.levels.is_empty(), "no level records");
+        for w in parsed.levels.windows(2) {
+            assert!(w[1].k > w[0].k, "level k not monotone: {w:?}");
+            assert!(w[1].maximal_total >= w[0].maximal_total);
+        }
+        for level in &parsed.levels {
+            assert!(level.sublists > 0, "empty sub-list count: {level:?}");
+            assert!(!level.busy_ns.is_empty(), "no per-worker busy time");
+        }
+        let summary = parsed.summary.as_ref().expect("summary record");
+        let total: u64 = plain.split_whitespace().next().unwrap().parse().unwrap();
+        assert_eq!(summary.maximal_total, total);
+        assert!(summary.maximal_total > 0);
+
+        // and the rendered report round-trips from the same file
+        let rendered = report(&argv(&[&jsonl])).unwrap();
+        assert!(rendered.contains("Per-level summary"), "{rendered}");
+        assert!(rendered.contains("Worker imbalance"), "{rendered}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&jsonl);
+    }
+
+    #[test]
+    fn report_tolerates_a_crash_truncated_run_log() {
+        let path = tmp("g13.txt");
+        let jsonl = tmp("g13.jsonl");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "30",
+            "--modules",
+            "7",
+            "--seed",
+            "2",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        cliques(&argv(&[&path, "--count-only", "--metrics-out", &jsonl])).unwrap();
+        // Simulate dying mid-write: chop the file inside its last line.
+        let text = std::fs::read_to_string(&jsonl).unwrap();
+        let cut = text.trim_end().len() - 10;
+        std::fs::write(&jsonl, &text[..cut]).unwrap();
+        let rendered = report(&argv(&[&jsonl])).unwrap();
+        assert!(rendered.contains("truncated"), "{rendered}");
+        assert!(rendered.contains("Per-level summary"), "{rendered}");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&jsonl);
+    }
+
+    #[test]
+    fn report_rejects_garbage_and_metrics_conflicts_are_usage_errors() {
+        let bad = tmp("bad.jsonl");
+        std::fs::write(&bad, "not json at all\nstill not\n").unwrap();
+        let err = report(&argv(&[&bad])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        let _ = std::fs::remove_file(&bad);
+
+        let path = tmp("g12.txt");
+        generate(&argv(&[
+            "--kind", "gnp", "--n", "12", "--p", "0.3", "--out", &path,
+        ]))
+        .unwrap();
+        let err = cliques(&argv(&[&path, "--progress", "--order", "degree"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dispatch_and_usage() {
+        assert!(crate::run(&argv(&["help"])).unwrap().contains("USAGE"));
+        assert!(crate::run(&argv(&[])).is_err());
+        assert!(crate::run(&argv(&["bogus"])).is_err());
+        let err = crate::run(&argv(&["generate", "--kind", "nope", "--out", "x"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown --kind"));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = stats(&argv(&["/definitely/not/here"])).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_) | CliError::Io(_)));
+    }
+}

@@ -1,0 +1,51 @@
+//! `gsb motif` — (l, d)-motif discovery over a sequence file.
+
+use crate::args::Args;
+use crate::CliError;
+use std::fmt::Write as _;
+
+/// `gsb motif`
+pub fn motif(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &["l", "d", "q", "top"], &[], 1)?;
+    let path = a.required_positional(0, "SEQFILE")?;
+    let text = std::fs::read_to_string(path)?;
+    let seqs: Vec<Vec<u8>> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && !l.starts_with('>'))
+        .map(|l| l.as_bytes().to_vec())
+        .collect();
+    if seqs.len() < 2 {
+        return Err(CliError::Usage(
+            "need at least two sequences (one per line)".into(),
+        ));
+    }
+    let l: usize = a
+        .flag_opt("l")?
+        .ok_or(crate::args::ArgError::Required("--l".into()))?;
+    let params = gsb_motif::MotifParams {
+        l,
+        d: a.flag_or("d", 1)?,
+        q: a.flag_or("q", seqs.len().saturating_sub(1).max(2))?,
+    };
+    let top: usize = a.flag_or("top", 5)?;
+    let motifs = gsb_motif::find_motifs(&seqs, &params);
+    let mut out = format!(
+        "{} sequences, window {}, <= {} mutations, quorum {}: {} motifs\n",
+        seqs.len(),
+        params.l,
+        params.d,
+        params.q,
+        motifs.len()
+    );
+    for m in motifs.iter().take(top) {
+        let _ = writeln!(
+            out,
+            "{}\tsupport {}\tsites {:?}",
+            String::from_utf8_lossy(&m.consensus),
+            m.support(),
+            m.sites
+        );
+    }
+    Ok(out)
+}

@@ -1,0 +1,16 @@
+//! `gsb report` — render a telemetry run log.
+
+use crate::args::Args;
+use crate::CliError;
+use gsb_telemetry::{parse_report, render_report};
+
+/// `gsb report` — render a `--metrics-out` JSONL run log as the
+/// per-level summary and Fig. 8-style worker-imbalance tables.
+pub fn report(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 1)?;
+    let path = a.required_positional(0, "RUN_JSONL")?;
+    let text = std::fs::read_to_string(path)?;
+    let parsed = parse_report(&text)
+        .map_err(|e| CliError::Runtime(format!("{path} is not a valid run log: {e}")))?;
+    Ok(render_report(&parsed))
+}

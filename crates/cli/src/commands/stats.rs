@@ -1,0 +1,33 @@
+//! `gsb stats` — profile a graph file.
+
+use super::load;
+use crate::args::Args;
+use crate::CliError;
+use std::fmt::Write as _;
+
+/// `gsb stats`
+pub fn stats(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &[], &[], 1)?;
+    let path = a.required_positional(0, "FILE")?;
+    let g = load(path)?;
+    let p = gsb_graph::stats::profile(&g);
+    let mut out = String::new();
+    let _ = writeln!(out, "file:        {path}");
+    let _ = writeln!(out, "vertices:    {}", p.n);
+    let _ = writeln!(out, "edges:       {}", p.m);
+    let _ = writeln!(out, "density:     {:.4}%", 100.0 * p.density);
+    let _ = writeln!(
+        out,
+        "degree:      min {} / mean {:.2} / max {}",
+        p.min_degree, p.mean_degree, p.max_degree
+    );
+    let _ = writeln!(out, "isolated:    {}", p.isolated);
+    let _ = writeln!(out, "triangles:   {}", p.triangles);
+    let _ = writeln!(out, "clustering:  {:.4}", p.clustering);
+    let _ = writeln!(
+        out,
+        "clique upper bound (degeneracy/coloring): {}",
+        gsb_graph::reduce::clique_upper_bound(&g)
+    );
+    Ok(out)
+}

@@ -114,7 +114,8 @@ USAGE:
                [--modules 9,7,5] [--seed S] --out FILE
   gsb stats FILE
   gsb cliques FILE [--min K] [--max K] [--threads T] [--count-only]
-               [--spill-budget BYTES] [--order natural|degeneracy|degree]
+               [--backend dense|wah|hybrid] [--spill-budget BYTES]
+               [--order natural|degeneracy|degree]
                [--out FILE] [--checkpoint-dir DIR] [--checkpoint-secs S]
                [--memory-budget BYTES] [--metrics-out RUN_JSONL] [--progress]
   gsb resume CHECKPOINT_DIR [--threads T] [--metrics-out RUN_JSONL] [--progress]
@@ -128,6 +129,14 @@ USAGE:
 
 Graph files: whitespace edge lists (0-indexed), or DIMACS with a
 .clq/.dimacs extension. Sequence files: one sequence per line.
+
+Backends: `cliques --backend dense|wah|hybrid` selects the bitmap
+representation of the per-sub-list common-neighbor sets — dense u64
+words (default), WAH-compressed run-length words, or a per-sub-list
+adaptive hybrid. Every backend enumerates the identical clique set;
+compressed backends trade AND throughput for a smaller working set on
+sparse genome-scale graphs. Checkpoints are written in the selected
+representation and `gsb resume` picks the backend up from run.meta.
 
 Crash recovery: `cliques --checkpoint-dir DIR --out FILE` persists the
 current level at each barrier (every --checkpoint-secs seconds if

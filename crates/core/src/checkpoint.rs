@@ -15,8 +15,10 @@
 //! the checkpoints so `gsb resume` can re-derive the original
 //! invocation.
 
+use crate::backend::BackendChoice;
 use crate::store::{self, StoreError};
 use crate::sublist::Level;
+use gsb_bitset::NeighborSet;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -115,7 +117,10 @@ impl CheckpointManager {
     /// Called at each level barrier with the freshly built level.
     /// Writes a checkpoint when the policy says so; returns the write's
     /// cost when one was written, `None` when the policy skipped it.
-    pub fn observe_level(&mut self, level: &Level) -> Result<Option<CheckpointWrite>, StoreError> {
+    pub fn observe_level<S: NeighborSet>(
+        &mut self,
+        level: &Level<S>,
+    ) -> Result<Option<CheckpointWrite>, StoreError> {
         let due = match self.config.policy {
             CheckpointPolicy::Off => false,
             CheckpointPolicy::EveryLevel => true,
@@ -130,7 +135,10 @@ impl CheckpointManager {
     /// Write a checkpoint for `level` regardless of policy, then prune
     /// to the `keep` newest files. Returns the write's latency and
     /// size for the telemetry layer.
-    pub fn force(&mut self, level: &Level) -> Result<CheckpointWrite, StoreError> {
+    pub fn force<S: NeighborSet>(
+        &mut self,
+        level: &Level<S>,
+    ) -> Result<CheckpointWrite, StoreError> {
         crate::failpoint::inject("checkpoint.write")?;
         let start = Instant::now();
         let path = checkpoint_path(&self.config.dir, level.k);
@@ -185,10 +193,16 @@ impl CheckpointManager {
 /// tried — that is why the manager keeps more than one. A checkpoint
 /// that parses but was taken over a *different graph* is a hard
 /// [`StoreError::GraphMismatch`]: falling back would silently enumerate
-/// the wrong problem. Returns `Ok(None)` when the directory holds no
-/// checkpoint files at all, and the last decode error when every
-/// candidate is corrupt.
-pub fn latest_checkpoint(dir: &Path, graph_n: usize) -> Result<Option<(usize, Level)>, StoreError> {
+/// the wrong problem, and one written under a different bitmap
+/// representation is [`StoreError::BackendMismatch`]: `gsb resume`
+/// re-derives the original backend from [`RunMeta`] before calling
+/// this. Returns `Ok(None)` when the directory holds no checkpoint
+/// files at all, and the last decode error when every candidate is
+/// corrupt.
+pub fn latest_checkpoint<S: NeighborSet>(
+    dir: &Path,
+    graph_n: usize,
+) -> Result<Option<(usize, Level<S>)>, StoreError> {
     let mut ks: Vec<usize> = std::fs::read_dir(dir)?
         .flatten()
         .filter_map(|e| parse_checkpoint_name(&e.file_name().to_string_lossy()))
@@ -196,7 +210,7 @@ pub fn latest_checkpoint(dir: &Path, graph_n: usize) -> Result<Option<(usize, Le
     ks.sort_unstable();
     let mut last_err = None;
     for k in ks.into_iter().rev() {
-        match store::read_level_meta(&checkpoint_path(dir, k)) {
+        match store::read_level_meta::<S>(&checkpoint_path(dir, k)) {
             Ok((level, n_bits)) => {
                 if n_bits != 0 && n_bits != graph_n {
                     return Err(StoreError::GraphMismatch {
@@ -207,6 +221,7 @@ pub fn latest_checkpoint(dir: &Path, graph_n: usize) -> Result<Option<(usize, Le
                 return Ok(Some((k, level)));
             }
             Err(e @ StoreError::GraphMismatch { .. }) => return Err(e),
+            Err(e @ StoreError::BackendMismatch { .. }) => return Err(e),
             Err(e) => last_err = Some(e),
         }
     }
@@ -232,6 +247,10 @@ pub struct RunMeta {
     pub threads: usize,
     /// Output file path (`None` = stdout; resume requires a file).
     pub out: Option<String>,
+    /// Bitmap representation the run enumerated with. A `run.meta`
+    /// written by an older build has no `backend=` line and loads as
+    /// [`BackendChoice::Dense`] — exactly what those builds ran.
+    pub backend: BackendChoice,
 }
 
 impl RunMeta {
@@ -247,6 +266,7 @@ impl RunMeta {
         if let Some(out) = &self.out {
             text.push_str(&format!("out={out}\n"));
         }
+        text.push_str(&format!("backend={}\n", self.backend));
         let path = dir.join(RUN_META_FILE);
         let tmp = dir.join(format!("{RUN_META_FILE}.tmp"));
         std::fs::write(&tmp, text.as_bytes())?;
@@ -269,6 +289,7 @@ impl RunMeta {
                 "max_k" => meta.max_k = value.parse().ok(),
                 "threads" => meta.threads = value.parse().unwrap_or(0),
                 "out" => meta.out = Some(value.to_string()),
+                "backend" => meta.backend = value.parse().unwrap_or_default(),
                 _ => {}
             }
         }
@@ -331,6 +352,7 @@ impl RunProgress {
 mod tests {
     use super::*;
     use crate::sublist::SubList;
+    use gsb_bitset::BitSet;
     use gsb_graph::BitGraph;
 
     fn temp_ckpt_dir(tag: &str) -> PathBuf {
@@ -365,7 +387,7 @@ mod tests {
         assert!(!checkpoint_path(&dir, 3).exists());
         assert!(checkpoint_path(&dir, 4).exists());
         assert!(checkpoint_path(&dir, 5).exists());
-        let (k, level) = latest_checkpoint(&dir, 10)
+        let (k, level) = latest_checkpoint::<BitSet>(&dir, 10)
             .unwrap()
             .expect("has checkpoint");
         assert_eq!(k, 5);
@@ -381,9 +403,9 @@ mod tests {
         config.policy = CheckpointPolicy::Off;
         let mut mgr = CheckpointManager::new(config).unwrap();
         assert!(mgr.observe_level(&level_for(&g, 2)).unwrap().is_none());
-        assert!(latest_checkpoint(&dir, 10).unwrap().is_none());
+        assert!(latest_checkpoint::<BitSet>(&dir, 10).unwrap().is_none());
         mgr.force(&level_for(&g, 2)).unwrap();
-        assert!(latest_checkpoint(&dir, 10).unwrap().is_some());
+        assert!(latest_checkpoint::<BitSet>(&dir, 10).unwrap().is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -400,7 +422,9 @@ mod tests {
         let mid = raw.len() / 2;
         raw[mid] ^= 0x04;
         std::fs::write(&newest, &raw).unwrap();
-        let (k, _) = latest_checkpoint(&dir, 10).unwrap().expect("fallback");
+        let (k, _) = latest_checkpoint::<BitSet>(&dir, 10)
+            .unwrap()
+            .expect("fallback");
         assert_eq!(k, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -410,7 +434,7 @@ mod tests {
         let dir = temp_ckpt_dir("allbad");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(checkpoint_path(&dir, 2), b"garbage").unwrap();
-        assert!(latest_checkpoint(&dir, 10).is_err());
+        assert!(latest_checkpoint::<BitSet>(&dir, 10).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -420,7 +444,7 @@ mod tests {
         let g = BitGraph::complete(10);
         let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
         mgr.observe_level(&level_for(&g, 3)).unwrap();
-        let err = latest_checkpoint(&dir, 99).unwrap_err();
+        let err = latest_checkpoint::<BitSet>(&dir, 99).unwrap_err();
         assert!(matches!(err, StoreError::GraphMismatch { .. }));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -437,6 +461,7 @@ mod tests {
             max_k: None,
             threads: 0,
             out: Some("out.txt".into()),
+            backend: BackendChoice::Dense,
         }
         .save(&dir)
         .unwrap();
@@ -448,7 +473,7 @@ mod tests {
         .save(&dir)
         .unwrap();
         mgr.finish();
-        assert!(latest_checkpoint(&dir, 10).unwrap().is_none());
+        assert!(latest_checkpoint::<BitSet>(&dir, 10).unwrap().is_none());
         assert!(RunMeta::load(&dir).is_err());
         assert!(RunProgress::load(&dir).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
@@ -484,9 +509,23 @@ mod tests {
             max_k: Some(12),
             threads: 8,
             out: Some("cliques.tsv".into()),
+            backend: BackendChoice::Wah,
         };
         meta.save(&dir).unwrap();
         assert_eq!(RunMeta::load(&dir).unwrap(), meta);
+        // a meta written by an older build has no backend line → dense
+        let path = dir.join(RUN_META_FILE);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text.lines().filter(|l| !l.starts_with("backend=")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        std::fs::write(&path, stripped).unwrap();
+        assert_eq!(RunMeta::load(&dir).unwrap().backend, BackendChoice::Dense);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,10 +1,18 @@
-//! The sequential Clique Enumerator (§2.3).
+//! The Clique Enumerator (§2.3), generic over bitmap representation
+//! and level storage.
 //!
 //! Levelwise maximal-clique enumeration in non-decreasing size order:
 //! take the candidate k-clique sub-lists, expand each into (k+1)-clique
 //! sub-lists, decide maximality of every generated (k+1)-clique with one
 //! bitwise AND plus an any-bit test, keep only candidates, repeat until
 //! nothing is generated.
+//!
+//! One expansion kernel ([`expand_sublist`]) serves every
+//! configuration: the common-neighbor bitmaps are any
+//! [`NeighborSet`] (dense, WAH-compressed, or adaptive hybrid) and the
+//! level lives in any [`LevelBackend`] (resident vector or budgeted
+//! spill store). `CliqueEnumerator` with no type arguments is the
+//! dense, in-memory enumerator it always was.
 //!
 //! ## Why every maximal clique is found exactly once
 //!
@@ -24,14 +32,17 @@
 //! Conversely a clique generated as maximal has an empty common-neighbor
 //! bitmap, which *is* maximality; and the canonical path is unique, so
 //! there are no duplicates. These properties are cross-checked against
-//! Bron–Kerbosch on thousands of random graphs in the test suites.
+//! Bron–Kerbosch — for all three representations — in the test suites.
 
+use crate::backend::{InMemoryLevel, LevelBackend, SpilledLevel};
 use crate::memory::LevelMemory;
 use crate::sink::CliqueSink;
+use crate::store::{SpillConfig, StoreError};
 use crate::sublist::{Level, SubList};
 use crate::{kclique, Vertex};
-use gsb_bitset::BitSet;
+use gsb_bitset::{BitSet, NeighborSet};
 use gsb_graph::BitGraph;
+use std::marker::PhantomData;
 use std::time::Instant;
 
 /// Configuration for an enumeration run.
@@ -71,7 +82,9 @@ pub struct LevelReport {
     pub maximal_found: usize,
     /// Wall time of the level (ns).
     pub ns: u64,
-    /// Memory accounting for this level's candidates.
+    /// Memory accounting for this level's candidates. For a spilling
+    /// backend the heap figure is what the level *would* hold fully
+    /// resident; the formula bytes are representation-independent.
     pub memory: LevelMemory,
     /// Bitmap AND operations performed (one per prefix extension, one
     /// per surviving pair's maximality probe, one per kept sub-list's
@@ -80,6 +93,11 @@ pub struct LevelReport {
     /// Any-bit (`BitOneExists`) maximality tests performed — one per
     /// adjacent tail pair, each deciding candidate vs. maximal.
     pub maximality_tests: u64,
+    /// Sub-lists of this level that lived on disk rather than in memory
+    /// (0 for the in-memory backend).
+    pub spilled: usize,
+    /// Bytes streamed back from spill files to expand this level.
+    pub bytes_read: u64,
 }
 
 /// Full run statistics.
@@ -130,9 +148,17 @@ impl EnumStats {
             .map(|w| w[0].memory.with_next(&w[1].memory));
         singles.chain(pairs).max().unwrap_or(0)
     }
+
+    /// Total bytes streamed back from spill files across all levels
+    /// (0 for a purely in-memory run).
+    pub fn total_bytes_read(&self) -> u64 {
+        self.levels.iter().map(|l| l.bytes_read).sum()
+    }
 }
 
-/// The sequential Clique Enumerator.
+/// The Clique Enumerator, generic over the common-neighbor bitmap
+/// representation `S` and the level storage backend `B`. The default
+/// parameters are the dense in-memory enumerator:
 ///
 /// ```
 /// use gsb_core::{CliqueEnumerator, EnumConfig, CollectSink};
@@ -147,84 +173,148 @@ impl EnumStats {
 /// // non-decreasing size order: the triangle before the K4
 /// assert_eq!(sink.cliques, vec![vec![2, 3, 4], vec![0, 1, 2, 3]]);
 /// ```
-#[derive(Clone, Debug, Default)]
-pub struct CliqueEnumerator {
+///
+/// Other combinations are constructed with
+/// [`with_backend`](Self::with_backend), e.g. a WAH-compressed
+/// out-of-core run:
+///
+/// ```
+/// use gsb_core::{CliqueEnumerator, EnumConfig, CollectSink, SpillConfig};
+/// use gsb_core::backend::SpilledLevel;
+/// use gsb_bitset::WahBitSet;
+/// use gsb_graph::BitGraph;
+/// let g = BitGraph::complete(5);
+/// let mut sink = CollectSink::default();
+/// let stats = CliqueEnumerator::<WahBitSet, SpilledLevel<WahBitSet>>::with_backend(
+///     EnumConfig::default(),
+///     SpillConfig::in_temp(0),
+/// )
+/// .try_enumerate(&g, &mut sink)
+/// .unwrap();
+/// assert_eq!(stats.total_maximal, 1);
+/// ```
+pub struct CliqueEnumerator<S: NeighborSet = BitSet, B: LevelBackend<S> = InMemoryLevel<S>> {
     /// Run configuration.
     pub config: EnumConfig,
+    /// Backend configuration (`()` in memory, [`SpillConfig`] when
+    /// spilling).
+    pub backend: B::Config,
+    _repr: PhantomData<fn() -> S>,
+}
+
+impl<S: NeighborSet, B: LevelBackend<S>> Clone for CliqueEnumerator<S, B> {
+    fn clone(&self) -> Self {
+        CliqueEnumerator {
+            config: self.config,
+            backend: self.backend.clone(),
+            _repr: PhantomData,
+        }
+    }
+}
+
+impl<S: NeighborSet, B: LevelBackend<S>> std::fmt::Debug for CliqueEnumerator<S, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CliqueEnumerator")
+            .field("config", &self.config)
+            .field("backend", &self.backend)
+            .field("repr", &S::KIND_NAME)
+            .finish()
+    }
+}
+
+impl Default for CliqueEnumerator {
+    fn default() -> Self {
+        CliqueEnumerator::new(EnumConfig::default())
+    }
 }
 
 impl CliqueEnumerator {
-    /// Enumerator with the given configuration.
+    /// Dense in-memory enumerator with the given configuration.
     pub fn new(config: EnumConfig) -> Self {
-        CliqueEnumerator { config }
+        CliqueEnumerator {
+            config,
+            backend: (),
+            _repr: PhantomData,
+        }
+    }
+
+    /// Enumerate like [`enumerate`](Self::enumerate), but hold each
+    /// level in a budgeted spill store: sub-lists beyond
+    /// `spill.budget_bytes` of the paper's formula bytes go to disk and
+    /// are streamed back for the next level. Output (as a set, and in
+    /// non-decreasing size order) is identical to the in-core run.
+    pub fn enumerate_spilled(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+        spill: &SpillConfig,
+    ) -> Result<EnumStats, StoreError> {
+        CliqueEnumerator::<BitSet, SpilledLevel<BitSet>>::with_backend(self.config, spill.clone())
+            .try_enumerate(g, sink)
+    }
+
+    /// Continue an enumeration out of core from an already-built level
+    /// (a checkpoint, or the resident level of an in-core run that hit
+    /// its memory budget). Emits cliques of size `> level.k` only; the
+    /// caller is responsible for everything emitted before the handoff.
+    pub fn enumerate_spilled_from_level(
+        &self,
+        g: &BitGraph,
+        level: Level,
+        sink: &mut impl CliqueSink,
+        spill: &SpillConfig,
+    ) -> Result<EnumStats, StoreError> {
+        CliqueEnumerator::<BitSet, SpilledLevel<BitSet>>::with_backend(self.config, spill.clone())
+            .try_enumerate_from_level(g, level, sink)
+    }
+}
+
+impl<S: NeighborSet, B: LevelBackend<S>> CliqueEnumerator<S, B> {
+    /// Enumerator over an explicit representation/backend pair.
+    pub fn with_backend(config: EnumConfig, backend: B::Config) -> Self {
+        CliqueEnumerator {
+            config,
+            backend,
+            _repr: PhantomData,
+        }
     }
 
     /// Enumerate maximal cliques of `g` into `sink`, in non-decreasing
-    /// size order.
-    pub fn enumerate(&self, g: &BitGraph, sink: &mut impl CliqueSink) -> EnumStats {
+    /// size order. Errors can only arise from a spilling backend's I/O.
+    pub fn try_enumerate(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+    ) -> Result<EnumStats, StoreError> {
         let start = Instant::now();
         let mut stats = EnumStats {
             costs: self.config.record_costs.then(Vec::new),
             ..Default::default()
         };
-        let mut level = self.init_level(g, sink, &mut stats);
-        let mut buf = BitSet::new(g.n());
-        loop {
-            if level.is_empty() {
-                break;
-            }
-            if let Some(mx) = self.config.max_k {
-                if level.k >= mx {
-                    break;
-                }
-            }
-            let level_start = Instant::now();
-            let memory = LevelMemory::account(&level, g.n());
-            let mut next = Level {
-                k: level.k + 1,
-                // The paper's own bound N[k+1] <= M[k] - 2N[k] sizes the
-                // output exactly: no mid-level reallocation can then be
-                // charged to whichever sub-list happened to trigger it.
-                sublists: Vec::with_capacity(
-                    memory.n_cliques.saturating_sub(2 * memory.n_sublists),
-                ),
-            };
-            let mut maximal_found = 0usize;
-            let mut and_ops = 0u64;
-            let mut maximality_tests = 0u64;
-            let record = stats.costs.is_some();
-            let mut level_costs = Vec::new();
-            if record {
-                level_costs.reserve(level.sublists.len());
-            }
-            for sl in &level.sublists {
-                let out = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
-                maximal_found += out.maximal;
-                and_ops += out.and_ops;
-                maximality_tests += out.tests;
-                if record {
-                    level_costs.push(out.units);
-                }
-            }
-            if let Some(costs) = stats.costs.as_mut() {
-                costs.push(level_costs);
-            }
-            next.sublists.shrink_to_fit();
-            stats.total_maximal += maximal_found;
-            stats.levels.push(LevelReport {
-                k: level.k,
-                sublists: memory.n_sublists,
-                candidates: memory.n_cliques,
-                maximal_found,
-                ns: level_start.elapsed().as_nanos() as u64,
-                memory,
-                and_ops,
-                maximality_tests,
-            });
-            level = next;
-        }
+        let level = self.init_level(g, sink, &mut stats);
+        self.run_from_level(g, level, sink, &mut stats)?;
         stats.wall_ns = start.elapsed().as_nanos() as u64;
-        stats
+        Ok(stats)
+    }
+
+    /// Resume (or start) from an explicit level — e.g. one restored
+    /// from a checkpoint, or produced by
+    /// [`seed_level`](crate::kclique::seed_level) — and run to
+    /// completion under this configuration's `max_k`.
+    pub fn try_enumerate_from_level(
+        &self,
+        g: &BitGraph,
+        level: Level<S>,
+        sink: &mut impl CliqueSink,
+    ) -> Result<EnumStats, StoreError> {
+        let start = Instant::now();
+        let mut stats = EnumStats {
+            costs: self.config.record_costs.then(Vec::new),
+            ..Default::default()
+        };
+        self.run_from_level(g, level, sink, &mut stats)?;
+        stats.wall_ns = start.elapsed().as_nanos() as u64;
+        Ok(stats)
     }
 
     /// Build the initial level: from the edge list for `min_k <= 3`
@@ -232,13 +322,14 @@ impl CliqueEnumerator {
     /// canonical order"), else seeded by the k-clique enumerator at
     /// `min_k`. Maximal cliques smaller than the first expandable level
     /// are reported here. Public so external drivers (tests, custom
-    /// harnesses) can run the level loop by hand with [`Self::step`].
+    /// harnesses) can run the level loop by hand with
+    /// [`step`](CliqueEnumerator::step).
     pub fn init_level(
         &self,
         g: &BitGraph,
         sink: &mut impl CliqueSink,
         stats: &mut EnumStats,
-    ) -> Level {
+    ) -> Level<S> {
         let min_k = self.config.min_k.max(1);
         let within_max = |s: usize| self.config.max_k.is_none_or(|mx| s <= mx);
         if min_k > 3 {
@@ -283,16 +374,132 @@ impl CliqueEnumerator {
                 // sub-lists containing more than one clique".
                 (tails.len() > 1).then(|| SubList {
                     prefix: vec![a as Vertex],
-                    cn: g.neighbors(a).clone(),
+                    cn: S::from_bitset(g.neighbors(a)),
                     tails,
                 })
             })
             .collect();
         Level { k: 2, sublists }
     }
+
+    /// The level loop: move `start` into a fresh backend, then expand
+    /// level into level until nothing is generated (or `max_k` is
+    /// reached), draining each level through the single generic kernel.
+    fn run_from_level(
+        &self,
+        g: &BitGraph,
+        start: Level<S>,
+        sink: &mut impl CliqueSink,
+        stats: &mut EnumStats,
+    ) -> Result<(), StoreError> {
+        let n = g.n();
+        let rows = neighbor_rows::<S>(g);
+        let mut memory = LevelMemory::account(&start, n);
+        let mut k = start.k;
+        let mut cur = B::open(&self.backend, n);
+        cur.reserve(start.sublists.len());
+        for sl in start.sublists {
+            cur.push(sl)?;
+        }
+        let mut buf = S::empty(n);
+        loop {
+            if cur.is_empty() {
+                break;
+            }
+            if let Some(mx) = self.config.max_k {
+                if k >= mx {
+                    break;
+                }
+            }
+            let level_start = Instant::now();
+            let spilled = cur.spilled_len();
+            let mut next = B::open(&self.backend, n);
+            // The paper's own bound N[k+1] <= M[k] - 2N[k] sizes the
+            // output exactly: no mid-level reallocation can then be
+            // charged to whichever sub-list happened to trigger it.
+            next.reserve(memory.n_cliques.saturating_sub(2 * memory.n_sublists));
+            let mut next_mem = LevelMemory::default();
+            let mut maximal_found = 0usize;
+            let mut and_ops = 0u64;
+            let mut maximality_tests = 0u64;
+            let record = stats.costs.is_some();
+            let mut level_costs = Vec::new();
+            if record {
+                level_costs.reserve(memory.n_sublists);
+            }
+            let mut push_error: Option<StoreError> = None;
+            let drain = cur.drain(|sl| {
+                if push_error.is_some() {
+                    return;
+                }
+                let out = expand_sublist(g, &rows, &sl, &mut buf, sink, |child| {
+                    if push_error.is_some() {
+                        return;
+                    }
+                    next_mem.n_sublists += 1;
+                    next_mem.n_cliques += child.len();
+                    next_mem.formula_bytes += child.formula_bytes(n);
+                    next_mem.heap_bytes += child.heap_bytes() + std::mem::size_of::<SubList<S>>();
+                    if let Err(e) = next.push(child) {
+                        push_error = Some(e);
+                    }
+                });
+                maximal_found += out.maximal;
+                and_ops += out.and_ops;
+                maximality_tests += out.tests;
+                if record {
+                    level_costs.push(out.units);
+                }
+            })?;
+            if let Some(e) = push_error {
+                return Err(e);
+            }
+            next.shrink();
+            if let Some(costs) = stats.costs.as_mut() {
+                costs.push(level_costs);
+            }
+            stats.total_maximal += maximal_found;
+            stats.levels.push(LevelReport {
+                k,
+                sublists: memory.n_sublists,
+                candidates: memory.n_cliques,
+                maximal_found,
+                ns: level_start.elapsed().as_nanos() as u64,
+                memory,
+                and_ops,
+                maximality_tests,
+                spilled,
+                bytes_read: drain.bytes_read,
+            });
+            memory = next_mem;
+            k += 1;
+            cur = next;
+        }
+        Ok(())
+    }
 }
 
-impl CliqueEnumerator {
+impl<S: NeighborSet> CliqueEnumerator<S, InMemoryLevel<S>> {
+    /// Enumerate maximal cliques of `g` into `sink`, in non-decreasing
+    /// size order. Infallible: the in-memory backend performs no I/O.
+    pub fn enumerate(&self, g: &BitGraph, sink: &mut impl CliqueSink) -> EnumStats {
+        self.try_enumerate(g, sink)
+            .expect("in-memory backend cannot fail")
+    }
+
+    /// Resume (or start) from an explicit level and run to completion.
+    /// Infallible in-memory variant of
+    /// [`try_enumerate_from_level`](Self::try_enumerate_from_level).
+    pub fn enumerate_from_level(
+        &self,
+        g: &BitGraph,
+        level: Level<S>,
+        sink: &mut impl CliqueSink,
+    ) -> EnumStats {
+        self.try_enumerate_from_level(g, level, sink)
+            .expect("in-memory backend cannot fail")
+    }
+
     /// Expand one level into the next (the paper's `GenerateKCliques`
     /// over the whole `L_k`), reporting maximal (k+1)-cliques to the
     /// sink. This is the natural checkpoint granularity: persist the
@@ -301,21 +508,36 @@ impl CliqueEnumerator {
     pub fn step(
         &self,
         g: &BitGraph,
-        level: &Level,
+        level: &Level<S>,
         sink: &mut impl CliqueSink,
-    ) -> (Level, LevelReport) {
+    ) -> (Level<S>, LevelReport) {
+        self.step_with_rows(g, &neighbor_rows::<S>(g), level, sink)
+    }
+
+    /// [`step`](Self::step) with the per-vertex neighbor rows already
+    /// converted to `S` — callers stepping many levels (the pipeline)
+    /// build the rows once instead of once per level.
+    pub(crate) fn step_with_rows(
+        &self,
+        g: &BitGraph,
+        rows: &[S],
+        level: &Level<S>,
+        sink: &mut impl CliqueSink,
+    ) -> (Level<S>, LevelReport) {
         let level_start = Instant::now();
         let memory = LevelMemory::account(level, g.n());
         let mut next = Level {
             k: level.k + 1,
             sublists: Vec::with_capacity(memory.n_cliques.saturating_sub(2 * memory.n_sublists)),
         };
-        let mut buf = BitSet::new(g.n());
+        let mut buf = S::empty(g.n());
         let mut maximal_found = 0usize;
         let mut and_ops = 0u64;
         let mut maximality_tests = 0u64;
         for sl in &level.sublists {
-            let out = expand_sublist(g, sl, &mut buf, sink, &mut next.sublists);
+            let out = expand_sublist(g, rows, sl, &mut buf, sink, |child| {
+                next.sublists.push(child);
+            });
             maximal_found += out.maximal;
             and_ops += out.and_ops;
             maximality_tests += out.tests;
@@ -330,39 +552,18 @@ impl CliqueEnumerator {
             memory,
             and_ops,
             maximality_tests,
+            spilled: 0,
+            bytes_read: 0,
         };
         (next, report)
     }
+}
 
-    /// Resume (or start) from an explicit level — e.g. one restored
-    /// from a checkpoint, or produced by
-    /// [`seed_level`](crate::kclique::seed_level) — and run to
-    /// completion under this configuration's `max_k`.
-    pub fn enumerate_from_level(
-        &self,
-        g: &BitGraph,
-        mut level: Level,
-        sink: &mut impl CliqueSink,
-    ) -> EnumStats {
-        let start = Instant::now();
-        let mut stats = EnumStats::default();
-        loop {
-            if level.is_empty() {
-                break;
-            }
-            if let Some(mx) = self.config.max_k {
-                if level.k >= mx {
-                    break;
-                }
-            }
-            let (next, report) = self.step(g, &level, sink);
-            stats.total_maximal += report.maximal_found;
-            stats.levels.push(report);
-            level = next;
-        }
-        stats.wall_ns = start.elapsed().as_nanos() as u64;
-        stats
-    }
+/// Per-vertex neighbor rows in representation `S`, built once per run:
+/// the kernel ANDs candidate bitmaps against these instead of the
+/// graph's dense rows, so compressed runs stay compressed end to end.
+pub(crate) fn neighbor_rows<S: NeighborSet>(g: &BitGraph) -> Vec<S> {
+    (0..g.n()).map(|v| S::from_bitset(g.neighbors(v))).collect()
 }
 
 /// What [`expand_sublist`] did: emissions plus the operation counts the
@@ -372,7 +573,8 @@ pub(crate) struct ExpandOut {
     pub maximal: usize,
     /// Deterministic work units (u64-word operations plus pair
     /// iterations — the portable cost measure the scaling simulation
-    /// replays).
+    /// replays). Counted against the dense word width for every
+    /// representation, so costs are comparable across backends.
     pub units: u64,
     /// Bitmap AND operations (prefix extensions, maximality probes,
     /// kept common-neighbor clones).
@@ -382,15 +584,19 @@ pub(crate) struct ExpandOut {
 }
 
 /// Expand one k-clique sub-list into (k+1)-clique sub-lists — the
-/// paper's `GenerateKCliques` inner loops (Fig. 3). `buf` is a scratch
-/// bitmap reused across calls to avoid one allocation per prefix
-/// extension.
-pub(crate) fn expand_sublist(
+/// paper's `GenerateKCliques` inner loops (Fig. 3), and the *only*
+/// expansion kernel in the crate: sequential, parallel, in-memory and
+/// spilled runs all route through here. `rows` are the per-vertex
+/// neighbor bitmaps in representation `S` (see [`neighbor_rows`]);
+/// `buf` is a scratch bitmap reused across calls; every generated
+/// sub-list is handed to `out`.
+pub(crate) fn expand_sublist<S: NeighborSet>(
     g: &BitGraph,
-    sl: &SubList,
-    buf: &mut BitSet,
+    rows: &[S],
+    sl: &SubList<S>,
+    buf: &mut S,
     sink: &mut impl CliqueSink,
-    out: &mut Vec<SubList>,
+    mut out: impl FnMut(SubList<S>),
 ) -> ExpandOut {
     let mut maximal = 0usize;
     let tails = &sl.tails;
@@ -410,7 +616,7 @@ pub(crate) fn expand_sublist(
     for i in 0..tails.len() - 1 {
         let v = tails[i];
         // CN(prefix ∪ {v}) = CN(prefix) ∧ N(v)
-        BitSet::and_into(&sl.cn, g.neighbors(v as usize), buf);
+        S::and_into(&sl.cn, &rows[v as usize], buf);
         units += words;
         and_ops += 1;
         let mut new_tails: Vec<Vertex> = Vec::new();
@@ -424,7 +630,7 @@ pub(crate) fn expand_sublist(
             units += words;
             and_ops += 1;
             tests += 1;
-            if buf.intersects(g.neighbors(u as usize)) {
+            if buf.intersects(&rows[u as usize]) {
                 new_tails.push(u);
             } else {
                 clique.clear();
@@ -441,9 +647,9 @@ pub(crate) fn expand_sublist(
             prefix.push(v);
             units += words; // CN clone for the kept sub-list
             and_ops += 1;
-            out.push(SubList {
+            out(SubList {
                 prefix,
-                cn: buf.clone(),
+                cn: buf.store_clone(),
                 tails: new_tails,
             });
         }
@@ -461,11 +667,20 @@ mod tests {
     use super::*;
     use crate::bk::base_bk_sorted;
     use crate::sink::CollectSink;
+    use gsb_bitset::{HybridSet, WahBitSet};
     use gsb_graph::generators::{gnp, planted, Module};
 
     fn enumerate_sorted(g: &BitGraph, config: EnumConfig) -> Vec<Vec<Vertex>> {
         let mut sink = CollectSink::default();
         CliqueEnumerator::new(config).enumerate(g, &mut sink);
+        let mut cliques = sink.cliques;
+        cliques.sort();
+        cliques
+    }
+
+    fn enumerate_sorted_as<S: NeighborSet>(g: &BitGraph, config: EnumConfig) -> Vec<Vec<Vertex>> {
+        let mut sink = CollectSink::default();
+        CliqueEnumerator::<S, InMemoryLevel<S>>::with_backend(config, ()).enumerate(g, &mut sink);
         let mut cliques = sink.cliques;
         cliques.sort();
         cliques
@@ -518,6 +733,30 @@ mod tests {
             let g = gnp(26, 0.4, seed);
             let got = enumerate_sorted(&g, EnumConfig::default());
             assert_eq!(got, bk_at_least(&g, 3), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_representations_agree_with_bk() {
+        for seed in 0..5 {
+            let g = gnp(24, 0.4, seed);
+            let expect = bk_at_least(&g, 3);
+            let config = EnumConfig::default();
+            assert_eq!(
+                enumerate_sorted_as::<BitSet>(&g, config),
+                expect,
+                "dense seed {seed}"
+            );
+            assert_eq!(
+                enumerate_sorted_as::<WahBitSet>(&g, config),
+                expect,
+                "wah seed {seed}"
+            );
+            assert_eq!(
+                enumerate_sorted_as::<HybridSet>(&g, config),
+                expect,
+                "hybrid seed {seed}"
+            );
         }
     }
 
@@ -605,6 +844,7 @@ mod tests {
         assert_eq!(stats.levels[0].k, 2);
         assert!(stats.levels.windows(2).all(|w| w[1].k == w[0].k + 1));
         assert!(stats.peak_formula_bytes() > 0);
+        assert_eq!(stats.total_bytes_read(), 0);
         let costs = stats.costs.expect("recorded");
         assert_eq!(costs.len(), stats.levels.len());
         for (lvl, c) in stats.levels.iter().zip(&costs) {

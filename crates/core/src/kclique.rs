@@ -14,7 +14,7 @@
 
 use crate::sublist::{Level, SubList};
 use crate::{Clique, Vertex};
-use gsb_bitset::BitSet;
+use gsb_bitset::{BitSet, NeighborSet};
 use gsb_graph::reduce::prune_for_k_clique;
 use gsb_graph::BitGraph;
 use std::collections::BTreeMap;
@@ -94,9 +94,11 @@ fn extend(
 
 /// Build the Clique Enumerator's level-k input from the non-maximal
 /// k-cliques: group by (k−1)-prefix into sub-lists with the prefix's
-/// common-neighbor bitmap. Maximal k-cliques are returned alongside so
-/// the caller can report them (they seed nothing).
-pub fn seed_level(g: &BitGraph, k: usize) -> (Level, Vec<Clique>) {
+/// common-neighbor bitmap (converted into whichever [`NeighborSet`]
+/// representation the caller enumerates with). Maximal k-cliques are
+/// returned alongside so the caller can report them (they seed
+/// nothing).
+pub fn seed_level<S: NeighborSet>(g: &BitGraph, k: usize) -> (Level<S>, Vec<Clique>) {
     assert!(k >= 2, "seeding needs k >= 2");
     let found = enumerate_k_cliques(g, k);
     let mut groups: BTreeMap<Vec<Vertex>, Vec<Vertex>> = BTreeMap::new();
@@ -109,7 +111,7 @@ pub fn seed_level(g: &BitGraph, k: usize) -> (Level, Vec<Clique>) {
         .map(|(prefix, tails)| {
             debug_assert!(tails.windows(2).all(|w| w[0] < w[1]));
             let members: Vec<usize> = prefix.iter().map(|&v| v as usize).collect();
-            let cn = g.common_neighbors(&members);
+            let cn = S::from_bitset(&g.common_neighbors(&members));
             SubList { prefix, cn, tails }
         })
         .collect();
@@ -199,7 +201,7 @@ mod tests {
         // K5: all C(5,3)=10 3-cliques are non-maximal; prefixes (a,b)
         // with a<b<4 group them.
         let g = BitGraph::complete(5);
-        let (level, maximal) = seed_level(&g, 3);
+        let (level, maximal) = seed_level::<BitSet>(&g, 3);
         assert!(maximal.is_empty());
         assert_eq!(level.k, 3);
         assert_eq!(level.n_cliques(), 10);
@@ -225,7 +227,7 @@ mod tests {
                 g.add_edge(u, v);
             }
         }
-        let (level, maximal) = seed_level(&g, 3);
+        let (level, maximal) = seed_level::<BitSet>(&g, 3);
         assert_eq!(maximal, vec![vec![0, 1, 2]]);
         assert_eq!(level.n_cliques(), 4); // C(4,3) triangles of the K4
     }

@@ -26,9 +26,11 @@
 //!   clique overlap graphs, and paraclique decomposition;
 //! * [`memory`] — per-level memory accounting using the paper's own
 //!   formula (the data behind Fig. 9);
-//! * [`store`] / [`spill`] — the out-of-core configuration the paper's
-//!   predecessor ran in (§1): budgeted level storage with disk spill,
-//!   so the in-core-vs-out-of-core comparison is measurable;
+//! * [`backend`] / [`store`] — level storage behind the
+//!   [`backend::LevelBackend`] trait: the resident vector, or the
+//!   out-of-core configuration the paper's predecessor ran in (§1) —
+//!   budgeted level storage with disk spill — so the
+//!   in-core-vs-out-of-core comparison is measurable on one kernel;
 //! * [`wahclique`] — maximal clique enumeration operating on
 //!   WAH-compressed bitmaps end to end (§4's compression direction);
 //! * [`pipeline`] — the end-to-end driver: bounds → seed → enumerate.
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backend;
 pub mod bk;
 pub mod checkpoint;
 pub mod enumerator;
@@ -56,11 +59,11 @@ pub mod paraclique;
 pub mod parallel;
 pub mod pipeline;
 pub mod sink;
-pub mod spill;
 pub mod store;
 pub mod sublist;
 pub mod wahclique;
 
+pub use backend::{BackendChoice, InMemoryLevel, LevelBackend, SpilledLevel};
 pub use checkpoint::{
     latest_checkpoint, CheckpointConfig, CheckpointManager, CheckpointPolicy, CheckpointWrite,
     RunMeta, RunProgress,

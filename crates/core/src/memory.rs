@@ -7,8 +7,9 @@
 //! We report both that formula and the bytes the structures actually
 //! hold on the heap.
 
-use crate::sublist::Level;
+use crate::sublist::{Level, SubList};
 use crate::Vertex;
+use gsb_bitset::NeighborSet;
 
 /// Memory held by one level of candidate cliques.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -25,7 +26,11 @@ pub struct LevelMemory {
 
 impl LevelMemory {
     /// Account for one level over an `n`-vertex graph.
-    pub fn account(level: &Level, n: usize) -> Self {
+    ///
+    /// `formula_bytes` uses the paper's dense cost model regardless of
+    /// the bitmap representation `S`; `heap_bytes` reflects what `S`
+    /// actually holds, so a compressed level reports a smaller heap.
+    pub fn account<S: NeighborSet>(level: &Level<S>, n: usize) -> Self {
         let c = std::mem::size_of::<Vertex>();
         let n_sublists = level.n_sublists();
         let n_cliques = level.n_cliques();
@@ -36,9 +41,9 @@ impl LevelMemory {
         let heap_bytes = level
             .sublists
             .iter()
-            .map(crate::sublist::SubList::heap_bytes)
+            .map(SubList::heap_bytes)
             .sum::<usize>()
-            + level.sublists.capacity() * std::mem::size_of::<crate::sublist::SubList>();
+            + level.sublists.capacity() * std::mem::size_of::<SubList<S>>();
         LevelMemory {
             n_sublists,
             n_cliques,
@@ -119,7 +124,7 @@ mod tests {
     #[test]
     fn empty_level_is_cheap() {
         let mem = LevelMemory::account(
-            &Level {
+            &Level::<BitSet> {
                 k: 4,
                 sublists: Vec::new(),
             },

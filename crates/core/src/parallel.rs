@@ -23,13 +23,14 @@
 //! lets the pipeline write checkpoints and demand degradation to the
 //! out-of-core path mid-flight.
 
+use crate::backend::InMemoryLevel;
 use crate::enumerator::{EnumConfig, LevelReport};
 use crate::memory::LevelMemory;
 use crate::sink::{CliqueSink, CollectSink};
 use crate::store::StoreError;
 use crate::sublist::{Level, SubList};
 use crate::Clique;
-use gsb_bitset::BitSet;
+use gsb_bitset::{BitSet, NeighborSet};
 use gsb_graph::BitGraph;
 use gsb_par::balance::{partition_greedy, rebalance, BalancePolicy};
 use gsb_par::stats::{LevelStats, RunStats};
@@ -101,15 +102,16 @@ pub enum BarrierControl {
     Degrade,
 }
 
-/// How a resilient parallel run ended.
-pub enum ParallelOutcome {
+/// How a resilient parallel run ended. Generic over the bitmap
+/// representation the run enumerated with (dense by default).
+pub enum ParallelOutcome<S: NeighborSet = BitSet> {
     /// Ran to completion.
     Complete(ParallelStats),
     /// The barrier hook demanded degradation; `level` is unexpanded and
     /// everything of size `< level.k + 1` was already emitted.
     Degraded {
         /// The snapshot to continue from.
-        level: Level,
+        level: Level<S>,
         /// Statistics up to the handoff.
         stats: ParallelStats,
     },
@@ -117,7 +119,7 @@ pub enum ParallelOutcome {
 
 /// A resilient parallel run failed.
 #[derive(Debug)]
-pub enum ParallelRunError {
+pub enum ParallelRunError<S: NeighborSet = BitSet> {
     /// A level's round failed twice (original + one retry from the
     /// snapshot). `level` is the unexpanded snapshot, so the caller can
     /// persist a final checkpoint before aborting.
@@ -127,13 +129,13 @@ pub enum ParallelRunError {
         /// The worker failures of the retry round.
         error: RoundError,
         /// The unexpanded level snapshot.
-        level: Level,
+        level: Level<S>,
     },
     /// The barrier hook (checkpoint write, budget check) failed.
     Store(StoreError),
 }
 
-impl fmt::Display for ParallelRunError {
+impl<S: NeighborSet> fmt::Display for ParallelRunError<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParallelRunError::Round { k, error, .. } => {
@@ -144,7 +146,7 @@ impl fmt::Display for ParallelRunError {
     }
 }
 
-impl std::error::Error for ParallelRunError {
+impl<S: NeighborSet> std::error::Error for ParallelRunError<S> {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ParallelRunError::Round { error, .. } => Some(error),
@@ -153,15 +155,15 @@ impl std::error::Error for ParallelRunError {
     }
 }
 
-impl From<StoreError> for ParallelRunError {
+impl<S: NeighborSet> From<StoreError> for ParallelRunError<S> {
     fn from(e: StoreError) -> Self {
         ParallelRunError::Store(e)
     }
 }
 
 /// What one worker returns for one level.
-struct WorkerOut {
-    new_sublists: Vec<SubList>,
+struct WorkerOut<S: NeighborSet> {
+    new_sublists: Vec<SubList<S>>,
     maximal: Vec<Clique>,
     tasks: usize,
     units: u64,
@@ -171,47 +173,53 @@ struct WorkerOut {
 
 /// The per-round job: expand a batch of sub-lists locally, no
 /// cross-talk. Built by a free function so a retry can recreate it
-/// after the original closure was consumed by the failed round.
-fn worker_job(graph: Arc<BitGraph>) -> impl Fn(usize, Vec<SubList>) -> WorkerOut + Send + Sync {
-    move |_w, batch: Vec<SubList>| {
+/// after the original closure was consumed by the failed round. The
+/// per-vertex neighbor rows (already converted to `S`) are shared
+/// across workers and rounds.
+fn worker_job<S: NeighborSet>(
+    graph: Arc<BitGraph>,
+    rows: Arc<Vec<S>>,
+) -> impl Fn(usize, Vec<SubList<S>>) -> WorkerOut<S> + Send + Sync {
+    move |_w, batch: Vec<SubList<S>>| {
         if let Err(e) = crate::failpoint::inject("parallel.worker") {
             panic!("{e}");
         }
         let local_m: usize = batch.iter().map(SubList::len).sum();
-        let mut out = WorkerOut {
-            // paper's bound N[k+1] <= M[k] - 2N[k], per worker
-            new_sublists: Vec::with_capacity(local_m.saturating_sub(2 * batch.len())),
-            maximal: Vec::new(),
-            tasks: batch.len(),
-            units: 0,
-            and_ops: 0,
-            tests: 0,
-        };
+        // paper's bound N[k+1] <= M[k] - 2N[k], per worker
+        let mut new_sublists: Vec<SubList<S>> =
+            Vec::with_capacity(local_m.saturating_sub(2 * batch.len()));
+        let (mut units, mut and_ops, mut tests) = (0u64, 0u64, 0u64);
         let mut collect = CollectSink::default();
-        let mut buf = BitSet::new(graph.n());
+        let mut buf = S::empty(graph.n());
         for sl in &batch {
-            let expanded = crate::enumerator::expand_sublist(
-                &graph,
-                sl,
-                &mut buf,
-                &mut collect,
-                &mut out.new_sublists,
-            );
-            out.units += expanded.units;
-            out.and_ops += expanded.and_ops;
-            out.tests += expanded.tests;
+            let expanded =
+                crate::enumerator::expand_sublist(&graph, &rows, sl, &mut buf, &mut collect, |c| {
+                    new_sublists.push(c)
+                });
+            units += expanded.units;
+            and_ops += expanded.and_ops;
+            tests += expanded.tests;
         }
-        out.maximal = collect.cliques;
-        out
+        WorkerOut {
+            new_sublists,
+            maximal: collect.cliques,
+            tasks: batch.len(),
+            units,
+            and_ops,
+            tests,
+        }
     }
 }
 
 /// Partition sub-lists over `threads` queues with LPT on estimated cost.
-fn partition_level(sublists: Vec<SubList>, threads: usize) -> Vec<Vec<SubList>> {
+fn partition_level<S: NeighborSet>(
+    sublists: Vec<SubList<S>>,
+    threads: usize,
+) -> Vec<Vec<SubList<S>>> {
     let costs: Vec<u64> = sublists.iter().map(SubList::cost).collect();
     let parts = partition_greedy(&costs, threads);
-    let mut queues: Vec<Vec<SubList>> = vec![Vec::new(); threads];
-    let mut slots: Vec<Option<SubList>> = sublists.into_iter().map(Some).collect();
+    let mut queues: Vec<Vec<SubList<S>>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut slots: Vec<Option<SubList<S>>> = sublists.into_iter().map(Some).collect();
     for (w, idxs) in parts.iter().enumerate() {
         for &i in idxs {
             queues[w].push(slots[i].take().expect("each task assigned once"));
@@ -246,7 +254,7 @@ impl ParallelEnumerator {
     /// [`enumerate_resilient`](Self::enumerate_resilient) to handle
     /// failures as values.
     pub fn enumerate(&self, g: &Arc<BitGraph>, sink: &mut impl CliqueSink) -> ParallelStats {
-        let outcome = self.enumerate_resilient(g, None, sink, |_level, _mem, _sink| {
+        let outcome = self.enumerate_resilient(g, None::<Level>, sink, |_level, _mem, _sink| {
             Ok(BarrierControl::Continue)
         });
         match outcome {
@@ -275,16 +283,17 @@ impl ParallelEnumerator {
     /// retried once from its snapshot. A second failure aborts with
     /// [`ParallelRunError::Round`] carrying the snapshot, so the caller
     /// can write a final checkpoint.
-    pub fn enumerate_resilient<S, B>(
+    pub fn enumerate_resilient<S, K, B>(
         &self,
         g: &Arc<BitGraph>,
-        start: Option<Level>,
-        sink: &mut S,
+        start: Option<Level<S>>,
+        sink: &mut K,
         barrier: B,
-    ) -> Result<ParallelOutcome, ParallelRunError>
+    ) -> Result<ParallelOutcome<S>, ParallelRunError<S>>
     where
-        S: CliqueSink,
-        B: FnMut(&Level, &LevelMemory, &mut S) -> Result<BarrierControl, StoreError>,
+        S: NeighborSet,
+        K: CliqueSink,
+        B: FnMut(&Level<S>, &LevelMemory, &mut K) -> Result<BarrierControl, StoreError>,
     {
         self.enumerate_observed(g, start, sink, barrier, |_report, _stats, _retried| {})
     }
@@ -296,29 +305,34 @@ impl ParallelEnumerator {
     /// the level's first round failed and was retried. This is how the
     /// pipeline exports one consistent record per level barrier without
     /// the workers ever touching a shared channel mid-level.
-    pub fn enumerate_observed<S, B, O>(
+    pub fn enumerate_observed<S, K, B, O>(
         &self,
         g: &Arc<BitGraph>,
-        start: Option<Level>,
-        sink: &mut S,
+        start: Option<Level<S>>,
+        sink: &mut K,
         mut barrier: B,
         mut observe: O,
-    ) -> Result<ParallelOutcome, ParallelRunError>
+    ) -> Result<ParallelOutcome<S>, ParallelRunError<S>>
     where
-        S: CliqueSink,
-        B: FnMut(&Level, &LevelMemory, &mut S) -> Result<BarrierControl, StoreError>,
+        S: NeighborSet,
+        K: CliqueSink,
+        B: FnMut(&Level<S>, &LevelMemory, &mut K) -> Result<BarrierControl, StoreError>,
         O: FnMut(&LevelReport, &LevelStats, bool),
     {
         let wall = Instant::now();
         let mut stats = ParallelStats::default();
         let threads = self.pool.lock().threads();
+        let rows = Arc::new(crate::enumerator::neighbor_rows::<S>(g));
 
         let init = match start {
             Some(level) => level,
             None => {
                 // Initialization is sequential and cheap relative to
                 // expansion.
-                let seq = crate::enumerator::CliqueEnumerator::new(self.config.enum_config);
+                let seq = crate::enumerator::CliqueEnumerator::<S, InMemoryLevel<S>>::with_backend(
+                    self.config.enum_config,
+                    (),
+                );
                 let mut init_stats = crate::enumerator::EnumStats::default();
                 let init = seq.init_level(g, sink, &mut init_stats);
                 stats.total_maximal += init_stats.total_maximal;
@@ -361,11 +375,11 @@ impl ParallelEnumerator {
 
             // One level-synchronous round: workers expand their local
             // sub-lists with no cross-talk.
-            let batches: Vec<Vec<SubList>> = std::mem::take(&mut queues);
+            let batches: Vec<Vec<SubList<S>>> = std::mem::take(&mut queues);
             let first = self
                 .pool
                 .lock()
-                .run_round_checked(batches, worker_job(Arc::clone(g)));
+                .run_round_checked(batches, worker_job(Arc::clone(g), Arc::clone(&rows)));
             let mut retried = false;
             let outputs = match first {
                 Ok(outputs) => outputs,
@@ -373,11 +387,10 @@ impl ParallelEnumerator {
                     // The whole round is discarded; re-partition the
                     // snapshot and retry once on respawned workers.
                     let retry_batches = partition_level(level_view.sublists.clone(), threads);
-                    match self
-                        .pool
-                        .lock()
-                        .run_round_checked(retry_batches, worker_job(Arc::clone(g)))
-                    {
+                    match self.pool.lock().run_round_checked(
+                        retry_batches,
+                        worker_job(Arc::clone(g), Arc::clone(&rows)),
+                    ) {
                         Ok(outputs) => {
                             stats.retried_levels.push(k);
                             retried = true;
@@ -405,7 +418,7 @@ impl ParallelEnumerator {
             let mut and_ops = 0u64;
             let mut maximality_tests = 0u64;
             let mut maximal: Vec<Clique> = Vec::new();
-            let mut new_queues: Vec<Vec<SubList>> = Vec::with_capacity(threads);
+            let mut new_queues: Vec<Vec<SubList<S>>> = Vec::with_capacity(threads);
             for (out, ns) in outputs {
                 per_worker_ns.push(ns);
                 per_worker_units.push(out.units);
@@ -440,7 +453,7 @@ impl ParallelEnumerator {
                 }
                 BalanceStrategy::Static => 0,
                 BalanceStrategy::Repartition => {
-                    let flat: Vec<SubList> = new_queues.drain(..).flatten().collect();
+                    let flat: Vec<SubList<S>> = new_queues.drain(..).flatten().collect();
                     new_queues = partition_level(flat, threads);
                     0
                 }
@@ -455,6 +468,8 @@ impl ParallelEnumerator {
                 memory,
                 and_ops,
                 maximality_tests,
+                spilled: 0,
+                bytes_read: 0,
             });
             stats.run.levels.push(LevelStats {
                 level: k,
@@ -641,7 +656,7 @@ mod tests {
             ..Default::default()
         });
         let outcome = enumerator
-            .enumerate_resilient(&garc, None, &mut sink, |level, _m, _s| {
+            .enumerate_resilient(&garc, None::<Level>, &mut sink, |level, _m, _s| {
                 Ok(if level.k >= 4 {
                     BarrierControl::Degrade
                 } else {

@@ -25,6 +25,7 @@
 //!
 //! Without those options `run` takes the original in-core fast path.
 
+use crate::backend::{BackendChoice, InMemoryLevel, SpilledLevel};
 use crate::checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager, RunProgress};
 use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 use crate::maxclique::maximum_clique_size;
@@ -34,10 +35,10 @@ use crate::parallel::{
     ParallelStats,
 };
 use crate::sink::CliqueSink;
-use crate::spill::SpillStats;
 use crate::store::{SpillConfig, StoreError};
 use crate::sublist::Level;
 use crate::Vertex;
+use gsb_bitset::{BitSet, HybridSet, NeighborSet, WahBitSet};
 use gsb_graph::reduce::clique_upper_bound;
 use gsb_graph::BitGraph;
 use gsb_par::RoundError;
@@ -107,6 +108,7 @@ pub struct CliquePipeline {
     memory_budget: Option<usize>,
     degrade_dir: Option<PathBuf>,
     telemetry: Option<Arc<RunTelemetry>>,
+    backend: BackendChoice,
 }
 
 impl Default for CliquePipeline {
@@ -120,6 +122,7 @@ impl Default for CliquePipeline {
             memory_budget: None,
             degrade_dir: None,
             telemetry: None,
+            backend: BackendChoice::Dense,
         }
     }
 }
@@ -144,8 +147,10 @@ pub struct PipelineReport {
     pub degraded_at: Option<usize>,
     /// Levels that were checkpointed (and later cleaned up on success).
     pub checkpoints: Vec<usize>,
-    /// Out-of-core stats for the degraded tail of the run, if any.
-    pub spill_stats: Option<SpillStats>,
+    /// Out-of-core stats for the degraded tail of the run, if any —
+    /// the same per-level reports as `enum_stats`, with
+    /// [`LevelReport::bytes_read`] counting the spill traffic.
+    pub degraded_stats: Option<EnumStats>,
 }
 
 /// What the resilient driver hands back to the report assembly.
@@ -153,7 +158,7 @@ pub struct PipelineReport {
 struct ResilientOutcome {
     enum_stats: Option<EnumStats>,
     parallel_stats: Option<ParallelStats>,
-    spill_stats: Option<SpillStats>,
+    degraded_stats: Option<EnumStats>,
     checkpoints: Vec<usize>,
     degraded_at: Option<usize>,
 }
@@ -218,6 +223,18 @@ impl CliquePipeline {
         self
     }
 
+    /// Choose the common-neighbor bitmap representation the enumeration
+    /// runs with: dense words (the default and fastest in-core),
+    /// WAH-compressed (smallest footprint on sparse genome-scale
+    /// graphs), or the adaptive hybrid (per-bitmap choice of the two).
+    /// Every choice produces the identical clique set; checkpoints are
+    /// written in the selected representation and must be resumed with
+    /// the same one (`gsb resume` re-derives it from `run.meta`).
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Attach a run-telemetry sink: one [`LevelRecord`] per level
     /// barrier (JSONL export and/or live progress per its
     /// [`TelemetryConfig`]), plus a final [`RunSummary`]. Routes the run
@@ -277,6 +294,20 @@ impl CliquePipeline {
         g: &BitGraph,
         sink: &mut impl CliqueSink,
     ) -> Result<PipelineReport, PipelineError> {
+        match self.backend {
+            BackendChoice::Dense => self.try_run_repr::<BitSet>(g, sink),
+            BackendChoice::Wah => self.try_run_repr::<WahBitSet>(g, sink),
+            BackendChoice::Hybrid => self.try_run_repr::<HybridSet>(g, sink),
+        }
+    }
+
+    /// `try_run` under one concrete bitmap representation — the single
+    /// monomorphization point for the whole run path.
+    fn try_run_repr<S: NeighborSet>(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+    ) -> Result<PipelineReport, PipelineError> {
         let (upper_bound, maximum, config) = self.enum_config(g);
 
         // Stages 2+3: seed at min_k (inside the enumerator) and run the
@@ -287,8 +318,9 @@ impl CliquePipeline {
         {
             // Original infallible in-core fast path.
             if self.threads == 1 {
+                let seq = CliqueEnumerator::<S, InMemoryLevel<S>>::with_backend(config, ());
                 ResilientOutcome {
-                    enum_stats: Some(CliqueEnumerator::new(config).enumerate(g, sink)),
+                    enum_stats: Some(seq.enumerate(g, sink)),
                     ..Default::default()
                 }
             } else {
@@ -298,13 +330,28 @@ impl CliquePipeline {
                     ..Default::default()
                 });
                 let garc = Arc::new(g.clone());
+                let stats = match par.enumerate_resilient(
+                    &garc,
+                    None::<Level<S>>,
+                    sink,
+                    |_level, _mem, _sink| Ok(BarrierControl::Continue),
+                ) {
+                    Ok(ParallelOutcome::Complete(stats)) => stats,
+                    Ok(ParallelOutcome::Degraded { .. }) => {
+                        unreachable!("no-op barrier never degrades")
+                    }
+                    Err(ParallelRunError::Round { k, error, .. }) => {
+                        return Err(PipelineError::Workers { k, error })
+                    }
+                    Err(ParallelRunError::Store(e)) => return Err(PipelineError::Store(e)),
+                };
                 ResilientOutcome {
-                    parallel_stats: Some(par.enumerate(&garc, sink)),
+                    parallel_stats: Some(stats),
                     ..Default::default()
                 }
             }
         } else {
-            self.run_resilient(g, sink, None, config)?
+            self.run_resilient::<S, _>(g, sink, None, config)?
         };
         let report = PipelineReport {
             upper_bound,
@@ -315,7 +362,7 @@ impl CliquePipeline {
             resumed_from: None,
             degraded_at: outcome.degraded_at,
             checkpoints: outcome.checkpoints,
-            spill_stats: outcome.spill_stats,
+            degraded_stats: outcome.degraded_stats,
         };
         self.finish_telemetry(&report)?;
         Ok(report)
@@ -337,11 +384,23 @@ impl CliquePipeline {
         g: &BitGraph,
         sink: &mut impl CliqueSink,
     ) -> Result<PipelineReport, PipelineError> {
+        match self.backend {
+            BackendChoice::Dense => self.resume_repr::<BitSet>(g, sink),
+            BackendChoice::Wah => self.resume_repr::<WahBitSet>(g, sink),
+            BackendChoice::Hybrid => self.resume_repr::<HybridSet>(g, sink),
+        }
+    }
+
+    fn resume_repr<S: NeighborSet>(
+        &self,
+        g: &BitGraph,
+        sink: &mut impl CliqueSink,
+    ) -> Result<PipelineReport, PipelineError> {
         let ckpt = self
             .checkpoint
             .as_ref()
             .ok_or(PipelineError::NoCheckpoint)?;
-        let Some((k, level)) = latest_checkpoint(&ckpt.dir, g.n())? else {
+        let Some((k, level)) = latest_checkpoint::<S>(&ckpt.dir, g.n())? else {
             return Err(PipelineError::NoCheckpoint);
         };
         // Carry the interrupted run's cumulative progress into this
@@ -358,7 +417,7 @@ impl CliquePipeline {
             );
         }
         let (upper_bound, maximum, config) = self.enum_config(g);
-        let outcome = self.run_resilient(g, sink, Some(level), config)?;
+        let outcome = self.run_resilient::<S, _>(g, sink, Some(level), config)?;
         let report = PipelineReport {
             upper_bound,
             maximum_clique: maximum,
@@ -368,7 +427,7 @@ impl CliquePipeline {
             resumed_from: Some(k),
             degraded_at: outcome.degraded_at,
             checkpoints: outcome.checkpoints,
-            spill_stats: outcome.spill_stats,
+            degraded_stats: outcome.degraded_stats,
         };
         self.finish_telemetry(&report)?;
         Ok(report)
@@ -392,11 +451,11 @@ impl CliquePipeline {
 
     /// The barrier-driven driver behind `try_run` (with options) and
     /// `resume`.
-    fn run_resilient<S: CliqueSink>(
+    fn run_resilient<S: NeighborSet, K: CliqueSink>(
         &self,
         g: &BitGraph,
-        sink: &mut S,
-        start: Option<Level>,
+        sink: &mut K,
+        start: Option<Level<S>>,
         config: EnumConfig,
     ) -> Result<ResilientOutcome, PipelineError> {
         let mut manager = self
@@ -444,18 +503,18 @@ impl CliquePipeline {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_resilient_sequential<S: CliqueSink>(
+    fn run_resilient_sequential<S: NeighborSet, K: CliqueSink>(
         &self,
         g: &BitGraph,
-        sink: &mut S,
-        start: Option<Level>,
+        sink: &mut K,
+        start: Option<Level<S>>,
         config: EnumConfig,
         manager: &mut Option<CheckpointManager>,
         budget: Option<usize>,
         g_n: usize,
         telemetry: &RunTelemetry,
     ) -> Result<ResilientOutcome, PipelineError> {
-        let seq = CliqueEnumerator::new(config);
+        let seq = CliqueEnumerator::<S, InMemoryLevel<S>>::with_backend(config, ());
         let mut outcome = ResilientOutcome::default();
         let mut stats = EnumStats::default();
         let mut sink = TelemetrySink {
@@ -466,6 +525,9 @@ impl CliquePipeline {
             Some(level) => level,
             None => seq.init_level(g, &mut sink, &mut stats),
         };
+        // One representation conversion of the adjacency rows for the
+        // whole run, shared by every level step.
+        let rows = crate::enumerator::neighbor_rows::<S>(g);
         loop {
             if level.sublists.is_empty() {
                 break;
@@ -480,18 +542,23 @@ impl CliquePipeline {
                 BarrierControl::Continue => {}
                 BarrierControl::Degrade => {
                     outcome.degraded_at = Some(level.k);
-                    let spill = self.spill_config();
-                    let spill_stats = seq
-                        .enumerate_spilled_from_level(g, level, &mut sink, &spill)
-                        .map_err(PipelineError::Store)?;
-                    stats.total_maximal += spill_stats.total_maximal;
-                    record_spill_levels(telemetry, &spill_stats)?;
-                    outcome.spill_stats = Some(spill_stats);
+                    // Degradation is a backend swap: same kernel, same
+                    // representation, the level just moves to the
+                    // budgeted spill store.
+                    let degraded = CliqueEnumerator::<S, SpilledLevel<S>>::with_backend(
+                        config,
+                        self.spill_config(),
+                    )
+                    .try_enumerate_from_level(g, level, &mut sink)
+                    .map_err(PipelineError::Store)?;
+                    stats.total_maximal += degraded.total_maximal;
+                    record_degraded_levels(telemetry, &degraded)?;
+                    outcome.degraded_stats = Some(degraded);
                     break;
                 }
             }
             let projected = memory.projected_peak_bytes(level.k, g_n) as u64;
-            let (next, report) = seq.step(g, &level, &mut sink);
+            let (next, report) = seq.step_with_rows(g, &rows, &level, &mut sink);
             stats.total_maximal += report.maximal_found;
             telemetry
                 .on_level(level_record(&report, projected))
@@ -505,11 +572,11 @@ impl CliquePipeline {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_resilient_parallel<S: CliqueSink>(
+    fn run_resilient_parallel<S: NeighborSet, K: CliqueSink>(
         &self,
         g: &BitGraph,
-        sink: &mut S,
-        start: Option<Level>,
+        sink: &mut K,
+        start: Option<Level<S>>,
         config: EnumConfig,
         manager: &mut Option<CheckpointManager>,
         budget: Option<usize>,
@@ -570,12 +637,14 @@ impl CliquePipeline {
             Ok(ParallelOutcome::Degraded { level, stats }) => {
                 outcome.degraded_at = Some(level.k);
                 outcome.parallel_stats = Some(stats);
-                let spill = self.spill_config();
-                let spill_stats = CliqueEnumerator::new(config)
-                    .enumerate_spilled_from_level(g, level, &mut sink, &spill)
-                    .map_err(PipelineError::Store)?;
-                record_spill_levels(telemetry, &spill_stats)?;
-                outcome.spill_stats = Some(spill_stats);
+                let degraded = CliqueEnumerator::<S, SpilledLevel<S>>::with_backend(
+                    config,
+                    self.spill_config(),
+                )
+                .try_enumerate_from_level(g, level, &mut sink)
+                .map_err(PipelineError::Store)?;
+                record_degraded_levels(telemetry, &degraded)?;
+                outcome.degraded_stats = Some(degraded);
             }
             Err(ParallelRunError::Round { k, error, level }) => {
                 // Abort, but leave a final checkpoint of the failed
@@ -638,11 +707,11 @@ fn level_record(report: &LevelReport, projected_bytes: u64) -> LevelRecord {
 
 /// Emit one degraded-mode record per out-of-core level so the JSONL
 /// stream covers the whole run even after the watchdog fires.
-fn record_spill_levels(
+fn record_degraded_levels(
     telemetry: &RunTelemetry,
-    spill_stats: &SpillStats,
+    degraded: &EnumStats,
 ) -> Result<(), PipelineError> {
-    for level in &spill_stats.levels {
+    for level in &degraded.levels {
         telemetry.note_spill(level.bytes_read);
         let record = LevelRecord {
             k: level.k as u64,
@@ -663,12 +732,12 @@ fn record_spill_levels(
 /// sink flush, checkpoint write (plus its telemetry and progress
 /// bookkeeping).
 #[allow(clippy::too_many_arguments)]
-fn at_barrier<S: CliqueSink>(
+fn at_barrier<S: NeighborSet, K: CliqueSink>(
     manager: &mut Option<CheckpointManager>,
     budget: Option<usize>,
-    level: &Level,
+    level: &Level<S>,
     memory: &LevelMemory,
-    sink: &mut S,
+    sink: &mut K,
     g_n: usize,
     telemetry: &RunTelemetry,
 ) -> Result<BarrierControl, PipelineError> {
@@ -888,7 +957,7 @@ mod tests {
             .try_run(&g, &mut sink)
             .expect("degraded run");
         assert!(report.degraded_at.is_some(), "watchdog never fired");
-        assert!(report.spill_stats.is_some());
+        assert!(report.degraded_stats.is_some());
         let mut a = plain.cliques;
         let mut b = sink.cliques;
         a.sort();
@@ -940,6 +1009,121 @@ mod tests {
             .try_run(&g, &mut sink)
             .expect("run");
         assert!(report.degraded_at.is_none());
-        assert!(report.spill_stats.is_none());
+        assert!(report.degraded_stats.is_none());
+    }
+
+    #[test]
+    fn all_backends_match_dense_sequential_and_parallel() {
+        let g = planted(34, 0.1, &[Module::clique(8), Module::clique(6)], 7);
+        let mut dense = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut dense);
+        let mut expect = dense.cliques;
+        expect.sort();
+        for backend in [BackendChoice::Wah, BackendChoice::Hybrid] {
+            for threads in [1usize, 3] {
+                let mut sink = CollectSink::default();
+                CliquePipeline::new()
+                    .min_size(3)
+                    .threads(threads)
+                    .backend(backend)
+                    .run(&g, &mut sink);
+                let mut got = sink.cliques;
+                got.sort();
+                assert_eq!(got, expect, "{backend} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn wah_backend_degrades_and_stays_correct() {
+        let g = planted(36, 0.1, &[Module::clique(9)], 3);
+        let mut plain = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut plain);
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .backend(BackendChoice::Wah)
+            .memory_budget(64)
+            .try_run(&g, &mut sink)
+            .expect("degraded wah run");
+        assert!(report.degraded_at.is_some(), "watchdog never fired");
+        let degraded = report.degraded_stats.expect("degraded tail stats");
+        assert!(degraded.total_bytes_read() > 0, "nothing spilled");
+        let mut a = plain.cliques;
+        let mut b = sink.cliques;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checkpointed_wah_run_resumes_with_same_backend() {
+        let g = planted(34, 0.1, &[Module::clique(8), Module::clique(6)], 29);
+        let mut full = CollectSink::default();
+        CliquePipeline::new().min_size(3).run(&g, &mut full);
+
+        // Run the first levels by hand under WAH, checkpoint, resume.
+        let seq = CliqueEnumerator::<WahBitSet, InMemoryLevel<WahBitSet>>::with_backend(
+            EnumConfig::default(),
+            (),
+        );
+        let mut pre_crash = CollectSink::default();
+        let mut enum_stats = EnumStats::default();
+        let mut level = seq.init_level(&g, &mut pre_crash, &mut enum_stats);
+        while level.k < 4 && !level.sublists.is_empty() {
+            let (next, _) = seq.step(&g, &level, &mut pre_crash);
+            level = next;
+        }
+        let dir = temp_dir("wah-resume");
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.force(&level).unwrap();
+
+        let mut post = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .backend(BackendChoice::Wah)
+            .checkpoint(CheckpointConfig::every_level(&dir))
+            .resume(&g, &mut post)
+            .expect("wah resume");
+        assert_eq!(report.resumed_from, Some(level.k));
+        let mut combined: Vec<_> = pre_crash
+            .cliques
+            .into_iter()
+            .filter(|c| c.len() <= level.k)
+            .chain(post.cliques)
+            .collect();
+        combined.sort();
+        let mut expect = full.cliques;
+        expect.sort();
+        assert_eq!(combined, expect);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resuming_wah_checkpoint_as_dense_is_a_backend_mismatch() {
+        let g = planted(30, 0.1, &[Module::clique(7)], 11);
+        let seq = CliqueEnumerator::<WahBitSet, InMemoryLevel<WahBitSet>>::with_backend(
+            EnumConfig::default(),
+            (),
+        );
+        let mut sink = CollectSink::default();
+        let mut enum_stats = EnumStats::default();
+        let level = seq.init_level(&g, &mut sink, &mut enum_stats);
+        let dir = temp_dir("mismatch-resume");
+        let mut mgr = CheckpointManager::new(CheckpointConfig::every_level(&dir)).unwrap();
+        mgr.force(&level).unwrap();
+
+        let err = CliquePipeline::new()
+            .checkpoint(CheckpointConfig::every_level(&dir))
+            .resume(&g, &mut CollectSink::default())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PipelineError::Store(StoreError::BackendMismatch { .. })
+            ),
+            "got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -23,7 +23,7 @@
 use crate::sublist::SubList;
 use crate::Vertex;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gsb_bitset::BitSet;
+use gsb_bitset::{BitSet, NeighborSet};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -78,6 +78,20 @@ pub enum StoreError {
         /// Vertex count of the graph being resumed.
         graph_bits: usize,
     },
+    /// The file was written with a different bitmap representation than
+    /// the one reading it (see [`gsb_bitset::NeighborSet::KIND`]).
+    BackendMismatch {
+        /// Representation kind recorded in the file.
+        found: u8,
+        /// Representation kind expected by the reader.
+        expected: u8,
+    },
+    /// Payload bytes do not decode as the expected bitmap
+    /// representation.
+    Codec {
+        /// Which structure was being read.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -114,6 +128,13 @@ impl fmt::Display for StoreError {
                 f,
                 "checkpoint is for a {checkpoint_bits}-vertex graph, not {graph_bits}"
             ),
+            StoreError::BackendMismatch { found, expected } => write!(
+                f,
+                "file holds bitmap representation kind {found}, reader expects {expected}"
+            ),
+            StoreError::Codec { context } => {
+                write!(f, "corrupt {context}: bytes do not decode")
+            }
         }
     }
 }
@@ -168,27 +189,36 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Encode one sub-list into a length-prefixed binary record.
 ///
 /// Layout: `prefix_len: u32, tails_len: u32, n_bits: u32,
-/// prefix: [u32], tails: [u32], cn_words: [u64]`.
-pub fn encode_sublist(sl: &SubList, buf: &mut BytesMut) {
+/// prefix: [u32], tails: [u32], cn payload`. For a fixed-width
+/// representation (dense: [`NeighborSet::serialized_len`] is `Some`)
+/// the payload is written raw — byte-identical to the historical dense
+/// format. Variable-width representations (WAH, hybrid) prepend a
+/// `payload_len: u32`.
+pub fn encode_sublist<S: NeighborSet>(sl: &SubList<S>, buf: &mut BytesMut) {
+    let n_bits = sl.cn.nbits();
     buf.put_u32_le(sl.prefix.len() as u32);
     buf.put_u32_le(sl.tails.len() as u32);
-    buf.put_u32_le(sl.cn.len() as u32);
+    buf.put_u32_le(n_bits as u32);
     for &v in &sl.prefix {
         buf.put_u32_le(v);
     }
     for &t in &sl.tails {
         buf.put_u32_le(t);
     }
-    for &w in sl.cn.words() {
-        buf.put_u64_le(w);
+    let mut payload = Vec::new();
+    sl.cn.serialize_into(&mut payload);
+    match S::serialized_len(n_bits) {
+        Some(len) => debug_assert_eq!(len, payload.len(), "fixed-width codec drift"),
+        None => buf.put_u32_le(payload.len() as u32),
     }
+    buf.extend_from_slice(&payload);
 }
 
 /// Decode one sub-list from the reader side of [`encode_sublist`].
 /// Returns `Ok(None)` at a clean end of input and a typed
 /// [`StoreError::Torn`] on a short read — corruption is an error to
 /// recover from, not a panic.
-pub fn decode_sublist(buf: &mut Bytes) -> Result<Option<SubList>, StoreError> {
+pub fn decode_sublist<S: NeighborSet>(buf: &mut Bytes) -> Result<Option<SubList<S>>, StoreError> {
     if buf.remaining() == 0 {
         return Ok(None);
     }
@@ -202,29 +232,47 @@ pub fn decode_sublist(buf: &mut Bytes) -> Result<Option<SubList>, StoreError> {
     let prefix_len = buf.get_u32_le() as usize;
     let tails_len = buf.get_u32_le() as usize;
     let n_bits = buf.get_u32_le() as usize;
-    let words = gsb_bitset::words_for(n_bits);
-    let need = 4 * (prefix_len + tails_len) + 8 * words;
-    if buf.remaining() < need {
+    let vec_need = 4 * (prefix_len + tails_len);
+    if buf.remaining() < vec_need {
         return Err(StoreError::Torn {
             context: "sub-list body",
-            needed: need,
+            needed: vec_need,
             have: buf.remaining(),
         });
     }
     let prefix: Vec<Vertex> = (0..prefix_len).map(|_| buf.get_u32_le()).collect();
     let tails: Vec<Vertex> = (0..tails_len).map(|_| buf.get_u32_le()).collect();
-    let cn_words: Vec<u64> = (0..words).map(|_| buf.get_u64_le()).collect();
-    Ok(Some(SubList {
-        prefix,
-        cn: BitSet::from_words(n_bits, cn_words),
-        tails,
-    }))
+    let payload_len = match S::serialized_len(n_bits) {
+        Some(len) => len,
+        None => {
+            if buf.remaining() < 4 {
+                return Err(StoreError::Torn {
+                    context: "sub-list bitmap length",
+                    needed: 4,
+                    have: buf.remaining(),
+                });
+            }
+            buf.get_u32_le() as usize
+        }
+    };
+    if buf.remaining() < payload_len {
+        return Err(StoreError::Torn {
+            context: "sub-list bitmap",
+            needed: payload_len,
+            have: buf.remaining(),
+        });
+    }
+    let cn = S::deserialize(n_bits, &buf.chunk()[..payload_len]).ok_or(StoreError::Codec {
+        context: "sub-list bitmap",
+    })?;
+    buf.advance(payload_len);
+    Ok(Some(SubList { prefix, cn, tails }))
 }
 
 /// Append one sub-list as a CRC-framed record:
 /// `[payload_len: u32][crc32(payload): u32][payload]`. `scratch` is a
 /// reusable encode buffer.
-pub fn encode_record(sl: &SubList, out: &mut BytesMut, scratch: &mut BytesMut) {
+pub fn encode_record<S: NeighborSet>(sl: &SubList<S>, out: &mut BytesMut, scratch: &mut BytesMut) {
     scratch.clear();
     encode_sublist(sl, scratch);
     out.put_u32_le(scratch.len() as u32);
@@ -235,7 +283,7 @@ pub fn encode_record(sl: &SubList, out: &mut BytesMut, scratch: &mut BytesMut) {
 /// Read back one CRC-framed record written by [`encode_record`].
 /// Returns `Ok(None)` at a clean end of input; any torn frame or
 /// checksum failure is a typed error.
-pub fn decode_record(bytes: &mut Bytes) -> Result<Option<SubList>, StoreError> {
+pub fn decode_record<S: NeighborSet>(bytes: &mut Bytes) -> Result<Option<SubList<S>>, StoreError> {
     if bytes.remaining() == 0 {
         return Ok(None);
     }
@@ -301,12 +349,14 @@ impl SpillConfig {
 }
 
 /// One level of candidate sub-lists, resident in memory up to a budget
-/// and on disk beyond it.
-pub struct LevelStore {
+/// and on disk beyond it. Generic over the bitmap representation: the
+/// spill records carry whatever [`NeighborSet`] the run enumerates
+/// with, so a WAH run spills compressed bytes.
+pub struct LevelStore<S: NeighborSet = BitSet> {
     budget_bytes: usize,
     dir: PathBuf,
     graph_n: usize,
-    resident: Vec<SubList>,
+    resident: Vec<SubList<S>>,
     resident_bytes: usize,
     spill: Option<Spill>,
     total: usize,
@@ -320,7 +370,7 @@ struct Spill {
     bytes_written: u64,
 }
 
-impl LevelStore {
+impl<S: NeighborSet> LevelStore<S> {
     /// An empty store for a graph with `graph_n` vertices.
     pub fn new(config: &SpillConfig, graph_n: usize) -> Self {
         LevelStore {
@@ -361,8 +411,10 @@ impl LevelStore {
     }
 
     /// Append a sub-list, spilling it to disk (as a CRC-framed record)
-    /// if the memory budget is exhausted.
-    pub fn push(&mut self, sl: SubList) -> Result<(), StoreError> {
+    /// if the memory budget is exhausted. The budget is charged in the
+    /// paper's *formula* bytes, which are representation-independent,
+    /// so dense and compressed runs spill at the same points.
+    pub fn push(&mut self, sl: SubList<S>) -> Result<(), StoreError> {
         self.total += 1;
         let cost = sl.formula_bytes(self.graph_n);
         if self.resident_bytes + cost <= self.budget_bytes {
@@ -403,7 +455,7 @@ impl LevelStore {
     /// first (moved out), then spilled ones streamed back from disk.
     /// Torn or corrupt spill records surface as typed errors; the spill
     /// file is removed either way.
-    pub fn drain(mut self, mut f: impl FnMut(SubList)) -> Result<DrainReport, StoreError> {
+    pub fn drain(mut self, mut f: impl FnMut(SubList<S>)) -> Result<DrainReport, StoreError> {
         for sl in self.resident.drain(..) {
             f(sl);
         }
@@ -443,7 +495,7 @@ impl LevelStore {
     }
 }
 
-impl Drop for LevelStore {
+impl<S: NeighborSet> Drop for LevelStore<S> {
     fn drop(&mut self) {
         if let Some(spill) = self.spill.take() {
             drop(spill.writer);
@@ -464,13 +516,23 @@ pub struct DrainReport {
 /// Legacy (v1) checkpoint magic: unframed records, no checksums.
 /// Still readable for files written by earlier builds.
 const CHECKPOINT_MAGIC_V1: u64 = 0x5343_3035_474C_5631; // "SC05GLV1"
-/// Current (v2) checkpoint magic: CRC-checked header carrying the
-/// graph's bitmap width, CRC-framed records.
+/// Dense (v2) checkpoint magic: CRC-checked header carrying the
+/// graph's bitmap width, CRC-framed records. Still written for dense
+/// runs, byte-identical to earlier builds.
 const CHECKPOINT_MAGIC_V2: u64 = 0x5343_3035_474C_5632; // "SC05GLV2"
+
+/// v3 checkpoint magic: like v2 but the header also records which
+/// bitmap representation ([`NeighborSet::KIND`]) the records hold.
+/// Written for non-dense runs.
+const CHECKPOINT_MAGIC_V3: u64 = 0x5343_3035_474C_5633; // "SC05GLV3"
 
 /// v2 header: magic u64 | k u32 | n_bits u32 | count u64, then a u32
 /// CRC over those 24 bytes.
 const V2_HEADER_BYTES: usize = 24;
+
+/// v3 header: magic u64 | k u32 | n_bits u32 | count u64 | kind u32,
+/// then a u32 CRC over those 28 bytes.
+const V3_HEADER_BYTES: usize = 28;
 
 /// Write a whole level (the paper's `L_k`) as a checkpoint file:
 /// genome-scale runs took the original authors hours to days, and a
@@ -483,14 +545,31 @@ const V2_HEADER_BYTES: usize = 24;
 /// recorded so resume can reject a checkpoint from a different graph.
 /// Returns the bytes written (header + framed records), which the
 /// telemetry layer reports as the checkpoint's I/O cost.
-pub fn write_level(path: &Path, level: &crate::sublist::Level) -> Result<u64, StoreError> {
-    let n_bits = level.sublists.first().map_or(0, |sl| sl.cn.len());
+///
+/// Dense levels are written in the historical v2 format (byte-identical
+/// to earlier builds); other representations get a v3 header that also
+/// records the representation kind, so resume can reject a checkpoint
+/// taken under a different backend.
+pub fn write_level<S: NeighborSet>(
+    path: &Path,
+    level: &crate::sublist::Level<S>,
+) -> Result<u64, StoreError> {
+    let n_bits = level.sublists.first().map_or(0, |sl| sl.cn.nbits());
     let mut buf = BytesMut::new();
-    buf.put_u64_le(CHECKPOINT_MAGIC_V2);
-    buf.put_u32_le(level.k as u32);
-    buf.put_u32_le(n_bits as u32);
-    buf.put_u64_le(level.sublists.len() as u64);
-    buf.put_u32_le(crc32(&buf[..V2_HEADER_BYTES]));
+    if S::KIND == gsb_bitset::KIND_DENSE {
+        buf.put_u64_le(CHECKPOINT_MAGIC_V2);
+        buf.put_u32_le(level.k as u32);
+        buf.put_u32_le(n_bits as u32);
+        buf.put_u64_le(level.sublists.len() as u64);
+        buf.put_u32_le(crc32(&buf[..V2_HEADER_BYTES]));
+    } else {
+        buf.put_u64_le(CHECKPOINT_MAGIC_V3);
+        buf.put_u32_le(level.k as u32);
+        buf.put_u32_le(n_bits as u32);
+        buf.put_u64_le(level.sublists.len() as u64);
+        buf.put_u32_le(u32::from(S::KIND));
+        buf.put_u32_le(crc32(&buf[..V3_HEADER_BYTES]));
+    }
     let mut scratch = BytesMut::new();
     for sl in &level.sublists {
         encode_record(sl, &mut buf, &mut scratch);
@@ -526,10 +605,14 @@ fn sibling_tmp(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Read a level checkpoint written by [`write_level`] (v2, or legacy
-/// v1 files from earlier builds), returning the level and the bitmap
-/// width it was taken over (0 when unknown: v1 files and empty levels).
-pub fn read_level_meta(path: &Path) -> Result<(crate::sublist::Level, usize), StoreError> {
+/// Read a level checkpoint written by [`write_level`] (v3, v2, or
+/// legacy v1 files from earlier builds), returning the level and the
+/// bitmap width it was taken over (0 when unknown: v1 files and empty
+/// levels). v1/v2 files hold dense records; reading them as another
+/// representation is a typed [`StoreError::BackendMismatch`].
+pub fn read_level_meta<S: NeighborSet>(
+    path: &Path,
+) -> Result<(crate::sublist::Level<S>, usize), StoreError> {
     let raw = std::fs::read(path)?;
     let mut bytes = Bytes::from(raw);
     if bytes.remaining() < 8 {
@@ -540,7 +623,16 @@ pub fn read_level_meta(path: &Path) -> Result<(crate::sublist::Level, usize), St
         });
     }
     let magic = bytes.get_u64_le();
+    if matches!(magic, CHECKPOINT_MAGIC_V1 | CHECKPOINT_MAGIC_V2)
+        && S::KIND != gsb_bitset::KIND_DENSE
+    {
+        return Err(StoreError::BackendMismatch {
+            found: gsb_bitset::KIND_DENSE,
+            expected: S::KIND,
+        });
+    }
     match magic {
+        CHECKPOINT_MAGIC_V3 => read_level_v3(bytes),
         CHECKPOINT_MAGIC_V2 => read_level_v2(bytes),
         CHECKPOINT_MAGIC_V1 => read_level_v1(bytes).map(|l| (l, 0)),
         found => Err(StoreError::BadMagic { found }),
@@ -548,11 +640,65 @@ pub fn read_level_meta(path: &Path) -> Result<(crate::sublist::Level, usize), St
 }
 
 /// Read a level checkpoint written by [`write_level`].
-pub fn read_level(path: &Path) -> Result<crate::sublist::Level, StoreError> {
+pub fn read_level<S: NeighborSet>(path: &Path) -> Result<crate::sublist::Level<S>, StoreError> {
     read_level_meta(path).map(|(level, _)| level)
 }
 
-fn read_level_v2(mut bytes: Bytes) -> Result<(crate::sublist::Level, usize), StoreError> {
+fn read_level_v3<S: NeighborSet>(
+    mut bytes: Bytes,
+) -> Result<(crate::sublist::Level<S>, usize), StoreError> {
+    // 20 header bytes after the magic, plus the 4-byte header CRC.
+    if bytes.remaining() < 24 {
+        return Err(StoreError::Torn {
+            context: "checkpoint header",
+            needed: 24,
+            have: bytes.remaining(),
+        });
+    }
+    let k = bytes.get_u32_le() as usize;
+    let n_bits = bytes.get_u32_le() as usize;
+    let count = bytes.get_u64_le() as usize;
+    let kind = bytes.get_u32_le();
+    let stored = bytes.get_u32_le();
+    let mut header = BytesMut::new();
+    header.put_u64_le(CHECKPOINT_MAGIC_V3);
+    header.put_u32_le(k as u32);
+    header.put_u32_le(n_bits as u32);
+    header.put_u64_le(count as u64);
+    header.put_u32_le(kind);
+    let computed = crc32(&header);
+    if computed != stored {
+        return Err(StoreError::Checksum {
+            context: "checkpoint header",
+            stored,
+            computed,
+        });
+    }
+    if kind != u32::from(S::KIND) {
+        return Err(StoreError::BackendMismatch {
+            found: kind.min(255) as u8,
+            expected: S::KIND,
+        });
+    }
+    let mut sublists = Vec::with_capacity(count.min(1 << 20));
+    while let Some(sl) = decode_record(&mut bytes)? {
+        sublists.push(sl);
+        if sublists.len() > count {
+            break;
+        }
+    }
+    if sublists.len() != count {
+        return Err(StoreError::CountMismatch {
+            expected: count,
+            found: sublists.len(),
+        });
+    }
+    Ok((crate::sublist::Level { k, sublists }, n_bits))
+}
+
+fn read_level_v2<S: NeighborSet>(
+    mut bytes: Bytes,
+) -> Result<(crate::sublist::Level<S>, usize), StoreError> {
     // 16 header bytes after the magic, plus the 4-byte header CRC.
     if bytes.remaining() < 20 {
         return Err(StoreError::Torn {
@@ -594,7 +740,7 @@ fn read_level_v2(mut bytes: Bytes) -> Result<(crate::sublist::Level, usize), Sto
     Ok((crate::sublist::Level { k, sublists }, n_bits))
 }
 
-fn read_level_v1(mut bytes: Bytes) -> Result<crate::sublist::Level, StoreError> {
+fn read_level_v1<S: NeighborSet>(mut bytes: Bytes) -> Result<crate::sublist::Level<S>, StoreError> {
     if bytes.remaining() < 12 {
         return Err(StoreError::Torn {
             context: "checkpoint header",
@@ -635,6 +781,7 @@ pub fn dir_writable(dir: &Path) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gsb_bitset::{HybridSet, WahBitSet};
     use gsb_graph::BitGraph;
 
     fn sample_sublists(n_graph: usize, count: usize) -> Vec<SubList> {
@@ -658,11 +805,11 @@ mod tests {
             let mut buf = BytesMut::new();
             encode_sublist(&sl, &mut buf);
             let mut bytes = buf.freeze();
-            let back = decode_sublist(&mut bytes).unwrap().expect("one record");
+            let back: SubList = decode_sublist(&mut bytes).unwrap().expect("one record");
             assert_eq!(back.prefix, sl.prefix);
             assert_eq!(back.tails, sl.tails);
             assert_eq!(back.cn, sl.cn);
-            assert!(decode_sublist(&mut bytes).unwrap().is_none());
+            assert!(decode_sublist::<BitSet>(&mut bytes).unwrap().is_none());
         }
     }
 
@@ -674,7 +821,7 @@ mod tests {
             encode_sublist(sl, &mut buf);
         }
         let mut bytes = buf.freeze();
-        let mut back = Vec::new();
+        let mut back: Vec<SubList> = Vec::new();
         while let Some(sl) = decode_sublist(&mut bytes).unwrap() {
             back.push(sl);
         }
@@ -705,17 +852,17 @@ mod tests {
 
         // clean round-trip
         let mut bytes = Bytes::from(clean.clone());
-        let back = decode_record(&mut bytes).unwrap().expect("one record");
+        let back: SubList = decode_record(&mut bytes).unwrap().expect("one record");
         assert_eq!(back.tails, sl.tails);
-        assert!(decode_record(&mut bytes).unwrap().is_none());
+        assert!(decode_record::<BitSet>(&mut bytes).unwrap().is_none());
 
         // every truncation is torn, never a panic or silent success
         for cut in 0..clean.len() {
             let mut bytes = Bytes::from(clean[..cut].to_vec());
             if cut == 0 {
-                assert!(decode_record(&mut bytes).unwrap().is_none());
+                assert!(decode_record::<BitSet>(&mut bytes).unwrap().is_none());
             } else {
-                assert!(decode_record(&mut bytes).is_err(), "cut at {cut}");
+                assert!(decode_record::<BitSet>(&mut bytes).is_err(), "cut at {cut}");
             }
         }
 
@@ -727,10 +874,32 @@ mod tests {
                 bad[byte] ^= 1 << bit;
                 let mut bytes = Bytes::from(bad);
                 assert!(
-                    decode_record(&mut bytes).is_err(),
+                    decode_record::<BitSet>(&mut bytes).is_err(),
                     "flip byte {byte} bit {bit} undetected"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn wah_and_hybrid_records_roundtrip() {
+        for sl in sample_sublists(70, 5) {
+            let wah: SubList<WahBitSet> = sl.convert();
+            let mut buf = BytesMut::new();
+            let mut scratch = BytesMut::new();
+            encode_record(&wah, &mut buf, &mut scratch);
+            let mut bytes = buf.freeze();
+            let back: SubList<WahBitSet> = decode_record(&mut bytes).unwrap().expect("one record");
+            assert_eq!(back.prefix, wah.prefix);
+            assert_eq!(back.tails, wah.tails);
+            assert_eq!(back.cn.to_bitset(), sl.cn);
+
+            let hybrid: SubList<HybridSet> = sl.convert();
+            let mut buf = BytesMut::new();
+            encode_record(&hybrid, &mut buf, &mut scratch);
+            let mut bytes = buf.freeze();
+            let back: SubList<HybridSet> = decode_record(&mut bytes).unwrap().expect("one record");
+            assert_eq!(back.cn.to_bitset(), sl.cn);
         }
     }
 
@@ -852,7 +1021,7 @@ mod tests {
         }
         let path = std::env::temp_dir().join(format!("gsb-v1-compat-{}.lvl", std::process::id()));
         std::fs::write(&path, &buf[..]).unwrap();
-        let (level, n_bits) = read_level_meta(&path).unwrap();
+        let (level, n_bits) = read_level_meta::<BitSet>(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
         assert_eq!(level.k, 3);
         assert_eq!(level.sublists.len(), 3);
@@ -868,10 +1037,81 @@ mod tests {
         let path = std::env::temp_dir().join(format!("gsb-atomic-{}.lvl", std::process::id()));
         write_level(&path, &level).unwrap();
         assert!(!sibling_tmp(&path).exists(), "temp file left behind");
-        let (back, n_bits) = read_level_meta(&path).unwrap();
+        let (back, n_bits) = read_level_meta::<BitSet>(&path).unwrap();
         std::fs::remove_file(&path).unwrap();
         assert_eq!(back.k, 4);
         assert_eq!(back.sublists.len(), 6);
         assert_eq!(n_bits, 40);
+    }
+
+    #[test]
+    fn v3_checkpoint_roundtrips_wah_and_rejects_wrong_backend() {
+        let level: crate::sublist::Level<WahBitSet> = crate::sublist::Level {
+            k: 4,
+            sublists: sample_sublists(40, 6),
+        }
+        .convert();
+        let path = std::env::temp_dir().join(format!("gsb-v3-{}.lvl", std::process::id()));
+        write_level(&path, &level).unwrap();
+        let (back, n_bits) = read_level_meta::<WahBitSet>(&path).unwrap();
+        assert_eq!(back.k, 4);
+        assert_eq!(back.sublists.len(), 6);
+        assert_eq!(n_bits, 40);
+        for (a, b) in back.sublists.iter().zip(&level.sublists) {
+            assert_eq!(a.cn, b.cn);
+            assert_eq!(a.tails, b.tails);
+        }
+        // a dense reader must get a typed mismatch, not garbage
+        let err = read_level_meta::<BitSet>(&path).unwrap_err();
+        assert!(
+            matches!(err, StoreError::BackendMismatch { .. }),
+            "unexpected error {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn dense_reader_rejects_nothing_but_wah_rejects_v2() {
+        let level = crate::sublist::Level {
+            k: 3,
+            sublists: sample_sublists(40, 2),
+        };
+        let path = std::env::temp_dir().join(format!("gsb-v2-gate-{}.lvl", std::process::id()));
+        write_level(&path, &level).unwrap();
+        assert!(read_level_meta::<BitSet>(&path).is_ok());
+        let err = read_level_meta::<WahBitSet>(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StoreError::BackendMismatch {
+                    found: gsb_bitset::KIND_DENSE,
+                    ..
+                }
+            ),
+            "unexpected error {err}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wah_spill_store_roundtrips_compressed_records() {
+        let config = SpillConfig::in_temp(0);
+        let mut store: LevelStore<WahBitSet> = LevelStore::new(&config, 40);
+        let originals: Vec<SubList<WahBitSet>> = sample_sublists(40, 5)
+            .iter()
+            .map(SubList::convert)
+            .collect();
+        for sl in originals.clone() {
+            store.push(sl).unwrap();
+        }
+        assert_eq!(store.spilled_len(), 5);
+        let mut back = Vec::new();
+        let report = store.drain(|sl| back.push(sl)).unwrap();
+        assert_eq!(report.read_back, 5);
+        let mut got: Vec<_> = back.iter().map(|s| s.tails.clone()).collect();
+        let mut want: Vec<_> = originals.iter().map(|s| s.tails.clone()).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
     }
 }

@@ -6,9 +6,15 @@
 //! its common-neighbor bitmap once per sub-list — instead of once per
 //! clique — is what cuts both the memory footprint and the repeated
 //! bitwise work.
+//!
+//! The common-neighbor bitmap is generic over
+//! [`NeighborSet`](gsb_bitset::NeighborSet): the same sub-list works
+//! dense, WAH-compressed, or adaptively hybrid. The default parameter
+//! keeps every pre-trait use (`SubList`, `Level`) meaning the dense
+//! representation.
 
 use crate::{Clique, Vertex};
-use gsb_bitset::BitSet;
+use gsb_bitset::{BitSet, NeighborSet};
 
 /// A group of k-cliques sharing their first (k−1) vertices.
 ///
@@ -20,16 +26,16 @@ use gsb_bitset::BitSet;
 /// * `cn` is the common-neighbor bitmap of `prefix` over all `n`
 ///   vertices of the host graph.
 #[derive(Clone, Debug)]
-pub struct SubList {
+pub struct SubList<S = BitSet> {
     /// The shared (k−1)-clique, ascending.
     pub prefix: Vec<Vertex>,
     /// Common neighbors of `prefix` (bitmap over the whole graph).
-    pub cn: BitSet,
+    pub cn: S,
     /// The k-th vertex of each member clique, ascending.
     pub tails: Vec<Vertex>,
 }
 
-impl SubList {
+impl<S> SubList<S> {
     /// Clique size k of the member cliques.
     pub fn k(&self) -> usize {
         self.prefix.len() + 1
@@ -66,17 +72,31 @@ impl SubList {
     }
 
     /// Bytes of the paper's space formula attributable to this sub-list:
-    /// `|tails|·c + (k−1)·c + ⌈n/8⌉ + sizeof(ptr)`.
+    /// `|tails|·c + (k−1)·c + ⌈n/8⌉ + sizeof(ptr)`. Deliberately
+    /// representation-independent — it is the paper's dense cost model,
+    /// used for spill budgets and the projection bound.
     pub fn formula_bytes(&self, n: usize) -> usize {
         let c = std::mem::size_of::<Vertex>();
         self.tails.len() * c + self.prefix.len() * c + n.div_ceil(8) + std::mem::size_of::<usize>()
     }
+}
 
-    /// Actual heap bytes held.
+impl<S: NeighborSet> SubList<S> {
+    /// Actual heap bytes held (representation-dependent: a compressed
+    /// `cn` shrinks this, never `formula_bytes`).
     pub fn heap_bytes(&self) -> usize {
         self.prefix.capacity() * std::mem::size_of::<Vertex>()
             + self.tails.capacity() * std::mem::size_of::<Vertex>()
             + self.cn.heap_bytes()
+    }
+
+    /// Convert the common-neighbor bitmap to another representation.
+    pub fn convert<T: NeighborSet>(&self) -> SubList<T> {
+        SubList {
+            prefix: self.prefix.clone(),
+            cn: T::from_bitset(&self.cn.to_bitset()),
+            tails: self.tails.clone(),
+        }
     }
 
     /// Assert the structural invariants (test support).
@@ -95,7 +115,7 @@ impl SubList {
         let members: Vec<usize> = self.prefix.iter().map(|&v| v as usize).collect();
         assert!(g.is_clique(&members), "prefix is not a clique");
         let expect = g.common_neighbors(&members);
-        assert_eq!(self.cn, expect, "stale common-neighbor bitmap");
+        assert_eq!(self.cn.to_bitset(), expect, "stale common-neighbor bitmap");
         for &t in &self.tails {
             assert!(
                 self.cn.contains(t as usize),
@@ -106,15 +126,24 @@ impl SubList {
 }
 
 /// All candidate sub-lists of one level (the paper's `L_k`).
-#[derive(Clone, Debug, Default)]
-pub struct Level {
+#[derive(Clone, Debug)]
+pub struct Level<S = BitSet> {
     /// Clique size k of member cliques.
     pub k: usize,
     /// The sub-lists.
-    pub sublists: Vec<SubList>,
+    pub sublists: Vec<SubList<S>>,
 }
 
-impl Level {
+impl<S> Default for Level<S> {
+    fn default() -> Self {
+        Level {
+            k: 0,
+            sublists: Vec::new(),
+        }
+    }
+}
+
+impl<S> Level<S> {
     /// The paper's `N[k]`: number of candidate sub-lists.
     pub fn n_sublists(&self) -> usize {
         self.sublists.len()
@@ -128,6 +157,16 @@ impl Level {
     /// True when the level holds no work.
     pub fn is_empty(&self) -> bool {
         self.sublists.is_empty()
+    }
+}
+
+impl<S: NeighborSet> Level<S> {
+    /// Convert every sub-list to another representation.
+    pub fn convert<T: NeighborSet>(&self) -> Level<T> {
+        Level {
+            k: self.k,
+            sublists: self.sublists.iter().map(SubList::convert).collect(),
+        }
     }
 }
 
@@ -179,7 +218,20 @@ mod tests {
         assert_eq!(level.n_sublists(), 2);
         assert_eq!(level.n_cliques(), 4);
         assert!(!level.is_empty());
-        assert!(Level::default().is_empty());
+        assert!(Level::<gsb_bitset::BitSet>::default().is_empty());
+    }
+
+    #[test]
+    fn conversion_roundtrips_across_representations() {
+        let (g, sl) = k4_sublist();
+        let wah: SubList<gsb_bitset::WahBitSet> = sl.convert();
+        wah.validate(&g);
+        let hybrid: SubList<gsb_bitset::HybridSet> = wah.convert();
+        hybrid.validate(&g);
+        let back: SubList = hybrid.convert();
+        back.validate(&g);
+        assert_eq!(back.cn, sl.cn);
+        assert_eq!(back.tails, sl.tails);
     }
 
     #[test]

@@ -33,7 +33,9 @@ fn extend(
     sink: &mut impl CliqueSink,
 ) {
     while let Some(v) = candidates.first_one() {
-        candidates = candidates.and_not(&WahBitSet::singleton(g.n(), v));
+        // In-place single-bit updates: no temporary singleton bitmaps,
+        // no AND-NOT/OR pass over the whole encoding per iteration.
+        candidates.clear_bit(v);
         compsub.push(v as Vertex);
         let new_candidates = candidates.and(g.neighbors(v));
         let new_not = not.and(g.neighbors(v));
@@ -43,7 +45,7 @@ fn extend(
             extend(g, compsub, new_candidates, new_not, sink);
         }
         compsub.pop();
-        not = not.or(&WahBitSet::singleton(g.n(), v));
+        not.set_bit(v);
     }
 }
 

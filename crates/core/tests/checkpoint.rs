@@ -104,7 +104,7 @@ fn corrupt_checkpoints_are_rejected() {
     let dir = TempDirGuard::new("ckpt-bad");
     let path = dir.file("bad.lvl");
     std::fs::write(&path, b"not a checkpoint").unwrap();
-    assert!(read_level(&path).is_err());
+    assert!(read_level::<gsb_bitset::BitSet>(&path).is_err());
     std::fs::write(&path, 0x5343_3035_474C_5631u64.to_le_bytes()).unwrap();
-    assert!(read_level(&path).is_err()); // truncated after magic
+    assert!(read_level::<gsb_bitset::BitSet>(&path).is_err()); // truncated after magic
 }

@@ -38,7 +38,7 @@ fn checkpoint_bytes(dir: &TempDirGuard) -> Vec<u8> {
     let path = dir.file("pristine.lvl");
     write_level(&path, &level).unwrap();
     let bytes = std::fs::read(&path).unwrap();
-    let restored = read_level(&path).unwrap();
+    let restored = read_level::<gsb_bitset::BitSet>(&path).unwrap();
     assert_eq!(restored.k, level.k);
     assert_eq!(restored.n_sublists(), level.n_sublists());
     bytes
@@ -55,7 +55,7 @@ fn truncation_at_every_byte_offset_is_a_typed_error() {
     for len in 0..full.len() {
         std::fs::write(&path, &full[..len]).unwrap();
         assert!(
-            read_level(&path).is_err(),
+            read_level::<gsb_bitset::BitSet>(&path).is_err(),
             "truncation at byte {len}/{} was accepted",
             full.len()
         );
@@ -73,7 +73,7 @@ fn single_bit_corruption_is_always_detected() {
             bad[byte] ^= 1 << bit;
             std::fs::write(&path, &bad).unwrap();
             assert!(
-                read_level(&path).is_err(),
+                read_level::<gsb_bitset::BitSet>(&path).is_err(),
                 "flip of bit {bit} in byte {byte} went undetected"
             );
         }
@@ -214,7 +214,7 @@ mod failpoints {
                 return;
             }
             crashes += 1;
-            let (k, _) = latest_checkpoint(dir.path(), g.n())
+            let (k, _) = latest_checkpoint::<gsb_bitset::BitSet>(dir.path(), g.n())
                 .expect("checkpoint dir readable")
                 .expect("crash left no checkpoint");
             let mut post = CollectSink::default();
@@ -278,7 +278,7 @@ mod failpoints {
         assert!(!error.failures.is_empty());
         // The abort wrote a final checkpoint of the failed level: the
         // run is resumable once the fault is gone.
-        let (k_ckpt, _) = latest_checkpoint(dir.path(), g.n())
+        let (k_ckpt, _) = latest_checkpoint::<gsb_bitset::BitSet>(dir.path(), g.n())
             .expect("checkpoint dir readable")
             .expect("no final checkpoint after worker abort");
         assert_eq!(k_ckpt, k);

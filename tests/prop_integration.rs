@@ -72,7 +72,7 @@ proptest! {
     #[test]
     fn memory_formula_is_additive_over_sublists(g in arb_graph()) {
         use gsb::core::kclique::seed_level;
-        let (level, _) = seed_level(&g, 3);
+        let (level, _) = seed_level::<gsb::bitset::BitSet>(&g, 3);
         let mem = LevelMemory::account(&level, g.n());
         let by_hand: usize = level
             .sublists
@@ -81,7 +81,7 @@ proptest! {
             .sum();
         prop_assert_eq!(mem.formula_bytes, by_hand);
         prop_assert_eq!(mem.n_cliques, level.n_cliques());
-        let empty = LevelMemory::account(&Level { k: 4, sublists: vec![] }, g.n());
+        let empty = LevelMemory::account(&Level::<gsb::bitset::BitSet> { k: 4, sublists: vec![] }, g.n());
         prop_assert_eq!(empty.formula_bytes, 0);
     }
 
