@@ -33,6 +33,8 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
             "checkpoint-dir",
             "checkpoint-secs",
             "memory-budget",
+            "disk-budget",
+            "worker-deadline-secs",
             "metrics-out",
         ],
         &["count-only", "progress"],
@@ -59,6 +61,13 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     let checkpoint_dir = a.flag("checkpoint-dir").map(str::to_string);
     let checkpoint_secs: Option<u64> = a.flag_opt("checkpoint-secs")?;
     let memory_budget: Option<usize> = a.flag_opt("memory-budget")?;
+    let disk_budget: Option<u64> = a.flag_opt("disk-budget")?;
+    let worker_deadline_secs: Option<u64> = a.flag_opt("worker-deadline-secs")?;
+    if disk_budget.is_some() && checkpoint_dir.is_none() {
+        return Err(CliError::Usage(
+            "--disk-budget requires --checkpoint-dir (it caps checkpoint bytes)".into(),
+        ));
+    }
     let telemetry_config = TelemetryConfig {
         metrics_out: a.flag("metrics-out").map(PathBuf::from),
         progress: a.switch("progress"),
@@ -66,6 +75,7 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
     if backend != BackendChoice::Dense
         || checkpoint_dir.is_some()
         || memory_budget.is_some()
+        || worker_deadline_secs.is_some()
         || !telemetry_config.is_off()
     {
         if a.flag("order").is_some() || spill_budget.is_some() {
@@ -86,6 +96,8 @@ pub fn cliques(argv: &[String]) -> Result<String, CliError> {
             checkpoint_dir.as_deref(),
             checkpoint_secs,
             memory_budget,
+            disk_budget,
+            worker_deadline_secs,
             telemetry_config,
         );
     }
@@ -206,6 +218,8 @@ fn cliques_pipeline(
     checkpoint_dir: Option<&str>,
     checkpoint_secs: Option<u64>,
     memory_budget: Option<usize>,
+    disk_budget: Option<u64>,
+    worker_deadline_secs: Option<u64>,
     telemetry_config: TelemetryConfig,
 ) -> Result<String, CliError> {
     let mut pipe = CliquePipeline::new()
@@ -218,6 +232,9 @@ fn cliques_pipeline(
     }
     if let Some(budget) = memory_budget {
         pipe = pipe.memory_budget(budget);
+    }
+    if let Some(secs) = worker_deadline_secs {
+        pipe = pipe.worker_deadline(std::time::Duration::from_secs(secs.max(1)));
     }
     if !telemetry_config.is_off() {
         pipe = pipe.telemetry(Arc::new(RunTelemetry::new(telemetry_config)?));
@@ -237,10 +254,13 @@ fn cliques_pipeline(
                 "--checkpoint-dir conflicts with --count-only".into(),
             ));
         }
-        let ckpt = match checkpoint_secs {
+        let mut ckpt = match checkpoint_secs {
             Some(secs) => CheckpointConfig::every_secs(dir, secs),
             None => CheckpointConfig::every_level(dir),
         };
+        if let Some(bytes) = disk_budget {
+            ckpt = ckpt.disk_budget(bytes);
+        }
         std::fs::create_dir_all(dir)?;
         RunMeta {
             graph: graph_path.to_string(),
@@ -251,7 +271,14 @@ fn cliques_pipeline(
             backend,
         }
         .save(Path::new(dir))?;
-        pipe = pipe.checkpoint(ckpt);
+        // Supervised mode: checkpointed runs react to SIGINT/SIGTERM
+        // at barriers (the binary installs the handlers) and isolate
+        // poison sub-lists into the quarantine sidecar instead of
+        // aborting the whole run.
+        pipe = pipe
+            .checkpoint(ckpt)
+            .shutdown(gsb_core::ShutdownToken::global())
+            .quarantine(Path::new(dir).join("quarantine.jsonl"));
         let file = std::fs::File::create(out_path)?;
         let mut sink = WriterSink::new(file);
         let report = pipe.try_run(g, &mut sink)?;
@@ -263,6 +290,7 @@ fn cliques_pipeline(
             report.checkpoints.len()
         );
         append_degradation_note(&mut out, &report);
+        append_quarantine_note(&mut out, &report, dir);
         return Ok(out);
     }
 
@@ -300,6 +328,19 @@ pub(super) fn append_degradation_note(out: &mut String, report: &PipelineReport)
         let _ = writeln!(
             out,
             "memory budget reached at level {k}: finished out of core ({bytes} bytes read back)"
+        );
+    }
+}
+
+/// Quarantined work is never silently dropped: say how much was
+/// skipped and where the record of it lives.
+pub(super) fn append_quarantine_note(out: &mut String, report: &PipelineReport, dir: &str) {
+    let quarantined = report.parallel_stats.as_ref().map_or(0, |s| s.quarantined);
+    if quarantined > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {quarantined} sub-list(s) quarantined to {dir}/quarantine.jsonl — \
+             output is exact except descendants of those prefixes"
         );
     }
 }

@@ -5,8 +5,10 @@ use super::load;
 use crate::args::Args;
 use crate::CliError;
 use gsb_bitset::{BitSet, HybridSet, WahBitSet};
-use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig, RunMeta, RunProgress};
-use gsb_core::{BackendChoice, CliquePipeline, WriterSink};
+use gsb_core::checkpoint::{
+    latest_checkpoint, load_stop_cause, CheckpointConfig, RunMeta, RunProgress,
+};
+use gsb_core::{BackendChoice, CliquePipeline, ShutdownToken, WriterSink};
 use gsb_telemetry::{RunTelemetry, TelemetryConfig};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -14,8 +16,16 @@ use std::sync::Arc;
 
 /// `gsb resume` — continue a checkpointed `cliques` run after a crash.
 pub fn resume(argv: &[String]) -> Result<String, CliError> {
-    let a = Args::parse(argv, &["threads", "metrics-out"], &["progress"], 1)?;
+    let a = Args::parse(
+        argv,
+        &["threads", "worker-deadline-secs", "metrics-out"],
+        &["progress"],
+        1,
+    )?;
     let dir = a.required_positional(0, "CHECKPOINT_DIR")?;
+    // Read the stop cause before the pipeline touches the directory
+    // (resuming rewrites run.meta state on the next interruption).
+    let stop_cause = load_stop_cause(Path::new(dir));
     let meta = RunMeta::load(Path::new(dir)).map_err(|_| {
         CliError::Runtime(format!(
             "no run.meta in {dir} — nothing to resume (directory never checkpointed, \
@@ -58,9 +68,14 @@ pub fn resume(argv: &[String]) -> Result<String, CliError> {
         .threads(threads)
         .backend(meta.backend)
         .skip_exact_bound()
-        .checkpoint(CheckpointConfig::every_level(dir));
+        .checkpoint(CheckpointConfig::every_level(dir))
+        .shutdown(ShutdownToken::global())
+        .quarantine(Path::new(dir).join("quarantine.jsonl"));
     if let Some(mx) = meta.max_k {
         pipe = pipe.max_size(mx);
+    }
+    if let Some(secs) = a.flag_opt::<u64>("worker-deadline-secs")? {
+        pipe = pipe.worker_deadline(std::time::Duration::from_secs(secs.max(1)));
     }
     // Cumulative telemetry persisted at the last checkpoint barrier:
     // report how far the interrupted run had gotten, and let the
@@ -76,6 +91,17 @@ pub fn resume(argv: &[String]) -> Result<String, CliError> {
     let report = pipe.resume(&g, &mut sink)?;
     let appended = sink.finish()?;
     let mut out = String::new();
+    match stop_cause {
+        Some(cause) => {
+            let _ = writeln!(out, "previous run stopped: {cause}");
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "previous run stopped: crash or hard kill (no stop cause on record)"
+            );
+        }
+    }
     if let Some(p) = prior {
         let _ = writeln!(
             out,

@@ -44,15 +44,21 @@ pub enum CliError {
     /// The enumeration runtime failed (worker panics, nothing to
     /// resume, ...).
     Runtime(String),
+    /// A graceful shutdown on this signal: the run stopped at a level
+    /// barrier with a final checkpoint, ready for `gsb resume`.
+    Interrupted(i32),
 }
 
 impl CliError {
     /// Process exit code: 2 for usage/argument mistakes (the operator
-    /// should fix the command line), 1 for runtime failures.
+    /// should fix the command line), 1 for runtime failures, and the
+    /// conventional `128 + signal` (130 = SIGINT, 143 = SIGTERM) for a
+    /// signal-requested graceful shutdown.
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) | CliError::Args(_) => 2,
             CliError::Io(_) | CliError::Parse(_) | CliError::Store(_) | CliError::Runtime(_) => 1,
+            CliError::Interrupted(signal) => 128 + signal,
         }
     }
 }
@@ -66,6 +72,10 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Store(e) => write!(f, "storage error: {e}"),
             CliError::Runtime(msg) => write!(f, "runtime error: {msg}"),
+            CliError::Interrupted(signal) => write!(
+                f,
+                "interrupted by signal {signal}; checkpoint saved — continue with `gsb resume`"
+            ),
         }
     }
 }
@@ -100,6 +110,7 @@ impl From<gsb_core::PipelineError> for CliError {
     fn from(e: gsb_core::PipelineError) -> Self {
         match e {
             gsb_core::PipelineError::Store(e) => CliError::Store(e),
+            gsb_core::PipelineError::Interrupted { signal } => CliError::Interrupted(signal),
             other => CliError::Runtime(other.to_string()),
         }
     }
@@ -117,8 +128,11 @@ USAGE:
                [--backend dense|wah|hybrid] [--spill-budget BYTES]
                [--order natural|degeneracy|degree]
                [--out FILE] [--checkpoint-dir DIR] [--checkpoint-secs S]
-               [--memory-budget BYTES] [--metrics-out RUN_JSONL] [--progress]
-  gsb resume CHECKPOINT_DIR [--threads T] [--metrics-out RUN_JSONL] [--progress]
+               [--memory-budget BYTES] [--disk-budget BYTES]
+               [--worker-deadline-secs S]
+               [--metrics-out RUN_JSONL] [--progress]
+  gsb resume CHECKPOINT_DIR [--threads T] [--worker-deadline-secs S]
+               [--metrics-out RUN_JSONL] [--progress]
   gsb report RUN_JSONL
   gsb maxclique FILE [--via-vc]
   gsb vc FILE [--k K]
@@ -144,6 +158,19 @@ given); after a crash, `gsb resume DIR` reloads the newest valid
 checkpoint and completes the run, appending to the original output
 file. `--memory-budget BYTES` degrades to the out-of-core enumerator
 instead of exceeding the budget.
+
+Supervision: with `--checkpoint-dir`, SIGINT/SIGTERM trigger a graceful
+shutdown — the in-flight level finishes, a final checkpoint is forced,
+and the process exits 130/143 with the directory ready for `gsb
+resume` (which reports why the previous run stopped).
+`--worker-deadline-secs S` declares a parallel worker stuck after S
+seconds without progress: it is replaced, the level retried, and
+deterministic offenders are skipped into `quarantine.jsonl` next to the
+checkpoints (reported by `gsb report`; the output stays exact except
+descendants of the quarantined prefixes). `--disk-budget BYTES` caps
+total checkpoint bytes, pruning old checkpoints (and surviving ENOSPC)
+by keeping at least the newest one. Transient I/O errors on checkpoint
+and spill writes are retried with jittered exponential backoff.
 
 Telemetry: `cliques --metrics-out run.jsonl` writes one JSON record per
 level barrier plus a final summary; `--progress` prints a live status

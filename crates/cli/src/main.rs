@@ -1,7 +1,57 @@
 //! `gsb` binary entry point: parse argv, dispatch, print or fail.
+//!
+//! For supervised invocations (`resume`, or `cliques` with a
+//! checkpoint directory) SIGINT/SIGTERM handlers are installed that
+//! flip the process-global shutdown flag; the pipeline polls it at
+//! level barriers, writes a final checkpoint, and the process exits
+//! with the conventional `128 + signal` code. Other subcommands keep
+//! the default kill-me-now behavior — they hold no durable state worth
+//! a graceful wind-down.
+
+/// SIGINT/SIGTERM → the global shutdown flag, via a direct `signal(2)`
+/// FFI declaration (the workspace deliberately has no libc-style
+/// dependency). Storing into an atomic is async-signal-safe.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(sig: i32) {
+        gsb_core::supervise::global_signal_flag().store(sig.max(1) as usize, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Graceful shutdown only makes sense when there is durable state to
+/// hand over: `resume`, or `cliques` running with a checkpoint dir.
+fn wants_supervision(argv: &[String]) -> bool {
+    match argv.first().map(String::as_str) {
+        Some("resume") => true,
+        Some("cliques") => argv.iter().any(|a| a == "--checkpoint-dir"),
+        _ => false,
+    }
+}
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    #[cfg(unix)]
+    if wants_supervision(&argv) {
+        signals::install();
+    }
+    #[cfg(not(unix))]
+    let _ = wants_supervision(&argv);
     match gsb_cli::run(&argv) {
         Ok(report) => print!("{report}"),
         Err(e) => {

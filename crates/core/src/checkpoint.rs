@@ -18,7 +18,9 @@
 use crate::backend::BackendChoice;
 use crate::store::{self, StoreError};
 use crate::sublist::Level;
+use crate::supervise::RetryPolicy;
 use gsb_bitset::NeighborSet;
+use std::fmt;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -54,6 +56,14 @@ pub struct CheckpointConfig {
     /// Keeping more than one lets resume fall back when the newest
     /// file is corrupt. Clamped to at least 1.
     pub keep: usize,
+    /// Retry policy for transient checkpoint-write failures.
+    pub retry: RetryPolicy,
+    /// Total bytes of checkpoint files to keep on disk (`None` =
+    /// unbounded). When the budget is exceeded — or a write hits
+    /// `ENOSPC` — the manager prunes old checkpoints down to the
+    /// newest one before giving up, trading recovery depth for the
+    /// ability to keep running.
+    pub disk_budget: Option<u64>,
 }
 
 impl CheckpointConfig {
@@ -63,6 +73,8 @@ impl CheckpointConfig {
             dir: dir.into(),
             policy: CheckpointPolicy::EveryLevel,
             keep: 2,
+            retry: RetryPolicy::default(),
+            disk_budget: None,
         }
     }
 
@@ -72,7 +84,15 @@ impl CheckpointConfig {
             dir: dir.into(),
             policy: CheckpointPolicy::Every(Duration::from_secs(secs)),
             keep: 2,
+            retry: RetryPolicy::default(),
+            disk_budget: None,
         }
+    }
+
+    /// Cap the total bytes of checkpoint files kept on disk.
+    pub fn disk_budget(mut self, bytes: u64) -> Self {
+        self.disk_budget = Some(bytes);
+        self
     }
 }
 
@@ -91,16 +111,22 @@ pub struct CheckpointManager {
     config: CheckpointConfig,
     last_write: Instant,
     written: Vec<usize>,
+    written_bytes: Vec<u64>,
 }
 
 impl CheckpointManager {
-    /// Create the checkpoint directory and a manager over it.
+    /// Create the checkpoint directory and a manager over it. Orphaned
+    /// `*.tmp` files from a previous crash mid-write are swept here:
+    /// every durable file in the directory is written tmp-then-rename,
+    /// so a surviving `.tmp` is garbage by definition.
     pub fn new(config: CheckpointConfig) -> Result<Self, StoreError> {
         std::fs::create_dir_all(&config.dir)?;
+        sweep_tmp_files(&config.dir);
         Ok(CheckpointManager {
             config,
             last_write: Instant::now(),
             written: Vec::new(),
+            written_bytes: Vec::new(),
         })
     }
 
@@ -135,32 +161,74 @@ impl CheckpointManager {
     /// Write a checkpoint for `level` regardless of policy, then prune
     /// to the `keep` newest files. Returns the write's latency and
     /// size for the telemetry layer.
+    ///
+    /// Transient I/O failures are retried per the config's
+    /// [`RetryPolicy`]; a disk-full failure (`ENOSPC`) prunes every
+    /// checkpoint but the newest and retries once more before
+    /// surfacing the error.
     pub fn force<S: NeighborSet>(
         &mut self,
         level: &Level<S>,
     ) -> Result<CheckpointWrite, StoreError> {
-        crate::failpoint::inject("checkpoint.write")?;
         let start = Instant::now();
+        self.enforce_disk_budget();
         let path = checkpoint_path(&self.config.dir, level.k);
-        let bytes = store::write_level(&path, level)?;
+        let retry = self.config.retry;
+        let attempt = || -> Result<u64, StoreError> {
+            crate::failpoint::inject("checkpoint.write")?;
+            store::write_level(&path, level)
+        };
+        let bytes = match retry.run_store(attempt) {
+            Ok(bytes) => bytes,
+            Err(e) if store_is_disk_full(&e) && self.written.len() > 1 => {
+                // Trade recovery depth for survival: free everything
+                // but the newest checkpoint, then try once more.
+                while self.written.len() > 1 {
+                    self.remove_oldest();
+                }
+                retry.run_store(attempt)?
+            }
+            Err(e) => return Err(e),
+        };
         let write = CheckpointWrite {
             ns: start.elapsed().as_nanos() as u64,
             bytes,
         };
         self.last_write = Instant::now();
-        if self.written.last() != Some(&level.k) {
+        if self.written.last() == Some(&level.k) {
+            *self.written_bytes.last_mut().expect("aligned with written") = bytes;
+        } else {
             self.written.push(level.k);
+            self.written_bytes.push(bytes);
         }
         self.prune();
+        self.enforce_disk_budget();
         Ok(write)
     }
 
     fn prune(&mut self) {
         let keep = self.config.keep.max(1);
         while self.written.len() > keep {
-            let k = self.written.remove(0);
-            let _ = std::fs::remove_file(checkpoint_path(&self.config.dir, k));
+            self.remove_oldest();
         }
+    }
+
+    /// While the checkpoint files this manager wrote exceed the disk
+    /// budget, drop the oldest — but never the newest, which is the
+    /// resume point.
+    fn enforce_disk_budget(&mut self) {
+        let Some(budget) = self.config.disk_budget else {
+            return;
+        };
+        while self.written.len() > 1 && self.written_bytes.iter().sum::<u64>() > budget {
+            self.remove_oldest();
+        }
+    }
+
+    fn remove_oldest(&mut self) {
+        let k = self.written.remove(0);
+        self.written_bytes.remove(0);
+        let _ = std::fs::remove_file(checkpoint_path(&self.config.dir, k));
     }
 
     /// The run completed: checkpoints are no longer needed. Best-effort
@@ -183,6 +251,23 @@ impl CheckpointManager {
             }
         }
     }
+}
+
+/// Remove orphaned `*.tmp` files (crash mid-write: every durable file
+/// here is written tmp-then-rename, so a leftover tmp is never valid).
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn store_is_disk_full(e: &StoreError) -> bool {
+    matches!(e, StoreError::Io(io) if crate::supervise::is_disk_full(io))
 }
 
 /// Find the newest usable checkpoint in `dir` for a graph with
@@ -233,6 +318,70 @@ pub fn latest_checkpoint<S: NeighborSet>(
 
 const RUN_META_FILE: &str = "run.meta";
 
+/// Why a supervised run stopped before completing, recorded into
+/// `run.meta` so `gsb resume` can tell the operator what happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopCause {
+    /// Graceful shutdown on this signal (2 = SIGINT, 15 = SIGTERM).
+    Signal(i32),
+    /// A parallel level failed after its retry (and quarantine probing,
+    /// when enabled); the run aborted with a final checkpoint.
+    WorkerFailure,
+}
+
+impl fmt::Display for StopCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopCause::Signal(2) => write!(f, "interrupted by SIGINT"),
+            StopCause::Signal(15) => write!(f, "terminated by SIGTERM"),
+            StopCause::Signal(sig) => write!(f, "stopped by signal {sig}"),
+            StopCause::WorkerFailure => write!(f, "aborted on persistent worker failure"),
+        }
+    }
+}
+
+/// Record why the run stopped as a `stopped=` line in `run.meta`,
+/// preserving every other line (atomic tmp-then-rename, replacing any
+/// previous stop cause). Creates the file when none exists — stop
+/// causes are useful even for runs checkpointing without CLI metadata.
+pub fn record_stop_cause(dir: &Path, cause: StopCause) -> Result<(), StoreError> {
+    let path = dir.join(RUN_META_FILE);
+    let mut text = std::fs::read_to_string(&path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| !l.starts_with("stopped="))
+        .fold(String::new(), |mut acc, l| {
+            acc.push_str(l);
+            acc.push('\n');
+            acc
+        });
+    match cause {
+        StopCause::Signal(sig) => text.push_str(&format!("stopped=signal:{sig}\n")),
+        StopCause::WorkerFailure => text.push_str("stopped=worker-failure\n"),
+    }
+    let tmp = dir.join(format!("{RUN_META_FILE}.tmp"));
+    std::fs::write(&tmp, text.as_bytes())?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+/// Read the recorded stop cause, if any. `None` means the previous run
+/// either completed (files cleaned up) or died without reaching a
+/// barrier — for an existing checkpoint directory that distinction is
+/// "crash or hard kill".
+pub fn load_stop_cause(dir: &Path) -> Option<StopCause> {
+    let text = std::fs::read_to_string(dir.join(RUN_META_FILE)).ok()?;
+    let value = text.lines().find_map(|l| l.strip_prefix("stopped="))?;
+    if value == "worker-failure" {
+        return Some(StopCause::WorkerFailure);
+    }
+    value
+        .strip_prefix("signal:")?
+        .parse()
+        .ok()
+        .map(StopCause::Signal)
+}
+
 /// Parameters of a checkpointed run, persisted as `run.meta` next to
 /// the checkpoints so `gsb resume <dir>` needs no other arguments.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -269,9 +418,12 @@ impl RunMeta {
         text.push_str(&format!("backend={}\n", self.backend));
         let path = dir.join(RUN_META_FILE);
         let tmp = dir.join(format!("{RUN_META_FILE}.tmp"));
-        std::fs::write(&tmp, text.as_bytes())?;
-        std::fs::rename(&tmp, &path)?;
-        Ok(())
+        RetryPolicy::default().run_store(|| {
+            crate::failpoint::inject("checkpoint.meta")?;
+            std::fs::write(&tmp, text.as_bytes())?;
+            std::fs::rename(&tmp, &path)?;
+            Ok(())
+        })
     }
 
     /// Load `run.meta` from `dir`. Unknown keys are ignored so older
@@ -323,9 +475,12 @@ impl RunProgress {
         );
         let path = dir.join(PROGRESS_FILE);
         let tmp = dir.join(format!("{PROGRESS_FILE}.tmp"));
-        std::fs::write(&tmp, text.as_bytes())?;
-        std::fs::rename(&tmp, &path)?;
-        Ok(())
+        RetryPolicy::default().run_store(|| {
+            crate::failpoint::inject("checkpoint.meta")?;
+            std::fs::write(&tmp, text.as_bytes())?;
+            std::fs::rename(&tmp, &path)?;
+            Ok(())
+        })
     }
 
     /// Load `progress.meta` from `dir`. Unknown keys are ignored so

@@ -7,7 +7,7 @@
 //! bitwise AND plus an any-bit test, keep only candidates, repeat until
 //! nothing is generated.
 //!
-//! One expansion kernel ([`expand_sublist`]) serves every
+//! One expansion kernel (`expand_sublist`) serves every
 //! configuration: the common-neighbor bitmaps are any
 //! [`NeighborSet`] (dense, WAH-compressed, or adaptive hybrid) and the
 //! level lives in any [`LevelBackend`] (resident vector or budgeted

@@ -14,6 +14,17 @@
 //! enabled in production builds. Actions are keyed on a per-site hit
 //! counter, so "pass twice, then fail" scenarios (crash at the third
 //! barrier) are reproducible without wall-clock or randomness.
+//!
+//! Beyond single armed sites, [`chaos_schedule`] derives a whole fault
+//! *schedule* — an action (or none) per site, with randomized skip
+//! counts, repeat counts, and delays — deterministically from one seed.
+//! `tests/chaos.rs` sweeps hundreds of such seeds and requires every
+//! run to converge to byte-identical output.
+//!
+//! Sites can additionally be armed for a single *tag* (e.g. one
+//! specific sub-list prefix) via [`configure_tagged`]; only
+//! [`inject_tagged`] calls carrying the matching tag fire, which is how
+//! the quarantine tests poison exactly one sub-list.
 
 /// What a triggered failpoint does, over a site's 0-based hit counter.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +42,16 @@ pub enum FailAction {
         skip: u32,
         /// How many hits trigger once armed (`u32::MAX` = forever).
         times: u32,
+    },
+    /// Sleep `ms` milliseconds on hits `skip .. skip + times` — a stall,
+    /// not a failure; exercises heartbeat deadlines and retry timing.
+    Delay {
+        /// Hits that pass through before the action triggers.
+        skip: u32,
+        /// How many hits trigger once armed (`u32::MAX` = forever).
+        times: u32,
+        /// How long the triggered hit sleeps, in milliseconds.
+        ms: u64,
     },
 }
 
@@ -69,6 +90,56 @@ impl FailAction {
             times: u32::MAX,
         }
     }
+
+    /// Sleep `ms` milliseconds on the first hit only.
+    pub fn delay_once(ms: u64) -> Self {
+        FailAction::Delay {
+            skip: 0,
+            times: 1,
+            ms,
+        }
+    }
+}
+
+/// The failpoint sites a chaos schedule may arm — every named site the
+/// production code evaluates on its fault paths.
+pub const CHAOS_SITES: &[&str] = &[
+    "spill.write",
+    "checkpoint.write",
+    "checkpoint.meta",
+    "parallel.worker",
+    "pipeline.barrier",
+    "memory.budget",
+];
+
+/// Derive a randomized fault schedule deterministically from `seed`:
+/// for each site in [`CHAOS_SITES`], draw either nothing (about half
+/// the time) or a [`FailAction`] with randomized skip (0..6), repeat
+/// count (1..=2), and — for delays — duration (1..=10 ms). Repeat
+/// counts are bounded so every schedule eventually exhausts itself and
+/// a crash/resume loop converges; schedules never use `times:
+/// u32::MAX`.
+pub fn chaos_schedule(seed: u64) -> Vec<(&'static str, FailAction)> {
+    let mut rng = crate::supervise::SplitMix64::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+    let mut schedule = Vec::new();
+    for &site in CHAOS_SITES {
+        let skip = rng.below(6) as u32;
+        let times = 1 + rng.below(2) as u32;
+        let action = match rng.below(6) {
+            0 | 1 => None, // ~1/3 of sites stay clean
+            2 => Some(FailAction::Panic { skip, times }),
+            3 => Some(FailAction::Error { skip, times }),
+            _ => Some(FailAction::Delay {
+                skip,
+                times,
+                ms: 1 + rng.below(10),
+            }),
+        };
+        if let Some(action) = action {
+            schedule.push((site, action));
+        }
+    }
+    schedule
 }
 
 #[cfg(feature = "failpoints")]
@@ -80,6 +151,9 @@ mod active {
     struct Site {
         action: FailAction,
         hits: u32,
+        /// When set, only `inject_tagged` calls carrying this exact tag
+        /// fire (and count hits); untagged injections pass through.
+        tag: Option<String>,
     }
 
     fn registry() -> &'static Mutex<HashMap<String, Site>> {
@@ -91,7 +165,28 @@ mod active {
         registry()
             .lock()
             .expect("failpoint registry poisoned")
-            .insert(site.to_string(), Site { action, hits: 0 });
+            .insert(
+                site.to_string(),
+                Site {
+                    action,
+                    hits: 0,
+                    tag: None,
+                },
+            );
+    }
+
+    pub fn configure_tagged(site: &str, tag: &str, action: FailAction) {
+        registry()
+            .lock()
+            .expect("failpoint registry poisoned")
+            .insert(
+                site.to_string(),
+                Site {
+                    action,
+                    hits: 0,
+                    tag: Some(tag.to_string()),
+                },
+            );
     }
 
     pub fn clear(site: &str) {
@@ -116,31 +211,63 @@ mod active {
             .map_or(0, |s| s.hits)
     }
 
+    enum Fire {
+        Panic,
+        Error,
+        Delay(u64),
+    }
+
     pub fn inject(site: &str) -> std::io::Result<()> {
+        fire(site, None)
+    }
+
+    pub fn inject_tagged(site: &str, tag: &str) -> std::io::Result<()> {
+        fire(site, Some(tag))
+    }
+
+    fn fire(site: &str, tag: Option<&str>) -> std::io::Result<()> {
         // Decide while holding the lock, act after releasing it, so a
-        // panicking failpoint does not poison the registry.
+        // panicking (or sleeping) failpoint does not hold or poison the
+        // registry.
         let fire = {
             let mut map = registry().lock().expect("failpoint registry poisoned");
             match map.get_mut(site) {
                 None => None,
                 Some(s) => {
-                    let hit = s.hits;
-                    s.hits = s.hits.saturating_add(1);
-                    let (skip, times, is_panic) = match s.action {
-                        FailAction::Panic { skip, times } => (skip, times, true),
-                        FailAction::Error { skip, times } => (skip, times, false),
+                    // A tag-filtered site ignores (and does not count)
+                    // injections for other tags or untagged injections;
+                    // an unfiltered site matches every injection.
+                    let tag_matches = match (&s.tag, tag) {
+                        (None, _) => true,
+                        (Some(want), Some(got)) => want == got,
+                        (Some(_), None) => false,
                     };
-                    let armed = hit >= skip && (hit - skip) < times;
-                    armed.then_some(is_panic)
+                    if !tag_matches {
+                        None
+                    } else {
+                        let hit = s.hits;
+                        s.hits = s.hits.saturating_add(1);
+                        let (skip, times, kind) = match s.action {
+                            FailAction::Panic { skip, times } => (skip, times, Fire::Panic),
+                            FailAction::Error { skip, times } => (skip, times, Fire::Error),
+                            FailAction::Delay { skip, times, ms } => (skip, times, Fire::Delay(ms)),
+                        };
+                        let armed = hit >= skip && (hit - skip) < times;
+                        armed.then_some(kind)
+                    }
                 }
             }
         };
         match fire {
             None => Ok(()),
-            Some(true) => panic!("failpoint {site:?} triggered (injected panic)"),
-            Some(false) => Err(std::io::Error::other(format!(
+            Some(Fire::Panic) => panic!("failpoint {site:?} triggered (injected panic)"),
+            Some(Fire::Error) => Err(std::io::Error::other(format!(
                 "failpoint {site:?} triggered (injected I/O error)"
             ))),
+            Some(Fire::Delay(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
         }
     }
 }
@@ -151,6 +278,17 @@ pub fn configure(site: &str, action: FailAction) {
     active::configure(site, action);
     #[cfg(not(feature = "failpoints"))]
     let _ = (site, action);
+}
+
+/// Arm a failpoint for one specific tag: only [`inject_tagged`] calls
+/// carrying exactly `tag` fire (untagged injections pass through). This
+/// is how tests poison a single sub-list prefix without touching its
+/// siblings. No-op without the `failpoints` feature.
+pub fn configure_tagged(site: &str, tag: &str, action: FailAction) {
+    #[cfg(feature = "failpoints")]
+    active::configure_tagged(site, tag, action);
+    #[cfg(not(feature = "failpoints"))]
+    let _ = (site, tag, action);
 }
 
 /// Disarm one failpoint. No-op without the `failpoints` feature.
@@ -194,6 +332,20 @@ pub fn inject(site: &str) -> std::io::Result<()> {
     }
 }
 
+/// Evaluate the failpoint at `site` on behalf of work unit `tag`:
+/// fires when the site is armed untagged, or armed for exactly this
+/// tag. Compiles to a no-op without the `failpoints` feature.
+#[inline]
+pub fn inject_tagged(site: &str, tag: &str) -> std::io::Result<()> {
+    #[cfg(feature = "failpoints")]
+    return active::inject_tagged(site, tag);
+    #[cfg(not(feature = "failpoints"))]
+    {
+        let _ = (site, tag);
+        Ok(())
+    }
+}
+
 /// RAII failpoint arming: configures on construction, disarms on drop
 /// (including unwinds), so a failing test cannot leave a global
 /// failpoint armed for its neighbors.
@@ -207,11 +359,46 @@ impl FailGuard {
         configure(site, action);
         FailGuard { site }
     }
+
+    /// Arm `site` for one specific `tag` (see [`configure_tagged`])
+    /// until the guard drops.
+    pub fn tagged(site: &'static str, tag: &str, action: FailAction) -> Self {
+        configure_tagged(site, tag, action);
+        FailGuard { site }
+    }
 }
 
 impl Drop for FailGuard {
     fn drop(&mut self) {
         clear(self.site);
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+
+    #[test]
+    fn chaos_schedules_are_deterministic_and_bounded() {
+        for seed in 0..64u64 {
+            let a = chaos_schedule(seed);
+            let b = chaos_schedule(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            for (site, action) in &a {
+                assert!(CHAOS_SITES.contains(site));
+                let times = match action {
+                    FailAction::Panic { times, .. }
+                    | FailAction::Error { times, .. }
+                    | FailAction::Delay { times, .. } => *times,
+                };
+                assert!(
+                    (1..=2).contains(&times),
+                    "seed {seed}: unbounded action {action:?}"
+                );
+            }
+        }
+        // The space of schedules is actually explored.
+        assert_ne!(chaos_schedule(1), chaos_schedule(2));
     }
 }
 
@@ -233,6 +420,33 @@ mod tests {
         assert!(inject("fp.test.skip").is_err());
         assert!(inject("fp.test.skip").is_ok()); // times exhausted
         assert_eq!(hits("fp.test.skip"), 4);
+    }
+
+    #[test]
+    fn tagged_sites_fire_only_for_their_tag() {
+        let _g = FailGuard::tagged("fp.test.tag", "1-2-3", FailAction::error_always());
+        assert!(inject("fp.test.tag").is_ok(), "untagged must pass");
+        assert!(inject_tagged("fp.test.tag", "9-9").is_ok(), "other tag");
+        assert!(inject_tagged("fp.test.tag", "1-2-3").is_err());
+        // Non-matching injections did not consume hits.
+        assert_eq!(hits("fp.test.tag"), 1);
+    }
+
+    #[test]
+    fn untagged_sites_match_tagged_injections() {
+        let _g = FailGuard::new("fp.test.untag", FailAction::error_once());
+        assert!(inject_tagged("fp.test.untag", "anything").is_err());
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_passes() {
+        let _g = FailGuard::new("fp.test.delay", FailAction::delay_once(20));
+        let t0 = std::time::Instant::now();
+        assert!(inject("fp.test.delay").is_ok());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(15));
+        let t1 = std::time::Instant::now();
+        assert!(inject("fp.test.delay").is_ok());
+        assert!(t1.elapsed() < std::time::Duration::from_millis(15));
     }
 
     #[test]

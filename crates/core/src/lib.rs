@@ -58,9 +58,11 @@ pub mod order;
 pub mod paraclique;
 pub mod parallel;
 pub mod pipeline;
+pub mod quarantine;
 pub mod sink;
 pub mod store;
 pub mod sublist;
+pub mod supervise;
 pub mod wahclique;
 
 pub use backend::{BackendChoice, InMemoryLevel, LevelBackend, SpilledLevel};
@@ -73,9 +75,11 @@ pub use kose::{kose_ram, kose_ram_with, KoseSearch};
 pub use maxclique::{maximum_clique, maximum_clique_size};
 pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats};
 pub use pipeline::{CliquePipeline, PipelineError, PipelineReport};
+pub use quarantine::QuarantineEntry;
 pub use sink::{CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, WriterSink};
 pub use store::{SpillConfig, StoreError};
 pub use sublist::{Level, SubList};
+pub use supervise::{RetryPolicy, ShutdownToken};
 
 /// Vertex index type: 32 bits, matching the paper's per-vertex-index
 /// cost `c` in the space analysis (§2.3).

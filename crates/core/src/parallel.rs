@@ -21,11 +21,25 @@
 //! the level is retried once from its snapshot before the failure is
 //! surfaced as a typed [`ParallelRunError`]. A per-level barrier hook
 //! lets the pipeline write checkpoints and demand degradation to the
-//! out-of-core path mid-flight.
+//! out-of-core path mid-flight, or halt for a graceful signal-driven
+//! shutdown ([`BarrierControl::Halt`]).
+//!
+//! ## Supervision
+//!
+//! With a worker deadline configured
+//! ([`ParallelConfig::worker_deadline`]) workers heartbeat once per
+//! sub-list; a thread silent past the deadline is declared stuck and
+//! abandoned, not waited on forever. With a quarantine sidecar
+//! configured ([`ParallelEnumerator::quarantine_to`]) a level whose
+//! retry also fails is *isolated* instead of aborted: the suspect
+//! sub-lists are probed one per worker, the poison ones are recorded to
+//! `quarantine.jsonl` and skipped, and the level continues — degraded
+//! exact, never silently dropped (see [`crate::quarantine`]).
 
 use crate::backend::InMemoryLevel;
 use crate::enumerator::{EnumConfig, LevelReport};
 use crate::memory::LevelMemory;
+use crate::quarantine::QuarantineEntry;
 use crate::sink::{CliqueSink, CollectSink};
 use crate::store::StoreError;
 use crate::sublist::{Level, SubList};
@@ -34,11 +48,12 @@ use gsb_bitset::{BitSet, NeighborSet};
 use gsb_graph::BitGraph;
 use gsb_par::balance::{partition_greedy, rebalance, BalancePolicy};
 use gsb_par::stats::{LevelStats, RunStats};
-use gsb_par::{RoundError, WorkerPool};
+use gsb_par::{Heartbeat, RoundError, WorkerPool};
 use parking_lot::Mutex;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// How work is distributed across levels.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -65,6 +80,11 @@ pub struct ParallelConfig {
     pub policy: BalancePolicy,
     /// Distribution strategy.
     pub strategy: BalanceStrategy,
+    /// Stuck-worker deadline: a worker whose per-sub-list heartbeats
+    /// stop advancing for this long is declared dead and abandoned.
+    /// `None` (the default) disables the watchdog — a wedged thread
+    /// then blocks the level barrier indefinitely.
+    pub worker_deadline: Option<Duration>,
 }
 
 impl Default for ParallelConfig {
@@ -74,6 +94,7 @@ impl Default for ParallelConfig {
             enum_config: EnumConfig::default(),
             policy: BalancePolicy::default(),
             strategy: BalanceStrategy::Dynamic,
+            worker_deadline: None,
         }
     }
 }
@@ -90,6 +111,10 @@ pub struct ParallelStats {
     /// Levels whose first round failed (worker panic) and were retried
     /// successfully from their snapshot.
     pub retried_levels: Vec<usize>,
+    /// Sub-lists isolated into the quarantine sidecar and skipped
+    /// (degraded-exact mode): their descendant cliques are missing from
+    /// the output but recorded, never silently dropped.
+    pub quarantined: usize,
 }
 
 /// Verdict of the per-level barrier hook.
@@ -100,6 +125,9 @@ pub enum BarrierControl {
     /// Stop the in-core parallel run and hand the level back (the
     /// pipeline continues it out of core).
     Degrade,
+    /// Stop the run entirely (graceful shutdown): the barrier has
+    /// already persisted what it needs; nothing further is expanded.
+    Halt,
 }
 
 /// How a resilient parallel run ended. Generic over the bitmap
@@ -113,6 +141,13 @@ pub enum ParallelOutcome<S: NeighborSet = BitSet> {
         /// The snapshot to continue from.
         level: Level<S>,
         /// Statistics up to the handoff.
+        stats: ParallelStats,
+    },
+    /// The barrier hook demanded a halt (graceful shutdown). The
+    /// barrier persisted its final checkpoint before asking, so the
+    /// outcome only carries the statistics.
+    Interrupted {
+        /// Statistics up to the halt.
         stats: ParallelStats,
     },
 }
@@ -179,8 +214,8 @@ struct WorkerOut<S: NeighborSet> {
 fn worker_job<S: NeighborSet>(
     graph: Arc<BitGraph>,
     rows: Arc<Vec<S>>,
-) -> impl Fn(usize, Vec<SubList<S>>) -> WorkerOut<S> + Send + Sync {
-    move |_w, batch: Vec<SubList<S>>| {
+) -> impl Fn(usize, Vec<SubList<S>>, &Heartbeat) -> WorkerOut<S> + Send + Sync {
+    move |w, batch: Vec<SubList<S>>, hb: &Heartbeat| {
         if let Err(e) = crate::failpoint::inject("parallel.worker") {
             panic!("{e}");
         }
@@ -192,6 +227,26 @@ fn worker_job<S: NeighborSet>(
         let mut collect = CollectSink::default();
         let mut buf = S::empty(graph.n());
         for sl in &batch {
+            // One beat per sub-list: the supervisor's stuck-worker
+            // deadline measures *progress between sub-lists*, so a
+            // worker grinding through a huge batch is alive while a
+            // wedged one is not.
+            hb.beat(w);
+            // Per-sub-list failpoint, keyed by prefix, so tests can
+            // poison exactly one sub-list. Gated: the tag string is
+            // never built in production runs.
+            #[cfg(feature = "failpoints")]
+            {
+                let tag = sl
+                    .prefix
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("-");
+                if let Err(e) = crate::failpoint::inject_tagged("parallel.sublist", &tag) {
+                    panic!("{e}");
+                }
+            }
             let expanded =
                 crate::enumerator::expand_sublist(&graph, &rows, sl, &mut buf, &mut collect, |c| {
                     new_sublists.push(c)
@@ -236,6 +291,9 @@ pub struct ParallelEnumerator {
     // so respawning dead workers, which needs `&mut WorkerPool`, works
     // behind the long-standing `&self` entry points.
     pool: Mutex<WorkerPool>,
+    /// Quarantine sidecar path; `None` keeps the historical behavior
+    /// (a twice-failed level aborts the run).
+    quarantine: Option<PathBuf>,
 }
 
 impl ParallelEnumerator {
@@ -244,7 +302,16 @@ impl ParallelEnumerator {
         ParallelEnumerator {
             pool: Mutex::new(WorkerPool::new(config.threads)),
             config,
+            quarantine: None,
         }
+    }
+
+    /// Enable the quarantine sidecar: when a level fails its retry, the
+    /// poison sub-lists are isolated to `path` (JSON lines, appended)
+    /// and skipped instead of aborting the run. See [`crate::quarantine`].
+    pub fn quarantine_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.quarantine = Some(path.into());
+        self
     }
 
     /// Enumerate maximal cliques of `g`, delivering them level by level
@@ -259,8 +326,8 @@ impl ParallelEnumerator {
         });
         match outcome {
             Ok(ParallelOutcome::Complete(stats)) => stats,
-            Ok(ParallelOutcome::Degraded { .. }) => {
-                unreachable!("no-op barrier never degrades")
+            Ok(ParallelOutcome::Degraded { .. }) | Ok(ParallelOutcome::Interrupted { .. }) => {
+                unreachable!("no-op barrier never degrades or halts")
             }
             Err(e) => panic!("parallel enumeration failed: {e}"),
         }
@@ -371,15 +438,21 @@ impl ParallelEnumerator {
                         stats,
                     });
                 }
+                BarrierControl::Halt => {
+                    stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
+                    return Ok(ParallelOutcome::Interrupted { stats });
+                }
             }
 
             // One level-synchronous round: workers expand their local
             // sub-lists with no cross-talk.
+            let deadline = self.config.worker_deadline;
             let batches: Vec<Vec<SubList<S>>> = std::mem::take(&mut queues);
-            let first = self
-                .pool
-                .lock()
-                .run_round_checked(batches, worker_job(Arc::clone(g), Arc::clone(&rows)));
+            let first = self.pool.lock().run_round_supervised(
+                batches,
+                worker_job(Arc::clone(g), Arc::clone(&rows)),
+                deadline,
+            );
             let mut retried = false;
             let outputs = match first {
                 Ok(outputs) => outputs,
@@ -387,14 +460,37 @@ impl ParallelEnumerator {
                     // The whole round is discarded; re-partition the
                     // snapshot and retry once on respawned workers.
                     let retry_batches = partition_level(level_view.sublists.clone(), threads);
-                    match self.pool.lock().run_round_checked(
+                    // Bind before matching: a `self.pool.lock()` in the
+                    // scrutinee would hold the guard across every arm,
+                    // deadlocking the quarantine arm's own lock.
+                    let retry = self.pool.lock().run_round_supervised(
                         retry_batches,
                         worker_job(Arc::clone(g), Arc::clone(&rows)),
-                    ) {
+                        deadline,
+                    );
+                    match retry {
                         Ok(outputs) => {
                             stats.retried_levels.push(k);
                             retried = true;
                             outputs
+                        }
+                        Err(error) if self.quarantine.is_some() => {
+                            // Last resort before aborting: isolate the
+                            // poison sub-lists, quarantine them, and
+                            // keep the level going without them.
+                            let _ = round_error; // superseded
+                            match self.quarantine_level(g, &rows, &level_view, threads, &error) {
+                                Ok((outputs, n_quarantined)) => {
+                                    stats.retried_levels.push(k);
+                                    stats.quarantined += n_quarantined;
+                                    retried = true;
+                                    outputs
+                                }
+                                Err(e) => {
+                                    stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
+                                    return Err(e);
+                                }
+                            }
                         }
                         Err(error) => {
                             let _ = round_error; // superseded by the retry's error
@@ -488,6 +584,100 @@ impl ParallelEnumerator {
         }
         stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
         Ok(ParallelOutcome::Complete(stats))
+    }
+
+    /// Isolate a level that failed its retry: rerun the batches of the
+    /// workers that *didn't* fail (all-or-nothing still applies to
+    /// them), then probe the failed workers' sub-lists one per worker
+    /// so each failure pins down exactly one sub-list. Poison sub-lists
+    /// go to the quarantine sidecar; everything else is folded back
+    /// into the level's outputs. Returns the merged per-worker outputs
+    /// and how many sub-lists were quarantined.
+    #[allow(clippy::type_complexity)]
+    fn quarantine_level<S: NeighborSet>(
+        &self,
+        g: &Arc<BitGraph>,
+        rows: &Arc<Vec<S>>,
+        level_view: &Level<S>,
+        threads: usize,
+        error: &RoundError,
+    ) -> Result<(Vec<(WorkerOut<S>, u64)>, usize), ParallelRunError<S>> {
+        let path = self.quarantine.as_ref().expect("caller checked");
+        let deadline = self.config.worker_deadline;
+        // The retry round's partition is deterministic (LPT over the
+        // same snapshot), so recreating it maps each reported worker
+        // failure back onto the exact batch that triggered it.
+        let batches = partition_level(level_view.sublists.clone(), threads);
+        let mut failed = vec![false; threads];
+        for f in &error.failures {
+            if let Some(slot) = failed.get_mut(f.worker) {
+                *slot = true;
+            }
+        }
+        let mut suspects: Vec<SubList<S>> = Vec::new();
+        let mut clean_batches: Vec<Vec<SubList<S>>> = Vec::with_capacity(threads);
+        for (w, batch) in batches.into_iter().enumerate() {
+            if failed[w] {
+                suspects.extend(batch);
+                clean_batches.push(Vec::new());
+            } else {
+                clean_batches.push(batch);
+            }
+        }
+        let mut outputs = self
+            .pool
+            .lock()
+            .run_round_supervised(
+                clean_batches,
+                worker_job(Arc::clone(g), Arc::clone(rows)),
+                deadline,
+            )
+            .map_err(|error| ParallelRunError::Round {
+                k: level_view.k,
+                error,
+                level: level_view.clone(),
+            })?;
+        // Probe the suspects in waves of one sub-list per worker.
+        let mut entries: Vec<QuarantineEntry> = Vec::new();
+        for wave in suspects.chunks(threads) {
+            let mut probe_batches: Vec<Vec<SubList<S>>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (j, sl) in wave.iter().enumerate() {
+                probe_batches[j] = vec![sl.clone()];
+            }
+            let slots = self.pool.lock().run_round_isolated(
+                probe_batches,
+                worker_job(Arc::clone(g), Arc::clone(rows)),
+                deadline,
+            );
+            for (j, slot) in slots.into_iter().enumerate() {
+                let Some(suspect) = wave.get(j) else {
+                    continue; // padding slot (empty batch)
+                };
+                match slot {
+                    Ok((out, ns)) => {
+                        let (acc, acc_ns) = &mut outputs[j];
+                        acc.new_sublists.extend(out.new_sublists);
+                        acc.maximal.extend(out.maximal);
+                        acc.tasks += out.tasks;
+                        acc.units += out.units;
+                        acc.and_ops += out.and_ops;
+                        acc.tests += out.tests;
+                        *acc_ns += ns;
+                    }
+                    Err(failure) => entries.push(QuarantineEntry {
+                        k: level_view.k as u64,
+                        prefix: suspect.prefix.clone(),
+                        tails: suspect.tails.clone(),
+                        reason: failure.panic_message,
+                    }),
+                }
+            }
+        }
+        let n_quarantined = entries.len();
+        crate::quarantine::append_entries(path, &entries)
+            .map_err(|e| ParallelRunError::Store(StoreError::Io(e)))?;
+        Ok((outputs, n_quarantined))
     }
 }
 

@@ -26,7 +26,10 @@
 //! Without those options `run` takes the original in-core fast path.
 
 use crate::backend::{BackendChoice, InMemoryLevel, SpilledLevel};
-use crate::checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager, RunProgress};
+use crate::checkpoint::{
+    latest_checkpoint, record_stop_cause, CheckpointConfig, CheckpointManager, RunProgress,
+    StopCause,
+};
 use crate::enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 use crate::maxclique::maximum_clique_size;
 use crate::memory::LevelMemory;
@@ -37,6 +40,7 @@ use crate::parallel::{
 use crate::sink::CliqueSink;
 use crate::store::{SpillConfig, StoreError};
 use crate::sublist::Level;
+use crate::supervise::ShutdownToken;
 use crate::Vertex;
 use gsb_bitset::{BitSet, HybridSet, NeighborSet, WahBitSet};
 use gsb_graph::reduce::clique_upper_bound;
@@ -46,6 +50,7 @@ use gsb_telemetry::{LevelRecord, RunSummary, RunTelemetry, TelemetryConfig};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A pipeline run failed (only possible with fault-tolerance options:
 /// the plain in-core path is infallible).
@@ -67,6 +72,16 @@ pub enum PipelineError {
     /// `resume` found no checkpoint (none configured, none written, or
     /// the run had already completed and cleaned up).
     NoCheckpoint,
+    /// A graceful shutdown was requested (via the pipeline's
+    /// [`ShutdownToken`], typically from a SIGINT/SIGTERM handler). The
+    /// run stopped at a level barrier; when checkpointing is
+    /// configured, a final checkpoint and the stop cause were persisted
+    /// first, so the directory is `resume`-ready.
+    Interrupted {
+        /// The signal number that requested the shutdown (2 = SIGINT,
+        /// 15 = SIGTERM); processes conventionally exit `128 + signal`.
+        signal: i32,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -77,6 +92,9 @@ impl fmt::Display for PipelineError {
                 write!(f, "workers failed at level {k} after retry: {error}")
             }
             PipelineError::NoCheckpoint => write!(f, "no checkpoint to resume from"),
+            PipelineError::Interrupted { signal } => {
+                write!(f, "interrupted by signal {signal} (checkpoint saved)")
+            }
         }
     }
 }
@@ -86,7 +104,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Store(e) => Some(e),
             PipelineError::Workers { error, .. } => Some(error),
-            PipelineError::NoCheckpoint => None,
+            PipelineError::NoCheckpoint | PipelineError::Interrupted { .. } => None,
         }
     }
 }
@@ -109,6 +127,9 @@ pub struct CliquePipeline {
     degrade_dir: Option<PathBuf>,
     telemetry: Option<Arc<RunTelemetry>>,
     backend: BackendChoice,
+    shutdown: Option<ShutdownToken>,
+    worker_deadline: Option<Duration>,
+    quarantine: Option<PathBuf>,
 }
 
 impl Default for CliquePipeline {
@@ -123,6 +144,9 @@ impl Default for CliquePipeline {
             degrade_dir: None,
             telemetry: None,
             backend: BackendChoice::Dense,
+            shutdown: None,
+            worker_deadline: None,
+            quarantine: None,
         }
     }
 }
@@ -245,6 +269,39 @@ impl CliquePipeline {
         self
     }
 
+    /// Cooperative shutdown: the pipeline polls this token at every
+    /// level barrier and, when a shutdown was requested (e.g. by a
+    /// SIGINT/SIGTERM handler calling [`ShutdownToken::request`]),
+    /// finishes the in-flight level, writes a final forced checkpoint
+    /// (when checkpointing is configured), records the stop cause for
+    /// `resume` to report, and returns
+    /// [`PipelineError::Interrupted`]. Routes the run through the
+    /// barrier-driven driver.
+    pub fn shutdown(mut self, token: ShutdownToken) -> Self {
+        self.shutdown = Some(token);
+        self
+    }
+
+    /// Stuck-worker deadline: a parallel worker that goes this long
+    /// without a heartbeat (one beat per sub-list processed) is
+    /// declared stuck, abandoned, and replaced; its round is retried
+    /// and, with [`quarantine`](Self::quarantine) configured, poison
+    /// sub-lists are isolated instead of failing the run.
+    pub fn worker_deadline(mut self, deadline: Duration) -> Self {
+        self.worker_deadline = Some(deadline);
+        self
+    }
+
+    /// Quarantine sidecar path (`quarantine.jsonl`): when a parallel
+    /// level fails its retry, re-run it isolating the failing workers'
+    /// sub-lists one by one; deterministic offenders are appended to
+    /// this file and skipped (degraded-exact) instead of aborting the
+    /// run.
+    pub fn quarantine(mut self, path: impl Into<PathBuf>) -> Self {
+        self.quarantine = Some(path.into());
+        self
+    }
+
     fn enum_config(&self, g: &BitGraph) -> (usize, Option<usize>, EnumConfig) {
         // Stage 1: bounds. The cheap bound caps the level loop; the
         // exact bound reproduces the paper's "maximum clique size
@@ -308,6 +365,7 @@ impl CliquePipeline {
         g: &BitGraph,
         sink: &mut impl CliqueSink,
     ) -> Result<PipelineReport, PipelineError> {
+        let io0 = crate::supervise::io_retries();
         let (upper_bound, maximum, config) = self.enum_config(g);
 
         // Stages 2+3: seed at min_k (inside the enumerator) and run the
@@ -315,6 +373,7 @@ impl CliquePipeline {
         let outcome = if self.checkpoint.is_none()
             && self.memory_budget.is_none()
             && self.telemetry.is_none()
+            && self.shutdown.is_none()
         {
             // Original infallible in-core fast path.
             if self.threads == 1 {
@@ -324,11 +383,15 @@ impl CliquePipeline {
                     ..Default::default()
                 }
             } else {
-                let par = ParallelEnumerator::new(ParallelConfig {
+                let mut par = ParallelEnumerator::new(ParallelConfig {
                     threads: self.threads,
                     enum_config: config,
+                    worker_deadline: self.worker_deadline,
                     ..Default::default()
                 });
+                if let Some(q) = self.quarantine.clone() {
+                    par = par.quarantine_to(q);
+                }
                 let garc = Arc::new(g.clone());
                 let stats = match par.enumerate_resilient(
                     &garc,
@@ -337,8 +400,9 @@ impl CliquePipeline {
                     |_level, _mem, _sink| Ok(BarrierControl::Continue),
                 ) {
                     Ok(ParallelOutcome::Complete(stats)) => stats,
-                    Ok(ParallelOutcome::Degraded { .. }) => {
-                        unreachable!("no-op barrier never degrades")
+                    Ok(ParallelOutcome::Degraded { .. })
+                    | Ok(ParallelOutcome::Interrupted { .. }) => {
+                        unreachable!("no-op barrier never degrades or halts")
                     }
                     Err(ParallelRunError::Round { k, error, .. }) => {
                         return Err(PipelineError::Workers { k, error })
@@ -364,6 +428,7 @@ impl CliquePipeline {
             checkpoints: outcome.checkpoints,
             degraded_stats: outcome.degraded_stats,
         };
+        self.note_supervision(&report, io0);
         self.finish_telemetry(&report)?;
         Ok(report)
     }
@@ -396,6 +461,7 @@ impl CliquePipeline {
         g: &BitGraph,
         sink: &mut impl CliqueSink,
     ) -> Result<PipelineReport, PipelineError> {
+        let io0 = crate::supervise::io_retries();
         let ckpt = self
             .checkpoint
             .as_ref()
@@ -429,8 +495,35 @@ impl CliquePipeline {
             checkpoints: outcome.checkpoints,
             degraded_stats: outcome.degraded_stats,
         };
+        self.note_supervision(&report, io0);
         self.finish_telemetry(&report)?;
         Ok(report)
+    }
+
+    /// Feed supervision counters (quarantined sub-lists, transient-I/O
+    /// retries performed during this run) into the caller's telemetry
+    /// so they land in the final [`RunSummary`].
+    fn note_supervision(&self, report: &PipelineReport, io_retries_before: u64) {
+        let Some(telemetry) = self.telemetry.as_ref() else {
+            return;
+        };
+        let quarantined = report.parallel_stats.as_ref().map_or(0, |s| s.quarantined);
+        if quarantined > 0 {
+            telemetry.note_quarantine(quarantined as u64);
+        }
+        let retried = crate::supervise::io_retries().saturating_sub(io_retries_before);
+        if retried > 0 {
+            telemetry.note_io_retries(retried);
+        }
+    }
+
+    /// The signal behind a halt request (SIGINT's 2 when the token was
+    /// tripped without one, e.g. from tests).
+    fn requested_signal(&self) -> i32 {
+        self.shutdown
+            .as_ref()
+            .and_then(ShutdownToken::signal)
+            .unwrap_or(2)
     }
 
     /// Write the final summary record when the caller attached
@@ -538,8 +631,26 @@ impl CliquePipeline {
                 }
             }
             let memory = LevelMemory::account(&level, g_n);
-            match at_barrier(manager, budget, &level, &memory, &mut sink, g_n, telemetry)? {
+            let control = at_barrier(
+                manager,
+                budget,
+                self.shutdown.as_ref(),
+                &level,
+                &memory,
+                &mut sink,
+                g_n,
+                telemetry,
+            )?;
+            match control {
                 BarrierControl::Continue => {}
+                BarrierControl::Halt => {
+                    // The barrier already forced a final checkpoint and
+                    // recorded the stop cause; leaving the files in
+                    // place keeps the directory `resume`-ready.
+                    return Err(PipelineError::Interrupted {
+                        signal: self.requested_signal(),
+                    });
+                }
                 BarrierControl::Degrade => {
                     outcome.degraded_at = Some(level.k);
                     // Degradation is a backend swap: same kernel, same
@@ -584,11 +695,15 @@ impl CliquePipeline {
         telemetry: &RunTelemetry,
     ) -> Result<ResilientOutcome, PipelineError> {
         let mut outcome = ResilientOutcome::default();
-        let par = ParallelEnumerator::new(ParallelConfig {
+        let mut par = ParallelEnumerator::new(ParallelConfig {
             threads: self.threads,
             enum_config: config,
+            worker_deadline: self.worker_deadline,
             ..Default::default()
         });
+        if let Some(q) = self.quarantine.clone() {
+            par = par.quarantine_to(q);
+        }
         let garc = Arc::new(g.clone());
         let mut sink = TelemetrySink {
             inner: sink,
@@ -602,7 +717,17 @@ impl CliquePipeline {
             start,
             &mut sink,
             |level, memory, sink| {
-                at_barrier(manager, budget, level, memory, sink, g_n, telemetry).map_err(|e| {
+                at_barrier(
+                    manager,
+                    budget,
+                    self.shutdown.as_ref(),
+                    level,
+                    memory,
+                    sink,
+                    g_n,
+                    telemetry,
+                )
+                .map_err(|e| {
                     match e {
                         PipelineError::Store(e) => e,
                         // at_barrier only produces Store errors
@@ -646,12 +771,22 @@ impl CliquePipeline {
                 record_degraded_levels(telemetry, &degraded)?;
                 outcome.degraded_stats = Some(degraded);
             }
+            Ok(ParallelOutcome::Interrupted { stats }) => {
+                // The barrier already persisted a forced checkpoint and
+                // the stop cause; surface the halt without cleaning up
+                // so the directory stays `resume`-ready.
+                outcome.parallel_stats = Some(stats);
+                return Err(PipelineError::Interrupted {
+                    signal: self.requested_signal(),
+                });
+            }
             Err(ParallelRunError::Round { k, error, level }) => {
                 // Abort, but leave a final checkpoint of the failed
                 // level so the operator can fix the cause and resume.
                 if let Some(mgr) = manager.as_mut() {
                     let _ = sink.flush_barrier();
                     let _ = mgr.force(&level);
+                    let _ = record_stop_cause(mgr.dir(), StopCause::WorkerFailure);
                     outcome.checkpoints = mgr.written().to_vec();
                 }
                 return Err(PipelineError::Workers { k, error });
@@ -735,12 +870,35 @@ fn record_degraded_levels(
 fn at_barrier<S: NeighborSet, K: CliqueSink>(
     manager: &mut Option<CheckpointManager>,
     budget: Option<usize>,
+    shutdown: Option<&ShutdownToken>,
     level: &Level<S>,
     memory: &LevelMemory,
     sink: &mut K,
     g_n: usize,
     telemetry: &RunTelemetry,
 ) -> Result<BarrierControl, PipelineError> {
+    // Shutdown wins over everything else at the barrier: the level that
+    // just finished is complete and consistent, so persist it (forced,
+    // regardless of the checkpoint policy), record why we stopped, and
+    // halt. Nothing below this level is lost.
+    if let Some(sig) = shutdown.and_then(ShutdownToken::signal) {
+        if let Some(mgr) = manager.as_mut() {
+            sink.flush_barrier()
+                .map_err(|e| PipelineError::Store(StoreError::Io(e)))?;
+            let write = mgr.force(level)?;
+            telemetry.note_checkpoint(write.ns, write.bytes);
+            RunProgress {
+                cliques_emitted: telemetry.cliques_emitted(),
+                levels_done: telemetry.levels_completed(),
+                wall_ms: telemetry.wall_ns() / 1_000_000,
+            }
+            .save(mgr.dir())?;
+            // Best-effort: a failed stop-cause note must not block the
+            // shutdown itself.
+            let _ = record_stop_cause(mgr.dir(), StopCause::Signal(sig));
+        }
+        return Ok(BarrierControl::Halt);
+    }
     if let Some(budget) = budget {
         crate::failpoint::inject("memory.budget").map_err(StoreError::Io)?;
         if memory.projected_peak_bytes(level.k, g_n) > budget {

@@ -1,0 +1,169 @@
+//! Quarantine sidecar: poison sub-lists that are skipped, not lost.
+//!
+//! When a worker repeatedly dies (panic or missed heartbeat deadline)
+//! on the same sub-list, the supervised parallel enumerator isolates
+//! the offender and appends it — prefix, tails, level, and the failure
+//! reason — to a `quarantine.jsonl` sidecar next to the checkpoints,
+//! then continues the level without it (*degraded-exact* mode: every
+//! emitted clique is still a real maximal clique; only descendants of
+//! quarantined prefixes may be missing, and exactly which ones is on
+//! record). `gsb report` surfaces the quarantine count, and
+//! [`QuarantineEntry::to_sublist`] rebuilds the exact pending work unit
+//! so a later run can re-enumerate just the quarantined prefixes.
+
+use crate::sublist::SubList;
+use crate::Vertex;
+use gsb_bitset::NeighborSet;
+use gsb_graph::BitGraph;
+use gsb_telemetry::json::{self, JsonValue};
+use std::io::Write;
+use std::path::Path;
+
+/// One quarantined sub-list: enough to skip it now and re-enumerate it
+/// later.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Level (prefix length + 1 = clique size) the sub-list belonged to.
+    pub k: u64,
+    /// The shared (k−1)-prefix of the poisoned sub-list.
+    pub prefix: Vec<Vertex>,
+    /// The tail vertices pending under that prefix.
+    pub tails: Vec<Vertex>,
+    /// Why it was quarantined (panic message or deadline report).
+    pub reason: String,
+}
+
+impl QuarantineEntry {
+    fn to_json(&self) -> String {
+        let mut w = json::ObjectWriter::new();
+        w.u64_field("k", self.k);
+        w.u64_slice_field(
+            "prefix",
+            &self
+                .prefix
+                .iter()
+                .map(|&v| u64::from(v))
+                .collect::<Vec<_>>(),
+        );
+        w.u64_slice_field(
+            "tails",
+            &self.tails.iter().map(|&v| u64::from(v)).collect::<Vec<_>>(),
+        );
+        w.str_field("reason", &self.reason);
+        w.finish()
+    }
+
+    fn from_value(v: &JsonValue) -> Option<Self> {
+        let vertices = |key: &str| -> Vec<Vertex> {
+            v.u64_array(key).into_iter().map(|x| x as Vertex).collect()
+        };
+        Some(QuarantineEntry {
+            k: v.u64_or_zero("k"),
+            prefix: vertices("prefix"),
+            tails: vertices("tails"),
+            reason: v.get("reason")?.as_str()?.to_string(),
+        })
+    }
+
+    /// Rebuild the pending work unit: the prefix's common-neighbor set
+    /// is recomputed from the graph (it is derived state, deliberately
+    /// not serialized), the tails are restored verbatim.
+    pub fn to_sublist<S: NeighborSet>(&self, g: &BitGraph) -> SubList<S> {
+        let members: Vec<usize> = self.prefix.iter().map(|&v| v as usize).collect();
+        SubList {
+            prefix: self.prefix.clone(),
+            cn: S::from_bitset(&g.common_neighbors(&members)),
+            tails: self.tails.clone(),
+        }
+    }
+}
+
+/// Append entries to the quarantine sidecar (JSON lines, one entry per
+/// line; the file is created on first use).
+pub fn append_entries(path: &Path, entries: &[QuarantineEntry]) -> std::io::Result<()> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut buf = String::new();
+    for e in entries {
+        buf.push_str(&e.to_json());
+        buf.push('\n');
+    }
+    file.write_all(buf.as_bytes())?;
+    file.sync_all()
+}
+
+/// Load every entry from a quarantine sidecar. A missing file is an
+/// empty quarantine; unparseable lines (e.g. a torn final line from a
+/// crash mid-append) are skipped rather than fatal.
+pub fn load_entries(path: &Path) -> std::io::Result<Vec<QuarantineEntry>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| json::parse(l).ok())
+        .filter_map(|v| QuarantineEntry::from_value(&v))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_bitset::BitSet;
+    use gsb_graph::generators::{planted, Module};
+
+    fn entry(k: u64) -> QuarantineEntry {
+        QuarantineEntry {
+            k,
+            prefix: vec![1, 4],
+            tails: vec![7, 9, 12],
+            reason: "no heartbeat for 2s".to_string(),
+        }
+    }
+
+    #[test]
+    fn sidecar_round_trips_and_appends() {
+        let dir = std::env::temp_dir().join(format!("gsb-quarantine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("quarantine.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(load_entries(&path).unwrap(), vec![], "missing file = empty");
+        append_entries(&path, &[entry(3)]).unwrap();
+        append_entries(&path, &[entry(4), entry(5)]).unwrap();
+        let got = load_entries(&path).unwrap();
+        assert_eq!(got, vec![entry(3), entry(4), entry(5)]);
+        // A torn final line (crash mid-append) is skipped, not fatal.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"k\": 9, \"pref");
+        std::fs::write(&path, text).unwrap();
+        assert_eq!(load_entries(&path).unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn to_sublist_recomputes_the_common_neighborhood() {
+        let g = planted(16, 0.2, &[Module::clique(6)], 5);
+        // Find a real edge to use as a prefix.
+        let (a, b) = (0..16)
+            .flat_map(|a| (0..16).map(move |b| (a, b)))
+            .find(|&(a, b)| a < b && g.has_edge(a, b))
+            .expect("graph has an edge");
+        let e = QuarantineEntry {
+            k: 2,
+            prefix: vec![a as Vertex, b as Vertex],
+            tails: vec![b as Vertex],
+            reason: "test".into(),
+        };
+        let sl: SubList<BitSet> = e.to_sublist(&g);
+        assert_eq!(sl.cn.to_bitset(), g.common_neighbors(&[a, b]));
+        assert_eq!(sl.tails, vec![b as Vertex]);
+    }
+}

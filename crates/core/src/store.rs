@@ -422,7 +422,13 @@ impl<S: NeighborSet> LevelStore<S> {
             self.resident.push(sl);
             return Ok(());
         }
-        crate::failpoint::inject("spill.write")?;
+        // Transient failures before any bytes hit the spill file are
+        // retried with backoff; once the buffered writer is involved a
+        // partial write can't be blindly replayed, so `write_all`
+        // errors below stay fatal (the CRC framing catches torn tails
+        // on read-back).
+        let retry = crate::supervise::RetryPolicy::default();
+        retry.run_io(|| crate::failpoint::inject("spill.write"))?;
         let spill = match &mut self.spill {
             Some(s) => s,
             None => {
@@ -432,7 +438,7 @@ impl<S: NeighborSet> LevelStore<S> {
                 let path = self
                     .dir
                     .join(format!("gsb-spill-{}-{seq}.bin", std::process::id()));
-                let file = File::create(&path)?;
+                let file = retry.run_io(|| File::create(&path))?;
                 self.spill = Some(Spill {
                     path,
                     writer: Some(BufWriter::new(file)),

@@ -8,7 +8,7 @@
 //! bitwise work.
 //!
 //! The common-neighbor bitmap is generic over
-//! [`NeighborSet`](gsb_bitset::NeighborSet): the same sub-list works
+//! [`NeighborSet`]: the same sub-list works
 //! dense, WAH-compressed, or adaptively hybrid. The default parameter
 //! keeps every pre-trait use (`SubList`, `Level`) meaning the dense
 //! representation.

@@ -1,0 +1,370 @@
+//! Run supervision: signal-safe shutdown and deterministic retry.
+//!
+//! The paper's runs are measured in hours (Table 1); on shared machines
+//! the realistic failure modes are operator interrupts (SIGINT/SIGTERM),
+//! transient I/O hiccups, and full disks — not only hard crashes. This
+//! module is the supervision substrate the pipeline builds on:
+//!
+//! * [`ShutdownToken`] — a cooperative stop flag the CLI's signal
+//!   handler can set from async-signal context (it is a single atomic
+//!   store) and the level-barrier code polls. The pipeline finishes the
+//!   current barrier, forces a final checkpoint, and surfaces
+//!   [`crate::PipelineError::Interrupted`] so the process can exit with
+//!   the conventional `128 + signal` code while the checkpoint
+//!   directory stays `resume`-ready.
+//! * [`RetryPolicy`] — jittered exponential backoff around fallible I/O
+//!   sites, deterministic from a seed (no wall clock, no global RNG), so
+//!   retried runs stay reproducible. Transient errors
+//!   ([`is_transient`]) are retried; permanent ones surface as typed
+//!   errors on the first occurrence.
+//! * [`SplitMix64`] — the tiny zero-dependency PRNG behind both the
+//!   backoff jitter and the chaos-schedule generator in
+//!   [`crate::failpoint`].
+
+use crate::store::StoreError;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// SplitMix64: a tiny, fast, well-distributed PRNG (Steele et al.,
+/// "Fast splittable pseudorandom number generators"). Used for backoff
+/// jitter and chaos schedules; deterministic from its seed so every
+/// supervised behavior is reproducible.
+#[derive(Clone, Debug)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Seed the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..bound` (`bound = 0` returns 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u64() % bound
+    }
+}
+
+/// Process-wide signal flag: 0 = running, otherwise the signal number
+/// that requested shutdown. A `static` (not a field) because a Unix
+/// signal handler can only reach process globals, and its only safe
+/// moves are async-signal-safe ones like this atomic store.
+static GLOBAL_SHUTDOWN: AtomicUsize = AtomicUsize::new(0);
+
+/// The atomic behind [`ShutdownToken::global`], exposed so a signal
+/// handler (which lives in the CLI binary, outside this crate's
+/// `forbid(unsafe_code)`) can store the signal number directly:
+/// `global_signal_flag().store(sig as usize, Ordering::Relaxed)` is
+/// async-signal-safe.
+pub fn global_signal_flag() -> &'static AtomicUsize {
+    &GLOBAL_SHUTDOWN
+}
+
+#[derive(Clone, Debug)]
+enum Flag {
+    /// A private flag for tests and embedders driving shutdown manually.
+    Local(Arc<AtomicUsize>),
+    /// The process-wide flag a signal handler stores into.
+    Global,
+}
+
+/// Cooperative shutdown flag checked at every level barrier.
+///
+/// Cloning shares the underlying flag. [`request`](Self::request) stores
+/// the requesting signal number; the enumeration drivers poll
+/// [`signal`](Self::signal) at each barrier, finish or abandon the
+/// current level, write a final checkpoint, and stop.
+#[derive(Clone, Debug)]
+pub struct ShutdownToken {
+    flag: Flag,
+}
+
+impl Default for ShutdownToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShutdownToken {
+    /// A private token (starts unsignalled), independent of the
+    /// process-global flag — for tests and library embedders.
+    pub fn new() -> Self {
+        ShutdownToken {
+            flag: Flag::Local(Arc::new(AtomicUsize::new(0))),
+        }
+    }
+
+    /// The token backed by the process-global flag that Unix signal
+    /// handlers store into (see [`global_signal_flag`]).
+    pub fn global() -> Self {
+        ShutdownToken { flag: Flag::Global }
+    }
+
+    /// Request shutdown as if signal `sig` had arrived (clamped to at
+    /// least 1, since 0 means "running").
+    pub fn request(&self, sig: i32) {
+        let value = sig.max(1) as usize;
+        match &self.flag {
+            Flag::Local(a) => a.store(value, Ordering::Relaxed),
+            Flag::Global => GLOBAL_SHUTDOWN.store(value, Ordering::Relaxed),
+        }
+    }
+
+    /// The signal number that requested shutdown, if any.
+    pub fn signal(&self) -> Option<i32> {
+        let raw = match &self.flag {
+            Flag::Local(a) => a.load(Ordering::Relaxed),
+            Flag::Global => GLOBAL_SHUTDOWN.load(Ordering::Relaxed),
+        };
+        (raw != 0).then_some(raw as i32)
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_requested(&self) -> bool {
+        self.signal().is_some()
+    }
+}
+
+/// Cumulative count of I/O operations that were retried (successfully
+/// or not) by any [`RetryPolicy`] in this process. Telemetry snapshots
+/// this at run start and exports the delta.
+static IO_RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Total I/O retries performed by this process so far.
+pub fn io_retries() -> u64 {
+    IO_RETRIES.load(Ordering::Relaxed)
+}
+
+/// Is this I/O error worth retrying?
+///
+/// Interrupted syscalls, would-block, and timeouts are transient by
+/// nature. Injected failpoint errors are classified transient too, so
+/// the chaos/resilience suites can drive the retry path: a site armed
+/// `error_once` recovers on retry, while `error_always` exhausts the
+/// budget and still surfaces the typed error.
+pub fn is_transient(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut
+    ) || e.to_string().contains("failpoint")
+}
+
+/// Is this I/O error a full disk (ENOSPC)? Deliberately *not*
+/// transient: retrying cannot help, but pruning old checkpoints can —
+/// the checkpoint manager's disk budget does exactly that.
+pub fn is_disk_full(e: &std::io::Error) -> bool {
+    e.raw_os_error() == Some(28) // ENOSPC; ErrorKind::StorageFull is unstable
+}
+
+/// Jittered exponential backoff for fallible I/O, deterministic from a
+/// seed.
+///
+/// `delay(attempt) = jitter(min(base << attempt, max))` where the
+/// jitter draws uniformly from the upper half of the window via
+/// [`SplitMix64`] — decorrelated enough to avoid retry stampedes, yet
+/// fully reproducible. Defaults keep the worst case well under 100 ms
+/// so test suites that exhaust the budget stay fast.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first failure (0 = fail immediately).
+    pub max_retries: u32,
+    /// Base backoff delay, milliseconds.
+    pub base_delay_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub max_delay_ms: u64,
+    /// Jitter seed: same seed, same delays.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay_ms: 1,
+            max_delay_ms: 20,
+            seed: 0x5343_3035, // "SC05"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `attempt` (0-based).
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let exp = self
+            .base_delay_ms
+            .saturating_shl(attempt.min(16))
+            .min(self.max_delay_ms.max(1));
+        // decorrelated jitter in [exp/2, exp]
+        let mut rng = SplitMix64::new(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37));
+        let half = (exp / 2).max(1);
+        Duration::from_millis(half + rng.below(exp - half + 1))
+    }
+
+    /// Run `op`, retrying transient failures ([`is_transient`]) up to
+    /// [`max_retries`](Self::max_retries) times with backoff. Permanent
+    /// errors and exhausted budgets surface the last error unchanged.
+    pub fn run_io<T>(&self, mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if is_transient(&e) && attempt < self.max_retries => {
+                    IO_RETRIES.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Like [`run_io`](Self::run_io) for store operations: retries only
+    /// [`StoreError::Io`] wrapping a transient error; corruption and
+    /// mismatch errors are permanent by definition.
+    pub fn run_store<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> Result<T, StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(StoreError::Io(e)) if is_transient(&e) && attempt < self.max_retries => {
+                    IO_RETRIES.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.delay(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// `u64::checked_shl` that saturates instead of wrapping, for the
+/// exponential window.
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> u64;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        self.checked_shl(rhs).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_varied() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut sorted = xs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), xs.len(), "degenerate stream");
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        let t = ShutdownToken::new();
+        assert!(!t.is_requested());
+        assert_eq!(t.signal(), None);
+        let clone = t.clone();
+        clone.request(15);
+        assert_eq!(t.signal(), Some(15));
+        assert!(t.is_requested());
+    }
+
+    #[test]
+    fn zero_signal_clamps_to_one() {
+        let t = ShutdownToken::new();
+        t.request(0);
+        assert_eq!(t.signal(), Some(1));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_errors() {
+        let policy = RetryPolicy::default();
+        let mut failures_left = 2;
+        let out = policy.run_io(|| {
+            if failures_left > 0 {
+                failures_left -= 1;
+                Err(std::io::Error::from(std::io::ErrorKind::Interrupted))
+            } else {
+                Ok(7u32)
+            }
+        });
+        assert_eq!(out.unwrap(), 7);
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let out: std::io::Result<()> = policy.run_io(|| {
+            calls += 1;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "nope",
+            ))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "permanent error must not be retried");
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_transient_error() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let out: std::io::Result<()> = policy.run_io(|| {
+            calls += 1;
+            Err(std::io::Error::from(std::io::ErrorKind::TimedOut))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3, "initial try + 2 retries");
+    }
+
+    #[test]
+    fn delays_are_deterministic_and_bounded() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..8 {
+            let d1 = policy.delay(attempt);
+            let d2 = policy.delay(attempt);
+            assert_eq!(d1, d2);
+            assert!(d1 <= Duration::from_millis(policy.max_delay_ms));
+            assert!(d1 >= Duration::from_millis(1).min(d1));
+        }
+    }
+
+    #[test]
+    fn corruption_store_errors_are_not_retried() {
+        let policy = RetryPolicy::default();
+        let mut calls = 0;
+        let out: Result<(), StoreError> = policy.run_store(|| {
+            calls += 1;
+            Err(StoreError::BadMagic { found: 7 })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

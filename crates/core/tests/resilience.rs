@@ -102,6 +102,65 @@ fn degraded_runs_match_in_core_runs_at_any_thread_count() {
     }
 }
 
+#[test]
+fn orphaned_tmp_files_are_swept_at_manager_startup() {
+    use gsb_core::checkpoint::{CheckpointConfig, CheckpointManager};
+    let dir = TempDirGuard::new("res-sweep");
+    // Every durable file in a checkpoint directory is written
+    // tmp-then-rename, so any surviving `.tmp` is a torn write from a
+    // crash and must be swept when the next manager opens the dir.
+    std::fs::write(dir.file("ckpt-k00003.lvl.tmp"), b"torn").unwrap();
+    std::fs::write(dir.file("run.meta.tmp"), b"torn").unwrap();
+    std::fs::write(dir.file("ckpt-k00002.lvl"), b"durable").unwrap();
+    let _mgr = CheckpointManager::new(CheckpointConfig::every_level(dir.path())).unwrap();
+    assert!(!dir.file("ckpt-k00003.lvl.tmp").exists(), "orphan kept");
+    assert!(!dir.file("run.meta.tmp").exists(), "orphan kept");
+    assert!(
+        dir.file("ckpt-k00002.lvl").exists(),
+        "sweep must not touch durable files"
+    );
+}
+
+#[test]
+fn disk_budget_prunes_old_checkpoints_but_keeps_the_newest() {
+    use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig, CheckpointManager};
+    let dir = TempDirGuard::new("res-diskbudget");
+    let g = workload();
+    let seq = CliqueEnumerator::default();
+    let mut sink = CollectSink::default();
+    let mut stats = EnumStats::default();
+    let mut level = seq.init_level(&g, &mut sink, &mut stats);
+    // A 1-byte budget can never fit even one checkpoint: the manager
+    // must degrade to keeping exactly the newest (the resume point),
+    // never zero.
+    let mut mgr =
+        CheckpointManager::new(CheckpointConfig::every_level(dir.path()).disk_budget(1)).unwrap();
+    let mut forced = Vec::new();
+    while !level.is_empty() && forced.len() < 8 {
+        mgr.force(&level).unwrap();
+        forced.push(level.k);
+        assert_eq!(
+            mgr.written(),
+            &[level.k],
+            "budget must prune every checkpoint but the newest"
+        );
+        let lvl_files = std::fs::read_dir(dir.path())
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".lvl"))
+            .count();
+        assert_eq!(lvl_files, 1, "stale checkpoint files survived pruning");
+        let (next, _) = seq.step(&g, &level, &mut sink);
+        level = next;
+    }
+    assert!(forced.len() >= 3, "workload too shallow: {forced:?}");
+    // The survivor is the newest checkpoint and still loads.
+    let (k, _) = latest_checkpoint::<gsb_bitset::BitSet>(dir.path(), g.n())
+        .unwrap()
+        .expect("the newest checkpoint must survive the budget");
+    assert_eq!(Some(&k), forced.last());
+}
+
 #[cfg(feature = "failpoints")]
 mod failpoints {
     use super::*;
@@ -189,8 +248,7 @@ mod failpoints {
         let _serial = serialize();
         let g = workload();
         let expect = plain_sorted(&g);
-        let mut crashes = 0u32;
-        for barrier in 0..32 {
+        for (crashes, barrier) in (0..32).enumerate() {
             let dir = TempDirGuard::new("fp-barrier");
             let store = Arc::new(Mutex::new(Vec::new()));
             let mut sink = SharedSink(store.clone());
@@ -213,7 +271,6 @@ mod failpoints {
                 assert_eq!(got, expect, "uncrashed control run diverged");
                 return;
             }
-            crashes += 1;
             let (k, _) = latest_checkpoint::<gsb_bitset::BitSet>(dir.path(), g.n())
                 .expect("checkpoint dir readable")
                 .expect("crash left no checkpoint");
@@ -282,5 +339,273 @@ mod failpoints {
             .expect("checkpoint dir readable")
             .expect("no final checkpoint after worker abort");
         assert_eq!(k_ckpt, k);
+    }
+
+    /// Every fallible write site: one transient error must be absorbed
+    /// by the backoff retry with the output unchanged; a persistent
+    /// error must exhaust the retry budget and surface as a typed
+    /// storage error — never a panic, never silent corruption.
+    #[test]
+    fn every_write_site_retries_transient_errors_and_types_persistent_ones() {
+        let _serial = serialize();
+        let g = workload();
+        let expect = plain_sorted(&g);
+        let run = |site: &str| -> Result<Vec<Vec<Vertex>>, PipelineError> {
+            let dir = TempDirGuard::new("fp-io-site");
+            let mut sink = CollectSink::default();
+            if site == "spill.write" {
+                let spill = SpillConfig {
+                    budget_bytes: 0, // force every level through the spill path
+                    dir: dir.path().to_path_buf(),
+                };
+                CliqueEnumerator::default()
+                    .enumerate_spilled(&g, &mut sink, &spill)
+                    .map_err(PipelineError::Store)?;
+            } else {
+                CliquePipeline::new()
+                    .min_size(3)
+                    .checkpoint(CheckpointConfig::every_level(dir.path()))
+                    .try_run(&g, &mut sink)?;
+            }
+            let mut got = sink.cliques;
+            got.sort();
+            Ok(got)
+        };
+        for site in ["spill.write", "checkpoint.write", "checkpoint.meta"] {
+            let retries_before = gsb_core::supervise::io_retries();
+            let got = {
+                let _fp = FailGuard::new(site, FailAction::error_once());
+                run(site).unwrap_or_else(|e| panic!("{site}: transient error not retried: {e}"))
+            };
+            assert_eq!(got, expect, "{site}: output changed after a retried error");
+            assert!(
+                gsb_core::supervise::io_retries() > retries_before,
+                "{site}: the retry counter never moved"
+            );
+            let err = {
+                let _fp = FailGuard::new(site, FailAction::error_always());
+                run(site).expect_err("a persistent write failure cannot succeed")
+            };
+            assert!(matches!(err, PipelineError::Store(_)), "{site}: {err}");
+            assert!(err.to_string().contains("failpoint"), "{site}: {err}");
+        }
+    }
+
+    /// The sub-list whose solo re-enumeration contributes the most
+    /// maximal cliques — a victim that provably owns descendants.
+    fn richest_sublist(
+        g: &BitGraph,
+        seq: &CliqueEnumerator,
+    ) -> gsb_core::SubList<gsb_bitset::BitSet> {
+        let mut stats = EnumStats::default();
+        let init = seq.init_level(g, &mut CollectSink::default(), &mut stats);
+        init.sublists
+            .iter()
+            .max_by_key(|sl| {
+                let mut sink = CollectSink::default();
+                seq.enumerate_from_level(
+                    g,
+                    gsb_core::Level {
+                        k: init.k,
+                        sublists: vec![(*sl).clone()],
+                    },
+                    &mut sink,
+                );
+                sink.cliques.len()
+            })
+            .expect("workload has sub-lists")
+            .clone()
+    }
+
+    fn prefix_tag(sl: &gsb_core::SubList<gsb_bitset::BitSet>) -> String {
+        sl.prefix
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("-")
+    }
+
+    /// The full quarantine round-trip: a deterministically poisoned
+    /// sub-list is skipped (the run completes), logged to the sidecar,
+    /// surfaced in the stats, and re-enumerating exactly the recorded
+    /// prefix recovers precisely the missing cliques.
+    #[test]
+    fn quarantined_sublist_is_skipped_logged_and_recoverable() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-quarantine");
+        let g = workload();
+        let expect = plain_sorted(&g);
+        let seq = CliqueEnumerator::default();
+        let victim = richest_sublist(&g, &seq);
+        let tag = prefix_tag(&victim);
+        let qpath = dir.file("quarantine.jsonl");
+        let mut sink = CollectSink::default();
+        let report = {
+            let _fp = FailGuard::tagged("parallel.sublist", &tag, FailAction::panic_always());
+            CliquePipeline::new()
+                .min_size(3)
+                .threads(4)
+                .checkpoint(CheckpointConfig::every_level(dir.path()))
+                .quarantine(qpath.clone())
+                .try_run(&g, &mut sink)
+                .expect("quarantine mode must complete despite the poison sub-list")
+        };
+        let stats = report.parallel_stats.expect("parallel run");
+        assert_eq!(stats.quarantined, 1, "exactly the victim is quarantined");
+        let entries = gsb_core::quarantine::load_entries(&qpath).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].prefix, victim.prefix);
+        assert!(
+            entries[0].reason.contains("failpoint"),
+            "reason must carry the panic message: {:?}",
+            entries[0].reason
+        );
+        let mut got = sink.cliques;
+        got.sort();
+        assert_ne!(
+            got, expect,
+            "the victim owned descendants; some must be missing"
+        );
+        // Degraded-exact: everything emitted is a real maximal clique.
+        assert!(
+            got.iter().all(|c| expect.binary_search(c).is_ok()),
+            "quarantine run emitted a clique the clean run does not have"
+        );
+        // Re-enumerate exactly the recorded work unit; no dedup below,
+        // so the recovery must also not double-emit anything.
+        let mut recovered = CollectSink::default();
+        seq.enumerate_from_level(
+            &g,
+            gsb_core::Level {
+                k: entries[0].k as usize,
+                sublists: entries
+                    .iter()
+                    .map(|e| e.to_sublist::<gsb_bitset::BitSet>(&g))
+                    .collect(),
+            },
+            &mut recovered,
+        );
+        assert!(!recovered.cliques.is_empty());
+        got.extend(recovered.cliques);
+        got.sort();
+        assert_eq!(
+            got, expect,
+            "re-enumerating the quarantined prefix must recover exactly the loss"
+        );
+    }
+
+    /// A worker that stops making progress (here: wedged by an
+    /// injected stall far beyond the deadline) is detected via missed
+    /// heartbeats, its sub-list quarantined, and the run completes.
+    #[test]
+    fn stuck_worker_misses_its_deadline_and_is_quarantined() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-deadline");
+        let g = workload();
+        let expect = plain_sorted(&g);
+        let seq = CliqueEnumerator::default();
+        let victim = richest_sublist(&g, &seq);
+        let tag = prefix_tag(&victim);
+        let qpath = dir.file("quarantine.jsonl");
+        let mut sink = CollectSink::default();
+        let report = {
+            let _fp = FailGuard::tagged(
+                "parallel.sublist",
+                &tag,
+                FailAction::Delay {
+                    skip: 0,
+                    times: u32::MAX,
+                    ms: 2_000,
+                },
+            );
+            CliquePipeline::new()
+                .min_size(3)
+                .threads(4)
+                .checkpoint(CheckpointConfig::every_level(dir.path()))
+                .quarantine(qpath.clone())
+                .worker_deadline(std::time::Duration::from_millis(150))
+                .try_run(&g, &mut sink)
+                .expect("a wedged sub-list must be quarantined, not hang the run")
+        };
+        let stats = report.parallel_stats.expect("parallel run");
+        assert_eq!(stats.quarantined, 1);
+        let entries = gsb_core::quarantine::load_entries(&qpath).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].prefix, victim.prefix);
+        assert!(
+            entries[0].reason.contains("deadline"),
+            "reason must name the missed deadline: {:?}",
+            entries[0].reason
+        );
+        // Degraded-exact, and the loss is recoverable as usual.
+        let mut got = sink.cliques;
+        let mut recovered = CollectSink::default();
+        seq.enumerate_from_level(
+            &g,
+            gsb_core::Level {
+                k: entries[0].k as usize,
+                sublists: vec![entries[0].to_sublist::<gsb_bitset::BitSet>(&g)],
+            },
+            &mut recovered,
+        );
+        got.extend(recovered.cliques);
+        got.sort();
+        assert_eq!(got, expect);
+    }
+
+    /// Graceful shutdown: a requested signal halts the run at the next
+    /// barrier with `PipelineError::Interrupted`, a forced checkpoint,
+    /// and the stop cause on record — and resuming completes the run
+    /// to byte-identical output, on both drivers.
+    #[test]
+    fn shutdown_request_halts_with_checkpoint_and_resumes_identically() {
+        let _serial = serialize();
+        use gsb_core::checkpoint::{load_stop_cause, StopCause};
+        use gsb_core::ShutdownToken;
+        let g = workload();
+        let expect = plain_sorted(&g);
+        for threads in [1usize, 4] {
+            let dir = TempDirGuard::new("fp-shutdown");
+            let token = ShutdownToken::new();
+            token.request(2); // SIGINT, before the first barrier
+            let mut pre = CollectSink::default();
+            let err = CliquePipeline::new()
+                .min_size(3)
+                .threads(threads)
+                .checkpoint(CheckpointConfig::every_level(dir.path()))
+                .shutdown(token)
+                .try_run(&g, &mut pre)
+                .expect_err("a requested shutdown must interrupt the run");
+            assert!(
+                matches!(err, PipelineError::Interrupted { signal: 2 }),
+                "threads={threads}: {err}"
+            );
+            assert_eq!(
+                load_stop_cause(dir.path()),
+                Some(StopCause::Signal(2)),
+                "threads={threads}: stop cause not on record"
+            );
+            // The halt forced a final checkpoint: the dir is
+            // immediately resume-ready.
+            let (k, _) = latest_checkpoint::<gsb_bitset::BitSet>(dir.path(), g.n())
+                .expect("checkpoint dir readable")
+                .expect("graceful shutdown must leave a checkpoint");
+            let mut post = CollectSink::default();
+            let report = CliquePipeline::new()
+                .min_size(3)
+                .threads(threads)
+                .checkpoint(CheckpointConfig::every_level(dir.path()))
+                .resume(&g, &mut post)
+                .expect("resume after graceful shutdown");
+            assert_eq!(report.resumed_from, Some(k));
+            let mut combined: Vec<Vec<Vertex>> = pre
+                .cliques
+                .into_iter()
+                .filter(|c| c.len() <= k)
+                .chain(post.cliques)
+                .collect();
+            combined.sort();
+            assert_eq!(combined, expect, "threads={threads}");
+        }
     }
 }

@@ -37,6 +37,6 @@ pub mod stats;
 pub mod vsim;
 
 pub use balance::{partition_greedy, rebalance, BalancePolicy};
-pub use pool::{RoundError, WorkerFailure, WorkerPool};
+pub use pool::{Heartbeat, RoundError, WorkerFailure, WorkerPool};
 pub use stats::{LevelStats, RunStats};
 pub use vsim::{SimConfig, SimResult, VirtualScheduler};

@@ -14,23 +14,72 @@
 //! results are discarded (a round is all-or-nothing), and
 //! [`WorkerPool::run_round_checked`] respawns any dead threads before
 //! the next round.
+//!
+//! ## Stuck-worker detection
+//!
+//! A panic is loud; a wedged thread is silent. The supervised round
+//! variants ([`WorkerPool::run_round_supervised`],
+//! [`WorkerPool::run_round_isolated`]) hand each job a [`Heartbeat`]
+//! the job beats once per work unit (the parallel enumerator beats per
+//! sub-list). If a worker's beat count stops advancing for the
+//! configured deadline, the round marks it failed
+//! ([`WorkerFailure::deadline`]), *abandons* the stuck thread (a fresh
+//! worker takes over its queue; the old thread is detached and its late
+//! result, if any, is discarded), and the level can continue without
+//! it.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-worker progress counters for one round. Jobs call
+/// [`beat`](Self::beat) at every unit of progress (cheap: one relaxed
+/// atomic increment); the supervising round watches the counters and
+/// declares a worker stuck when its count stops moving for the
+/// deadline.
+#[derive(Clone, Debug)]
+pub struct Heartbeat {
+    beats: Arc<Vec<AtomicU64>>,
+}
+
+impl Heartbeat {
+    fn new(threads: usize) -> Self {
+        Heartbeat {
+            beats: Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect()),
+        }
+    }
+
+    /// Record progress for `worker` (out-of-range indices are ignored).
+    pub fn beat(&self, worker: usize) {
+        if let Some(b) = self.beats.get(worker) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn count(&self, worker: usize) -> u64 {
+        self.beats
+            .get(worker)
+            .map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+}
 
 /// One worker's failure within a round.
 #[derive(Clone, Debug)]
 pub struct WorkerFailure {
     /// Index of the worker whose job failed.
     pub worker: usize,
+    /// True when the failure was a missed heartbeat deadline (a stuck
+    /// thread, abandoned) rather than a caught panic.
+    pub deadline: bool,
     /// The panic payload, stringified (`Box<dyn Any>` payloads that are
-    /// not strings become `"<non-string panic payload>"`).
+    /// not strings become `"<non-string panic payload>"`), or the
+    /// deadline report for stuck workers.
     pub panic_message: String,
 }
 
@@ -152,7 +201,7 @@ impl WorkerPool {
         R: Send + 'static,
         F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
-        self.round_inner(batches, f)
+        aggregate(self.round_core(batches, move |i, b, _hb: &Heartbeat| f(i, b), None))
             .unwrap_or_else(|e| panic!("worker round failed: {e}"))
     }
 
@@ -172,34 +221,121 @@ impl WorkerPool {
         F: Fn(usize, T) -> R + Send + Sync + 'static,
     {
         self.respawn_dead();
-        self.round_inner(batches, f)
+        aggregate(self.round_core(batches, move |i, b, _hb: &Heartbeat| f(i, b), None))
     }
 
-    fn round_inner<T, R, F>(&self, batches: Vec<T>, f: F) -> Result<Vec<(R, u64)>, RoundError>
+    /// Supervised round: like [`run_round_checked`](Self::run_round_checked)
+    /// but the job receives a [`Heartbeat`] it must beat per work unit,
+    /// and a worker whose beats stop advancing for `deadline` is marked
+    /// failed ([`WorkerFailure::deadline`]) and its thread abandoned (a
+    /// fresh worker replaces it for subsequent rounds). `deadline:
+    /// None` supervises panics only, identical to `run_round_checked`.
+    pub fn run_round_supervised<T, R, F>(
+        &mut self,
+        batches: Vec<T>,
+        f: F,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<(R, u64)>, RoundError>
     where
         T: Send + 'static,
         R: Send + 'static,
-        F: Fn(usize, T) -> R + Send + Sync + 'static,
+        F: Fn(usize, T, &Heartbeat) -> R + Send + Sync + 'static,
+    {
+        self.respawn_dead();
+        let slots = self.round_core(batches, f, deadline);
+        self.abandon_stuck(&slots);
+        aggregate(slots)
+    }
+
+    /// Per-worker round: every worker's outcome is reported
+    /// individually — a failure in one slot does not discard its
+    /// neighbors' results. This is the probe primitive the quarantine
+    /// protocol uses to pin a poison sub-list down to one work unit.
+    /// Stuck workers (per `deadline`) are abandoned exactly as in
+    /// [`run_round_supervised`](Self::run_round_supervised).
+    pub fn run_round_isolated<T, R, F>(
+        &mut self,
+        batches: Vec<T>,
+        f: F,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<(R, u64), WorkerFailure>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T, &Heartbeat) -> R + Send + Sync + 'static,
+    {
+        self.respawn_dead();
+        let slots = self.round_core(batches, f, deadline);
+        self.abandon_stuck(&slots);
+        slots
+    }
+
+    /// Replace the worker at `i` with a fresh thread. The old thread is
+    /// joined if already finished, otherwise detached: dropping its
+    /// sender closes its queue, so if it ever un-wedges it exits its
+    /// loop; if it never does, it stays parked on its (now unreachable)
+    /// job — the price of surviving a genuinely stuck thread.
+    fn abandon_worker(&mut self, i: usize) {
+        let (tx, handle) = spawn_worker(i);
+        self.senders[i] = tx;
+        if let Some(old) = self.handles[i].replace(handle) {
+            if old.is_finished() {
+                let _ = old.join();
+            }
+            // else: detach by dropping the handle.
+        }
+    }
+
+    fn abandon_stuck<R>(&mut self, slots: &[Result<(R, u64), WorkerFailure>]) {
+        let stuck: Vec<usize> = slots
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .filter(|f| f.deadline)
+            .map(|f| f.worker)
+            .collect();
+        for i in stuck {
+            self.abandon_worker(i);
+        }
+    }
+
+    /// The shared round engine: dispatch one batch per worker, collect
+    /// per-worker outcomes. With a deadline, collection polls and
+    /// watches the heartbeat counters; a silent worker is declared
+    /// failed without waiting for it, and any result it sends later is
+    /// discarded.
+    fn round_core<T, R, F>(
+        &self,
+        batches: Vec<T>,
+        f: F,
+        deadline: Option<Duration>,
+    ) -> Vec<Result<(R, u64), WorkerFailure>>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, T, &Heartbeat) -> R + Send + Sync + 'static,
     {
         assert_eq!(
             batches.len(),
             self.threads(),
             "one batch per worker required"
         );
+        let threads = self.threads();
         let f = Arc::new(f);
+        let hb = Heartbeat::new(threads);
         type Done<R> = (usize, Result<(R, u64), String>);
-        let (done_tx, done_rx) = bounded::<Done<R>>(self.threads());
+        let (done_tx, done_rx) = bounded::<Done<R>>(threads);
         for (i, batch) in batches.into_iter().enumerate() {
             let f = Arc::clone(&f);
             let done = done_tx.clone();
+            let hb = hb.clone();
             let job: Job = Box::new(move || {
                 let start = Instant::now();
-                let out = catch_unwind(AssertUnwindSafe(|| f(i, batch)))
+                hb.beat(i); // "alive and starting" — a job that never even starts is stuck by definition
+                let out = catch_unwind(AssertUnwindSafe(|| f(i, batch, &hb)))
                     .map_err(|payload| panic_message(payload.as_ref()));
                 let ns = start.elapsed().as_nanos() as u64;
-                // Receiver outlives the round; send only fails if the
-                // pool is being torn down mid-round, which round_inner's
-                // blocking recv below makes impossible.
+                // Receiver outlives the round (bounded(threads) never
+                // blocks); a send error means the pool is tearing down.
                 let _ = done.send((i, out.map(|r| (r, ns))));
             });
             if let Err(send_err) = self.senders[i].send(job) {
@@ -210,46 +346,100 @@ impl WorkerPool {
             }
         }
         drop(done_tx);
-        let mut results: Vec<Option<(R, u64)>> = (0..self.threads()).map(|_| None).collect();
-        let mut failures: Vec<WorkerFailure> = Vec::new();
+        let mut slots: Vec<Option<Result<(R, u64), WorkerFailure>>> =
+            (0..threads).map(|_| None).collect();
         let mut reported = 0;
-        while reported < self.threads() {
-            match done_rx.recv() {
-                Ok((i, Ok(out))) => {
-                    results[i] = Some(out);
-                    reported += 1;
+        // Stuck detection state: a worker makes progress when its beat
+        // count changes between polls. u64::MAX forces the first poll
+        // to record a baseline, so the clock starts at observation, not
+        // at dispatch.
+        let mut last_beats: Vec<u64> = vec![u64::MAX; threads];
+        let mut last_progress: Vec<Instant> = vec![Instant::now(); threads];
+        let poll = deadline.map(|d| (d / 4).max(Duration::from_millis(5)));
+        while reported < threads {
+            let received = match poll {
+                None => done_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                Some(p) => done_rx.recv_timeout(p),
+            };
+            match received {
+                Ok((i, out)) => {
+                    if slots[i].is_none() {
+                        slots[i] = Some(out.map_err(|panic_message| WorkerFailure {
+                            worker: i,
+                            deadline: false,
+                            panic_message,
+                        }));
+                        reported += 1;
+                    }
+                    // else: a late result from a worker already declared
+                    // stuck — discarded; its replacement owns the slot.
                 }
-                Ok((i, Err(panic_message))) => {
-                    failures.push(WorkerFailure {
-                        worker: i,
-                        panic_message,
-                    });
-                    reported += 1;
+                Err(RecvTimeoutError::Timeout) => {
+                    let d = deadline.expect("timeout implies a deadline");
+                    let now = Instant::now();
+                    for i in 0..threads {
+                        if slots[i].is_some() {
+                            continue;
+                        }
+                        let beats = hb.count(i);
+                        if beats != last_beats[i] {
+                            last_beats[i] = beats;
+                            last_progress[i] = now;
+                        } else if now.duration_since(last_progress[i]) >= d {
+                            slots[i] = Some(Err(WorkerFailure {
+                                worker: i,
+                                deadline: true,
+                                panic_message: format!(
+                                    "no heartbeat for {:.1}s (deadline {:.1}s)",
+                                    now.duration_since(last_progress[i]).as_secs_f64(),
+                                    d.as_secs_f64()
+                                ),
+                            }));
+                            reported += 1;
+                        }
+                    }
                 }
                 // All senders dropped before every worker reported:
                 // thread death outside the job's catch. Mark the
                 // missing slots failed rather than blocking forever.
-                Err(_) => {
-                    for (i, slot) in results.iter().enumerate() {
-                        if slot.is_none() && !failures.iter().any(|fl| fl.worker == i) {
-                            failures.push(WorkerFailure {
+                Err(RecvTimeoutError::Disconnected) => {
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        if slot.is_none() {
+                            *slot = Some(Err(WorkerFailure {
                                 worker: i,
+                                deadline: false,
                                 panic_message: "worker thread died mid-round".to_string(),
-                            });
+                            }));
+                            reported += 1;
                         }
                     }
-                    break;
                 }
             }
         }
-        if !failures.is_empty() {
-            failures.sort_by_key(|fl| fl.worker);
-            return Err(RoundError { failures });
-        }
-        Ok(results
+        slots
             .into_iter()
-            .map(|r| r.expect("every worker reports"))
-            .collect())
+            .map(|s| s.expect("every slot reported"))
+            .collect()
+    }
+}
+
+/// Collapse per-worker outcomes into an all-or-nothing round result:
+/// any failure discards every output (so a retried round cannot
+/// double-count) and reports all failures, sorted by worker.
+fn aggregate<R>(slots: Vec<Result<(R, u64), WorkerFailure>>) -> Result<Vec<(R, u64)>, RoundError> {
+    let mut results = Vec::with_capacity(slots.len());
+    let mut failures = Vec::new();
+    for slot in slots {
+        match slot {
+            Ok(v) => results.push(v),
+            Err(f) => failures.push(f),
+        }
+    }
+    if failures.is_empty() {
+        Ok(results)
+    } else {
+        failures.sort_by_key(|fl| fl.worker);
+        Err(RoundError { failures })
     }
 }
 
@@ -407,5 +597,113 @@ mod tests {
         let mut pool = WorkerPool::new(3);
         assert_eq!(pool.dead_workers(), 0);
         assert_eq!(pool.respawn_dead(), 0);
+    }
+
+    #[test]
+    fn supervised_round_without_deadline_matches_checked() {
+        let mut pool = WorkerPool::new(3);
+        let out = pool
+            .run_round_supervised(
+                vec![1u64, 2, 3],
+                |i, x, hb: &Heartbeat| {
+                    hb.beat(i);
+                    x * 10
+                },
+                None,
+            )
+            .expect("healthy round");
+        let values: Vec<u64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn stuck_worker_is_detected_and_abandoned() {
+        let mut pool = WorkerPool::new(2);
+        // Worker 1 beats once then stalls far beyond the deadline;
+        // worker 0 finishes normally. The round must report worker 1 as
+        // a deadline failure without waiting out the full stall.
+        let release = Arc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        let err = pool
+            .run_round_supervised(
+                vec![false, true],
+                {
+                    let release = Arc::clone(&release);
+                    move |_, stall, _hb: &Heartbeat| {
+                        if stall {
+                            let deadline = Instant::now() + Duration::from_secs(30);
+                            while release.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                        7u64
+                    }
+                },
+                Some(Duration::from_millis(200)),
+            )
+            .unwrap_err();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "waited for the stall"
+        );
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].worker, 1);
+        assert!(err.failures[0].deadline);
+        assert!(
+            err.failures[0].panic_message.contains("no heartbeat"),
+            "message: {}",
+            err.failures[0].panic_message
+        );
+        // The stuck thread was abandoned: its replacement serves the
+        // next round immediately, and the stalled job's late result is
+        // not misdelivered into it.
+        let out = pool
+            .run_round_supervised(vec![1u64, 2], |_, x, _hb: &Heartbeat| x + 1, None)
+            .expect("replacement worker serves the next round");
+        let values: Vec<u64> = out.iter().map(|(v, _)| *v).collect();
+        assert_eq!(values, vec![2, 3]);
+        release.store(1, Ordering::SeqCst); // un-wedge the detached thread
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_worker_alive() {
+        let mut pool = WorkerPool::new(1);
+        // Total runtime (350ms) far exceeds the deadline (100ms), but
+        // the worker beats every 20ms, so it must NOT be declared stuck.
+        let out = pool
+            .run_round_supervised(
+                vec![()],
+                |i, (), hb: &Heartbeat| {
+                    for _ in 0..16 {
+                        std::thread::sleep(Duration::from_millis(20));
+                        hb.beat(i);
+                    }
+                    42u64
+                },
+                Some(Duration::from_millis(100)),
+            )
+            .expect("beating worker must survive");
+        assert_eq!(out[0].0, 42);
+    }
+
+    #[test]
+    fn isolated_round_keeps_surviving_results() {
+        let mut pool = WorkerPool::new(3);
+        let slots = pool.run_round_isolated(
+            vec![0u64, 1, 2],
+            |_, x, _hb: &Heartbeat| {
+                if x == 1 {
+                    panic!("poison");
+                }
+                x * 2
+            },
+            None,
+        );
+        assert_eq!(slots.len(), 3);
+        assert_eq!(slots[0].as_ref().unwrap().0, 0);
+        let failure = slots[1].as_ref().unwrap_err();
+        assert!(!failure.deadline);
+        assert!(failure.panic_message.contains("poison"));
+        assert_eq!(slots[2].as_ref().unwrap().0, 4);
     }
 }

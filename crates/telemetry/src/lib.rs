@@ -7,18 +7,18 @@
 //! three ways (machine-readable JSON lines, a live stderr progress
 //! line, and the `gsb report` renderer).
 //!
-//! * [`recorder`] — the [`Recorder`](recorder::Recorder) trait:
+//! * [`recorder`] — the [`Recorder`] trait:
 //!   counters, gauges, and histograms backed by atomics (lock-free on
 //!   the hot path once a handle is held) plus span-style timed scopes.
-//!   [`NoopRecorder`](recorder::NoopRecorder) compiles away under
+//!   [`NoopRecorder`] compiles away under
 //!   monomorphization when telemetry is disabled.
 //! * [`json`] — a minimal hand-rolled JSON writer/parser (the offline
 //!   build environment stubs external crates, and the record schema is
 //!   flat enough not to need one).
-//! * [`record`] — [`LevelRecord`](record::LevelRecord): one consistent
+//! * [`record`] — [`LevelRecord`]: one consistent
 //!   snapshot per level barrier, the unit of the JSON-lines run report,
-//!   and [`RunSummary`](record::RunSummary), the final record.
-//! * [`runlog`] — [`RunTelemetry`](runlog::RunTelemetry): the shared
+//!   and [`RunSummary`], the final record.
+//! * [`runlog`] — [`RunTelemetry`]: the shared
 //!   handle a run threads through the pipeline; owns the JSONL writer,
 //!   the cumulative counters, and the live progress line with its
 //!   level-growth ETA.

@@ -72,6 +72,11 @@ pub struct RunSummary {
     pub checkpoints: u64,
     /// Worker panics retried across the run.
     pub retries: u64,
+    /// Sub-lists skipped into the quarantine sidecar (degraded-exact
+    /// runs; 0 = every sub-list was enumerated).
+    pub quarantined: u64,
+    /// Transient-I/O retry attempts performed across the run.
+    pub io_retries: u64,
     /// Maximum clique size found (0 = none).
     pub max_clique: u64,
 }
@@ -186,6 +191,8 @@ impl RunSummary {
         }
         w.u64_field("checkpoints", self.checkpoints)
             .u64_field("retries", self.retries)
+            .u64_field("quarantined", self.quarantined)
+            .u64_field("io_retries", self.io_retries)
             .u64_field("max_clique", self.max_clique);
         w.finish()
     }
@@ -198,6 +205,8 @@ impl RunSummary {
             degraded_at: v.get("degraded_at").and_then(JsonValue::as_u64),
             checkpoints: v.u64_or_zero("checkpoints"),
             retries: v.u64_or_zero("retries"),
+            quarantined: v.u64_or_zero("quarantined"),
+            io_retries: v.u64_or_zero("io_retries"),
             max_clique: v.u64_or_zero("max_clique"),
         }
     }
@@ -264,6 +273,8 @@ mod tests {
                 degraded_at,
                 checkpoints: 3,
                 retries: 1,
+                quarantined: 2,
+                io_retries: 5,
                 max_clique: 11,
             };
             match parse_line(&s.to_json()).unwrap() {

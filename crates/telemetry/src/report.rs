@@ -241,10 +241,20 @@ pub fn render_report(report: &ParsedReport) -> String {
         if s.retries > 0 {
             out.push_str(&format!(", {} worker retries", s.retries));
         }
+        if s.io_retries > 0 {
+            out.push_str(&format!(", {} I/O retries", s.io_retries));
+        }
         if let Some(k) = s.degraded_at {
             out.push_str(&format!(", degraded at k={k}"));
         }
         out.push('\n');
+        if s.quarantined > 0 {
+            out.push_str(&format!(
+                "warning: {} sub-list(s) quarantined — output is exact except \
+                 descendants of the prefixes in quarantine.jsonl\n",
+                s.quarantined,
+            ));
+        }
     } else {
         out.push_str(&format!(
             "\nNo summary record (run did not finish cleanly); last cumulative total: {}\n",

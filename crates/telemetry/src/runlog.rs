@@ -57,6 +57,8 @@ pub struct RunTelemetry {
     levels_done: AtomicU64,
     checkpoints: AtomicU64,
     retries_total: AtomicU64,
+    quarantined_total: AtomicU64,
+    io_retries_total: AtomicU64,
     /// Checkpoint latency/bytes parked by the barrier for the next record.
     pending_ckpt_ns: AtomicU64,
     pending_ckpt_bytes: AtomicU64,
@@ -94,6 +96,8 @@ impl RunTelemetry {
             levels_done: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             retries_total: AtomicU64::new(0),
+            quarantined_total: AtomicU64::new(0),
+            io_retries_total: AtomicU64::new(0),
             pending_ckpt_ns: AtomicU64::new(0),
             pending_ckpt_bytes: AtomicU64::new(0),
         })
@@ -156,6 +160,20 @@ impl RunTelemetry {
     pub fn note_spill(&self, bytes: u64) {
         self.recorder.add("spill_events", 1);
         self.recorder.add("spill_bytes", bytes);
+    }
+
+    /// Record sub-lists skipped into the quarantine sidecar
+    /// (degraded-exact mode: the output is missing exactly their
+    /// descendants, and the sidecar says which).
+    pub fn note_quarantine(&self, n: u64) {
+        self.quarantined_total.fetch_add(n, Ordering::Relaxed);
+        self.recorder.add("quarantined_sublists", n);
+    }
+
+    /// Record transient-I/O retry attempts performed during the run.
+    pub fn note_io_retries(&self, n: u64) {
+        self.io_retries_total.fetch_add(n, Ordering::Relaxed);
+        self.recorder.add("io_retries", n);
     }
 
     /// Take a level barrier: completes `record`'s cumulative fields,
@@ -235,6 +253,8 @@ impl RunTelemetry {
         summary.wall_ns = self.wall_ns();
         summary.checkpoints = self.checkpoints.load(Ordering::Relaxed);
         summary.retries = self.retries_total.load(Ordering::Relaxed);
+        summary.quarantined = self.quarantined_total.load(Ordering::Relaxed);
+        summary.io_retries = self.io_retries_total.load(Ordering::Relaxed);
         let mut guard = self.writer.lock().unwrap();
         if let Some(w) = guard.as_mut() {
             w.write_all(summary.to_json().as_bytes())?;
