@@ -1,0 +1,92 @@
+//! `gsb index` — enumerate maximal cliques straight into a persistent
+//! on-disk index (clique store + postings + size directory), queryable
+//! afterwards with `gsb query` / `gsb serve` without re-running the
+//! enumeration.
+
+use super::load;
+use crate::args::Args;
+use crate::CliError;
+use gsb_core::{BackendChoice, CliquePipeline, TeeSink, WriterSink};
+use gsb_index::IndexWriter;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// `gsb index`
+pub fn index(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(
+        argv,
+        &[
+            "out",
+            "min",
+            "max",
+            "threads",
+            "backend",
+            "block-target",
+            "text-out",
+        ],
+        &[],
+        1,
+    )?;
+    let graph_path = a.required_positional(0, "GRAPH")?;
+    let Some(out_dir) = a.flag("out") else {
+        return Err(CliError::Usage(
+            "gsb index requires --out DIR (where the index is written)".into(),
+        ));
+    };
+    let g = load(graph_path)?;
+    let min_k: usize = a.flag_or("min", 3)?;
+    let max_k: Option<usize> = a.flag_opt("max")?;
+    let threads: usize = a.flag_or("threads", 1)?;
+    let backend = match a.flag("backend") {
+        Some(name) => name.parse::<BackendChoice>().map_err(CliError::Usage)?,
+        None => BackendChoice::Dense,
+    };
+    let block_target: Option<usize> = a.flag_opt("block-target")?;
+
+    let mut pipe = CliquePipeline::new()
+        .min_size(min_k)
+        .threads(threads)
+        .backend(backend)
+        .skip_exact_bound();
+    if let Some(mx) = max_k {
+        pipe = pipe.max_size(mx);
+    }
+
+    let mut writer = IndexWriter::create(Path::new(out_dir), g.n()).map_err(CliError::Store)?;
+    if let Some(bytes) = block_target {
+        writer = writer.block_target(bytes);
+    }
+
+    // --text-out additionally streams the classic `size\tv …` lines;
+    // the index sink goes first in the tee so a flush barrier makes the
+    // durable artifact durable before the convenience copy.
+    let summary = if let Some(text_path) = a.flag("text-out") {
+        let file = std::fs::File::create(text_path)?;
+        let mut text = WriterSink::new(file);
+        {
+            let mut tee = TeeSink(&mut writer, &mut text);
+            pipe.try_run(&g, &mut tee)?;
+        }
+        text.finish()?;
+        writer.finish().map_err(CliError::Store)?
+    } else {
+        pipe.try_run(&g, &mut writer)?;
+        writer.finish().map_err(CliError::Store)?
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "indexed {} maximal cliques from {graph_path} into {out_dir}",
+        summary.cliques
+    );
+    let _ = writeln!(
+        out,
+        "largest clique: {} / blocks: {} / store: {} bytes / postings: {} bytes",
+        summary.max_clique, summary.blocks, summary.store_bytes, summary.postings_bytes
+    );
+    if let Some(text_path) = a.flag("text-out") {
+        let _ = writeln!(out, "text copy: {text_path}");
+    }
+    Ok(out)
+}

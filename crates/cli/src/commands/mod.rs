@@ -7,18 +7,24 @@ mod cliques;
 mod convert;
 mod exact;
 mod generate;
+mod index;
 mod motif;
+mod query;
 mod report;
 mod resume;
+mod serve;
 mod stats;
 
 pub use cliques::cliques;
 pub use convert::convert;
 pub use exact::{fvs, maxclique, vertex_cover};
 pub use generate::generate;
+pub use index::index;
 pub use motif::motif;
+pub use query::query;
 pub use report::report;
 pub use resume::resume;
+pub use serve::serve;
 pub use stats::stats;
 
 use crate::CliError;
@@ -653,5 +659,127 @@ mod tests {
     fn missing_file_is_io_error() {
         let err = stats(&argv(&["/definitely/not/here"])).unwrap_err();
         assert!(matches!(err, CliError::Parse(_) | CliError::Io(_)));
+    }
+
+    #[test]
+    fn index_then_query_round_trip() {
+        let path = tmp("g16.txt");
+        let dir = tmp("g16-index");
+        let text = tmp("g16.cliques");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "40",
+            "--modules",
+            "7,5",
+            "--seed",
+            "23",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        let plain = cliques(&argv(&[&path, "--min", "3"])).unwrap();
+        let mut want: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
+        want.sort();
+
+        // Index with a text tee: the text copy must equal the plain run.
+        let report = index(&argv(&[
+            &path,
+            "--min",
+            "3",
+            "--out",
+            &dir,
+            "--text-out",
+            &text,
+        ]))
+        .unwrap();
+        assert!(
+            report.contains(&format!("indexed {} maximal cliques", want.len())),
+            "{report}"
+        );
+        let teed = std::fs::read_to_string(&text).unwrap();
+        let mut got: Vec<&str> = teed.lines().collect();
+        got.sort();
+        assert_eq!(got, want, "--text-out tee differs from plain run");
+
+        // Size-range query over everything reproduces the clique set.
+        let all = query(&argv(&[&dir, "--size-min", "0", "--limit", "100000"])).unwrap();
+        let mut from_index: Vec<String> = all
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l.split_once('\t').unwrap().1.to_string())
+            .collect();
+        from_index.sort();
+        assert_eq!(from_index, want, "query --size-min 0 differs");
+
+        // max agrees with the largest plain-run clique.
+        let max_report = query(&argv(&[&dir, "--max"])).unwrap();
+        let best = want
+            .iter()
+            .map(|l| l.split_once('\t').unwrap().0.parse::<usize>().unwrap())
+            .max()
+            .unwrap();
+        assert!(max_report.contains(&format!("size {best}")), "{max_report}");
+
+        // containing/overlap agree with a grep over the text output.
+        let v = 0u32;
+        let contains_v = want
+            .iter()
+            .filter(|l| {
+                l.split_once('\t')
+                    .unwrap()
+                    .1
+                    .split_whitespace()
+                    .any(|x| x == v.to_string())
+            })
+            .count();
+        let c_report = query(&argv(&[&dir, "--containing", "0", "--ids-only"])).unwrap();
+        assert!(
+            c_report.contains(&format!(": {contains_v} total")),
+            "{c_report}"
+        );
+
+        // stats --index renders the same totals.
+        let s = stats(&argv(&["--index", &dir])).unwrap();
+        assert!(
+            s.contains(&format!("cliques:        {}", want.len())),
+            "{s}"
+        );
+        assert!(s.contains(&format!("largest clique: {best}")), "{s}");
+        assert!(s.contains("size histogram"), "{s}");
+
+        // usage errors
+        assert!(query(&argv(&[&dir])).is_err());
+        assert!(query(&argv(&[&dir, "--max", "--containing", "1"])).is_err());
+        assert!(query(&argv(&[&dir, "--overlap", "five,6"])).is_err());
+        assert!(index(&argv(&[&path])).is_err()); // --out required
+        assert!(stats(&argv(&[&path, "--index", &dir])).is_err());
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_on_missing_index_is_a_storage_error() {
+        let err = query(&argv(&["/definitely/not/an/index", "--max"])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+        assert_eq!(err.exit_code(), 1);
+        let err = serve(&argv(&["/definitely/not/an/index"])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+    }
+
+    #[test]
+    fn drained_error_shape() {
+        let e = CliError::Drained {
+            signal: 2,
+            connections: 41,
+            requests: 40,
+        };
+        assert_eq!(e.exit_code(), 130);
+        let text = e.to_string();
+        assert!(text.contains("drained 41 connection(s)"), "{text}");
+        assert!(text.contains("40 request(s)"), "{text}");
     }
 }

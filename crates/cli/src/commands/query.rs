@@ -1,0 +1,132 @@
+//! `gsb query` — answer clique queries from a `gsb index` directory,
+//! read-only, without re-running any enumeration.
+
+use crate::args::Args;
+use crate::CliError;
+use gsb_core::Clique;
+use gsb_index::CliqueIndex;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// `gsb query`
+pub fn query(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(
+        argv,
+        &["containing", "size-min", "size-max", "overlap", "limit"],
+        &["max", "ids-only"],
+        1,
+    )?;
+    let dir = a.required_positional(0, "INDEX_DIR")?;
+    let limit: usize = a.flag_or("limit", 1000)?;
+    let ids_only = a.switch("ids-only");
+    let index = CliqueIndex::open(Path::new(dir)).map_err(CliError::Store)?;
+
+    let containing: Option<u32> = a.flag_opt("containing")?;
+    let size_min: Option<u32> = a.flag_opt("size-min")?;
+    let size_max: Option<u32> = a.flag_opt("size-max")?;
+    let overlap = a.flag("overlap");
+    let want_max = a.switch("max");
+
+    let modes = [
+        containing.is_some(),
+        size_min.is_some() || size_max.is_some(),
+        overlap.is_some(),
+        want_max,
+    ];
+    if modes.iter().filter(|m| **m).count() != 1 {
+        return Err(CliError::Usage(
+            "gsb query needs exactly one of --containing V, --size-min/--size-max, \
+             --overlap V,W, or --max"
+                .into(),
+        ));
+    }
+
+    if let Some(v) = containing {
+        let ids = index.containing(v).map_err(CliError::Store)?;
+        return render(
+            &index,
+            &format!("cliques containing {v}"),
+            ids,
+            limit,
+            ids_only,
+        );
+    }
+    if let Some(pair) = overlap {
+        let Some((v, w)) = pair.split_once(',') else {
+            return Err(CliError::Usage("--overlap takes V,W (two vertices)".into()));
+        };
+        let (v, w) = match (v.trim().parse::<u32>(), w.trim().parse::<u32>()) {
+            (Ok(v), Ok(w)) => (v, w),
+            _ => return Err(CliError::Usage("--overlap takes numeric vertices".into())),
+        };
+        let ids = index.overlap(v, w).map_err(CliError::Store)?;
+        return render(
+            &index,
+            &format!("cliques containing both {v} and {w}"),
+            ids,
+            limit,
+            ids_only,
+        );
+    }
+    if want_max {
+        let mut out = String::new();
+        match index.max_clique().map_err(CliError::Store)? {
+            Some(c) => {
+                let _ = writeln!(out, "maximum clique (size {}):", c.len());
+                let _ = writeln!(out, "{}", render_clique(&c));
+            }
+            None => {
+                let _ = writeln!(out, "index is empty — no maximum clique");
+            }
+        }
+        return Ok(out);
+    }
+    let lo = size_min.unwrap_or(0);
+    let hi = size_max.unwrap_or(index.max_size());
+    if lo > hi {
+        return Err(CliError::Usage(format!(
+            "--size-min {lo} exceeds --size-max {hi}"
+        )));
+    }
+    let ids: Vec<u64> = index.of_size(lo, hi).collect();
+    render(
+        &index,
+        &format!("cliques of size {lo}..={hi}"),
+        ids,
+        limit,
+        ids_only,
+    )
+}
+
+fn render(
+    index: &CliqueIndex,
+    what: &str,
+    ids: Vec<u64>,
+    limit: usize,
+    ids_only: bool,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    let shown = ids.len().min(limit);
+    let _ = writeln!(out, "{}: {} total", what, ids.len());
+    if ids_only {
+        for id in &ids[..shown] {
+            let _ = writeln!(out, "{id}");
+        }
+    } else {
+        let cliques = index
+            .materialize(ids[..shown].iter().copied())
+            .map_err(CliError::Store)?;
+        for (id, c) in ids[..shown].iter().zip(&cliques) {
+            let _ = writeln!(out, "#{id}\t{}", render_clique(c));
+        }
+    }
+    if shown < ids.len() {
+        let _ = writeln!(out, "… {} more (raise --limit)", ids.len() - shown);
+    }
+    Ok(out)
+}
+
+fn render_clique(c: &Clique) -> String {
+    let text: Vec<String> = c.iter().map(u32::to_string).collect();
+    format!("{}\t{}", c.len(), text.join(" "))
+}

@@ -1,0 +1,63 @@
+//! `gsb serve` — serve a `gsb index` directory over HTTP until a
+//! SIGINT/SIGTERM asks for a graceful drain.
+
+use crate::args::Args;
+use crate::CliError;
+use gsb_core::ShutdownToken;
+use gsb_index::{CliqueIndex, ServeConfig, Server};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `gsb serve`
+pub fn serve(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(
+        argv,
+        &["addr", "threads", "deadline-secs", "metrics-out"],
+        &[],
+        1,
+    )?;
+    let dir = a.required_positional(0, "INDEX_DIR")?;
+    let addr = a.flag("addr").unwrap_or("127.0.0.1:7700");
+    let threads: usize = a.flag_or("threads", 4)?;
+    let deadline_secs: u64 = a.flag_or("deadline-secs", 10)?;
+    let metrics_out = a.flag("metrics-out").map(PathBuf::from);
+
+    let index = Arc::new(CliqueIndex::open(Path::new(dir)).map_err(CliError::Store)?);
+    let config = ServeConfig {
+        threads,
+        deadline: Duration::from_secs(deadline_secs.max(1)),
+        metrics_out: metrics_out.clone(),
+    };
+    let server = Server::bind(Arc::clone(&index), addr, config)?;
+    let bound = server.local_addr()?;
+    // Stderr, eagerly: the operator (and the CI smoke test) needs the
+    // address before the first query, while stdout stays machine-clean.
+    eprintln!(
+        "gsb serve: listening on http://{bound} ({} cliques over {} vertices, {threads} workers)",
+        index.len(),
+        index.n()
+    );
+    eprintln!("gsb serve: endpoints: /health /stats /containing/V /size/LO/HI /max /overlap/V/W");
+
+    let shutdown = ShutdownToken::global();
+    let report = server.run(&shutdown)?;
+    if let Some(path) = &metrics_out {
+        eprintln!("gsb serve: metrics written to {}", path.display());
+    }
+    match shutdown.signal() {
+        // The conventional loud exit: 128 + signal, with the drain
+        // evidence in the message.
+        Some(signal) => Err(CliError::Drained {
+            signal,
+            connections: report.connections,
+            requests: report.requests,
+        }),
+        // run() only returns once shutdown is requested; a missing
+        // signal would mean an embedder's private token fired.
+        None => Ok(format!(
+            "served {} requests over {} connections\n",
+            report.requests, report.connections
+        )),
+    }
+}

@@ -1,13 +1,24 @@
-//! `gsb stats` — profile a graph file.
+//! `gsb stats` — profile a graph file, or (with `--index`) a persistent
+//! clique index directory.
 
 use super::load;
 use crate::args::Args;
 use crate::CliError;
+use gsb_core::sink::HistogramSink;
 use std::fmt::Write as _;
+use std::path::Path;
 
 /// `gsb stats`
 pub fn stats(argv: &[String]) -> Result<String, CliError> {
-    let a = Args::parse(argv, &[], &[], 1)?;
+    let a = Args::parse(argv, &["index"], &[], 1)?;
+    if let Some(dir) = a.flag("index") {
+        if a.positional(0).is_some() {
+            return Err(CliError::Usage(
+                "gsb stats takes either FILE or --index DIR, not both".into(),
+            ));
+        }
+        return index_stats(dir);
+    }
     let path = a.required_positional(0, "FILE")?;
     let g = load(path)?;
     let p = gsb_graph::stats::profile(&g);
@@ -29,5 +40,47 @@ pub fn stats(argv: &[String]) -> Result<String, CliError> {
         "clique upper bound (degeneracy/coloring): {}",
         gsb_graph::reduce::clique_upper_bound(&g)
     );
+    Ok(out)
+}
+
+/// `gsb stats --index DIR`: the index profile, with the size histogram
+/// rebuilt into the same [`HistogramSink`] the live enumeration uses —
+/// one rendering path for both "what did this run produce" views.
+fn index_stats(dir: &str) -> Result<String, CliError> {
+    let index = gsb_index::CliqueIndex::open(Path::new(dir)).map_err(CliError::Store)?;
+    let s = index.stats();
+    let mut histogram = HistogramSink::default();
+    if let Some((max, _)) = s.size_histogram.last() {
+        histogram.sizes.resize(*max as usize + 1, 0);
+    }
+    for (size, count) in &s.size_histogram {
+        histogram.sizes[*size as usize] = *count as usize;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "index:          {dir}");
+    let _ = writeln!(out, "vertices:       {}", s.n);
+    let _ = writeln!(out, "cliques:        {}", s.cliques);
+    let _ = writeln!(out, "largest clique: {}", s.max_clique);
+    let _ = writeln!(out, "store blocks:   {}", s.blocks);
+    let _ = writeln!(out, "store bytes:    {}", s.store_bytes);
+    let _ = writeln!(out, "postings bytes: {}", s.postings_bytes);
+    debug_assert_eq!(histogram.total() as u64, s.cliques);
+    debug_assert_eq!(histogram.max_size() as u32, s.max_clique);
+    if histogram.total() > 0 {
+        let _ = writeln!(out, "size histogram:");
+        let widest = histogram.sizes.iter().copied().max().unwrap_or(1).max(1);
+        for (size, count) in histogram.sizes.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            let bar = "#".repeat((count * 40).div_ceil(widest));
+            let _ = writeln!(out, "  {size:>4}  {count:>10}  {bar}");
+        }
+    }
+    if let Some(clique) = index.max_clique().map_err(CliError::Store)? {
+        let text: Vec<String> = clique.iter().map(u32::to_string).collect();
+        let _ = writeln!(out, "maximum clique: {}", text.join(" "));
+    }
     Ok(out)
 }

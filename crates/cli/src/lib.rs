@@ -47,6 +47,17 @@ pub enum CliError {
     /// A graceful shutdown on this signal: the run stopped at a level
     /// barrier with a final checkpoint, ready for `gsb resume`.
     Interrupted(i32),
+    /// A graceful server shutdown on this signal: `gsb serve` stopped
+    /// accepting, answered every in-flight and queued connection, and
+    /// exited clean.
+    Drained {
+        /// The signal that requested shutdown (2 = SIGINT, 15 = SIGTERM).
+        signal: i32,
+        /// Connections accepted over the server's lifetime.
+        connections: u64,
+        /// Requests answered over the server's lifetime.
+        requests: u64,
+    },
 }
 
 impl CliError {
@@ -59,6 +70,7 @@ impl CliError {
             CliError::Usage(_) | CliError::Args(_) => 2,
             CliError::Io(_) | CliError::Parse(_) | CliError::Store(_) | CliError::Runtime(_) => 1,
             CliError::Interrupted(signal) => 128 + signal,
+            CliError::Drained { signal, .. } => 128 + signal,
         }
     }
 }
@@ -75,6 +87,15 @@ impl fmt::Display for CliError {
             CliError::Interrupted(signal) => write!(
                 f,
                 "interrupted by signal {signal}; checkpoint saved — continue with `gsb resume`"
+            ),
+            CliError::Drained {
+                signal,
+                connections,
+                requests,
+            } => write!(
+                f,
+                "shutdown on signal {signal}: drained {connections} connection(s), \
+                 {requests} request(s) answered, none truncated"
             ),
         }
     }
@@ -138,6 +159,14 @@ USAGE:
   gsb vc FILE [--k K]
   gsb fvs FILE
   gsb motif SEQFILE --l WIDTH [--d MUTATIONS] [--q QUORUM] [--top N]
+  gsb index GRAPH --out DIR [--min K] [--max K] [--threads T]
+               [--backend dense|wah|hybrid] [--block-target BYTES]
+               [--text-out FILE]
+  gsb query INDEX_DIR (--containing V | --size-min K --size-max M |
+               --max | --overlap V,W) [--ids-only] [--limit N]
+  gsb serve INDEX_DIR [--addr HOST:PORT] [--threads T]
+               [--deadline-secs S] [--metrics-out FILE]
+  gsb stats --index INDEX_DIR
   gsb convert IN OUT
   gsb help
 
@@ -175,7 +204,18 @@ and spill writes are retried with jittered exponential backoff.
 Telemetry: `cliques --metrics-out run.jsonl` writes one JSON record per
 level barrier plus a final summary; `--progress` prints a live status
 line to stderr. `gsb report run.jsonl` renders the per-level summary
-and the Fig. 8-style worker-imbalance table from such a file.";
+and the Fig. 8-style worker-imbalance table from such a file.
+
+Index & serving: `gsb index` streams the enumeration into a persistent
+on-disk index (CRC-framed clique store, per-vertex postings lists, a
+size-range directory, committed atomically via index.meta); `gsb
+query` answers containment/size-range/max/overlap queries from that
+directory without re-running anything; `gsb stats --index DIR` prints
+the index profile and size histogram; `gsb serve` exposes the same
+queries over HTTP (GET /health /stats /containing/V /size/LO/HI /max
+/overlap/V/W) with per-endpoint latency histograms (`--metrics-out`),
+a per-connection deadline, and a graceful SIGINT/SIGTERM drain that
+answers every accepted connection before exiting 130/143.";
 
 /// Dispatch a full argv (without the program name) and return the
 /// report to print.
@@ -194,6 +234,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "vc" => commands::vertex_cover(rest),
         "fvs" => commands::fvs(rest),
         "motif" => commands::motif(rest),
+        "index" => commands::index(rest),
+        "query" => commands::query(rest),
+        "serve" => commands::serve(rest),
         "convert" => commands::convert(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),

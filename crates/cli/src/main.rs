@@ -35,10 +35,11 @@ mod signals {
 }
 
 /// Graceful shutdown only makes sense when there is durable state to
-/// hand over: `resume`, or `cliques` running with a checkpoint dir.
+/// hand over (`resume`, or `cliques` running with a checkpoint dir) or
+/// in-flight work to drain (`serve` answering accepted connections).
 fn wants_supervision(argv: &[String]) -> bool {
     match argv.first().map(String::as_str) {
-        Some("resume") => true,
+        Some("resume") | Some("serve") => true,
         Some("cliques") => argv.iter().any(|a| a == "--checkpoint-dir"),
         _ => false,
     }

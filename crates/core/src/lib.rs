@@ -76,7 +76,7 @@ pub use maxclique::{maximum_clique, maximum_clique_size};
 pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats};
 pub use pipeline::{CliquePipeline, PipelineError, PipelineReport};
 pub use quarantine::QuarantineEntry;
-pub use sink::{CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, WriterSink};
+pub use sink::{CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, TeeSink, WriterSink};
 pub use store::{SpillConfig, StoreError};
 pub use sublist::{Level, SubList};
 pub use supervise::{RetryPolicy, ShutdownToken};

@@ -163,6 +163,27 @@ impl<F: FnMut(&[Vertex])> CliqueSink for FnSink<F> {
     }
 }
 
+/// Fans every clique out to two sinks, `.0` before `.1` — for runs that
+/// want both a durable artifact and a live view (index + text file,
+/// writer + histogram). `flush_barrier` uses the same order and stops
+/// at the first failure: at a checkpoint barrier `.0` is durable before
+/// `.1` is asked to be, so callers should put the sink whose durability
+/// the checkpoint depends on first.
+#[derive(Default, Debug)]
+pub struct TeeSink<A, B>(pub A, pub B);
+
+impl<A: CliqueSink, B: CliqueSink> CliqueSink for TeeSink<A, B> {
+    fn maximal(&mut self, clique: &[Vertex]) {
+        self.0.maximal(clique);
+        self.1.maximal(clique);
+    }
+
+    fn flush_barrier(&mut self) -> std::io::Result<()> {
+        self.0.flush_barrier()?;
+        self.1.flush_barrier()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,5 +280,113 @@ mod tests {
             sink.maximal(&[1, 2, 3]);
         }
         assert_eq!(seen, vec![3]);
+    }
+
+    #[test]
+    fn tee_fans_out_to_both_sinks() {
+        let mut tee = TeeSink(CollectSink::default(), HistogramSink::default());
+        tee.maximal(&[0, 1, 2]);
+        tee.maximal(&[4, 5]);
+        tee.maximal(&[6, 7, 8]);
+        assert_eq!(tee.0.cliques.len(), 3);
+        assert_eq!(tee.1.total(), 3);
+        assert_eq!(tee.1.sizes[3], 2);
+        assert_eq!(tee.1.max_size(), 3);
+    }
+
+    #[test]
+    fn tee_composes_with_the_mut_forwarding_impl() {
+        // The `&mut S` blanket impl lets a tee borrow sinks owned by the
+        // caller — the enumerator wiring used by `gsb index --text-out`.
+        let mut collect = CollectSink::default();
+        let mut count = CountSink::default();
+        {
+            let mut tee = TeeSink(&mut collect, &mut count);
+            tee.maximal(&[1, 2]);
+            tee.maximal(&[3, 4, 5]);
+            tee.flush_barrier().unwrap();
+        }
+        assert_eq!(collect.cliques, vec![vec![1, 2], vec![3, 4, 5]]);
+        assert_eq!(count.count, 2);
+    }
+
+    #[test]
+    fn tee_flush_barrier_order_is_first_then_second() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Probe {
+            name: &'static str,
+            log: Rc<RefCell<Vec<&'static str>>>,
+            fail: bool,
+        }
+        impl CliqueSink for Probe {
+            fn maximal(&mut self, _clique: &[Vertex]) {}
+            fn flush_barrier(&mut self) -> std::io::Result<()> {
+                self.log.borrow_mut().push(self.name);
+                if self.fail {
+                    Err(std::io::Error::other("barrier failed"))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut tee = TeeSink(
+            Probe {
+                name: "first",
+                log: Rc::clone(&log),
+                fail: false,
+            },
+            Probe {
+                name: "second",
+                log: Rc::clone(&log),
+                fail: false,
+            },
+        );
+        tee.flush_barrier().unwrap();
+        assert_eq!(&*log.borrow(), &["first", "second"]);
+
+        // A failing first sink short-circuits: the second sink's
+        // barrier must not run (its durability claim would be a lie).
+        log.borrow_mut().clear();
+        let mut tee = TeeSink(
+            Probe {
+                name: "first",
+                log: Rc::clone(&log),
+                fail: true,
+            },
+            Probe {
+                name: "second",
+                log: Rc::clone(&log),
+                fail: false,
+            },
+        );
+        assert!(tee.flush_barrier().is_err());
+        assert_eq!(&*log.borrow(), &["first"]);
+    }
+
+    #[test]
+    fn tee_writer_sink_flush_ordering_is_observable() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let (a, b) = (Shared::default(), Shared::default());
+        let mut tee = TeeSink(WriterSink::new(a.clone()), WriterSink::new(b.clone()));
+        tee.maximal(&[7, 8, 9]);
+        // Both lines still sit in the BufWriters until the barrier.
+        assert!(a.0.borrow().is_empty() && b.0.borrow().is_empty());
+        tee.flush_barrier().unwrap();
+        assert_eq!(&*a.0.borrow(), b"3\t7 8 9\n");
+        assert_eq!(&*b.0.borrow(), b"3\t7 8 9\n");
     }
 }

@@ -49,6 +49,25 @@ fn malformed(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Upper bound on the vertex count any parser will allocate for. A
+/// dense `BitGraph` takes n²/8 bytes, so a garbage or hostile header
+/// (`p edge 4000000000 1`) would otherwise turn into a half-exabyte
+/// allocation before the first edge is read. Genome-scale inputs in the
+/// paper top out around 10⁵ vertices; one million leaves 10× headroom
+/// at a worst-case 125 GB — big, but a deliberate operator choice
+/// rather than an integer-driven OOM.
+pub const MAX_VERTICES: usize = 1_000_000;
+
+fn check_vertex_bound(line: usize, n: usize) -> Result<(), ParseError> {
+    if n > MAX_VERTICES {
+        return Err(malformed(
+            line,
+            format!("vertex count {n} exceeds the supported maximum {MAX_VERTICES}"),
+        ));
+    }
+    Ok(())
+}
+
 /// Read a 0-indexed edge list: one `u v` pair per line; `#` starts a
 /// comment; vertex count is `max id + 1` unless a larger `n` is given
 /// explicitly or via a `# n=<count>` header comment (which
@@ -87,11 +106,13 @@ pub fn read_edge_list<R: Read>(reader: R, n: Option<usize>) -> Result<BitGraph, 
         if it.next().is_some() {
             return Err(malformed(li + 1, "trailing tokens after edge"));
         }
+        check_vertex_bound(li + 1, u.max(v).saturating_add(1))?;
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
     let n = match n {
         Some(n) => {
+            check_vertex_bound(0, n)?;
             if !edges.is_empty() && max_id >= n {
                 return Err(malformed(0, format!("vertex {max_id} >= declared n {n}")));
             }
@@ -145,6 +166,7 @@ pub fn read_dimacs<R: Read>(reader: R) -> Result<BitGraph, ParseError> {
                 .ok_or_else(|| malformed(li + 1, "missing n"))?
                 .parse()
                 .map_err(|e| malformed(li + 1, format!("bad n: {e}")))?;
+            check_vertex_bound(li + 1, n)?;
             g = Some(BitGraph::new(n));
         } else if let Some(rest) = body.strip_prefix("e ") {
             let g = g

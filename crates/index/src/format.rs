@@ -1,0 +1,653 @@
+//! On-disk byte layout of the clique index (DESIGN.md §11).
+//!
+//! An index directory holds four files, every binary structure framed
+//! `[payload_len: u32 LE][crc32(payload): u32 LE][payload]` exactly like
+//! the checkpoint format, so torn writes and bit rot surface as typed
+//! [`StoreError`]s — never as panics or silently wrong answers:
+//!
+//! * `cliques.gsi` — the clique store: a 16-byte header followed by
+//!   CRC-framed blocks; each block payload is a record count then
+//!   length-prefixed, delta-encoded (LEB128 varint) vertex lists.
+//! * `postings.gsp` — per-vertex postings: a header then one CRC-framed
+//!   record per vertex, each a count plus delta-encoded clique ids.
+//! * `index.gsd` — the directory: a header then one CRC-framed payload
+//!   holding the size runs, the block table, and the postings offsets.
+//! * `index.meta` — a key=value text manifest, written last by
+//!   tmp-then-rename: its presence is the commit point of the index.
+
+use gsb_core::store::{crc32, StoreError};
+use gsb_core::{Clique, Vertex};
+
+/// Clique store file name.
+pub const CLIQUES_FILE: &str = "cliques.gsi";
+/// Postings file name.
+pub const POSTINGS_FILE: &str = "postings.gsp";
+/// Directory file name.
+pub const DIRECTORY_FILE: &str = "index.gsd";
+/// Manifest file name — the commit point.
+pub const META_FILE: &str = "index.meta";
+
+/// `"SC05ICS1"` — index clique store, format 1.
+pub const CLIQUES_MAGIC: u64 = 0x5343_3035_4943_5331;
+/// `"SC05IPL1"` — index postings lists, format 1.
+pub const POSTINGS_MAGIC: u64 = 0x5343_3035_4950_4C31;
+/// `"SC05IDR1"` — index directory, format 1.
+pub const DIRECTORY_MAGIC: u64 = 0x5343_3035_4944_5231;
+
+/// Bytes of the fixed file header: magic, bitmap width, header CRC.
+pub const HEADER_LEN: usize = 16;
+
+/// Build the 16-byte file header: `magic: u64 LE, n: u32 LE,
+/// crc32(first 12 bytes): u32 LE`.
+pub fn header_bytes(magic: u64, n: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(&magic.to_le_bytes());
+    h[8..12].copy_from_slice(&n.to_le_bytes());
+    let crc = crc32(&h[..12]);
+    h[12..16].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Validate a file header against `magic`; returns the recorded `n`.
+pub fn check_header(bytes: &[u8], magic: u64, context: &'static str) -> Result<u32, StoreError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(StoreError::Torn {
+            context,
+            needed: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    let stored_crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let computed = crc32(&bytes[..12]);
+    if stored_crc != computed {
+        return Err(StoreError::Checksum {
+            context,
+            stored: stored_crc,
+            computed,
+        });
+    }
+    let found = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    if found != magic {
+        return Err(StoreError::BadMagic { found });
+    }
+    Ok(u32::from_le_bytes(bytes[8..12].try_into().unwrap()))
+}
+
+/// Frame a payload: `[len: u32 LE][crc32: u32 LE][payload]`.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parse one frame at `pos`; returns the verified payload and the
+/// position just past it.
+pub fn parse_frame<'a>(
+    bytes: &'a [u8],
+    pos: usize,
+    context: &'static str,
+) -> Result<(&'a [u8], usize), StoreError> {
+    let rest = bytes.len().saturating_sub(pos);
+    if rest < 8 {
+        return Err(StoreError::Torn {
+            context,
+            needed: 8,
+            have: rest,
+        });
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    let stored = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    let body_start = pos + 8;
+    if bytes.len() - body_start < len {
+        return Err(StoreError::Torn {
+            context,
+            needed: len,
+            have: bytes.len() - body_start,
+        });
+    }
+    let payload = &bytes[body_start..body_start + len];
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(StoreError::Checksum {
+            context,
+            stored,
+            computed,
+        });
+    }
+    Ok((payload, body_start + len))
+}
+
+/// Append a LEB128 varint.
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint at `*pos`, advancing it. Bounded to 10 bytes;
+/// anything longer (or a short read) is a typed codec error.
+pub fn get_varint(buf: &[u8], pos: &mut usize, context: &'static str) -> Result<u64, StoreError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some(&byte) = buf.get(*pos) else {
+            return Err(StoreError::Torn {
+                context,
+                needed: *pos + 1,
+                have: buf.len(),
+            });
+        };
+        *pos += 1;
+        if shift >= 64 {
+            return Err(StoreError::Codec { context });
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encode one clique record into a block payload: `len` as varint, the
+/// first vertex, then the gaps between consecutive (strictly ascending)
+/// vertices. Gaps of a sorted clique are ≥ 1, so delta coding plus
+/// LEB128 keeps genome-scale vertex ids to one or two bytes each.
+pub fn encode_clique(buf: &mut Vec<u8>, clique: &[Vertex]) {
+    put_varint(buf, clique.len() as u64);
+    let mut prev = 0u64;
+    for (i, &v) in clique.iter().enumerate() {
+        let v = u64::from(v);
+        if i == 0 {
+            put_varint(buf, v);
+        } else {
+            put_varint(buf, v - prev);
+        }
+        prev = v;
+    }
+}
+
+/// Decode one clique record; `n` bounds both the clique length and the
+/// vertex ids so corrupted lengths fail typed instead of allocating.
+pub fn decode_clique(
+    buf: &[u8],
+    pos: &mut usize,
+    n: u32,
+    context: &'static str,
+) -> Result<Clique, StoreError> {
+    let len = get_varint(buf, pos, context)?;
+    if len == 0 || len > u64::from(n) {
+        return Err(StoreError::Codec { context });
+    }
+    let mut clique = Vec::with_capacity(len as usize);
+    let mut prev = 0u64;
+    for i in 0..len {
+        let delta = get_varint(buf, pos, context)?;
+        let v = if i == 0 { delta } else { prev + delta };
+        if v >= u64::from(n) || (i > 0 && delta == 0) {
+            return Err(StoreError::Codec { context });
+        }
+        clique.push(v as Vertex);
+        prev = v;
+    }
+    Ok(clique)
+}
+
+/// Encode an ascending id list (postings) as count + first + gaps.
+pub fn encode_id_list(buf: &mut Vec<u8>, ids: &[u64]) {
+    put_varint(buf, ids.len() as u64);
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        if i == 0 {
+            put_varint(buf, id);
+        } else {
+            put_varint(buf, id - prev);
+        }
+        prev = id;
+    }
+}
+
+/// Decode an ascending id list; every id must stay below `bound`.
+pub fn decode_id_list(
+    buf: &[u8],
+    pos: &mut usize,
+    bound: u64,
+    context: &'static str,
+) -> Result<Vec<u64>, StoreError> {
+    let len = get_varint(buf, pos, context)?;
+    if len > bound {
+        return Err(StoreError::Codec { context });
+    }
+    let mut ids = Vec::with_capacity(len as usize);
+    let mut prev = 0u64;
+    for i in 0..len {
+        let delta = get_varint(buf, pos, context)?;
+        let id = if i == 0 { delta } else { prev + delta };
+        if id >= bound || (i > 0 && delta == 0) {
+            return Err(StoreError::Codec { context });
+        }
+        ids.push(id);
+        prev = id;
+    }
+    Ok(ids)
+}
+
+/// One contiguous run of equal-size cliques in id space. The
+/// enumerators emit in non-decreasing size order, so sizes partition
+/// the id space into a handful of runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeRun {
+    /// Clique size of every member of the run.
+    pub size: u32,
+    /// First clique id of the run.
+    pub first_id: u64,
+    /// Number of cliques in the run.
+    pub count: u64,
+}
+
+/// One block of the clique store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Byte offset of the block's frame in `cliques.gsi`.
+    pub offset: u64,
+    /// Clique id of the block's first record.
+    pub first_id: u64,
+    /// Records in the block.
+    pub count: u32,
+    /// Smallest clique size in the block.
+    pub min_size: u32,
+    /// Largest clique size in the block.
+    pub max_size: u32,
+}
+
+/// The in-memory form of `index.gsd`: everything a reader needs to
+/// answer queries without scanning the store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IndexDirectory {
+    /// Vertex count of the indexed graph.
+    pub n: u32,
+    /// Total cliques in the store.
+    pub clique_count: u64,
+    /// Size runs, ascending in size and contiguous in id space.
+    pub size_runs: Vec<SizeRun>,
+    /// Block table, ascending in `first_id`.
+    pub blocks: Vec<BlockEntry>,
+    /// Byte offset of each vertex's postings frame in `postings.gsp`.
+    pub postings_offsets: Vec<u64>,
+    /// Total bytes of `postings.gsp` (for stats and bounds checks).
+    pub postings_bytes: u64,
+}
+
+impl IndexDirectory {
+    /// Serialize as one frame-able payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_varint(&mut p, u64::from(self.n));
+        put_varint(&mut p, self.clique_count);
+        put_varint(&mut p, self.size_runs.len() as u64);
+        for run in &self.size_runs {
+            put_varint(&mut p, u64::from(run.size));
+            put_varint(&mut p, run.first_id);
+            put_varint(&mut p, run.count);
+        }
+        put_varint(&mut p, self.blocks.len() as u64);
+        for b in &self.blocks {
+            put_varint(&mut p, b.offset);
+            put_varint(&mut p, b.first_id);
+            put_varint(&mut p, u64::from(b.count));
+            put_varint(&mut p, u64::from(b.min_size));
+            put_varint(&mut p, u64::from(b.max_size));
+        }
+        put_varint(&mut p, self.postings_offsets.len() as u64);
+        for &off in &self.postings_offsets {
+            put_varint(&mut p, off);
+        }
+        put_varint(&mut p, self.postings_bytes);
+        p
+    }
+
+    /// Decode the payload written by [`encode`](Self::encode).
+    pub fn decode(payload: &[u8]) -> Result<Self, StoreError> {
+        const CTX: &str = "index directory";
+        let pos = &mut 0usize;
+        let n = get_varint(payload, pos, CTX)?;
+        if n > u64::from(u32::MAX) {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let clique_count = get_varint(payload, pos, CTX)?;
+        let runs = get_varint(payload, pos, CTX)?;
+        if runs > clique_count {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let mut size_runs = Vec::with_capacity(runs as usize);
+        for _ in 0..runs {
+            size_runs.push(SizeRun {
+                size: get_varint(payload, pos, CTX)? as u32,
+                first_id: get_varint(payload, pos, CTX)?,
+                count: get_varint(payload, pos, CTX)?,
+            });
+        }
+        let blocks = get_varint(payload, pos, CTX)?;
+        if blocks > clique_count {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let mut block_table = Vec::with_capacity(blocks as usize);
+        for _ in 0..blocks {
+            block_table.push(BlockEntry {
+                offset: get_varint(payload, pos, CTX)?,
+                first_id: get_varint(payload, pos, CTX)?,
+                count: get_varint(payload, pos, CTX)? as u32,
+                min_size: get_varint(payload, pos, CTX)? as u32,
+                max_size: get_varint(payload, pos, CTX)? as u32,
+            });
+        }
+        let offsets = get_varint(payload, pos, CTX)?;
+        if offsets != n + 1 {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let mut postings_offsets = Vec::with_capacity(offsets as usize);
+        for _ in 0..offsets {
+            postings_offsets.push(get_varint(payload, pos, CTX)?);
+        }
+        let postings_bytes = get_varint(payload, pos, CTX)?;
+        if *pos != payload.len() {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        Ok(IndexDirectory {
+            n: n as u32,
+            clique_count,
+            size_runs,
+            blocks: block_table,
+            postings_offsets,
+            postings_bytes,
+        })
+    }
+
+    /// The contiguous clique-id range holding every clique whose size
+    /// lies in `lo..=hi` (valid because ids are assigned in
+    /// non-decreasing size order).
+    pub fn size_range_ids(&self, lo: u32, hi: u32) -> std::ops::Range<u64> {
+        let mut start = None;
+        let mut end = 0u64;
+        for run in &self.size_runs {
+            if run.size >= lo && run.size <= hi {
+                start.get_or_insert(run.first_id);
+                end = run.first_id + run.count;
+            }
+        }
+        match start {
+            Some(s) => s..end,
+            None => 0..0,
+        }
+    }
+
+    /// Largest clique size present (0 when empty).
+    pub fn max_size(&self) -> u32 {
+        self.size_runs.last().map_or(0, |r| r.size)
+    }
+}
+
+/// The `index.meta` manifest: human-readable key=value lines, written
+/// last (tmp-then-rename) so its presence marks a committed index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexMeta {
+    /// Format version (currently 1).
+    pub version: u32,
+    /// Vertex count of the indexed graph.
+    pub n: usize,
+    /// Total cliques indexed.
+    pub cliques: u64,
+    /// Largest clique size.
+    pub max_clique: u32,
+    /// Blocks in the clique store.
+    pub blocks: u64,
+    /// Bytes of `cliques.gsi`.
+    pub store_bytes: u64,
+    /// Bytes of `postings.gsp`.
+    pub postings_bytes: u64,
+}
+
+impl IndexMeta {
+    /// Render as key=value text.
+    pub fn to_text(&self) -> String {
+        format!(
+            "version={}\nn={}\ncliques={}\nmax_clique={}\nblocks={}\nstore_bytes={}\npostings_bytes={}\n",
+            self.version,
+            self.n,
+            self.cliques,
+            self.max_clique,
+            self.blocks,
+            self.store_bytes,
+            self.postings_bytes
+        )
+    }
+
+    /// Parse the text form; unknown keys are ignored (forward compat),
+    /// missing required keys are a typed codec error.
+    pub fn from_text(text: &str) -> Result<Self, StoreError> {
+        const CTX: &str = "index.meta";
+        let mut meta = IndexMeta {
+            version: 0,
+            n: usize::MAX,
+            cliques: u64::MAX,
+            max_clique: u32::MAX,
+            blocks: 0,
+            store_bytes: 0,
+            postings_bytes: 0,
+        };
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let parse = || value.trim().parse::<u64>();
+            match key.trim() {
+                "version" => {
+                    meta.version = parse().map_err(|_| StoreError::Codec { context: CTX })? as u32
+                }
+                "n" => meta.n = parse().map_err(|_| StoreError::Codec { context: CTX })? as usize,
+                "cliques" => {
+                    meta.cliques = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "max_clique" => {
+                    meta.max_clique =
+                        parse().map_err(|_| StoreError::Codec { context: CTX })? as u32
+                }
+                "blocks" => {
+                    meta.blocks = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "store_bytes" => {
+                    meta.store_bytes = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "postings_bytes" => {
+                    meta.postings_bytes = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                _ => {}
+            }
+        }
+        if meta.version != 1
+            || meta.n == usize::MAX
+            || meta.cliques == u64::MAX
+            || meta.max_clique == u32::MAX
+        {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        Ok(meta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_and_bounds() {
+        let mut buf = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            buf.clear();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos, "t").unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        // truncated varint is torn, not a panic
+        let mut pos = 0;
+        assert!(matches!(
+            get_varint(&[0x80u8, 0x80], &mut pos, "t"),
+            Err(StoreError::Torn { .. })
+        ));
+        // an overlong varint is a codec error
+        let mut pos = 0;
+        let overlong = [0x80u8; 11];
+        assert!(matches!(
+            get_varint(&overlong, &mut pos, "t"),
+            Err(StoreError::Codec { .. })
+        ));
+    }
+
+    #[test]
+    fn clique_codec_roundtrip() {
+        let mut buf = Vec::new();
+        let cliques: Vec<Vec<u32>> = vec![vec![0], vec![3, 9, 10, 400], vec![1, 2, 3]];
+        for c in &cliques {
+            encode_clique(&mut buf, c);
+        }
+        let mut pos = 0;
+        for c in &cliques {
+            assert_eq!(&decode_clique(&buf, &mut pos, 500, "t").unwrap(), c);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn clique_codec_rejects_corruption_typed() {
+        let mut buf = Vec::new();
+        encode_clique(&mut buf, &[5, 6, 7]);
+        // vertex beyond n
+        let mut pos = 0;
+        assert!(decode_clique(&buf, &mut pos, 6, "t").is_err());
+        // absurd length must not allocate
+        let mut huge = Vec::new();
+        put_varint(&mut huge, u64::MAX);
+        let mut pos = 0;
+        assert!(matches!(
+            decode_clique(&huge, &mut pos, 100, "t"),
+            Err(StoreError::Codec { .. })
+        ));
+    }
+
+    #[test]
+    fn id_list_roundtrip_and_zero_delta_rejected() {
+        let mut buf = Vec::new();
+        encode_id_list(&mut buf, &[0, 5, 6, 1000]);
+        let mut pos = 0;
+        assert_eq!(
+            decode_id_list(&buf, &mut pos, 1001, "t").unwrap(),
+            vec![0, 5, 6, 1000]
+        );
+        // a duplicate id (zero delta) is corruption
+        let mut bad = Vec::new();
+        put_varint(&mut bad, 2);
+        put_varint(&mut bad, 4);
+        put_varint(&mut bad, 0);
+        let mut pos = 0;
+        assert!(decode_id_list(&bad, &mut pos, 10, "t").is_err());
+    }
+
+    #[test]
+    fn frame_detects_flips_and_truncation() {
+        let framed = frame(b"hello index");
+        let (payload, next) = parse_frame(&framed, 0, "t").unwrap();
+        assert_eq!(payload, b"hello index");
+        assert_eq!(next, framed.len());
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x40;
+            assert!(parse_frame(&bad, 0, "t").is_err(), "flip at byte {i}");
+        }
+        assert!(parse_frame(&framed[..framed.len() - 1], 0, "t").is_err());
+    }
+
+    #[test]
+    fn header_roundtrip_and_corruption() {
+        let h = header_bytes(CLIQUES_MAGIC, 1234);
+        assert_eq!(check_header(&h, CLIQUES_MAGIC, "t").unwrap(), 1234);
+        assert!(matches!(
+            check_header(&h, POSTINGS_MAGIC, "t"),
+            Err(StoreError::BadMagic { .. })
+        ));
+        let mut bad = h;
+        bad[9] ^= 1;
+        assert!(matches!(
+            check_header(&bad, CLIQUES_MAGIC, "t"),
+            Err(StoreError::Checksum { .. })
+        ));
+        assert!(check_header(&h[..10], CLIQUES_MAGIC, "t").is_err());
+    }
+
+    #[test]
+    fn directory_roundtrip() {
+        let dir = IndexDirectory {
+            n: 40,
+            clique_count: 7,
+            size_runs: vec![
+                SizeRun {
+                    size: 3,
+                    first_id: 0,
+                    count: 5,
+                },
+                SizeRun {
+                    size: 5,
+                    first_id: 5,
+                    count: 2,
+                },
+            ],
+            blocks: vec![BlockEntry {
+                offset: 16,
+                first_id: 0,
+                count: 7,
+                min_size: 3,
+                max_size: 5,
+            }],
+            postings_offsets: (0..41).map(|i| 16 + i * 9).collect(),
+            postings_bytes: 400,
+        };
+        let payload = dir.encode();
+        assert_eq!(IndexDirectory::decode(&payload).unwrap(), dir);
+        // every single-byte flip fails typed (decode or the outer frame)
+        let framed = frame(&payload);
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x10;
+            let r = parse_frame(&bad, 0, "t").and_then(|(p, _)| IndexDirectory::decode(p));
+            assert!(r.is_err(), "flip at {i} silently accepted");
+        }
+        assert_eq!(dir.size_range_ids(3, 3), 0..5);
+        assert_eq!(dir.size_range_ids(4, 9), 5..7);
+        assert_eq!(dir.size_range_ids(6, 9), 0..0);
+        assert_eq!(dir.max_size(), 5);
+    }
+
+    #[test]
+    fn meta_roundtrip_and_missing_keys() {
+        let meta = IndexMeta {
+            version: 1,
+            n: 40,
+            cliques: 7,
+            max_clique: 5,
+            blocks: 1,
+            store_bytes: 100,
+            postings_bytes: 400,
+        };
+        assert_eq!(IndexMeta::from_text(&meta.to_text()).unwrap(), meta);
+        assert!(IndexMeta::from_text("version=1\nn=4\n").is_err());
+        assert!(IndexMeta::from_text("garbage").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! # gsb-index — the persistent clique index and query service
+//!
+//! The enumerated cliques are the *input* to downstream biology
+//! (co-expression modules, QTL candidates), yet a [`CliqueSink`] run is
+//! write-only: without this crate a genome-scale job must be re-run to
+//! answer a single "which cliques contain gene v?" question. This crate
+//! closes that gap with three layers:
+//!
+//! * [`writer`] — [`IndexWriter`], a [`CliqueSink`] that streams
+//!   maximal cliques into an on-disk index *during* enumeration:
+//!   a sorted clique store of CRC32-framed blocks (length-prefixed,
+//!   delta-encoded vertex ids), per-vertex postings lists, and a
+//!   size-range directory, all written atomically with the swept-tmp
+//!   conventions of `gsb_core::checkpoint`.
+//! * [`reader`] — [`CliqueIndex`], the read-only query engine:
+//!   `cliques-containing(v)`, `cliques-of-size(k..=m)`, `max-clique`,
+//!   and `overlap(v, w)` via postings intersection on the dense
+//!   [`gsb_bitset::BitSet`], behind an LRU cache of decoded blocks.
+//! * [`server`] — `gsb serve`: a std-only threaded TCP/HTTP server
+//!   answering JSON queries, with per-endpoint latency histograms from
+//!   `gsb_telemetry`, graceful SIGINT/SIGTERM drain via
+//!   [`gsb_core::ShutdownToken`], and a per-connection deadline.
+//!
+//! ## Why the size order matters
+//!
+//! Both enumerators emit cliques in non-decreasing size order, so the
+//! sequential clique ids assigned at write time are *already sorted by
+//! size*: the size directory is a handful of `(size, first_id, count)`
+//! rows and every size-range query is a contiguous id range. The
+//! paper's ordering contract becomes the index's file layout.
+//!
+//! [`CliqueSink`]: gsb_core::CliqueSink
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod format;
+pub mod reader;
+pub mod server;
+pub mod writer;
+
+pub use format::{IndexDirectory, IndexMeta};
+pub use reader::{CliqueIndex, IndexStats};
+pub use server::{ServeConfig, ServeReport, Server};
+pub use writer::{IndexWriter, WriteSummary};

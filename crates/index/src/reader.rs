@@ -1,0 +1,458 @@
+//! [`CliqueIndex`] — the read-only query engine over a committed index.
+//!
+//! `open` loads the manifest and directory into memory (a few bytes per
+//! size run, block, and vertex) and keeps the store and postings files
+//! open; queries then touch only the frames they need. Decoded blocks
+//! sit in a small LRU cache, so point lookups in a hot id range skip
+//! both the read and the CRC pass. All shared state is behind mutexes,
+//! making one `CliqueIndex` safely shareable across server threads via
+//! `Arc`.
+//!
+//! Every decode path bound-checks against the directory and verifies
+//! the frame CRC: a corrupted block surfaces as a typed
+//! [`StoreError`], never a panic or a silently wrong answer.
+
+use crate::format::{
+    check_header, parse_frame, IndexDirectory, IndexMeta, CLIQUES_FILE, CLIQUES_MAGIC,
+    DIRECTORY_FILE, DIRECTORY_MAGIC, HEADER_LEN, META_FILE, POSTINGS_FILE, POSTINGS_MAGIC,
+};
+use gsb_bitset::BitSet;
+use gsb_core::store::StoreError;
+use gsb_core::{Clique, Vertex};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Default number of decoded blocks kept by the LRU cache.
+pub const DEFAULT_CACHE_BLOCKS: usize = 32;
+
+/// Index-level statistics for `gsb stats --index`.
+#[derive(Clone, Debug, Default)]
+pub struct IndexStats {
+    /// Vertices of the indexed graph.
+    pub n: usize,
+    /// Total cliques.
+    pub cliques: u64,
+    /// Largest clique size.
+    pub max_clique: u32,
+    /// Blocks in the store.
+    pub blocks: u64,
+    /// Bytes of the clique store.
+    pub store_bytes: u64,
+    /// Bytes of the postings file.
+    pub postings_bytes: u64,
+    /// `(size, count)` pairs, ascending in size.
+    pub size_histogram: Vec<(u32, u64)>,
+}
+
+/// Tiny exact LRU over decoded blocks: a stamp per entry, evict the
+/// oldest. Capacities are small (default 32), so the O(capacity)
+/// eviction scan is noise next to the read it avoids.
+struct BlockCache {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<usize, (u64, Arc<Vec<Clique>>)>,
+}
+
+impl BlockCache {
+    fn new(capacity: usize) -> Self {
+        BlockCache {
+            capacity: capacity.max(1),
+            stamp: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, block: usize) -> Option<Arc<Vec<Clique>>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.entries.get_mut(&block).map(|e| {
+            e.0 = stamp;
+            e.1.clone()
+        })
+    }
+
+    fn put(&mut self, block: usize, cliques: Arc<Vec<Clique>>) {
+        self.stamp += 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&block) {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (s, _))| *s) {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(block, (self.stamp, cliques));
+    }
+}
+
+/// A committed on-disk index, opened read-only. See the module docs.
+pub struct CliqueIndex {
+    meta: IndexMeta,
+    directory: IndexDirectory,
+    store: Mutex<File>,
+    postings: Mutex<File>,
+    cache: Mutex<BlockCache>,
+}
+
+impl CliqueIndex {
+    /// Open the index in `dir`. Refuses an uncommitted directory (no
+    /// `index.meta`) and any header/CRC/consistency violation, all as
+    /// typed errors.
+    pub fn open(dir: &Path) -> Result<Self, StoreError> {
+        let meta_path = dir.join(META_FILE);
+        if !meta_path.exists() {
+            return Err(StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("{}: no index.meta — not a committed index", dir.display()),
+            )));
+        }
+        let meta = IndexMeta::from_text(&std::fs::read_to_string(meta_path)?)?;
+
+        let dir_bytes = std::fs::read(dir.join(DIRECTORY_FILE))?;
+        let n = check_header(&dir_bytes, DIRECTORY_MAGIC, "index directory header")?;
+        let (payload, _) = parse_frame(&dir_bytes, HEADER_LEN, "index directory")?;
+        let directory = IndexDirectory::decode(payload)?;
+        if directory.n != n || directory.n as usize != meta.n {
+            return Err(StoreError::GraphMismatch {
+                checkpoint_bits: directory.n as usize,
+                graph_bits: meta.n,
+            });
+        }
+        if directory.clique_count != meta.cliques || directory.postings_offsets.len() != meta.n + 1
+        {
+            return Err(StoreError::CountMismatch {
+                expected: meta.cliques as usize,
+                found: directory.clique_count as usize,
+            });
+        }
+
+        let store = open_checked(&dir.join(CLIQUES_FILE), CLIQUES_MAGIC, directory.n)?;
+        let postings = open_checked(&dir.join(POSTINGS_FILE), POSTINGS_MAGIC, directory.n)?;
+        Ok(CliqueIndex {
+            meta,
+            directory,
+            store: Mutex::new(store),
+            postings: Mutex::new(postings),
+            cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
+        })
+    }
+
+    /// Override the block cache capacity (decoded blocks retained).
+    pub fn cache_blocks(self, capacity: usize) -> Self {
+        *self.cache.lock().unwrap() = BlockCache::new(capacity);
+        self
+    }
+
+    /// Vertices of the indexed graph.
+    pub fn n(&self) -> usize {
+        self.meta.n
+    }
+
+    /// Total cliques in the index.
+    pub fn len(&self) -> u64 {
+        self.directory.clique_count
+    }
+
+    /// True when the index holds no cliques.
+    pub fn is_empty(&self) -> bool {
+        self.directory.clique_count == 0
+    }
+
+    /// Largest clique size present.
+    pub fn max_size(&self) -> u32 {
+        self.directory.max_size()
+    }
+
+    /// Index-level statistics (all from the directory — no store scan).
+    pub fn stats(&self) -> IndexStats {
+        IndexStats {
+            n: self.meta.n,
+            cliques: self.directory.clique_count,
+            max_clique: self.directory.max_size(),
+            blocks: self.directory.blocks.len() as u64,
+            store_bytes: self.meta.store_bytes,
+            postings_bytes: self.directory.postings_bytes,
+            size_histogram: self
+                .directory
+                .size_runs
+                .iter()
+                .map(|r| (r.size, r.count))
+                .collect(),
+        }
+    }
+
+    /// Materialize the clique with id `id`.
+    pub fn get(&self, id: u64) -> Result<Clique, StoreError> {
+        if id >= self.directory.clique_count {
+            return Err(StoreError::Codec {
+                context: "clique id beyond the index",
+            });
+        }
+        let block_i = self
+            .directory
+            .blocks
+            .partition_point(|b| b.first_id <= id)
+            .saturating_sub(1);
+        let block = self.load_block(block_i)?;
+        let entry = &self.directory.blocks[block_i];
+        let within = (id - entry.first_id) as usize;
+        block.get(within).cloned().ok_or(StoreError::CountMismatch {
+            expected: entry.count as usize,
+            found: block.len(),
+        })
+    }
+
+    /// `cliques-containing(v)`: ids of every clique containing vertex
+    /// `v`, ascending. A vertex outside the graph contains nothing.
+    pub fn containing(&self, v: Vertex) -> Result<Vec<u64>, StoreError> {
+        let v = v as usize;
+        if v >= self.meta.n {
+            return Ok(Vec::new());
+        }
+        let start = self.directory.postings_offsets[v];
+        let end = self.directory.postings_offsets[v + 1];
+        if end < start || end > self.directory.postings_bytes {
+            return Err(StoreError::Codec {
+                context: "postings offsets",
+            });
+        }
+        let mut bytes = vec![0u8; (end - start) as usize];
+        {
+            let mut f = self.postings.lock().unwrap();
+            f.seek(SeekFrom::Start(start))?;
+            read_exact_typed(&mut f, &mut bytes, "postings record")?;
+        }
+        let (payload, _) = parse_frame(&bytes, 0, "postings record")?;
+        let mut pos = 0usize;
+        let ids = crate::format::decode_id_list(
+            payload,
+            &mut pos,
+            self.directory.clique_count,
+            "postings record",
+        )?;
+        if pos != payload.len() {
+            return Err(StoreError::Codec {
+                context: "postings record",
+            });
+        }
+        Ok(ids)
+    }
+
+    /// `cliques-of-size(lo..=hi)`: the contiguous id range of every
+    /// clique with size in the range (ids are sorted by size).
+    pub fn of_size(&self, lo: u32, hi: u32) -> std::ops::Range<u64> {
+        self.directory.size_range_ids(lo, hi)
+    }
+
+    /// The lexicographically first maximum clique (None when empty).
+    pub fn max_clique(&self) -> Result<Option<Clique>, StoreError> {
+        match self.directory.size_runs.last() {
+            None => Ok(None),
+            Some(run) => self.get(run.first_id).map(Some),
+        }
+    }
+
+    /// `overlap(v, w)`: ids of cliques containing *both* vertices, via
+    /// postings intersection on the dense [`BitSet`].
+    pub fn overlap(&self, v: Vertex, w: Vertex) -> Result<Vec<u64>, StoreError> {
+        let a = self.containing(v)?;
+        let b = self.containing(w)?;
+        if a.is_empty() || b.is_empty() {
+            return Ok(Vec::new());
+        }
+        let universe = self.directory.clique_count as usize;
+        let mut set = BitSet::from_ones(universe, a.iter().map(|&id| id as usize));
+        let other = BitSet::from_ones(universe, b.iter().map(|&id| id as usize));
+        set.and_assign(&other);
+        Ok(set.iter_ones().map(|id| id as u64).collect())
+    }
+
+    /// Materialize a batch of ids (helper for range and postings
+    /// queries).
+    pub fn materialize(
+        &self,
+        ids: impl IntoIterator<Item = u64>,
+    ) -> Result<Vec<Clique>, StoreError> {
+        ids.into_iter().map(|id| self.get(id)).collect()
+    }
+
+    fn load_block(&self, block_i: usize) -> Result<Arc<Vec<Clique>>, StoreError> {
+        if let Some(hit) = self.cache.lock().unwrap().get(block_i) {
+            return Ok(hit);
+        }
+        let entry = self
+            .directory
+            .blocks
+            .get(block_i)
+            .ok_or(StoreError::Codec {
+                context: "block table",
+            })?;
+        let mut head = [0u8; 8];
+        let payload = {
+            let mut f = self.store.lock().unwrap();
+            f.seek(SeekFrom::Start(entry.offset))?;
+            read_exact_typed(&mut f, &mut head, "clique block frame")?;
+            let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+            if len > self.meta.store_bytes as usize {
+                return Err(StoreError::Torn {
+                    context: "clique block frame",
+                    needed: len,
+                    have: self.meta.store_bytes as usize,
+                });
+            }
+            let mut payload = vec![0u8; len];
+            read_exact_typed(&mut f, &mut payload, "clique block")?;
+            payload
+        };
+        let stored = u32::from_le_bytes(head[4..8].try_into().unwrap());
+        let computed = gsb_core::store::crc32(&payload);
+        if stored != computed {
+            return Err(StoreError::Checksum {
+                context: "clique block",
+                stored,
+                computed,
+            });
+        }
+        if payload.len() < 4 {
+            return Err(StoreError::Torn {
+                context: "clique block",
+                needed: 4,
+                have: payload.len(),
+            });
+        }
+        let count = u32::from_le_bytes(payload[..4].try_into().unwrap());
+        if count != entry.count {
+            return Err(StoreError::CountMismatch {
+                expected: entry.count as usize,
+                found: count as usize,
+            });
+        }
+        let mut pos = 4usize;
+        let mut cliques = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            cliques.push(crate::format::decode_clique(
+                &payload,
+                &mut pos,
+                self.directory.n,
+                "clique record",
+            )?);
+        }
+        if pos != payload.len() {
+            return Err(StoreError::Codec {
+                context: "clique block",
+            });
+        }
+        let cliques = Arc::new(cliques);
+        self.cache.lock().unwrap().put(block_i, cliques.clone());
+        Ok(cliques)
+    }
+}
+
+/// Open a file and validate its 16-byte header against `magic` and the
+/// directory's vertex count.
+fn open_checked(path: &Path, magic: u64, n: u32) -> Result<File, StoreError> {
+    let mut f = File::open(path)?;
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_typed(&mut f, &mut header, "index file header")?;
+    let file_n = check_header(&header, magic, "index file header")?;
+    if file_n != n {
+        return Err(StoreError::GraphMismatch {
+            checkpoint_bits: file_n as usize,
+            graph_bits: n as usize,
+        });
+    }
+    Ok(f)
+}
+
+/// `read_exact` with short reads surfaced as typed truncation.
+fn read_exact_typed(f: &mut File, buf: &mut [u8], context: &'static str) -> Result<(), StoreError> {
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Torn {
+                context,
+                needed: buf.len(),
+                have: 0,
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::IndexWriter;
+    use gsb_core::CliqueSink;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gsb-index-reader-{}-{name}", std::process::id()))
+    }
+
+    fn build(dir: &Path, n: usize, cliques: &[&[Vertex]]) {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut w = IndexWriter::create(dir, n).unwrap().block_target(24);
+        for c in cliques {
+            w.maximal(c);
+        }
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn queries_answer_from_disk() {
+        let dir = tmp("basic");
+        build(
+            &dir,
+            10,
+            &[
+                &[0, 1, 2],
+                &[2, 3, 4],
+                &[5, 6, 7],
+                &[0, 1, 2, 3],
+                &[4, 5, 6, 7],
+            ],
+        );
+        let idx = CliqueIndex::open(&dir).unwrap();
+        assert_eq!(idx.len(), 5);
+        assert_eq!(idx.n(), 10);
+        assert_eq!(idx.max_size(), 4);
+        assert_eq!(idx.get(1).unwrap(), vec![2, 3, 4]);
+        assert_eq!(idx.containing(2).unwrap(), vec![0, 1, 3]);
+        assert_eq!(idx.containing(9).unwrap(), Vec::<u64>::new());
+        assert_eq!(idx.containing(99).unwrap(), Vec::<u64>::new());
+        assert_eq!(idx.of_size(3, 3), 0..3);
+        assert_eq!(idx.of_size(4, 10), 3..5);
+        assert_eq!(idx.of_size(9, 10), 0..0);
+        assert_eq!(idx.max_clique().unwrap().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(idx.overlap(0, 3).unwrap(), vec![3]);
+        assert_eq!(idx.overlap(0, 9).unwrap(), Vec::<u64>::new());
+        let stats = idx.stats();
+        assert_eq!(stats.cliques, 5);
+        assert_eq!(stats.size_histogram, vec![(3, 3), (4, 2)]);
+        assert!(stats.postings_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_eviction_keeps_answers_identical() {
+        let dir = tmp("cache");
+        let cliques: Vec<Vec<Vertex>> = (0..40).map(|i| vec![i, i + 1, i + 2]).collect();
+        let refs: Vec<&[Vertex]> = cliques.iter().map(Vec::as_slice).collect();
+        build(&dir, 50, &refs);
+        let idx = CliqueIndex::open(&dir).unwrap().cache_blocks(2);
+        for round in 0..3 {
+            for id in 0..40u64 {
+                assert_eq!(idx.get(id).unwrap(), cliques[id as usize], "round {round}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_or_missing_dir_is_typed() {
+        let dir = tmp("missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(CliqueIndex::open(&dir), Err(StoreError::Io(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,527 @@
+//! `gsb serve` — a std-only threaded TCP/HTTP query server.
+//!
+//! The first long-lived process in the repo: where a batch run ends at
+//! a level barrier, the server ends only when asked. It reuses the
+//! robustness substrate built for batch runs —
+//! [`ShutdownToken`] for graceful SIGINT/SIGTERM drain (stop accepting,
+//! finish every queued and in-flight connection, then exit), the
+//! supervision deadline as a per-connection read/write timeout (a stuck
+//! client cannot wedge a worker past it), and [`gsb_telemetry`]
+//! histograms for per-endpoint latency and QPS, exported as JSON via
+//! `--metrics-out`.
+//!
+//! HTTP/1.1, one request per connection (`Connection: close`): the
+//! protocol subset is deliberately tiny — every response carries an
+//! exact `Content-Length` and the socket closes after it, so a drained
+//! shutdown can never truncate a response mid-body.
+//!
+//! Endpoints (all GET, JSON responses):
+//!
+//! | path                 | answer                                   |
+//! |----------------------|------------------------------------------|
+//! | `/health`            | liveness                                 |
+//! | `/stats`             | index statistics                         |
+//! | `/containing/<v>`    | cliques containing vertex v              |
+//! | `/size/<lo>/<hi>`    | cliques with size in `lo..=hi`           |
+//! | `/max`               | one maximum clique                       |
+//! | `/overlap/<v>/<w>`   | cliques containing both v and w          |
+//!
+//! Clique-list endpoints accept `?limit=K` (default 1000) and report
+//! the full `count` alongside the possibly-truncated `cliques` array.
+
+use crate::reader::CliqueIndex;
+use gsb_core::supervise::is_transient;
+use gsb_core::{Clique, RetryPolicy, ShutdownToken};
+use gsb_telemetry::{AtomicRecorder, Histogram};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads answering queries.
+    pub threads: usize,
+    /// Per-connection read/write deadline (the supervision idea: a
+    /// peer that stalls past this is disconnected, not waited on).
+    pub deadline: Duration,
+    /// Where to write the metrics JSON at shutdown.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: 4,
+            deadline: Duration::from_secs(10),
+            metrics_out: None,
+        }
+    }
+}
+
+/// What the drained server did, returned by [`Server::run`].
+#[derive(Clone, Debug, Default)]
+pub struct ServeReport {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// The metrics JSON (also written to `metrics_out` when set).
+    pub metrics_json: String,
+}
+
+/// Endpoint names; each gets a request counter and a latency histogram.
+const ENDPOINTS: [&str; 8] = [
+    "health",
+    "stats",
+    "containing",
+    "size",
+    "max",
+    "overlap",
+    "not_found",
+    "bad_request",
+];
+
+fn latency_key(endpoint: &str) -> &'static str {
+    match endpoint {
+        "health" => "http.health.ns",
+        "stats" => "http.stats.ns",
+        "containing" => "http.containing.ns",
+        "size" => "http.size.ns",
+        "max" => "http.max.ns",
+        "overlap" => "http.overlap.ns",
+        "not_found" => "http.not_found.ns",
+        _ => "http.bad_request.ns",
+    }
+}
+
+fn requests_key(endpoint: &str) -> &'static str {
+    match endpoint {
+        "health" => "http.health.requests",
+        "stats" => "http.stats.requests",
+        "containing" => "http.containing.requests",
+        "size" => "http.size.requests",
+        "max" => "http.max.requests",
+        "overlap" => "http.overlap.requests",
+        "not_found" => "http.not_found.requests",
+        _ => "http.bad_request.requests",
+    }
+}
+
+/// A bound, not-yet-running query server.
+pub struct Server {
+    listener: TcpListener,
+    index: Arc<CliqueIndex>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:7700`; port 0 picks a free port).
+    pub fn bind(index: Arc<CliqueIndex>, addr: &str, config: ServeConfig) -> std::io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            index,
+            config,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until `shutdown` is requested, then drain: stop accepting,
+    /// finish every accepted connection, join the workers, and export
+    /// metrics. Returns the report of the drained run.
+    pub fn run(self, shutdown: &ShutdownToken) -> std::io::Result<ServeReport> {
+        let started = Instant::now();
+        self.listener.set_nonblocking(true)?;
+        let recorder = Arc::new(AtomicRecorder::new());
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = self.config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = Arc::clone(&rx);
+            let index = Arc::clone(&self.index);
+            let recorder = Arc::clone(&recorder);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gsb-serve-{i}"))
+                    .spawn(move || loop {
+                        // Holding the lock only across recv keeps the
+                        // other workers free to pick up the next one.
+                        let conn = rx.lock().unwrap().recv();
+                        match conn {
+                            Ok(stream) => handle_connection(stream, &index, &recorder),
+                            // Channel closed after drain: every queued
+                            // connection has been answered.
+                            Err(_) => break,
+                        }
+                    })?,
+            );
+        }
+
+        let mut connections = 0u64;
+        while !shutdown.is_requested() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    connections += 1;
+                    // Accepted sockets inherit non-blocking; workers
+                    // want blocking reads bounded by the deadline.
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(self.config.deadline));
+                    let _ = stream.set_write_timeout(Some(self.config.deadline));
+                    let _ = stream.set_nodelay(true);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if is_transient(&e) => continue,
+                Err(_) => {
+                    recorder.add_named("http.accept_errors", 1);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+
+        // Drain: close the channel (workers exit after the queue
+        // empties), then wait for every in-flight response to finish.
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+
+        let mut requests = 0u64;
+        for ep in ENDPOINTS {
+            requests += recorder.counter(requests_key(ep)).get();
+        }
+        let metrics_json = render_metrics(&recorder, connections, requests, started.elapsed());
+        if let Some(path) = &self.config.metrics_out {
+            let bytes = metrics_json.clone().into_bytes();
+            RetryPolicy::default().run_io(|| write_atomic_file(path, &bytes))?;
+        }
+        Ok(ServeReport {
+            connections,
+            requests,
+            metrics_json,
+        })
+    }
+}
+
+/// Atomic sibling-tmp write for the metrics file (safe to retry whole).
+fn write_atomic_file(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// The per-endpoint latency/QPS export: one JSON object per endpoint
+/// with count, mean, max, and coarse log₂ percentiles.
+fn render_metrics(
+    recorder: &AtomicRecorder,
+    connections: u64,
+    requests: u64,
+    elapsed: Duration,
+) -> String {
+    let wall_ms = elapsed.as_millis() as u64;
+    let qps = if elapsed.as_secs_f64() > 0.0 {
+        requests as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    let mut endpoints = String::new();
+    for ep in ENDPOINTS {
+        let count = recorder.counter(requests_key(ep)).get();
+        if count == 0 {
+            continue;
+        }
+        let h: Histogram = recorder.histogram(latency_key(ep));
+        if !endpoints.is_empty() {
+            endpoints.push(',');
+        }
+        endpoints.push_str(&format!(
+            "\n    \"{ep}\": {{\"requests\":{count},\"mean_ns\":{:.0},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            h.mean(),
+            h.quantile_upper_bound(0.50),
+            h.quantile_upper_bound(0.90),
+            h.quantile_upper_bound(0.99),
+            h.max(),
+        ));
+    }
+    format!(
+        "{{\n  \"bench\": \"gsb_serve\",\n  \"connections\": {connections},\n  \"requests\": {requests},\n  \"wall_ms\": {wall_ms},\n  \"qps\": {qps:.2},\n  \"endpoints\": {{{endpoints}\n  }}\n}}\n"
+    )
+}
+
+/// Trait bridge: `AtomicRecorder::add` takes `&'static str`; this
+/// helper keeps call sites tidy.
+trait AddNamed {
+    fn add_named(&self, key: &'static str, delta: u64);
+}
+
+impl AddNamed for AtomicRecorder {
+    fn add_named(&self, key: &'static str, delta: u64) {
+        self.counter(key).add(delta);
+    }
+}
+
+/// Read the request head (≤ 8 KiB), answer it, close. One request per
+/// connection by design: `Connection: close` makes drain semantics
+/// ("no truncated responses") trivially auditable.
+fn handle_connection(mut stream: TcpStream, index: &CliqueIndex, recorder: &AtomicRecorder) {
+    let mut buf = [0u8; 8192];
+    let mut used = 0usize;
+    let head_len = loop {
+        if used == buf.len() {
+            let _ = respond(&mut stream, 431, "{\"error\":\"request too large\"}");
+            recorder.add_named("http.bad_request.requests", 1);
+            return;
+        }
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => return, // peer closed before sending a request
+            Ok(k) => {
+                used += k;
+                if let Some(end) = find_head_end(&buf[..used]) {
+                    break end;
+                }
+            }
+            Err(_) => {
+                // Read deadline hit or connection reset: the
+                // supervision deadline at work.
+                recorder.add_named("http.read_errors", 1);
+                return;
+            }
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_len]);
+    let first = head.lines().next().unwrap_or("");
+    let started = Instant::now();
+    let (status, body, endpoint) = route_request(index, first);
+    recorder.add_named(requests_key(endpoint), 1);
+    recorder
+        .histogram(latency_key(endpoint))
+        .observe(started.elapsed().as_nanos() as u64);
+    if respond(&mut stream, status, &body).is_err() {
+        recorder.add_named("http.write_errors", 1);
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Internal Server Error",
+    };
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Parse the request line and dispatch. Returns status, JSON body, and
+/// the endpoint name for telemetry.
+fn route_request(index: &CliqueIndex, request_line: &str) -> (u16, String, &'static str) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return (
+            405,
+            "{\"error\":\"only GET is supported\"}".into(),
+            "bad_request",
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let limit = parse_limit(query);
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        [] | ["health"] => (200, "{\"status\":\"ok\"}".into(), "health"),
+        ["stats"] => (200, stats_json(index), "stats"),
+        ["max"] => match index.max_clique() {
+            Ok(Some(c)) => (
+                200,
+                format!("{{\"size\":{},\"clique\":{}}}", c.len(), json_ids(&c)),
+                "max",
+            ),
+            Ok(None) => (200, "{\"size\":0,\"clique\":[]}".into(), "max"),
+            Err(e) => (500, error_json(&e), "max"),
+        },
+        ["containing", v] => match v.parse::<u32>() {
+            Err(_) => bad_request("vertex must be a number"),
+            Ok(v) => match index
+                .containing(v)
+                .and_then(|ids| materialize_limited(index, &ids, limit).map(|c| (ids, c)))
+            {
+                Ok((ids, cliques)) => (
+                    200,
+                    format!(
+                        "{{\"vertex\":{v},\"count\":{},\"ids\":{},\"cliques\":{}}}",
+                        ids.len(),
+                        json_u64s(&ids[..ids.len().min(limit)]),
+                        json_cliques(&cliques)
+                    ),
+                    "containing",
+                ),
+                Err(e) => (500, error_json(&e), "containing"),
+            },
+        },
+        ["size", lo, hi] => match (lo.parse::<u32>(), hi.parse::<u32>()) {
+            (Ok(lo), Ok(hi)) if lo <= hi => {
+                let ids = index.of_size(lo, hi);
+                let count = ids.end - ids.start;
+                let take = (count as usize).min(limit);
+                match index.materialize(ids.clone().take(take)) {
+                    Ok(cliques) => (
+                        200,
+                        format!(
+                            "{{\"min\":{lo},\"max\":{hi},\"count\":{count},\"first_id\":{},\"cliques\":{}}}",
+                            ids.start,
+                            json_cliques(&cliques)
+                        ),
+                        "size",
+                    ),
+                    Err(e) => (500, error_json(&e), "size"),
+                }
+            }
+            _ => bad_request("size range must be /size/<lo>/<hi> with lo <= hi"),
+        },
+        ["overlap", v, w] => match (v.parse::<u32>(), w.parse::<u32>()) {
+            (Ok(v), Ok(w)) => match index
+                .overlap(v, w)
+                .and_then(|ids| materialize_limited(index, &ids, limit).map(|c| (ids, c)))
+            {
+                Ok((ids, cliques)) => (
+                    200,
+                    format!(
+                        "{{\"v\":{v},\"w\":{w},\"count\":{},\"ids\":{},\"cliques\":{}}}",
+                        ids.len(),
+                        json_u64s(&ids[..ids.len().min(limit)]),
+                        json_cliques(&cliques)
+                    ),
+                    "overlap",
+                ),
+                Err(e) => (500, error_json(&e), "overlap"),
+            },
+            _ => bad_request("vertices must be numbers"),
+        },
+        _ => (404, "{\"error\":\"no such endpoint\"}".into(), "not_found"),
+    }
+}
+
+fn bad_request(message: &str) -> (u16, String, &'static str) {
+    (400, format!("{{\"error\":\"{message}\"}}"), "bad_request")
+}
+
+fn parse_limit(query: &str) -> usize {
+    for pair in query.split('&') {
+        if let Some(v) = pair.strip_prefix("limit=") {
+            if let Ok(k) = v.parse::<usize>() {
+                return k;
+            }
+        }
+    }
+    1000
+}
+
+fn materialize_limited(
+    index: &CliqueIndex,
+    ids: &[u64],
+    limit: usize,
+) -> Result<Vec<Clique>, gsb_core::StoreError> {
+    index.materialize(ids.iter().take(limit).copied())
+}
+
+fn stats_json(index: &CliqueIndex) -> String {
+    let s = index.stats();
+    let histogram: Vec<String> = s
+        .size_histogram
+        .iter()
+        .map(|(size, count)| format!("[{size},{count}]"))
+        .collect();
+    format!(
+        "{{\"n\":{},\"cliques\":{},\"max_clique\":{},\"blocks\":{},\"store_bytes\":{},\"postings_bytes\":{},\"size_histogram\":[{}]}}",
+        s.n,
+        s.cliques,
+        s.max_clique,
+        s.blocks,
+        s.store_bytes,
+        s.postings_bytes,
+        histogram.join(",")
+    )
+}
+
+fn error_json(e: &gsb_core::StoreError) -> String {
+    format!("{{\"error\":{:?}}}", e.to_string())
+}
+
+fn json_ids(c: &[u32]) -> String {
+    let items: Vec<String> = c.iter().map(u32::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_u64s(ids: &[u64]) -> String {
+    let items: Vec<String> = ids.iter().map(u64::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_cliques(cliques: &[Clique]) -> String {
+    let items: Vec<String> = cliques.iter().map(|c| json_ids(c)).collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n"), None);
+    }
+
+    #[test]
+    fn limit_parsing() {
+        assert_eq!(parse_limit(""), 1000);
+        assert_eq!(parse_limit("limit=5"), 5);
+        assert_eq!(parse_limit("a=1&limit=7"), 7);
+        assert_eq!(parse_limit("limit=x"), 1000);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let r = AtomicRecorder::new();
+        r.counter(requests_key("containing")).add(3);
+        r.histogram(latency_key("containing")).observe(1500);
+        let json = render_metrics(&r, 3, 3, Duration::from_millis(1200));
+        let parsed = gsb_telemetry::json::parse(&json).expect("valid metrics json");
+        assert_eq!(parsed.u64_or_zero("connections"), 3);
+        assert_eq!(parsed.u64_or_zero("requests"), 3);
+        let endpoints = parsed.get("endpoints").expect("endpoints object");
+        let containing = endpoints.get("containing").expect("containing entry");
+        assert_eq!(containing.u64_or_zero("requests"), 3);
+        assert!(containing.u64_or_zero("p99_ns") >= 1500);
+    }
+}

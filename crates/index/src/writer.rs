@@ -1,0 +1,392 @@
+//! [`IndexWriter`] — a [`CliqueSink`] that builds the on-disk index
+//! *during* enumeration.
+//!
+//! Cliques stream into CRC-framed blocks appended to `cliques.gsi.tmp`;
+//! postings and the size directory accumulate in memory (both are tiny
+//! next to the store: one id per clique membership). [`finish`]
+//! completes the index with the atomic tmp-then-rename convention of
+//! `gsb_core::checkpoint` — the `index.meta` manifest is renamed into
+//! place last, so a crash at any earlier point leaves only `*.tmp`
+//! files, which the next writer sweeps. Durable-sink contract:
+//! [`flush_barrier`] seals the open block and fsyncs, so everything
+//! received before a checkpoint survives a crash after it.
+//!
+//! [`CliqueSink`]: gsb_core::CliqueSink
+//! [`finish`]: IndexWriter::finish
+//! [`flush_barrier`]: gsb_core::CliqueSink::flush_barrier
+
+use crate::format::{
+    encode_clique, encode_id_list, frame, header_bytes, BlockEntry, IndexDirectory, IndexMeta,
+    SizeRun, CLIQUES_FILE, CLIQUES_MAGIC, DIRECTORY_FILE, DIRECTORY_MAGIC, META_FILE,
+    POSTINGS_FILE, POSTINGS_MAGIC,
+};
+use gsb_core::store::StoreError;
+use gsb_core::{CliqueSink, RetryPolicy, Vertex};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Default block target: seal a block once its encoded records reach
+/// this size. Small enough that a point query decodes little, large
+/// enough that frame overhead (8 bytes) disappears.
+pub const DEFAULT_BLOCK_TARGET: usize = 64 * 1024;
+
+/// What [`IndexWriter::finish`] built.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WriteSummary {
+    /// Cliques indexed.
+    pub cliques: u64,
+    /// Blocks in the store.
+    pub blocks: u64,
+    /// Largest clique size.
+    pub max_clique: u32,
+    /// Bytes of `cliques.gsi`.
+    pub store_bytes: u64,
+    /// Bytes of `postings.gsp`.
+    pub postings_bytes: u64,
+}
+
+/// Streaming index builder; see the module docs for the protocol.
+pub struct IndexWriter {
+    dir: PathBuf,
+    n: usize,
+    store: BufWriter<File>,
+    store_offset: u64,
+    block_target: usize,
+    block_buf: Vec<u8>,
+    block_count: u32,
+    block_first_id: u64,
+    block_min: u32,
+    block_max: u32,
+    next_id: u64,
+    postings: Vec<Vec<u64>>,
+    size_runs: Vec<SizeRun>,
+    blocks: Vec<BlockEntry>,
+    retry: RetryPolicy,
+    /// First error encountered while streaming (subsequent cliques are
+    /// dropped; surfaced by [`finish`](Self::finish), mirroring
+    /// [`gsb_core::WriterSink`]'s deferred-error protocol).
+    error: Option<StoreError>,
+}
+
+impl IndexWriter {
+    /// Start a new index for an `n`-vertex graph in `dir` (created if
+    /// missing; orphaned `*.tmp` files from a crashed writer are swept).
+    pub fn create(dir: &Path, n: usize) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        sweep_tmp_files(dir);
+        let tmp = dir.join(format!("{CLIQUES_FILE}.tmp"));
+        let mut store = BufWriter::new(File::create(&tmp)?);
+        store.write_all(&header_bytes(CLIQUES_MAGIC, n as u32))?;
+        Ok(IndexWriter {
+            dir: dir.to_path_buf(),
+            n,
+            store,
+            store_offset: crate::format::HEADER_LEN as u64,
+            block_target: DEFAULT_BLOCK_TARGET,
+            block_buf: Vec::new(),
+            block_count: 0,
+            block_first_id: 0,
+            block_min: u32::MAX,
+            block_max: 0,
+            next_id: 0,
+            postings: vec![Vec::new(); n],
+            size_runs: Vec::new(),
+            blocks: Vec::new(),
+            retry: RetryPolicy::default(),
+            error: None,
+        })
+    }
+
+    /// Override the block-sealing threshold (bytes of encoded records).
+    pub fn block_target(mut self, bytes: usize) -> Self {
+        self.block_target = bytes.max(1);
+        self
+    }
+
+    /// Cliques accepted so far.
+    pub fn indexed(&self) -> u64 {
+        self.next_id
+    }
+
+    fn defer(&mut self, e: StoreError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+
+    fn seal_block(&mut self) -> std::io::Result<()> {
+        if self.block_count == 0 {
+            return Ok(());
+        }
+        let mut payload = Vec::with_capacity(4 + self.block_buf.len());
+        payload.extend_from_slice(&self.block_count.to_le_bytes());
+        payload.extend_from_slice(&self.block_buf);
+        let framed = frame(&payload);
+        self.store.write_all(&framed)?;
+        self.blocks.push(BlockEntry {
+            offset: self.store_offset,
+            first_id: self.block_first_id,
+            count: self.block_count,
+            min_size: self.block_min,
+            max_size: self.block_max,
+        });
+        self.store_offset += framed.len() as u64;
+        self.block_buf.clear();
+        self.block_count = 0;
+        self.block_first_id = self.next_id;
+        self.block_min = u32::MAX;
+        self.block_max = 0;
+        Ok(())
+    }
+
+    /// Complete the index: seal and persist the store, write postings
+    /// and the directory, and rename the `index.meta` manifest into
+    /// place as the commit point. Atomic writes are retried under the
+    /// crate-standard [`RetryPolicy`].
+    pub fn finish(mut self) -> Result<WriteSummary, StoreError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.seal_block()?;
+        self.store.flush()?;
+        let file = self
+            .store
+            .into_inner()
+            .map_err(|e| StoreError::Io(std::io::Error::other(e.to_string())))?;
+        file.sync_all()?;
+        drop(file);
+        let retry = self.retry;
+        retry.run_io(|| {
+            std::fs::rename(
+                self.dir.join(format!("{CLIQUES_FILE}.tmp")),
+                self.dir.join(CLIQUES_FILE),
+            )
+        })?;
+
+        // Postings: header, then one CRC-framed record per vertex, with
+        // the byte offset of every record captured for the directory.
+        let postings_tmp = self.dir.join(format!("{POSTINGS_FILE}.tmp"));
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        {
+            let mut w = BufWriter::new(File::create(&postings_tmp)?);
+            w.write_all(&header_bytes(POSTINGS_MAGIC, self.n as u32))?;
+            let mut offset = crate::format::HEADER_LEN as u64;
+            for ids in &self.postings {
+                offsets.push(offset);
+                let mut payload = Vec::new();
+                encode_id_list(&mut payload, ids);
+                let framed = frame(&payload);
+                w.write_all(&framed)?;
+                offset += framed.len() as u64;
+            }
+            offsets.push(offset);
+            w.flush()?;
+            let file = w
+                .into_inner()
+                .map_err(|e| StoreError::Io(std::io::Error::other(e.to_string())))?;
+            file.sync_all()?;
+        }
+        retry.run_io(|| std::fs::rename(&postings_tmp, self.dir.join(POSTINGS_FILE)))?;
+        let postings_bytes = *offsets.last().unwrap_or(&0);
+
+        let directory = IndexDirectory {
+            n: self.n as u32,
+            clique_count: self.next_id,
+            size_runs: self.size_runs.clone(),
+            blocks: self.blocks.clone(),
+            postings_offsets: offsets,
+            postings_bytes,
+        };
+        let mut dir_bytes = header_bytes(DIRECTORY_MAGIC, self.n as u32).to_vec();
+        dir_bytes.extend_from_slice(&frame(&directory.encode()));
+        retry.run_store(|| {
+            write_atomic(&self.dir, DIRECTORY_FILE, &dir_bytes)?;
+            Ok(())
+        })?;
+
+        let summary = WriteSummary {
+            cliques: self.next_id,
+            blocks: self.blocks.len() as u64,
+            max_clique: directory.max_size(),
+            store_bytes: self.store_offset,
+            postings_bytes,
+        };
+        let meta = IndexMeta {
+            version: 1,
+            n: self.n,
+            cliques: summary.cliques,
+            max_clique: summary.max_clique,
+            blocks: summary.blocks,
+            store_bytes: summary.store_bytes,
+            postings_bytes: summary.postings_bytes,
+        };
+        // The commit point: readers refuse a directory without this file.
+        retry.run_store(|| {
+            write_atomic(&self.dir, META_FILE, meta.to_text().as_bytes())?;
+            Ok(())
+        })?;
+        sync_dir(&self.dir);
+        Ok(summary)
+    }
+}
+
+impl CliqueSink for IndexWriter {
+    fn maximal(&mut self, clique: &[Vertex]) {
+        if self.error.is_some() {
+            return;
+        }
+        let size = clique.len() as u32;
+        // The enumerators' ordering contract is what makes sequential
+        // ids sorted by size; a violation would corrupt every
+        // size-range answer, so it is a deferred typed error.
+        if let Some(last) = self.size_runs.last() {
+            if size < last.size {
+                return self.defer(StoreError::Codec {
+                    context: "index writer: cliques arrived out of size order",
+                });
+            }
+        }
+        if clique.is_empty()
+            || clique.iter().any(|&v| v as usize >= self.n)
+            || clique.windows(2).any(|w| w[0] >= w[1])
+        {
+            return self.defer(StoreError::Codec {
+                context: "index writer: clique not strictly ascending within the graph",
+            });
+        }
+        let id = self.next_id;
+        encode_clique(&mut self.block_buf, clique);
+        self.block_count += 1;
+        self.block_min = self.block_min.min(size);
+        self.block_max = self.block_max.max(size);
+        for &v in clique {
+            self.postings[v as usize].push(id);
+        }
+        match self.size_runs.last_mut() {
+            Some(run) if run.size == size => run.count += 1,
+            _ => self.size_runs.push(SizeRun {
+                size,
+                first_id: id,
+                count: 1,
+            }),
+        }
+        self.next_id += 1;
+        if self.block_buf.len() >= self.block_target {
+            if let Err(e) = self.seal_block() {
+                self.defer(StoreError::Io(e));
+            }
+        }
+    }
+
+    fn flush_barrier(&mut self) -> std::io::Result<()> {
+        if let Some(e) = &self.error {
+            return Err(std::io::Error::other(e.to_string()));
+        }
+        self.seal_block()?;
+        self.store.flush()?;
+        self.store.get_ref().sync_data()
+    }
+}
+
+/// Write `bytes` to `dir/name` atomically: sibling tmp, fsync, rename.
+/// Safe to retry wholesale — the rename either happened or it did not.
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(name))
+}
+
+/// Remove orphaned `*.tmp` files (crash mid-write: every durable file
+/// here is written tmp-then-rename, so a leftover tmp is never valid).
+fn sweep_tmp_files(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().ends_with(".tmp") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Best-effort directory fsync so the renames themselves are durable.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gsb-index-writer-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn crashed_writer_leaves_only_tmps_and_next_create_sweeps() {
+        let dir = tmp("sweep");
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let mut w = IndexWriter::create(&dir, 10).unwrap();
+            w.maximal(&[1, 2, 3]);
+            w.flush_barrier().unwrap();
+            // dropped without finish(): the crash
+        }
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(names.iter().all(|n| n.ends_with(".tmp")), "{names:?}");
+        let w = IndexWriter::create(&dir, 10).unwrap();
+        drop(w);
+        // meta never appeared, so the directory holds no committed index
+        assert!(!dir.join(META_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn out_of_order_and_out_of_range_cliques_are_deferred_typed_errors() {
+        let dir = tmp("order");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = IndexWriter::create(&dir, 10).unwrap();
+        w.maximal(&[1, 2, 3]);
+        w.maximal(&[4, 5]); // size shrank: ordering contract broken
+        assert!(w.finish().is_err());
+
+        let mut w = IndexWriter::create(&dir, 4).unwrap();
+        w.maximal(&[2, 9]); // vertex 9 outside a 4-vertex graph
+        assert!(w.finish().is_err());
+
+        let mut w = IndexWriter::create(&dir, 4).unwrap();
+        w.maximal(&[2, 2]); // not strictly ascending
+        assert!(w.flush_barrier().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_counts_blocks_and_sizes() {
+        let dir = tmp("summary");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = IndexWriter::create(&dir, 100).unwrap().block_target(16);
+        for i in 0..20u32 {
+            w.maximal(&[i, i + 1, i + 2]);
+        }
+        w.maximal(&[0, 2, 4, 6]);
+        let summary = w.finish().unwrap();
+        assert_eq!(summary.cliques, 21);
+        assert_eq!(summary.max_clique, 4);
+        assert!(summary.blocks > 1, "tiny target must split blocks");
+        assert!(dir.join(META_FILE).exists());
+        assert!(dir.join(CLIQUES_FILE).exists());
+        assert!(dir.join(POSTINGS_FILE).exists());
+        assert!(dir.join(DIRECTORY_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

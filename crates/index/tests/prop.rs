@@ -1,0 +1,238 @@
+//! Property tests for the on-disk clique index.
+//!
+//! The contract under test: for any graph, every query answered from
+//! disk is identical to recomputing the answer from an in-memory
+//! enumeration of the same graph; building the same index twice yields
+//! byte-identical files; and corrupting any single byte of any index
+//! file yields a typed [`StoreError`], never a panic or a wrong answer.
+
+use gsb_core::{CliqueEnumerator, CollectSink, EnumConfig, StoreError};
+use gsb_graph::generators::{gnp, planted, Module};
+use gsb_graph::BitGraph;
+use gsb_index::format::{CLIQUES_FILE, DIRECTORY_FILE, META_FILE, POSTINGS_FILE};
+use gsb_index::{CliqueIndex, IndexWriter};
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsb_index_prop_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Enumerate `g` twice: once into memory, once into an index at `dir`.
+fn build(g: &BitGraph, dir: &Path, block_target: usize) -> Vec<Vec<u32>> {
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+    let mut collect = CollectSink::default();
+    enumerator.enumerate(g, &mut collect);
+    let mut writer = IndexWriter::create(dir, g.n())
+        .expect("create index writer")
+        .block_target(block_target);
+    enumerator.enumerate(g, &mut writer);
+    writer.finish().expect("finish index");
+    collect.cliques
+}
+
+/// Check every supported query against the in-memory truth.
+fn check_queries(index: &CliqueIndex, g: &BitGraph, truth: &[Vec<u32>]) {
+    let n = g.n() as u32;
+    assert_eq!(index.len(), truth.len() as u64);
+    assert_eq!(index.n(), g.n());
+
+    // get(id): exact clique recall in emission order.
+    for (id, expected) in truth.iter().enumerate() {
+        assert_eq!(&index.get(id as u64).expect("get"), expected);
+    }
+
+    // containing(v) for every vertex, including one past the end.
+    for v in 0..=n {
+        let expected: Vec<u64> = truth
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.contains(&v))
+            .map(|(id, _)| id as u64)
+            .collect();
+        assert_eq!(index.containing(v).expect("containing"), expected, "v={v}");
+    }
+
+    // of_size over every (lo, hi) pair up to max size + 1.
+    let max = truth.iter().map(Vec::len).max().unwrap_or(0) as u32;
+    for lo in 0..=max + 1 {
+        for hi in lo..=max + 1 {
+            let ids = index.of_size(lo, hi);
+            let expected: Vec<u64> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| (lo..=hi).contains(&(c.len() as u32)))
+                .map(|(id, _)| id as u64)
+                .collect();
+            // Sorted-by-size emission makes the answer one contiguous
+            // run; the expected ids must be exactly that range.
+            assert_eq!(
+                ids.collect::<Vec<u64>>(),
+                expected,
+                "size range {lo}..={hi}"
+            );
+        }
+    }
+
+    // max_clique: same size as the truth's largest, and present in it.
+    let got = index.max_clique().expect("max_clique");
+    match truth.iter().map(Vec::len).max() {
+        None => assert!(got.is_none()),
+        Some(best) => {
+            let got = got.expect("non-empty index has a max clique");
+            assert_eq!(got.len(), best);
+            assert!(truth.contains(&got));
+        }
+    }
+
+    // overlap(v, w) over a deterministic sample of pairs.
+    for v in 0..n.min(12) {
+        for w in 0..n.min(12) {
+            let expected: Vec<u64> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.contains(&v) && c.contains(&w))
+                .map(|(id, _)| id as u64)
+                .collect();
+            assert_eq!(
+                index.overlap(v, w).expect("overlap"),
+                expected,
+                "overlap({v},{w})"
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_queries_match_recompute_on_100_random_graphs() {
+    for seed in 0..100u64 {
+        // Vary order, density, and block size so indexes cross block
+        // boundaries in different places; every 10th graph gets a
+        // planted module so large cliques appear too.
+        let n = 12 + (seed as usize % 7) * 4;
+        let p = 0.15 + (seed % 5) as f64 * 0.12;
+        let g = if seed % 10 == 9 {
+            planted(n, 0.1, &[Module::clique(6)], seed)
+        } else {
+            gnp(n, p, seed)
+        };
+        let dir = tmp(&format!("match_{seed}"));
+        let truth = build(&g, &dir, if seed % 3 == 0 { 64 } else { 4096 });
+        let index = CliqueIndex::open(&dir).expect("open index");
+        check_queries(&index, &g, &truth);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn rebuild_is_byte_identical() {
+    let g = planted(60, 0.12, &[Module::clique(8), Module::clique(5)], 7);
+    let (a, b) = (tmp("bytes_a"), tmp("bytes_b"));
+    build(&g, &a, 256);
+    build(&g, &b, 256);
+    for file in [CLIQUES_FILE, POSTINGS_FILE, DIRECTORY_FILE, META_FILE] {
+        let left = std::fs::read(a.join(file)).expect("read a");
+        let right = std::fs::read(b.join(file)).expect("read b");
+        assert_eq!(left, right, "{file} differs between identical builds");
+    }
+    std::fs::remove_dir_all(&a).ok();
+    std::fs::remove_dir_all(&b).ok();
+}
+
+/// Run every query; collect the first typed error, panic on none.
+fn sweep_queries(index: &CliqueIndex) -> Result<(), StoreError> {
+    for id in 0..index.len() {
+        index.get(id)?;
+    }
+    for v in 0..index.n() as u32 {
+        let ids = index.containing(v)?;
+        index.materialize(ids.into_iter())?;
+    }
+    index.max_clique()?;
+    index.overlap(0, 1)?;
+    Ok(())
+}
+
+#[test]
+fn every_single_byte_corruption_is_a_typed_error() {
+    let g = gnp(24, 0.35, 11);
+    let dir = tmp("corrupt");
+    // Tiny blocks so the store has several frames to corrupt.
+    let truth = build(&g, &dir, 96);
+    assert!(!truth.is_empty(), "graph must have cliques to index");
+
+    for file in [CLIQUES_FILE, POSTINGS_FILE, DIRECTORY_FILE] {
+        let path = dir.join(file);
+        let pristine = std::fs::read(&path).expect("read index file");
+        let mut detected = 0usize;
+        for pos in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[pos] ^= 0x41;
+            std::fs::write(&path, &bytes).expect("write corrupted file");
+            // Either open() rejects the file, or some query does; a
+            // flipped byte must never pass unnoticed or panic.
+            let outcome = CliqueIndex::open(&dir).and_then(|index| sweep_queries(&index));
+            if outcome.is_err() {
+                detected += 1;
+            }
+            let err = outcome.expect_err(&format!("flip at {file}:{pos} went undetected"));
+            // StoreError is the typed surface; formatting it must work.
+            let _ = err.to_string();
+        }
+        assert_eq!(detected, pristine.len(), "{file}: all flips detected");
+        std::fs::write(&path, &pristine).expect("restore file");
+        // After restoring, the index is whole again.
+        let index = CliqueIndex::open(&dir).expect("restored index opens");
+        sweep_queries(&index).expect("restored index answers");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncations_are_typed_errors() {
+    let g = gnp(20, 0.3, 5);
+    let dir = tmp("truncate");
+    build(&g, &dir, 128);
+    for file in [CLIQUES_FILE, POSTINGS_FILE, DIRECTORY_FILE] {
+        let path = dir.join(file);
+        let pristine = std::fs::read(&path).expect("read");
+        for keep in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..keep]).expect("truncate");
+            let outcome = CliqueIndex::open(&dir).and_then(|index| sweep_queries(&index));
+            assert!(
+                outcome.is_err(),
+                "{file} truncated to {keep} bytes accepted"
+            );
+        }
+        std::fs::write(&path, &pristine).expect("restore");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn postings_agree_with_store_under_dedup() {
+    // Cross-check: the union of containing(v) over all v enumerates
+    // every clique id exactly len(clique) times.
+    let g = planted(40, 0.15, &[Module::clique(7)], 3);
+    let dir = tmp("xcheck");
+    let truth = build(&g, &dir, 512);
+    let index = CliqueIndex::open(&dir).expect("open");
+    let mut seen = vec![0usize; truth.len()];
+    let mut vertices_with_postings = HashSet::new();
+    for v in 0..g.n() as u32 {
+        for id in index.containing(v).expect("containing") {
+            seen[id as usize] += 1;
+            vertices_with_postings.insert(v);
+        }
+    }
+    for (id, clique) in truth.iter().enumerate() {
+        assert_eq!(seen[id], clique.len(), "clique {id} posting multiplicity");
+    }
+    assert_eq!(
+        vertices_with_postings.len(),
+        truth.iter().flatten().collect::<HashSet<_>>().len()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

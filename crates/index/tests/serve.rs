@@ -1,0 +1,232 @@
+//! Concurrent storm test for the query server: 16 client threads
+//! hammer an in-process `Server`, every response must be complete and
+//! correct, and a shutdown request must drain gracefully — all
+//! accepted connections answered, per-endpoint histograms exported.
+
+use gsb_core::{CliqueEnumerator, CollectSink, EnumConfig, ShutdownToken};
+use gsb_graph::generators::{planted, Module};
+use gsb_index::{CliqueIndex, IndexWriter, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsb_index_serve_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One blocking HTTP GET; returns (status, body).
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    // Connection: close + Content-Length: the body must be complete.
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("Content-Length header")
+        .parse()
+        .expect("numeric length");
+    assert_eq!(body.len(), content_length, "truncated response for {path}");
+    (status, body.to_string())
+}
+
+#[test]
+fn storm_then_graceful_drain() {
+    // A graph with known structure: planted cliques guarantee both a
+    // deep size histogram and hot postings lists.
+    let g = planted(80, 0.08, &[Module::clique(9), Module::clique(6)], 13);
+    let dir = tmp("storm");
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+    let mut collect = CollectSink::default();
+    enumerator.enumerate(&g, &mut collect);
+    let truth = collect.cliques;
+    let mut writer = IndexWriter::create(&dir, g.n()).expect("create writer");
+    enumerator.enumerate(&g, &mut writer);
+    writer.finish().expect("finish index");
+
+    let metrics_path = dir.join("serve_metrics.json");
+    let index = Arc::new(CliqueIndex::open(&dir).expect("open index"));
+    let shutdown = ShutdownToken::new();
+    let server = Server::bind(
+        Arc::clone(&index),
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: 8,
+            deadline: Duration::from_secs(5),
+            metrics_out: Some(metrics_path.clone()),
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || server.run(&shutdown).expect("server run"))
+    };
+
+    // 16 concurrent clients, each issuing a mixed query workload and
+    // verifying every answer against the in-memory truth.
+    let truth = Arc::new(truth);
+    let clients: Vec<_> = (0..16)
+        .map(|c| {
+            let truth = Arc::clone(&truth);
+            std::thread::spawn(move || {
+                for round in 0..20 {
+                    let v = ((c * 7 + round * 3) % 80) as u32;
+                    let w = ((c * 11 + round * 5) % 80) as u32;
+
+                    let (status, body) = get(addr, &format!("/containing/{v}"));
+                    assert_eq!(status, 200);
+                    let expected = truth.iter().filter(|cl| cl.contains(&v)).count();
+                    assert!(
+                        body.contains(&format!("\"count\":{expected}")),
+                        "containing({v}): {body}"
+                    );
+
+                    let (status, body) = get(addr, &format!("/overlap/{v}/{w}"));
+                    assert_eq!(status, 200);
+                    let expected = truth
+                        .iter()
+                        .filter(|cl| cl.contains(&v) && cl.contains(&w))
+                        .count();
+                    assert!(
+                        body.contains(&format!("\"count\":{expected}")),
+                        "overlap({v},{w}): {body}"
+                    );
+
+                    let (status, body) = get(addr, "/max?limit=1");
+                    assert_eq!(status, 200);
+                    assert!(body.contains("\"size\":9"), "max: {body}");
+
+                    let (status, body) = get(addr, "/size/3/4?limit=2");
+                    assert_eq!(status, 200);
+                    let expected = truth
+                        .iter()
+                        .filter(|cl| (3..=4).contains(&cl.len()))
+                        .count();
+                    assert!(
+                        body.contains(&format!("\"count\":{expected}")),
+                        "size: {body}"
+                    );
+
+                    let (status, _) = get(addr, "/health");
+                    assert_eq!(status, 200);
+                }
+                // Error paths must answer, not hang or kill a worker.
+                let (status, _) = get(addr, "/no/such/endpoint");
+                assert_eq!(status, 404);
+                let (status, _) = get(addr, "/containing/notanumber");
+                assert_eq!(status, 400);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+
+    // SIGINT-style drain: request shutdown, the run() call must return
+    // with every connection answered and the metrics file in place.
+    shutdown.request(2);
+    let report = server_thread.join().expect("server thread");
+    assert!(
+        report.requests >= 16 * 20 * 5,
+        "requests: {}",
+        report.requests
+    );
+    assert!(report.connections >= report.requests);
+
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    assert_eq!(metrics, report.metrics_json);
+    let parsed = gsb_telemetry::json::parse(&metrics).expect("metrics JSON parses");
+    assert_eq!(parsed.u64_or_zero("requests"), report.requests);
+    let endpoints = parsed.get("endpoints").expect("endpoints object");
+    for ep in [
+        "containing",
+        "overlap",
+        "max",
+        "size",
+        "health",
+        "not_found",
+    ] {
+        let entry = endpoints.get(ep).unwrap_or_else(|| panic!("endpoint {ep}"));
+        assert!(entry.u64_or_zero("requests") > 0, "{ep} count");
+        assert!(
+            entry.u64_or_zero("p99_ns") >= entry.u64_or_zero("p50_ns"),
+            "{ep} quantiles ordered"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn drain_waits_for_queued_connections() {
+    // Open connections, delay sending the request until after shutdown
+    // is requested: the server must still answer them (drain), because
+    // they were accepted before the token fired.
+    let g = planted(30, 0.1, &[Module::clique(5)], 99);
+    let dir = tmp("drain");
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+    let mut writer = IndexWriter::create(&dir, g.n()).expect("create writer");
+    enumerator.enumerate(&g, &mut writer);
+    writer.finish().expect("finish");
+
+    let index = Arc::new(CliqueIndex::open(&dir).expect("open"));
+    let shutdown = ShutdownToken::new();
+    let server = Server::bind(
+        Arc::clone(&index),
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: 2,
+            deadline: Duration::from_secs(5),
+            metrics_out: None,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || server.run(&shutdown).expect("run"))
+    };
+
+    // Pre-open sockets; the accept loop will hand them to workers.
+    let mut pending: Vec<TcpStream> = (0..4)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            s
+        })
+        .collect();
+    // Give the accept loop time to accept them all.
+    std::thread::sleep(Duration::from_millis(100));
+    shutdown.request(15);
+
+    // Requests sent *after* the shutdown request still get answers.
+    for s in &mut pending {
+        write!(s, "GET /health HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+        let mut response = String::new();
+        s.read_to_string(&mut response).expect("read");
+        assert!(
+            response.contains("200 OK") && response.ends_with("{\"status\":\"ok\"}"),
+            "drained connection got: {response:?}"
+        );
+    }
+    let report = server_thread.join().expect("join");
+    assert!(report.connections >= 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
