@@ -1,0 +1,301 @@
+//! `gsb bench-serve` — closed-loop load generator for the query server.
+//!
+//! Self-contained: generates a planted-module graph, builds a
+//! throwaway index, starts an in-process [`Server`], and drives it
+//! with closed-loop client threads through a real socket. Two
+//! scenarios run back to back:
+//!
+//! * **steady** — a modest client pool against a generously
+//!   provisioned server: the happy-path QPS/latency baseline.
+//! * **overload** — a larger pool against a deliberately tiny
+//!   admission queue and per-endpoint rate limit: what matters here is
+//!   that the server *sheds typed* (429/503 with `Retry-After`)
+//!   instead of stretching latency, and that accepted requests stay
+//!   fast.
+//!
+//! Results (QPS, latency percentiles, shed rate) are committed to a
+//! JSON file (default `results/BENCH_serve.json`) whose *schema* is
+//! diffed in CI — values are hardware-dependent, the shape is not.
+
+use crate::args::Args;
+use crate::CliError;
+use gsb_core::{CliqueEnumerator, EnumConfig, ShutdownToken};
+use gsb_graph::generators::{planted, Module};
+use gsb_index::{CliqueIndex, IndexWriter, ServeConfig, ServeReport, Server};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `gsb bench-serve`
+pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
+    let a = Args::parse(argv, &["out", "seed"], &["smoke"], 0)?;
+    let out_path = PathBuf::from(a.flag("out").unwrap_or("results/BENCH_serve.json"));
+    let seed: u64 = a.flag_or("seed", 13)?;
+    let smoke = a.switch("smoke");
+
+    // A graph big enough for non-trivial postings, small enough that
+    // the bench is self-contained and fast.
+    let (n, duration) = if smoke {
+        (60, Duration::from_millis(300))
+    } else {
+        (200, Duration::from_secs(2))
+    };
+    let g = planted(n, 0.06, &[Module::clique(9), Module::clique(6)], seed);
+    let dir = std::env::temp_dir().join(format!("gsb-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+    let mut writer = IndexWriter::create(&dir, g.n()).map_err(CliError::Store)?;
+    enumerator.enumerate(&g, &mut writer);
+    writer.finish().map_err(CliError::Store)?;
+
+    let steady = run_scenario(
+        &dir,
+        ServeConfig {
+            threads: 4,
+            queue_limit: 256,
+            rate_limit: None,
+            ..ServeConfig::default()
+        },
+        4,
+        duration,
+        n as u32,
+    )?;
+    let overload = run_scenario(
+        &dir,
+        ServeConfig {
+            threads: 2,
+            queue_limit: 4,
+            rate_limit: Some(if smoke { 400.0 } else { 800.0 }),
+            rate_burst: 16,
+            request_deadline: Duration::from_millis(1500),
+            ..ServeConfig::default()
+        },
+        16,
+        duration,
+        n as u32,
+    )?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let json = format!(
+        "{{\n  \"bench\": \"gsb_bench_serve\",\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \"scenarios\": {{\n    \"steady\": {},\n    \"overload\": {}\n  }}\n}}\n",
+        steady.to_json(),
+        overload.to_json()
+    );
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, &json)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "bench-serve ({})", if smoke { "smoke" } else { "full" });
+    for (name, s) in [("steady", &steady), ("overload", &overload)] {
+        let _ = writeln!(
+            out,
+            "  {name}: {} requests, {:.0} qps, p50 {}us p95 {}us p99 {}us, ok {}, rate-limited {}, shed {} ({:.1}% shed rate)",
+            s.requests,
+            s.qps,
+            s.p50_us,
+            s.p95_us,
+            s.p99_us,
+            s.ok,
+            s.rate_limited,
+            s.shed,
+            100.0 * s.shed_rate,
+        );
+    }
+    let _ = writeln!(out, "results written to {}", out_path.display());
+    Ok(out)
+}
+
+/// Aggregated outcome of one load scenario.
+struct Scenario {
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    rate_limited: u64,
+    shed: u64,
+    errors: u64,
+    qps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    shed_rate: f64,
+    report: ServeReport,
+}
+
+impl Scenario {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"clients\":{},\"requests\":{},\"ok\":{},\"rate_limited\":{},\"shed\":{},\"errors\":{},\"qps\":{:.2},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"shed_rate\":{:.4},\"server_requests\":{},\"server_shed\":{},\"server_rate_limited\":{}}}",
+            self.clients,
+            self.requests,
+            self.ok,
+            self.rate_limited,
+            self.shed,
+            self.errors,
+            self.qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.shed_rate,
+            self.report.requests,
+            self.report.shed,
+            self.report.rate_limited,
+        )
+    }
+}
+
+fn run_scenario(
+    index_dir: &Path,
+    config: ServeConfig,
+    clients: usize,
+    duration: Duration,
+    n: u32,
+) -> Result<Scenario, CliError> {
+    let index = Arc::new(CliqueIndex::open(index_dir).map_err(CliError::Store)?);
+    let shutdown = ShutdownToken::new();
+    let server = Server::bind(index, "127.0.0.1:0", config)?;
+    let addr = server.local_addr()?;
+    let server_thread = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || server.run(&shutdown))
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || client_loop(addr, c as u32, n, &stop))
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Release);
+
+    let mut requests = 0u64;
+    let mut ok = 0u64;
+    let mut rate_limited = 0u64;
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        let c = w.join().map_err(|_| {
+            CliError::Runtime("bench-serve client thread panicked".into())
+        })?;
+        requests += c.requests;
+        ok += c.ok;
+        rate_limited += c.rate_limited;
+        shed += c.shed;
+        errors += c.errors;
+        latencies.extend(c.ok_latencies_us);
+    }
+    let wall = started.elapsed();
+    shutdown.request(15);
+    let report = server_thread
+        .join()
+        .map_err(|_| CliError::Runtime("bench-serve server thread panicked".into()))??;
+
+    latencies.sort_unstable();
+    let answered = ok.max(1);
+    Ok(Scenario {
+        clients,
+        requests,
+        ok,
+        rate_limited,
+        shed,
+        errors,
+        qps: ok as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: pct(&latencies, 0.50),
+        p95_us: pct(&latencies, 0.95),
+        p99_us: pct(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        shed_rate: (shed + rate_limited) as f64 / (answered + shed + rate_limited) as f64,
+        report,
+    })
+}
+
+/// Per-client tallies from one closed loop.
+struct ClientOutcome {
+    requests: u64,
+    ok: u64,
+    rate_limited: u64,
+    shed: u64,
+    errors: u64,
+    ok_latencies_us: Vec<u64>,
+}
+
+/// Closed loop: one request at a time, next sent only after the
+/// previous response fully arrived — the classic closed-loop load
+/// model, so offered load adapts to what the server admits.
+fn client_loop(addr: SocketAddr, client_id: u32, n: u32, stop: &AtomicBool) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        requests: 0,
+        ok: 0,
+        rate_limited: 0,
+        shed: 0,
+        errors: 0,
+        ok_latencies_us: Vec::new(),
+    };
+    let mut round = 0u32;
+    while !stop.load(Ordering::Acquire) {
+        let v = (client_id * 7 + round * 3) % n;
+        let w = (client_id * 11 + round * 5) % n;
+        let path = match round % 6 {
+            0 => "/health".to_string(),
+            1 => "/stats".to_string(),
+            2 => "/max".to_string(),
+            3 => format!("/containing/{v}"),
+            4 => "/size/3/6?limit=8".to_string(),
+            _ => format!("/overlap/{v}/{w}"),
+        };
+        round = round.wrapping_add(1);
+        out.requests += 1;
+        let begun = Instant::now();
+        match get_status(addr, &path) {
+            Ok(200) => {
+                out.ok += 1;
+                out.ok_latencies_us
+                    .push(begun.elapsed().as_micros() as u64);
+            }
+            Ok(429) => out.rate_limited += 1,
+            Ok(503) | Ok(408) => out.shed += 1,
+            Ok(_) => out.errors += 1,
+            // Connect refused/reset under overload counts as shed-like
+            // backpressure from the kernel backlog.
+            Err(_) => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// One blocking GET; returns the response status. The whole response is
+/// read (Connection: close), so closed-loop pacing is honest.
+fn get_status(addr: SocketAddr, path: &str) -> std::io::Result<u16> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("malformed status line"))
+}
+
+fn pct(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let i = ((sorted_us.len() as f64 - 1.0) * q).round() as usize;
+    sorted_us[i.min(sorted_us.len() - 1)]
+}

@@ -3,6 +3,7 @@
 //! dispatcher in [`crate::run`] stays a thin match over these
 //! re-exports.
 
+mod bench_serve;
 mod cliques;
 mod convert;
 mod exact;
@@ -12,9 +13,11 @@ mod motif;
 mod query;
 mod report;
 mod resume;
+mod scrub;
 mod serve;
 mod stats;
 
+pub use bench_serve::bench_serve;
 pub use cliques::cliques;
 pub use convert::convert;
 pub use exact::{fvs, maxclique, vertex_cover};
@@ -24,6 +27,7 @@ pub use motif::motif;
 pub use query::query;
 pub use report::report;
 pub use resume::resume;
+pub use scrub::scrub;
 pub use serve::serve;
 pub use stats::stats;
 
@@ -771,6 +775,66 @@ mod tests {
     }
 
     #[test]
+    fn scrub_clean_then_detects_corruption() {
+        let path = tmp("g17.txt");
+        let dir = tmp("g17-index");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "7,5",
+            "--seed",
+            "41",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        index(&argv(&[&path, "--min", "3", "--out", &dir])).unwrap();
+
+        let clean = scrub(&argv(&[&dir])).unwrap();
+        assert!(clean.contains("index is clean"), "{clean}");
+
+        // Flip one byte inside the clique store payload region.
+        let store = Path::new(&dir).join("cliques.gsi");
+        let mut bytes = std::fs::read(&store).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0x10;
+        std::fs::write(&store, &bytes).unwrap();
+
+        let err = scrub(&argv(&[&dir])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+        assert!(err.to_string().contains("failed scrub"), "{err}");
+
+        // Missing directory is a finding with exit 1, not a panic.
+        let err = scrub(&argv(&["/definitely/not/an/index"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bench_serve_smoke_writes_schema_stable_json() {
+        let out = tmp("bench_serve.json");
+        let report = bench_serve(&argv(&["--smoke", "--out", &out])).unwrap();
+        assert!(report.contains("steady:"), "{report}");
+        assert!(report.contains("overload:"), "{report}");
+        let text = std::fs::read_to_string(&out).unwrap();
+        let parsed = gsb_telemetry::json::parse(&text).expect("bench JSON parses");
+        let scenarios = parsed.get("scenarios").expect("scenarios object");
+        for name in ["steady", "overload"] {
+            let s = scenarios.get(name).unwrap_or_else(|| panic!("{name}"));
+            assert!(s.u64_or_zero("requests") > 0, "{name} issued requests");
+            for key in ["ok", "qps", "p50_us", "p95_us", "p99_us", "shed_rate"] {
+                assert!(s.get(key).is_some(), "{name} missing {key}");
+            }
+        }
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
     fn drained_error_shape() {
         let e = CliError::Drained {
             signal: 2,
@@ -781,5 +845,12 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("drained 41 connection(s)"), "{text}");
         assert!(text.contains("40 request(s)"), "{text}");
+        // SIGTERM maps to the conventional 143.
+        let e = CliError::Drained {
+            signal: 15,
+            connections: 1,
+            requests: 1,
+        };
+        assert_eq!(e.exit_code(), 143);
     }
 }

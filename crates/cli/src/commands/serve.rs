@@ -13,7 +13,18 @@ use std::time::Duration;
 pub fn serve(argv: &[String]) -> Result<String, CliError> {
     let a = Args::parse(
         argv,
-        &["addr", "threads", "deadline-secs", "metrics-out"],
+        &[
+            "addr",
+            "threads",
+            "deadline-secs",
+            "request-deadline-ms",
+            "queue-limit",
+            "rate-limit",
+            "rate-burst",
+            "max-header-bytes",
+            "reload-poll-ms",
+            "metrics-out",
+        ],
         &[],
         1,
     )?;
@@ -21,12 +32,26 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
     let addr = a.flag("addr").unwrap_or("127.0.0.1:7700");
     let threads: usize = a.flag_or("threads", 4)?;
     let deadline_secs: u64 = a.flag_or("deadline-secs", 10)?;
+    let request_deadline_ms: u64 = a.flag_or("request-deadline-ms", 5000)?;
+    let queue_limit: usize = a.flag_or("queue-limit", 128)?;
+    let rate_limit: f64 = a.flag_or("rate-limit", 0.0)?;
+    let rate_burst: u32 = a.flag_or("rate-burst", 8)?;
+    let max_header_bytes: usize = a.flag_or("max-header-bytes", 8192)?;
+    let reload_poll_ms: u64 = a.flag_or("reload-poll-ms", 0)?;
     let metrics_out = a.flag("metrics-out").map(PathBuf::from);
 
-    let index = Arc::new(CliqueIndex::open(Path::new(dir)).map_err(CliError::Store)?);
+    let index_dir = Path::new(dir).to_path_buf();
+    let index = Arc::new(CliqueIndex::open(&index_dir).map_err(CliError::Store)?);
     let config = ServeConfig {
         threads,
         deadline: Duration::from_secs(deadline_secs.max(1)),
+        request_deadline: Duration::from_millis(request_deadline_ms.max(1)),
+        queue_limit: queue_limit.max(1),
+        rate_limit: (rate_limit > 0.0).then_some(rate_limit),
+        rate_burst: rate_burst.max(1),
+        max_header_bytes: max_header_bytes.max(64),
+        reload_poll: (reload_poll_ms > 0).then(|| Duration::from_millis(reload_poll_ms)),
+        index_dir: (reload_poll_ms > 0).then(|| index_dir.clone()),
         metrics_out: metrics_out.clone(),
     };
     let server = Server::bind(Arc::clone(&index), addr, config)?;
@@ -34,9 +59,10 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
     // Stderr, eagerly: the operator (and the CI smoke test) needs the
     // address before the first query, while stdout stays machine-clean.
     eprintln!(
-        "gsb serve: listening on http://{bound} ({} cliques over {} vertices, {threads} workers)",
+        "gsb serve: listening on http://{bound} ({} cliques over {} vertices, {threads} workers, generation {})",
         index.len(),
-        index.n()
+        index.n(),
+        index.generation()
     );
     eprintln!("gsb serve: endpoints: /health /stats /containing/V /size/LO/HI /max /overlap/V/W");
 
@@ -44,6 +70,12 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
     let report = server.run(&shutdown)?;
     if let Some(path) = &metrics_out {
         eprintln!("gsb serve: metrics written to {}", path.display());
+    }
+    if report.shed > 0 || report.rate_limited > 0 || report.degraded > 0 || report.reloads > 0 {
+        eprintln!(
+            "gsb serve: shed {} connections, rate-limited {}, degraded {}, hot-reloads {}",
+            report.shed, report.rate_limited, report.degraded, report.reloads
+        );
     }
     match shutdown.signal() {
         // The conventional loud exit: 128 + signal, with the drain

@@ -165,7 +165,12 @@ USAGE:
   gsb query INDEX_DIR (--containing V | --size-min K --size-max M |
                --max | --overlap V,W) [--ids-only] [--limit N]
   gsb serve INDEX_DIR [--addr HOST:PORT] [--threads T]
-               [--deadline-secs S] [--metrics-out FILE]
+               [--deadline-secs S] [--request-deadline-ms MS]
+               [--queue-limit N] [--rate-limit QPS] [--rate-burst N]
+               [--max-header-bytes N] [--reload-poll-ms MS]
+               [--metrics-out FILE]
+  gsb scrub INDEX_DIR
+  gsb bench-serve [--out FILE] [--seed S] [--smoke]
   gsb stats --index INDEX_DIR
   gsb convert IN OUT
   gsb help
@@ -215,7 +220,23 @@ the index profile and size histogram; `gsb serve` exposes the same
 queries over HTTP (GET /health /stats /containing/V /size/LO/HI /max
 /overlap/V/W) with per-endpoint latency histograms (`--metrics-out`),
 a per-connection deadline, and a graceful SIGINT/SIGTERM drain that
-answers every accepted connection before exiting 130/143.";
+answers every accepted connection before exiting 130/143.
+
+Overload & integrity: `gsb serve` admission-controls with a bounded
+queue (`--queue-limit`, full queue sheds 503 + Retry-After), optional
+per-endpoint token-bucket rate limits (`--rate-limit QPS` with
+`--rate-burst`, /health exempt, over-limit answers 429), a per-request
+deadline budget measured from accept (`--request-deadline-ms`; slow
+clients get 408, oversized headers 431), and optional hot-reloads
+(`--reload-poll-ms` polls index.meta and atomically swaps in a rebuilt
+index without dropping in-flight requests). Blocks that fail CRC at
+read time are quarantined in memory and list answers degrade exactly
+(marked with X-Gsb-Degraded) until a rebuild lands. `gsb scrub
+INDEX_DIR` walks every CRC frame offline, recomputes the postings from
+the decoded cliques, and exits 1 listing findings on any corruption.
+`gsb bench-serve` runs a self-contained closed-loop load benchmark
+(steady + overload scenarios) and writes QPS/latency/shed-rate
+percentiles to results/BENCH_serve.json.";
 
 /// Dispatch a full argv (without the program name) and return the
 /// report to print.
@@ -237,6 +258,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "index" => commands::index(rest),
         "query" => commands::query(rest),
         "serve" => commands::serve(rest),
+        "scrub" => commands::scrub(rest),
+        "bench-serve" => commands::bench_serve(rest),
         "convert" => commands::convert(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),

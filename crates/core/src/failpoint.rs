@@ -112,6 +112,47 @@ pub const CHAOS_SITES: &[&str] = &[
     "memory.budget",
 ];
 
+/// The failpoint sites on the index *serving* path — the read/serve
+/// I/O sites the server chaos harness arms. Unlike [`CHAOS_SITES`],
+/// these never draw `Panic`: an injected panic in a request worker
+/// would be indistinguishable from the serving-path panic bugs the
+/// harness exists to rule out, so server schedules stick to injected
+/// I/O errors and stalls (client misbehavior and on-disk corruption
+/// are driven separately, through the socket and the files).
+pub const SERVER_CHAOS_SITES: &[&str] = &[
+    "index.block_read",
+    "index.postings_read",
+    "serve.accept",
+    "serve.respond",
+];
+
+/// Derive a serving-side fault schedule deterministically from `seed`:
+/// for each site in [`SERVER_CHAOS_SITES`], draw nothing (about half
+/// the time), an injected I/O error, or a short stall, with randomized
+/// skip (0..8) and bounded repeat count (1..=3) so every schedule
+/// exhausts itself and the server converges back to healthy serving.
+pub fn server_chaos_schedule(seed: u64) -> Vec<(&'static str, FailAction)> {
+    let mut rng = crate::supervise::SplitMix64::new(seed ^ 0x5E1F_5E1F_5E1F_5E1F);
+    let mut schedule = Vec::new();
+    for &site in SERVER_CHAOS_SITES {
+        let skip = rng.below(8) as u32;
+        let times = 1 + rng.below(3) as u32;
+        let action = match rng.below(6) {
+            0 | 1 | 2 => None, // half the sites stay clean
+            3 | 4 => Some(FailAction::Error { skip, times }),
+            _ => Some(FailAction::Delay {
+                skip,
+                times,
+                ms: 1 + rng.below(15),
+            }),
+        };
+        if let Some(action) = action {
+            schedule.push((site, action));
+        }
+    }
+    schedule
+}
+
 /// Derive a randomized fault schedule deterministically from `seed`:
 /// for each site in [`CHAOS_SITES`], draw either nothing (about half
 /// the time) or a [`FailAction`] with randomized skip (0..6), repeat
@@ -399,6 +440,30 @@ mod schedule_tests {
         }
         // The space of schedules is actually explored.
         assert_ne!(chaos_schedule(1), chaos_schedule(2));
+    }
+
+    #[test]
+    fn server_chaos_schedules_are_deterministic_and_never_panic() {
+        for seed in 0..128u64 {
+            let a = server_chaos_schedule(seed);
+            let b = server_chaos_schedule(seed);
+            assert_eq!(a, b, "seed {seed} not deterministic");
+            for (site, action) in &a {
+                assert!(SERVER_CHAOS_SITES.contains(site));
+                match action {
+                    FailAction::Panic { .. } => {
+                        panic!("seed {seed}: server schedule drew a panic at {site}")
+                    }
+                    FailAction::Error { times, .. } | FailAction::Delay { times, .. } => {
+                        assert!(
+                            (1..=3).contains(times),
+                            "seed {seed}: unbounded action {action:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_ne!(server_chaos_schedule(3), server_chaos_schedule(4));
     }
 }
 

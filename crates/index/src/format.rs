@@ -413,27 +413,63 @@ pub struct IndexMeta {
     pub store_bytes: u64,
     /// Bytes of `postings.gsp`.
     pub postings_bytes: u64,
+    /// Monotonic rebuild counter: bumped every time a writer replaces
+    /// an existing committed index in the same directory. The serving
+    /// layer polls it to trigger atomic hot-reloads. Absent in
+    /// pre-generation manifests, which read back as generation 0.
+    pub generation: u64,
 }
 
 impl IndexMeta {
-    /// Render as key=value text.
+    /// Render as key=value text. The final `crc=` line covers every
+    /// preceding byte, so even fields with no cross-checkable twin
+    /// elsewhere in the index (like `generation`) cannot rot silently.
     pub fn to_text(&self) -> String {
-        format!(
-            "version={}\nn={}\ncliques={}\nmax_clique={}\nblocks={}\nstore_bytes={}\npostings_bytes={}\n",
+        let body = format!(
+            "version={}\nn={}\ncliques={}\nmax_clique={}\nblocks={}\nstore_bytes={}\npostings_bytes={}\ngeneration={}\n",
             self.version,
             self.n,
             self.cliques,
             self.max_clique,
             self.blocks,
             self.store_bytes,
-            self.postings_bytes
-        )
+            self.postings_bytes,
+            self.generation
+        );
+        let crc = crc32(body.as_bytes());
+        format!("{body}crc={crc}\n")
     }
 
     /// Parse the text form; unknown keys are ignored (forward compat),
-    /// missing required keys are a typed codec error.
+    /// missing required keys are a typed codec error. When a `crc=`
+    /// line is present (writers emit one since generations were added),
+    /// it is verified against the preceding bytes; manifests written
+    /// before it existed parse without one.
     pub fn from_text(text: &str) -> Result<Self, StoreError> {
         const CTX: &str = "index.meta";
+        let mut crc_seen = false;
+        if let Some(pos) = text
+            .find("crc=")
+            .filter(|&p| p == 0 || text.as_bytes()[p - 1] == b'\n')
+        {
+            // No trim here: stray whitespace after the digits means the
+            // trailing newline itself was corrupted.
+            let line = text[pos..].lines().next().unwrap_or("");
+            let stored = line["crc=".len()..]
+                .strip_suffix('\r')
+                .unwrap_or(&line["crc=".len()..])
+                .parse::<u32>()
+                .map_err(|_| StoreError::Codec { context: CTX })?;
+            let computed = crc32(text[..pos].as_bytes());
+            if stored != computed {
+                return Err(StoreError::Checksum {
+                    context: CTX,
+                    stored,
+                    computed,
+                });
+            }
+            crc_seen = true;
+        }
         let mut meta = IndexMeta {
             version: 0,
             n: usize::MAX,
@@ -442,7 +478,9 @@ impl IndexMeta {
             blocks: 0,
             store_bytes: 0,
             postings_bytes: 0,
+            generation: 0,
         };
+        let mut generation_seen = false;
         for line in text.lines() {
             let Some((key, value)) = line.split_once('=') else {
                 continue;
@@ -469,6 +507,10 @@ impl IndexMeta {
                 "postings_bytes" => {
                     meta.postings_bytes = parse().map_err(|_| StoreError::Codec { context: CTX })?
                 }
+                "generation" => {
+                    meta.generation = parse().map_err(|_| StoreError::Codec { context: CTX })?;
+                    generation_seen = true;
+                }
                 _ => {}
             }
         }
@@ -477,6 +519,11 @@ impl IndexMeta {
             || meta.cliques == u64::MAX
             || meta.max_clique == u32::MAX
         {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        // `generation` and `crc` were introduced together: a manifest
+        // declaring one but missing the other lost bytes to corruption.
+        if generation_seen && !crc_seen {
             return Err(StoreError::Codec { context: CTX });
         }
         Ok(meta)
@@ -645,9 +692,32 @@ mod tests {
             blocks: 1,
             store_bytes: 100,
             postings_bytes: 400,
+            generation: 3,
         };
         assert_eq!(IndexMeta::from_text(&meta.to_text()).unwrap(), meta);
         assert!(IndexMeta::from_text("version=1\nn=4\n").is_err());
         assert!(IndexMeta::from_text("garbage").is_err());
+        // pre-generation manifests (no `generation` key) stay readable
+        let old = "version=1\nn=4\ncliques=2\nmax_clique=2\nblocks=1\n";
+        assert_eq!(IndexMeta::from_text(old).unwrap().generation, 0);
+        // the trailing crc line catches every single-byte flip, even in
+        // fields with no cross-check elsewhere (generation)
+        let text = meta.to_text();
+        for i in 0..text.len() {
+            let mut bad = text.clone().into_bytes();
+            bad[i] ^= 0x04; // stays ASCII, usually still parseable text
+            if let Ok(flipped) = String::from_utf8(bad) {
+                let r = IndexMeta::from_text(&flipped);
+                assert!(
+                    r.is_err() || r.as_ref().unwrap() == &meta,
+                    "flip at byte {i} silently changed the manifest"
+                );
+                if r.is_ok() {
+                    // a flip that still parses equal is impossible: the
+                    // crc line pins every preceding byte
+                    panic!("flip at byte {i} produced an accepted manifest");
+                }
+            }
+        }
     }
 }

@@ -36,10 +36,12 @@
 
 pub mod format;
 pub mod reader;
+pub mod scrub;
 pub mod server;
 pub mod writer;
 
 pub use format::{IndexDirectory, IndexMeta};
-pub use reader::{CliqueIndex, IndexStats};
+pub use reader::{CliqueIndex, DegradedCliques, IndexStats};
+pub use scrub::{scrub, ScrubFinding, ScrubReport};
 pub use server::{ServeConfig, ServeReport, Server};
 pub use writer::{IndexWriter, WriteSummary};

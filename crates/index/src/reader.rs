@@ -11,6 +11,13 @@
 //! Every decode path bound-checks against the directory and verifies
 //! the frame CRC: a corrupted block surfaces as a typed
 //! [`StoreError`], never a panic or a silently wrong answer.
+//!
+//! Corruption is additionally *quarantined*: a block that fails its
+//! CRC/codec checks is remembered in an in-memory set, so later queries
+//! fail fast without re-reading it, and the serving layer can answer
+//! **degraded-exact** via [`CliqueIndex::materialize_degraded`] — every
+//! clique returned is exact, quarantined ids are skipped and counted.
+//! Transient I/O errors do *not* quarantine (a retry may succeed).
 
 use crate::format::{
     check_header, parse_frame, IndexDirectory, IndexMeta, CLIQUES_FILE, CLIQUES_MAGIC,
@@ -19,7 +26,7 @@ use crate::format::{
 use gsb_bitset::BitSet;
 use gsb_core::store::StoreError;
 use gsb_core::{Clique, Vertex};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
@@ -85,6 +92,24 @@ impl BlockCache {
     }
 }
 
+/// What [`CliqueIndex::materialize_degraded`] produced: every clique
+/// that could be read exactly, plus how many ids were skipped because
+/// their block is quarantined.
+#[derive(Clone, Debug, Default)]
+pub struct DegradedCliques {
+    /// Exact cliques, in request order.
+    pub cliques: Vec<Clique>,
+    /// Ids skipped because their block is corrupt/quarantined.
+    pub skipped: u64,
+}
+
+impl DegradedCliques {
+    /// True when nothing was skipped — the answer is complete.
+    pub fn is_complete(&self) -> bool {
+        self.skipped == 0
+    }
+}
+
 /// A committed on-disk index, opened read-only. See the module docs.
 pub struct CliqueIndex {
     meta: IndexMeta,
@@ -92,6 +117,10 @@ pub struct CliqueIndex {
     store: Mutex<File>,
     postings: Mutex<File>,
     cache: Mutex<BlockCache>,
+    /// Blocks that failed a CRC/codec check since open. Never unset at
+    /// runtime — a corrupt block stays corrupt until the index is
+    /// rebuilt (and hot-reloaded, which starts a fresh reader).
+    quarantined: Mutex<BTreeSet<usize>>,
 }
 
 impl CliqueIndex {
@@ -134,6 +163,7 @@ impl CliqueIndex {
             store: Mutex::new(store),
             postings: Mutex::new(postings),
             cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
+            quarantined: Mutex::new(BTreeSet::new()),
         })
     }
 
@@ -146,6 +176,18 @@ impl CliqueIndex {
     /// Vertices of the indexed graph.
     pub fn n(&self) -> usize {
         self.meta.n
+    }
+
+    /// Rebuild generation recorded in `index.meta` (0 for indexes
+    /// written before generations existed).
+    pub fn generation(&self) -> u64 {
+        self.meta.generation
+    }
+
+    /// Block indexes quarantined since open (ascending). Empty on a
+    /// healthy index.
+    pub fn quarantined_blocks(&self) -> Vec<usize> {
+        self.quarantined.lock().unwrap().iter().copied().collect()
     }
 
     /// Total cliques in the index.
@@ -218,6 +260,7 @@ impl CliqueIndex {
         }
         let mut bytes = vec![0u8; (end - start) as usize];
         {
+            gsb_core::failpoint::inject("index.postings_read").map_err(StoreError::Io)?;
             let mut f = self.postings.lock().unwrap();
             f.seek(SeekFrom::Start(start))?;
             read_exact_typed(&mut f, &mut bytes, "postings record")?;
@@ -276,10 +319,46 @@ impl CliqueIndex {
         ids.into_iter().map(|id| self.get(id)).collect()
     }
 
+    /// Materialize a batch of ids, *skipping* (and counting) any id
+    /// whose block is quarantined or fails its corruption checks right
+    /// now. Transient I/O errors still propagate — only corruption is
+    /// degradable, because every clique actually returned stays exact.
+    pub fn materialize_degraded(
+        &self,
+        ids: impl IntoIterator<Item = u64>,
+    ) -> Result<DegradedCliques, StoreError> {
+        let mut out = DegradedCliques::default();
+        for id in ids {
+            match self.get(id) {
+                Ok(c) => out.cliques.push(c),
+                Err(e) if is_corruption(&e) => out.skipped += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
     fn load_block(&self, block_i: usize) -> Result<Arc<Vec<Clique>>, StoreError> {
         if let Some(hit) = self.cache.lock().unwrap().get(block_i) {
             return Ok(hit);
         }
+        if self.quarantined.lock().unwrap().contains(&block_i) {
+            return Err(StoreError::Codec {
+                context: "clique block quarantined",
+            });
+        }
+        let result = self.load_block_uncached(block_i);
+        if let Err(e) = &result {
+            // Corruption is permanent for this reader's lifetime; a
+            // transient I/O failure (including injected faults) is not.
+            if is_corruption(e) {
+                self.quarantined.lock().unwrap().insert(block_i);
+            }
+        }
+        result
+    }
+
+    fn load_block_uncached(&self, block_i: usize) -> Result<Arc<Vec<Clique>>, StoreError> {
         let entry = self
             .directory
             .blocks
@@ -287,6 +366,7 @@ impl CliqueIndex {
             .ok_or(StoreError::Codec {
                 context: "block table",
             })?;
+        gsb_core::failpoint::inject("index.block_read").map_err(StoreError::Io)?;
         let mut head = [0u8; 8];
         let payload = {
             let mut f = self.store.lock().unwrap();
@@ -346,6 +426,12 @@ impl CliqueIndex {
         self.cache.lock().unwrap().put(block_i, cliques.clone());
         Ok(cliques)
     }
+}
+
+/// Errors that indicate corrupt bytes (permanent until a rebuild), as
+/// opposed to transient I/O failures a retry could clear.
+fn is_corruption(e: &StoreError) -> bool {
+    !matches!(e, StoreError::Io(_))
 }
 
 /// Open a file and validate its 16-byte header against `magic` and the
@@ -444,6 +530,47 @@ mod tests {
             for id in 0..40u64 {
                 assert_eq!(idx.get(id).unwrap(), cliques[id as usize], "round {round}");
             }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_block_is_quarantined_and_serving_degrades_exact() {
+        let dir = tmp("quarantine");
+        let cliques: Vec<Vec<Vertex>> = (0..40).map(|i| vec![i, i + 1, i + 2]).collect();
+        let refs: Vec<&[Vertex]> = cliques.iter().map(Vec::as_slice).collect();
+        build(&dir, 50, &refs);
+
+        // Flip one byte inside the *last* block's payload so earlier
+        // blocks stay healthy.
+        let idx = CliqueIndex::open(&dir).unwrap();
+        let last_block = idx.directory.blocks.len() - 1;
+        assert!(last_block > 0, "need multiple blocks for this test");
+        let offset = idx.directory.blocks[last_block].offset as usize;
+        drop(idx);
+        let path = dir.join(CLIQUES_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[offset + 10] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let idx = CliqueIndex::open(&dir).unwrap();
+        let first_bad = idx.directory.blocks[last_block].first_id;
+        // Healthy ids still answer exactly.
+        assert_eq!(idx.get(0).unwrap(), cliques[0]);
+        // The corrupt block fails typed and lands in quarantine.
+        assert!(is_corruption(&idx.get(first_bad).unwrap_err()));
+        assert_eq!(idx.quarantined_blocks(), vec![last_block]);
+        // A second hit fails fast (still typed, still quarantined once).
+        assert!(idx.get(first_bad).is_err());
+        assert_eq!(idx.quarantined_blocks(), vec![last_block]);
+        // Degraded materialization skips exactly the quarantined ids.
+        let all: Vec<u64> = (0..40).collect();
+        let degraded = idx.materialize_degraded(all).unwrap();
+        assert_eq!(degraded.skipped, 40 - first_bad);
+        assert!(!degraded.is_complete());
+        assert_eq!(degraded.cliques.len() as u64, first_bad);
+        for (i, c) in degraded.cliques.iter().enumerate() {
+            assert_eq!(c, &cliques[i]);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -1,0 +1,453 @@
+//! Offline index scrubbing — `gsb scrub`'s engine.
+//!
+//! [`scrub`] walks a committed index directory end to end: the manifest
+//! (including its self-CRC), the directory file, every CRC-framed block
+//! of the clique store, and every postings record — then cross-checks
+//! the layers against each other (counts, sizes, offsets, and a full
+//! recomputation of the postings from the decoded cliques). Every
+//! defect is collected as a typed [`ScrubFinding`] rather than stopping
+//! at the first, so one pass maps the whole blast radius.
+//!
+//! Together with the per-frame CRCs this detects *every* single-byte
+//! corruption of a committed index: flips inside frames fail their CRC,
+//! flips in headers fail the header CRC, flips in the manifest fail its
+//! self-CRC, and flips that survive a local check (there are none, but
+//! belt and braces) would still trip a cross-check.
+
+use crate::format::{
+    check_header, decode_clique, decode_id_list, IndexDirectory, IndexMeta, CLIQUES_FILE,
+    CLIQUES_MAGIC, DIRECTORY_FILE, DIRECTORY_MAGIC, HEADER_LEN, META_FILE, POSTINGS_FILE,
+    POSTINGS_MAGIC,
+};
+use gsb_core::store::{crc32, StoreError};
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+/// One defect found by the scrub: where, and the typed error.
+#[derive(Debug)]
+pub struct ScrubFinding {
+    /// Human-readable site, e.g. `cliques.gsi block 3` or `index.meta`.
+    pub site: String,
+    /// What failed there.
+    pub error: StoreError,
+}
+
+impl std::fmt::Display for ScrubFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.site, self.error)
+    }
+}
+
+/// Everything one scrub pass checked and found.
+#[derive(Debug, Default)]
+pub struct ScrubReport {
+    /// Store blocks whose frame + records were fully verified.
+    pub blocks_checked: u64,
+    /// Clique records decoded and validated.
+    pub cliques_checked: u64,
+    /// Postings records verified against the recomputed truth.
+    pub postings_checked: u64,
+    /// Every defect found, in walk order.
+    pub findings: Vec<ScrubFinding>,
+}
+
+impl ScrubReport {
+    /// True when the index verified completely.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    fn flag(&mut self, site: impl Into<String>, error: StoreError) {
+        self.findings.push(ScrubFinding {
+            site: site.into(),
+            error,
+        });
+    }
+}
+
+/// Scrub the committed index in `dir`. Never panics and never stops at
+/// the first defect; structural failures that make deeper layers
+/// unreachable (an undecodable directory, say) are themselves findings.
+pub fn scrub(dir: &Path) -> ScrubReport {
+    let mut report = ScrubReport::default();
+
+    // 1. The manifest: present, parseable, self-CRC intact.
+    let meta = match std::fs::read_to_string(dir.join(META_FILE)) {
+        Err(e) => {
+            report.flag(META_FILE, StoreError::Io(e));
+            return report;
+        }
+        Ok(text) => match IndexMeta::from_text(&text) {
+            Err(e) => {
+                report.flag(META_FILE, e);
+                return report;
+            }
+            Ok(meta) => meta,
+        },
+    };
+
+    // 2. The directory: header, frame, decode.
+    let directory = match read_directory(dir) {
+        Err(e) => {
+            report.flag(DIRECTORY_FILE, e);
+            return report;
+        }
+        Ok(d) => d,
+    };
+
+    // 3. Manifest ↔ directory cross-checks.
+    if directory.n as usize != meta.n {
+        report.flag(
+            META_FILE,
+            StoreError::GraphMismatch {
+                checkpoint_bits: directory.n as usize,
+                graph_bits: meta.n,
+            },
+        );
+    }
+    for (what, meta_v, dir_v) in [
+        ("cliques", meta.cliques, directory.clique_count),
+        ("blocks", meta.blocks, directory.blocks.len() as u64),
+        (
+            "max_clique",
+            u64::from(meta.max_clique),
+            u64::from(directory.max_size()),
+        ),
+        ("postings_bytes", meta.postings_bytes, directory.postings_bytes),
+    ] {
+        if meta_v != dir_v {
+            report.flag(
+                format!("{META_FILE} {what}"),
+                StoreError::CountMismatch {
+                    expected: dir_v as usize,
+                    found: meta_v as usize,
+                },
+            );
+        }
+    }
+
+    // 4. The clique store: header, then every block frame + record,
+    // recomputing the postings as we go.
+    let mut truth_postings: Vec<Vec<u64>> = vec![Vec::new(); directory.n as usize];
+    scrub_store(dir, &meta, &directory, &mut truth_postings, &mut report);
+
+    // 5. Postings: header, then every record against the recomputed
+    // truth (exact id-list equality, not just CRC validity).
+    scrub_postings(dir, &directory, &truth_postings, &mut report);
+
+    report
+}
+
+fn read_directory(dir: &Path) -> Result<IndexDirectory, StoreError> {
+    let bytes = std::fs::read(dir.join(DIRECTORY_FILE))?;
+    let n = check_header(&bytes, DIRECTORY_MAGIC, "index directory header")?;
+    let (payload, _) = crate::format::parse_frame(&bytes, HEADER_LEN, "index directory")?;
+    let directory = IndexDirectory::decode(payload)?;
+    if directory.n != n {
+        return Err(StoreError::GraphMismatch {
+            checkpoint_bits: directory.n as usize,
+            graph_bits: n as usize,
+        });
+    }
+    Ok(directory)
+}
+
+fn scrub_store(
+    dir: &Path,
+    meta: &IndexMeta,
+    directory: &IndexDirectory,
+    truth_postings: &mut [Vec<u64>],
+    report: &mut ScrubReport,
+) {
+    let path = dir.join(CLIQUES_FILE);
+    let mut f = match File::open(&path) {
+        Err(e) => return report.flag(CLIQUES_FILE, StoreError::Io(e)),
+        Ok(f) => f,
+    };
+    match f.metadata() {
+        Err(e) => report.flag(CLIQUES_FILE, StoreError::Io(e)),
+        Ok(m) if m.len() != meta.store_bytes => report.flag(
+            format!("{CLIQUES_FILE} length"),
+            StoreError::Torn {
+                context: "clique store length",
+                needed: meta.store_bytes as usize,
+                have: m.len() as usize,
+            },
+        ),
+        Ok(_) => {}
+    }
+    let mut header = [0u8; HEADER_LEN];
+    if let Err(e) = read_at(&mut f, 0, &mut header, "clique store header") {
+        return report.flag(CLIQUES_FILE, e);
+    }
+    if let Err(e) = check_header(&header, CLIQUES_MAGIC, "clique store header") {
+        report.flag(format!("{CLIQUES_FILE} header"), e);
+    }
+
+    let mut expected_offset = HEADER_LEN as u64;
+    let mut expected_first_id = 0u64;
+    for (i, entry) in directory.blocks.iter().enumerate() {
+        let site = format!("{CLIQUES_FILE} block {i}");
+        // Block-table invariants: contiguous offsets and id ranges.
+        if entry.offset != expected_offset || entry.first_id != expected_first_id {
+            report.flag(
+                format!("{site} placement"),
+                StoreError::Codec {
+                    context: "block table not contiguous",
+                },
+            );
+        }
+        expected_first_id = entry.first_id + u64::from(entry.count);
+        match scrub_block(&mut f, entry, directory, truth_postings) {
+            Err(e) => report.flag(site, e),
+            Ok((cliques, next_offset)) => {
+                report.blocks_checked += 1;
+                report.cliques_checked += cliques;
+                expected_offset = next_offset;
+            }
+        }
+    }
+    if expected_first_id != directory.clique_count {
+        report.flag(
+            format!("{CLIQUES_FILE} coverage"),
+            StoreError::CountMismatch {
+                expected: directory.clique_count as usize,
+                found: expected_first_id as usize,
+            },
+        );
+    }
+}
+
+/// Verify one block end to end; returns `(records, offset past the
+/// block)` so the walk can keep cross-checking contiguity.
+fn scrub_block(
+    f: &mut File,
+    entry: &crate::format::BlockEntry,
+    directory: &IndexDirectory,
+    truth_postings: &mut [Vec<u64>],
+) -> Result<(u64, u64), StoreError> {
+    const CTX: &str = "clique block";
+    let mut head = [0u8; 8];
+    read_at(f, entry.offset, &mut head, CTX)?;
+    let len = u32::from_le_bytes(head[..4].try_into().unwrap()) as usize;
+    let stored = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    let mut payload = vec![0u8; len];
+    read_at(f, entry.offset + 8, &mut payload, CTX)?;
+    let computed = crc32(&payload);
+    if stored != computed {
+        return Err(StoreError::Checksum {
+            context: CTX,
+            stored,
+            computed,
+        });
+    }
+    if payload.len() < 4 {
+        return Err(StoreError::Torn {
+            context: CTX,
+            needed: 4,
+            have: payload.len(),
+        });
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().unwrap());
+    if count != entry.count {
+        return Err(StoreError::CountMismatch {
+            expected: entry.count as usize,
+            found: count as usize,
+        });
+    }
+    let mut pos = 4usize;
+    for r in 0..count {
+        let clique = decode_clique(&payload, &mut pos, directory.n, "clique record")?;
+        let size = clique.len() as u32;
+        if size < entry.min_size || size > entry.max_size {
+            return Err(StoreError::Codec {
+                context: "clique size outside its block's declared range",
+            });
+        }
+        let id = entry.first_id + u64::from(r);
+        for &v in &clique {
+            truth_postings[v as usize].push(id);
+        }
+    }
+    if pos != payload.len() {
+        return Err(StoreError::Codec { context: CTX });
+    }
+    Ok((u64::from(count), entry.offset + 8 + len as u64))
+}
+
+fn scrub_postings(
+    dir: &Path,
+    directory: &IndexDirectory,
+    truth_postings: &[Vec<u64>],
+    report: &mut ScrubReport,
+) {
+    let path = dir.join(POSTINGS_FILE);
+    let mut f = match File::open(&path) {
+        Err(e) => return report.flag(POSTINGS_FILE, StoreError::Io(e)),
+        Ok(f) => f,
+    };
+    match f.metadata() {
+        Err(e) => report.flag(POSTINGS_FILE, StoreError::Io(e)),
+        Ok(m) if m.len() != directory.postings_bytes => report.flag(
+            format!("{POSTINGS_FILE} length"),
+            StoreError::Torn {
+                context: "postings length",
+                needed: directory.postings_bytes as usize,
+                have: m.len() as usize,
+            },
+        ),
+        Ok(_) => {}
+    }
+    let mut header = [0u8; HEADER_LEN];
+    if let Err(e) = read_at(&mut f, 0, &mut header, "postings header") {
+        return report.flag(POSTINGS_FILE, e);
+    }
+    if let Err(e) = check_header(&header, POSTINGS_MAGIC, "postings header") {
+        report.flag(format!("{POSTINGS_FILE} header"), e);
+    }
+
+    for v in 0..directory.n as usize {
+        let site = format!("{POSTINGS_FILE} vertex {v}");
+        let start = directory.postings_offsets[v];
+        let end = directory.postings_offsets[v + 1];
+        if end < start || end > directory.postings_bytes {
+            report.flag(
+                site,
+                StoreError::Codec {
+                    context: "postings offsets",
+                },
+            );
+            continue;
+        }
+        let mut bytes = vec![0u8; (end - start) as usize];
+        if let Err(e) = read_at(&mut f, start, &mut bytes, "postings record") {
+            report.flag(site, e);
+            continue;
+        }
+        let decoded = crate::format::parse_frame(&bytes, 0, "postings record").and_then(
+            |(payload, _)| {
+                let mut pos = 0usize;
+                let ids = decode_id_list(
+                    payload,
+                    &mut pos,
+                    directory.clique_count,
+                    "postings record",
+                )?;
+                if pos != payload.len() {
+                    return Err(StoreError::Codec {
+                        context: "postings record",
+                    });
+                }
+                Ok(ids)
+            },
+        );
+        match decoded {
+            Err(e) => report.flag(site, e),
+            Ok(ids) if ids != truth_postings[v] => report.flag(
+                site,
+                StoreError::CountMismatch {
+                    expected: truth_postings[v].len(),
+                    found: ids.len(),
+                },
+            ),
+            Ok(_) => report.postings_checked += 1,
+        }
+    }
+}
+
+/// Positioned exact read with short reads surfaced as typed truncation.
+fn read_at(
+    f: &mut File,
+    offset: u64,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), StoreError> {
+    use std::io::{Seek, SeekFrom};
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            StoreError::Torn {
+                context,
+                needed: buf.len(),
+                have: 0,
+            }
+        } else {
+            StoreError::Io(e)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::IndexWriter;
+    use gsb_core::CliqueSink;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("gsb-index-scrub-{}-{name}", std::process::id()))
+    }
+
+    fn build(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut w = IndexWriter::create(dir, 30).unwrap().block_target(24);
+        for i in 0..20u32 {
+            w.maximal(&[i, i + 1, i + 2]);
+        }
+        w.maximal(&[0, 2, 4, 6]);
+        w.finish().unwrap();
+    }
+
+    #[test]
+    fn clean_index_scrubs_clean() {
+        let dir = tmp("clean");
+        build(&dir);
+        let report = scrub(&dir);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.cliques_checked, 21);
+        assert!(report.blocks_checked > 1);
+        assert_eq!(report.postings_checked, 30);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_meta_is_a_finding_not_a_panic() {
+        let dir = tmp("nometa");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = scrub(&dir);
+        assert_eq!(report.findings.len(), 1);
+        assert!(report.findings[0].site.contains(META_FILE));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The acceptance bar: every single-byte flip in every index file
+    /// is detected. Exhaustive over the whole directory — the files are
+    /// a few KiB here, so this stays fast.
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let dir = tmp("sweep");
+        build(&dir);
+        assert!(scrub(&dir).is_clean());
+        for file in [META_FILE, DIRECTORY_FILE, CLIQUES_FILE, POSTINGS_FILE] {
+            let path = dir.join(file);
+            let pristine = std::fs::read(&path).unwrap();
+            for i in 0..pristine.len() {
+                for bit in [0x01u8, 0x40] {
+                    let mut bad = pristine.clone();
+                    bad[i] ^= bit;
+                    std::fs::write(&path, &bad).unwrap();
+                    let report = scrub(&dir);
+                    assert!(
+                        !report.is_clean(),
+                        "{file}: flip 0x{bit:02x} at byte {i} went undetected"
+                    );
+                }
+            }
+            std::fs::write(&path, &pristine).unwrap();
+        }
+        assert!(scrub(&dir).is_clean(), "restore left the index dirty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,19 +1,50 @@
-//! `gsb serve` — a std-only threaded TCP/HTTP query server.
+//! `gsb serve` — a std-only threaded TCP/HTTP query server with
+//! overload protection.
 //!
 //! The first long-lived process in the repo: where a batch run ends at
 //! a level barrier, the server ends only when asked. It reuses the
-//! robustness substrate built for batch runs —
-//! [`ShutdownToken`] for graceful SIGINT/SIGTERM drain (stop accepting,
-//! finish every queued and in-flight connection, then exit), the
-//! supervision deadline as a per-connection read/write timeout (a stuck
-//! client cannot wedge a worker past it), and [`gsb_telemetry`]
-//! histograms for per-endpoint latency and QPS, exported as JSON via
-//! `--metrics-out`.
+//! robustness substrate built for batch runs — [`ShutdownToken`] for
+//! graceful SIGINT/SIGTERM drain, the supervision deadline as a
+//! per-connection socket timeout, and [`gsb_telemetry`] histograms for
+//! per-endpoint latency, exported as JSON via `--metrics-out` — and
+//! adds the serving-specific defenses a genome-scale index needs to
+//! stay up under pressure:
 //!
-//! HTTP/1.1, one request per connection (`Connection: close`): the
-//! protocol subset is deliberately tiny — every response carries an
-//! exact `Content-Length` and the socket closes after it, so a drained
-//! shutdown can never truncate a response mid-body.
+//! * **Admission control.** Accepted connections enter a *bounded*
+//!   queue (`queue_limit`); when it is full the accept loop sheds the
+//!   connection inline with a typed `503` + `Retry-After` instead of
+//!   letting latency grow without bound. The queue depth is exported
+//!   as the `http.queue_depth` gauge, sheds as `http.shed_total`.
+//! * **Per-request deadline budget.** Distinct from the per-connection
+//!   socket timeout: the budget starts at *accept*. A request that
+//!   already spent its budget queueing is shed (`503`), and a client
+//!   that dribbles header bytes (slow-loris) is cut off with `408`
+//!   once the budget runs out — progress is bounded even though each
+//!   individual read is making "progress".
+//! * **Per-endpoint rate limiting.** An optional token bucket per
+//!   endpoint (`rate_limit` requests/second, `rate_burst` burst)
+//!   answers `429` + `Retry-After` when drained. `/health` is exempt:
+//!   liveness probes must keep passing during overload.
+//! * **Degraded-exact serving.** A corrupt store block is quarantined
+//!   by the reader; list endpoints then answer from the healthy blocks
+//!   only, marking the response with an `X-Gsb-Degraded: <skipped>`
+//!   header and a `"degraded"` body field. Every clique actually
+//!   returned is exact — degradation is visible, never silent.
+//! * **Atomic hot-reload.** With `reload_poll` + `index_dir` set, a
+//!   watcher thread polls `index.meta`; on change it opens and fully
+//!   validates the new index off the serving path, then swaps the
+//!   shared `Arc<CliqueIndex>`. In-flight requests keep their snapshot
+//!   — no request is ever dropped or mixed across generations.
+//! * **Worker panic containment.** Each request runs under
+//!   `catch_unwind`; a panic answers `500`, bumps
+//!   `http.worker_panics`, and the worker lives on.
+//!
+//! HTTP/1.1, one request per connection (`Connection: close`): every
+//! response carries an exact `Content-Length` and the socket closes
+//! after it, so a drained shutdown can never truncate a response
+//! mid-body. On shutdown the server answers everything it accepted,
+//! then sweeps the kernel backlog, shedding each waiting connection
+//! with a `503` rather than a silent RST.
 //!
 //! Endpoints (all GET, JSON responses):
 //!
@@ -35,9 +66,10 @@ use gsb_core::{Clique, RetryPolicy, ShutdownToken};
 use gsb_telemetry::{AtomicRecorder, Histogram};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -45,9 +77,29 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Worker threads answering queries.
     pub threads: usize,
-    /// Per-connection read/write deadline (the supervision idea: a
-    /// peer that stalls past this is disconnected, not waited on).
+    /// Per-connection socket read/write timeout (the supervision idea:
+    /// a peer that stalls past this is disconnected, not waited on).
     pub deadline: Duration,
+    /// Per-request deadline *budget*, measured from accept: queueing,
+    /// header read, query, and response all share it. A request that
+    /// cannot start within the budget is shed with `503`; a header
+    /// that cannot finish within it is cut off with `408`.
+    pub request_deadline: Duration,
+    /// Bounded accept-queue depth; connections beyond it are shed
+    /// inline with `503` + `Retry-After`.
+    pub queue_limit: usize,
+    /// Optional per-endpoint token-bucket rate (requests/second).
+    /// `None` disables rate limiting. `/health` is always exempt.
+    pub rate_limit: Option<f64>,
+    /// Token-bucket burst capacity (tokens), when `rate_limit` is set.
+    pub rate_burst: u32,
+    /// Cap on total request-head bytes (`431` beyond it).
+    pub max_header_bytes: usize,
+    /// Poll interval of the `index.meta` hot-reload watcher; `None`
+    /// disables reloading. Requires `index_dir`.
+    pub reload_poll: Option<Duration>,
+    /// The index directory to watch for hot-reload.
+    pub index_dir: Option<PathBuf>,
     /// Where to write the metrics JSON at shutdown.
     pub metrics_out: Option<PathBuf>,
 }
@@ -57,6 +109,13 @@ impl Default for ServeConfig {
         ServeConfig {
             threads: 4,
             deadline: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(5),
+            queue_limit: 128,
+            rate_limit: None,
+            rate_burst: 8,
+            max_header_bytes: 8192,
+            reload_poll: None,
+            index_dir: None,
             metrics_out: None,
         }
     }
@@ -67,13 +126,23 @@ impl Default for ServeConfig {
 pub struct ServeReport {
     /// Connections accepted.
     pub connections: u64,
-    /// Requests answered (any status).
+    /// Requests answered with a routed response (any status).
     pub requests: u64,
+    /// Connections shed by admission control (queue full, budget
+    /// exhausted, slow client, drain sweep).
+    pub shed: u64,
+    /// Requests answered `429` by the per-endpoint rate limiter.
+    pub rate_limited: u64,
+    /// Responses served degraded-exact (some ids skipped as corrupt).
+    pub degraded: u64,
+    /// Successful index hot-reloads.
+    pub reloads: u64,
     /// The metrics JSON (also written to `metrics_out` when set).
     pub metrics_json: String,
 }
 
-/// Endpoint names; each gets a request counter and a latency histogram.
+/// Endpoint names; each gets a request counter, a latency histogram,
+/// and a rate-limit saturation counter.
 const ENDPOINTS: [&str; 8] = [
     "health",
     "stats",
@@ -111,6 +180,112 @@ fn requests_key(endpoint: &str) -> &'static str {
     }
 }
 
+fn rate_limited_key(endpoint: &str) -> &'static str {
+    match endpoint {
+        "health" => "http.health.rate_limited",
+        "stats" => "http.stats.rate_limited",
+        "containing" => "http.containing.rate_limited",
+        "size" => "http.size.rate_limited",
+        "max" => "http.max.rate_limited",
+        "overlap" => "http.overlap.rate_limited",
+        "not_found" => "http.not_found.rate_limited",
+        _ => "http.bad_request.rate_limited",
+    }
+}
+
+/// One token bucket per endpoint (classic leaky refill: `rate`
+/// tokens/second up to `burst`).
+struct TokenBuckets {
+    rate: f64,
+    burst: f64,
+    buckets: Vec<Mutex<Bucket>>,
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBuckets {
+    fn new(rate: f64, burst: u32) -> Self {
+        let burst = f64::from(burst.max(1));
+        let now = Instant::now();
+        TokenBuckets {
+            rate: rate.max(0.0),
+            burst,
+            buckets: ENDPOINTS
+                .iter()
+                .map(|_| {
+                    Mutex::new(Bucket {
+                        tokens: burst,
+                        last: now,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Take one token for `endpoint`; false means rate-limited.
+    fn try_take(&self, endpoint: &str) -> bool {
+        let i = ENDPOINTS
+            .iter()
+            .position(|e| *e == endpoint)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        let mut b = self.buckets[i].lock().unwrap();
+        let now = Instant::now();
+        b.tokens = (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate).min(self.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Everything the workers, accept loop, and reload watcher share.
+struct ServeState {
+    /// The live index. Workers clone the `Arc` per request, so a
+    /// hot-reload swap never invalidates an in-flight answer.
+    index: Mutex<Arc<CliqueIndex>>,
+    recorder: AtomicRecorder,
+    config: ServeConfig,
+    queue_depth: AtomicUsize,
+    buckets: Option<TokenBuckets>,
+}
+
+impl ServeState {
+    /// Current index snapshot for one request.
+    fn index(&self) -> Arc<CliqueIndex> {
+        self.index.lock().unwrap().clone()
+    }
+
+    /// Shed a connection with a typed, complete response. The pending
+    /// request bytes are drained first (one bounded read): closing with
+    /// unread data in the receive buffer makes the kernel reset the
+    /// connection, and the client would see ECONNRESET instead of the
+    /// typed 503/429 the whole design promises. The read is bounded to
+    /// 50ms so a silent client cannot stall the shedding path.
+    fn shed(&self, stream: &mut TcpStream, status: u16, message: &str, key: &'static str) {
+        self.recorder.add_named(key, 1);
+        self.recorder.add_named("http.shed_total", 1);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut scratch = [0u8; 1024];
+        let _ = stream.read(&mut scratch);
+        let body = format!("{{\"error\":\"{message}\",\"shed\":true}}");
+        if respond(stream, status, &body, 0).is_err() {
+            self.recorder.add_named("http.write_errors", 1);
+        }
+    }
+}
+
+/// A connection waiting in the admission queue.
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
 /// A bound, not-yet-running query server.
 pub struct Server {
     listener: TcpListener,
@@ -134,75 +309,129 @@ impl Server {
     }
 
     /// Serve until `shutdown` is requested, then drain: stop accepting,
-    /// finish every accepted connection, join the workers, and export
-    /// metrics. Returns the report of the drained run.
+    /// answer every accepted connection, shed the kernel backlog with
+    /// `503`, join the workers, and export metrics.
     pub fn run(self, shutdown: &ShutdownToken) -> std::io::Result<ServeReport> {
         let started = Instant::now();
         self.listener.set_nonblocking(true)?;
-        let recorder = Arc::new(AtomicRecorder::new());
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let state = Arc::new(ServeState {
+            index: Mutex::new(Arc::clone(&self.index)),
+            recorder: AtomicRecorder::new(),
+            queue_depth: AtomicUsize::new(0),
+            buckets: self
+                .config
+                .rate_limit
+                .map(|rate| TokenBuckets::new(rate, self.config.rate_burst)),
+            config: self.config.clone(),
+        });
+        let (tx, rx) = mpsc::channel::<Conn>();
         let rx = Arc::new(Mutex::new(rx));
         let threads = self.config.threads.max(1);
         let mut workers = Vec::with_capacity(threads);
         for i in 0..threads {
             let rx = Arc::clone(&rx);
-            let index = Arc::clone(&self.index);
-            let recorder = Arc::clone(&recorder);
+            let state = Arc::clone(&state);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("gsb-serve-{i}"))
-                    .spawn(move || loop {
-                        // Holding the lock only across recv keeps the
-                        // other workers free to pick up the next one.
-                        let conn = rx.lock().unwrap().recv();
-                        match conn {
-                            Ok(stream) => handle_connection(stream, &index, &recorder),
-                            // Channel closed after drain: every queued
-                            // connection has been answered.
-                            Err(_) => break,
-                        }
-                    })?,
+                    .spawn(move || worker_loop(&rx, &state))?,
             );
         }
+        let watcher = match (&self.config.reload_poll, &self.config.index_dir) {
+            (Some(poll), Some(dir)) => {
+                let state = Arc::clone(&state);
+                let shutdown = shutdown.clone();
+                let (poll, dir) = (*poll, dir.clone());
+                Some(
+                    std::thread::Builder::new()
+                        .name("gsb-serve-reload".into())
+                        .spawn(move || watch_index(&dir, poll, &state, &shutdown))?,
+                )
+            }
+            _ => None,
+        };
 
         let mut connections = 0u64;
         while !shutdown.is_requested() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     connections += 1;
-                    // Accepted sockets inherit non-blocking; workers
-                    // want blocking reads bounded by the deadline.
-                    let _ = stream.set_nonblocking(false);
-                    let _ = stream.set_read_timeout(Some(self.config.deadline));
-                    let _ = stream.set_write_timeout(Some(self.config.deadline));
-                    let _ = stream.set_nodelay(true);
-                    if tx.send(stream).is_err() {
+                    if gsb_core::failpoint::inject("serve.accept").is_err() {
+                        // Injected accept-path fault: account and drop,
+                        // exactly like a socket that died post-accept.
+                        state.recorder.add_named("http.accept_errors", 1);
+                        continue;
+                    }
+                    configure_stream(&stream, &self.config);
+                    let depth = state.queue_depth.load(Ordering::Acquire);
+                    if depth >= self.config.queue_limit {
+                        // Shed inline with a short write budget so one
+                        // slow victim cannot stall the accept loop.
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        state.shed(
+                            &mut stream,
+                            503,
+                            "server overloaded, admission queue full",
+                            "http.shed.queue_full",
+                        );
+                        continue;
+                    }
+                    let depth = state.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+                    state.recorder.gauge("http.queue_depth").set(depth as u64);
+                    if tx
+                        .send(Conn {
+                            stream,
+                            accepted_at: Instant::now(),
+                        })
+                        .is_err()
+                    {
                         break;
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+                    std::thread::sleep(Duration::from_millis(2));
                 }
                 Err(e) if is_transient(&e) => continue,
                 Err(_) => {
-                    recorder.add_named("http.accept_errors", 1);
+                    state.recorder.add_named("http.accept_errors", 1);
                     std::thread::sleep(Duration::from_millis(5));
                 }
             }
         }
 
-        // Drain: close the channel (workers exit after the queue
-        // empties), then wait for every in-flight response to finish.
+        // Drain sweep: everything already accepted drains through the
+        // workers; connections still waiting in the kernel backlog are
+        // shed with a typed 503 instead of a silent reset.
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    connections += 1;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                    state.shed(
+                        &mut stream,
+                        503,
+                        "server draining for shutdown",
+                        "http.shed.draining",
+                    );
+                }
+                Err(_) => break,
+            }
+        }
         drop(tx);
         for w in workers {
+            let _ = w.join();
+        }
+        if let Some(w) = watcher {
             let _ = w.join();
         }
 
         let mut requests = 0u64;
         for ep in ENDPOINTS {
-            requests += recorder.counter(requests_key(ep)).get();
+            requests += state.recorder.counter(requests_key(ep)).get();
         }
-        let metrics_json = render_metrics(&recorder, connections, requests, started.elapsed());
+        let metrics_json = render_metrics(&state.recorder, connections, requests, started.elapsed());
         if let Some(path) = &self.config.metrics_out {
             let bytes = metrics_json.clone().into_bytes();
             RetryPolicy::default().run_io(|| write_atomic_file(path, &bytes))?;
@@ -210,8 +439,91 @@ impl Server {
         Ok(ServeReport {
             connections,
             requests,
+            shed: state.recorder.counter("http.shed_total").get(),
+            rate_limited: state.recorder.counter("http.rate_limited_total").get(),
+            degraded: state.recorder.counter("http.degraded_total").get(),
+            reloads: state.recorder.counter("http.reloads").get(),
             metrics_json,
         })
+    }
+}
+
+/// Socket options for an accepted connection (sockets inherit the
+/// listener's non-blocking flag; workers want blocking bounded reads).
+fn configure_stream(stream: &TcpStream, config: &ServeConfig) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(config.deadline));
+    let _ = stream.set_write_timeout(Some(config.deadline));
+    let _ = stream.set_nodelay(true);
+}
+
+/// One worker: pop connections, answer them, contain panics.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Conn>>, state: &ServeState) {
+    loop {
+        // Holding the lock only across recv keeps the other workers
+        // free to pick up the next connection.
+        let conn = rx.lock().unwrap().recv();
+        let Ok(mut conn) = conn else {
+            // Channel closed after drain: every queued connection has
+            // been answered.
+            break;
+        };
+        let depth = state.queue_depth.fetch_sub(1, Ordering::AcqRel) - 1;
+        state.recorder.gauge("http.queue_depth").set(depth as u64);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_connection(&mut conn.stream, conn.accepted_at, state)
+        }));
+        if outcome.is_err() {
+            // The worker survives a panicking request; the client gets
+            // a typed 500 instead of a dead socket.
+            state.recorder.add_named("http.worker_panics", 1);
+            let _ = respond(
+                &mut conn.stream,
+                500,
+                "{\"error\":\"internal error answering this request\"}",
+                0,
+            );
+        }
+    }
+}
+
+/// Poll `index.meta`; on change, open + validate the new index off the
+/// serving path and swap it in atomically. A failed open keeps the old
+/// index serving and retries on the next change of the manifest.
+fn watch_index(dir: &std::path::Path, poll: Duration, state: &ServeState, shutdown: &ShutdownToken) {
+    let meta_path = dir.join(crate::format::META_FILE);
+    let mut last = std::fs::read_to_string(&meta_path).unwrap_or_default();
+    let mut since_poll = Duration::ZERO;
+    const TICK: Duration = Duration::from_millis(20);
+    while !shutdown.is_requested() {
+        // Short ticks keep shutdown responsive under long poll windows.
+        std::thread::sleep(TICK.min(poll));
+        since_poll += TICK.min(poll);
+        if since_poll < poll {
+            continue;
+        }
+        since_poll = Duration::ZERO;
+        let Ok(text) = std::fs::read_to_string(&meta_path) else {
+            continue;
+        };
+        if text == last {
+            continue;
+        }
+        match CliqueIndex::open(dir) {
+            Ok(new_index) => {
+                let generation = new_index.generation();
+                *state.index.lock().unwrap() = Arc::new(new_index);
+                last = text;
+                state.recorder.add_named("http.reloads", 1);
+                eprintln!("gsb serve: hot-reloaded index (generation {generation})");
+            }
+            Err(e) => {
+                // Keep serving the old index; `last` stays unchanged so
+                // the next poll retries the reload.
+                state.recorder.add_named("http.reload_errors", 1);
+                eprintln!("gsb serve: index reload failed, keeping current index: {e}");
+            }
+        }
     }
 }
 
@@ -226,8 +538,9 @@ fn write_atomic_file(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()
     std::fs::rename(&tmp, path)
 }
 
-/// The per-endpoint latency/QPS export: one JSON object per endpoint
-/// with count, mean, max, and coarse log₂ percentiles.
+/// The per-endpoint latency/QPS export plus the overload counters: one
+/// JSON object per endpoint with count, mean, max, coarse log₂
+/// percentiles, and rate-limit saturation.
 fn render_metrics(
     recorder: &AtomicRecorder,
     connections: u64,
@@ -243,7 +556,8 @@ fn render_metrics(
     let mut endpoints = String::new();
     for ep in ENDPOINTS {
         let count = recorder.counter(requests_key(ep)).get();
-        if count == 0 {
+        let limited = recorder.counter(rate_limited_key(ep)).get();
+        if count == 0 && limited == 0 {
             continue;
         }
         let h: Histogram = recorder.histogram(latency_key(ep));
@@ -251,7 +565,7 @@ fn render_metrics(
             endpoints.push(',');
         }
         endpoints.push_str(&format!(
-            "\n    \"{ep}\": {{\"requests\":{count},\"mean_ns\":{:.0},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+            "\n    \"{ep}\": {{\"requests\":{count},\"rate_limited\":{limited},\"mean_ns\":{:.0},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
             h.mean(),
             h.quantile_upper_bound(0.50),
             h.quantile_upper_bound(0.90),
@@ -259,8 +573,19 @@ fn render_metrics(
             h.max(),
         ));
     }
+    let shed_total = recorder.counter("http.shed_total").get();
+    let shed_queue_full = recorder.counter("http.shed.queue_full").get();
+    let shed_deadline = recorder.counter("http.shed.deadline").get();
+    let shed_slow_client = recorder.counter("http.shed.slow_client").get();
+    let shed_draining = recorder.counter("http.shed.draining").get();
+    let rate_limited = recorder.counter("http.rate_limited_total").get();
+    let degraded = recorder.counter("http.degraded_total").get();
+    let reloads = recorder.counter("http.reloads").get();
+    let reload_errors = recorder.counter("http.reload_errors").get();
+    let worker_panics = recorder.counter("http.worker_panics").get();
+    let queue_depth = recorder.gauge("http.queue_depth").get();
     format!(
-        "{{\n  \"bench\": \"gsb_serve\",\n  \"connections\": {connections},\n  \"requests\": {requests},\n  \"wall_ms\": {wall_ms},\n  \"qps\": {qps:.2},\n  \"endpoints\": {{{endpoints}\n  }}\n}}\n"
+        "{{\n  \"bench\": \"gsb_serve\",\n  \"connections\": {connections},\n  \"requests\": {requests},\n  \"wall_ms\": {wall_ms},\n  \"qps\": {qps:.2},\n  \"shed_total\": {shed_total},\n  \"shed\": {{\"queue_full\":{shed_queue_full},\"deadline\":{shed_deadline},\"slow_client\":{shed_slow_client},\"draining\":{shed_draining}}},\n  \"rate_limited\": {rate_limited},\n  \"degraded\": {degraded},\n  \"reloads\": {reloads},\n  \"reload_errors\": {reload_errors},\n  \"worker_panics\": {worker_panics},\n  \"queue_depth\": {queue_depth},\n  \"endpoints\": {{{endpoints}\n  }}\n}}\n"
     )
 }
 
@@ -276,18 +601,49 @@ impl AddNamed for AtomicRecorder {
     }
 }
 
-/// Read the request head (≤ 8 KiB), answer it, close. One request per
-/// connection by design: `Connection: close` makes drain semantics
-/// ("no truncated responses") trivially auditable.
-fn handle_connection(mut stream: TcpStream, index: &CliqueIndex, recorder: &AtomicRecorder) {
-    let mut buf = [0u8; 8192];
+/// Read the request head incrementally (progress bounded by the
+/// request budget, size bounded by `max_header_bytes`), answer it,
+/// close. One request per connection by design: `Connection: close`
+/// makes drain semantics ("no truncated responses") auditable.
+fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &ServeState) {
+    let config = &state.config;
+    // The budget already paid for queueing; a request that spent it all
+    // waiting is shed rather than started.
+    if accepted_at.elapsed() >= config.request_deadline {
+        state.shed(
+            stream,
+            503,
+            "request exceeded its deadline budget while queued",
+            "http.shed.deadline",
+        );
+        return;
+    }
+
+    let mut buf = vec![0u8; config.max_header_bytes.max(64)];
     let mut used = 0usize;
     let head_len = loop {
+        let Some(remaining) = config.request_deadline.checked_sub(accepted_at.elapsed()) else {
+            // Anti-slow-loris: each read made "progress", but the head
+            // never completed within the budget.
+            state.shed(
+                stream,
+                408,
+                "request header did not complete within the deadline budget",
+                "http.shed.slow_client",
+            );
+            return;
+        };
         if used == buf.len() {
-            let _ = respond(&mut stream, 431, "{\"error\":\"request too large\"}");
-            recorder.add_named("http.bad_request.requests", 1);
+            state
+                .recorder
+                .add_named("http.bad_request.requests", 1);
+            if respond(stream, 431, "{\"error\":\"request header too large\"}", 0).is_err() {
+                state.recorder.add_named("http.write_errors", 1);
+            }
             return;
         }
+        let per_read = remaining.min(config.deadline).max(Duration::from_millis(1));
+        let _ = stream.set_read_timeout(Some(per_read));
         match stream.read(&mut buf[used..]) {
             Ok(0) => return, // peer closed before sending a request
             Ok(k) => {
@@ -296,24 +652,63 @@ fn handle_connection(mut stream: TcpStream, index: &CliqueIndex, recorder: &Atom
                     break end;
                 }
             }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read timed out: loop back so the budget check above
+                // decides between another read and a 408.
+                continue;
+            }
             Err(_) => {
-                // Read deadline hit or connection reset: the
-                // supervision deadline at work.
-                recorder.add_named("http.read_errors", 1);
+                // Connection reset or similar: nothing to answer.
+                state.recorder.add_named("http.read_errors", 1);
                 return;
             }
         }
     };
+
     let head = String::from_utf8_lossy(&buf[..head_len]);
     let first = head.lines().next().unwrap_or("");
+    let (route, limit) = parse_route(first);
+    let endpoint = route.endpoint();
+
+    // Rate limiting sits between parse and execution: cheap typed 429s
+    // under saturation, no index work spent on a shed request.
+    // `/health` is exempt so liveness probes pass during overload.
+    if endpoint != "health" {
+        if let Some(buckets) = &state.buckets {
+            if !buckets.try_take(endpoint) {
+                state.recorder.add_named(rate_limited_key(endpoint), 1);
+                state.recorder.add_named("http.rate_limited_total", 1);
+                if respond(
+                    stream,
+                    429,
+                    "{\"error\":\"rate limit exceeded for this endpoint\"}",
+                    0,
+                )
+                .is_err()
+                {
+                    state.recorder.add_named("http.write_errors", 1);
+                }
+                return;
+            }
+        }
+    }
+
+    let index = state.index();
     let started = Instant::now();
-    let (status, body, endpoint) = route_request(index, first);
-    recorder.add_named(requests_key(endpoint), 1);
-    recorder
+    let (status, body, skipped) = execute(&index, &route, limit);
+    state.recorder.add_named(requests_key(endpoint), 1);
+    state
+        .recorder
         .histogram(latency_key(endpoint))
         .observe(started.elapsed().as_nanos() as u64);
-    if respond(&mut stream, status, &body).is_err() {
-        recorder.add_named("http.write_errors", 1);
+    if skipped > 0 {
+        state.recorder.add_named("http.degraded_total", 1);
+    }
+    if respond(stream, status, &body, skipped).is_err() {
+        state.recorder.add_named("http.write_errors", 1);
     }
 }
 
@@ -321,35 +716,85 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
-fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// Write one complete response. Every response closes the connection
+/// and carries an exact `Content-Length`; every error/shed status also
+/// carries `Retry-After`, and a degraded-exact answer is marked with
+/// `X-Gsb-Degraded: <skipped ids>`.
+fn respond(stream: &mut TcpStream, status: u16, body: &str, degraded: u64) -> std::io::Result<()> {
+    gsb_core::failpoint::inject("serve.respond")?;
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
+    let retry_after = if status >= 400 { "Retry-After: 1\r\n" } else { "" };
+    let degraded_header = if degraded > 0 {
+        format!("X-Gsb-Degraded: {degraded}\r\n")
+    } else {
+        String::new()
+    };
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}{degraded_header}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 
-/// Parse the request line and dispatch. Returns status, JSON body, and
-/// the endpoint name for telemetry.
-fn route_request(index: &CliqueIndex, request_line: &str) -> (u16, String, &'static str) {
+/// A parsed request target, ready for rate limiting and execution.
+enum Route {
+    /// `/` or `/health`.
+    Health,
+    /// `/stats`.
+    Stats,
+    /// `/max`.
+    Max,
+    /// `/containing/<v>`.
+    Containing(u32),
+    /// `/size/<lo>/<hi>`.
+    Size(u32, u32),
+    /// `/overlap/<v>/<w>`.
+    Overlap(u32, u32),
+    /// Unknown path.
+    NotFound,
+    /// Non-GET method.
+    MethodNotAllowed,
+    /// Malformed request line or parameters.
+    Bad(&'static str),
+}
+
+impl Route {
+    fn endpoint(&self) -> &'static str {
+        match self {
+            Route::Health => "health",
+            Route::Stats => "stats",
+            Route::Max => "max",
+            Route::Containing(_) => "containing",
+            Route::Size(..) => "size",
+            Route::Overlap(..) => "overlap",
+            Route::NotFound => "not_found",
+            Route::MethodNotAllowed | Route::Bad(_) => "bad_request",
+        }
+    }
+}
+
+/// Parse the request line into a route + result limit. Total function:
+/// any garbage maps to a typed `Route` variant, never a panic.
+fn parse_route(request_line: &str) -> (Route, usize) {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
     if method != "GET" {
-        return (
-            405,
-            "{\"error\":\"only GET is supported\"}".into(),
-            "bad_request",
-        );
+        return (Route::MethodNotAllowed, 0);
+    }
+    if target.is_empty() || target.len() > 2048 {
+        return (Route::Bad("malformed request target"), 0);
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -357,82 +802,110 @@ fn route_request(index: &CliqueIndex, request_line: &str) -> (u16, String, &'sta
     };
     let limit = parse_limit(query);
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
-    match segments.as_slice() {
-        [] | ["health"] => (200, "{\"status\":\"ok\"}".into(), "health"),
-        ["stats"] => (200, stats_json(index), "stats"),
-        ["max"] => match index.max_clique() {
+    let route = match segments.as_slice() {
+        [] | ["health"] => Route::Health,
+        ["stats"] => Route::Stats,
+        ["max"] => Route::Max,
+        ["containing", v] => match v.parse::<u32>() {
+            Ok(v) => Route::Containing(v),
+            Err(_) => Route::Bad("vertex must be a number"),
+        },
+        ["size", lo, hi] => match (lo.parse::<u32>(), hi.parse::<u32>()) {
+            (Ok(lo), Ok(hi)) if lo <= hi => Route::Size(lo, hi),
+            _ => Route::Bad("size range must be /size/<lo>/<hi> with lo <= hi"),
+        },
+        ["overlap", v, w] => match (v.parse::<u32>(), w.parse::<u32>()) {
+            (Ok(v), Ok(w)) => Route::Overlap(v, w),
+            _ => Route::Bad("vertices must be numbers"),
+        },
+        _ => Route::NotFound,
+    };
+    (route, limit)
+}
+
+/// Execute a parsed route. Returns status, JSON body, and the count of
+/// ids skipped because their block is quarantined (degraded-exact).
+fn execute(index: &CliqueIndex, route: &Route, limit: usize) -> (u16, String, u64) {
+    match route {
+        Route::Health => (200, "{\"status\":\"ok\"}".into(), 0),
+        Route::Stats => (200, stats_json(index), 0),
+        Route::Max => match index.max_clique() {
             Ok(Some(c)) => (
                 200,
                 format!("{{\"size\":{},\"clique\":{}}}", c.len(), json_ids(&c)),
-                "max",
+                0,
             ),
-            Ok(None) => (200, "{\"size\":0,\"clique\":[]}".into(), "max"),
-            Err(e) => (500, error_json(&e), "max"),
+            Ok(None) => (200, "{\"size\":0,\"clique\":[]}".into(), 0),
+            Err(e) => (500, error_json(&e), 0),
         },
-        ["containing", v] => match v.parse::<u32>() {
-            Err(_) => bad_request("vertex must be a number"),
-            Ok(v) => match index
-                .containing(v)
-                .and_then(|ids| materialize_limited(index, &ids, limit).map(|c| (ids, c)))
-            {
-                Ok((ids, cliques)) => (
+        Route::Containing(v) => match index.containing(*v).and_then(|ids| {
+            index
+                .materialize_degraded(ids.iter().take(limit).copied())
+                .map(|d| (ids, d))
+        }) {
+            Ok((ids, d)) => (
+                200,
+                format!(
+                    "{{\"vertex\":{v},\"count\":{},\"ids\":{},\"cliques\":{}{}}}",
+                    ids.len(),
+                    json_u64s(&ids[..ids.len().min(limit)]),
+                    json_cliques(&d.cliques),
+                    degraded_field(d.skipped),
+                ),
+                d.skipped,
+            ),
+            Err(e) => (500, error_json(&e), 0),
+        },
+        Route::Size(lo, hi) => {
+            let ids = index.of_size(*lo, *hi);
+            let count = ids.end - ids.start;
+            let take = (count as usize).min(limit);
+            match index.materialize_degraded(ids.clone().take(take)) {
+                Ok(d) => (
                     200,
                     format!(
-                        "{{\"vertex\":{v},\"count\":{},\"ids\":{},\"cliques\":{}}}",
-                        ids.len(),
-                        json_u64s(&ids[..ids.len().min(limit)]),
-                        json_cliques(&cliques)
+                        "{{\"min\":{lo},\"max\":{hi},\"count\":{count},\"first_id\":{},\"cliques\":{}{}}}",
+                        ids.start,
+                        json_cliques(&d.cliques),
+                        degraded_field(d.skipped),
                     ),
-                    "containing",
+                    d.skipped,
                 ),
-                Err(e) => (500, error_json(&e), "containing"),
-            },
-        },
-        ["size", lo, hi] => match (lo.parse::<u32>(), hi.parse::<u32>()) {
-            (Ok(lo), Ok(hi)) if lo <= hi => {
-                let ids = index.of_size(lo, hi);
-                let count = ids.end - ids.start;
-                let take = (count as usize).min(limit);
-                match index.materialize(ids.clone().take(take)) {
-                    Ok(cliques) => (
-                        200,
-                        format!(
-                            "{{\"min\":{lo},\"max\":{hi},\"count\":{count},\"first_id\":{},\"cliques\":{}}}",
-                            ids.start,
-                            json_cliques(&cliques)
-                        ),
-                        "size",
-                    ),
-                    Err(e) => (500, error_json(&e), "size"),
-                }
+                Err(e) => (500, error_json(&e), 0),
             }
-            _ => bad_request("size range must be /size/<lo>/<hi> with lo <= hi"),
-        },
-        ["overlap", v, w] => match (v.parse::<u32>(), w.parse::<u32>()) {
-            (Ok(v), Ok(w)) => match index
-                .overlap(v, w)
-                .and_then(|ids| materialize_limited(index, &ids, limit).map(|c| (ids, c)))
-            {
-                Ok((ids, cliques)) => (
-                    200,
-                    format!(
-                        "{{\"v\":{v},\"w\":{w},\"count\":{},\"ids\":{},\"cliques\":{}}}",
-                        ids.len(),
-                        json_u64s(&ids[..ids.len().min(limit)]),
-                        json_cliques(&cliques)
-                    ),
-                    "overlap",
+        }
+        Route::Overlap(v, w) => match index.overlap(*v, *w).and_then(|ids| {
+            index
+                .materialize_degraded(ids.iter().take(limit).copied())
+                .map(|d| (ids, d))
+        }) {
+            Ok((ids, d)) => (
+                200,
+                format!(
+                    "{{\"v\":{v},\"w\":{w},\"count\":{},\"ids\":{},\"cliques\":{}{}}}",
+                    ids.len(),
+                    json_u64s(&ids[..ids.len().min(limit)]),
+                    json_cliques(&d.cliques),
+                    degraded_field(d.skipped),
                 ),
-                Err(e) => (500, error_json(&e), "overlap"),
-            },
-            _ => bad_request("vertices must be numbers"),
+                d.skipped,
+            ),
+            Err(e) => (500, error_json(&e), 0),
         },
-        _ => (404, "{\"error\":\"no such endpoint\"}".into(), "not_found"),
+        Route::NotFound => (404, "{\"error\":\"no such endpoint\"}".into(), 0),
+        Route::MethodNotAllowed => (405, "{\"error\":\"only GET is supported\"}".into(), 0),
+        Route::Bad(message) => (400, format!("{{\"error\":\"{message}\"}}"), 0),
     }
 }
 
-fn bad_request(message: &str) -> (u16, String, &'static str) {
-    (400, format!("{{\"error\":\"{message}\"}}"), "bad_request")
+/// The optional `"degraded":N` JSON suffix (empty for complete answers,
+/// so healthy responses are byte-identical to the pre-quarantine ones).
+fn degraded_field(skipped: u64) -> String {
+    if skipped == 0 {
+        String::new()
+    } else {
+        format!(",\"degraded\":{skipped}")
+    }
 }
 
 fn parse_limit(query: &str) -> usize {
@@ -446,14 +919,6 @@ fn parse_limit(query: &str) -> usize {
     1000
 }
 
-fn materialize_limited(
-    index: &CliqueIndex,
-    ids: &[u64],
-    limit: usize,
-) -> Result<Vec<Clique>, gsb_core::StoreError> {
-    index.materialize(ids.iter().take(limit).copied())
-}
-
 fn stats_json(index: &CliqueIndex) -> String {
     let s = index.stats();
     let histogram: Vec<String> = s
@@ -462,13 +927,15 @@ fn stats_json(index: &CliqueIndex) -> String {
         .map(|(size, count)| format!("[{size},{count}]"))
         .collect();
     format!(
-        "{{\"n\":{},\"cliques\":{},\"max_clique\":{},\"blocks\":{},\"store_bytes\":{},\"postings_bytes\":{},\"size_histogram\":[{}]}}",
+        "{{\"n\":{},\"cliques\":{},\"max_clique\":{},\"blocks\":{},\"store_bytes\":{},\"postings_bytes\":{},\"generation\":{},\"quarantined_blocks\":{},\"size_histogram\":[{}]}}",
         s.n,
         s.cliques,
         s.max_clique,
         s.blocks,
         s.store_bytes,
         s.postings_bytes,
+        index.generation(),
+        index.quarantined_blocks().len(),
         histogram.join(",")
     )
 }
@@ -511,14 +978,62 @@ mod tests {
     }
 
     #[test]
+    fn route_parsing_is_total() {
+        assert!(matches!(parse_route("GET /health HTTP/1.1").0, Route::Health));
+        assert!(matches!(parse_route("GET / HTTP/1.1").0, Route::Health));
+        assert!(matches!(
+            parse_route("GET /containing/7 HTTP/1.1").0,
+            Route::Containing(7)
+        ));
+        assert!(matches!(
+            parse_route("GET /size/3/5 HTTP/1.1").0,
+            Route::Size(3, 5)
+        ));
+        assert!(matches!(
+            parse_route("GET /size/5/3 HTTP/1.1").0,
+            Route::Bad(_)
+        ));
+        assert!(matches!(
+            parse_route("POST /health HTTP/1.1").0,
+            Route::MethodNotAllowed
+        ));
+        assert!(matches!(parse_route("").0, Route::MethodNotAllowed));
+        assert!(matches!(
+            parse_route("GET /nope HTTP/1.1").0,
+            Route::NotFound
+        ));
+        let long = format!("GET /{} HTTP/1.1", "a".repeat(4000));
+        assert!(matches!(parse_route(&long).0, Route::Bad(_)));
+        assert_eq!(parse_route("GET /max?limit=3 HTTP/1.1").1, 3);
+    }
+
+    #[test]
+    fn token_bucket_drains_and_refills() {
+        let b = TokenBuckets::new(1000.0, 2);
+        assert!(b.try_take("max"));
+        assert!(b.try_take("max"));
+        // burst of 2 exhausted; other endpoints unaffected
+        assert!(!b.try_take("max"));
+        assert!(b.try_take("stats"));
+        // 1000 tokens/s refill: a couple of ms is plenty for one token
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.try_take("max"));
+    }
+
+    #[test]
     fn metrics_json_shape() {
         let r = AtomicRecorder::new();
         r.counter(requests_key("containing")).add(3);
         r.histogram(latency_key("containing")).observe(1500);
-        let json = render_metrics(&r, 3, 3, Duration::from_millis(1200));
+        r.counter("http.shed_total").add(2);
+        r.counter("http.shed.queue_full").add(2);
+        let json = render_metrics(&r, 5, 3, Duration::from_millis(1200));
         let parsed = gsb_telemetry::json::parse(&json).expect("valid metrics json");
-        assert_eq!(parsed.u64_or_zero("connections"), 3);
+        assert_eq!(parsed.u64_or_zero("connections"), 5);
         assert_eq!(parsed.u64_or_zero("requests"), 3);
+        assert_eq!(parsed.u64_or_zero("shed_total"), 2);
+        let shed = parsed.get("shed").expect("shed breakdown");
+        assert_eq!(shed.u64_or_zero("queue_full"), 2);
         let endpoints = parsed.get("endpoints").expect("endpoints object");
         let containing = endpoints.get("containing").expect("containing entry");
         assert_eq!(containing.u64_or_zero("requests"), 3);

@@ -50,6 +50,7 @@ pub struct WriteSummary {
 pub struct IndexWriter {
     dir: PathBuf,
     n: usize,
+    generation: u64,
     store: BufWriter<File>,
     store_offset: u64,
     block_target: usize,
@@ -75,12 +76,22 @@ impl IndexWriter {
     pub fn create(dir: &Path, n: usize) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir)?;
         sweep_tmp_files(dir);
+        // Replacing a committed index bumps its generation so pollers
+        // (the serving layer's hot-reload watcher) see the change even
+        // when the rebuilt index is byte-identical otherwise.
+        let generation = match std::fs::read_to_string(dir.join(META_FILE)) {
+            Ok(text) => IndexMeta::from_text(&text)
+                .map(|m| m.generation + 1)
+                .unwrap_or(1),
+            Err(_) => 0,
+        };
         let tmp = dir.join(format!("{CLIQUES_FILE}.tmp"));
         let mut store = BufWriter::new(File::create(&tmp)?);
         store.write_all(&header_bytes(CLIQUES_MAGIC, n as u32))?;
         Ok(IndexWriter {
             dir: dir.to_path_buf(),
             n,
+            generation,
             store,
             store_offset: crate::format::HEADER_LEN as u64,
             block_target: DEFAULT_BLOCK_TARGET,
@@ -220,6 +231,7 @@ impl IndexWriter {
             blocks: summary.blocks,
             store_bytes: summary.store_bytes,
             postings_bytes: summary.postings_bytes,
+            generation: self.generation,
         };
         // The commit point: readers refuse a directory without this file.
         retry.run_store(|| {
@@ -367,6 +379,30 @@ mod tests {
         let mut w = IndexWriter::create(&dir, 4).unwrap();
         w.maximal(&[2, 2]); // not strictly ascending
         assert!(w.flush_barrier().is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebuilding_over_a_committed_index_bumps_generation() {
+        let dir = tmp("generation");
+        let _ = std::fs::remove_dir_all(&dir);
+        let read_gen = |dir: &Path| {
+            IndexMeta::from_text(&std::fs::read_to_string(dir.join(META_FILE)).unwrap())
+                .unwrap()
+                .generation
+        };
+        for expect in 0..3u64 {
+            let mut w = IndexWriter::create(&dir, 10).unwrap();
+            w.maximal(&[1, 2, 3]);
+            w.finish().unwrap();
+            assert_eq!(read_gen(&dir), expect);
+        }
+        // a crashed (unfinished) writer must not consume a generation
+        drop(IndexWriter::create(&dir, 10).unwrap());
+        let mut w = IndexWriter::create(&dir, 10).unwrap();
+        w.maximal(&[1, 2, 3]);
+        w.finish().unwrap();
+        assert_eq!(read_gen(&dir), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
