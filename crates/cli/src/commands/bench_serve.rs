@@ -12,6 +12,11 @@
 //!   that the server *sheds typed* (429/503 with `Retry-After`)
 //!   instead of stretching latency, and that accepted requests stay
 //!   fast.
+//! * **scrape** (with `--scrape`) — the steady load again, but with
+//!   the access log + slow-query log on and dedicated clients
+//!   hammering `/metrics` and `/metrics-json`: measures what the
+//!   observability stack costs (query p99 vs. the bare steady run)
+//!   and that scrapes stay 200 under load.
 //!
 //! Results (QPS, latency percentiles, shed rate) are committed to a
 //! JSON file (default `results/BENCH_serve.json`) whose *schema* is
@@ -32,10 +37,11 @@ use std::time::{Duration, Instant};
 
 /// `gsb bench-serve`
 pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
-    let a = Args::parse(argv, &["out", "seed"], &["smoke"], 0)?;
+    let a = Args::parse(argv, &["out", "seed"], &["smoke", "scrape"], 0)?;
     let out_path = PathBuf::from(a.flag("out").unwrap_or("results/BENCH_serve.json"));
     let seed: u64 = a.flag_or("seed", 13)?;
     let smoke = a.switch("smoke");
+    let with_scrape = a.switch("scrape");
 
     // A graph big enough for non-trivial postings, small enough that
     // the bench is self-contained and fast.
@@ -61,6 +67,7 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
             ..ServeConfig::default()
         },
         4,
+        0,
         duration,
         n as u32,
     )?;
@@ -75,15 +82,54 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
             ..ServeConfig::default()
         },
         16,
+        0,
         duration,
         n as u32,
     )?;
+    // The scrape scenario repeats the steady query load with the full
+    // observability stack on — access log, slow-query log, and a pool
+    // of clients hammering /metrics + /metrics-json concurrently — so
+    // the committed JSON records what watching the server costs.
+    let scrape = if with_scrape {
+        let access = dir.join("bench-access.jsonl");
+        let s = run_scenario(
+            &dir,
+            ServeConfig {
+                threads: 4,
+                queue_limit: 256,
+                rate_limit: None,
+                access_log: Some(access.clone()),
+                slow_query_ms: Some(250),
+                ..ServeConfig::default()
+            },
+            4,
+            2,
+            duration,
+            n as u32,
+        )?;
+        Some(s)
+    } else {
+        None
+    };
     let _ = std::fs::remove_dir_all(&dir);
 
+    let scrape_json = match &scrape {
+        Some(s) => {
+            // p99 under scrape+logging load relative to the bare steady
+            // run: the acceptance gate is "observability costs <5%".
+            let regression = s.p99_us as f64 / steady.p99_us.max(1) as f64;
+            format!(
+                ",\n    \"scrape\": {}",
+                s.to_json_with(&format!("\"p99_vs_steady\":{regression:.4}"))
+            )
+        }
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"gsb_bench_serve\",\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \"scenarios\": {{\n    \"steady\": {},\n    \"overload\": {}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"gsb_bench_serve\",\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \"scenarios\": {{\n    \"steady\": {},\n    \"overload\": {}{}\n  }}\n}}\n",
         steady.to_json(),
-        overload.to_json()
+        overload.to_json(),
+        scrape_json,
     );
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -93,8 +139,16 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
     std::fs::write(&out_path, &json)?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "bench-serve ({})", if smoke { "smoke" } else { "full" });
-    for (name, s) in [("steady", &steady), ("overload", &overload)] {
+    let _ = writeln!(
+        out,
+        "bench-serve ({})",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut scenarios = vec![("steady", &steady), ("overload", &overload)];
+    if let Some(s) = &scrape {
+        scenarios.push(("scrape", s));
+    }
+    for (name, s) in scenarios {
         let _ = writeln!(
             out,
             "  {name}: {} requests, {:.0} qps, p50 {}us p95 {}us p99 {}us, ok {}, rate-limited {}, shed {} ({:.1}% shed rate)",
@@ -108,6 +162,17 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
             s.shed,
             100.0 * s.shed_rate,
         );
+        if s.scrape_requests > 0 {
+            let _ = writeln!(
+                out,
+                "          /metrics scrapes: {} ({} ok), p50 {}us p99 {}us; query p99 {:.2}x steady",
+                s.scrape_requests,
+                s.scrape_ok,
+                s.scrape_p50_us,
+                s.scrape_p99_us,
+                s.p99_us as f64 / steady.p99_us.max(1) as f64,
+            );
+        }
     }
     let _ = writeln!(out, "results written to {}", out_path.display());
     Ok(out)
@@ -127,13 +192,23 @@ struct Scenario {
     p99_us: u64,
     max_us: u64,
     shed_rate: f64,
+    scrape_requests: u64,
+    scrape_ok: u64,
+    scrape_p50_us: u64,
+    scrape_p99_us: u64,
     report: ServeReport,
 }
 
 impl Scenario {
     fn to_json(&self) -> String {
-        format!(
-            "{{\"clients\":{},\"requests\":{},\"ok\":{},\"rate_limited\":{},\"shed\":{},\"errors\":{},\"qps\":{:.2},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"shed_rate\":{:.4},\"server_requests\":{},\"server_shed\":{},\"server_rate_limited\":{}}}",
+        self.to_json_with("")
+    }
+
+    /// Serialize, splicing `extra` (pre-rendered `"key":value` pairs)
+    /// before the closing brace.
+    fn to_json_with(&self, extra: &str) -> String {
+        let mut json = format!(
+            "{{\"clients\":{},\"requests\":{},\"ok\":{},\"rate_limited\":{},\"shed\":{},\"errors\":{},\"qps\":{:.2},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"shed_rate\":{:.4},\"server_requests\":{},\"server_shed\":{},\"server_rate_limited\":{}",
             self.clients,
             self.requests,
             self.ok,
@@ -149,7 +224,19 @@ impl Scenario {
             self.report.requests,
             self.report.shed,
             self.report.rate_limited,
-        )
+        );
+        if self.scrape_requests > 0 {
+            let _ = write!(
+                json,
+                ",\"scrape_requests\":{},\"scrape_ok\":{},\"scrape_p50_us\":{},\"scrape_p99_us\":{}",
+                self.scrape_requests, self.scrape_ok, self.scrape_p50_us, self.scrape_p99_us,
+            );
+        }
+        if !extra.is_empty() {
+            let _ = write!(json, ",{extra}");
+        }
+        json.push('}');
+        json
     }
 }
 
@@ -157,6 +244,7 @@ fn run_scenario(
     index_dir: &Path,
     config: ServeConfig,
     clients: usize,
+    scrape_clients: usize,
     duration: Duration,
     n: u32,
 ) -> Result<Scenario, CliError> {
@@ -177,6 +265,12 @@ fn run_scenario(
             std::thread::spawn(move || client_loop(addr, c as u32, n, &stop))
         })
         .collect();
+    let scrapers: Vec<_> = (0..scrape_clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || scrape_loop(addr, c as u32, &stop))
+        })
+        .collect();
     std::thread::sleep(duration);
     stop.store(true, Ordering::Release);
 
@@ -187,15 +281,26 @@ fn run_scenario(
     let mut errors = 0u64;
     let mut latencies: Vec<u64> = Vec::new();
     for w in workers {
-        let c = w.join().map_err(|_| {
-            CliError::Runtime("bench-serve client thread panicked".into())
-        })?;
+        let c = w
+            .join()
+            .map_err(|_| CliError::Runtime("bench-serve client thread panicked".into()))?;
         requests += c.requests;
         ok += c.ok;
         rate_limited += c.rate_limited;
         shed += c.shed;
         errors += c.errors;
         latencies.extend(c.ok_latencies_us);
+    }
+    let mut scrape_requests = 0u64;
+    let mut scrape_ok = 0u64;
+    let mut scrape_latencies: Vec<u64> = Vec::new();
+    for s in scrapers {
+        let c = s
+            .join()
+            .map_err(|_| CliError::Runtime("bench-serve scrape thread panicked".into()))?;
+        scrape_requests += c.requests;
+        scrape_ok += c.ok;
+        scrape_latencies.extend(c.ok_latencies_us);
     }
     let wall = started.elapsed();
     shutdown.request(15);
@@ -204,6 +309,7 @@ fn run_scenario(
         .map_err(|_| CliError::Runtime("bench-serve server thread panicked".into()))??;
 
     latencies.sort_unstable();
+    scrape_latencies.sort_unstable();
     let answered = ok.max(1);
     Ok(Scenario {
         clients,
@@ -218,6 +324,10 @@ fn run_scenario(
         p99_us: pct(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0),
         shed_rate: (shed + rate_limited) as f64 / (answered + shed + rate_limited) as f64,
+        scrape_requests,
+        scrape_ok,
+        scrape_p50_us: pct(&scrape_latencies, 0.50),
+        scrape_p99_us: pct(&scrape_latencies, 0.99),
         report,
     })
 }
@@ -262,8 +372,7 @@ fn client_loop(addr: SocketAddr, client_id: u32, n: u32, stop: &AtomicBool) -> C
         match get_status(addr, &path) {
             Ok(200) => {
                 out.ok += 1;
-                out.ok_latencies_us
-                    .push(begun.elapsed().as_micros() as u64);
+                out.ok_latencies_us.push(begun.elapsed().as_micros() as u64);
             }
             Ok(429) => out.rate_limited += 1,
             Ok(503) | Ok(408) => out.shed += 1,
@@ -272,6 +381,46 @@ fn client_loop(addr: SocketAddr, client_id: u32, n: u32, stop: &AtomicBool) -> C
             // backpressure from the kernel backlog.
             Err(_) => out.errors += 1,
         }
+    }
+    out
+}
+
+/// Closed loop against the observability endpoints only: /metrics and
+/// /metrics-json alternating. These are admission-exempt, so every
+/// scrape should answer 200 even while the query pool saturates the
+/// worker queue — a scrape that fails mid-overload is exactly the
+/// monitoring outage the exemption exists to prevent.
+fn scrape_loop(addr: SocketAddr, client_id: u32, stop: &AtomicBool) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        requests: 0,
+        ok: 0,
+        rate_limited: 0,
+        shed: 0,
+        errors: 0,
+        ok_latencies_us: Vec::new(),
+    };
+    let mut round = client_id;
+    while !stop.load(Ordering::Acquire) {
+        let path = if round & 1 == 0 {
+            "/metrics"
+        } else {
+            "/metrics-json"
+        };
+        round = round.wrapping_add(1);
+        out.requests += 1;
+        let begun = Instant::now();
+        match get_status(addr, path) {
+            Ok(200) => {
+                out.ok += 1;
+                out.ok_latencies_us.push(begun.elapsed().as_micros() as u64);
+            }
+            Ok(429) => out.rate_limited += 1,
+            Ok(503) | Ok(408) => out.shed += 1,
+            Ok(_) | Err(_) => out.errors += 1,
+        }
+        // Real scrapers poll on an interval; a short pause keeps the
+        // scrape pool from behaving like a second query pool.
+        std::thread::sleep(Duration::from_millis(2));
     }
     out
 }

@@ -16,6 +16,7 @@ mod resume;
 mod scrub;
 mod serve;
 mod stats;
+mod tail;
 
 pub use bench_serve::bench_serve;
 pub use cliques::cliques;
@@ -30,6 +31,7 @@ pub use resume::resume;
 pub use scrub::scrub;
 pub use serve::serve;
 pub use stats::stats;
+pub use tail::tail;
 
 use crate::CliError;
 use gsb_core::sink::{CollectSink, CountSink};

@@ -24,6 +24,11 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
             "max-header-bytes",
             "reload-poll-ms",
             "metrics-out",
+            "access-log",
+            "access-log-max-bytes",
+            "slow-query-ms",
+            "slow-query-log",
+            "trace-seed",
         ],
         &[],
         1,
@@ -39,6 +44,27 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
     let max_header_bytes: usize = a.flag_or("max-header-bytes", 8192)?;
     let reload_poll_ms: u64 = a.flag_or("reload-poll-ms", 0)?;
     let metrics_out = a.flag("metrics-out").map(PathBuf::from);
+    let access_log = a.flag("access-log").map(PathBuf::from);
+    let access_log_max_bytes: u64 = a.flag_or("access-log-max-bytes", 64 * 1024 * 1024)?;
+    let slow_query_ms: u64 = a.flag_or("slow-query-ms", 0)?;
+    let slow_query_log = a.flag("slow-query-log").map(PathBuf::from);
+    let trace_seed: u64 = a.flag_or("trace-seed", 17)?;
+    // Slow queries need somewhere to go: an explicit --slow-query-log
+    // wins, else derive `<access-log>.slow`.
+    let slow_query_log = match (slow_query_ms > 0, slow_query_log, &access_log) {
+        (false, _, _) => None,
+        (true, Some(path), _) => Some(path),
+        (true, None, Some(access)) => {
+            let mut name = access.as_os_str().to_os_string();
+            name.push(".slow");
+            Some(PathBuf::from(name))
+        }
+        (true, None, None) => {
+            return Err(CliError::Usage(
+                "--slow-query-ms requires --slow-query-log or --access-log".into(),
+            ))
+        }
+    };
 
     let index_dir = Path::new(dir).to_path_buf();
     let index = Arc::new(CliqueIndex::open(&index_dir).map_err(CliError::Store)?);
@@ -53,6 +79,11 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
         reload_poll: (reload_poll_ms > 0).then(|| Duration::from_millis(reload_poll_ms)),
         index_dir: (reload_poll_ms > 0).then(|| index_dir.clone()),
         metrics_out: metrics_out.clone(),
+        access_log: access_log.clone(),
+        access_log_max_bytes,
+        slow_query_ms: (slow_query_ms > 0).then_some(slow_query_ms),
+        slow_query_log,
+        trace_seed,
     };
     let server = Server::bind(Arc::clone(&index), addr, config)?;
     let bound = server.local_addr()?;
@@ -64,7 +95,12 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
         index.n(),
         index.generation()
     );
-    eprintln!("gsb serve: endpoints: /health /stats /containing/V /size/LO/HI /max /overlap/V/W");
+    eprintln!(
+        "gsb serve: endpoints: /health /stats /containing/V /size/LO/HI /max /overlap/V/W /metrics /metrics-json"
+    );
+    if let Some(path) = &access_log {
+        eprintln!("gsb serve: access log at {}", path.display());
+    }
 
     let shutdown = ShutdownToken::global();
     let report = server.run(&shutdown)?;

@@ -168,9 +168,12 @@ USAGE:
                [--deadline-secs S] [--request-deadline-ms MS]
                [--queue-limit N] [--rate-limit QPS] [--rate-burst N]
                [--max-header-bytes N] [--reload-poll-ms MS]
-               [--metrics-out FILE]
+               [--metrics-out FILE] [--access-log FILE]
+               [--access-log-max-bytes N] [--slow-query-ms MS]
+               [--slow-query-log FILE] [--trace-seed S]
+  gsb tail ACCESS_LOG [--top N]
   gsb scrub INDEX_DIR
-  gsb bench-serve [--out FILE] [--seed S] [--smoke]
+  gsb bench-serve [--out FILE] [--seed S] [--smoke] [--scrape]
   gsb stats --index INDEX_DIR
   gsb convert IN OUT
   gsb help
@@ -235,8 +238,25 @@ read time are quarantined in memory and list answers degrade exactly
 INDEX_DIR` walks every CRC frame offline, recomputes the postings from
 the decoded cliques, and exits 1 listing findings on any corruption.
 `gsb bench-serve` runs a self-contained closed-loop load benchmark
-(steady + overload scenarios) and writes QPS/latency/shed-rate
-percentiles to results/BENCH_serve.json.";
+(steady + overload scenarios, plus a concurrent /metrics-scrape
+scenario with `--scrape`) and writes QPS/latency/shed-rate percentiles
+to results/BENCH_serve.json.
+
+Observability: `gsb serve` exposes GET /metrics (Prometheus text
+format: per-endpoint request counters and latency histograms, queue
+depth, shed/degraded/status counters, block-cache and index gauges)
+and GET /metrics-json (the --metrics-out snapshot, live); both are
+exempt from admission control so a saturated server can still be
+watched. Every request carries a trace id (client-supplied via
+X-Gsb-Trace or server-generated) echoed in the response headers with
+per-request nanoseconds. `--access-log FILE` appends one JSON line per
+request (trace id, endpoint, status, shed cause, per-stage timings),
+atomically rotated past `--access-log-max-bytes`; `--slow-query-ms`
+tees requests over the threshold into `--slow-query-log` (default
+`<access-log>.slow`). `gsb tail ACCESS_LOG` renders the RED summary
+(rate/errors/duration percentiles per endpoint), the shed/degraded
+cause table, and the top `--top` slowest traces with their per-stage
+breakdown.";
 
 /// Dispatch a full argv (without the program name) and return the
 /// report to print.
@@ -258,6 +278,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "index" => commands::index(rest),
         "query" => commands::query(rest),
         "serve" => commands::serve(rest),
+        "tail" => commands::tail(rest),
         "scrub" => commands::scrub(rest),
         "bench-serve" => commands::bench_serve(rest),
         "convert" => commands::convert(rest),

@@ -138,7 +138,7 @@ pub fn server_chaos_schedule(seed: u64) -> Vec<(&'static str, FailAction)> {
         let skip = rng.below(8) as u32;
         let times = 1 + rng.below(3) as u32;
         let action = match rng.below(6) {
-            0 | 1 | 2 => None, // half the sites stay clean
+            0..=2 => None, // half the sites stay clean
             3 | 4 => Some(FailAction::Error { skip, times }),
             _ => Some(FailAction::Delay {
                 skip,

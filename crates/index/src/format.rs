@@ -460,7 +460,7 @@ impl IndexMeta {
                 .unwrap_or(&line["crc=".len()..])
                 .parse::<u32>()
                 .map_err(|_| StoreError::Codec { context: CTX })?;
-            let computed = crc32(text[..pos].as_bytes());
+            let computed = crc32(&text.as_bytes()[..pos]);
             if stored != computed {
                 return Err(StoreError::Checksum {
                     context: CTX,

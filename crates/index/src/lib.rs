@@ -41,7 +41,7 @@ pub mod server;
 pub mod writer;
 
 pub use format::{IndexDirectory, IndexMeta};
-pub use reader::{CliqueIndex, DegradedCliques, IndexStats};
+pub use reader::{CliqueIndex, DegradedCliques, IndexStats, IoStats};
 pub use scrub::{scrub, ScrubFinding, ScrubReport};
 pub use server::{ServeConfig, ServeReport, Server};
 pub use writer::{IndexWriter, WriteSummary};

@@ -30,7 +30,9 @@ use std::collections::{BTreeSet, HashMap};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Default number of decoded blocks kept by the LRU cache.
 pub const DEFAULT_CACHE_BLOCKS: usize = 32;
@@ -81,14 +83,63 @@ impl BlockCache {
         })
     }
 
-    fn put(&mut self, block: usize, cliques: Arc<Vec<Clique>>) {
+    /// Insert, returning whether an older entry was evicted.
+    fn put(&mut self, block: usize, cliques: Arc<Vec<Clique>>) -> bool {
         self.stamp += 1;
+        let mut evicted = false;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&block) {
             if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, (s, _))| *s) {
                 self.entries.remove(&oldest);
+                evicted = true;
             }
         }
         self.entries.insert(block, (self.stamp, cliques));
+        evicted
+    }
+}
+
+/// A point-in-time snapshot of the reader's I/O counters — block-cache
+/// effectiveness and decode cost — for the live `/metrics` exposition.
+/// Counters are cumulative since [`CliqueIndex::open`] and reset on
+/// hot-reload (a fresh reader), which the serving layer reports via the
+/// index `generation`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Block lookups answered from the decoded-block cache.
+    pub cache_hits: u64,
+    /// Block lookups that had to read and decode from disk.
+    pub cache_misses: u64,
+    /// Cache insertions that displaced an older block.
+    pub cache_evictions: u64,
+    /// Blocks successfully read, CRC-verified, and decoded.
+    pub blocks_decoded: u64,
+    /// Total nanoseconds spent in block read+CRC+decode.
+    pub decode_ns: u64,
+    /// Postings-list reads served (one per `containing` lookup).
+    pub postings_reads: u64,
+}
+
+/// The reader's live I/O counters (relaxed atomics — see [`IoStats`]).
+#[derive(Debug, Default)]
+struct IoCounters {
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    blocks_decoded: AtomicU64,
+    decode_ns: AtomicU64,
+    postings_reads: AtomicU64,
+}
+
+impl IoCounters {
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            blocks_decoded: self.blocks_decoded.load(Ordering::Relaxed),
+            decode_ns: self.decode_ns.load(Ordering::Relaxed),
+            postings_reads: self.postings_reads.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -121,6 +172,7 @@ pub struct CliqueIndex {
     /// runtime — a corrupt block stays corrupt until the index is
     /// rebuilt (and hot-reloaded, which starts a fresh reader).
     quarantined: Mutex<BTreeSet<usize>>,
+    io: IoCounters,
 }
 
 impl CliqueIndex {
@@ -164,6 +216,7 @@ impl CliqueIndex {
             postings: Mutex::new(postings),
             cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
             quarantined: Mutex::new(BTreeSet::new()),
+            io: IoCounters::default(),
         })
     }
 
@@ -188,6 +241,13 @@ impl CliqueIndex {
     /// healthy index.
     pub fn quarantined_blocks(&self) -> Vec<usize> {
         self.quarantined.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Snapshot of the reader's cumulative I/O counters (cache
+    /// hits/misses/evictions, decode count and nanoseconds, postings
+    /// reads). Lock-free; safe to call from a metrics scrape.
+    pub fn io_stats(&self) -> IoStats {
+        self.io.snapshot()
     }
 
     /// Total cliques in the index.
@@ -259,6 +319,7 @@ impl CliqueIndex {
             });
         }
         let mut bytes = vec![0u8; (end - start) as usize];
+        self.io.postings_reads.fetch_add(1, Ordering::Relaxed);
         {
             gsb_core::failpoint::inject("index.postings_read").map_err(StoreError::Io)?;
             let mut f = self.postings.lock().unwrap();
@@ -340,8 +401,10 @@ impl CliqueIndex {
 
     fn load_block(&self, block_i: usize) -> Result<Arc<Vec<Clique>>, StoreError> {
         if let Some(hit) = self.cache.lock().unwrap().get(block_i) {
+            self.io.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
+        self.io.cache_misses.fetch_add(1, Ordering::Relaxed);
         if self.quarantined.lock().unwrap().contains(&block_i) {
             return Err(StoreError::Codec {
                 context: "clique block quarantined",
@@ -359,6 +422,7 @@ impl CliqueIndex {
     }
 
     fn load_block_uncached(&self, block_i: usize) -> Result<Arc<Vec<Clique>>, StoreError> {
+        let decode_started = Instant::now();
         let entry = self
             .directory
             .blocks
@@ -423,7 +487,14 @@ impl CliqueIndex {
             });
         }
         let cliques = Arc::new(cliques);
-        self.cache.lock().unwrap().put(block_i, cliques.clone());
+        self.io.blocks_decoded.fetch_add(1, Ordering::Relaxed);
+        self.io.decode_ns.fetch_add(
+            decode_started.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        if self.cache.lock().unwrap().put(block_i, cliques.clone()) {
+            self.io.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        }
         Ok(cliques)
     }
 }
@@ -531,6 +602,41 @@ mod tests {
                 assert_eq!(idx.get(id).unwrap(), cliques[id as usize], "round {round}");
             }
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_stats_track_cache_and_decode_activity() {
+        let dir = tmp("iostats");
+        let cliques: Vec<Vec<Vertex>> = (0..40).map(|i| vec![i, i + 1, i + 2]).collect();
+        let refs: Vec<&[Vertex]> = cliques.iter().map(Vec::as_slice).collect();
+        build(&dir, 50, &refs);
+        let idx = CliqueIndex::open(&dir).unwrap().cache_blocks(2);
+        assert_eq!(idx.io_stats(), IoStats::default());
+
+        let blocks = idx.directory.blocks.len() as u64;
+        assert!(blocks > 2, "need >2 blocks to exercise eviction");
+        // A full scan decodes every block once; with capacity 2 the
+        // later blocks evict the earlier ones.
+        for id in 0..40u64 {
+            idx.get(id).unwrap();
+        }
+        let s = idx.io_stats();
+        assert_eq!(s.blocks_decoded, blocks);
+        assert_eq!(s.cache_misses, blocks);
+        assert_eq!(s.cache_evictions, blocks - 2);
+        assert_eq!(s.cache_hits, 40 - blocks);
+        assert!(s.decode_ns > 0);
+        assert_eq!(s.postings_reads, 0);
+
+        // A repeat of the last id is a pure cache hit.
+        idx.get(39).unwrap();
+        let s2 = idx.io_stats();
+        assert_eq!(s2.cache_hits, s.cache_hits + 1);
+        assert_eq!(s2.blocks_decoded, s.blocks_decoded);
+
+        idx.containing(3).unwrap();
+        assert_eq!(idx.io_stats().postings_reads, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -114,7 +114,11 @@ pub fn scrub(dir: &Path) -> ScrubReport {
             u64::from(meta.max_clique),
             u64::from(directory.max_size()),
         ),
-        ("postings_bytes", meta.postings_bytes, directory.postings_bytes),
+        (
+            "postings_bytes",
+            meta.postings_bytes,
+            directory.postings_bytes,
+        ),
     ] {
         if meta_v != dir_v {
             report.flag(
@@ -307,7 +311,7 @@ fn scrub_postings(
         report.flag(format!("{POSTINGS_FILE} header"), e);
     }
 
-    for v in 0..directory.n as usize {
+    for (v, truth) in truth_postings.iter().enumerate().take(directory.n as usize) {
         let site = format!("{POSTINGS_FILE} vertex {v}");
         let start = directory.postings_offsets[v];
         let end = directory.postings_offsets[v + 1];
@@ -325,29 +329,24 @@ fn scrub_postings(
             report.flag(site, e);
             continue;
         }
-        let decoded = crate::format::parse_frame(&bytes, 0, "postings record").and_then(
-            |(payload, _)| {
+        let decoded =
+            crate::format::parse_frame(&bytes, 0, "postings record").and_then(|(payload, _)| {
                 let mut pos = 0usize;
-                let ids = decode_id_list(
-                    payload,
-                    &mut pos,
-                    directory.clique_count,
-                    "postings record",
-                )?;
+                let ids =
+                    decode_id_list(payload, &mut pos, directory.clique_count, "postings record")?;
                 if pos != payload.len() {
                     return Err(StoreError::Codec {
                         context: "postings record",
                     });
                 }
                 Ok(ids)
-            },
-        );
+            });
         match decoded {
             Err(e) => report.flag(site, e),
-            Ok(ids) if ids != truth_postings[v] => report.flag(
+            Ok(ids) if ids != *truth => report.flag(
                 site,
                 StoreError::CountMismatch {
-                    expected: truth_postings[v].len(),
+                    expected: truth.len(),
                     found: ids.len(),
                 },
             ),

@@ -38,6 +38,20 @@
 //! * **Worker panic containment.** Each request runs under
 //!   `catch_unwind`; a panic answers `500`, bumps
 //!   `http.worker_panics`, and the worker lives on.
+//! * **Live observability.** `GET /metrics` exposes every recorder
+//!   series as Prometheus text (`gsb_telemetry::promtext`) and
+//!   `GET /metrics-json` serves the same snapshot `--metrics-out`
+//!   writes at shutdown — both exempt from the admission queue and the
+//!   rate limiter, like `/health`: an overloaded server must stay
+//!   scrapeable. Every request gets a trace id (incoming `X-Gsb-Trace`
+//!   honored, else generated from the seeded `TraceIdGen`) and a
+//!   [`gsb_telemetry::SpanRecorder`] timing
+//!   queue→parse→admission→postings→blocks→respond; the id and total
+//!   nanoseconds return in `X-Gsb-Trace` / `X-Gsb-Trace-Ns` response
+//!   headers. With `--access-log` set, each request appends one JSONL
+//!   [`gsb_telemetry::AccessRecord`] line (rotated atomically at
+//!   `--access-log-max-bytes`); `--slow-query-ms` tees outliers with
+//!   their full span breakdown into a slow-query log.
 //!
 //! HTTP/1.1, one request per connection (`Connection: close`): every
 //! response carries an exact `Content-Length` and the socket closes
@@ -56,6 +70,8 @@
 //! | `/size/<lo>/<hi>`    | cliques with size in `lo..=hi`           |
 //! | `/max`               | one maximum clique                       |
 //! | `/overlap/<v>/<w>`   | cliques containing both v and w          |
+//! | `/metrics`           | Prometheus text exposition (live)        |
+//! | `/metrics-json`      | the `--metrics-out` JSON snapshot (live) |
 //!
 //! Clique-list endpoints accept `?limit=K` (default 1000) and report
 //! the full `count` alongside the possibly-truncated `cliques` array.
@@ -63,6 +79,9 @@
 use crate::reader::CliqueIndex;
 use gsb_core::supervise::is_transient;
 use gsb_core::{Clique, RetryPolicy, ShutdownToken};
+use gsb_telemetry::access::{AccessRecord, RotatingWriter};
+use gsb_telemetry::promtext::{PromKind, PromWriter};
+use gsb_telemetry::trace::{valid_trace_id, SpanRecorder, TraceIdGen};
 use gsb_telemetry::{AtomicRecorder, Histogram};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -70,7 +89,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -102,6 +121,21 @@ pub struct ServeConfig {
     pub index_dir: Option<PathBuf>,
     /// Where to write the metrics JSON at shutdown.
     pub metrics_out: Option<PathBuf>,
+    /// JSONL access log: one [`AccessRecord`] per request. `None`
+    /// disables access logging.
+    pub access_log: Option<PathBuf>,
+    /// Rotate the access (and slow-query) log once it exceeds this many
+    /// bytes (atomic rename to `<path>.1`); 0 disables rotation.
+    pub access_log_max_bytes: u64,
+    /// Tee requests slower than this many milliseconds into the
+    /// slow-query log (full span breakdown). `None` disables.
+    pub slow_query_ms: Option<u64>,
+    /// Where slow queries are logged; required when `slow_query_ms` is
+    /// set (the CLI defaults it to `<access_log>.slow`).
+    pub slow_query_log: Option<PathBuf>,
+    /// Seed for the server's trace-id generator (deterministic ids for
+    /// reproducible tests and benchmarks).
+    pub trace_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +151,11 @@ impl Default for ServeConfig {
             reload_poll: None,
             index_dir: None,
             metrics_out: None,
+            access_log: None,
+            access_log_max_bytes: 64 * 1024 * 1024,
+            slow_query_ms: None,
+            slow_query_log: None,
+            trace_seed: 17,
         }
     }
 }
@@ -143,13 +182,15 @@ pub struct ServeReport {
 
 /// Endpoint names; each gets a request counter, a latency histogram,
 /// and a rate-limit saturation counter.
-const ENDPOINTS: [&str; 8] = [
+const ENDPOINTS: [&str; 10] = [
     "health",
     "stats",
     "containing",
     "size",
     "max",
     "overlap",
+    "metrics",
+    "metrics_json",
     "not_found",
     "bad_request",
 ];
@@ -162,6 +203,8 @@ fn latency_key(endpoint: &str) -> &'static str {
         "size" => "http.size.ns",
         "max" => "http.max.ns",
         "overlap" => "http.overlap.ns",
+        "metrics" => "http.metrics.ns",
+        "metrics_json" => "http.metrics_json.ns",
         "not_found" => "http.not_found.ns",
         _ => "http.bad_request.ns",
     }
@@ -175,6 +218,8 @@ fn requests_key(endpoint: &str) -> &'static str {
         "size" => "http.size.requests",
         "max" => "http.max.requests",
         "overlap" => "http.overlap.requests",
+        "metrics" => "http.metrics.requests",
+        "metrics_json" => "http.metrics_json.requests",
         "not_found" => "http.not_found.requests",
         _ => "http.bad_request.requests",
     }
@@ -188,9 +233,47 @@ fn rate_limited_key(endpoint: &str) -> &'static str {
         "size" => "http.size.rate_limited",
         "max" => "http.max.rate_limited",
         "overlap" => "http.overlap.rate_limited",
+        "metrics" => "http.metrics.rate_limited",
+        "metrics_json" => "http.metrics_json.rate_limited",
         "not_found" => "http.not_found.rate_limited",
         _ => "http.bad_request.rate_limited",
     }
+}
+
+/// Per-status response counters, for the `gsb_http_responses_total`
+/// Prometheus family.
+fn status_key(status: u16) -> &'static str {
+    match status {
+        200 => "http.status.200",
+        400 => "http.status.400",
+        404 => "http.status.404",
+        405 => "http.status.405",
+        408 => "http.status.408",
+        429 => "http.status.429",
+        431 => "http.status.431",
+        500 => "http.status.500",
+        503 => "http.status.503",
+        _ => "http.status.other",
+    }
+}
+
+/// Statuses with a dedicated counter, in exposition order.
+const STATUS_LABELS: [(&str, u16); 9] = [
+    ("200", 200),
+    ("400", 400),
+    ("404", 404),
+    ("405", 405),
+    ("408", 408),
+    ("429", 429),
+    ("431", 431),
+    ("500", 500),
+    ("503", 503),
+];
+
+/// Endpoints exempt from the token buckets and from queue-full
+/// shedding: liveness and scrapes must keep answering during overload.
+fn admission_exempt(endpoint: &str) -> bool {
+    matches!(endpoint, "health" | "metrics" | "metrics_json")
 }
 
 /// One token bucket per endpoint (classic leaky refill: `rate`
@@ -233,7 +316,8 @@ impl TokenBuckets {
             .unwrap_or(ENDPOINTS.len() - 1);
         let mut b = self.buckets[i].lock().unwrap();
         let now = Instant::now();
-        b.tokens = (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate).min(self.burst);
+        b.tokens =
+            (b.tokens + now.duration_since(b.last).as_secs_f64() * self.rate).min(self.burst);
         b.last = now;
         if b.tokens >= 1.0 {
             b.tokens -= 1.0;
@@ -253,12 +337,100 @@ struct ServeState {
     config: ServeConfig,
     queue_depth: AtomicUsize,
     buckets: Option<TokenBuckets>,
+    /// When the server started (uptime for `/metrics`).
+    started: Instant,
+    /// Seeded trace-id generator for requests without `X-Gsb-Trace`.
+    trace_ids: Mutex<TraceIdGen>,
+    /// The JSONL access log, when enabled.
+    access: Option<Mutex<RotatingWriter>>,
+    /// The slow-query log, when enabled.
+    slow: Option<Mutex<RotatingWriter>>,
 }
 
 impl ServeState {
     /// Current index snapshot for one request.
     fn index(&self) -> Arc<CliqueIndex> {
         self.index.lock().unwrap().clone()
+    }
+
+    /// A fresh trace id from the seeded generator.
+    fn next_trace_id(&self) -> String {
+        self.trace_ids.lock().unwrap().next_id()
+    }
+
+    /// The live `--metrics-out`-shaped JSON snapshot (same renderer the
+    /// shutdown write uses), served by `GET /metrics-json`.
+    fn live_metrics_json(&self) -> String {
+        let connections = self.recorder.counter("http.connections").get();
+        let requests: u64 = ENDPOINTS
+            .iter()
+            .map(|ep| self.recorder.counter(requests_key(ep)).get())
+            .sum();
+        render_metrics(
+            &self.recorder,
+            connections,
+            requests,
+            self.started.elapsed(),
+        )
+    }
+
+    /// Append one access-log line (and tee it into the slow-query log
+    /// when the request crossed the `slow_query_ms` threshold). Called
+    /// on the worker path only — accept-loop sheds have no span.
+    fn log_access(
+        &self,
+        span: &SpanRecorder,
+        endpoint: &str,
+        status: u16,
+        cause: &str,
+        bytes: u64,
+    ) {
+        let total_ns = span.total_ns();
+        let slow = self
+            .config
+            .slow_query_ms
+            .is_some_and(|ms| total_ns >= ms.saturating_mul(1_000_000));
+        if slow {
+            self.recorder.add_named("http.slow_queries", 1);
+        }
+        let write_access = self.access.is_some();
+        let write_slow = slow && self.slow.is_some();
+        if !write_access && !write_slow {
+            return;
+        }
+        let ts_ms = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let record = AccessRecord {
+            ts_ms,
+            trace: span.trace_id().to_string(),
+            endpoint: endpoint.to_string(),
+            status,
+            cause: cause.to_string(),
+            bytes,
+            total_ns,
+            stages: span
+                .stages()
+                .iter()
+                .map(|&(name, ns)| (name.to_string(), ns))
+                .collect(),
+        };
+        let line = record.to_json_line();
+        if write_access {
+            if let Some(w) = &self.access {
+                if w.lock().unwrap().append_line(&line).is_err() {
+                    self.recorder.add_named("http.access_log_errors", 1);
+                }
+            }
+        }
+        if write_slow {
+            if let Some(w) = &self.slow {
+                if w.lock().unwrap().append_line(&line).is_err() {
+                    self.recorder.add_named("http.access_log_errors", 1);
+                }
+            }
+        }
     }
 
     /// Shed a connection with a typed, complete response. The pending
@@ -270,6 +442,7 @@ impl ServeState {
     fn shed(&self, stream: &mut TcpStream, status: u16, message: &str, key: &'static str) {
         self.recorder.add_named(key, 1);
         self.recorder.add_named("http.shed_total", 1);
+        self.recorder.add_named(status_key(status), 1);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let mut scratch = [0u8; 1024];
         let _ = stream.read(&mut scratch);
@@ -314,6 +487,20 @@ impl Server {
     pub fn run(self, shutdown: &ShutdownToken) -> std::io::Result<ServeReport> {
         let started = Instant::now();
         self.listener.set_nonblocking(true)?;
+        let access = match &self.config.access_log {
+            Some(path) => Some(Mutex::new(RotatingWriter::open(
+                path,
+                self.config.access_log_max_bytes,
+            )?)),
+            None => None,
+        };
+        let slow = match &self.config.slow_query_log {
+            Some(path) => Some(Mutex::new(RotatingWriter::open(
+                path,
+                self.config.access_log_max_bytes,
+            )?)),
+            None => None,
+        };
         let state = Arc::new(ServeState {
             index: Mutex::new(Arc::clone(&self.index)),
             recorder: AtomicRecorder::new(),
@@ -322,6 +509,10 @@ impl Server {
                 .config
                 .rate_limit
                 .map(|rate| TokenBuckets::new(rate, self.config.rate_burst)),
+            started,
+            trace_ids: Mutex::new(TraceIdGen::seeded(self.config.trace_seed)),
+            access,
+            slow,
             config: self.config.clone(),
         });
         let (tx, rx) = mpsc::channel::<Conn>();
@@ -356,6 +547,7 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     connections += 1;
+                    state.recorder.add_named("http.connections", 1);
                     if gsb_core::failpoint::inject("serve.accept").is_err() {
                         // Injected accept-path fault: account and drop,
                         // exactly like a socket that died post-accept.
@@ -365,16 +557,15 @@ impl Server {
                     configure_stream(&stream, &self.config);
                     let depth = state.queue_depth.load(Ordering::Acquire);
                     if depth >= self.config.queue_limit {
-                        // Shed inline with a short write budget so one
-                        // slow victim cannot stall the accept loop.
+                        // Queue full: answer /health and the metrics
+                        // endpoints inline (an overloaded server must
+                        // stay probe-able and scrapeable), shed the
+                        // rest with a typed 503 under a short write
+                        // budget so one slow victim cannot stall the
+                        // accept loop.
                         let mut stream = stream;
                         let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                        state.shed(
-                            &mut stream,
-                            503,
-                            "server overloaded, admission queue full",
-                            "http.shed.queue_full",
-                        );
+                        overload_inline(&state, &mut stream);
                         continue;
                     }
                     let depth = state.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
@@ -403,21 +594,17 @@ impl Server {
         // Drain sweep: everything already accepted drains through the
         // workers; connections still waiting in the kernel backlog are
         // shed with a typed 503 instead of a silent reset.
-        loop {
-            match self.listener.accept() {
-                Ok((mut stream, _)) => {
-                    connections += 1;
-                    let _ = stream.set_nonblocking(false);
-                    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-                    state.shed(
-                        &mut stream,
-                        503,
-                        "server draining for shutdown",
-                        "http.shed.draining",
-                    );
-                }
-                Err(_) => break,
-            }
+        while let Ok((mut stream, _)) = self.listener.accept() {
+            connections += 1;
+            state.recorder.add_named("http.connections", 1);
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            state.shed(
+                &mut stream,
+                503,
+                "server draining for shutdown",
+                "http.shed.draining",
+            );
         }
         drop(tx);
         for w in workers {
@@ -431,7 +618,8 @@ impl Server {
         for ep in ENDPOINTS {
             requests += state.recorder.counter(requests_key(ep)).get();
         }
-        let metrics_json = render_metrics(&state.recorder, connections, requests, started.elapsed());
+        let metrics_json =
+            render_metrics(&state.recorder, connections, requests, started.elapsed());
         if let Some(path) = &self.config.metrics_out {
             let bytes = metrics_json.clone().into_bytes();
             RetryPolicy::default().run_io(|| write_atomic_file(path, &bytes))?;
@@ -477,6 +665,7 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Conn>>, state: &ServeState) {
             // The worker survives a panicking request; the client gets
             // a typed 500 instead of a dead socket.
             state.recorder.add_named("http.worker_panics", 1);
+            state.recorder.add_named(status_key(500), 1);
             let _ = respond(
                 &mut conn.stream,
                 500,
@@ -490,7 +679,12 @@ fn worker_loop(rx: &Mutex<mpsc::Receiver<Conn>>, state: &ServeState) {
 /// Poll `index.meta`; on change, open + validate the new index off the
 /// serving path and swap it in atomically. A failed open keeps the old
 /// index serving and retries on the next change of the manifest.
-fn watch_index(dir: &std::path::Path, poll: Duration, state: &ServeState, shutdown: &ShutdownToken) {
+fn watch_index(
+    dir: &std::path::Path,
+    poll: Duration,
+    state: &ServeState,
+    shutdown: &ShutdownToken,
+) {
     let meta_path = dir.join(crate::format::META_FILE);
     let mut last = std::fs::read_to_string(&meta_path).unwrap_or_default();
     let mut since_poll = Duration::ZERO;
@@ -589,6 +783,357 @@ fn render_metrics(
     )
 }
 
+/// Render every recorder series as Prometheus text exposition (format
+/// 0.0.4). Reads only atomic snapshots — never blocks request threads.
+///
+/// Naming: structured families carry labels (`endpoint=`, `cause=`,
+/// `status=`); reader I/O counters come from [`CliqueIndex::io_stats`];
+/// any counter not claimed below is swept up as a sanitized
+/// `gsb_`-prefixed counter so new series are never silently dropped
+/// from scrapes.
+fn render_promtext(state: &ServeState, index: &CliqueIndex) -> String {
+    let r = &state.recorder;
+    let mut w = PromWriter::new();
+
+    let req = w.family(
+        "gsb_http_requests_total",
+        PromKind::Counter,
+        "Routed requests, by endpoint.",
+    );
+    for ep in ENDPOINTS {
+        w.sample(&req, &[("endpoint", ep)], r.counter(requests_key(ep)).get());
+    }
+
+    let dur = w.family(
+        "gsb_http_request_duration_ns",
+        PromKind::Histogram,
+        "Request handling latency in nanoseconds (log2 buckets), by endpoint.",
+    );
+    for ep in ENDPOINTS {
+        let h = r.histogram(latency_key(ep));
+        w.histogram(
+            &dur,
+            &[("endpoint", ep)],
+            &h.cumulative_buckets(),
+            h.sum(),
+            h.count(),
+        );
+    }
+
+    let limited = w.family(
+        "gsb_http_rate_limited_total",
+        PromKind::Counter,
+        "Requests answered 429 by the per-endpoint token bucket.",
+    );
+    for ep in ENDPOINTS {
+        w.sample(
+            &limited,
+            &[("endpoint", ep)],
+            r.counter(rate_limited_key(ep)).get(),
+        );
+    }
+
+    let shed = w.family(
+        "gsb_http_shed_total",
+        PromKind::Counter,
+        "Connections shed by admission control, by cause.",
+    );
+    for (cause, key) in [
+        ("queue_full", "http.shed.queue_full"),
+        ("deadline", "http.shed.deadline"),
+        ("slow_client", "http.shed.slow_client"),
+        ("draining", "http.shed.draining"),
+    ] {
+        w.sample(&shed, &[("cause", cause)], r.counter(key).get());
+    }
+
+    let status = w.family(
+        "gsb_http_responses_total",
+        PromKind::Counter,
+        "Responses written, by HTTP status.",
+    );
+    for (label, code) in STATUS_LABELS {
+        w.sample(
+            &status,
+            &[("status", label)],
+            r.counter(status_key(code)).get(),
+        );
+    }
+    w.sample(
+        &status,
+        &[("status", "other")],
+        r.counter("http.status.other").get(),
+    );
+
+    let depth = w.family(
+        "gsb_http_queue_depth",
+        PromKind::Gauge,
+        "Connections currently waiting in the admission queue.",
+    );
+    w.sample(&depth, &[], r.gauge("http.queue_depth").get());
+
+    // Plain counters: name, recorder key, help.
+    let plain: [(&str, &'static str, &str); 11] = [
+        (
+            "gsb_http_connections_total",
+            "http.connections",
+            "TCP connections accepted (including shed ones).",
+        ),
+        (
+            "gsb_http_degraded_total",
+            "http.degraded_total",
+            "Responses served degraded-exact (quarantined ids skipped).",
+        ),
+        (
+            "gsb_http_slow_queries_total",
+            "http.slow_queries",
+            "Requests slower than the slow-query threshold.",
+        ),
+        (
+            "gsb_http_reloads_total",
+            "http.reloads",
+            "Successful index hot-reloads.",
+        ),
+        (
+            "gsb_http_reload_errors_total",
+            "http.reload_errors",
+            "Hot-reload attempts that failed validation.",
+        ),
+        (
+            "gsb_http_worker_panics_total",
+            "http.worker_panics",
+            "Request handlers that panicked (contained, answered 500).",
+        ),
+        (
+            "gsb_http_read_errors_total",
+            "http.read_errors",
+            "Connections lost while reading the request.",
+        ),
+        (
+            "gsb_http_write_errors_total",
+            "http.write_errors",
+            "Responses that failed to write.",
+        ),
+        (
+            "gsb_http_accept_errors_total",
+            "http.accept_errors",
+            "Accept-path failures.",
+        ),
+        (
+            "gsb_http_rate_limited_requests_total",
+            "http.rate_limited_total",
+            "Requests answered 429, all endpoints.",
+        ),
+        (
+            "gsb_http_access_log_errors_total",
+            "http.access_log_errors",
+            "Access-log lines dropped on write failure.",
+        ),
+    ];
+    for (name, key, help) in plain {
+        let fam = w.family(name, PromKind::Counter, help);
+        w.sample(&fam, &[], r.counter(key).get());
+    }
+
+    // Reader I/O: block-cache effectiveness and decode cost. Counters
+    // reset on hot-reload (fresh reader), flagged by the generation.
+    let io = index.io_stats();
+    for (name, value, help) in [
+        (
+            "gsb_index_cache_hits_total",
+            io.cache_hits,
+            "Block lookups answered from the decoded-block cache.",
+        ),
+        (
+            "gsb_index_cache_misses_total",
+            io.cache_misses,
+            "Block lookups that had to read and decode from disk.",
+        ),
+        (
+            "gsb_index_cache_evictions_total",
+            io.cache_evictions,
+            "Cache insertions that displaced an older block.",
+        ),
+        (
+            "gsb_index_blocks_decoded_total",
+            io.blocks_decoded,
+            "Blocks read, CRC-verified, and decoded.",
+        ),
+        (
+            "gsb_index_decode_ns_total",
+            io.decode_ns,
+            "Nanoseconds spent in block read+CRC+decode.",
+        ),
+        (
+            "gsb_index_postings_reads_total",
+            io.postings_reads,
+            "Postings-list reads served.",
+        ),
+    ] {
+        let fam = w.family(name, PromKind::Counter, help);
+        w.sample(&fam, &[], value);
+    }
+    for (name, value, help) in [
+        (
+            "gsb_index_generation",
+            index.generation(),
+            "Rebuild generation of the live index.",
+        ),
+        (
+            "gsb_index_quarantined_blocks",
+            index.quarantined_blocks().len() as u64,
+            "Store blocks quarantined as corrupt since this reader opened.",
+        ),
+        (
+            "gsb_index_cliques",
+            index.len(),
+            "Cliques in the live index.",
+        ),
+    ] {
+        let fam = w.family(name, PromKind::Gauge, help);
+        w.sample(&fam, &[], value);
+    }
+
+    let uptime = w.family(
+        "gsb_uptime_seconds",
+        PromKind::Gauge,
+        "Seconds since the server started.",
+    );
+    w.sample_f64(&uptime, &[], state.started.elapsed().as_secs_f64());
+
+    // Sweep: any counter not claimed above still gets exposed, under a
+    // sanitized gsb_-prefixed name, so new instrumentation is never
+    // invisible to scrapes.
+    let mut claimed: std::collections::BTreeSet<&str> = [
+        "http.shed_total",
+        "http.shed.queue_full",
+        "http.shed.deadline",
+        "http.shed.slow_client",
+        "http.shed.draining",
+        "http.status.other",
+        "http.connections",
+        "http.degraded_total",
+        "http.slow_queries",
+        "http.reloads",
+        "http.reload_errors",
+        "http.worker_panics",
+        "http.read_errors",
+        "http.write_errors",
+        "http.accept_errors",
+        "http.rate_limited_total",
+        "http.access_log_errors",
+    ]
+    .into();
+    for ep in ENDPOINTS {
+        claimed.insert(requests_key(ep));
+        claimed.insert(rate_limited_key(ep));
+    }
+    for (_, code) in STATUS_LABELS {
+        claimed.insert(status_key(code));
+    }
+    for (key, value) in state.recorder.snapshot_counters() {
+        if claimed.contains(key) {
+            continue;
+        }
+        let fam = w.family(
+            &format!("gsb_{key}"),
+            PromKind::Counter,
+            "Unstructured counter (auto-exported).",
+        );
+        w.sample(&fam, &[], value);
+    }
+
+    w.finish()
+}
+
+/// The queue is full: answer an admission-exempt request (`/health`,
+/// `/metrics`, `/metrics-json`) inline from the accept loop, shed
+/// anything else with a typed 503. The header read is bounded (50ms,
+/// 1 KiB) so a slow client cannot stall accepting.
+fn overload_inline(state: &ServeState, stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut buf = [0u8; 1024];
+    let mut used = 0usize;
+    for _ in 0..2 {
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => break,
+            Ok(k) => {
+                used += k;
+                if find_head_end(&buf[..used]).is_some() || used == buf.len() {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..used]);
+    let first = head.lines().next().unwrap_or("");
+    let (route, limit) = parse_route(first);
+    let endpoint = route.endpoint();
+    if admission_exempt(endpoint) && find_head_end(&buf[..used]).is_some() {
+        let mut span = SpanRecorder::new(resolve_trace_id(state, &head));
+        span.stage("parse");
+        let index = state.index();
+        let (status, body, skipped, content_type) =
+            execute(state, &index, &route, limit, &mut span);
+        state.recorder.add_named(requests_key(endpoint), 1);
+        state.recorder.add_named(status_key(status), 1);
+        state
+            .recorder
+            .histogram(latency_key(endpoint))
+            .observe(span.total_ns());
+        let extra = trace_headers(&span);
+        if respond_full(stream, status, &body, skipped, content_type, &extra).is_err() {
+            state.recorder.add_named("http.write_errors", 1);
+        }
+        span.stage("respond");
+        state.log_access(
+            &span,
+            endpoint,
+            status,
+            "overload_exempt",
+            body.len() as u64,
+        );
+    } else {
+        state.recorder.add_named("http.shed.queue_full", 1);
+        state.recorder.add_named("http.shed_total", 1);
+        state.recorder.add_named(status_key(503), 1);
+        let body = "{\"error\":\"server overloaded, admission queue full\",\"shed\":true}";
+        if respond(stream, 503, body, 0).is_err() {
+            state.recorder.add_named("http.write_errors", 1);
+        }
+    }
+}
+
+/// The `X-Gsb-Trace` / `X-Gsb-Trace-Ns` response headers for a span.
+fn trace_headers(span: &SpanRecorder) -> [(&'static str, String); 2] {
+    [
+        ("X-Gsb-Trace", span.trace_id().to_string()),
+        ("X-Gsb-Trace-Ns", span.total_ns().to_string()),
+    ]
+}
+
+/// The request's trace id: an incoming valid `X-Gsb-Trace` header wins,
+/// else the server's seeded generator supplies one.
+fn resolve_trace_id(state: &ServeState, head: &str) -> String {
+    match header_value(head, "x-gsb-trace") {
+        Some(v) if valid_trace_id(v) => v.to_string(),
+        _ => state.next_trace_id(),
+    }
+}
+
+/// Case-insensitive lookup of one request-header value.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+    for line in head.lines().skip(1) {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim().eq_ignore_ascii_case(name) {
+                return Some(value.trim());
+            }
+        }
+    }
+    None
+}
+
 /// Trait bridge: `AtomicRecorder::add` takes `&'static str`; this
 /// helper keeps call sites tidy.
 trait AddNamed {
@@ -607,6 +1152,10 @@ impl AddNamed for AtomicRecorder {
 /// makes drain semantics ("no truncated responses") auditable.
 fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &ServeState) {
     let config = &state.config;
+    // The span's clock starts at accept: the first stage is the queue
+    // wait this request already paid for.
+    let mut span = SpanRecorder::started_at(String::new(), accepted_at);
+    span.stage("queue");
     // The budget already paid for queueing; a request that spent it all
     // waiting is shed rather than started.
     if accepted_at.elapsed() >= config.request_deadline {
@@ -616,6 +1165,7 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
             "request exceeded its deadline budget while queued",
             "http.shed.deadline",
         );
+        state.log_access(&span, "unparsed", 503, "deadline", 0);
         return;
     }
 
@@ -631,15 +1181,18 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
                 "request header did not complete within the deadline budget",
                 "http.shed.slow_client",
             );
+            span.stage("parse");
+            state.log_access(&span, "unparsed", 408, "slow_client", 0);
             return;
         };
         if used == buf.len() {
-            state
-                .recorder
-                .add_named("http.bad_request.requests", 1);
+            state.recorder.add_named("http.bad_request.requests", 1);
+            state.recorder.add_named(status_key(431), 1);
             if respond(stream, 431, "{\"error\":\"request header too large\"}", 0).is_err() {
                 state.recorder.add_named("http.write_errors", 1);
             }
+            span.stage("parse");
+            state.log_access(&span, "bad_request", 431, "header_too_large", 0);
             return;
         }
         let per_read = remaining.min(config.deadline).max(Duration::from_millis(1));
@@ -672,34 +1225,46 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
     let first = head.lines().next().unwrap_or("");
     let (route, limit) = parse_route(first);
     let endpoint = route.endpoint();
+    span.set_trace_id(resolve_trace_id(state, &head));
+    span.stage("parse");
 
     // Rate limiting sits between parse and execution: cheap typed 429s
     // under saturation, no index work spent on a shed request.
-    // `/health` is exempt so liveness probes pass during overload.
-    if endpoint != "health" {
+    // `/health` and the metrics endpoints are exempt so liveness probes
+    // and scrapes pass during overload.
+    if !admission_exempt(endpoint) {
         if let Some(buckets) = &state.buckets {
             if !buckets.try_take(endpoint) {
                 state.recorder.add_named(rate_limited_key(endpoint), 1);
                 state.recorder.add_named("http.rate_limited_total", 1);
-                if respond(
+                state.recorder.add_named(status_key(429), 1);
+                span.stage("admission");
+                let extra = trace_headers(&span);
+                if respond_full(
                     stream,
                     429,
                     "{\"error\":\"rate limit exceeded for this endpoint\"}",
                     0,
+                    CONTENT_TYPE_JSON,
+                    &extra,
                 )
                 .is_err()
                 {
                     state.recorder.add_named("http.write_errors", 1);
                 }
+                span.stage("respond");
+                state.log_access(&span, endpoint, 429, "rate_limited", 0);
                 return;
             }
         }
     }
+    span.stage("admission");
 
     let index = state.index();
     let started = Instant::now();
-    let (status, body, skipped) = execute(&index, &route, limit);
+    let (status, body, skipped, content_type) = execute(state, &index, &route, limit, &mut span);
     state.recorder.add_named(requests_key(endpoint), 1);
+    state.recorder.add_named(status_key(status), 1);
     state
         .recorder
         .histogram(latency_key(endpoint))
@@ -707,20 +1272,43 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
     if skipped > 0 {
         state.recorder.add_named("http.degraded_total", 1);
     }
-    if respond(stream, status, &body, skipped).is_err() {
+    let extra = trace_headers(&span);
+    if respond_full(stream, status, &body, skipped, content_type, &extra).is_err() {
         state.recorder.add_named("http.write_errors", 1);
     }
+    span.stage("respond");
+    let cause = if skipped > 0 { "degraded_exact" } else { "" };
+    state.log_access(&span, endpoint, status, cause, body.len() as u64);
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
+/// The default response content type.
+const CONTENT_TYPE_JSON: &str = "application/json";
+
+/// Prometheus text exposition content type.
+const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+
 /// Write one complete response. Every response closes the connection
 /// and carries an exact `Content-Length`; every error/shed status also
 /// carries `Retry-After`, and a degraded-exact answer is marked with
 /// `X-Gsb-Degraded: <skipped ids>`.
 fn respond(stream: &mut TcpStream, status: u16, body: &str, degraded: u64) -> std::io::Result<()> {
+    respond_full(stream, status, body, degraded, CONTENT_TYPE_JSON, &[])
+}
+
+/// [`respond`] with an explicit content type and extra headers (the
+/// trace id/total pair).
+fn respond_full(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    degraded: u64,
+    content_type: &str,
+    extra: &[(&'static str, String)],
+) -> std::io::Result<()> {
     gsb_core::failpoint::inject("serve.respond")?;
     let reason = match status {
         200 => "OK",
@@ -733,14 +1321,25 @@ fn respond(stream: &mut TcpStream, status: u16, body: &str, degraded: u64) -> st
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let retry_after = if status >= 400 { "Retry-After: 1\r\n" } else { "" };
+    let retry_after = if status >= 400 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
     let degraded_header = if degraded > 0 {
         format!("X-Gsb-Degraded: {degraded}\r\n")
     } else {
         String::new()
     };
+    let mut extra_headers = String::new();
+    for (name, value) in extra {
+        extra_headers.push_str(name);
+        extra_headers.push_str(": ");
+        extra_headers.push_str(value);
+        extra_headers.push_str("\r\n");
+    }
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry_after}{degraded_header}Connection: close\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry_after}{degraded_header}{extra_headers}Connection: close\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(response.as_bytes())?;
@@ -761,6 +1360,10 @@ enum Route {
     Size(u32, u32),
     /// `/overlap/<v>/<w>`.
     Overlap(u32, u32),
+    /// `/metrics` — Prometheus text exposition.
+    Metrics,
+    /// `/metrics-json` — the shutdown metrics snapshot, live.
+    MetricsJson,
     /// Unknown path.
     NotFound,
     /// Non-GET method.
@@ -778,6 +1381,8 @@ impl Route {
             Route::Containing(_) => "containing",
             Route::Size(..) => "size",
             Route::Overlap(..) => "overlap",
+            Route::Metrics => "metrics",
+            Route::MetricsJson => "metrics_json",
             Route::NotFound => "not_found",
             Route::MethodNotAllowed | Route::Bad(_) => "bad_request",
         }
@@ -806,6 +1411,8 @@ fn parse_route(request_line: &str) -> (Route, usize) {
         [] | ["health"] => Route::Health,
         ["stats"] => Route::Stats,
         ["max"] => Route::Max,
+        ["metrics"] => Route::Metrics,
+        ["metrics-json"] => Route::MetricsJson,
         ["containing", v] => match v.parse::<u32>() {
             Ok(v) => Route::Containing(v),
             Err(_) => Route::Bad("vertex must be a number"),
@@ -823,44 +1430,72 @@ fn parse_route(request_line: &str) -> (Route, usize) {
     (route, limit)
 }
 
-/// Execute a parsed route. Returns status, JSON body, and the count of
-/// ids skipped because their block is quarantined (degraded-exact).
-fn execute(index: &CliqueIndex, route: &Route, limit: usize) -> (u16, String, u64) {
+/// Execute a parsed route. Returns status, body, the count of ids
+/// skipped because their block is quarantined (degraded-exact), and the
+/// content type. Index lookups record their split into the span: the
+/// `postings` stage covers id-list reads and intersection, the `blocks`
+/// stage covers materializing cliques from store blocks (cache hits and
+/// decodes alike — the reader's `gsb_index_*` counters split those).
+fn execute(
+    state: &ServeState,
+    index: &CliqueIndex,
+    route: &Route,
+    limit: usize,
+    span: &mut SpanRecorder,
+) -> (u16, String, u64, &'static str) {
+    let json = CONTENT_TYPE_JSON;
     match route {
-        Route::Health => (200, "{\"status\":\"ok\"}".into(), 0),
-        Route::Stats => (200, stats_json(index), 0),
-        Route::Max => match index.max_clique() {
-            Ok(Some(c)) => (
-                200,
-                format!("{{\"size\":{},\"clique\":{}}}", c.len(), json_ids(&c)),
-                0,
-            ),
-            Ok(None) => (200, "{\"size\":0,\"clique\":[]}".into(), 0),
-            Err(e) => (500, error_json(&e), 0),
-        },
-        Route::Containing(v) => match index.containing(*v).and_then(|ids| {
-            index
-                .materialize_degraded(ids.iter().take(limit).copied())
-                .map(|d| (ids, d))
-        }) {
-            Ok((ids, d)) => (
-                200,
-                format!(
-                    "{{\"vertex\":{v},\"count\":{},\"ids\":{},\"cliques\":{}{}}}",
-                    ids.len(),
-                    json_u64s(&ids[..ids.len().min(limit)]),
-                    json_cliques(&d.cliques),
-                    degraded_field(d.skipped),
+        Route::Health => (200, "{\"status\":\"ok\"}".into(), 0, json),
+        Route::Stats => (200, stats_json(index), 0, json),
+        Route::Metrics => (200, render_promtext(state, index), 0, CONTENT_TYPE_PROM),
+        Route::MetricsJson => (200, state.live_metrics_json(), 0, json),
+        Route::Max => {
+            let result = index.max_clique();
+            span.stage("blocks");
+            match result {
+                Ok(Some(c)) => (
+                    200,
+                    format!("{{\"size\":{},\"clique\":{}}}", c.len(), json_ids(&c)),
+                    0,
+                    json,
                 ),
-                d.skipped,
-            ),
-            Err(e) => (500, error_json(&e), 0),
-        },
+                Ok(None) => (200, "{\"size\":0,\"clique\":[]}".into(), 0, json),
+                Err(e) => (500, error_json(&e), 0, json),
+            }
+        }
+        Route::Containing(v) => {
+            let ids = index.containing(*v);
+            span.stage("postings");
+            let result = ids.and_then(|ids| {
+                index
+                    .materialize_degraded(ids.iter().take(limit).copied())
+                    .map(|d| (ids, d))
+            });
+            span.stage("blocks");
+            match result {
+                Ok((ids, d)) => (
+                    200,
+                    format!(
+                        "{{\"vertex\":{v},\"count\":{},\"ids\":{},\"cliques\":{}{}}}",
+                        ids.len(),
+                        json_u64s(&ids[..ids.len().min(limit)]),
+                        json_cliques(&d.cliques),
+                        degraded_field(d.skipped),
+                    ),
+                    d.skipped,
+                    json,
+                ),
+                Err(e) => (500, error_json(&e), 0, json),
+            }
+        }
         Route::Size(lo, hi) => {
             let ids = index.of_size(*lo, *hi);
+            span.stage("postings");
             let count = ids.end - ids.start;
             let take = (count as usize).min(limit);
-            match index.materialize_degraded(ids.clone().take(take)) {
+            let result = index.materialize_degraded(ids.clone().take(take));
+            span.stage("blocks");
+            match result {
                 Ok(d) => (
                     200,
                     format!(
@@ -870,31 +1505,39 @@ fn execute(index: &CliqueIndex, route: &Route, limit: usize) -> (u16, String, u6
                         degraded_field(d.skipped),
                     ),
                     d.skipped,
+                    json,
                 ),
-                Err(e) => (500, error_json(&e), 0),
+                Err(e) => (500, error_json(&e), 0, json),
             }
         }
-        Route::Overlap(v, w) => match index.overlap(*v, *w).and_then(|ids| {
-            index
-                .materialize_degraded(ids.iter().take(limit).copied())
-                .map(|d| (ids, d))
-        }) {
-            Ok((ids, d)) => (
-                200,
-                format!(
-                    "{{\"v\":{v},\"w\":{w},\"count\":{},\"ids\":{},\"cliques\":{}{}}}",
-                    ids.len(),
-                    json_u64s(&ids[..ids.len().min(limit)]),
-                    json_cliques(&d.cliques),
-                    degraded_field(d.skipped),
+        Route::Overlap(v, w) => {
+            let ids = index.overlap(*v, *w);
+            span.stage("postings");
+            let result = ids.and_then(|ids| {
+                index
+                    .materialize_degraded(ids.iter().take(limit).copied())
+                    .map(|d| (ids, d))
+            });
+            span.stage("blocks");
+            match result {
+                Ok((ids, d)) => (
+                    200,
+                    format!(
+                        "{{\"v\":{v},\"w\":{w},\"count\":{},\"ids\":{},\"cliques\":{}{}}}",
+                        ids.len(),
+                        json_u64s(&ids[..ids.len().min(limit)]),
+                        json_cliques(&d.cliques),
+                        degraded_field(d.skipped),
+                    ),
+                    d.skipped,
+                    json,
                 ),
-                d.skipped,
-            ),
-            Err(e) => (500, error_json(&e), 0),
-        },
-        Route::NotFound => (404, "{\"error\":\"no such endpoint\"}".into(), 0),
-        Route::MethodNotAllowed => (405, "{\"error\":\"only GET is supported\"}".into(), 0),
-        Route::Bad(message) => (400, format!("{{\"error\":\"{message}\"}}"), 0),
+                Err(e) => (500, error_json(&e), 0, json),
+            }
+        }
+        Route::NotFound => (404, "{\"error\":\"no such endpoint\"}".into(), 0, json),
+        Route::MethodNotAllowed => (405, "{\"error\":\"only GET is supported\"}".into(), 0, json),
+        Route::Bad(message) => (400, format!("{{\"error\":\"{message}\"}}"), 0, json),
     }
 }
 
@@ -979,7 +1622,10 @@ mod tests {
 
     #[test]
     fn route_parsing_is_total() {
-        assert!(matches!(parse_route("GET /health HTTP/1.1").0, Route::Health));
+        assert!(matches!(
+            parse_route("GET /health HTTP/1.1").0,
+            Route::Health
+        ));
         assert!(matches!(parse_route("GET / HTTP/1.1").0, Route::Health));
         assert!(matches!(
             parse_route("GET /containing/7 HTTP/1.1").0,
@@ -1005,6 +1651,40 @@ mod tests {
         let long = format!("GET /{} HTTP/1.1", "a".repeat(4000));
         assert!(matches!(parse_route(&long).0, Route::Bad(_)));
         assert_eq!(parse_route("GET /max?limit=3 HTTP/1.1").1, 3);
+    }
+
+    #[test]
+    fn metrics_routes_parse_and_are_admission_exempt() {
+        assert!(matches!(
+            parse_route("GET /metrics HTTP/1.1").0,
+            Route::Metrics
+        ));
+        assert!(matches!(
+            parse_route("GET /metrics-json HTTP/1.1").0,
+            Route::MetricsJson
+        ));
+        assert!(admission_exempt("health"));
+        assert!(admission_exempt("metrics"));
+        assert!(admission_exempt("metrics_json"));
+        assert!(!admission_exempt("containing"));
+        assert!(!admission_exempt("stats"));
+    }
+
+    #[test]
+    fn header_value_is_case_insensitive_and_trimmed() {
+        let head = "GET / HTTP/1.1\r\nHost: x\r\nX-Gsb-Trace:  abc-123 \r\n\r\n";
+        assert_eq!(header_value(head, "x-gsb-trace"), Some("abc-123"));
+        assert_eq!(header_value(head, "host"), Some("x"));
+        assert_eq!(header_value(head, "missing"), None);
+    }
+
+    #[test]
+    fn status_keys_are_distinct_per_status() {
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, code) in STATUS_LABELS {
+            assert!(seen.insert(status_key(code)), "duplicate for {code}");
+        }
+        assert_eq!(status_key(418), "http.status.other");
     }
 
     #[test]

@@ -138,8 +138,7 @@ fn fuzz_payload(seed: u64) -> Vec<u8> {
         }
         1 => {
             // Wrong method on a real path.
-            let method = ["POST", "PUT", "DELETE", "PATCH", "get", "G E T"]
-                [rng.below(6) as usize];
+            let method = ["POST", "PUT", "DELETE", "PATCH", "get", "G E T"][rng.below(6) as usize];
             payload.extend_from_slice(format!("{method} /health HTTP/1.1\r\nHost: f").as_bytes());
         }
         2 => {
@@ -161,8 +160,13 @@ fn fuzz_payload(seed: u64) -> Vec<u8> {
         }
         4 => {
             // Truncated or mangled request line.
-            let line = ["GET", "GET ", "/health HTTP/1.1", "HTTP/1.1 GET /health", "\t"]
-                [rng.below(5) as usize];
+            let line = [
+                "GET",
+                "GET ",
+                "/health HTTP/1.1",
+                "HTTP/1.1 GET /health",
+                "\t",
+            ][rng.below(5) as usize];
             payload.extend_from_slice(line.as_bytes());
         }
         5 => {

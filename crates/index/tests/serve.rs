@@ -291,7 +291,10 @@ fn hot_reload_swaps_generations_and_survives_a_bad_rebuild() {
     }
     let (status, body) = get(addr, "/max");
     assert_eq!(status, 200);
-    assert!(body.contains("\"size\":7"), "answers not from the new index: {body}");
+    assert!(
+        body.contains("\"size\":7"),
+        "answers not from the new index: {body}"
+    );
 
     // A broken rebuild must not take the server down: corrupt the
     // manifest, give the watcher time to trip over it, and verify the

@@ -1,0 +1,273 @@
+//! Structured JSONL access log: one self-describing line per request,
+//! with per-stage span timings flattened into `stage_<name>_ns` keys,
+//! plus a size-capped [`RotatingWriter`] that rotates by atomic rename.
+//!
+//! The schema is shared between the serving tier (which writes it) and
+//! `gsb tail` (which reads it), so both live here in `gsb_telemetry`
+//! next to the JSON machinery they use. Records round-trip through
+//! [`AccessRecord::to_json_line`] / [`AccessRecord::parse`]; unknown
+//! keys are ignored on parse so the schema can grow.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::json::{self, JsonValue, ObjectWriter};
+
+/// One access-log line.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessRecord {
+    /// Milliseconds since the Unix epoch at completion.
+    pub ts_ms: u64,
+    /// Trace id (client-supplied or server-generated).
+    pub trace: String,
+    /// Endpoint label (one of the server's `ENDPOINTS` names).
+    pub endpoint: String,
+    /// HTTP status written to the client.
+    pub status: u16,
+    /// Shed/degraded cause (`"queue_full"`, `"rate_limited"`,
+    /// `"degraded_exact"`, ... ) or empty when none.
+    pub cause: String,
+    /// Response body bytes.
+    pub bytes: u64,
+    /// Wall time from span start to log, nanoseconds.
+    pub total_ns: u64,
+    /// Ordered `(stage, nanoseconds)` pairs from the request span.
+    pub stages: Vec<(String, u64)>,
+}
+
+impl AccessRecord {
+    /// Render as a single JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.u64_field("ts_ms", self.ts_ms);
+        w.str_field("trace", &self.trace);
+        w.str_field("endpoint", &self.endpoint);
+        w.u64_field("status", u64::from(self.status));
+        if !self.cause.is_empty() {
+            w.str_field("cause", &self.cause);
+        }
+        w.u64_field("bytes", self.bytes);
+        w.u64_field("total_ns", self.total_ns);
+        for (stage, ns) in &self.stages {
+            w.u64_field(&format!("stage_{stage}_ns"), *ns);
+        }
+        w.finish()
+    }
+
+    /// Parse one JSON line. Stage keys (`stage_<name>_ns`) are
+    /// collected in the object's (sorted) key order; unknown keys are
+    /// ignored.
+    pub fn parse(line: &str) -> Option<AccessRecord> {
+        let JsonValue::Object(map) = json::parse(line).ok()? else {
+            return None;
+        };
+        let get_u64 = |key: &str| -> Option<u64> { map.get(key).and_then(JsonValue::as_u64) };
+        let get_str = |key: &str| -> Option<String> {
+            map.get(key).and_then(JsonValue::as_str).map(String::from)
+        };
+        let mut stages = Vec::new();
+        for (key, value) in &map {
+            if let Some(stage) = key
+                .strip_prefix("stage_")
+                .and_then(|rest| rest.strip_suffix("_ns"))
+            {
+                if let Some(ns) = value.as_u64() {
+                    if !stage.is_empty() {
+                        stages.push((stage.to_string(), ns));
+                    }
+                }
+            }
+        }
+        Some(AccessRecord {
+            ts_ms: get_u64("ts_ms")?,
+            trace: get_str("trace")?,
+            endpoint: get_str("endpoint")?,
+            status: get_u64("status")? as u16,
+            cause: get_str("cause").unwrap_or_default(),
+            bytes: get_u64("bytes").unwrap_or(0),
+            total_ns: get_u64("total_ns").unwrap_or(0),
+            stages,
+        })
+    }
+}
+
+/// An append-only line writer that rotates by atomic rename when the
+/// file would exceed `max_bytes`: the live file moves to `<path>.1`
+/// (clobbering any previous `<path>.1`) and a fresh file is opened at
+/// `path`. One generation of history is deliberate — the access log is
+/// an operational window, not an archive; ship older generations off
+/// the box before they rotate away.
+#[derive(Debug)]
+pub struct RotatingWriter {
+    path: PathBuf,
+    max_bytes: u64,
+    written: u64,
+    out: BufWriter<File>,
+}
+
+impl RotatingWriter {
+    /// Open (appending) the log at `path`, rotating once the file
+    /// exceeds `max_bytes`. `max_bytes == 0` disables rotation.
+    pub fn open(path: &Path, max_bytes: u64) -> io::Result<RotatingWriter> {
+        let out = OpenOptions::new().create(true).append(true).open(path)?;
+        let written = out.metadata()?.len();
+        Ok(RotatingWriter {
+            path: path.to_path_buf(),
+            max_bytes,
+            written,
+            out: BufWriter::new(out),
+        })
+    }
+
+    /// Append one line (a trailing `\n` is added) and flush, rotating
+    /// first if the line would push the file past the cap.
+    pub fn append_line(&mut self, line: &str) -> io::Result<()> {
+        let incoming = line.len() as u64 + 1;
+        if self.max_bytes > 0 && self.written > 0 && self.written + incoming > self.max_bytes {
+            self.rotate()?;
+        }
+        self.out.write_all(line.as_bytes())?;
+        self.out.write_all(b"\n")?;
+        // Flush per line: the log must be complete at the moment of a
+        // crash, and tail -f must see lines promptly.
+        self.out.flush()?;
+        self.written += incoming;
+        Ok(())
+    }
+
+    /// The path of the live log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Bytes written to the current generation.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        let mut rotated = self.path.as_os_str().to_os_string();
+        rotated.push(".1");
+        std::fs::rename(&self.path, PathBuf::from(rotated))?;
+        let fresh = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.out = BufWriter::new(fresh);
+        self.written = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> AccessRecord {
+        AccessRecord {
+            ts_ms: 1_700_000_000_123,
+            trace: "ab12cd34ef56ab78".into(),
+            endpoint: "containing".into(),
+            status: 200,
+            cause: String::new(),
+            bytes: 512,
+            total_ns: 1_234_567,
+            stages: vec![
+                ("queue".into(), 1000),
+                ("parse".into(), 2000),
+                ("postings".into(), 3000),
+                ("blocks".into(), 4000),
+                ("respond".into(), 500),
+            ],
+        }
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let rec = sample_record();
+        let line = rec.to_json_line();
+        assert!(!line.contains('\n'));
+        let back = AccessRecord::parse(&line).expect("parse");
+        assert_eq!(back.ts_ms, rec.ts_ms);
+        assert_eq!(back.trace, rec.trace);
+        assert_eq!(back.endpoint, rec.endpoint);
+        assert_eq!(back.status, rec.status);
+        assert_eq!(back.cause, rec.cause);
+        assert_eq!(back.bytes, rec.bytes);
+        assert_eq!(back.total_ns, rec.total_ns);
+        let mut expected = rec.stages.clone();
+        expected.sort();
+        assert_eq!(back.stages, expected);
+    }
+
+    #[test]
+    fn cause_field_appears_only_when_set() {
+        let mut rec = sample_record();
+        assert!(!rec.to_json_line().contains("\"cause\""));
+        rec.cause = "queue_full".into();
+        rec.status = 503;
+        let line = rec.to_json_line();
+        assert!(line.contains("\"cause\":\"queue_full\""));
+        let back = AccessRecord::parse(&line).unwrap();
+        assert_eq!(back.cause, "queue_full");
+        assert_eq!(back.status, 503);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_missing_required_keys() {
+        assert!(AccessRecord::parse("not json").is_none());
+        assert!(AccessRecord::parse("{}").is_none());
+        assert!(AccessRecord::parse("{\"ts_ms\":1}").is_none());
+        // Unknown keys are tolerated.
+        let line =
+            "{\"ts_ms\":1,\"trace\":\"t\",\"endpoint\":\"max\",\"status\":200,\"future_key\":true}";
+        let rec = AccessRecord::parse(line).unwrap();
+        assert_eq!(rec.endpoint, "max");
+        assert!(rec.stages.is_empty());
+    }
+
+    #[test]
+    fn writer_rotates_at_cap_with_atomic_rename() {
+        let dir = std::env::temp_dir().join(format!("gsb-access-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("access.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("access.jsonl.1"));
+
+        let mut w = RotatingWriter::open(&path, 64).unwrap();
+        let line = "x".repeat(30); // 31 bytes with newline
+        w.append_line(&line).unwrap();
+        w.append_line(&line).unwrap(); // 62 bytes, still under cap
+        w.append_line(&line).unwrap(); // would hit 93 > 64: rotate first
+        assert_eq!(w.written(), 31);
+
+        let rotated = std::fs::read_to_string(dir.join("access.jsonl.1")).unwrap();
+        assert_eq!(rotated.lines().count(), 2);
+        let live = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(live.lines().count(), 1);
+
+        // Re-opening resumes the byte count of the live file.
+        drop(w);
+        let w2 = RotatingWriter::open(&path, 64).unwrap();
+        assert_eq!(w2.written(), 31);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_cap_never_rotates() {
+        let dir = std::env::temp_dir().join(format!("gsb-access0-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("a.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut w = RotatingWriter::open(&path, 0).unwrap();
+        for _ in 0..20 {
+            w.append_line(&"y".repeat(100)).unwrap();
+        }
+        assert!(!dir.join("a.jsonl.1").exists());
+        assert_eq!(w.written(), 20 * 101);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,17 +25,33 @@
 //! * [`report`] — parse a run report back (tolerating a truncated last
 //!   line — the file of a crashed run) and render the Fig. 8-style
 //!   per-level imbalance table.
+//! * [`promtext`] — Prometheus text-format exposition
+//!   ([`promtext::PromWriter`]) for the serving tier's live `/metrics`
+//!   endpoint.
+//! * [`trace`] — request-scoped tracing: seeded
+//!   [`trace::TraceIdGen`] trace ids and the per-stage
+//!   [`trace::SpanRecorder`].
+//! * [`access`] — the JSONL access-log schema
+//!   ([`access::AccessRecord`]) shared by the server (writer) and
+//!   `gsb tail` (reader), plus the size-capped
+//!   [`access::RotatingWriter`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod json;
+pub mod promtext;
 pub mod record;
 pub mod recorder;
 pub mod report;
 pub mod runlog;
+pub mod trace;
 
+pub use access::{AccessRecord, RotatingWriter};
+pub use promtext::{PromKind, PromWriter};
 pub use record::{LevelRecord, RecordError, RunSummary};
 pub use recorder::{AtomicRecorder, Counter, Gauge, Histogram, NoopRecorder, Recorder, TimedScope};
 pub use report::{parse_report, render_report, ParsedReport};
 pub use runlog::{RunTelemetry, TelemetryConfig};
+pub use trace::{SpanRecorder, TraceIdGen};

@@ -1,0 +1,274 @@
+//! Prometheus text-format exposition (version 0.0.4), hand-rolled and
+//! std-only like the rest of the stack.
+//!
+//! The serving tier's `GET /metrics` endpoint renders every live
+//! [`crate::AtomicRecorder`] series through this module. The format is
+//! deliberately tiny — `# HELP` / `# TYPE` comments followed by
+//! `name{label="value"} 1234` sample lines — but the rules that make a
+//! scrape *valid* are easy to get subtly wrong, so they live here once,
+//! tested:
+//!
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*` (anything else is
+//!   sanitized to `_`, see [`sanitize_metric_name`]);
+//! * label values escape `\`, `"`, and newline ([`escape_label_value`]);
+//! * `HELP` text escapes `\` and newline ([`escape_help`]);
+//! * histograms render as cumulative `_bucket{le="..."}` lines in
+//!   ascending `le` order, closed by `le="+Inf"` == `_count`, plus
+//!   `_sum` and `_count`;
+//! * each metric name declares its `TYPE` exactly once, before its
+//!   first sample.
+//!
+//! [`PromWriter`] enforces the single-declaration and histogram
+//! invariants by construction; `scripts/promtext_lint.py` re-checks the
+//! rendered text from the outside in CI.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// The metric kinds this exposition uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PromKind {
+    /// Monotonically non-decreasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+    /// Cumulative `_bucket`/`_sum`/`_count` family.
+    Histogram,
+}
+
+impl PromKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PromKind::Counter => "counter",
+            PromKind::Gauge => "gauge",
+            PromKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Sanitize to the Prometheus metric-name alphabet
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every illegal byte becomes `_`, and a
+/// leading digit gets a `_` prefix. Empty input becomes `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape `HELP` text: `\` → `\\`, newline → `\n` (quotes are legal).
+pub fn escape_help(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Accumulates one exposition document. Metric families must be
+/// declared ([`PromWriter::family`]) before their samples; declaring
+/// the same name twice is ignored (first declaration wins), so callers
+/// can emit label variants from independent loops.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    buf: String,
+    declared: BTreeSet<String>,
+}
+
+impl PromWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare `name` with its type and help text. `name` is sanitized;
+    /// the sanitized name is returned for use in sample calls. A second
+    /// declaration of the same name is a no-op.
+    pub fn family(&mut self, name: &str, kind: PromKind, help: &str) -> String {
+        let name = sanitize_metric_name(name);
+        if self.declared.insert(name.clone()) {
+            let _ = writeln!(self.buf, "# HELP {name} {}", escape_help(help));
+            let _ = writeln!(self.buf, "# TYPE {name} {}", kind.as_str());
+        }
+        name
+    }
+
+    /// One integer sample. `labels` render in the given order.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_text(name, labels, &value.to_string());
+    }
+
+    /// One float sample (finite values; NaN renders as `NaN` which
+    /// Prometheus accepts, so no special-casing).
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_text(name, labels, &format!("{value}"));
+    }
+
+    fn sample_text(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        debug_assert!(
+            self.declared.contains(name)
+                || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                    name.strip_suffix(suffix)
+                        .is_some_and(|base| self.declared.contains(base))
+                }),
+            "sample for undeclared family {name}"
+        );
+        self.buf.push_str(name);
+        if !labels.is_empty() {
+            self.buf.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.buf.push(',');
+                }
+                let _ = write!(
+                    self.buf,
+                    "{}=\"{}\"",
+                    sanitize_metric_name(k),
+                    escape_label_value(v)
+                );
+            }
+            self.buf.push('}');
+        }
+        let _ = writeln!(self.buf, " {value}");
+    }
+
+    /// A full histogram family instance: cumulative `(upper_bound,
+    /// cumulative_count)` buckets ascending in bound, then the
+    /// mandatory `le="+Inf"` bucket equal to `count`, then `_sum` and
+    /// `_count`. `name` must have been declared as
+    /// [`PromKind::Histogram`]. Bucket counts are clamped to `count` so
+    /// a torn concurrent snapshot can never render a non-monotone
+    /// series.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(u64, u64)],
+        sum: u64,
+        count: u64,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let mut prev = 0u64;
+        for &(bound, cumulative) in buckets {
+            let cumulative = cumulative.clamp(prev, count);
+            prev = cumulative;
+            let le = bound.to_string();
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.sample_text(&bucket_name, &with_le, &cumulative.to_string());
+        }
+        let mut with_inf = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample_text(&bucket_name, &with_inf, &count.to_string());
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count);
+    }
+
+    /// The rendered document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize_metric_name("http.max.ns"), "http_max_ns");
+        assert_eq!(sanitize_metric_name("ok_name:x9"), "ok_name:x9");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name(""), "_");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn escapes_label_values_and_help() {
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_help("50% of \\ runs\nok"), "50% of \\\\ runs\\nok");
+    }
+
+    #[test]
+    fn family_declared_once_and_samples_render() {
+        let mut w = PromWriter::new();
+        let name = w.family("gsb.http.requests", PromKind::Counter, "requests");
+        assert_eq!(name, "gsb_http_requests");
+        w.family("gsb.http.requests", PromKind::Counter, "requests again");
+        w.sample(&name, &[("endpoint", "max")], 3);
+        w.sample(&name, &[("endpoint", "a\"b")], 1);
+        let text = w.finish();
+        assert_eq!(text.matches("# TYPE gsb_http_requests counter").count(), 1);
+        assert!(text.contains("gsb_http_requests{endpoint=\"max\"} 3\n"));
+        assert!(text.contains("gsb_http_requests{endpoint=\"a\\\"b\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_with_inf_closure() {
+        let mut w = PromWriter::new();
+        let name = w.family("lat_ns", PromKind::Histogram, "latency");
+        w.histogram(&name, &[("endpoint", "max")], &[(1, 2), (7, 5)], 99, 6);
+        let text = w.finish();
+        let lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "lat_ns_bucket{endpoint=\"max\",le=\"1\"} 2",
+                "lat_ns_bucket{endpoint=\"max\",le=\"7\"} 5",
+                "lat_ns_bucket{endpoint=\"max\",le=\"+Inf\"} 6",
+                "lat_ns_sum{endpoint=\"max\"} 99",
+                "lat_ns_count{endpoint=\"max\"} 6",
+            ]
+        );
+    }
+
+    #[test]
+    fn histogram_clamps_torn_snapshots_monotone() {
+        let mut w = PromWriter::new();
+        let name = w.family("h", PromKind::Histogram, "h");
+        // A racing writer made bucket counts momentarily exceed count
+        // and dip: the render clamps to a monotone series ending at
+        // count.
+        w.histogram(&name, &[], &[(1, 5), (3, 4), (7, 12)], 10, 6);
+        let text = w.finish();
+        let values: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("h_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(values, vec![5, 5, 6, 6]);
+    }
+}

@@ -193,6 +193,39 @@ impl Histogram {
         }
     }
 
+    /// Cumulative bucket snapshot for exposition: `(upper_bound,
+    /// cumulative_count)` pairs in ascending bound order, truncated
+    /// after the last non-empty bucket (so an idle histogram renders
+    /// compactly). Bucket `i` holds values needing `i` significant
+    /// bits, so its inclusive upper bound is `0` for `i == 0` and
+    /// `2^i - 1` otherwise. The snapshot is taken bucket-by-bucket
+    /// without locking; a torn read can momentarily disagree with
+    /// [`Histogram::count`], which renderers must clamp for.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let last = match counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(last + 1) {
+            cumulative = cumulative.saturating_add(c);
+            let bound = if i == 0 {
+                0
+            } else {
+                (1u64 << (i - 1)).saturating_mul(2).saturating_sub(1)
+            };
+            out.push((bound, cumulative));
+        }
+        out
+    }
+
     /// Approximate quantile from the log₂ buckets: returns the upper
     /// bound of the bucket containing the `q`-quantile sample
     /// (`0.0 ..= 1.0`). Coarse by construction — within a factor of two.
@@ -309,6 +342,19 @@ impl AtomicRecorder {
             .map(|(&k, h)| (k, (h.count(), h.sum(), h.max())))
             .collect()
     }
+
+    /// Sorted handles to every registered histogram. Cloned handles
+    /// share the live cells, so callers (e.g. the `/metrics` renderer)
+    /// can drop the registry lock before reading bucket contents.
+    pub fn histogram_handles(&self) -> Vec<(&'static str, Histogram)> {
+        self.instruments
+            .read()
+            .unwrap()
+            .histograms
+            .iter()
+            .map(|(&k, h)| (k, h.clone()))
+            .collect()
+    }
 }
 
 impl Recorder for AtomicRecorder {
@@ -368,6 +414,82 @@ mod tests {
         // the max lives in the [512, 1023] bucket
         assert!(h.quantile_upper_bound(1.0) >= 1000);
         assert_eq!(Histogram::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_empty_edge_cases() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+        assert_eq!(h.quantile_upper_bound(0.5), 0);
+        assert_eq!(h.quantile_upper_bound(1.0), 0);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn histogram_single_sample() {
+        let h = Histogram::default();
+        h.observe(700);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 700);
+        assert_eq!(h.max(), 700);
+        assert_eq!(h.mean(), 700.0);
+        // Every quantile lands in the one occupied bucket [512, 1023].
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile_upper_bound(q), 1023, "q={q}");
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last(), Some(&(1023, 1)));
+        // All earlier cumulative counts are zero.
+        assert!(buckets[..buckets.len() - 1].iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn histogram_all_samples_one_bucket() {
+        let h = Histogram::default();
+        for v in [16u64, 20, 25, 31] {
+            h.observe(v); // all need 5 significant bits: bucket [16, 31]
+        }
+        assert_eq!(h.quantile_upper_bound(0.01), 31);
+        assert_eq!(h.quantile_upper_bound(0.5), 31);
+        assert_eq!(h.quantile_upper_bound(1.0), 31);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last(), Some(&(31, 4)));
+        assert_eq!(buckets.iter().filter(|&&(_, c)| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn histogram_sum_overflow_wraps_but_count_and_quantiles_survive() {
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        h.observe(3);
+        // fetch_add wraps on overflow: sum is meaningless past u64::MAX
+        // but must not panic, and count/max/quantiles stay correct.
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX.wrapping_add(u64::MAX).wrapping_add(3));
+        assert_eq!(h.quantile_upper_bound(0.01), 3);
+        assert!(h.quantile_upper_bound(1.0) > 1u64 << 62);
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().map(|&(_, c)| c), Some(3));
+    }
+
+    #[test]
+    fn histogram_handles_enumerate_shared_cells() {
+        let r = AtomicRecorder::new();
+        r.observe("a_ns", 5);
+        r.observe("b_ns", 9);
+        let handles = r.histogram_handles();
+        let names: Vec<&str> = handles.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["a_ns", "b_ns"]);
+        // The handle shares cells with the registry: later observes are
+        // visible through the already-returned handle.
+        r.observe("a_ns", 6);
+        assert_eq!(handles[0].1.count(), 2);
     }
 
     #[test]

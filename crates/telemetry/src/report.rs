@@ -81,7 +81,9 @@ fn imbalance_pct(values: &[u64]) -> f64 {
     }
 }
 
-fn fmt_ns(ns: u64) -> String {
+/// Humanize nanoseconds (`1.5ms`, `2.00s`, ...). Public because the
+/// serving-side `gsb tail` analyzer renders the same units.
+pub fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.2}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -93,7 +95,8 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-fn fmt_bytes(bytes: u64) -> String {
+/// Humanize bytes (`1.5KiB`, `2.00GiB`, ...).
+pub fn fmt_bytes(bytes: u64) -> String {
     const KIB: u64 = 1024;
     if bytes >= KIB * KIB * KIB {
         format!("{:.2}GiB", bytes as f64 / (KIB * KIB * KIB) as f64)
@@ -106,25 +109,31 @@ fn fmt_bytes(bytes: u64) -> String {
     }
 }
 
-/// Right-align cells into fixed columns.
-struct TextTable {
+/// Right-align cells into fixed columns. Shared by the run-report
+/// renderer and the `gsb tail` access-log analyzer, so enumeration and
+/// serving keep one table style.
+#[derive(Debug)]
+pub struct TextTable {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
 }
 
 impl TextTable {
-    fn new(header: &[&str]) -> TextTable {
+    /// A table with the given column headers.
+    pub fn new(header: &[&str]) -> TextTable {
         TextTable {
             header: header.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
         }
     }
 
-    fn row(&mut self, cells: Vec<String>) {
+    /// Append one row (extra cells beyond the header are dropped).
+    pub fn row(&mut self, cells: Vec<String>) {
         self.rows.push(cells);
     }
 
-    fn render(&self, out: &mut String) {
+    /// Render the table (header, rule, rows) into `out`.
+    pub fn render(&self, out: &mut String) {
         let cols = self.header.len();
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
         for row in &self.rows {

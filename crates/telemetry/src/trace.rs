@@ -1,0 +1,187 @@
+//! Request-scoped tracing: trace ids and per-stage span timing.
+//!
+//! One request through the serving tier crosses several very different
+//! regimes — queue wait under admission control, header parsing against
+//! slow clients, postings intersection, block fetch (cache hit or CRC +
+//! decode), response write — and an aggregate latency histogram cannot
+//! say *which* regime made an outlier slow. A [`SpanRecorder`] is the
+//! cheap alternative to a tracing framework: a trace id plus an ordered
+//! list of `(stage, nanoseconds)` pairs, built with two `Instant`
+//! reads per stage and no allocation beyond the stage vector.
+//!
+//! Trace ids come from the client (`X-Gsb-Trace` request header, so a
+//! caller can follow its request through a router fan-out later) or
+//! from [`TraceIdGen`] — a seeded xorshift64* generator, deterministic
+//! per server instance like every other seeded component in this repo.
+
+use std::time::Instant;
+
+/// Maximum accepted length of a client-supplied trace id.
+pub const MAX_TRACE_ID_LEN: usize = 64;
+
+/// Is `id` acceptable as a client-supplied trace id? Bounded length,
+/// ASCII alphanumerics plus `._-` only — it is echoed into a response
+/// header and the access log, so the alphabet is deliberately tight
+/// (no CR/LF header injection, no JSON escaping surprises).
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_TRACE_ID_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
+/// Deterministic trace-id generator (xorshift64*), seeded once per
+/// server. Ids are 16 lowercase hex chars.
+#[derive(Clone, Debug)]
+pub struct TraceIdGen {
+    state: u64,
+}
+
+impl TraceIdGen {
+    /// Seeded generator; a zero seed is remapped (xorshift fixpoint).
+    pub fn seeded(seed: u64) -> Self {
+        // SplitMix64 scramble so nearby seeds do not yield nearby ids.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        TraceIdGen {
+            state: if z == 0 { 0x6A09_E667_F3BC_C909 } else { z },
+        }
+    }
+
+    /// The next trace id.
+    pub fn next_id(&mut self) -> String {
+        self.state ^= self.state >> 12;
+        self.state ^= self.state << 25;
+        self.state ^= self.state >> 27;
+        let value = self.state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        format!("{value:016x}")
+    }
+}
+
+/// A lightweight request span: a trace id and ordered stage timings.
+#[derive(Clone, Debug)]
+pub struct SpanRecorder {
+    trace_id: String,
+    started: Instant,
+    last: Instant,
+    stages: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecorder {
+    /// Open a span now.
+    pub fn new(trace_id: String) -> Self {
+        Self::started_at(trace_id, Instant::now())
+    }
+
+    /// Open a span whose clock started earlier (e.g. at `accept`), so
+    /// the first [`SpanRecorder::stage`] covers time already spent.
+    pub fn started_at(trace_id: String, started: Instant) -> Self {
+        SpanRecorder {
+            trace_id,
+            started,
+            last: started,
+            stages: Vec::with_capacity(8),
+        }
+    }
+
+    /// The trace id.
+    pub fn trace_id(&self) -> &str {
+        &self.trace_id
+    }
+
+    /// Replace the trace id (it is often only known after the request
+    /// header is parsed, mid-span).
+    pub fn set_trace_id(&mut self, trace_id: String) {
+        self.trace_id = trace_id;
+    }
+
+    /// Close the current stage: records the nanoseconds since the
+    /// previous stage boundary (or span start) under `name`.
+    pub fn stage(&mut self, name: &'static str) {
+        let now = Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        self.stages.push((name, ns));
+    }
+
+    /// Record an explicitly measured stage without moving the stage
+    /// boundary (for durations measured elsewhere, e.g. inside the
+    /// index reader).
+    pub fn record(&mut self, name: &'static str, ns: u64) {
+        self.stages.push((name, ns));
+    }
+
+    /// Total nanoseconds since the span started.
+    pub fn total_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// The recorded stages in order.
+    pub fn stages(&self) -> &[(&'static str, u64)] {
+        &self.stages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_deterministic_hex_and_seed_sensitive() {
+        let mut a = TraceIdGen::seeded(7);
+        let mut b = TraceIdGen::seeded(7);
+        let mut c = TraceIdGen::seeded(8);
+        let id1 = a.next_id();
+        assert_eq!(id1, b.next_id());
+        assert_ne!(id1, c.next_id());
+        assert_ne!(id1, a.next_id());
+        assert_eq!(id1.len(), 16);
+        assert!(id1.bytes().all(|b| b.is_ascii_hexdigit()));
+        assert!(valid_trace_id(&id1));
+    }
+
+    #[test]
+    fn zero_seed_still_generates() {
+        let mut g = TraceIdGen::seeded(0);
+        assert_ne!(g.next_id(), g.next_id());
+    }
+
+    #[test]
+    fn trace_id_validation_is_strict() {
+        assert!(valid_trace_id("abc-123.DEF_x"));
+        assert!(!valid_trace_id(""));
+        assert!(!valid_trace_id("has space"));
+        assert!(!valid_trace_id("crlf\r\ninject"));
+        assert!(!valid_trace_id("quote\"y"));
+        assert!(!valid_trace_id(&"a".repeat(MAX_TRACE_ID_LEN + 1)));
+        assert!(valid_trace_id(&"a".repeat(MAX_TRACE_ID_LEN)));
+    }
+
+    #[test]
+    fn span_records_ordered_stages_and_total() {
+        let mut span = SpanRecorder::new("t1".into());
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        span.stage("parse");
+        span.record("blocks", 42);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        span.stage("respond");
+        let names: Vec<&str> = span.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["parse", "blocks", "respond"]);
+        assert!(span.stages()[0].1 >= 1_000_000);
+        assert_eq!(span.stages()[1].1, 42);
+        assert!(span.total_ns() >= 2_000_000);
+        assert_eq!(span.trace_id(), "t1");
+    }
+
+    #[test]
+    fn started_at_backdates_the_first_stage() {
+        let early = Instant::now() - std::time::Duration::from_millis(5);
+        let mut span = SpanRecorder::started_at("t2".into(), early);
+        span.stage("queue");
+        assert!(span.stages()[0].1 >= 5_000_000, "{:?}", span.stages());
+        assert!(span.total_ns() >= 5_000_000);
+    }
+}

@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-format scrape from `gsb serve /metrics`.
+
+Checks the exposition-format contract the hand-rolled writer in
+`gsb_telemetry::promtext` promises:
+
+* every family is declared with `# HELP` then `# TYPE` (a known type)
+  exactly once, before any of its samples;
+* metric and label names match the Prometheus grammar;
+* sample values parse as finite non-negative numbers;
+* histograms are complete and cumulative: per label set, `le` bucket
+  bounds strictly ascend, bucket counts never decrease, the `+Inf`
+  bucket exists and equals `_count`, and `_sum`/`_count` are present;
+* with a second scrape file: every counter series (and histogram
+  `_bucket`/`_count`/`_sum`) is monotone non-decreasing across the two
+  scrapes — a counter that went backwards means torn snapshots or a
+  silent reset.
+
+Usage: promtext_lint.py SCRAPE [SCRAPE2]
+Exit 0 when clean, 1 with one line per violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+class Lint:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+        self.families = {}  # name -> type
+        self.samples = {}  # (name, frozen labels) -> float
+
+    def error(self, lineno, message):
+        self.errors.append(f"{self.path}:{lineno}: {message}")
+
+    def family_of(self, sample_name):
+        """The declared family a sample line belongs to, if any."""
+        if sample_name in self.families:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name.removesuffix(suffix)
+            if base != sample_name and self.families.get(base) == "histogram":
+                return base
+        return None
+
+
+def parse_labels(raw, lint, lineno):
+    labels = {}
+    if not raw:
+        return labels
+    consumed = 0
+    for match in LABEL_PAIR_RE.finditer(raw):
+        name, value = match.group(1), match.group(2)
+        if not LABEL_RE.match(name):
+            lint.error(lineno, f"bad label name {name!r}")
+        if name in labels:
+            lint.error(lineno, f"duplicate label {name!r}")
+        labels[name] = value
+        consumed = match.end()
+        if consumed < len(raw) and raw[consumed] == ",":
+            consumed += 1
+    if consumed != len(raw):
+        lint.error(lineno, f"unparseable label section {raw!r}")
+    return labels
+
+
+def lint_file(path):
+    lint = Lint(path)
+    pending_help = None  # family that has HELP but no TYPE yet
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                parts = line[len("# HELP ") :].split(" ", 1)
+                name = parts[0]
+                if not NAME_RE.match(name):
+                    lint.error(lineno, f"bad family name {name!r}")
+                if name in lint.families:
+                    lint.error(lineno, f"family {name} declared twice")
+                pending_help = name
+                continue
+            if line.startswith("# TYPE "):
+                parts = line[len("# TYPE ") :].split(" ")
+                if len(parts) != 2:
+                    lint.error(lineno, f"malformed TYPE line {line!r}")
+                    continue
+                name, kind = parts
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    lint.error(lineno, f"unknown type {kind!r} for {name}")
+                if name != pending_help:
+                    lint.error(lineno, f"TYPE for {name} without a preceding HELP")
+                lint.families[name] = kind
+                pending_help = None
+                continue
+            if line.startswith("#"):
+                continue  # comment
+
+            match = SAMPLE_RE.match(line)
+            if not match:
+                lint.error(lineno, f"unparseable sample line {line!r}")
+                continue
+            name = match.group("name")
+            family = lint.family_of(name)
+            if family is None:
+                lint.error(lineno, f"sample {name} has no declared family")
+                continue
+            labels = parse_labels(match.group("labels"), lint, lineno)
+            try:
+                value = float(match.group("value"))
+            except ValueError:
+                lint.error(lineno, f"non-numeric value {match.group('value')!r}")
+                continue
+            if value != value or value in (float("inf"), float("-inf")):
+                lint.error(lineno, f"non-finite value for {name}")
+                continue
+            if lint.families[family] in ("counter", "histogram") and value < 0:
+                lint.error(lineno, f"negative {lint.families[family]} value for {name}")
+            key = (name, frozenset(labels.items()))
+            if key in lint.samples:
+                lint.error(lineno, f"duplicate series {name}{sorted(labels.items())}")
+            lint.samples[key] = value
+
+    check_histograms(lint)
+    return lint
+
+
+def check_histograms(lint):
+    for family, kind in lint.families.items():
+        if kind != "histogram":
+            continue
+        # Group bucket samples by their non-le label set.
+        groups = {}
+        for (name, labelset), value in lint.samples.items():
+            if name != f"{family}_bucket":
+                continue
+            labels = dict(labelset)
+            le = labels.pop("le", None)
+            if le is None:
+                lint.error(0, f"{family}_bucket series without le label")
+                continue
+            groups.setdefault(frozenset(labels.items()), []).append((le, value))
+        for labelset, buckets in groups.items():
+            tag = f"{family}{{{', '.join(f'{k}={v}' for k, v in sorted(labelset))}}}"
+            parsed = []
+            has_inf = False
+            for le, value in buckets:
+                if le == "+Inf":
+                    has_inf = True
+                    inf_value = value
+                else:
+                    try:
+                        parsed.append((float(le), value))
+                    except ValueError:
+                        lint.error(0, f"{tag}: unparseable le {le!r}")
+            if not has_inf:
+                lint.error(0, f"{tag}: no +Inf bucket")
+                continue
+            parsed.sort()
+            bounds = [b for b, _ in parsed]
+            if len(set(bounds)) != len(bounds):
+                lint.error(0, f"{tag}: duplicate le bounds")
+            counts = [c for _, c in parsed] + [inf_value]
+            for i in range(1, len(counts)):
+                if counts[i] < counts[i - 1]:
+                    lint.error(0, f"{tag}: bucket counts not cumulative: {counts}")
+                    break
+            count = lint.samples.get((f"{family}_count", labelset))
+            if count is None:
+                lint.error(0, f"{tag}: missing _count")
+            elif count != inf_value:
+                lint.error(0, f"{tag}: +Inf bucket {inf_value} != _count {count}")
+            if (f"{family}_sum", labelset) not in lint.samples:
+                lint.error(0, f"{tag}: missing _sum")
+
+
+def check_monotone(first, second):
+    """Counters only go up between two scrapes of the same server."""
+    errors = []
+    for key, before in first.samples.items():
+        name, labelset = key
+        family = second.family_of(name) or first.family_of(name)
+        if family is None:
+            continue
+        kind = first.families.get(family)
+        if kind not in ("counter", "histogram"):
+            continue
+        after = second.samples.get(key)
+        if after is None:
+            errors.append(f"series {name}{sorted(labelset)} vanished in second scrape")
+        elif after < before:
+            errors.append(
+                f"counter {name}{sorted(labelset)} went backwards: {before} -> {after}"
+            )
+    return errors
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        sys.exit(__doc__.strip())
+    first = lint_file(sys.argv[1])
+    errors = list(first.errors)
+    if len(sys.argv) == 3:
+        second = lint_file(sys.argv[2])
+        errors += second.errors
+        errors += check_monotone(first, second)
+    if errors:
+        for e in errors:
+            print(e)
+        sys.exit(1)
+    families = len(first.families)
+    series = len(first.samples)
+    scrapes = "two scrapes" if len(sys.argv) == 3 else "one scrape"
+    print(f"promtext OK: {families} families, {series} series, {scrapes} checked")
+
+
+if __name__ == "__main__":
+    main()
