@@ -426,6 +426,7 @@ mod tests {
             threads: 1,
             out: Some(out.clone()),
             backend: BackendChoice::Dense,
+            ..Default::default()
         }
         .save(Path::new(&dir))
         .unwrap();
@@ -517,6 +518,7 @@ mod tests {
             threads: 1,
             out: Some(out.clone()),
             backend: BackendChoice::Wah,
+            ..Default::default()
         }
         .save(Path::new(&dir))
         .unwrap();

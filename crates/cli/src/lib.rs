@@ -150,7 +150,7 @@ USAGE:
                [--order natural|degeneracy|degree]
                [--out FILE] [--checkpoint-dir DIR] [--checkpoint-secs S]
                [--memory-budget BYTES] [--disk-budget BYTES]
-               [--worker-deadline-secs S]
+               [--worker-deadline-secs S] [--scheduler steal|barrier]
                [--metrics-out RUN_JSONL] [--progress]
   gsb resume CHECKPOINT_DIR [--threads T] [--worker-deadline-secs S]
                [--metrics-out RUN_JSONL] [--progress]
@@ -188,6 +188,14 @@ adaptive hybrid. Every backend enumerates the identical clique set;
 compressed backends trade AND throughput for a smaller working set on
 sparse genome-scale graphs. Checkpoints are written in the selected
 representation and `gsb resume` picks the backend up from run.meta.
+
+Schedulers: `cliques --scheduler steal|barrier` selects the parallel
+runtime — work-stealing per-sub-list tasks with steal-scope epochs
+(default; idle workers steal from busy ones, no central balancer), or
+the paper's level-synchronous barrier rounds with the centralized
+spread balancer. Both emit byte-identical output; run.meta records the
+choice and `gsb resume` re-derives it (older run.meta files without a
+scheduler line resume under barrier, which is what wrote them).
 
 Crash recovery: `cliques --checkpoint-dir DIR --out FILE` persists the
 current level at each barrier (every --checkpoint-secs seconds if

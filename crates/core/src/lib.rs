@@ -73,10 +73,12 @@ pub use checkpoint::{
 pub use enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 pub use kose::{kose_ram, kose_ram_with, KoseSearch};
 pub use maxclique::{maximum_clique, maximum_clique_size};
-pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats};
+pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats, Scheduler};
 pub use pipeline::{CliquePipeline, PipelineError, PipelineReport};
 pub use quarantine::QuarantineEntry;
-pub use sink::{CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, TeeSink, WriterSink};
+pub use sink::{
+    CliqueSink, CollectSink, CountSink, FnSink, HistogramSink, SequencingSink, TeeSink, WriterSink,
+};
 pub use store::{SpillConfig, StoreError};
 pub use sublist::{Level, SubList};
 pub use supervise::{RetryPolicy, ShutdownToken};

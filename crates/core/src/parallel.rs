@@ -1,17 +1,28 @@
 //! The multithreaded Clique Enumerator (§2.3, "Parallelism for
-//! shared-memory machines").
+//! shared-memory machines") — under either of two schedulers.
 //!
-//! Faithful to the paper's runtime: persistent worker threads expand
-//! their *local* sub-lists independently (no communication inside a
-//! level); a centralized task scheduler synchronizes levels, collects
-//! results, and transfers sub-lists from heavy to light workers when the
-//! spread exceeds the threshold policy — transfers move owned structures
-//! between queues, i.e. addresses, not data, exactly as on the Altix.
+//! [`Scheduler::Barrier`] is faithful to the paper's runtime:
+//! persistent worker threads expand their *local* sub-lists
+//! independently (no communication inside a level); a centralized task
+//! scheduler synchronizes levels, collects results, and transfers
+//! sub-lists from heavy to light workers when the spread exceeds the
+//! threshold policy — transfers move owned structures between queues,
+//! i.e. addresses, not data, exactly as on the Altix.
+//!
+//! [`Scheduler::Steal`] (the default) replaces the level barrier with a
+//! *steal-scope epoch*: every sub-list is its own task on its owner's
+//! deque, idle workers steal (owner-LIFO / thief-FIFO), and the level
+//! ends at quiescence — which is where the barrier hooks (checkpoint,
+//! degradation, halt) re-attach with unchanged semantics. Children stay
+//! on the worker that produced them as the next epoch's seed queues, so
+//! the paper's task-affinity property survives; the centralized
+//! balancer is retired on this path because stealing balances online.
 //!
 //! Determinism: within a level the set of maximal cliques is
-//! independent of the partition; results are sorted per level before
-//! delivery, so output order is identical to the sequential enumerator
-//! up to within-level ordering.
+//! independent of the partition *and* of the steal schedule; results
+//! are staged per level and released sorted (see
+//! [`crate::sink::SequencingSink`]), so output is byte-identical to the
+//! sequential enumerator under both schedulers.
 //!
 //! ## Fault tolerance
 //!
@@ -40,15 +51,16 @@ use crate::backend::InMemoryLevel;
 use crate::enumerator::{EnumConfig, LevelReport};
 use crate::memory::LevelMemory;
 use crate::quarantine::QuarantineEntry;
-use crate::sink::{CliqueSink, CollectSink};
+use crate::sink::{CliqueSink, CollectSink, SequencingSink};
 use crate::store::StoreError;
 use crate::sublist::{Level, SubList};
 use crate::Clique;
 use gsb_bitset::{BitSet, NeighborSet};
 use gsb_graph::BitGraph;
 use gsb_par::balance::{partition_greedy, rebalance, BalancePolicy};
+use gsb_par::pool::EpochOut;
 use gsb_par::stats::{LevelStats, RunStats};
-use gsb_par::{Heartbeat, RoundError, WorkerPool};
+use gsb_par::{Heartbeat, RoundError, WorkerFailure, WorkerPool};
 use parking_lot::Mutex;
 use std::fmt;
 use std::path::PathBuf;
@@ -69,6 +81,44 @@ pub enum BalanceStrategy {
     Repartition,
 }
 
+/// Which runtime drives each level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// The paper's level-synchronous rounds: pre-partitioned batches,
+    /// a barrier per level, and the centralized spread balancer. Kept
+    /// as the differential oracle for the steal scheduler.
+    Barrier,
+    /// Work-stealing steal-scope epochs: per-worker deques of
+    /// individual sub-lists, idle workers steal, and the level's
+    /// barrier hooks run at epoch quiescence. Balances online, so no
+    /// centralized balancer runs between levels.
+    #[default]
+    Steal,
+}
+
+impl fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Scheduler::Barrier => "barrier",
+            Scheduler::Steal => "steal",
+        })
+    }
+}
+
+impl std::str::FromStr for Scheduler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "barrier" => Ok(Scheduler::Barrier),
+            "steal" => Ok(Scheduler::Steal),
+            other => Err(format!(
+                "unknown scheduler '{other}' (expected 'barrier' or 'steal')"
+            )),
+        }
+    }
+}
+
 /// Configuration of a parallel run.
 #[derive(Clone, Copy, Debug)]
 pub struct ParallelConfig {
@@ -76,10 +126,14 @@ pub struct ParallelConfig {
     pub threads: usize,
     /// Size bounds and seeding, as for the sequential enumerator.
     pub enum_config: EnumConfig,
-    /// Transfer threshold policy.
+    /// Transfer threshold policy (barrier scheduler only).
     pub policy: BalancePolicy,
-    /// Distribution strategy.
+    /// Distribution strategy (barrier scheduler only; the steal
+    /// scheduler always keeps children on their parent's worker and
+    /// lets stealing correct any imbalance online).
     pub strategy: BalanceStrategy,
+    /// Which runtime drives each level.
+    pub scheduler: Scheduler,
     /// Stuck-worker deadline: a worker whose per-sub-list heartbeats
     /// stop advancing for this long is declared dead and abandoned.
     /// `None` (the default) disables the watchdog — a wedged thread
@@ -94,6 +148,7 @@ impl Default for ParallelConfig {
             enum_config: EnumConfig::default(),
             policy: BalancePolicy::default(),
             strategy: BalanceStrategy::Dynamic,
+            scheduler: Scheduler::default(),
             worker_deadline: None,
         }
     }
@@ -111,6 +166,10 @@ pub struct ParallelStats {
     /// Levels whose first round failed (worker panic) and were retried
     /// successfully from their snapshot.
     pub retried_levels: Vec<usize>,
+    /// Individual tasks that panicked once and succeeded on the steal
+    /// scheduler's inline retry (always 0 under the barrier scheduler,
+    /// which can only retry whole levels).
+    pub retried_tasks: u64,
     /// Sub-lists isolated into the quarantine sidecar and skipped
     /// (degraded-exact mode): their descendant cliques are missing from
     /// the output but recorded, never silently dropped.
@@ -264,6 +323,83 @@ fn worker_job<S: NeighborSet>(
             tests,
         }
     }
+}
+
+/// What one steal-scheduler task (a single sub-list) produces.
+struct TaskOut<S: NeighborSet> {
+    new_sublists: Vec<SubList<S>>,
+    maximal: Vec<Clique>,
+    units: u64,
+    and_ops: u64,
+    tests: u64,
+}
+
+/// The per-task job of the work-stealing scheduler: expand exactly one
+/// sub-list. The pool heartbeats before each task, so the stuck-worker
+/// deadline measures progress *between sub-lists*, same as the barrier
+/// path's per-sub-list beat.
+fn steal_task_job<S: NeighborSet>(
+    graph: Arc<BitGraph>,
+    rows: Arc<Vec<S>>,
+) -> impl Fn(usize, &SubList<S>, &Heartbeat) -> TaskOut<S> + Send + Sync {
+    move |_w, sl: &SubList<S>, _hb: &Heartbeat| {
+        if let Err(e) = crate::failpoint::inject("parallel.worker") {
+            panic!("{e}");
+        }
+        // Per-sub-list failpoint, keyed by prefix, so tests can poison
+        // exactly one sub-list. Gated: the tag string is never built in
+        // production runs.
+        #[cfg(feature = "failpoints")]
+        {
+            let tag = sl
+                .prefix
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("-");
+            if let Err(e) = crate::failpoint::inject_tagged("parallel.sublist", &tag) {
+                panic!("{e}");
+            }
+        }
+        let mut new_sublists: Vec<SubList<S>> = Vec::new();
+        let mut collect = CollectSink::default();
+        let mut buf = S::empty(graph.n());
+        let expanded =
+            crate::enumerator::expand_sublist(&graph, &rows, sl, &mut buf, &mut collect, |c| {
+                new_sublists.push(c)
+            });
+        TaskOut {
+            new_sublists,
+            maximal: collect.cliques,
+            units: expanded.units,
+            and_ops: expanded.and_ops,
+            tests: expanded.tests,
+        }
+    }
+}
+
+/// Everything one level expansion produced, whichever scheduler ran it.
+struct LevelExpansion<S: NeighborSet> {
+    /// Next level's per-worker seed queues (children keep their
+    /// producer's affinity; the barrier path additionally applies its
+    /// balance strategy).
+    new_queues: Vec<Vec<SubList<S>>>,
+    /// Maximal cliques of the level, unsorted.
+    maximal: Vec<Clique>,
+    and_ops: u64,
+    maximality_tests: u64,
+    /// Per-worker timing with the unified moved-work count filled in.
+    timing: LevelStats,
+    /// Whether the whole level was discarded and re-run from its
+    /// snapshot (counts toward [`ParallelStats::retried_levels`]).
+    retried_level: bool,
+    /// Whether anything was retried at all (level or single task) —
+    /// the telemetry `retried` flag.
+    retried: bool,
+    /// Tasks that succeeded on an inline retry (steal scheduler only).
+    retried_tasks: u64,
+    /// Sub-lists isolated to the quarantine sidecar this level.
+    quarantined: usize,
 }
 
 /// Partition sub-lists over `threads` queues with LPT on estimated cost.
@@ -444,146 +580,331 @@ impl ParallelEnumerator {
                 }
             }
 
-            // One level-synchronous round: workers expand their local
-            // sub-lists with no cross-talk.
-            let deadline = self.config.worker_deadline;
+            // Expand the level: a level-synchronous round under the
+            // barrier scheduler, a steal-scope epoch under the steal
+            // scheduler. Either way the sink sees nothing until the
+            // level is fully collected.
             let batches: Vec<Vec<SubList<S>>> = std::mem::take(&mut queues);
-            let first = self.pool.lock().run_round_supervised(
-                batches,
-                worker_job(Arc::clone(g), Arc::clone(&rows)),
-                deadline,
-            );
-            let mut retried = false;
-            let outputs = match first {
-                Ok(outputs) => outputs,
-                Err(round_error) => {
-                    // The whole round is discarded; re-partition the
-                    // snapshot and retry once on respawned workers.
-                    let retry_batches = partition_level(level_view.sublists.clone(), threads);
-                    // Bind before matching: a `self.pool.lock()` in the
-                    // scrutinee would hold the guard across every arm,
-                    // deadlocking the quarantine arm's own lock.
-                    let retry = self.pool.lock().run_round_supervised(
-                        retry_batches,
-                        worker_job(Arc::clone(g), Arc::clone(&rows)),
-                        deadline,
-                    );
-                    match retry {
-                        Ok(outputs) => {
-                            stats.retried_levels.push(k);
-                            retried = true;
-                            outputs
-                        }
-                        Err(error) if self.quarantine.is_some() => {
-                            // Last resort before aborting: isolate the
-                            // poison sub-lists, quarantine them, and
-                            // keep the level going without them.
-                            let _ = round_error; // superseded
-                            match self.quarantine_level(g, &rows, &level_view, threads, &error) {
-                                Ok((outputs, n_quarantined)) => {
-                                    stats.retried_levels.push(k);
-                                    stats.quarantined += n_quarantined;
-                                    retried = true;
-                                    outputs
-                                }
-                                Err(e) => {
-                                    stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
-                                    return Err(e);
-                                }
-                            }
-                        }
-                        Err(error) => {
-                            let _ = round_error; // superseded by the retry's error
-                            stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
-                            return Err(ParallelRunError::Round {
-                                k,
-                                error,
-                                level: level_view,
-                            });
-                        }
-                    }
+            let expanded = match self.config.scheduler {
+                Scheduler::Barrier => {
+                    self.expand_level_barrier(g, &rows, &level_view, batches, threads)
+                }
+                Scheduler::Steal => {
+                    self.expand_level_steal(g, &rows, &level_view, batches, threads)
+                }
+            };
+            let expansion = match expanded {
+                Ok(expansion) => expansion,
+                Err(e) => {
+                    stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
+                    return Err(e);
                 }
             };
             drop(level_view);
+            if expansion.retried_level {
+                stats.retried_levels.push(k);
+            }
+            stats.retried_tasks += expansion.retried_tasks;
+            stats.quarantined += expansion.quarantined;
 
-            // Scheduler: collect results, report cliques in canonical
-            // order, update stats.
-            let mut per_worker_ns = Vec::with_capacity(threads);
-            let mut per_worker_units = Vec::with_capacity(threads);
-            let mut per_worker_tasks = Vec::with_capacity(threads);
-            let mut and_ops = 0u64;
-            let mut maximality_tests = 0u64;
-            let mut maximal: Vec<Clique> = Vec::new();
-            let mut new_queues: Vec<Vec<SubList<S>>> = Vec::with_capacity(threads);
-            for (out, ns) in outputs {
-                per_worker_ns.push(ns);
-                per_worker_units.push(out.units);
-                per_worker_tasks.push(out.tasks);
-                and_ops += out.and_ops;
-                maximality_tests += out.tests;
-                maximal.extend(out.maximal);
-                new_queues.push(out.new_sublists);
+            // Release the level's cliques in canonical (sequential)
+            // order: stage level-tagged, sort, forward — the sequencing
+            // discipline that preserves the paper's size-order output
+            // guarantee regardless of the completion order inside the
+            // level.
+            let mut seq = SequencingSink::new(&mut *sink);
+            for c in expansion.maximal {
+                seq.stage(k, c);
             }
-            maximal.sort();
-            let maximal_found = maximal.len();
-            for c in &maximal {
-                sink.maximal(c);
-            }
+            let maximal_found = seq.release(k);
             stats.total_maximal += maximal_found;
-
-            // Load balancing decision (paper: after collecting results,
-            // transfer from the heaviest to the lightest when the gap
-            // exceeds the threshold).
-            let transfers = match self.config.strategy {
-                BalanceStrategy::Dynamic => {
-                    let mut cost_queues: Vec<Vec<u64>> = new_queues
-                        .iter()
-                        .map(|q| q.iter().map(SubList::cost).collect())
-                        .collect();
-                    let moves = rebalance(&mut cost_queues, &self.config.policy);
-                    for m in &moves {
-                        let sl = new_queues[m.from].remove(m.task);
-                        new_queues[m.to].push(sl);
-                    }
-                    moves.len()
-                }
-                BalanceStrategy::Static => 0,
-                BalanceStrategy::Repartition => {
-                    let flat: Vec<SubList<S>> = new_queues.drain(..).flatten().collect();
-                    new_queues = partition_level(flat, threads);
-                    0
-                }
-            };
 
             stats.levels.push(LevelReport {
                 k,
                 sublists: memory.n_sublists,
                 candidates: memory.n_cliques,
                 maximal_found,
-                ns: *per_worker_ns.iter().max().unwrap_or(&0),
+                ns: *expansion.timing.per_worker_ns.iter().max().unwrap_or(&0),
                 memory,
-                and_ops,
-                maximality_tests,
+                and_ops: expansion.and_ops,
+                maximality_tests: expansion.maximality_tests,
                 spilled: 0,
                 bytes_read: 0,
             });
-            stats.run.levels.push(LevelStats {
-                level: k,
-                per_worker_ns,
-                per_worker_units,
-                per_worker_tasks,
-                transfers,
-            });
+            stats.run.levels.push(expansion.timing);
             observe(
                 stats.levels.last().expect("just pushed"),
                 stats.run.levels.last().expect("just pushed"),
-                retried,
+                expansion.retried,
             );
-            queues = new_queues;
+            queues = expansion.new_queues;
             k += 1;
         }
         stats.run.wall_ns = wall.elapsed().as_nanos() as u64;
         Ok(ParallelOutcome::Complete(stats))
+    }
+
+    /// Expand one level as a level-synchronous round (the paper's §2.3
+    /// runtime): pre-partitioned batches, all-or-nothing collection, a
+    /// whole-level retry on failure, and the centralized balance
+    /// strategy applied to the children.
+    fn expand_level_barrier<S: NeighborSet>(
+        &self,
+        g: &Arc<BitGraph>,
+        rows: &Arc<Vec<S>>,
+        level_view: &Level<S>,
+        batches: Vec<Vec<SubList<S>>>,
+        threads: usize,
+    ) -> Result<LevelExpansion<S>, ParallelRunError<S>> {
+        let deadline = self.config.worker_deadline;
+        let first = self.pool.lock().run_round_supervised(
+            batches,
+            worker_job(Arc::clone(g), Arc::clone(rows)),
+            deadline,
+        );
+        let mut retried_level = false;
+        let mut quarantined = 0usize;
+        let outputs = match first {
+            Ok(outputs) => outputs,
+            Err(round_error) => {
+                // The whole round is discarded; re-partition the
+                // snapshot and retry once on respawned workers.
+                let retry_batches = partition_level(level_view.sublists.clone(), threads);
+                // Bind before matching: a `self.pool.lock()` in the
+                // scrutinee would hold the guard across every arm,
+                // deadlocking the quarantine arm's own lock.
+                let retry = self.pool.lock().run_round_supervised(
+                    retry_batches,
+                    worker_job(Arc::clone(g), Arc::clone(rows)),
+                    deadline,
+                );
+                match retry {
+                    Ok(outputs) => {
+                        retried_level = true;
+                        outputs
+                    }
+                    Err(error) if self.quarantine.is_some() => {
+                        // Last resort before aborting: isolate the
+                        // poison sub-lists, quarantine them, and
+                        // keep the level going without them.
+                        let _ = round_error; // superseded
+                        let (outputs, n_quarantined) =
+                            self.quarantine_level(g, rows, level_view, threads, &error)?;
+                        retried_level = true;
+                        quarantined = n_quarantined;
+                        outputs
+                    }
+                    Err(error) => {
+                        let _ = round_error; // superseded by the retry's error
+                        return Err(ParallelRunError::Round {
+                            k: level_view.k,
+                            error,
+                            level: level_view.clone(),
+                        });
+                    }
+                }
+            }
+        };
+
+        let mut timing = LevelStats {
+            level: level_view.k,
+            ..Default::default()
+        };
+        let mut and_ops = 0u64;
+        let mut maximality_tests = 0u64;
+        let mut maximal: Vec<Clique> = Vec::new();
+        let mut new_queues: Vec<Vec<SubList<S>>> = Vec::with_capacity(threads);
+        for (out, ns) in outputs {
+            timing.per_worker_ns.push(ns);
+            timing.per_worker_units.push(out.units);
+            timing.per_worker_tasks.push(out.tasks);
+            and_ops += out.and_ops;
+            maximality_tests += out.tests;
+            maximal.extend(out.maximal);
+            new_queues.push(out.new_sublists);
+        }
+
+        // Load balancing decision (paper: after collecting results,
+        // transfer from the heaviest to the lightest when the gap
+        // exceeds the threshold).
+        timing.transfers = match self.config.strategy {
+            BalanceStrategy::Dynamic => {
+                rebalance(&mut new_queues, SubList::cost, &self.config.policy)
+            }
+            BalanceStrategy::Static => 0,
+            BalanceStrategy::Repartition => {
+                let flat: Vec<SubList<S>> = new_queues.drain(..).flatten().collect();
+                new_queues = partition_level(flat, threads);
+                0
+            }
+        };
+
+        Ok(LevelExpansion {
+            new_queues,
+            maximal,
+            and_ops,
+            maximality_tests,
+            timing,
+            retried_level,
+            retried: retried_level,
+            retried_tasks: 0,
+            quarantined,
+        })
+    }
+
+    /// Expand one level as a steal-scope epoch: each sub-list is its
+    /// own task, idle workers steal, and children stay on the worker
+    /// that produced them as the next epoch's seed queues. A task that
+    /// panics is retried inline once by the pool; a deterministic
+    /// double-panic convicts just that sub-list — quarantined and
+    /// skipped when the sidecar is configured, otherwise surfaced as a
+    /// level failure (the barrier path's abort semantics). Only
+    /// supervision failures (stuck worker, dead thread) discard the
+    /// epoch wholesale, which then gets the same one-retry-per-level
+    /// treatment as a barrier round.
+    fn expand_level_steal<S: NeighborSet>(
+        &self,
+        g: &Arc<BitGraph>,
+        rows: &Arc<Vec<S>>,
+        level_view: &Level<S>,
+        queues: Vec<Vec<SubList<S>>>,
+        threads: usize,
+    ) -> Result<LevelExpansion<S>, ParallelRunError<S>> {
+        let deadline = self.config.worker_deadline;
+        let first = self.pool.lock().run_epoch(
+            queues,
+            steal_task_job(Arc::clone(g), Arc::clone(rows)),
+            deadline,
+        );
+        let mut retried_level = false;
+        let out = match first {
+            Ok(out) => out,
+            Err(round_error) => {
+                // Supervision failure: the epoch was frozen and its
+                // results discarded. Re-seed from the snapshot and
+                // retry once on respawned workers.
+                let retry_queues = partition_level(level_view.sublists.clone(), threads);
+                let retry = self.pool.lock().run_epoch(
+                    retry_queues,
+                    steal_task_job(Arc::clone(g), Arc::clone(rows)),
+                    deadline,
+                );
+                match retry {
+                    Ok(out) => {
+                        retried_level = true;
+                        out
+                    }
+                    Err(_) if self.quarantine.is_some() => {
+                        // A steal schedule doesn't map failures onto
+                        // deterministic batches, so isolation falls
+                        // back to the barrier machinery for this one
+                        // level: its deterministic retry + probe
+                        // rounds pin the poison sub-list(s) exactly.
+                        let batches = partition_level(level_view.sublists.clone(), threads);
+                        let _ = round_error; // superseded
+                        return self.expand_level_barrier(g, rows, level_view, batches, threads);
+                    }
+                    Err(error) => {
+                        let _ = round_error; // superseded by the retry's error
+                        return Err(ParallelRunError::Round {
+                            k: level_view.k,
+                            error,
+                            level: level_view.clone(),
+                        });
+                    }
+                }
+            }
+        };
+
+        // Convicted tasks: quarantine them (degraded-exact, recorded)
+        // or fail the level exactly as a twice-failed barrier round
+        // would — the sink has seen nothing of this level either way.
+        let mut quarantined = 0usize;
+        if !out.poisoned.is_empty() {
+            match &self.quarantine {
+                Some(path) => {
+                    let entries: Vec<QuarantineEntry> = out
+                        .poisoned
+                        .iter()
+                        .map(|p| QuarantineEntry {
+                            k: level_view.k as u64,
+                            prefix: p.task.prefix.clone(),
+                            tails: p.task.tails.clone(),
+                            reason: p.panic_message.clone(),
+                        })
+                        .collect();
+                    crate::quarantine::append_entries(path, &entries)
+                        .map_err(|e| ParallelRunError::Store(StoreError::Io(e)))?;
+                    quarantined = entries.len();
+                }
+                None => {
+                    let error = RoundError {
+                        failures: out
+                            .poisoned
+                            .iter()
+                            .map(|p| WorkerFailure {
+                                worker: p.worker,
+                                deadline: false,
+                                panic_message: p.panic_message.clone(),
+                            })
+                            .collect(),
+                    };
+                    return Err(ParallelRunError::Round {
+                        k: level_view.k,
+                        error,
+                        level: level_view.clone(),
+                    });
+                }
+            }
+        }
+
+        let EpochOut {
+            results,
+            steal_stats,
+            poisoned: _,
+            retried_tasks,
+        } = out;
+        let mut timing = LevelStats {
+            level: level_view.k,
+            ..Default::default()
+        };
+        let mut and_ops = 0u64;
+        let mut maximality_tests = 0u64;
+        let mut maximal: Vec<Clique> = Vec::new();
+        let mut new_queues: Vec<Vec<SubList<S>>> = Vec::with_capacity(threads);
+        for (task_outs, ss) in results.into_iter().zip(&steal_stats) {
+            let mut children: Vec<SubList<S>> = Vec::new();
+            let mut units = 0u64;
+            for t in task_outs {
+                children.extend(t.new_sublists);
+                maximal.extend(t.maximal);
+                units += t.units;
+                and_ops += t.and_ops;
+                maximality_tests += t.tests;
+            }
+            new_queues.push(children);
+            timing.per_worker_ns.push(ss.busy_ns);
+            timing.per_worker_units.push(units);
+            timing.per_worker_tasks.push(ss.tasks as usize);
+            timing.per_worker_steals.push(ss.steals);
+            timing.per_worker_idle_ns.push(ss.idle_ns);
+            timing.failed_steals += ss.failed_steals;
+        }
+        // Unified moved-work count: a successful steal is the steal
+        // scheduler's "transfer".
+        timing.transfers = timing.per_worker_steals.iter().sum::<u64>() as usize;
+
+        Ok(LevelExpansion {
+            new_queues,
+            maximal,
+            and_ops,
+            maximality_tests,
+            timing,
+            retried_level,
+            retried: retried_level || retried_tasks > 0 || quarantined > 0,
+            retried_tasks,
+            quarantined,
+        })
     }
 
     /// Isolate a level that failed its retry: rerun the batches of the
@@ -722,6 +1043,7 @@ mod tests {
 
     #[test]
     fn all_strategies_agree() {
+        // Balance strategies only exist on the barrier path; pin it.
         let g = gnp(32, 0.35, 7);
         let expect = bk_at_least(&g, 3);
         for strategy in [
@@ -734,11 +1056,77 @@ mod tests {
                 ParallelConfig {
                     threads: 4,
                     strategy,
+                    scheduler: Scheduler::Barrier,
                     ..Default::default()
                 },
             );
             assert_eq!(got, expect, "{strategy:?}");
         }
+    }
+
+    #[test]
+    fn schedulers_agree_with_each_other_and_sequential() {
+        let g = planted(40, 0.1, &[Module::clique(9), Module::clique(6)], 12);
+        let expect = bk_at_least(&g, 3);
+        for threads in [1, 4] {
+            let (barrier, _) = parallel_sorted(
+                &g,
+                ParallelConfig {
+                    threads,
+                    scheduler: Scheduler::Barrier,
+                    ..Default::default()
+                },
+            );
+            let (steal, _) = parallel_sorted(
+                &g,
+                ParallelConfig {
+                    threads,
+                    scheduler: Scheduler::Steal,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(barrier, expect, "barrier threads={threads}");
+            assert_eq!(steal, expect, "steal threads={threads}");
+        }
+    }
+
+    #[test]
+    fn steal_levels_report_steal_counters() {
+        // A graph with a planted heavy module skews per-task costs, so
+        // at least one level must record a successful steal — and every
+        // level's steal vectors must be worker-shaped.
+        let g = planted(60, 0.08, &[Module::clique(12)], 21);
+        let (_, stats) = parallel_sorted(
+            &g,
+            ParallelConfig {
+                threads: 4,
+                scheduler: Scheduler::Steal,
+                ..Default::default()
+            },
+        );
+        for l in &stats.run.levels {
+            assert_eq!(l.per_worker_steals.len(), 4);
+            assert_eq!(l.per_worker_idle_ns.len(), 4);
+            assert_eq!(
+                l.transfers,
+                l.per_worker_steals.iter().sum::<u64>() as usize,
+                "unified moved-work count"
+            );
+        }
+        assert!(
+            stats.run.total_transfers() > 0,
+            "skewed levels should trigger at least one steal"
+        );
+    }
+
+    #[test]
+    fn scheduler_parses_and_displays() {
+        assert_eq!("steal".parse::<Scheduler>().unwrap(), Scheduler::Steal);
+        assert_eq!("barrier".parse::<Scheduler>().unwrap(), Scheduler::Barrier);
+        assert!("both".parse::<Scheduler>().is_err());
+        assert_eq!(Scheduler::Steal.to_string(), "steal");
+        assert_eq!(Scheduler::Barrier.to_string(), "barrier");
+        assert_eq!(Scheduler::default(), Scheduler::Steal);
     }
 
     #[test]

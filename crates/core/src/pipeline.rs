@@ -35,7 +35,7 @@ use crate::maxclique::maximum_clique_size;
 use crate::memory::LevelMemory;
 use crate::parallel::{
     BarrierControl, ParallelConfig, ParallelEnumerator, ParallelOutcome, ParallelRunError,
-    ParallelStats,
+    ParallelStats, Scheduler,
 };
 use crate::sink::CliqueSink;
 use crate::store::{SpillConfig, StoreError};
@@ -130,6 +130,7 @@ pub struct CliquePipeline {
     shutdown: Option<ShutdownToken>,
     worker_deadline: Option<Duration>,
     quarantine: Option<PathBuf>,
+    scheduler: Scheduler,
 }
 
 impl Default for CliquePipeline {
@@ -147,6 +148,7 @@ impl Default for CliquePipeline {
             shutdown: None,
             worker_deadline: None,
             quarantine: None,
+            scheduler: Scheduler::default(),
         }
     }
 }
@@ -302,6 +304,16 @@ impl CliquePipeline {
         self
     }
 
+    /// Parallel scheduling discipline: the work-stealing steal-scope
+    /// runtime (default) or the paper's level-synchronous barrier
+    /// rounds with the centralized spread balancer. Both emit
+    /// byte-identical output; `run.meta` records the choice so
+    /// [`resume`](Self::resume) re-derives it.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     fn enum_config(&self, g: &BitGraph) -> (usize, Option<usize>, EnumConfig) {
         // Stage 1: bounds. The cheap bound caps the level loop; the
         // exact bound reproduces the paper's "maximum clique size
@@ -387,6 +399,7 @@ impl CliquePipeline {
                     threads: self.threads,
                     enum_config: config,
                     worker_deadline: self.worker_deadline,
+                    scheduler: self.scheduler,
                     ..Default::default()
                 });
                 if let Some(q) = self.quarantine.clone() {
@@ -699,6 +712,7 @@ impl CliquePipeline {
             threads: self.threads,
             enum_config: config,
             worker_deadline: self.worker_deadline,
+            scheduler: self.scheduler,
             ..Default::default()
         });
         if let Some(q) = self.quarantine.clone() {
@@ -746,6 +760,9 @@ impl CliquePipeline {
                     .map(|&t| t as u64)
                     .collect();
                 record.transfers = level_stats.transfers as u64;
+                record.steals = level_stats.per_worker_steals.clone();
+                record.idle_ns = level_stats.per_worker_idle_ns.clone();
+                record.failed_steals = level_stats.failed_steals;
                 if retried {
                     record.retries = 1;
                     telemetry.note_retry();

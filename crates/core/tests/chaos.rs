@@ -22,7 +22,7 @@ mod util;
 use gsb_core::checkpoint::{latest_checkpoint, CheckpointConfig};
 use gsb_core::failpoint::{self, chaos_schedule};
 use gsb_core::sink::{CliqueSink, CollectSink};
-use gsb_core::{CliquePipeline, Vertex};
+use gsb_core::{CliquePipeline, Scheduler, Vertex};
 use gsb_graph::generators::{planted, Module};
 use gsb_graph::BitGraph;
 use std::panic::AssertUnwindSafe;
@@ -38,6 +38,18 @@ const SCHEDULES: u64 = 224;
 /// so a convergent run needs at most 13 attempts. Hitting this bound
 /// means the runtime looped without making progress.
 const MAX_ATTEMPTS: u32 = 20;
+
+/// Which parallel runtime the sweep drives, from `GSB_CHAOS_SCHEDULER`
+/// (`barrier` | `steal`; default steal, matching the production
+/// default). CI runs the sweep once per value.
+fn sweep_scheduler() -> Scheduler {
+    match std::env::var("GSB_CHAOS_SCHEDULER") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|e: String| panic!("GSB_CHAOS_SCHEDULER: {e}")),
+        Err(_) => Scheduler::Steal,
+    }
+}
 
 fn workload() -> BitGraph {
     // Slightly bigger than the resilience-suite workload: more levels
@@ -86,6 +98,7 @@ fn run_schedule(seed: u64, g: &BitGraph, expect: &[Vec<Vertex>]) -> u32 {
     let pipe = CliquePipeline::new()
         .min_size(3)
         .threads(threads)
+        .scheduler(sweep_scheduler())
         .skip_exact_bound()
         .memory_budget(usize::MAX)
         .checkpoint(CheckpointConfig::every_level(dir.path()));

@@ -168,7 +168,7 @@ mod failpoints {
     use gsb_core::failpoint::{FailAction, FailGuard};
     use gsb_core::sink::CliqueSink;
     use gsb_core::store::SpillConfig;
-    use gsb_core::PipelineError;
+    use gsb_core::{PipelineError, Scheduler};
     use std::panic::AssertUnwindSafe;
     use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -301,9 +301,13 @@ mod failpoints {
         let expect = plain_sorted(&g);
         let _fp = FailGuard::new("parallel.worker", FailAction::panic_once());
         let mut sink = CollectSink::default();
+        // Pinned to the barrier scheduler: its retry unit is a whole
+        // round, observable via `retried_levels`. The steal runtime's
+        // finer-grained retry is covered by the counterpart below.
         let report = CliquePipeline::new()
             .min_size(3)
             .threads(4)
+            .scheduler(Scheduler::Barrier)
             .checkpoint(CheckpointConfig::every_level(dir.path()))
             .try_run(&g, &mut sink)
             .expect("transient worker panic must not fail the run");
@@ -311,6 +315,38 @@ mod failpoints {
         assert!(
             !stats.retried_levels.is_empty(),
             "panic was injected but no level was retried"
+        );
+        let mut got = sink.cliques;
+        got.sort();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn worker_panic_under_steal_is_retried_per_task() {
+        let _serial = serialize();
+        let dir = TempDirGuard::new("fp-worker-once-steal");
+        let g = workload();
+        let expect = plain_sorted(&g);
+        let _fp = FailGuard::new("parallel.worker", FailAction::panic_once());
+        let mut sink = CollectSink::default();
+        let report = CliquePipeline::new()
+            .min_size(3)
+            .threads(4)
+            .scheduler(Scheduler::Steal)
+            .checkpoint(CheckpointConfig::every_level(dir.path()))
+            .try_run(&g, &mut sink)
+            .expect("transient worker panic must not fail the run");
+        let stats = report.parallel_stats.expect("parallel run");
+        // The steal runtime retries the poisoned task inline instead
+        // of replaying the whole level: the task counter moves, the
+        // level counter stays empty.
+        assert!(
+            stats.retried_tasks > 0,
+            "panic was injected but no task was retried"
+        );
+        assert!(
+            stats.retried_levels.is_empty(),
+            "a single transient panic must not cost a level replay"
         );
         let mut got = sink.cliques;
         got.sort();

@@ -58,33 +58,28 @@ pub fn partition_greedy(costs: &[u64], workers: usize) -> Vec<Vec<usize>> {
     assign
 }
 
-/// One task move decided by the balancer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Transfer {
-    /// Worker losing the task.
-    pub from: usize,
-    /// Worker gaining the task.
-    pub to: usize,
-    /// Position of the task in `from`'s current list at decision time
-    /// (after earlier transfers in the same plan are applied).
-    pub task: usize,
-}
-
-/// Decide transfers for the current per-worker task costs. Mutates
-/// `queues` (lists of task costs) in place and returns the moves made,
-/// so callers can replay them on their real task lists.
-pub fn rebalance(queues: &mut [Vec<u64>], policy: &BalancePolicy) -> Vec<Transfer> {
+/// Move tasks from heavy to light workers until the load spread drops
+/// below the policy threshold (or no single move can improve it).
+/// Mutates the real task queues directly — `cost` prices each task —
+/// and returns the number of tasks moved, which callers fold into the
+/// unified moved-work count of [`LevelStats::transfers`]
+/// (crate::stats::LevelStats::transfers).
+pub fn rebalance<T>(
+    queues: &mut [Vec<T>],
+    cost: impl Fn(&T) -> u64,
+    policy: &BalancePolicy,
+) -> usize {
     let workers = queues.len();
     if workers < 2 {
-        return Vec::new();
+        return 0;
     }
-    let total: u64 = queues.iter().flat_map(|q| q.iter()).sum();
+    let total: u64 = queues.iter().flat_map(|q| q.iter().map(&cost)).sum();
     let threshold = policy.threshold(total, workers);
-    let mut moves = Vec::new();
+    let mut moved = 0usize;
     // Bounded passes: each move strictly decreases the heaviest load or
     // we stop, so the loop terminates; the cap is a hard backstop.
     for _ in 0..queues.iter().map(Vec::len).sum::<usize>().max(1) {
-        let loads: Vec<u64> = queues.iter().map(|q| q.iter().sum()).collect();
+        let loads: Vec<u64> = queues.iter().map(|q| q.iter().map(&cost).sum()).collect();
         let heavy = (0..workers).max_by_key(|&w| (loads[w], w)).unwrap();
         let light = (0..workers).min_by_key(|&w| (loads[w], w)).unwrap();
         let gap = loads[heavy] - loads[light];
@@ -96,20 +91,17 @@ pub fn rebalance(queues: &mut [Vec<u64>], policy: &BalancePolicy) -> Vec<Transfe
         let target = gap / 2;
         let best = queues[heavy]
             .iter()
+            .map(&cost)
             .enumerate()
-            .filter(|&(_, &c)| c <= gap) // moving more than the gap flips it
-            .min_by_key(|&(i, &c)| (target.abs_diff(c), i))
+            .filter(|&(_, c)| c <= gap) // moving more than the gap flips it
+            .min_by_key(|&(i, c)| (target.abs_diff(c), i))
             .map(|(i, _)| i);
         let Some(i) = best else { break };
-        let cost = queues[heavy].remove(i);
-        queues[light].push(cost);
-        moves.push(Transfer {
-            from: heavy,
-            to: light,
-            task: i,
-        });
+        let task = queues[heavy].remove(i);
+        queues[light].push(task);
+        moved += 1;
     }
-    moves
+    moved
 }
 
 /// Makespan (max per-worker load) of a cost partition.
@@ -154,61 +146,58 @@ mod tests {
 
     #[test]
     fn rebalance_moves_from_heavy_to_light() {
-        let mut queues = vec![vec![10, 10, 10, 10], vec![1]];
+        let mut queues = vec![vec![10u64, 10, 10, 10], vec![1]];
         let policy = BalancePolicy::default();
-        let moves = rebalance(&mut queues, &policy);
-        assert!(!moves.is_empty());
+        let moved = rebalance(&mut queues, |&c| c, &policy);
+        assert!(moved > 0);
         let spread = queues.iter().map(|q| q.iter().sum::<u64>()).max().unwrap()
             - queues.iter().map(|q| q.iter().sum::<u64>()).min().unwrap();
         assert!(spread <= 10, "spread {spread} after rebalance");
-        for m in &moves {
-            assert_eq!((m.from, m.to), (0, 1));
-        }
     }
 
     #[test]
     fn rebalance_respects_threshold() {
         // spread of 2 on total 20 across 2 workers: threshold = 1 (10%
         // of avg 10) — acts; with rel_slack=0.5 threshold 5 — no action.
-        let mut q1 = vec![vec![6, 5], vec![5, 4]];
+        let mut q1 = vec![vec![6u64, 5], vec![5, 4]];
         let lazy = BalancePolicy {
             rel_slack: 0.5,
             min_abs: 1,
         };
-        assert!(rebalance(&mut q1, &lazy).is_empty());
+        assert_eq!(rebalance(&mut q1, |&c| c, &lazy), 0);
     }
 
     #[test]
     fn rebalance_never_empties_heavy_to_flip() {
-        let mut queues = vec![vec![100], vec![]];
-        let moves = rebalance(&mut queues, &BalancePolicy::default());
+        let mut queues = vec![vec![100u64], vec![]];
+        let moved = rebalance(&mut queues, |&c| c, &BalancePolicy::default());
         // single indivisible task: nothing useful to move
-        assert!(moves.is_empty());
+        assert_eq!(moved, 0);
         assert_eq!(queues[0], vec![100]);
     }
 
     #[test]
     fn rebalance_single_worker_noop() {
-        let mut queues = vec![vec![1, 2, 3]];
-        assert!(rebalance(&mut queues, &BalancePolicy::default()).is_empty());
+        let mut queues = vec![vec![1u64, 2, 3]];
+        assert_eq!(rebalance(&mut queues, |&c| c, &BalancePolicy::default()), 0);
     }
 
     #[test]
-    fn transfers_replayable() {
-        // Applying the recorded moves to a parallel structure keeps it in
-        // sync with the cost queues.
-        let mut queues = vec![vec![9, 8, 7], vec![1], vec![2]];
-        let mut names = vec![vec!["a", "b", "c"], vec!["d"], vec!["e"]];
-        let before_counts: usize = queues.iter().map(Vec::len).sum();
-        let moves = rebalance(&mut queues, &BalancePolicy::default());
-        for m in &moves {
-            let item = names[m.from].remove(m.task);
-            names[m.to].push(item);
-        }
-        assert_eq!(names.iter().map(|q| q.len()).sum::<usize>(), before_counts);
-        for (q, n) in queues.iter().zip(&names) {
-            assert_eq!(q.len(), n.len());
-        }
+    fn rebalance_moves_real_tasks() {
+        // The balancer operates on the caller's actual task type — no
+        // shadow cost queue, no move replay.
+        let mut queues = vec![
+            vec![("a", 9u64), ("b", 8), ("c", 7)],
+            vec![("d", 1)],
+            vec![("e", 2)],
+        ];
+        let before: usize = queues.iter().map(Vec::len).sum();
+        let moved = rebalance(&mut queues, |t| t.1, &BalancePolicy::default());
+        assert!(moved > 0);
+        assert_eq!(queues.iter().map(Vec::len).sum::<usize>(), before);
+        let mut all: Vec<&str> = queues.iter().flatten().map(|t| t.0).collect();
+        all.sort_unstable();
+        assert_eq!(all, vec!["a", "b", "c", "d", "e"]);
     }
 
     #[test]

@@ -1,8 +1,8 @@
-//! # gsb-par — level-synchronous parallelism with centralized balancing
+//! # gsb-par — barrier-round and work-stealing parallel runtimes
 //!
 //! The SC'05 Clique Enumerator parallelizes by exploiting that "the
 //! generation of (k+1)-cliques from a k-clique sub-list is independent of
-//! any other k-clique sub-lists". Its runtime shape (§2.3):
+//! any other k-clique sub-lists". The paper's runtime shape (§2.3):
 //!
 //! 1. a **task scheduler** divides all k-clique sub-lists among worker
 //!    threads and signals them to start;
@@ -13,20 +13,29 @@
 //!    load), and starts the next level;
 //! 4. on shared memory, "transferring" a task passes an address, not data.
 //!
-//! This crate implements that runtime generically:
+//! This crate implements that runtime *and* its modern replacement:
 //!
-//! * [`pool::WorkerPool`] — persistent worker threads with per-worker
-//!   queues (task affinity) and per-level timing;
+//! * [`pool::WorkerPool`] — persistent worker threads supporting two
+//!   execution disciplines: [`run_round`](pool::WorkerPool::run_round),
+//!   the paper's barrier round (one pre-partitioned batch per worker,
+//!   collect at a barrier), and
+//!   [`run_epoch`](pool::WorkerPool::run_epoch), a work-stealing
+//!   *steal-scope epoch* (per-worker deques, idle workers steal, the
+//!   epoch ends at quiescence — where the old barrier hooks re-attach);
+//! * [`steal`] — the std-only Chase–Lev-style deque discipline
+//!   (owner-LIFO / thief-FIFO) plus per-worker [`StealStats`] counters;
 //! * [`balance`] — initial partitioning and the centralized transfer
-//!   policy as pure, testable functions;
-//! * [`stats`] — per-worker/per-level timing records (Fig. 8's
-//!   mean ± stddev comes straight from these);
+//!   policy used by the barrier path, as pure, testable functions;
+//! * [`stats`] — per-worker/per-level timing records with one unified
+//!   imbalance model for both schedulers (Fig. 8's mean ± stddev and
+//!   the steal-balance table come straight from these);
 //! * [`vsim`] — a deterministic **virtual-processor scheduler simulator**
 //!   that replays measured per-task costs onto P ∈ [1, 256] virtual CPUs
 //!   with a per-level synchronization cost. This substitutes for the
 //!   paper's 256-processor SGI Altix (see DESIGN.md §2): speedup *shape*
-//!   is a function of the task-cost distribution and barrier overhead,
-//!   both of which the simulator takes from real measurements.
+//!   is a function of the task-cost distribution and scheduling
+//!   discipline, both of which the simulator takes from real
+//!   measurements.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,9 +43,11 @@
 pub mod balance;
 pub mod pool;
 pub mod stats;
+pub mod steal;
 pub mod vsim;
 
 pub use balance::{partition_greedy, rebalance, BalancePolicy};
-pub use pool::{Heartbeat, RoundError, WorkerFailure, WorkerPool};
+pub use pool::{EpochOut, Heartbeat, PoisonedTask, RoundError, WorkerFailure, WorkerPool};
 pub use stats::{LevelStats, RunStats};
+pub use steal::{EpochTasks, StealDeque, StealStats};
 pub use vsim::{SimConfig, SimResult, VirtualScheduler};

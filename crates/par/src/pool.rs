@@ -28,11 +28,12 @@
 //! result, if any, is discarded), and the level can continue without
 //! it.
 
+use crate::steal::{EpochTasks, StealStats};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -103,6 +104,43 @@ impl fmt::Display for RoundError {
 }
 
 impl std::error::Error for RoundError {}
+
+/// A task convicted inside a work-stealing epoch: it panicked on its
+/// original execution *and* on the immediate inline retry, so the
+/// failure is deterministic for this task, not a transient. The owned
+/// task is handed back so the caller can quarantine it (the levelwise
+/// driver appends it to the quarantine sidecar) instead of failing the
+/// whole epoch.
+#[derive(Debug)]
+pub struct PoisonedTask<T> {
+    /// Worker that executed (and retried) the task.
+    pub worker: usize,
+    /// The task itself, still owned — per-task jobs run by shared
+    /// reference precisely so a panic cannot consume the task.
+    pub task: T,
+    /// Panic payload of the second (convicting) attempt, stringified.
+    pub panic_message: String,
+}
+
+/// Everything one work-stealing epoch produced. Unlike a
+/// level-synchronous round, per-task panics do not discard the epoch:
+/// they are retried inline once and, if deterministic, surfaced in
+/// [`poisoned`](Self::poisoned) while every other task's result is
+/// kept. Only supervision failures (stuck-worker deadline, worker
+/// thread death) fail the epoch as a whole.
+#[derive(Debug)]
+pub struct EpochOut<T, R> {
+    /// Per-worker task results, in completion order. Indexed by worker;
+    /// a stolen task's result lands on the thief.
+    pub results: Vec<Vec<R>>,
+    /// Per-worker scheduling counters (steals, failed steals, busy and
+    /// idle time).
+    pub steal_stats: Vec<StealStats>,
+    /// Tasks that panicked twice and were removed from the epoch.
+    pub poisoned: Vec<PoisonedTask<T>>,
+    /// Tasks that panicked once and succeeded on the inline retry.
+    pub retried_tasks: u64,
+}
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -286,7 +324,7 @@ impl WorkerPool {
         }
     }
 
-    fn abandon_stuck<R>(&mut self, slots: &[Result<(R, u64), WorkerFailure>]) {
+    fn abandon_stuck<P>(&mut self, slots: &[Result<P, WorkerFailure>]) {
         let stuck: Vec<usize> = slots
             .iter()
             .filter_map(|r| r.as_ref().err())
@@ -346,81 +384,298 @@ impl WorkerPool {
             }
         }
         drop(done_tx);
-        let mut slots: Vec<Option<Result<(R, u64), WorkerFailure>>> =
-            (0..threads).map(|_| None).collect();
-        let mut reported = 0;
-        // Stuck detection state: a worker makes progress when its beat
-        // count changes between polls. u64::MAX forces the first poll
-        // to record a baseline, so the clock starts at observation, not
-        // at dispatch.
-        let mut last_beats: Vec<u64> = vec![u64::MAX; threads];
-        let mut last_progress: Vec<Instant> = vec![Instant::now(); threads];
-        let poll = deadline.map(|d| (d / 4).max(Duration::from_millis(5)));
-        while reported < threads {
-            let received = match poll {
-                None => done_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-                Some(p) => done_rx.recv_timeout(p),
-            };
-            match received {
-                Ok((i, out)) => {
-                    if slots[i].is_none() {
-                        slots[i] = Some(out.map_err(|panic_message| WorkerFailure {
+        supervise_collect(&done_rx, threads, &hb, deadline, || {})
+    }
+
+    /// Execute one work-stealing epoch: the tasks in `queues` (one seed
+    /// queue per worker, queues may be empty) are consumed
+    /// owner-LIFO/thief-FIFO until quiescence — every task completed.
+    /// `f` runs once per task, by shared reference, and must beat the
+    /// [`Heartbeat`] (one beat per task is automatic; long tasks should
+    /// beat more often).
+    ///
+    /// Fault containment is per-task, not per-round: a panicking task
+    /// is retried inline once and, when the panic repeats, convicted
+    /// into [`EpochOut::poisoned`] (the owned task is handed back for
+    /// quarantine) while the rest of the epoch continues. Only
+    /// supervision failures — a worker silent past `deadline` (the
+    /// stuck thread is abandoned and the epoch frozen so live workers
+    /// drain-stop) or a dead worker thread — fail the epoch with
+    /// [`RoundError`], discarding all of its outputs.
+    ///
+    /// With a single worker the epoch runs inline on the calling
+    /// thread: no deques, no channels, no supervision — the degenerate
+    /// path `WorkerPool::new(0)` and `new(1)` share.
+    pub fn run_epoch<T, R, F>(
+        &mut self,
+        queues: Vec<Vec<T>>,
+        f: F,
+        deadline: Option<Duration>,
+    ) -> Result<EpochOut<T, R>, RoundError>
+    where
+        T: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &T, &Heartbeat) -> R + Send + Sync + 'static,
+    {
+        assert_eq!(
+            queues.len(),
+            self.threads(),
+            "one seed queue per worker required"
+        );
+        if self.threads() == 1 {
+            return Ok(run_epoch_inline(queues, &f));
+        }
+        self.respawn_dead();
+        let threads = self.threads();
+        let epoch = Arc::new(EpochTasks::new(queues));
+        let f = Arc::new(f);
+        let hb = Heartbeat::new(threads);
+        let poisoned: Arc<Mutex<Vec<PoisonedTask<T>>>> = Arc::new(Mutex::new(Vec::new()));
+        type Done<R> = (usize, Result<(Vec<R>, StealStats, u64), String>);
+        let (done_tx, done_rx) = bounded::<Done<R>>(threads);
+        for w in 0..threads {
+            let f = Arc::clone(&f);
+            let epoch = Arc::clone(&epoch);
+            let poisoned = Arc::clone(&poisoned);
+            let done = done_tx.clone();
+            let hb = hb.clone();
+            let job: Job = Box::new(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| {
+                    worker_epoch_loop(w, &epoch, f.as_ref(), &hb, &poisoned)
+                }))
+                .map_err(|payload| panic_message(payload.as_ref()));
+                let _ = done.send((w, out));
+            });
+            if let Err(send_err) = self.senders[w].send(job) {
+                (send_err.0)();
+            }
+        }
+        drop(done_tx);
+        // A stuck worker freezes the whole epoch: its tasks cannot be
+        // redistributed safely (it may still be executing one), so live
+        // workers drain-stop and the epoch is retried by the caller.
+        let slots = supervise_collect(&done_rx, threads, &hb, deadline, || epoch.abort());
+        self.abandon_stuck(&slots);
+        let mut results = Vec::with_capacity(threads);
+        let mut steal_stats = Vec::with_capacity(threads);
+        let mut retried_tasks = 0u64;
+        let mut failures = Vec::new();
+        for slot in slots {
+            match slot {
+                Ok((r, s, retried)) => {
+                    results.push(r);
+                    steal_stats.push(s);
+                    retried_tasks += retried;
+                }
+                Err(fail) => failures.push(fail),
+            }
+        }
+        if !failures.is_empty() {
+            failures.sort_by_key(|fl| fl.worker);
+            return Err(RoundError { failures });
+        }
+        let poisoned = std::mem::take(
+            &mut *poisoned
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        Ok(EpochOut {
+            results,
+            steal_stats,
+            poisoned,
+            retried_tasks,
+        })
+    }
+
+}
+
+/// One worker's epoch loop: acquire (own deque, then steal), execute
+/// by reference under a panic catch, retry a panicking task once
+/// inline, convict on the second panic. Every acquired task is marked
+/// complete exactly once — success, retry, or conviction — so the
+/// quiescence count cannot wedge.
+fn worker_epoch_loop<T, R, F>(
+    w: usize,
+    epoch: &EpochTasks<T>,
+    f: &F,
+    hb: &Heartbeat,
+    poisoned: &Mutex<Vec<PoisonedTask<T>>>,
+) -> (Vec<R>, StealStats, u64)
+where
+    F: Fn(usize, &T, &Heartbeat) -> R,
+{
+    let mut results = Vec::new();
+    let mut stats = StealStats::default();
+    let mut retried = 0u64;
+    while let Some(task) = epoch.acquire(w, &mut stats) {
+        hb.beat(w);
+        let t0 = Instant::now();
+        let out = match catch_unwind(AssertUnwindSafe(|| f(w, &task, hb))) {
+            Ok(r) => Some(r),
+            // First panic: transient or deterministic? The task is
+            // still owned (executed by reference), so retry in place —
+            // a fresh attempt with no partial state carried over.
+            Err(_) => match catch_unwind(AssertUnwindSafe(|| f(w, &task, hb))) {
+                Ok(r) => {
+                    retried += 1;
+                    Some(r)
+                }
+                Err(payload) => {
+                    poisoned
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(PoisonedTask {
+                            worker: w,
+                            task,
+                            panic_message: panic_message(payload.as_ref()),
+                        });
+                    None
+                }
+            },
+        };
+        stats.busy_ns += t0.elapsed().as_nanos() as u64;
+        stats.tasks += 1;
+        if let Some(r) = out {
+            results.push(r);
+        }
+        epoch.complete();
+    }
+    (results, stats, retried)
+}
+
+/// The single-worker epoch: no deques, no channels, no threads — tasks
+/// run inline on the caller with the same per-task retry/conviction
+/// semantics as the concurrent path.
+fn run_epoch_inline<T, R, F>(queues: Vec<Vec<T>>, f: &F) -> EpochOut<T, R>
+where
+    F: Fn(usize, &T, &Heartbeat) -> R,
+{
+    let hb = Heartbeat::new(1);
+    let mut results = Vec::new();
+    let mut stats = StealStats::default();
+    let mut poisoned = Vec::new();
+    let mut retried_tasks = 0u64;
+    for task in queues.into_iter().flatten() {
+        hb.beat(0);
+        let t0 = Instant::now();
+        let out = match catch_unwind(AssertUnwindSafe(|| f(0, &task, &hb))) {
+            Ok(r) => Some(r),
+            Err(_) => match catch_unwind(AssertUnwindSafe(|| f(0, &task, &hb))) {
+                Ok(r) => {
+                    retried_tasks += 1;
+                    Some(r)
+                }
+                Err(payload) => {
+                    poisoned.push(PoisonedTask {
+                        worker: 0,
+                        task,
+                        panic_message: panic_message(payload.as_ref()),
+                    });
+                    None
+                }
+            },
+        };
+        stats.busy_ns += t0.elapsed().as_nanos() as u64;
+        stats.tasks += 1;
+        if let Some(r) = out {
+            results.push(r);
+        }
+    }
+    EpochOut {
+        results: vec![results],
+        steal_stats: vec![stats],
+        poisoned,
+        retried_tasks,
+    }
+}
+
+/// The shared supervision/collection loop behind rounds and epochs:
+/// wait for every worker's report, watching heartbeats when a deadline
+/// is set. A silent worker is declared failed without waiting for it
+/// (`on_deadline_failure` fires once per such worker — the epoch
+/// engine uses it to freeze the deque set), and any result it sends
+/// later is discarded.
+fn supervise_collect<P>(
+    done_rx: &Receiver<(usize, Result<P, String>)>,
+    threads: usize,
+    hb: &Heartbeat,
+    deadline: Option<Duration>,
+    mut on_deadline_failure: impl FnMut(),
+) -> Vec<Result<P, WorkerFailure>> {
+    let mut slots: Vec<Option<Result<P, WorkerFailure>>> = (0..threads).map(|_| None).collect();
+    let mut reported = 0;
+    // Stuck detection state: a worker makes progress when its beat
+    // count changes between polls. u64::MAX forces the first poll
+    // to record a baseline, so the clock starts at observation, not
+    // at dispatch.
+    let mut last_beats: Vec<u64> = vec![u64::MAX; threads];
+    let mut last_progress: Vec<Instant> = vec![Instant::now(); threads];
+    let poll = deadline.map(|d| (d / 4).max(Duration::from_millis(5)));
+    while reported < threads {
+        let received = match poll {
+            None => done_rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(p) => done_rx.recv_timeout(p),
+        };
+        match received {
+            Ok((i, out)) => {
+                if slots[i].is_none() {
+                    slots[i] = Some(out.map_err(|panic_message| WorkerFailure {
+                        worker: i,
+                        deadline: false,
+                        panic_message,
+                    }));
+                    reported += 1;
+                }
+                // else: a late result from a worker already declared
+                // stuck — discarded; its replacement owns the slot.
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                let d = deadline.expect("timeout implies a deadline");
+                let now = Instant::now();
+                for i in 0..threads {
+                    if slots[i].is_some() {
+                        continue;
+                    }
+                    let beats = hb.count(i);
+                    if beats != last_beats[i] {
+                        last_beats[i] = beats;
+                        last_progress[i] = now;
+                    } else if now.duration_since(last_progress[i]) >= d {
+                        slots[i] = Some(Err(WorkerFailure {
                             worker: i,
-                            deadline: false,
-                            panic_message,
+                            deadline: true,
+                            panic_message: format!(
+                                "no heartbeat for {:.1}s (deadline {:.1}s)",
+                                now.duration_since(last_progress[i]).as_secs_f64(),
+                                d.as_secs_f64()
+                            ),
                         }));
                         reported += 1;
-                    }
-                    // else: a late result from a worker already declared
-                    // stuck — discarded; its replacement owns the slot.
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    let d = deadline.expect("timeout implies a deadline");
-                    let now = Instant::now();
-                    for i in 0..threads {
-                        if slots[i].is_some() {
-                            continue;
-                        }
-                        let beats = hb.count(i);
-                        if beats != last_beats[i] {
-                            last_beats[i] = beats;
-                            last_progress[i] = now;
-                        } else if now.duration_since(last_progress[i]) >= d {
-                            slots[i] = Some(Err(WorkerFailure {
-                                worker: i,
-                                deadline: true,
-                                panic_message: format!(
-                                    "no heartbeat for {:.1}s (deadline {:.1}s)",
-                                    now.duration_since(last_progress[i]).as_secs_f64(),
-                                    d.as_secs_f64()
-                                ),
-                            }));
-                            reported += 1;
-                        }
+                        on_deadline_failure();
                     }
                 }
-                // All senders dropped before every worker reported:
-                // thread death outside the job's catch. Mark the
-                // missing slots failed rather than blocking forever.
-                Err(RecvTimeoutError::Disconnected) => {
-                    for (i, slot) in slots.iter_mut().enumerate() {
-                        if slot.is_none() {
-                            *slot = Some(Err(WorkerFailure {
-                                worker: i,
-                                deadline: false,
-                                panic_message: "worker thread died mid-round".to_string(),
-                            }));
-                            reported += 1;
-                        }
+            }
+            // All senders dropped before every worker reported:
+            // thread death outside the job's catch. Mark the
+            // missing slots failed rather than blocking forever.
+            Err(RecvTimeoutError::Disconnected) => {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        *slot = Some(Err(WorkerFailure {
+                            worker: i,
+                            deadline: false,
+                            panic_message: "worker thread died mid-round".to_string(),
+                        }));
+                        reported += 1;
                     }
                 }
             }
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every slot reported"))
-            .collect()
     }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot reported"))
+        .collect()
 }
 
 /// Collapse per-worker outcomes into an all-or-nothing round result:
@@ -684,6 +939,167 @@ mod tests {
             )
             .expect("beating worker must survive");
         assert_eq!(out[0].0, 42);
+    }
+
+    #[test]
+    fn epoch_zero_threads_clamped_to_one_runs_inline() {
+        // Mirrors `zero_threads_clamped_to_one`: new(0) is one worker,
+        // and a one-worker epoch executes inline with no deques.
+        let mut pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let out = pool
+            .run_epoch(vec![vec![7, 8]], |_, x: &i32, _hb| x * 2, None)
+            .expect("inline epoch");
+        assert_eq!(out.results, vec![vec![14, 16]]);
+        assert_eq!(out.steal_stats.len(), 1);
+        assert_eq!(out.steal_stats[0].tasks, 2);
+        assert_eq!(out.steal_stats[0].steals, 0);
+        assert!(out.poisoned.is_empty());
+    }
+
+    #[test]
+    fn epoch_single_thread_convicts_poison_inline() {
+        // Mirrors the one-worker round tests: the inline path has the
+        // same per-task conviction semantics as the concurrent one.
+        let mut pool = WorkerPool::new(1);
+        let out = pool
+            .run_epoch(
+                vec![vec![1u64, 13, 2]],
+                |_, &x, _hb: &Heartbeat| {
+                    if x == 13 {
+                        panic!("unlucky {x}");
+                    }
+                    x * 10
+                },
+                None,
+            )
+            .expect("poison must not fail the epoch");
+        assert_eq!(out.results, vec![vec![10, 20]]);
+        assert_eq!(out.poisoned.len(), 1);
+        assert_eq!(out.poisoned[0].task, 13);
+        assert_eq!(out.poisoned[0].worker, 0);
+        assert_eq!(out.retried_tasks, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed queue per worker")]
+    fn epoch_queue_count_must_match() {
+        let mut pool = WorkerPool::new(2);
+        let _ = pool.run_epoch(vec![vec![1]], |_, x: &i32, _hb| *x, None);
+    }
+
+    #[test]
+    fn epoch_steals_balance_a_skewed_seed() {
+        // All 64 tasks seeded on worker 0; with 4 workers the others
+        // must steal. Every task completes exactly once.
+        let mut pool = WorkerPool::new(4);
+        let queues = vec![(0..64u64).collect::<Vec<_>>(), vec![], vec![], vec![]];
+        let out = pool
+            .run_epoch(
+                queues,
+                |_, &x, _hb: &Heartbeat| {
+                    // enough work per task that thieves get a chance
+                    std::thread::sleep(Duration::from_micros(200));
+                    x
+                },
+                None,
+            )
+            .expect("healthy epoch");
+        let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+        let steals: u64 = out.steal_stats.iter().map(|s| s.steals).sum();
+        assert!(steals > 0, "no worker ever stole from the skewed seed");
+        assert_eq!(
+            out.steal_stats.iter().map(|s| s.tasks).sum::<u64>(),
+            64,
+            "task count mismatch"
+        );
+    }
+
+    #[test]
+    fn epoch_transient_panic_is_retried_inline() {
+        let mut pool = WorkerPool::new(2);
+        let tripped = Arc::new(AtomicUsize::new(0));
+        let out = pool
+            .run_epoch(
+                vec![vec![1u64, 2], vec![3, 4]],
+                {
+                    let tripped = Arc::clone(&tripped);
+                    move |_, &x, _hb: &Heartbeat| {
+                        // task 3 panics exactly once, succeeds on retry
+                        if x == 3 && tripped.fetch_add(1, Ordering::SeqCst) == 0 {
+                            panic!("transient");
+                        }
+                        x * 10
+                    }
+                },
+                None,
+            )
+            .expect("transient panic must be absorbed");
+        let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![10, 20, 30, 40]);
+        assert_eq!(out.retried_tasks, 1);
+        assert!(out.poisoned.is_empty());
+    }
+
+    #[test]
+    fn epoch_deterministic_panic_convicts_the_task_only() {
+        let mut pool = WorkerPool::new(3);
+        let out = pool
+            .run_epoch(
+                vec![vec![1u64, 2], vec![13], vec![4]],
+                |_, &x, _hb: &Heartbeat| {
+                    if x == 13 {
+                        panic!("poison sub-list {x}");
+                    }
+                    x * 10
+                },
+                None,
+            )
+            .expect("per-task conviction must not fail the epoch");
+        let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![10, 20, 40], "healthy tasks survive");
+        assert_eq!(out.poisoned.len(), 1);
+        assert_eq!(out.poisoned[0].task, 13);
+        assert!(out.poisoned[0].panic_message.contains("poison sub-list"));
+    }
+
+    #[test]
+    fn epoch_stuck_worker_fails_the_epoch_and_is_abandoned() {
+        let mut pool = WorkerPool::new(2);
+        let release = Arc::new(AtomicUsize::new(0));
+        let t0 = Instant::now();
+        let err = pool
+            .run_epoch(
+                vec![vec![false], vec![true]],
+                {
+                    let release = Arc::clone(&release);
+                    move |_, &stall, _hb: &Heartbeat| {
+                        if stall {
+                            let deadline = Instant::now() + Duration::from_secs(30);
+                            while release.load(Ordering::SeqCst) == 0 && Instant::now() < deadline {
+                                std::thread::sleep(Duration::from_millis(10));
+                            }
+                        }
+                        7u64
+                    }
+                },
+                Some(Duration::from_millis(200)),
+            )
+            .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(10), "waited for stall");
+        assert!(err.failures.iter().any(|f| f.deadline));
+        // The abandoned worker was replaced: the next epoch is healthy.
+        let out = pool
+            .run_epoch(vec![vec![1u64], vec![2]], |_, &x, _hb: &Heartbeat| x + 1, None)
+            .expect("replacement worker serves the next epoch");
+        let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![2, 3]);
+        release.store(1, Ordering::SeqCst);
     }
 
     #[test]

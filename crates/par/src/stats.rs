@@ -5,7 +5,12 @@
 //! spread within 10% of the mean. These types capture exactly that data
 //! from real runs (and from the virtual simulator).
 
-/// Busy times of every worker for one level-synchronous round.
+/// Busy times of every worker for one level (a synchronous round under
+/// the barrier scheduler, a steal-scope epoch under the work-stealing
+/// scheduler). One imbalance model covers both: [`transfers`]
+/// (Self::transfers) counts every task that changed workers, whether
+/// the centralized balancer moved it at the barrier or an idle worker
+/// stole it mid-epoch.
 #[derive(Clone, Debug, Default)]
 pub struct LevelStats {
     /// Clique size (or generic level id) this round produced.
@@ -18,8 +23,22 @@ pub struct LevelStats {
     pub per_worker_units: Vec<u64>,
     /// Number of tasks each worker processed.
     pub per_worker_tasks: Vec<usize>,
-    /// Number of load transfers the balancer made after this round.
+    /// Tasks that moved between workers at this level: balancer
+    /// transfers under the barrier scheduler, successful steals under
+    /// the steal scheduler. The unified "moved work" count.
     pub transfers: usize,
+    /// Per-worker successful steals (empty under the barrier
+    /// scheduler; sums to [`transfers`](Self::transfers) under the
+    /// steal scheduler).
+    pub per_worker_steals: Vec<u64>,
+    /// Victim scans that found nothing stealable while work was still
+    /// in flight (steal scheduler only).
+    pub failed_steals: u64,
+    /// Per-worker nanoseconds spent waiting for stealable work (the
+    /// quiescence tail; empty under the barrier scheduler, whose idle
+    /// time hides inside the barrier wait and is *not* observable
+    /// per-worker — exactly what Fig. 8 infers from the busy spread).
+    pub per_worker_idle_ns: Vec<u64>,
 }
 
 impl LevelStats {
@@ -100,9 +119,34 @@ impl RunStats {
         totals
     }
 
-    /// Total number of balancer transfers across levels.
+    /// Total moved work across levels: balancer transfers plus steals
+    /// (the two schedulers' unified imbalance model — see
+    /// [`LevelStats::transfers`]).
     pub fn total_transfers(&self) -> usize {
         self.levels.iter().map(|l| l.transfers).sum()
+    }
+
+    /// Total failed steal scans across levels (0 under the barrier
+    /// scheduler).
+    pub fn total_failed_steals(&self) -> u64 {
+        self.levels.iter().map(|l| l.failed_steals).sum()
+    }
+
+    /// Total steal-wait (idle) time per worker, summed over levels.
+    pub fn per_worker_idle_totals(&self) -> Vec<u64> {
+        let workers = self
+            .levels
+            .iter()
+            .map(|l| l.per_worker_idle_ns.len())
+            .max()
+            .unwrap_or(0);
+        let mut totals = vec![0u64; workers];
+        for l in &self.levels {
+            for (w, &ns) in l.per_worker_idle_ns.iter().enumerate() {
+                totals[w] += ns;
+            }
+        }
+        totals
     }
 }
 
@@ -152,6 +196,7 @@ mod tests {
             per_worker_units: vec![10; 4],
             per_worker_tasks: vec![1; 4],
             transfers: 0,
+            ..Default::default()
         };
         assert_eq!(l.imbalance(), 0.0);
         let l2 = LevelStats {
@@ -171,6 +216,7 @@ mod tests {
                     per_worker_units: Vec::new(),
                     per_worker_tasks: vec![1, 2],
                     transfers: 1,
+                    ..Default::default()
                 },
                 LevelStats {
                     level: 4,
@@ -178,6 +224,7 @@ mod tests {
                     per_worker_units: Vec::new(),
                     per_worker_tasks: vec![1, 1],
                     transfers: 0,
+                    ..Default::default()
                 },
             ],
             wall_ns: 42,
@@ -205,6 +252,7 @@ mod tests {
             per_worker_units: vec![99],
             per_worker_tasks: vec![7],
             transfers: 0,
+            ..Default::default()
         };
         assert_eq!(l.mean_ns(), 1234.0);
         assert_eq!(l.stddev_ns(), 0.0);
@@ -230,6 +278,7 @@ mod tests {
                     per_worker_units: vec![1, 2, 3],
                     per_worker_tasks: vec![1, 1, 1],
                     transfers: 2,
+                    ..Default::default()
                 },
                 LevelStats {
                     level: 4,
@@ -237,6 +286,7 @@ mod tests {
                     per_worker_units: vec![4],
                     per_worker_tasks: vec![1],
                     transfers: 0,
+                    ..Default::default()
                 },
             ],
             wall_ns: 100,

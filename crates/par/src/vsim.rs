@@ -14,16 +14,44 @@
 //! while per-level work dwarfs the barrier; degradation once it does
 //! not; larger problems (smaller `init_k`) scaling further (Fig. 7).
 
-use crate::balance::{makespan, partition_greedy};
+use crate::balance::partition_greedy;
+
+/// Pay the actual costs for a planned index assignment. Returns the
+/// level makespan and the per-processor busy time.
+fn replay_assignment(assign: &[Vec<usize>], costs: &[u64], procs: usize) -> (u64, Vec<u64>) {
+    let mut busy = vec![0u64; procs];
+    for (p, idxs) in assign.iter().enumerate() {
+        busy[p] = idxs.iter().map(|&i| costs[i]).sum();
+    }
+    (busy.iter().copied().max().unwrap_or(0), busy)
+}
+
+/// Online greedy list scheduling of one level: the next task in seed
+/// order goes to the processor that frees up first (ties broken by
+/// index). Returns the level makespan and the per-processor busy time.
+fn steal_level(costs: &[u64], procs: usize) -> (u64, Vec<u64>) {
+    let mut finish = vec![0u64; procs];
+    for &c in costs {
+        let p = (0..procs).min_by_key(|&p| (finish[p], p)).unwrap();
+        finish[p] += c;
+    }
+    (finish.iter().copied().max().unwrap_or(0), finish)
+}
 
 /// Task partitioning discipline per level.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
-    /// Longest-processing-time greedy using known costs (models the
-    /// paper's centralized balancer with good estimates).
+    /// Longest-processing-time greedy using the *estimated* costs
+    /// (models the paper's centralized balancer: it plans on whatever
+    /// cost model it has, then pays the actual costs).
     Lpt,
     /// Round-robin by task index, blind to cost (models *no* balancing).
     Static,
+    /// Online greedy list scheduling: each task goes to the processor
+    /// that frees up first, in seed order. This is the classic model of
+    /// a work-stealing epoch — an idle worker always acquires the next
+    /// available task — and needs no cost estimates at all.
+    Steal,
 }
 
 /// Simulator configuration.
@@ -87,13 +115,35 @@ impl SimResult {
 #[derive(Clone, Debug)]
 pub struct VirtualScheduler {
     levels: Vec<Vec<u64>>,
+    /// Per-level *estimated* costs the planner sees (same shape as
+    /// `levels`). `None` = perfect estimates (plan on actuals).
+    estimates: Option<Vec<Vec<u64>>>,
     config: SimConfig,
 }
 
 impl VirtualScheduler {
-    /// Build from per-level task costs (ns), in level order.
+    /// Build from per-level task costs (ns), in level order. The
+    /// planner sees the true costs (perfect estimates).
     pub fn new(levels: Vec<Vec<u64>>, config: SimConfig) -> Self {
-        VirtualScheduler { levels, config }
+        VirtualScheduler {
+            levels,
+            estimates: None,
+            config,
+        }
+    }
+
+    /// Build with separate planning estimates: [`Strategy::Lpt`]
+    /// partitions each level on `estimates[k]` but the simulation pays
+    /// `levels[k]` — exactly the real barrier scheduler's position,
+    /// which plans on `SubList::cost()` guesses. [`Strategy::Steal`]
+    /// ignores estimates (it schedules online), so the same scheduler
+    /// replays a fair barrier-vs-steal comparison.
+    pub fn with_estimates(levels: Vec<Vec<u64>>, estimates: Vec<Vec<u64>>, config: SimConfig) -> Self {
+        VirtualScheduler {
+            levels,
+            estimates: Some(estimates),
+            config,
+        }
     }
 
     /// Total sequential work (ns).
@@ -107,25 +157,29 @@ impl VirtualScheduler {
         let mut total = 0u64;
         let mut level_makespans = Vec::with_capacity(self.levels.len());
         let mut busy = vec![0u64; procs];
-        for costs in &self.levels {
-            let assign = match self.config.strategy {
-                Strategy::Lpt => partition_greedy(costs, procs),
+        for (li, costs) in self.levels.iter().enumerate() {
+            let (ms, level_busy) = match self.config.strategy {
+                Strategy::Steal => steal_level(costs, procs),
+                Strategy::Lpt => {
+                    let plan = self
+                        .estimates
+                        .as_ref()
+                        .and_then(|e| e.get(li))
+                        .map_or(costs.as_slice(), Vec::as_slice);
+                    let assign = partition_greedy(plan, procs);
+                    replay_assignment(&assign, costs, procs)
+                }
                 Strategy::Static => {
                     let mut a: Vec<Vec<usize>> = vec![Vec::new(); procs];
                     for (i, _) in costs.iter().enumerate() {
                         a[i % procs].push(i);
                     }
-                    a
+                    replay_assignment(&a, costs, procs)
                 }
             };
-            let queues: Vec<Vec<u64>> = assign
-                .iter()
-                .map(|idxs| idxs.iter().map(|&i| costs[i]).collect())
-                .collect();
-            let ms = makespan(&queues);
             level_makespans.push(ms);
-            for (p, q) in queues.iter().enumerate() {
-                busy[p] += q.iter().sum::<u64>();
+            for (p, b) in level_busy.iter().enumerate() {
+                busy[p] += b;
             }
             let sync = if procs > 1 {
                 self.config.sync_base_ns + self.config.sync_per_proc_ns * procs as u64
@@ -226,6 +280,53 @@ mod tests {
             },
         );
         assert!(lpt.run(4).total_ns <= stat.run(4).total_ns);
+    }
+
+    #[test]
+    fn steal_matches_lpt_on_uniform_tasks() {
+        let levels = uniform_levels(3, 32, 1_000_000);
+        let lpt = VirtualScheduler::new(
+            levels.clone(),
+            SimConfig {
+                strategy: Strategy::Lpt,
+                ..SimConfig::default()
+            },
+        );
+        let steal = VirtualScheduler::new(
+            levels,
+            SimConfig {
+                strategy: Strategy::Steal,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(lpt.run(8).total_ns, steal.run(8).total_ns);
+    }
+
+    #[test]
+    fn steal_beats_lpt_on_bad_estimates() {
+        // The planner believes every task is equal; in reality one is
+        // 100× heavier. LPT-on-estimates packs the heavy task with
+        // others, the online scheduler isolates it automatically.
+        let mut actual = vec![10_000u64; 32];
+        actual[0] = 1_000_000;
+        let estimates = vec![vec![10_000u64; 32]; 2];
+        let levels = vec![actual; 2];
+        let lpt = VirtualScheduler::with_estimates(
+            levels.clone(),
+            estimates,
+            SimConfig {
+                strategy: Strategy::Lpt,
+                ..SimConfig::default()
+            },
+        );
+        let steal = VirtualScheduler::new(
+            levels,
+            SimConfig {
+                strategy: Strategy::Steal,
+                ..SimConfig::default()
+            },
+        );
+        assert!(steal.run(8).total_ns < lpt.run(8).total_ns);
     }
 
     #[test]

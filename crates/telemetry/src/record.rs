@@ -39,8 +39,19 @@ pub struct LevelRecord {
     pub units: Vec<u64>,
     /// Per-worker task (sub-list) counts for this level.
     pub tasks: Vec<u64>,
-    /// Sub-lists moved by the balancer before this level ran.
+    /// Sub-lists that moved between workers at this level: balancer
+    /// transfers (barrier scheduler) or successful steals (steal
+    /// scheduler) — the unified moved-work count.
     pub transfers: u64,
+    /// Per-worker successful steals this level (empty under the
+    /// barrier scheduler).
+    pub steals: Vec<u64>,
+    /// Per-worker nanoseconds spent waiting for stealable work (the
+    /// epoch quiescence tail; empty under the barrier scheduler).
+    pub idle_ns: Vec<u64>,
+    /// Victim scans that found nothing stealable while work was still
+    /// in flight (steal scheduler only).
+    pub failed_steals: u64,
     /// Memory-watchdog projection for the next level, bytes.
     pub projected_bytes: u64,
     /// Formula-accounted size of the level (paper §3), bytes.
@@ -132,6 +143,9 @@ impl LevelRecord {
             .u64_slice_field("units", &self.units)
             .u64_slice_field("tasks", &self.tasks)
             .u64_field("transfers", self.transfers)
+            .u64_slice_field("steals", &self.steals)
+            .u64_slice_field("idle_ns", &self.idle_ns)
+            .u64_field("failed_steals", self.failed_steals)
             .u64_field("projected_bytes", self.projected_bytes)
             .u64_field("formula_bytes", self.formula_bytes)
             .u64_field("heap_bytes", self.heap_bytes)
@@ -164,6 +178,9 @@ impl LevelRecord {
             units: v.u64_array("units"),
             tasks: v.u64_array("tasks"),
             transfers: v.u64_or_zero("transfers"),
+            steals: v.u64_array("steals"),
+            idle_ns: v.u64_array("idle_ns"),
+            failed_steals: v.u64_or_zero("failed_steals"),
             projected_bytes: v.u64_or_zero("projected_bytes"),
             formula_bytes: v.u64_or_zero("formula_bytes"),
             heap_bytes: v.u64_or_zero("heap_bytes"),
@@ -243,6 +260,9 @@ mod tests {
             units: vec![100, 90, 110],
             tasks: vec![6, 5, 6],
             transfers: 2,
+            steals: vec![0, 2, 1],
+            idle_ns: vec![10_000, 0, 5_000],
+            failed_steals: 3,
             projected_bytes: 1 << 20,
             formula_bytes: 1 << 19,
             heap_bytes: 1 << 19,

@@ -234,6 +234,56 @@ pub fn render_report(report: &ParsedReport) -> String {
         ));
     }
 
+    // Steal balance: where the work-stealing scheduler moved work and
+    // how long workers sat idle waiting for something to steal. Only
+    // rendered for runs that recorded steal counters.
+    if report.levels.iter().any(|r| !r.steals.is_empty()) {
+        let workers = report
+            .levels
+            .iter()
+            .map(|r| r.busy_ns.len().max(r.steals.len()).max(r.idle_ns.len()))
+            .max()
+            .unwrap_or(0);
+        let mut steals = vec![0u64; workers];
+        let mut idle = vec![0u64; workers];
+        let mut busy = vec![0u64; workers];
+        let mut failed = 0u64;
+        for rec in &report.levels {
+            for (i, &s) in rec.steals.iter().enumerate() {
+                steals[i] += s;
+            }
+            for (i, &ns) in rec.idle_ns.iter().enumerate() {
+                idle[i] += ns;
+            }
+            for (i, &ns) in rec.busy_ns.iter().enumerate() {
+                busy[i] += ns;
+            }
+            failed += rec.failed_steals;
+        }
+        out.push_str("\nSteal balance\n");
+        let mut st = TextTable::new(&["worker", "steals", "idle", "idle%"]);
+        for i in 0..workers {
+            let span = busy[i] + idle[i];
+            let pct = if span == 0 {
+                0.0
+            } else {
+                100.0 * idle[i] as f64 / span as f64
+            };
+            st.row(vec![
+                i.to_string(),
+                steals[i].to_string(),
+                fmt_ns(idle[i]),
+                format!("{pct:.1}"),
+            ]);
+        }
+        st.render(&mut out);
+        out.push_str(&format!(
+            "total steals {}  failed steal scans {}\n",
+            steals.iter().sum::<u64>(),
+            failed,
+        ));
+    }
+
     if let Some(s) = &report.summary {
         out.push_str(&format!(
             "\nTotals: {} maximal cliques, {} levels, wall {}",
@@ -352,6 +402,33 @@ mod tests {
         assert!(text.contains("maximum clique 5"));
         // Level 3 busy [100, 200]: mean 150, stddev 50, imbalance 33.3%
         assert!(text.contains("33.3"), "missing imbalance row in:\n{text}");
+    }
+
+    #[test]
+    fn render_includes_steal_balance_when_recorded() {
+        let mut rec = level(3, &[900, 100], 2, 2);
+        rec.steals = vec![0, 4];
+        rec.idle_ns = vec![100, 900];
+        rec.failed_steals = 7;
+        rec.transfers = 4;
+        let mut text = String::new();
+        text.push_str(&rec.to_json());
+        text.push('\n');
+        let report = parse_report(&text).unwrap();
+        let rendered = render_report(&report);
+        assert!(rendered.contains("Steal balance"), "in:\n{rendered}");
+        assert!(
+            rendered.contains("total steals 4  failed steal scans 7"),
+            "in:\n{rendered}"
+        );
+        // Worker 1: idle 900 of span 100+900 => 90.0%
+        assert!(rendered.contains("90.0"), "in:\n{rendered}");
+    }
+
+    #[test]
+    fn render_omits_steal_balance_for_barrier_runs() {
+        let report = parse_report(&sample_text()).unwrap();
+        assert!(!render_report(&report).contains("Steal balance"));
     }
 
     #[test]
