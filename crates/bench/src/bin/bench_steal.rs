@@ -95,7 +95,11 @@ fn planner_estimates(g: &BitGraph) -> Vec<Vec<u64>> {
 
 fn fractions(r: &SimResult) -> (Vec<f64>, f64) {
     let wall = r.total_ns.max(1) as f64;
-    let busy: Vec<f64> = r.per_proc_busy_ns.iter().map(|&b| b as f64 / wall).collect();
+    let busy: Vec<f64> = r
+        .per_proc_busy_ns
+        .iter()
+        .map(|&b| b as f64 / wall)
+        .collect();
     let max_idle = busy.iter().map(|b| 1.0 - b).fold(0.0f64, f64::max);
     (busy, max_idle)
 }

@@ -17,6 +17,14 @@
 //!   hammering `/metrics` and `/metrics-json`: measures what the
 //!   observability stack costs (query p99 vs. the bare steady run)
 //!   and that scrapes stay 200 under load.
+//! * **router_steady / router_failover** (with `--router`) — the same
+//!   query mix against a `gsb router` fronting 2 shards × 2 replicas
+//!   (split with [`split_index`], every backend an in-process
+//!   [`Server`]). The steady run baselines the routed path; the
+//!   failover run kills one replica mid-load and commits what the tier
+//!   did about it — failover latency percentiles, retry/hedge counts,
+//!   and that answers stayed exact (zero degraded) because the shard's
+//!   second replica survived.
 //!
 //! Results (QPS, latency percentiles, shed rate) are committed to a
 //! JSON file (default `results/BENCH_serve.json`) whose *schema* is
@@ -26,7 +34,10 @@ use crate::args::Args;
 use crate::CliError;
 use gsb_core::{CliqueEnumerator, EnumConfig, ShutdownToken};
 use gsb_graph::generators::{planted, Module};
-use gsb_index::{CliqueIndex, IndexWriter, ServeConfig, ServeReport, Server};
+use gsb_index::{
+    split_index, CliqueIndex, IndexWriter, Router, RouterConfig, ServeConfig, ServeReport, Server,
+    ShardSpec, Topology,
+};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -37,11 +48,12 @@ use std::time::{Duration, Instant};
 
 /// `gsb bench-serve`
 pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
-    let a = Args::parse(argv, &["out", "seed"], &["smoke", "scrape"], 0)?;
+    let a = Args::parse(argv, &["out", "seed"], &["smoke", "scrape", "router"], 0)?;
     let out_path = PathBuf::from(a.flag("out").unwrap_or("results/BENCH_serve.json"));
     let seed: u64 = a.flag_or("seed", 13)?;
     let smoke = a.switch("smoke");
     let with_scrape = a.switch("scrape");
+    let with_router = a.switch("router");
 
     // A graph big enough for non-trivial postings, small enough that
     // the bench is self-contained and fast.
@@ -111,6 +123,15 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
     } else {
         None
     };
+    let router_runs = if with_router {
+        let shards_dir = dir.join("shards");
+        let summaries = split_index(&dir, &shards_dir, 2).map_err(CliError::Store)?;
+        let steady = run_router_scenario(&summaries, 4, duration, n as u32, false)?;
+        let failover = run_router_scenario(&summaries, 4, duration, n as u32, true)?;
+        Some((steady, failover))
+    } else {
+        None
+    };
     let _ = std::fs::remove_dir_all(&dir);
 
     let scrape_json = match &scrape {
@@ -125,11 +146,20 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
         }
         None => String::new(),
     };
+    let router_json = match &router_runs {
+        Some((rs, rf)) => format!(
+            ",\n    \"router_steady\": {},\n    \"router_failover\": {}",
+            rs.to_json(),
+            rf.to_json()
+        ),
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"gsb_bench_serve\",\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \"scenarios\": {{\n    \"steady\": {},\n    \"overload\": {}{}\n  }}\n}}\n",
+        "{{\n  \"bench\": \"gsb_bench_serve\",\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \"scenarios\": {{\n    \"steady\": {},\n    \"overload\": {}{}{}\n  }}\n}}\n",
         steady.to_json(),
         overload.to_json(),
         scrape_json,
+        router_json,
     );
     if let Some(parent) = out_path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -174,8 +204,275 @@ pub fn bench_serve(argv: &[String]) -> Result<String, CliError> {
             );
         }
     }
+    if let Some((rs, rf)) = &router_runs {
+        for (name, s) in [("router_steady", rs), ("router_failover", rf)] {
+            let _ = writeln!(
+                out,
+                "  {name}: {} requests, {:.0} qps, p50 {}us p95 {}us p99 {}us, ok {}, degraded {}, errors {}; retries {}, hedges {} ({} wins)",
+                s.requests,
+                s.qps,
+                s.p50_us,
+                s.p95_us,
+                s.p99_us,
+                s.ok,
+                s.degraded_ok,
+                s.errors,
+                s.retries,
+                s.hedges,
+                s.hedge_wins,
+            );
+        }
+    }
     let _ = writeln!(out, "results written to {}", out_path.display());
     Ok(out)
+}
+
+/// Aggregated outcome of one routed-tier scenario.
+struct RouterScenario {
+    clients: usize,
+    requests: u64,
+    ok: u64,
+    degraded_ok: u64,
+    shed: u64,
+    errors: u64,
+    qps: f64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    killed_replica: bool,
+    retries: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    degraded_answers: u64,
+    router_requests: u64,
+}
+
+impl RouterScenario {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"clients\":{},\"requests\":{},\"ok\":{},\"degraded_ok\":{},\"shed\":{},\"errors\":{},\"qps\":{:.2},\"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"max_us\":{},\"killed_replica\":{},\"retries\":{},\"hedges\":{},\"hedge_wins\":{},\"degraded_answers\":{},\"router_requests\":{}}}",
+            self.clients,
+            self.requests,
+            self.ok,
+            self.degraded_ok,
+            self.shed,
+            self.errors,
+            self.qps,
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.max_us,
+            self.killed_replica,
+            self.retries,
+            self.hedges,
+            self.hedge_wins,
+            self.degraded_answers,
+            self.router_requests,
+        )
+    }
+}
+
+/// Start a 2-shards × 2-replicas tier plus a router in-process, drive
+/// the usual query mix through the router, and (for the failover run)
+/// gracefully kill one replica of shard 0 halfway through — the tier
+/// must keep answering exactly through the surviving replica.
+fn run_router_scenario(
+    summaries: &[gsb_index::ShardSummary],
+    clients: usize,
+    duration: Duration,
+    n: u32,
+    kill_one: bool,
+) -> Result<RouterScenario, CliError> {
+    const REPLICAS: usize = 2;
+    let mut backends = Vec::new(); // (shutdown, join handle)
+    let mut shards = Vec::new();
+    for s in summaries {
+        let index = Arc::new(CliqueIndex::open(&s.dir).map_err(CliError::Store)?);
+        let mut replicas = Vec::new();
+        for _ in 0..REPLICAS {
+            let server = Server::bind(
+                Arc::clone(&index),
+                "127.0.0.1:0",
+                ServeConfig {
+                    threads: 2,
+                    queue_limit: 256,
+                    ..ServeConfig::default()
+                },
+            )?;
+            replicas.push(server.local_addr()?.to_string());
+            let shutdown = ShutdownToken::new();
+            let handle = {
+                let shutdown = shutdown.clone();
+                std::thread::spawn(move || server.run(&shutdown))
+            };
+            backends.push((shutdown, handle));
+        }
+        shards.push(ShardSpec {
+            id_lo: s.id_lo,
+            id_hi: s.id_hi,
+            size_lo: s.size_lo,
+            size_hi: s.size_hi,
+            replicas,
+        });
+    }
+    let router = Router::bind(
+        Topology { shards },
+        "127.0.0.1:0",
+        RouterConfig {
+            threads: 4,
+            request_deadline: Duration::from_secs(2),
+            try_timeout: Duration::from_millis(400),
+            probe_interval: Duration::from_millis(50),
+            breaker_cooldown: Duration::from_millis(200),
+            ..RouterConfig::default()
+        },
+    )?;
+    let addr = router.local_addr()?;
+    let router_shutdown = ShutdownToken::new();
+    let router_thread = {
+        let shutdown = router_shutdown.clone();
+        std::thread::spawn(move || router.run(&shutdown))
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || router_client_loop(addr, c as u32, n, &stop))
+        })
+        .collect();
+    if kill_one {
+        // Halfway through, one replica of shard 0 goes away; the load
+        // keeps running so the percentiles include the failover.
+        std::thread::sleep(duration / 2);
+        backends[0].0.request(15);
+        std::thread::sleep(duration / 2);
+    } else {
+        std::thread::sleep(duration);
+    }
+    stop.store(true, Ordering::Release);
+
+    let mut requests = 0u64;
+    let mut ok = 0u64;
+    let mut degraded_ok = 0u64;
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        let c = w
+            .join()
+            .map_err(|_| CliError::Runtime("bench-serve router client panicked".into()))?;
+        requests += c.requests;
+        ok += c.ok;
+        degraded_ok += c.rate_limited; // router clients tally degraded here
+        shed += c.shed;
+        errors += c.errors;
+        latencies.extend(c.ok_latencies_us);
+    }
+    let wall = started.elapsed();
+    router_shutdown.request(15);
+    let report = router_thread
+        .join()
+        .map_err(|_| CliError::Runtime("bench-serve router thread panicked".into()))??;
+    for (shutdown, handle) in backends {
+        shutdown.request(15);
+        let _ = handle
+            .join()
+            .map_err(|_| CliError::Runtime("bench-serve backend thread panicked".into()))?;
+    }
+
+    latencies.sort_unstable();
+    Ok(RouterScenario {
+        clients,
+        requests,
+        ok,
+        degraded_ok,
+        shed,
+        errors,
+        qps: ok as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: pct(&latencies, 0.50),
+        p95_us: pct(&latencies, 0.95),
+        p99_us: pct(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0),
+        killed_replica: kill_one,
+        retries: report.retries,
+        hedges: report.hedges,
+        hedge_wins: report.hedge_wins,
+        degraded_answers: report.degraded_answers,
+        router_requests: report.requests,
+    })
+}
+
+/// The steady query mix through the router, with degraded detection:
+/// a 200 whose headers carry `X-Gsb-Degraded` is tallied separately
+/// (in the `rate_limited` slot, unused on the routed path) so the
+/// failover scenario can prove answers stayed exact.
+fn router_client_loop(
+    addr: SocketAddr,
+    client_id: u32,
+    n: u32,
+    stop: &AtomicBool,
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        requests: 0,
+        ok: 0,
+        rate_limited: 0,
+        shed: 0,
+        errors: 0,
+        ok_latencies_us: Vec::new(),
+    };
+    let mut round = 0u32;
+    while !stop.load(Ordering::Acquire) {
+        let v = (client_id * 7 + round * 3) % n;
+        let w = (client_id * 11 + round * 5) % n;
+        let path = match round % 6 {
+            0 => "/health".to_string(),
+            1 => "/stats".to_string(),
+            2 => "/max".to_string(),
+            3 => format!("/containing/{v}"),
+            4 => "/size/3/6?limit=8".to_string(),
+            _ => format!("/overlap/{v}/{w}"),
+        };
+        round = round.wrapping_add(1);
+        out.requests += 1;
+        let begun = Instant::now();
+        match get_response(addr, &path) {
+            Ok((200, head)) => {
+                if head.contains("X-Gsb-Degraded") {
+                    out.rate_limited += 1;
+                } else {
+                    out.ok += 1;
+                    out.ok_latencies_us.push(begun.elapsed().as_micros() as u64);
+                }
+            }
+            Ok((503, _)) | Ok((408, _)) => out.shed += 1,
+            Ok(_) => out.errors += 1,
+            Err(_) => out.errors += 1,
+        }
+    }
+    out
+}
+
+/// One blocking GET; returns the status and the raw response head.
+fn get_response(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_nodelay(true)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("malformed status line"))?;
+    let head = response
+        .split_once("\r\n\r\n")
+        .map(|(h, _)| h.to_string())
+        .unwrap_or(response);
+    Ok((status, head))
 }
 
 /// Aggregated outcome of one load scenario.

@@ -13,8 +13,10 @@ mod motif;
 mod query;
 mod report;
 mod resume;
+mod router;
 mod scrub;
 mod serve;
+mod shard;
 mod stats;
 mod tail;
 
@@ -28,8 +30,10 @@ pub use motif::motif;
 pub use query::query;
 pub use report::report;
 pub use resume::resume;
+pub use router::router;
 pub use scrub::scrub;
 pub use serve::serve;
+pub use shard::shard;
 pub use stats::stats;
 pub use tail::tail;
 
@@ -822,9 +826,11 @@ mod tests {
     #[test]
     fn bench_serve_smoke_writes_schema_stable_json() {
         let out = tmp("bench_serve.json");
-        let report = bench_serve(&argv(&["--smoke", "--out", &out])).unwrap();
+        let report = bench_serve(&argv(&["--smoke", "--router", "--out", &out])).unwrap();
         assert!(report.contains("steady:"), "{report}");
         assert!(report.contains("overload:"), "{report}");
+        assert!(report.contains("router_steady:"), "{report}");
+        assert!(report.contains("router_failover:"), "{report}");
         let text = std::fs::read_to_string(&out).unwrap();
         let parsed = gsb_telemetry::json::parse(&text).expect("bench JSON parses");
         let scenarios = parsed.get("scenarios").expect("scenarios object");
@@ -835,7 +841,151 @@ mod tests {
                 assert!(s.get(key).is_some(), "{name} missing {key}");
             }
         }
+        for name in ["router_steady", "router_failover"] {
+            let s = scenarios.get(name).unwrap_or_else(|| panic!("{name}"));
+            assert!(s.u64_or_zero("requests") > 0, "{name} issued requests");
+            for key in [
+                "ok",
+                "degraded_ok",
+                "qps",
+                "p50_us",
+                "p99_us",
+                "retries",
+                "hedges",
+                "hedge_wins",
+                "degraded_answers",
+            ] {
+                assert!(s.get(key).is_some(), "{name} missing {key}");
+            }
+            // Both shards kept at least one live replica throughout, so
+            // every answer must have been exact: degraded means the
+            // router gave up on a shard that was still servable.
+            assert_eq!(s.u64_or_zero("degraded_ok"), 0, "{name} degraded answers");
+        }
+        let failover = scenarios.get("router_failover").unwrap();
+        assert_eq!(
+            failover.get("killed_replica").and_then(|v| v.as_bool()),
+            Some(true)
+        );
         let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn shard_split_then_router_topology_round_trip() {
+        let path = tmp("g18.txt");
+        let dir = tmp("g18-index");
+        let out = tmp("g18-shards");
+        let topo = tmp("g18.topology");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "7,5",
+            "--seed",
+            "43",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        index(&argv(&[&path, "--min", "3", "--out", &dir])).unwrap();
+
+        let report = shard(&argv(&[
+            &dir,
+            "--out",
+            &out,
+            "--shards",
+            "2",
+            "--topology-out",
+            &topo,
+            "--replicas",
+            "127.0.0.1:7701,127.0.0.1:7702/127.0.0.1:7703,127.0.0.1:7704",
+        ]))
+        .unwrap();
+        assert!(report.contains("split"), "{report}");
+        assert!(report.contains("shard 1:"), "{report}");
+        let text = std::fs::read_to_string(&topo).unwrap();
+        let topology = gsb_index::Topology::from_text(&text).expect("topology parses");
+        assert_eq!(topology.shards.len(), 2);
+        assert_eq!(topology.shards[0].replicas.len(), 2);
+
+        // Each shard directory is an ordinary servable index.
+        for k in 0..2 {
+            let sub = gsb_index::CliqueIndex::open(Path::new(&format!("{out}/shard{k}"))).unwrap();
+            assert!(sub.len() > 0);
+        }
+
+        // usage errors
+        assert!(shard(&argv(&[&dir])).is_err()); // --out required
+        let err = shard(&argv(&[&dir, "--out", &out, "--topology-out", &topo])).unwrap_err();
+        assert!(err.to_string().contains("--replicas"), "{err}");
+        let err = shard(&argv(&[
+            &dir,
+            "--out",
+            &out,
+            "--shards",
+            "2",
+            "--topology-out",
+            &topo,
+            "--replicas",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("shard group"), "{err}");
+
+        // router usage errors: bad percentile, missing topology
+        let err = router(&argv(&[&topo, "--hedge-percentile", "1.5"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = router(&argv(&["/definitely/not/a/topology"])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&topo);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn scrub_json_emits_findings_and_summary() {
+        let path = tmp("g19.txt");
+        let dir = tmp("g19-index");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "36",
+            "--modules",
+            "7,5",
+            "--seed",
+            "47",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        index(&argv(&[&path, "--min", "3", "--out", &dir])).unwrap();
+
+        // Clean: a single summary object, clean=true, exit 0.
+        let clean = scrub(&argv(&[&dir, "--json"])).unwrap();
+        let lines: Vec<&str> = clean.lines().collect();
+        assert_eq!(lines.len(), 1, "{clean}");
+        let summary = gsb_telemetry::json::parse(lines[0]).expect("summary parses");
+        assert_eq!(summary.get("clean").and_then(|v| v.as_bool()), Some(true));
+        assert!(summary.u64_or_zero("blocks_checked") > 0);
+        assert_eq!(summary.u64_or_zero("findings"), 0);
+
+        // Corrupt: one JSON object per finding, summary says dirty,
+        // exit code 1.
+        let store = Path::new(&dir).join("cliques.gsi");
+        let mut bytes = std::fs::read(&store).unwrap();
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0x10;
+        std::fs::write(&store, &bytes).unwrap();
+        let err = scrub(&argv(&[&dir, "--json"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

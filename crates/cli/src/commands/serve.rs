@@ -96,7 +96,7 @@ pub fn serve(argv: &[String]) -> Result<String, CliError> {
         index.generation()
     );
     eprintln!(
-        "gsb serve: endpoints: /health /stats /containing/V /size/LO/HI /max /overlap/V/W /metrics /metrics-json"
+        "gsb serve: endpoints: /health /ready /stats /get/ID /containing/V /size/LO/HI /max /overlap/V/W /metrics /metrics-json"
     );
     if let Some(path) = &access_log {
         eprintln!("gsb serve: access log at {}", path.display());

@@ -171,9 +171,19 @@ USAGE:
                [--metrics-out FILE] [--access-log FILE]
                [--access-log-max-bytes N] [--slow-query-ms MS]
                [--slow-query-log FILE] [--trace-seed S]
+  gsb shard INDEX_DIR --out DIR [--shards N]
+               [--topology-out FILE --replicas h:p,h:p/h:p,h:p]
+  gsb router TOPOLOGY [--addr HOST:PORT] [--threads T]
+               [--deadline-secs S] [--request-deadline-ms MS]
+               [--queue-limit N] [--max-header-bytes N]
+               [--probe-interval-ms MS] [--breaker-failures N]
+               [--breaker-cooldown-ms MS] [--try-timeout-ms MS]
+               [--hedge-percentile P] [--hedge-min-ms MS]
+               [--retry-seed S] [--trace-seed S] [--metrics-out FILE]
   gsb tail ACCESS_LOG [--top N]
-  gsb scrub INDEX_DIR
+  gsb scrub INDEX_DIR [--json]
   gsb bench-serve [--out FILE] [--seed S] [--smoke] [--scrape]
+               [--router]
   gsb stats --index INDEX_DIR
   gsb convert IN OUT
   gsb help
@@ -244,11 +254,29 @@ index without dropping in-flight requests). Blocks that fail CRC at
 read time are quarantined in memory and list answers degrade exactly
 (marked with X-Gsb-Degraded) until a rebuild lands. `gsb scrub
 INDEX_DIR` walks every CRC frame offline, recomputes the postings from
-the decoded cliques, and exits 1 listing findings on any corruption.
+the decoded cliques, and exits 1 listing findings on any corruption
+(`--json` emits one JSON object per finding plus a summary line).
 `gsb bench-serve` runs a self-contained closed-loop load benchmark
 (steady + overload scenarios, plus a concurrent /metrics-scrape
-scenario with `--scrape`) and writes QPS/latency/shed-rate percentiles
-to results/BENCH_serve.json.
+scenario with `--scrape` and router failover scenarios with
+`--router`) and writes QPS/latency/shed-rate percentiles to
+results/BENCH_serve.json.
+
+Replication: `gsb shard` splits one committed index into contiguous
+clique-id shard directories (each an ordinary index a stock `gsb
+serve` can serve; size order makes id ranges size ranges) and can emit
+the matching topology file. `gsb router` fronts those backends: it
+scatter-gathers containing/overlap across shards, routes size/get/max
+to the owning shards, health-probes every replica's /ready, drives a
+per-backend circuit breaker (closed/half-open/open, with passive
+failure accounting), carves per-try timeouts from the request deadline
+(propagated via X-Gsb-Deadline-Ms so backends shed abandoned work),
+fails over across replicas with seeded jittered backoff, hedges tail
+latency at --hedge-percentile, and degrades exactly: if every replica
+of a shard is down, scatter answers carry the surviving shards plus
+X-Gsb-Degraded and a missing_shards field — never a blind 500. The
+router's /metrics exports per-backend breaker-state gauges and
+retry/hedge/degraded counters.
 
 Observability: `gsb serve` exposes GET /metrics (Prometheus text
 format: per-endpoint request counters and latency histograms, queue
@@ -286,6 +314,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "index" => commands::index(rest),
         "query" => commands::query(rest),
         "serve" => commands::serve(rest),
+        "router" => commands::router(rest),
+        "shard" => commands::shard(rest),
         "tail" => commands::tail(rest),
         "scrub" => commands::scrub(rest),
         "bench-serve" => commands::bench_serve(rest),

@@ -36,12 +36,16 @@
 
 pub mod format;
 pub mod reader;
+pub mod router;
 pub mod scrub;
 pub mod server;
+pub mod shard;
 pub mod writer;
 
 pub use format::{IndexDirectory, IndexMeta};
 pub use reader::{CliqueIndex, DegradedCliques, IndexStats, IoStats};
+pub use router::{Router, RouterConfig, RouterReport, ShardSpec, Topology};
 pub use scrub::{scrub, ScrubFinding, ScrubReport};
 pub use server::{ServeConfig, ServeReport, Server};
+pub use shard::{split_index, ShardSummary};
 pub use writer::{IndexWriter, WriteSummary};

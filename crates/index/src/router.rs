@@ -1,0 +1,1766 @@
+//! `gsb router` — a fault-tolerant front for a sharded, replicated
+//! tier of `gsb serve` backends.
+//!
+//! One `gsb serve` process is a single fault domain: a stall, crash,
+//! or corrupt block takes the whole query surface down. The router
+//! turns ordinary backends into a survivable tier without any backend
+//! cooperation beyond the HTTP surface they already have:
+//!
+//! * **Static topology.** A text file (see [`Topology`]) lists shards
+//!   by global clique-id range — valid because enumeration order is
+//!   size order, so contiguous id ranges are also contiguous size
+//!   ranges (DESIGN.md §11) — and N replica addresses per shard.
+//!   `containing`/`overlap` scatter-gather across every shard;
+//!   `of_size` goes only to the shards whose size coverage intersects
+//!   the query; `get` goes to the owning shard (global id − `id_lo`);
+//!   `max` goes to the last shard (largest sizes sort last).
+//! * **Circuit breakers.** Every backend carries a closed → open →
+//!   half-open breaker driven by *passive* failure accounting on the
+//!   request path and *active* `GET /ready` probes (a draining backend
+//!   answers 503 there first, so it is ejected before it sheds). After
+//!   `breaker_cooldown` one half-open trial is admitted; success
+//!   closes the breaker, failure re-opens it.
+//! * **Deadline-carved retries with jittered backoff.** Every try gets
+//!   a timeout carved from what is left of the request deadline
+//!   (capped at `try_timeout`), and the remaining budget is propagated
+//!   to the backend via `X-Gsb-Deadline-Ms` so backends shed work the
+//!   router has already given up on. Failed tries fail over to the
+//!   next replica after a seeded, jittered exponential backoff
+//!   ([`gsb_core::RetryPolicy`]).
+//! * **Tail-latency hedging.** When a try is slower than the shard's
+//!   observed `hedge_percentile` latency (floored at `hedge_min`), a
+//!   second try races on another replica; the first answer wins and
+//!   the loser is abandoned (its result is drained off-path for
+//!   breaker accounting).
+//! * **Degraded-exact partial answers.** If every replica of a shard
+//!   is down, scatter queries answer `200` from the surviving shards
+//!   with `X-Gsb-Degraded` and a `"missing_shards"` JSON field —
+//!   never a blind 500 — extending the degraded-exact convention of
+//!   the backend's block quarantine (whose `"degraded"` counts also
+//!   pass through). Only when *no* shard has a live replica does the
+//!   router answer a typed 503.
+//!
+//! The front reuses the serving substrate: bounded admission queue
+//! with typed sheds, request-deadline budget from accept, worker panic
+//! containment, `X-Gsb-Trace` propagation to backends (so `gsb tail`
+//! stitches router→backend spans), and `/metrics` Prometheus output
+//! with per-backend breaker-state gauges and hedge/retry counters.
+
+use crate::server::{
+    find_head_end, header_value, latency_key, parse_route, requests_key, respond_full, status_key,
+    AddNamed, Route, CONTENT_TYPE_JSON, CONTENT_TYPE_PROM, ENDPOINTS, STATUS_LABELS,
+};
+use gsb_core::supervise::SplitMix64;
+use gsb_core::{RetryPolicy, ShutdownToken, StoreError};
+use gsb_telemetry::json::{parse as json_parse, JsonValue};
+use gsb_telemetry::promtext::{PromKind, PromWriter};
+use gsb_telemetry::trace::{valid_trace_id, SpanRecorder, TraceIdGen};
+use gsb_telemetry::AtomicRecorder;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Magic first line of a topology file.
+const TOPOLOGY_MAGIC: &str = "gsb-topology v1";
+
+/// One shard of the tier: its slice of the global clique-id space, the
+/// clique sizes it covers, and the replica addresses serving it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// First global clique id owned (inclusive).
+    pub id_lo: u64,
+    /// One past the last global clique id owned (exclusive).
+    pub id_hi: u64,
+    /// Smallest clique size stored in the shard (inclusive).
+    pub size_lo: u32,
+    /// Largest clique size stored in the shard (inclusive).
+    pub size_hi: u32,
+    /// Replica addresses (`ip:port`), each an ordinary `gsb serve`.
+    pub replicas: Vec<String>,
+}
+
+/// The static routing table: shards in ascending, contiguous id order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// The shards, ascending by id range.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl Topology {
+    /// Parse the greppable text format:
+    ///
+    /// ```text
+    /// gsb-topology v1
+    /// # comments and blank lines are ignored
+    /// shard=0 ids=0..150 sizes=3..5 replicas=127.0.0.1:7701,127.0.0.1:7702
+    /// shard=1 ids=150..235 sizes=5..9 replicas=127.0.0.1:7703,127.0.0.1:7704
+    /// ```
+    ///
+    /// `ids` is a half-open global clique-id range; ranges must be
+    /// contiguous from 0. `sizes` is the inclusive clique-size
+    /// coverage (`of_size` routing). Every replica must parse as a
+    /// socket address.
+    pub fn from_text(text: &str) -> Result<Topology, StoreError> {
+        const CTX: &str = "topology file";
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(TOPOLOGY_MAGIC) {
+            return Err(StoreError::Codec {
+                context: "topology file: missing `gsb-topology v1` header",
+            });
+        }
+        let mut shards = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut shard_no = None;
+            let mut ids = None;
+            let mut sizes = None;
+            let mut replicas: Vec<String> = Vec::new();
+            for token in line.split_whitespace() {
+                let Some((key, value)) = token.split_once('=') else {
+                    return Err(StoreError::Codec { context: CTX });
+                };
+                match key {
+                    "shard" => {
+                        shard_no = Some(value.parse::<usize>().map_err(|_| StoreError::Codec {
+                            context: "topology file: shard ordinal",
+                        })?);
+                    }
+                    "ids" => ids = Some(parse_range_u64(value)?),
+                    "sizes" => sizes = Some(parse_range_u32(value)?),
+                    "replicas" => {
+                        for addr in value.split(',').filter(|a| !a.is_empty()) {
+                            addr.parse::<SocketAddr>().map_err(|_| StoreError::Codec {
+                                context: "topology file: replica is not ip:port",
+                            })?;
+                            replicas.push(addr.to_string());
+                        }
+                    }
+                    _ => return Err(StoreError::Codec { context: CTX }),
+                }
+            }
+            let (Some(shard_no), Some((id_lo, id_hi)), Some((size_lo, size_hi))) =
+                (shard_no, ids, sizes)
+            else {
+                return Err(StoreError::Codec {
+                    context: "topology file: shard line needs shard=, ids=, sizes=, replicas=",
+                });
+            };
+            if shard_no != shards.len() {
+                return Err(StoreError::Codec {
+                    context: "topology file: shard ordinals must ascend from 0",
+                });
+            }
+            if replicas.is_empty() {
+                return Err(StoreError::Codec {
+                    context: "topology file: shard has no replicas",
+                });
+            }
+            let expected_lo = shards.last().map_or(0, |s: &ShardSpec| s.id_hi);
+            if id_lo != expected_lo || id_hi <= id_lo {
+                return Err(StoreError::Codec {
+                    context: "topology file: id ranges must be contiguous from 0",
+                });
+            }
+            if size_hi < size_lo {
+                return Err(StoreError::Codec {
+                    context: "topology file: size range inverted",
+                });
+            }
+            shards.push(ShardSpec {
+                id_lo,
+                id_hi,
+                size_lo,
+                size_hi,
+                replicas,
+            });
+        }
+        if shards.is_empty() {
+            return Err(StoreError::Codec {
+                context: "topology file: no shards",
+            });
+        }
+        Ok(Topology { shards })
+    }
+
+    /// Render the same text [`Topology::from_text`] parses.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(TOPOLOGY_MAGIC);
+        out.push('\n');
+        for (k, s) in self.shards.iter().enumerate() {
+            out.push_str(&format!(
+                "shard={k} ids={}..{} sizes={}..{} replicas={}\n",
+                s.id_lo,
+                s.id_hi,
+                s.size_lo,
+                s.size_hi,
+                s.replicas.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Read and parse a topology file.
+    pub fn load(path: &Path) -> Result<Topology, StoreError> {
+        let text = std::fs::read_to_string(path)?;
+        Topology::from_text(&text)
+    }
+
+    /// The shard owning global clique id `id`, if any.
+    pub fn owner_of(&self, id: u64) -> Option<usize> {
+        self.shards
+            .iter()
+            .position(|s| id >= s.id_lo && id < s.id_hi)
+    }
+
+    /// Shards whose size coverage intersects `lo..=hi`.
+    pub fn shards_for_sizes(&self, lo: u32, hi: u32) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.size_lo <= hi && lo <= s.size_hi)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Total cliques across every shard.
+    pub fn total_cliques(&self) -> u64 {
+        self.shards.last().map_or(0, |s| s.id_hi)
+    }
+}
+
+fn parse_range_u64(value: &str) -> Result<(u64, u64), StoreError> {
+    let err = || StoreError::Codec {
+        context: "topology file: malformed id range (want lo..hi)",
+    };
+    let (lo, hi) = value.split_once("..").ok_or_else(err)?;
+    Ok((
+        lo.parse().map_err(|_| err())?,
+        hi.parse().map_err(|_| err())?,
+    ))
+}
+
+fn parse_range_u32(value: &str) -> Result<(u32, u32), StoreError> {
+    let err = || StoreError::Codec {
+        context: "topology file: malformed size range (want lo..hi)",
+    };
+    let (lo, hi) = value.split_once("..").ok_or_else(err)?;
+    Ok((
+        lo.parse().map_err(|_| err())?,
+        hi.parse().map_err(|_| err())?,
+    ))
+}
+
+/// Router tuning knobs.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Worker threads answering client requests.
+    pub threads: usize,
+    /// Per-connection socket read/write timeout (client side).
+    pub deadline: Duration,
+    /// Per-request deadline budget, measured from accept; every
+    /// backend try is carved from what remains of it.
+    pub request_deadline: Duration,
+    /// Bounded accept-queue depth (excess shed with a typed 503).
+    pub queue_limit: usize,
+    /// Cap on request-head bytes.
+    pub max_header_bytes: usize,
+    /// Interval between active `/ready` probes of every backend.
+    pub probe_interval: Duration,
+    /// Consecutive failures (passive or probe) that open a breaker.
+    pub breaker_failures: u32,
+    /// How long an open breaker waits before admitting one half-open
+    /// trial.
+    pub breaker_cooldown: Duration,
+    /// Upper bound on any single backend try (the actual timeout is
+    /// `min(try_timeout, remaining deadline)`).
+    pub try_timeout: Duration,
+    /// Latency percentile of recent shard answers at which a hedged
+    /// second try launches (`0.0` disables hedging).
+    pub hedge_percentile: f64,
+    /// Floor for the hedge delay (also used before any latency has
+    /// been observed).
+    pub hedge_min: Duration,
+    /// Seed for retry jitter and replica rotation.
+    pub retry_seed: u64,
+    /// Seed for the router's trace-id generator.
+    pub trace_seed: u64,
+    /// Where to write the metrics JSON at shutdown.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            threads: 4,
+            deadline: Duration::from_secs(10),
+            request_deadline: Duration::from_secs(5),
+            queue_limit: 128,
+            max_header_bytes: 8192,
+            probe_interval: Duration::from_millis(250),
+            breaker_failures: 3,
+            breaker_cooldown: Duration::from_millis(1000),
+            try_timeout: Duration::from_secs(1),
+            hedge_percentile: 0.95,
+            hedge_min: Duration::from_millis(20),
+            retry_seed: 0x5343_3035,
+            trace_seed: 17,
+            metrics_out: None,
+        }
+    }
+}
+
+/// What the drained router did, returned by [`Router::run`].
+#[derive(Clone, Debug, Default)]
+pub struct RouterReport {
+    /// Client connections accepted.
+    pub connections: u64,
+    /// Requests answered with a routed response (any status).
+    pub requests: u64,
+    /// Connections shed by admission control.
+    pub shed: u64,
+    /// Backend tries that failed and were retried/failed over.
+    pub retries: u64,
+    /// Hedged second tries launched.
+    pub hedges: u64,
+    /// Hedged tries that won the race.
+    pub hedge_wins: u64,
+    /// Scatter answers that were missing at least one shard.
+    pub degraded_answers: u64,
+    /// The metrics JSON (also written to `metrics_out` when set).
+    pub metrics_json: String,
+}
+
+/// Breaker states double as the `gsb_router_backend_state` gauge.
+const BREAKER_CLOSED: u8 = 0;
+const BREAKER_HALF_OPEN: u8 = 1;
+const BREAKER_OPEN: u8 = 2;
+
+struct Breaker {
+    state: u8,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    trial_inflight: bool,
+}
+
+/// One backend replica: address plus breaker and counters.
+struct Backend {
+    addr: String,
+    sock: SocketAddr,
+    shard: usize,
+    breaker: Mutex<Breaker>,
+    successes_total: AtomicU64,
+    failures_total: AtomicU64,
+    probe_failures_total: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: &str, shard: usize) -> Backend {
+        Backend {
+            addr: addr.to_string(),
+            // Topology validation guarantees this parses.
+            sock: addr.parse().expect("validated socket address"),
+            shard,
+            breaker: Mutex::new(Breaker {
+                state: BREAKER_CLOSED,
+                consecutive_failures: 0,
+                opened_at: None,
+                trial_inflight: false,
+            }),
+            successes_total: AtomicU64::new(0),
+            failures_total: AtomicU64::new(0),
+            probe_failures_total: AtomicU64::new(0),
+        }
+    }
+
+    /// May a request be sent to this backend right now? An open
+    /// breaker admits one half-open trial once the cooldown elapses.
+    fn admit(&self, cooldown: Duration) -> bool {
+        let mut b = self.breaker.lock().unwrap();
+        match b.state {
+            BREAKER_CLOSED => true,
+            BREAKER_HALF_OPEN => {
+                if b.trial_inflight {
+                    false
+                } else {
+                    b.trial_inflight = true;
+                    true
+                }
+            }
+            _ => {
+                if b.opened_at.is_some_and(|t| t.elapsed() >= cooldown) && !b.trial_inflight {
+                    b.state = BREAKER_HALF_OPEN;
+                    b.trial_inflight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn on_success(&self) {
+        self.successes_total.fetch_add(1, Ordering::Relaxed);
+        let mut b = self.breaker.lock().unwrap();
+        b.state = BREAKER_CLOSED;
+        b.consecutive_failures = 0;
+        b.opened_at = None;
+        b.trial_inflight = false;
+    }
+
+    fn on_failure(&self, threshold: u32) {
+        self.failures_total.fetch_add(1, Ordering::Relaxed);
+        let mut b = self.breaker.lock().unwrap();
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        b.trial_inflight = false;
+        if b.state == BREAKER_HALF_OPEN || b.consecutive_failures >= threshold.max(1) {
+            b.state = BREAKER_OPEN;
+            b.opened_at = Some(Instant::now());
+        }
+    }
+
+    fn state_gauge(&self) -> u8 {
+        self.breaker.lock().unwrap().state
+    }
+}
+
+/// Recent shard latencies (winner tries only), for the hedge delay.
+struct LatencyWindow {
+    samples: Mutex<Vec<u64>>,
+}
+
+const LATENCY_WINDOW: usize = 128;
+
+impl LatencyWindow {
+    fn new() -> Self {
+        LatencyWindow {
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn record(&self, ns: u64) {
+        let mut s = self.samples.lock().unwrap();
+        if s.len() >= LATENCY_WINDOW {
+            s.remove(0);
+        }
+        s.push(ns);
+    }
+
+    /// Upper bound of the `q` quantile over the window (None until a
+    /// few samples exist — hedging then falls back to `hedge_min`).
+    fn percentile(&self, q: f64) -> Option<Duration> {
+        let s = self.samples.lock().unwrap();
+        if s.len() < 8 {
+            return None;
+        }
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(Duration::from_nanos(sorted[rank.min(sorted.len() - 1)]))
+    }
+}
+
+/// Everything the workers, accept loop, and prober share.
+struct RouterState {
+    topology: Topology,
+    config: RouterConfig,
+    /// `backends[shard][replica]`.
+    backends: Vec<Vec<Arc<Backend>>>,
+    recorder: AtomicRecorder,
+    queue_depth: AtomicUsize,
+    draining: AtomicBool,
+    started: Instant,
+    trace_ids: Mutex<TraceIdGen>,
+    /// Round-robin cursor spreading load across replicas.
+    rr: AtomicUsize,
+    /// Per-shard latency windows feeding the hedge delay.
+    latency: Vec<LatencyWindow>,
+    /// Per-shard "no live replica" counters.
+    shard_unavailable: Vec<AtomicU64>,
+    /// Jitter source for retry backoff.
+    rng: Mutex<SplitMix64>,
+}
+
+impl RouterState {
+    fn next_trace_id(&self) -> String {
+        self.trace_ids.lock().unwrap().next_id()
+    }
+
+    /// The hedge delay for `shard`: observed `hedge_percentile`
+    /// latency, floored at `hedge_min`.
+    fn hedge_delay(&self, shard: usize) -> Duration {
+        let observed = self.latency[shard]
+            .percentile(self.config.hedge_percentile)
+            .unwrap_or(self.config.hedge_min);
+        observed.max(self.config.hedge_min)
+    }
+
+    fn retry_after_secs(&self) -> u32 {
+        let limit = self.config.queue_limit.max(1);
+        let depth = self.queue_depth.load(Ordering::Acquire).min(limit);
+        (1 + (7 * depth) / limit) as u32
+    }
+
+    /// Shed a client connection with a typed response (drains one
+    /// bounded read first so the kernel does not RST the reply away).
+    fn shed(&self, stream: &mut TcpStream, status: u16, message: &str, key: &'static str) {
+        self.recorder.add_named(key, 1);
+        self.recorder.add_named("http.shed_total", 1);
+        self.recorder.add_named(status_key(status), 1);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut scratch = [0u8; 1024];
+        let _ = stream.read(&mut scratch);
+        let body = format!("{{\"error\":\"{message}\",\"shed\":true}}");
+        let retry = self.retry_after_secs();
+        if respond_full(stream, status, &body, 0, retry, CONTENT_TYPE_JSON, &[]).is_err() {
+            self.recorder.add_named("http.write_errors", 1);
+        }
+    }
+
+    fn live_metrics_json(&self) -> String {
+        render_router_metrics_json(self)
+    }
+}
+
+/// A bound, not-yet-running router.
+pub struct Router {
+    listener: TcpListener,
+    topology: Topology,
+    config: RouterConfig,
+}
+
+/// A client connection waiting in the admission queue.
+struct Conn {
+    stream: TcpStream,
+    accepted_at: Instant,
+}
+
+impl Router {
+    /// Bind `addr` (port 0 picks a free port).
+    pub fn bind(topology: Topology, addr: &str, config: RouterConfig) -> std::io::Result<Self> {
+        Ok(Router {
+            listener: TcpListener::bind(addr)?,
+            topology,
+            config,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Route until `shutdown` is requested, then drain exactly like
+    /// the backend server: answer everything accepted, shed the
+    /// backlog typed, join workers and the prober, export metrics.
+    pub fn run(self, shutdown: &ShutdownToken) -> std::io::Result<RouterReport> {
+        let started = Instant::now();
+        self.listener.set_nonblocking(true)?;
+        let backends: Vec<Vec<Arc<Backend>>> = self
+            .topology
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                s.replicas
+                    .iter()
+                    .map(|addr| Arc::new(Backend::new(addr, k)))
+                    .collect()
+            })
+            .collect();
+        let shard_count = self.topology.shards.len();
+        let state = Arc::new(RouterState {
+            topology: self.topology,
+            backends,
+            recorder: AtomicRecorder::new(),
+            queue_depth: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            started,
+            trace_ids: Mutex::new(TraceIdGen::seeded(self.config.trace_seed)),
+            rr: AtomicUsize::new(0),
+            latency: (0..shard_count).map(|_| LatencyWindow::new()).collect(),
+            shard_unavailable: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            rng: Mutex::new(SplitMix64::new(self.config.retry_seed)),
+            config: self.config.clone(),
+        });
+
+        let prober = {
+            let state = Arc::clone(&state);
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("gsb-router-probe".into())
+                .spawn(move || probe_loop(&state, &shutdown))?
+        };
+        let (tx, rx) = mpsc::channel::<Conn>();
+        let rx = Arc::new(Mutex::new(rx));
+        let threads = self.config.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gsb-router-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))?,
+            );
+        }
+
+        let mut connections = 0u64;
+        while !shutdown.is_requested() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    connections += 1;
+                    state.recorder.add_named("http.connections", 1);
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_read_timeout(Some(self.config.deadline));
+                    let _ = stream.set_write_timeout(Some(self.config.deadline));
+                    let _ = stream.set_nodelay(true);
+                    let depth = state.queue_depth.load(Ordering::Acquire);
+                    if depth >= self.config.queue_limit {
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                        state.shed(
+                            &mut stream,
+                            503,
+                            "router overloaded, admission queue full",
+                            "http.shed.queue_full",
+                        );
+                        continue;
+                    }
+                    let depth = state.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+                    state.recorder.gauge("http.queue_depth").set(depth as u64);
+                    if tx
+                        .send(Conn {
+                            stream,
+                            accepted_at: Instant::now(),
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => {
+                    state.recorder.add_named("http.accept_errors", 1);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+
+        state.draining.store(true, Ordering::Release);
+        while let Ok((mut stream, _)) = self.listener.accept() {
+            connections += 1;
+            state.recorder.add_named("http.connections", 1);
+            let _ = stream.set_nonblocking(false);
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+            state.shed(
+                &mut stream,
+                503,
+                "router draining for shutdown",
+                "http.shed.draining",
+            );
+        }
+        drop(tx);
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = prober.join();
+
+        let mut requests = 0u64;
+        for ep in ENDPOINTS {
+            requests += state.recorder.counter(requests_key(ep)).get();
+        }
+        let metrics_json = render_router_metrics_json(&state);
+        if let Some(path) = &self.config.metrics_out {
+            let bytes = metrics_json.clone().into_bytes();
+            RetryPolicy::default().run_io(|| {
+                let tmp = path.with_extension("json.tmp");
+                {
+                    let mut f = std::fs::File::create(&tmp)?;
+                    f.write_all(&bytes)?;
+                    f.sync_all()?;
+                }
+                std::fs::rename(&tmp, path)
+            })?;
+        }
+        Ok(RouterReport {
+            connections,
+            requests,
+            shed: state.recorder.counter("http.shed_total").get(),
+            retries: state.recorder.counter("router.retries").get(),
+            hedges: state.recorder.counter("router.hedges").get(),
+            hedge_wins: state.recorder.counter("router.hedge_wins").get(),
+            degraded_answers: state.recorder.counter("router.degraded_answers").get(),
+            metrics_json,
+        })
+    }
+}
+
+/// Active probing: every backend gets a `GET /ready` on each tick.
+/// Success closes the breaker (recovery detection after restart);
+/// failure counts toward opening it (fast ejection of killed or
+/// draining backends, before clients pay a try-timeout to learn).
+fn probe_loop(state: &RouterState, shutdown: &ShutdownToken) {
+    const TICK: Duration = Duration::from_millis(10);
+    let mut since = state.config.probe_interval; // probe immediately
+    while !shutdown.is_requested() {
+        if since < state.config.probe_interval {
+            std::thread::sleep(TICK.min(state.config.probe_interval));
+            since += TICK.min(state.config.probe_interval);
+            continue;
+        }
+        since = Duration::ZERO;
+        let timeout = state.config.probe_interval.min(Duration::from_millis(250));
+        for shard in &state.backends {
+            for backend in shard {
+                match backend_fetch(&backend.sock, &backend.addr, "/ready", "", 0, timeout) {
+                    Ok(resp) if resp.status == 200 => backend.on_success(),
+                    _ => {
+                        backend.probe_failures_total.fetch_add(1, Ordering::Relaxed);
+                        backend.on_failure(state.config.breaker_failures);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One worker: pop client connections, answer them, contain panics.
+fn worker_loop(rx: &Mutex<mpsc::Receiver<Conn>>, state: &RouterState) {
+    loop {
+        let conn = rx.lock().unwrap().recv();
+        let Ok(mut conn) = conn else {
+            break;
+        };
+        let depth = state.queue_depth.fetch_sub(1, Ordering::AcqRel) - 1;
+        state.recorder.gauge("http.queue_depth").set(depth as u64);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_client(&mut conn.stream, conn.accepted_at, state)
+        }));
+        if outcome.is_err() {
+            state.recorder.add_named("http.worker_panics", 1);
+            state.recorder.add_named(status_key(500), 1);
+            let _ = respond_full(
+                &mut conn.stream,
+                500,
+                "{\"error\":\"internal error answering this request\"}",
+                0,
+                1,
+                CONTENT_TYPE_JSON,
+                &[],
+            );
+        }
+    }
+}
+
+/// Read one client request head, route it, answer it.
+fn handle_client(stream: &mut TcpStream, accepted_at: Instant, state: &RouterState) {
+    let config = &state.config;
+    if accepted_at.elapsed() >= config.request_deadline {
+        state.shed(
+            stream,
+            503,
+            "request exceeded its deadline budget while queued",
+            "http.shed.deadline",
+        );
+        return;
+    }
+    let mut buf = vec![0u8; config.max_header_bytes.max(64)];
+    let mut used = 0usize;
+    let head_len = loop {
+        let Some(remaining) = config.request_deadline.checked_sub(accepted_at.elapsed()) else {
+            state.shed(
+                stream,
+                408,
+                "request header did not complete within the deadline budget",
+                "http.shed.slow_client",
+            );
+            return;
+        };
+        if used == buf.len() {
+            state.recorder.add_named("http.bad_request.requests", 1);
+            state.recorder.add_named(status_key(431), 1);
+            let _ = respond_full(
+                stream,
+                431,
+                "{\"error\":\"request header too large\"}",
+                0,
+                1,
+                CONTENT_TYPE_JSON,
+                &[],
+            );
+            return;
+        }
+        let per_read = remaining.min(config.deadline).max(Duration::from_millis(1));
+        let _ = stream.set_read_timeout(Some(per_read));
+        match stream.read(&mut buf[used..]) {
+            Ok(0) => return,
+            Ok(k) => {
+                used += k;
+                if let Some(end) = find_head_end(&buf[..used]) {
+                    break end;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => {
+                state.recorder.add_named("http.read_errors", 1);
+                return;
+            }
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_len]);
+    let first = head.lines().next().unwrap_or("");
+    let (route, limit) = parse_route(first);
+    let endpoint = route.endpoint();
+    let trace = match header_value(&head, "x-gsb-trace") {
+        Some(v) if valid_trace_id(v) => v.to_string(),
+        _ => state.next_trace_id(),
+    };
+    let mut span = SpanRecorder::started_at(trace, accepted_at);
+    span.stage("parse");
+
+    let started = Instant::now();
+    let (status, body, degraded, content_type) =
+        dispatch(state, &route, limit, accepted_at, span.trace_id());
+    span.stage("gather");
+    state.recorder.add_named(requests_key(endpoint), 1);
+    state.recorder.add_named(status_key(status), 1);
+    state
+        .recorder
+        .histogram(latency_key(endpoint))
+        .observe(started.elapsed().as_nanos() as u64);
+    if degraded > 0 {
+        state.recorder.add_named("router.degraded_answers", 1);
+    }
+    let extra = [
+        ("X-Gsb-Trace", span.trace_id().to_string()),
+        ("X-Gsb-Trace-Ns", span.total_ns().to_string()),
+    ];
+    if respond_full(stream, status, &body, degraded, 1, content_type, &extra).is_err() {
+        state.recorder.add_named("http.write_errors", 1);
+    }
+}
+
+/// The answer from one backend try.
+struct BackendResponse {
+    status: u16,
+    body: String,
+}
+
+/// One HTTP GET against a backend, bounded by `timeout` end to end.
+/// `deadline_ms` > 0 is propagated as `X-Gsb-Deadline-Ms`.
+fn backend_fetch(
+    sock: &SocketAddr,
+    host: &str,
+    path: &str,
+    trace: &str,
+    deadline_ms: u64,
+    timeout: Duration,
+) -> Result<BackendResponse, &'static str> {
+    let started = Instant::now();
+    let remaining = |started: Instant| {
+        timeout
+            .checked_sub(started.elapsed())
+            .ok_or("backend try timed out")
+    };
+    let mut stream =
+        TcpStream::connect_timeout(sock, remaining(started)?).map_err(|_| "connect failed")?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_write_timeout(Some(remaining(started)?.max(Duration::from_millis(1))))
+        .map_err(|_| "socket setup failed")?;
+    let trace_header = if trace.is_empty() {
+        String::new()
+    } else {
+        format!("X-Gsb-Trace: {trace}\r\n")
+    };
+    let deadline_header = if deadline_ms > 0 {
+        format!("X-Gsb-Deadline-Ms: {deadline_ms}\r\n")
+    } else {
+        String::new()
+    };
+    stream
+        .write_all(
+            format!(
+                "GET {path} HTTP/1.1\r\nHost: {host}\r\n{trace_header}{deadline_header}Connection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .map_err(|_| "write failed")?;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let left = remaining(started)?.max(Duration::from_millis(1));
+        stream
+            .set_read_timeout(Some(left))
+            .map_err(|_| "socket setup failed")?;
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(k) => raw.extend_from_slice(&chunk[..k]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // remaining() errors out once the overall budget is gone
+                continue;
+            }
+            Err(_) => return Err("read failed"),
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or("malformed status line")?;
+    let (head, body) = text.split_once("\r\n\r\n").ok_or("no header terminator")?;
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.parse().ok())
+        .ok_or("missing Content-Length")?;
+    if body.len() != content_length {
+        return Err("truncated body");
+    }
+    Ok(BackendResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+/// One result of a (possibly hedged) try race.
+struct TryOutcome {
+    backend: Arc<Backend>,
+    hedged: bool,
+    result: Result<BackendResponse, &'static str>,
+    elapsed: Duration,
+}
+
+/// Ask `shard` for `path`, failing over across replicas with jittered
+/// backoff and hedging slow tries. `None` means no replica answered
+/// within the deadline — the shard is unavailable right now.
+fn shard_request(
+    state: &RouterState,
+    shard: usize,
+    path: &str,
+    accepted: Instant,
+    trace: &str,
+) -> Option<BackendResponse> {
+    const MIN_TRY: Duration = Duration::from_millis(5);
+    let replicas = &state.backends[shard];
+    let start = state.rr.fetch_add(1, Ordering::Relaxed);
+    let policy = RetryPolicy {
+        max_retries: 8,
+        base_delay_ms: 2,
+        max_delay_ms: 40,
+        seed: state.config.retry_seed ^ (shard as u64).wrapping_mul(0x9E37_79B9),
+    };
+    let max_tries = replicas.len() * 2;
+    for attempt in 0..max_tries {
+        let Some(remaining) = state
+            .config
+            .request_deadline
+            .checked_sub(accepted.elapsed())
+        else {
+            break;
+        };
+        if remaining < MIN_TRY {
+            break;
+        }
+        // Prefer a breaker-admitted replica; when every breaker is
+        // open (e.g. right after a restart, before a probe lands) fall
+        // back to a last-chance direct try so a shard with one living
+        // replica is never reported missing on breaker state alone.
+        let order =
+            |i: usize| -> &Arc<Backend> { &replicas[(start + attempt + i) % replicas.len()] };
+        let mut primary = None;
+        for i in 0..replicas.len() {
+            if order(i).admit(state.config.breaker_cooldown) {
+                primary = Some(Arc::clone(order(i)));
+                break;
+            }
+        }
+        let primary = primary.unwrap_or_else(|| Arc::clone(order(0)));
+        let hedge_candidate = (0..replicas.len())
+            .map(order)
+            .find(|b| !Arc::ptr_eq(b, &primary) && b.state_gauge() != BREAKER_OPEN)
+            .cloned();
+        let try_timeout = remaining.min(state.config.try_timeout);
+        let deadline_ms = remaining.as_millis() as u64;
+        let (tx, rx) = mpsc::channel::<TryOutcome>();
+        let mut inflight = 0usize;
+        let spawn_try = |backend: Arc<Backend>, hedged: bool, tx: mpsc::Sender<TryOutcome>| {
+            let path = path.to_string();
+            let trace = trace.to_string();
+            let timeout = try_timeout;
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let result = backend_fetch(
+                    &backend.sock,
+                    &backend.addr,
+                    &path,
+                    &trace,
+                    deadline_ms,
+                    timeout,
+                );
+                let _ = tx.send(TryOutcome {
+                    backend,
+                    hedged,
+                    result,
+                    elapsed: t0.elapsed(),
+                });
+            });
+        };
+        spawn_try(Arc::clone(&primary), false, tx.clone());
+        inflight += 1;
+
+        let hedge_delay = state.hedge_delay(shard).min(try_timeout / 2);
+        let hedging = state.config.hedge_percentile > 0.0 && hedge_candidate.is_some();
+        let race_deadline = Instant::now() + try_timeout + Duration::from_millis(50);
+        let mut winner: Option<BackendResponse> = None;
+        let mut hedge_launched = false;
+        while inflight > 0 {
+            let wait = if hedging && !hedge_launched {
+                hedge_delay
+            } else {
+                race_deadline.saturating_duration_since(Instant::now())
+            };
+            match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+                Ok(outcome) => {
+                    inflight -= 1;
+                    match outcome.result {
+                        Ok(resp) if resp.status < 429 => {
+                            outcome.backend.on_success();
+                            state.latency[shard].record(outcome.elapsed.as_nanos() as u64);
+                            if outcome.hedged {
+                                state.recorder.add_named("router.hedge_wins", 1);
+                            }
+                            winner = Some(resp);
+                            break;
+                        }
+                        _ => {
+                            // 429/5xx and transport failures all mean
+                            // "this replica cannot serve right now".
+                            outcome.backend.on_failure(state.config.breaker_failures);
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if hedging && !hedge_launched {
+                        hedge_launched = true;
+                        state.recorder.add_named("router.hedges", 1);
+                        if let Some(h) = &hedge_candidate {
+                            spawn_try(Arc::clone(h), true, tx.clone());
+                            inflight += 1;
+                        }
+                    } else {
+                        // Race deadline passed: abandon what is still
+                        // in flight (drained below for accounting).
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        drop(tx);
+        if inflight > 0 {
+            // Abandoned tries still resolve eventually; account their
+            // breaker outcome off-path so a slow loser cannot delay
+            // the answer we already have (the hedge contract).
+            let threshold = state.config.breaker_failures;
+            std::thread::spawn(move || {
+                while let Ok(outcome) = rx.recv() {
+                    match outcome.result {
+                        Ok(resp) if resp.status < 429 => outcome.backend.on_success(),
+                        _ => outcome.backend.on_failure(threshold),
+                    }
+                }
+            });
+        }
+        if let Some(resp) = winner {
+            return Some(resp);
+        }
+        state.recorder.add_named("router.retries", 1);
+        // Jittered exponential backoff before the next replica, capped
+        // so the sleep cannot eat the remaining deadline.
+        let backoff = {
+            let jitter = state.rng.lock().unwrap().below(3);
+            policy.delay(attempt as u32) + Duration::from_millis(jitter)
+        };
+        let cap = state
+            .config
+            .request_deadline
+            .checked_sub(accepted.elapsed())
+            .unwrap_or(Duration::ZERO)
+            / 4;
+        std::thread::sleep(backoff.min(cap));
+    }
+    state.shard_unavailable[shard].fetch_add(1, Ordering::Relaxed);
+    None
+}
+
+/// Scatter `path(shard)` to every shard in `shards` concurrently;
+/// returns per-shard answers in input order (`None` = shard down).
+fn scatter(
+    state: &RouterState,
+    shards: &[usize],
+    path: &dyn Fn(usize) -> String,
+    accepted: Instant,
+    trace: &str,
+) -> Vec<(usize, Option<BackendResponse>)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .map(|&shard| {
+                let path = path(shard);
+                scope.spawn(move || (shard, shard_request(state, shard, &path, accepted, trace)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Parsed fields of one backend list answer (`containing`/`overlap`/
+/// `size`), with ids translated back into the global space.
+#[derive(Default)]
+struct Gathered {
+    count: u64,
+    ids: Vec<u64>,
+    cliques: Vec<String>,
+    degraded: u64,
+    first_id: Option<u64>,
+}
+
+/// Merge one backend body into the gather, offsetting ids by the
+/// shard's `id_lo`. Unparseable bodies count as a degraded shard
+/// (the router never panics on backend bytes).
+fn gather_list_body(g: &mut Gathered, body: &str, id_lo: u64) -> Result<(), ()> {
+    let parsed = json_parse(body).map_err(|_| ())?;
+    g.count += parsed.u64_or_zero("count");
+    for id in parsed.u64_array("ids") {
+        g.ids.push(id + id_lo);
+    }
+    if let Some(cliques) = parsed.get("cliques").and_then(JsonValue::as_array) {
+        for c in cliques {
+            g.cliques.push(render_clique(c));
+        }
+    }
+    g.degraded += parsed.u64_or_zero("degraded");
+    if let Some(first) = parsed.get("first_id").and_then(JsonValue::as_u64) {
+        let global = first + id_lo;
+        g.first_id = Some(g.first_id.map_or(global, |f: u64| f.min(global)));
+    }
+    Ok(())
+}
+
+/// Re-render one clique (a JSON array of vertex ids) compactly.
+fn render_clique(c: &JsonValue) -> String {
+    let items: Vec<String> = c
+        .as_array()
+        .unwrap_or(&[])
+        .iter()
+        .filter_map(|v| v.as_u64())
+        .map(|v| v.to_string())
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The `"missing_shards":[..]` suffix (empty string when none, so
+/// healthy answers are byte-identical to a single-server tier).
+fn missing_field(missing: &[usize]) -> String {
+    if missing.is_empty() {
+        String::new()
+    } else {
+        let items: Vec<String> = missing.iter().map(usize::to_string).collect();
+        format!(",\"missing_shards\":[{}]", items.join(","))
+    }
+}
+
+fn degraded_suffix(degraded: u64) -> String {
+    if degraded == 0 {
+        String::new()
+    } else {
+        format!(",\"degraded\":{degraded}")
+    }
+}
+
+/// Route one parsed request. Returns status, body, the degraded count
+/// for the `X-Gsb-Degraded` header (missing shards + ids skipped by
+/// backend quarantine), and the content type.
+fn dispatch(
+    state: &RouterState,
+    route: &Route,
+    limit: usize,
+    accepted: Instant,
+    trace: &str,
+) -> (u16, String, u64, &'static str) {
+    let json = CONTENT_TYPE_JSON;
+    let all_shards: Vec<usize> = (0..state.topology.shards.len()).collect();
+    match route {
+        Route::Health => (
+            200,
+            "{\"status\":\"ok\",\"role\":\"router\"}".into(),
+            0,
+            json,
+        ),
+        Route::Ready => {
+            let draining = state.draining.load(Ordering::Acquire);
+            let live = live_shards(state);
+            let ready = !draining && live == state.topology.shards.len();
+            let status = if ready { 200 } else { 503 };
+            (
+                status,
+                format!(
+                    "{{\"ready\":{ready},\"draining\":{draining},\"shards\":{},\"live_shards\":{live}}}",
+                    state.topology.shards.len()
+                ),
+                0,
+                json,
+            )
+        }
+        Route::Metrics => (200, render_router_promtext(state), 0, CONTENT_TYPE_PROM),
+        Route::MetricsJson => (200, state.live_metrics_json(), 0, json),
+        Route::Stats => {
+            let answers = scatter(state, &all_shards, &|_| "/stats".into(), accepted, trace);
+            let mut missing = Vec::new();
+            let (mut n, mut cliques, mut max_clique) = (0u64, 0u64, 0u64);
+            for (shard, resp) in &answers {
+                match resp {
+                    Some(r) if r.status == 200 => {
+                        if let Ok(parsed) = json_parse(&r.body) {
+                            n = n.max(parsed.u64_or_zero("n"));
+                            cliques += parsed.u64_or_zero("cliques");
+                            max_clique = max_clique.max(parsed.u64_or_zero("max_clique"));
+                        } else {
+                            missing.push(*shard);
+                        }
+                    }
+                    _ => missing.push(*shard),
+                }
+            }
+            if missing.len() == answers.len() {
+                return all_down(&missing);
+            }
+            let degraded = missing.len() as u64;
+            (
+                200,
+                format!(
+                    "{{\"role\":\"router\",\"shards\":{},\"n\":{n},\"cliques\":{cliques},\"max_clique\":{max_clique}{}}}",
+                    state.topology.shards.len(),
+                    missing_field(&missing)
+                ),
+                degraded,
+                json,
+            )
+        }
+        Route::Get(gid) => {
+            let Some(shard) = state.topology.owner_of(*gid) else {
+                return (
+                    404,
+                    format!("{{\"error\":\"no clique with id {gid}\"}}"),
+                    0,
+                    json,
+                );
+            };
+            let local = gid - state.topology.shards[shard].id_lo;
+            match shard_request(state, shard, &format!("/get/{local}"), accepted, trace) {
+                Some(r) if r.status == 200 => {
+                    // Rewrite the backend's local id to the global one.
+                    let clique = json_parse(&r.body)
+                        .ok()
+                        .and_then(|p| p.get("clique").map(render_clique));
+                    match clique {
+                        Some(c) => {
+                            let size = c.matches(',').count() + usize::from(c != "[]");
+                            (
+                                200,
+                                format!("{{\"id\":{gid},\"size\":{size},\"clique\":{c}}}"),
+                                0,
+                                json,
+                            )
+                        }
+                        None => (
+                            502,
+                            "{\"error\":\"unparseable backend answer\"}".into(),
+                            0,
+                            json,
+                        ),
+                    }
+                }
+                Some(r) => (r.status, r.body, 0, json),
+                None => shard_down(shard),
+            }
+        }
+        Route::Max => {
+            // Enumeration order is size order: the global maximum
+            // clique lives in the last shard.
+            let shard = state.topology.shards.len() - 1;
+            match shard_request(state, shard, "/max", accepted, trace) {
+                Some(r) => (r.status, r.body, 0, json),
+                None => shard_down(shard),
+            }
+        }
+        Route::Containing(v) => scatter_list(
+            state,
+            &all_shards,
+            &|_| format!("/containing/{v}?limit={limit}"),
+            &|g, missing| {
+                format!(
+                    "{{\"vertex\":{v},\"count\":{},\"ids\":{},\"cliques\":[{}]{}{}}}",
+                    g.count,
+                    render_ids(&g.ids, limit),
+                    g.cliques[..g.cliques.len().min(limit)].join(","),
+                    degraded_suffix(g.degraded),
+                    missing_field(missing),
+                )
+            },
+            accepted,
+            trace,
+        ),
+        Route::Overlap(v, w) => scatter_list(
+            state,
+            &all_shards,
+            &|_| format!("/overlap/{v}/{w}?limit={limit}"),
+            &|g, missing| {
+                format!(
+                    "{{\"v\":{v},\"w\":{w},\"count\":{},\"ids\":{},\"cliques\":[{}]{}{}}}",
+                    g.count,
+                    render_ids(&g.ids, limit),
+                    g.cliques[..g.cliques.len().min(limit)].join(","),
+                    degraded_suffix(g.degraded),
+                    missing_field(missing),
+                )
+            },
+            accepted,
+            trace,
+        ),
+        Route::Size(lo, hi) => {
+            let shards = state.topology.shards_for_sizes(*lo, *hi);
+            if shards.is_empty() {
+                return (
+                    200,
+                    format!("{{\"min\":{lo},\"max\":{hi},\"count\":0,\"cliques\":[]}}"),
+                    0,
+                    json,
+                );
+            }
+            scatter_list(
+                state,
+                &shards,
+                &|_| format!("/size/{lo}/{hi}?limit={limit}"),
+                &|g, missing| {
+                    format!(
+                        "{{\"min\":{lo},\"max\":{hi},\"count\":{},\"first_id\":{},\"cliques\":[{}]{}{}}}",
+                        g.count,
+                        g.first_id.unwrap_or(0),
+                        g.cliques[..g.cliques.len().min(limit)].join(","),
+                        degraded_suffix(g.degraded),
+                        missing_field(missing),
+                    )
+                },
+                accepted,
+                trace,
+            )
+        }
+        Route::NotFound => (404, "{\"error\":\"no such endpoint\"}".into(), 0, json),
+        Route::MethodNotAllowed => (405, "{\"error\":\"only GET is supported\"}".into(), 0, json),
+        Route::Bad(message) => (400, format!("{{\"error\":\"{message}\"}}"), 0, json),
+    }
+}
+
+/// Scatter a list query and merge: surviving shards answer, missing
+/// shards are reported in `missing_shards` + `X-Gsb-Degraded`. Only
+/// all-shards-down yields a (typed) 503.
+fn scatter_list(
+    state: &RouterState,
+    shards: &[usize],
+    path: &dyn Fn(usize) -> String,
+    render: &dyn Fn(&Gathered, &[usize]) -> String,
+    accepted: Instant,
+    trace: &str,
+) -> (u16, String, u64, &'static str) {
+    let answers = scatter(state, shards, path, accepted, trace);
+    let mut g = Gathered::default();
+    let mut missing = Vec::new();
+    for (shard, resp) in &answers {
+        match resp {
+            Some(r) if r.status == 200 => {
+                if gather_list_body(&mut g, &r.body, state.topology.shards[*shard].id_lo).is_err() {
+                    missing.push(*shard);
+                }
+            }
+            _ => missing.push(*shard),
+        }
+    }
+    if missing.len() == answers.len() {
+        return all_down(&missing);
+    }
+    g.ids.sort_unstable();
+    let degraded = g.degraded + missing.len() as u64;
+    let body = render(&g, &missing);
+    (200, body, degraded, CONTENT_TYPE_JSON)
+}
+
+fn render_ids(ids: &[u64], limit: usize) -> String {
+    let items: Vec<String> = ids[..ids.len().min(limit)]
+        .iter()
+        .map(u64::to_string)
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Shards with at least one replica whose breaker is not open.
+fn live_shards(state: &RouterState) -> usize {
+    state
+        .backends
+        .iter()
+        .filter(|replicas| replicas.iter().any(|b| b.state_gauge() != BREAKER_OPEN))
+        .count()
+}
+
+/// A single-shard route found its shard down: typed 503, never a
+/// blind 500. `missing_shards` names the culprit.
+fn shard_down(shard: usize) -> (u16, String, u64, &'static str) {
+    (
+        503,
+        format!("{{\"error\":\"no live replica for shard {shard}\",\"missing_shards\":[{shard}]}}"),
+        1,
+        CONTENT_TYPE_JSON,
+    )
+}
+
+/// Every queried shard is down: typed 503 with the full missing list.
+fn all_down(missing: &[usize]) -> (u16, String, u64, &'static str) {
+    (
+        503,
+        format!(
+            "{{\"error\":\"no live replica for any queried shard\"{}}}",
+            missing_field(missing)
+        ),
+        missing.len() as u64,
+        CONTENT_TYPE_JSON,
+    )
+}
+
+/// Prometheus text for the router: per-endpoint traffic plus the
+/// robustness internals — per-backend breaker state, failure and probe
+/// counters, hedge/retry/degradation totals.
+fn render_router_promtext(state: &RouterState) -> String {
+    let r = &state.recorder;
+    let mut w = PromWriter::new();
+
+    let req = w.family(
+        "gsb_router_requests_total",
+        PromKind::Counter,
+        "Routed client requests, by endpoint.",
+    );
+    for ep in ENDPOINTS {
+        w.sample(&req, &[("endpoint", ep)], r.counter(requests_key(ep)).get());
+    }
+    let dur = w.family(
+        "gsb_router_request_duration_ns",
+        PromKind::Histogram,
+        "Client request latency in nanoseconds (log2 buckets), by endpoint.",
+    );
+    for ep in ENDPOINTS {
+        let h = r.histogram(latency_key(ep));
+        w.histogram(
+            &dur,
+            &[("endpoint", ep)],
+            &h.cumulative_buckets(),
+            h.sum(),
+            h.count(),
+        );
+    }
+    let status = w.family(
+        "gsb_router_responses_total",
+        PromKind::Counter,
+        "Responses written, by HTTP status.",
+    );
+    for (label, code) in STATUS_LABELS {
+        w.sample(
+            &status,
+            &[("status", label)],
+            r.counter(status_key(code)).get(),
+        );
+    }
+
+    let bstate = w.family(
+        "gsb_router_backend_state",
+        PromKind::Gauge,
+        "Circuit breaker state per backend: 0 closed, 1 half-open, 2 open.",
+    );
+    let bfail = w.family(
+        "gsb_router_backend_failures_total",
+        PromKind::Counter,
+        "Failed tries per backend (passive accounting + probes).",
+    );
+    let bok = w.family(
+        "gsb_router_backend_successes_total",
+        PromKind::Counter,
+        "Successful answers per backend.",
+    );
+    let bprobe = w.family(
+        "gsb_router_probe_failures_total",
+        PromKind::Counter,
+        "Failed /ready probes per backend.",
+    );
+    for replicas in &state.backends {
+        for b in replicas {
+            let shard = b.shard.to_string();
+            let labels = [("backend", b.addr.as_str()), ("shard", shard.as_str())];
+            w.sample(&bstate, &labels, u64::from(b.state_gauge()));
+            w.sample(&bfail, &labels, b.failures_total.load(Ordering::Relaxed));
+            w.sample(&bok, &labels, b.successes_total.load(Ordering::Relaxed));
+            w.sample(
+                &bprobe,
+                &labels,
+                b.probe_failures_total.load(Ordering::Relaxed),
+            );
+        }
+    }
+    let unavailable = w.family(
+        "gsb_router_shard_unavailable_total",
+        PromKind::Counter,
+        "Requests that found a shard with no live replica.",
+    );
+    for (k, c) in state.shard_unavailable.iter().enumerate() {
+        let shard = k.to_string();
+        w.sample(
+            &unavailable,
+            &[("shard", shard.as_str())],
+            c.load(Ordering::Relaxed),
+        );
+    }
+
+    for (name, key, help) in [
+        (
+            "gsb_router_retries_total",
+            "router.retries",
+            "Backend tries that failed and were retried on another replica.",
+        ),
+        (
+            "gsb_router_hedges_total",
+            "router.hedges",
+            "Hedged second tries launched past the hedge latency percentile.",
+        ),
+        (
+            "gsb_router_hedge_wins_total",
+            "router.hedge_wins",
+            "Hedged tries that answered first.",
+        ),
+        (
+            "gsb_router_degraded_answers_total",
+            "router.degraded_answers",
+            "Answers missing at least one shard or passing through backend degradation.",
+        ),
+        (
+            "gsb_router_connections_total",
+            "http.connections",
+            "Client TCP connections accepted (including shed ones).",
+        ),
+        (
+            "gsb_router_worker_panics_total",
+            "http.worker_panics",
+            "Request handlers that panicked (contained, answered 500).",
+        ),
+        (
+            "gsb_router_shed_requests_total",
+            "http.shed_total",
+            "Client connections shed by admission control.",
+        ),
+    ] {
+        let fam = w.family(name, PromKind::Counter, help);
+        w.sample(&fam, &[], r.counter(key).get());
+    }
+    let depth = w.family(
+        "gsb_router_queue_depth",
+        PromKind::Gauge,
+        "Client connections currently waiting in the admission queue.",
+    );
+    w.sample(&depth, &[], r.gauge("http.queue_depth").get());
+    let uptime = w.family(
+        "gsb_router_uptime_seconds",
+        PromKind::Gauge,
+        "Seconds since the router started.",
+    );
+    w.sample_f64(&uptime, &[], state.started.elapsed().as_secs_f64());
+    w.finish()
+}
+
+/// The `--metrics-out`-shaped JSON snapshot (also `GET /metrics-json`).
+fn render_router_metrics_json(state: &RouterState) -> String {
+    let r = &state.recorder;
+    let mut requests = 0u64;
+    for ep in ENDPOINTS {
+        requests += r.counter(requests_key(ep)).get();
+    }
+    let mut backends = String::new();
+    for replicas in &state.backends {
+        for b in replicas {
+            if !backends.is_empty() {
+                backends.push(',');
+            }
+            backends.push_str(&format!(
+                "\n    {{\"backend\":\"{}\",\"shard\":{},\"state\":{},\"successes\":{},\"failures\":{},\"probe_failures\":{}}}",
+                b.addr,
+                b.shard,
+                b.state_gauge(),
+                b.successes_total.load(Ordering::Relaxed),
+                b.failures_total.load(Ordering::Relaxed),
+                b.probe_failures_total.load(Ordering::Relaxed),
+            ));
+        }
+    }
+    let unavailable: Vec<String> = state
+        .shard_unavailable
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed).to_string())
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"gsb_router\",\n  \"connections\": {},\n  \"requests\": {requests},\n  \"shed_total\": {},\n  \"retries\": {},\n  \"hedges\": {},\n  \"hedge_wins\": {},\n  \"degraded_answers\": {},\n  \"worker_panics\": {},\n  \"shard_unavailable\": [{}],\n  \"backends\": [{backends}\n  ]\n}}\n",
+        r.counter("http.connections").get(),
+        r.counter("http.shed_total").get(),
+        r.counter("router.retries").get(),
+        r.counter("router.hedges").get(),
+        r.counter("router.hedge_wins").get(),
+        r.counter("router.degraded_answers").get(),
+        r.counter("http.worker_panics").get(),
+        unavailable.join(","),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_shards() -> Topology {
+        Topology::from_text(
+            "gsb-topology v1\n\
+             # a comment\n\
+             shard=0 ids=0..150 sizes=3..5 replicas=127.0.0.1:7701,127.0.0.1:7702\n\
+             shard=1 ids=150..235 sizes=5..9 replicas=127.0.0.1:7703\n",
+        )
+        .expect("valid topology")
+    }
+
+    #[test]
+    fn topology_round_trips_and_routes() {
+        let t = two_shards();
+        assert_eq!(t.shards.len(), 2);
+        assert_eq!(Topology::from_text(&t.to_text()).unwrap(), t);
+        assert_eq!(t.total_cliques(), 235);
+        assert_eq!(t.owner_of(0), Some(0));
+        assert_eq!(t.owner_of(149), Some(0));
+        assert_eq!(t.owner_of(150), Some(1));
+        assert_eq!(t.owner_of(235), None);
+        // size routing: boundary size 5 spans both shards
+        assert_eq!(t.shards_for_sizes(3, 4), vec![0]);
+        assert_eq!(t.shards_for_sizes(5, 5), vec![0, 1]);
+        assert_eq!(t.shards_for_sizes(6, 9), vec![1]);
+        assert_eq!(t.shards_for_sizes(10, 20), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn topology_rejects_malformed_input() {
+        for bad in [
+            "",                                                    // no magic
+            "gsb-topology v1\n",                                   // no shards
+            "gsb-topology v1\nshard=0 ids=5..10 sizes=1..2 replicas=127.0.0.1:1\n", // gap at 0
+            "gsb-topology v1\nshard=1 ids=0..10 sizes=1..2 replicas=127.0.0.1:1\n", // ordinal
+            "gsb-topology v1\nshard=0 ids=0..10 sizes=2..1 replicas=127.0.0.1:1\n", // sizes
+            "gsb-topology v1\nshard=0 ids=0..10 sizes=1..2 replicas=\n",            // empty
+            "gsb-topology v1\nshard=0 ids=0..10 sizes=1..2 replicas=nonsense\n",    // addr
+            "gsb-topology v1\nshard=0 ids=10..10 sizes=1..2 replicas=127.0.0.1:1\n", // empty ids
+            "gsb-topology v1\nshard=0 ids=0..10 sizes=1..2 replicas=127.0.0.1:1\nshard=1 ids=20..30 sizes=3..4 replicas=127.0.0.1:2\n", // gap
+        ] {
+            assert!(Topology::from_text(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn breaker_walks_closed_open_half_open_closed() {
+        let b = Backend::new("127.0.0.1:9", 0);
+        let cooldown = Duration::from_millis(30);
+        assert!(b.admit(cooldown));
+        assert_eq!(b.state_gauge(), BREAKER_CLOSED);
+        for _ in 0..3 {
+            b.on_failure(3);
+        }
+        assert_eq!(b.state_gauge(), BREAKER_OPEN);
+        // open: rejected until the cooldown elapses
+        assert!(!b.admit(cooldown));
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        // half-open: exactly one trial admitted
+        assert!(b.admit(cooldown));
+        assert_eq!(b.state_gauge(), BREAKER_HALF_OPEN);
+        assert!(!b.admit(cooldown));
+        // trial failure re-opens immediately (no threshold wait)
+        b.on_failure(3);
+        assert_eq!(b.state_gauge(), BREAKER_OPEN);
+        std::thread::sleep(cooldown + Duration::from_millis(5));
+        assert!(b.admit(cooldown));
+        b.on_success();
+        assert_eq!(b.state_gauge(), BREAKER_CLOSED);
+        assert!(b.admit(cooldown));
+    }
+
+    #[test]
+    fn latency_window_percentile_needs_samples_then_tracks_them() {
+        let w = LatencyWindow::new();
+        assert_eq!(w.percentile(0.95), None);
+        for i in 1..=100u64 {
+            w.record(i * 1_000_000); // 1..=100 ms
+        }
+        let p95 = w.percentile(0.95).unwrap();
+        assert!(p95 >= Duration::from_millis(90) && p95 <= Duration::from_millis(100));
+        let p0 = w.percentile(0.0).unwrap();
+        assert!(p0 <= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn gather_translates_ids_and_accumulates() {
+        let mut g = Gathered::default();
+        gather_list_body(
+            &mut g,
+            "{\"vertex\":3,\"count\":2,\"ids\":[0,4],\"cliques\":[[1,2,3],[3,4]]}",
+            100,
+        )
+        .expect("parse");
+        gather_list_body(
+            &mut g,
+            "{\"vertex\":3,\"count\":1,\"ids\":[7],\"cliques\":[[3,9]],\"degraded\":2}",
+            200,
+        )
+        .expect("parse");
+        assert_eq!(g.count, 3);
+        assert_eq!(g.ids, vec![100, 104, 207]);
+        assert_eq!(g.cliques, vec!["[1,2,3]", "[3,4]", "[3,9]"]);
+        assert_eq!(g.degraded, 2);
+        assert!(gather_list_body(&mut g, "not json", 0).is_err());
+    }
+
+    #[test]
+    fn missing_shards_field_only_when_degraded() {
+        assert_eq!(missing_field(&[]), "");
+        assert_eq!(missing_field(&[1, 3]), ",\"missing_shards\":[1,3]");
+        let (status, body, degraded, _) = shard_down(2);
+        assert_eq!(status, 503);
+        assert_eq!(degraded, 1);
+        assert!(body.contains("\"missing_shards\":[2]"));
+    }
+}

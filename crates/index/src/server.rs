@@ -65,7 +65,9 @@
 //! | path                 | answer                                   |
 //! |----------------------|------------------------------------------|
 //! | `/health`            | liveness                                 |
+//! | `/ready`             | readiness (503 while draining)           |
 //! | `/stats`             | index statistics                         |
+//! | `/get/<id>`          | one clique by id                         |
 //! | `/containing/<v>`    | cliques containing vertex v              |
 //! | `/size/<lo>/<hi>`    | cliques with size in `lo..=hi`           |
 //! | `/max`               | one maximum clique                       |
@@ -87,7 +89,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
@@ -182,9 +184,11 @@ pub struct ServeReport {
 
 /// Endpoint names; each gets a request counter, a latency histogram,
 /// and a rate-limit saturation counter.
-const ENDPOINTS: [&str; 10] = [
+pub(crate) const ENDPOINTS: [&str; 12] = [
     "health",
+    "ready",
     "stats",
+    "get",
     "containing",
     "size",
     "max",
@@ -195,10 +199,12 @@ const ENDPOINTS: [&str; 10] = [
     "bad_request",
 ];
 
-fn latency_key(endpoint: &str) -> &'static str {
+pub(crate) fn latency_key(endpoint: &str) -> &'static str {
     match endpoint {
         "health" => "http.health.ns",
+        "ready" => "http.ready.ns",
         "stats" => "http.stats.ns",
+        "get" => "http.get.ns",
         "containing" => "http.containing.ns",
         "size" => "http.size.ns",
         "max" => "http.max.ns",
@@ -210,10 +216,12 @@ fn latency_key(endpoint: &str) -> &'static str {
     }
 }
 
-fn requests_key(endpoint: &str) -> &'static str {
+pub(crate) fn requests_key(endpoint: &str) -> &'static str {
     match endpoint {
         "health" => "http.health.requests",
+        "ready" => "http.ready.requests",
         "stats" => "http.stats.requests",
+        "get" => "http.get.requests",
         "containing" => "http.containing.requests",
         "size" => "http.size.requests",
         "max" => "http.max.requests",
@@ -228,7 +236,9 @@ fn requests_key(endpoint: &str) -> &'static str {
 fn rate_limited_key(endpoint: &str) -> &'static str {
     match endpoint {
         "health" => "http.health.rate_limited",
+        "ready" => "http.ready.rate_limited",
         "stats" => "http.stats.rate_limited",
+        "get" => "http.get.rate_limited",
         "containing" => "http.containing.rate_limited",
         "size" => "http.size.rate_limited",
         "max" => "http.max.rate_limited",
@@ -242,7 +252,7 @@ fn rate_limited_key(endpoint: &str) -> &'static str {
 
 /// Per-status response counters, for the `gsb_http_responses_total`
 /// Prometheus family.
-fn status_key(status: u16) -> &'static str {
+pub(crate) fn status_key(status: u16) -> &'static str {
     match status {
         200 => "http.status.200",
         400 => "http.status.400",
@@ -258,7 +268,7 @@ fn status_key(status: u16) -> &'static str {
 }
 
 /// Statuses with a dedicated counter, in exposition order.
-const STATUS_LABELS: [(&str, u16); 9] = [
+pub(crate) const STATUS_LABELS: [(&str, u16); 9] = [
     ("200", 200),
     ("400", 400),
     ("404", 404),
@@ -271,9 +281,11 @@ const STATUS_LABELS: [(&str, u16); 9] = [
 ];
 
 /// Endpoints exempt from the token buckets and from queue-full
-/// shedding: liveness and scrapes must keep answering during overload.
-fn admission_exempt(endpoint: &str) -> bool {
-    matches!(endpoint, "health" | "metrics" | "metrics_json")
+/// shedding: liveness, readiness, and scrapes must keep answering
+/// during overload — a router probing `/ready` must learn "still
+/// serving, just busy" rather than a shed 503.
+pub(crate) fn admission_exempt(endpoint: &str) -> bool {
+    matches!(endpoint, "health" | "ready" | "metrics" | "metrics_json")
 }
 
 /// One token bucket per endpoint (classic leaky refill: `rate`
@@ -336,6 +348,10 @@ struct ServeState {
     recorder: AtomicRecorder,
     config: ServeConfig,
     queue_depth: AtomicUsize,
+    /// Set once shutdown is requested: `/ready` flips to 503 so a
+    /// router ejects this backend *before* the drain sweep sheds its
+    /// queries, while `/health` keeps answering 200 (still alive).
+    draining: AtomicBool,
     buckets: Option<TokenBuckets>,
     /// When the server started (uptime for `/metrics`).
     started: Instant,
@@ -433,6 +449,18 @@ impl ServeState {
         }
     }
 
+    /// `Retry-After` seconds for a shed 503, scaled with how deep the
+    /// admission queue currently is: an empty queue suggests a blip
+    /// (come back in 1s), a full queue means real overload (back off up
+    /// to 8s). Bounded so a buggy depth can never tell clients to wait
+    /// forever, and load-dependent so a fleet of backoff clients does
+    /// not re-arrive on one fixed beat.
+    fn retry_after_secs(&self) -> u32 {
+        let limit = self.config.queue_limit.max(1);
+        let depth = self.queue_depth.load(Ordering::Acquire).min(limit);
+        (1 + (7 * depth) / limit) as u32
+    }
+
     /// Shed a connection with a typed, complete response. The pending
     /// request bytes are drained first (one bounded read): closing with
     /// unread data in the receive buffer makes the kernel reset the
@@ -447,7 +475,8 @@ impl ServeState {
         let mut scratch = [0u8; 1024];
         let _ = stream.read(&mut scratch);
         let body = format!("{{\"error\":\"{message}\",\"shed\":true}}");
-        if respond(stream, status, &body, 0).is_err() {
+        let retry = self.retry_after_secs();
+        if respond_retry(stream, status, &body, retry).is_err() {
             self.recorder.add_named("http.write_errors", 1);
         }
     }
@@ -505,6 +534,7 @@ impl Server {
             index: Mutex::new(Arc::clone(&self.index)),
             recorder: AtomicRecorder::new(),
             queue_depth: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
             buckets: self
                 .config
                 .rate_limit
@@ -590,6 +620,11 @@ impl Server {
                 }
             }
         }
+
+        // From here on `/ready` answers 503: queued requests still
+        // drain to completion, but a router probing readiness ejects
+        // this backend instead of routing new work at a closing door.
+        state.draining.store(true, Ordering::Release);
 
         // Drain sweep: everything already accepted drains through the
         // workers; connections still waiting in the kernel backlog are
@@ -1083,7 +1118,7 @@ fn overload_inline(state: &ServeState, stream: &mut TcpStream) {
             .histogram(latency_key(endpoint))
             .observe(span.total_ns());
         let extra = trace_headers(&span);
-        if respond_full(stream, status, &body, skipped, content_type, &extra).is_err() {
+        if respond_full(stream, status, &body, skipped, 1, content_type, &extra).is_err() {
             state.recorder.add_named("http.write_errors", 1);
         }
         span.stage("respond");
@@ -1099,7 +1134,8 @@ fn overload_inline(state: &ServeState, stream: &mut TcpStream) {
         state.recorder.add_named("http.shed_total", 1);
         state.recorder.add_named(status_key(503), 1);
         let body = "{\"error\":\"server overloaded, admission queue full\",\"shed\":true}";
-        if respond(stream, 503, body, 0).is_err() {
+        let retry = state.retry_after_secs();
+        if respond_retry(stream, 503, body, retry).is_err() {
             state.recorder.add_named("http.write_errors", 1);
         }
     }
@@ -1123,7 +1159,7 @@ fn resolve_trace_id(state: &ServeState, head: &str) -> String {
 }
 
 /// Case-insensitive lookup of one request-header value.
-fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
+pub(crate) fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
     for line in head.lines().skip(1) {
         if let Some((key, value)) = line.split_once(':') {
             if key.trim().eq_ignore_ascii_case(name) {
@@ -1136,7 +1172,7 @@ fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
 
 /// Trait bridge: `AtomicRecorder::add` takes `&'static str`; this
 /// helper keeps call sites tidy.
-trait AddNamed {
+pub(crate) trait AddNamed {
     fn add_named(&self, key: &'static str, delta: u64);
 }
 
@@ -1228,6 +1264,24 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
     span.set_trace_id(resolve_trace_id(state, &head));
     span.stage("parse");
 
+    // Caller-supplied deadline (`X-Gsb-Deadline-Ms`, measured from our
+    // accept): the router carves per-try budgets from its own request
+    // deadline and propagates the remainder, so a backend that cannot
+    // start in time sheds instead of computing an answer nobody is
+    // waiting for.
+    if let Some(ms) = header_value(&head, "x-gsb-deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+        if accepted_at.elapsed() >= Duration::from_millis(ms) {
+            state.shed(
+                stream,
+                503,
+                "caller deadline already expired",
+                "http.shed.deadline",
+            );
+            state.log_access(&span, endpoint, 503, "caller_deadline", 0);
+            return;
+        }
+    }
+
     // Rate limiting sits between parse and execution: cheap typed 429s
     // under saturation, no index work spent on a shed request.
     // `/health` and the metrics endpoints are exempt so liveness probes
@@ -1245,6 +1299,7 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
                     429,
                     "{\"error\":\"rate limit exceeded for this endpoint\"}",
                     0,
+                    1,
                     CONTENT_TYPE_JSON,
                     &extra,
                 )
@@ -1273,7 +1328,7 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
         state.recorder.add_named("http.degraded_total", 1);
     }
     let extra = trace_headers(&span);
-    if respond_full(stream, status, &body, skipped, content_type, &extra).is_err() {
+    if respond_full(stream, status, &body, skipped, 1, content_type, &extra).is_err() {
         state.recorder.add_named("http.write_errors", 1);
     }
     span.stage("respond");
@@ -1281,31 +1336,51 @@ fn handle_connection(stream: &mut TcpStream, accepted_at: Instant, state: &Serve
     state.log_access(&span, endpoint, status, cause, body.len() as u64);
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
 }
 
 /// The default response content type.
-const CONTENT_TYPE_JSON: &str = "application/json";
+pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
 
 /// Prometheus text exposition content type.
-const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+pub(crate) const CONTENT_TYPE_PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Write one complete response. Every response closes the connection
 /// and carries an exact `Content-Length`; every error/shed status also
 /// carries `Retry-After`, and a degraded-exact answer is marked with
 /// `X-Gsb-Degraded: <skipped ids>`.
 fn respond(stream: &mut TcpStream, status: u16, body: &str, degraded: u64) -> std::io::Result<()> {
-    respond_full(stream, status, body, degraded, CONTENT_TYPE_JSON, &[])
+    respond_full(stream, status, body, degraded, 1, CONTENT_TYPE_JSON, &[])
+}
+
+/// [`respond`] with an explicit queue-depth-scaled `Retry-After`
+/// (shed paths; see [`ServeState::retry_after_secs`]).
+fn respond_retry(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    retry_after_secs: u32,
+) -> std::io::Result<()> {
+    respond_full(
+        stream,
+        status,
+        body,
+        0,
+        retry_after_secs,
+        CONTENT_TYPE_JSON,
+        &[],
+    )
 }
 
 /// [`respond`] with an explicit content type and extra headers (the
 /// trace id/total pair).
-fn respond_full(
+pub(crate) fn respond_full(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
     degraded: u64,
+    retry_after_secs: u32,
     content_type: &str,
     extra: &[(&'static str, String)],
 ) -> std::io::Result<()> {
@@ -1322,9 +1397,9 @@ fn respond_full(
         _ => "Internal Server Error",
     };
     let retry_after = if status >= 400 {
-        "Retry-After: 1\r\n"
+        format!("Retry-After: {}\r\n", retry_after_secs.clamp(1, 8))
     } else {
-        ""
+        String::new()
     };
     let degraded_header = if degraded > 0 {
         format!("X-Gsb-Degraded: {degraded}\r\n")
@@ -1347,11 +1422,17 @@ fn respond_full(
 }
 
 /// A parsed request target, ready for rate limiting and execution.
-enum Route {
+pub(crate) enum Route {
     /// `/` or `/health`.
     Health,
+    /// `/ready` — readiness (index loaded *and* not draining),
+    /// distinct from liveness: a draining server is alive but not
+    /// ready, so router probes eject it before the drain sweep sheds.
+    Ready,
     /// `/stats`.
     Stats,
+    /// `/get/<id>` — one clique by id (the router's unit of routing).
+    Get(u64),
     /// `/max`.
     Max,
     /// `/containing/<v>`.
@@ -1373,10 +1454,12 @@ enum Route {
 }
 
 impl Route {
-    fn endpoint(&self) -> &'static str {
+    pub(crate) fn endpoint(&self) -> &'static str {
         match self {
             Route::Health => "health",
+            Route::Ready => "ready",
             Route::Stats => "stats",
+            Route::Get(_) => "get",
             Route::Max => "max",
             Route::Containing(_) => "containing",
             Route::Size(..) => "size",
@@ -1391,7 +1474,7 @@ impl Route {
 
 /// Parse the request line into a route + result limit. Total function:
 /// any garbage maps to a typed `Route` variant, never a panic.
-fn parse_route(request_line: &str) -> (Route, usize) {
+pub(crate) fn parse_route(request_line: &str) -> (Route, usize) {
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
@@ -1409,8 +1492,13 @@ fn parse_route(request_line: &str) -> (Route, usize) {
     let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
     let route = match segments.as_slice() {
         [] | ["health"] => Route::Health,
+        ["ready"] => Route::Ready,
         ["stats"] => Route::Stats,
         ["max"] => Route::Max,
+        ["get", id] => match id.parse::<u64>() {
+            Ok(id) => Route::Get(id),
+            Err(_) => Route::Bad("clique id must be a number"),
+        },
         ["metrics"] => Route::Metrics,
         ["metrics-json"] => Route::MetricsJson,
         ["containing", v] => match v.parse::<u32>() {
@@ -1446,7 +1534,46 @@ fn execute(
     let json = CONTENT_TYPE_JSON;
     match route {
         Route::Health => (200, "{\"status\":\"ok\"}".into(), 0, json),
+        Route::Ready => {
+            if state.draining.load(Ordering::Acquire) {
+                (503, "{\"ready\":false,\"draining\":true}".into(), 0, json)
+            } else {
+                (
+                    200,
+                    format!(
+                        "{{\"ready\":true,\"draining\":false,\"generation\":{},\"cliques\":{}}}",
+                        index.generation(),
+                        index.len()
+                    ),
+                    0,
+                    json,
+                )
+            }
+        }
         Route::Stats => (200, stats_json(index), 0, json),
+        Route::Get(id) => {
+            let result = index.get(*id);
+            span.stage("blocks");
+            match result {
+                Ok(c) => (
+                    200,
+                    format!(
+                        "{{\"id\":{id},\"size\":{},\"clique\":{}}}",
+                        c.len(),
+                        json_ids(&c)
+                    ),
+                    0,
+                    json,
+                ),
+                Err(_) if *id >= index.len() => (
+                    404,
+                    format!("{{\"error\":\"no clique with id {id}\"}}"),
+                    0,
+                    json,
+                ),
+                Err(e) => (500, error_json(&e), 0, json),
+            }
+        }
         Route::Metrics => (200, render_promtext(state, index), 0, CONTENT_TYPE_PROM),
         Route::MetricsJson => (200, state.live_metrics_json(), 0, json),
         Route::Max => {
@@ -1664,10 +1791,43 @@ mod tests {
             Route::MetricsJson
         ));
         assert!(admission_exempt("health"));
+        assert!(admission_exempt("ready"));
         assert!(admission_exempt("metrics"));
         assert!(admission_exempt("metrics_json"));
         assert!(!admission_exempt("containing"));
         assert!(!admission_exempt("stats"));
+        assert!(!admission_exempt("get"));
+    }
+
+    #[test]
+    fn ready_and_get_routes_parse() {
+        assert!(matches!(parse_route("GET /ready HTTP/1.1").0, Route::Ready));
+        assert!(matches!(
+            parse_route("GET /get/42 HTTP/1.1").0,
+            Route::Get(42)
+        ));
+        assert!(matches!(
+            parse_route("GET /get/x HTTP/1.1").0,
+            Route::Bad(_)
+        ));
+        assert_eq!(Route::Ready.endpoint(), "ready");
+        assert_eq!(Route::Get(0).endpoint(), "get");
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth_and_stays_bounded() {
+        let scale = |depth: usize, limit: usize| {
+            let limit = limit.max(1);
+            let depth = depth.min(limit);
+            (1 + (7 * depth) / limit) as u32
+        };
+        assert_eq!(scale(0, 128), 1);
+        assert_eq!(scale(64, 128), 4);
+        assert_eq!(scale(128, 128), 8);
+        // depth beyond limit (racy reads) still clamps to the cap
+        assert_eq!(scale(10_000, 128), 8);
+        // a zero limit cannot divide by zero
+        assert_eq!(scale(5, 0), 8);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Splitting one committed clique index into contiguous-id shards.
+//!
+//! The enumerators emit cliques in non-decreasing size order, so
+//! sequential clique ids are already sorted by size (DESIGN.md §11).
+//! That makes clique-id-range sharding trivial *and* query-preserving:
+//!
+//! * each shard is an ordinary index directory an unmodified
+//!   `gsb serve` can serve — cliques keep their relative order, so the
+//!   sub-index satisfies the writer's size-order contract;
+//! * a global clique id maps to `(shard, local id = global - id_lo)`;
+//! * `of_size` stays a contiguous range per shard, and each shard's
+//!   covered size interval `[size_lo, size_hi]` lets a router forward
+//!   a size query only to the shards that intersect it;
+//! * the global maximum clique lives in the *last* shard (largest
+//!   sizes sort last).
+//!
+//! [`split_index`] streams the source index shard by shard through
+//! [`IndexWriter`], so every shard inherits the full on-disk hygiene
+//! (CRC-framed blocks, atomic `index.meta` commit point).
+
+use crate::reader::CliqueIndex;
+use crate::writer::IndexWriter;
+use gsb_core::{CliqueSink, StoreError};
+use std::path::{Path, PathBuf};
+
+/// One shard produced by [`split_index`]: where it lives and which
+/// slice of the global id/size space it owns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard ordinal (0-based; id ranges ascend with it).
+    pub shard: usize,
+    /// The shard's index directory (`<out>/shard<k>`).
+    pub dir: PathBuf,
+    /// First global clique id owned by this shard (inclusive).
+    pub id_lo: u64,
+    /// One past the last global clique id owned (exclusive).
+    pub id_hi: u64,
+    /// Smallest clique size stored in this shard (0 when empty).
+    pub size_lo: u32,
+    /// Largest clique size stored in this shard (0 when empty).
+    pub size_hi: u32,
+}
+
+/// Split the committed index at `src` into `shards` contiguous-id
+/// sub-indexes under `out/shard<k>`, returning each shard's id and
+/// size coverage. Ids are divided as evenly as possible; the relative
+/// order of cliques is preserved, so every shard is a valid standalone
+/// index. `shards` must be at least 1 and no larger than the clique
+/// count (an empty shard could never answer for its id range).
+pub fn split_index(src: &Path, out: &Path, shards: usize) -> Result<Vec<ShardSummary>, StoreError> {
+    if shards == 0 {
+        return Err(StoreError::Codec {
+            context: "shard split: shard count must be at least 1",
+        });
+    }
+    let index = CliqueIndex::open(src)?;
+    let total = index.len();
+    if total < shards as u64 {
+        return Err(StoreError::Codec {
+            context: "shard split: more shards than cliques",
+        });
+    }
+    let n = index.n();
+    let mut out_shards = Vec::with_capacity(shards);
+    for k in 0..shards {
+        let id_lo = (k as u64) * total / shards as u64;
+        let id_hi = (k as u64 + 1) * total / shards as u64;
+        let dir = out.join(format!("shard{k}"));
+        let mut writer = IndexWriter::create(&dir, n)?;
+        let mut size_lo = 0u32;
+        let mut size_hi = 0u32;
+        for id in id_lo..id_hi {
+            let clique = index.get(id)?;
+            let size = clique.len() as u32;
+            if id == id_lo {
+                size_lo = size;
+            }
+            size_hi = size_hi.max(size);
+            writer.maximal(&clique);
+        }
+        writer.finish()?;
+        out_shards.push(ShardSummary {
+            shard: k,
+            dir,
+            id_lo,
+            id_hi,
+            size_lo,
+            size_hi,
+        });
+    }
+    Ok(out_shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsb_core::{CliqueEnumerator, CollectSink, EnumConfig};
+    use gsb_graph::generators::{planted, Module};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gsb_index_shard_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn split_preserves_every_clique_and_covers_the_id_space() {
+        let g = planted(50, 0.08, &[Module::clique(7), Module::clique(5)], 11);
+        let dir = tmp("split_src");
+        let enumerator = CliqueEnumerator::new(EnumConfig::default());
+        let mut truth = CollectSink::default();
+        enumerator.enumerate(&g, &mut truth);
+        let mut writer = IndexWriter::create(&dir, g.n()).expect("create");
+        enumerator.enumerate(&g, &mut writer);
+        writer.finish().expect("finish");
+
+        let out = tmp("split_out");
+        let shards = split_index(&dir, &out, 3).expect("split");
+        assert_eq!(shards.len(), 3);
+        // Contiguous, gap-free id coverage starting at 0.
+        assert_eq!(shards[0].id_lo, 0);
+        for w in shards.windows(2) {
+            assert_eq!(w[0].id_hi, w[1].id_lo, "id gap between shards");
+            // size order is global, so coverage intervals ascend too
+            assert!(w[0].size_hi <= w[1].size_lo, "size coverage overlaps");
+        }
+        assert_eq!(
+            shards.last().unwrap().id_hi,
+            truth.cliques.len() as u64,
+            "last shard must end at the clique count"
+        );
+
+        // Every global id resolves to the same clique through its shard.
+        let source = CliqueIndex::open(&dir).expect("open source");
+        for s in &shards {
+            let sub = CliqueIndex::open(&s.dir).expect("open shard");
+            assert_eq!(sub.len(), s.id_hi - s.id_lo);
+            for id in s.id_lo..s.id_hi {
+                assert_eq!(
+                    sub.get(id - s.id_lo).expect("shard get"),
+                    source.get(id).expect("source get"),
+                    "clique {id} differs through shard {}",
+                    s.shard
+                );
+            }
+            // The summary's size coverage matches the shard contents.
+            assert_eq!(sub.stats().max_clique, s.size_hi);
+        }
+        // The global maximum clique is reachable through the last shard.
+        let last = CliqueIndex::open(&shards.last().unwrap().dir).expect("open last");
+        assert_eq!(
+            last.max_clique().expect("max").expect("nonempty"),
+            source.max_clique().expect("max").expect("nonempty")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&out).ok();
+    }
+
+    #[test]
+    fn split_rejects_zero_and_oversubscribed_shard_counts() {
+        let g = planted(20, 0.1, &[Module::clique(4)], 5);
+        let dir = tmp("split_reject");
+        let enumerator = CliqueEnumerator::new(EnumConfig::default());
+        let mut writer = IndexWriter::create(&dir, g.n()).expect("create");
+        enumerator.enumerate(&g, &mut writer);
+        let summary = writer.finish().expect("finish");
+        let out = tmp("split_reject_out");
+        assert!(split_index(&dir, &out, 0).is_err());
+        assert!(split_index(&dir, &out, summary.cliques as usize + 1).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&out).ok();
+    }
+}

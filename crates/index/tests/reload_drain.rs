@@ -1,0 +1,183 @@
+//! Hot-reload racing graceful drain: rebuild `index.meta` generations
+//! in place while clients hammer the server, then SIGTERM mid-swap.
+//!
+//! The contract under test (DESIGN.md §13): every answer the server
+//! ever gives is computed against ONE `Arc<CliqueIndex>` snapshot.
+//! A hot-reload swaps the served index atomically between requests,
+//! and a drain answers everything it accepted on whatever snapshot
+//! that request started with — so the `(generation, cliques,
+//! max_clique)` triple inside any single answer must always be
+//! internally consistent, even for answers racing the swap or the
+//! shutdown. A torn read (generation from one index, counts from
+//! another) is the bug this test exists to catch.
+
+use gsb_core::{CliqueEnumerator, CollectSink, EnumConfig, ShutdownToken};
+use gsb_graph::generators::{planted, Module};
+use gsb_index::{CliqueIndex, IndexWriter, ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("gsb_reload_drain_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Raw GET; `None` once the listener is gone (expected after drain).
+fn get(addr: SocketAddr, path: &str) -> Option<(u16, String)> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: drain\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let status: u16 = response.split_whitespace().nth(1)?.parse().ok()?;
+    let (_, body) = response.split_once("\r\n\r\n")?;
+    Some((status, body.to_string()))
+}
+
+/// Index one graph into `dir` (in place: bumps the committed
+/// generation) and return its clique count and max clique size.
+fn rebuild(dir: &std::path::Path, big: usize, seed: u64) -> (u64, u64) {
+    let g = planted(40, 0.08, &[Module::clique(big), Module::clique(4)], seed);
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+    let mut collect = CollectSink::default();
+    enumerator.enumerate(&g, &mut collect);
+    let mut writer = IndexWriter::create(dir, g.n()).expect("create writer");
+    enumerator.enumerate(&g, &mut writer);
+    writer.finish().expect("finish index");
+    let max = collect.cliques.iter().map(Vec::len).max().unwrap_or(0) as u64;
+    (collect.cliques.len() as u64, max)
+}
+
+#[test]
+fn sigterm_mid_swap_keeps_every_answer_on_one_generation() {
+    let dir = tmp("gens");
+    // Even generations serve the 6-clique graph, odd ones the
+    // 7-clique graph — distinguishable on every axis, so a torn
+    // answer cannot masquerade as a valid one.
+    let (even_cliques, even_max) = rebuild(&dir, 6, 31);
+    let g2_probe = tmp("probe");
+    let (odd_cliques, odd_max) = rebuild(&g2_probe, 7, 32);
+    std::fs::remove_dir_all(&g2_probe).ok();
+    assert_ne!(even_cliques, odd_cliques, "fixture graphs must differ");
+    assert_ne!(even_max, odd_max, "fixture graphs must differ");
+
+    let index = Arc::new(CliqueIndex::open(&dir).expect("open"));
+    let shutdown = ShutdownToken::new();
+    let server = Server::bind(
+        Arc::clone(&index),
+        "127.0.0.1:0",
+        ServeConfig {
+            threads: 2,
+            reload_poll: Some(Duration::from_millis(25)),
+            index_dir: Some(dir.clone()),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || server.run(&shutdown).expect("run"))
+    };
+
+    // Client hammer: collect every (generation, cliques, max_clique)
+    // triple the server ever hands out, until the listener goes away.
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..3)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let parse = |key: &str, body: &str| -> Option<u64> {
+                    gsb_telemetry::json::parse(body)
+                        .ok()
+                        .map(|p| p.u64_or_zero(key))
+                };
+                loop {
+                    // /stats and /ready both carry generation-tagged
+                    // counts; alternate so the drain races both paths.
+                    let path = if c % 2 == 0 { "/stats" } else { "/ready" };
+                    let Some((status, body)) = get(addr, path) else {
+                        // Listener gone: the drain finished. Only then
+                        // may requests stop being answered.
+                        assert!(
+                            stop.load(Ordering::Acquire),
+                            "client {c}: connection died before shutdown was requested"
+                        );
+                        break;
+                    };
+                    assert_ne!(status, 500, "client {c}: internal error: {body}");
+                    if body.contains("\"generation\"") {
+                        seen.push((
+                            parse("generation", &body).unwrap(),
+                            parse("cliques", &body).unwrap(),
+                            parse("max_clique", &body),
+                            body.clone(),
+                        ));
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    // Rebuild generations under the hammer, then SIGTERM immediately
+    // after committing a fresh manifest — the drain races the watcher
+    // mid-swap.
+    let mut swaps = 0u64;
+    for gen in 1..=4u64 {
+        std::thread::sleep(Duration::from_millis(120));
+        let (big, seed) = if gen % 2 == 1 { (7, 32) } else { (6, 31) };
+        rebuild(&dir, big, seed);
+        swaps += 1;
+    }
+    std::thread::sleep(Duration::from_millis(15)); // land inside a poll window
+    stop.store(true, Ordering::Release);
+    shutdown.request(15);
+    let report = server_thread.join().expect("join server");
+
+    let mut answers = 0usize;
+    let mut gens_seen = std::collections::BTreeSet::new();
+    for client in clients {
+        for (generation, cliques, max_clique, body) in client.join().expect("join client") {
+            answers += 1;
+            gens_seen.insert(generation);
+            let (want_cliques, want_max) = if generation % 2 == 0 {
+                (even_cliques, even_max)
+            } else {
+                (odd_cliques, odd_max)
+            };
+            assert!(
+                generation <= swaps,
+                "generation {generation} never committed: {body}"
+            );
+            assert_eq!(
+                cliques, want_cliques,
+                "torn answer: generation {generation} with foreign clique count: {body}"
+            );
+            // /ready has no max_clique field; /stats must match.
+            if let Some(max) = max_clique.filter(|_| body.contains("max_clique")) {
+                assert_eq!(
+                    max, want_max,
+                    "torn answer: generation {generation} with foreign max clique: {body}"
+                );
+            }
+        }
+    }
+    assert!(answers > 0, "clients never got an answer");
+    assert!(
+        gens_seen.len() >= 2,
+        "only generations {gens_seen:?} observed — the hammer never saw a swap"
+    );
+    assert!(report.reloads >= 1, "reloads never counted");
+    assert!(report.requests >= answers as u64, "requests lost");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,750 @@
+//! Router chaos harness: seeded backend-fault schedules against a live
+//! replicated tier, over real sockets.
+//!
+//! Each seed derives a deterministic per-replica fault assignment from
+//! `SplitMix64` — every replica of a 2-shard × 2-replica tier is one
+//! of:
+//!
+//! * **Live** — an ordinary in-process backend server on its shard;
+//! * **LiveCorrupt** (every 4th seed, one replica) — live, but serving
+//!   a byte-flipped copy of its shard: block quarantine degrades its
+//!   answers exactly and the router must either pass the degradation
+//!   through (counts) or fail over to the healthy twin (block reads);
+//! * **Killed** — the port refuses connections;
+//! * **Stalled** — accepts connections and never responds (the
+//!   accept-then-hang pathology that eats naive clients);
+//! * **Reset** — accepts and immediately closes (connection reset).
+//!
+//! Invariants held across all seeds:
+//!
+//! * the router never panics (`worker_panics == 0`, clean join) and
+//!   *always* answers — a typed status for every request, never a
+//!   silent drop;
+//! * every answer is bounded by the request deadline plus scheduling
+//!   slack, stalled backends notwithstanding;
+//! * answers are **count-exact over the answered shards**: whenever a
+//!   shard has a live replica it is answered exactly, and
+//!   `missing_shards` only ever names shards with *no* live replica —
+//!   degraded-exact, never silent truncation, never a degraded answer
+//!   while every shard was servable;
+//! * a whole tier down yields a typed 503 naming the missing shards,
+//!   not a blind 500;
+//! * faulty replicas end up ejected: their breaker gauge leaves
+//!   CLOSED (active probes detect them even with no traffic).
+//!
+//! Two focused tests ride along: whole-shard-down degradation
+//! semantics, and circuit-breaker recovery after a killed replica
+//! restarts on the same port.
+
+use gsb_core::supervise::SplitMix64;
+use gsb_core::{CliqueEnumerator, CollectSink, EnumConfig, ShutdownToken, Vertex};
+use gsb_graph::generators::{planted, Module};
+use gsb_index::{split_index, CliqueIndex, IndexWriter, ServeConfig, ServeReport, Server};
+use gsb_index::{Router, RouterConfig, RouterReport, ShardSpec, Topology};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const SEEDS: u64 = 48;
+const REQUEST_DEADLINE: Duration = Duration::from_secs(2);
+/// Client-observed latency bound: the budget plus generous scheduling
+/// slack (loaded CI machines); the point is "bounded", not "fast".
+const LATENCY_SLACK: Duration = Duration::from_secs(4);
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsb_rt_chaos_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Raw GET against the router. The router itself must never drop a
+/// connection wordlessly, so a parse failure here is a test failure.
+fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to router");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: chaos\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or_else(|| panic!("no status line for {path}: {response:?}"))
+        .parse()
+        .expect("numeric status");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator for {path}"));
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .unwrap_or_else(|| panic!("no Content-Length in {response:?}"))
+        .parse()
+        .expect("numeric Content-Length");
+    assert_eq!(body.len(), content_length, "truncated response for {path}");
+    (status, head.to_string(), body.to_string())
+}
+
+fn copy_index(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create dir");
+    for entry in std::fs::read_dir(src).expect("read index dir") {
+        let entry = entry.expect("dir entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy index file");
+    }
+}
+
+/// Flip a byte near the tail of the clique store: the last block
+/// quarantines on first read, counts stay exact (postings intact).
+fn corrupt_tail(dir: &Path) {
+    let store = dir.join("cliques.gsi");
+    let mut bytes = std::fs::read(&store).expect("read store");
+    let at = bytes.len() - 6;
+    bytes[at] ^= 0x20;
+    std::fs::write(&store, &bytes).expect("write corrupt store");
+}
+
+/// What one replica of the tier does this seed.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Kind {
+    Live,
+    LiveCorrupt,
+    Killed,
+    Stalled,
+    Reset,
+}
+
+impl Kind {
+    fn is_live(self) -> bool {
+        matches!(self, Kind::Live | Kind::LiveCorrupt)
+    }
+}
+
+/// Accept and hold (stall=true) or accept and drop (stall=false).
+fn fault_listener(stall: bool) -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind fault listener");
+    let addr = listener.local_addr().expect("addr");
+    listener.set_nonblocking(true).expect("nonblocking");
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stall {
+                            held.push(stream); // hold open, never answer
+                        } // else: drop immediately — reset/EOF
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        })
+    };
+    (addr, stop, handle)
+}
+
+/// A port that refuses connections: bind to learn a free port, then
+/// close the listener before the router ever dials it.
+fn dead_port() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    listener.local_addr().expect("addr")
+}
+
+type BackendHandle = (ShutdownToken, JoinHandle<std::io::Result<ServeReport>>);
+
+fn start_backend(dir: &Path, addr: &str) -> (SocketAddr, BackendHandle) {
+    let index = Arc::new(CliqueIndex::open(dir).expect("open shard index"));
+    let server = Server::bind(
+        index,
+        addr,
+        ServeConfig {
+            threads: 2,
+            deadline: Duration::from_secs(2),
+            request_deadline: Duration::from_millis(1500),
+            queue_limit: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind backend");
+    let bound = server.local_addr().expect("addr");
+    let shutdown = ShutdownToken::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || server.run(&shutdown))
+    };
+    (bound, (shutdown, handle))
+}
+
+fn router_config() -> RouterConfig {
+    RouterConfig {
+        threads: 2,
+        deadline: Duration::from_secs(2),
+        request_deadline: REQUEST_DEADLINE,
+        queue_limit: 64,
+        probe_interval: Duration::from_millis(50),
+        breaker_failures: 3,
+        breaker_cooldown: Duration::from_millis(100),
+        try_timeout: Duration::from_millis(250),
+        ..RouterConfig::default()
+    }
+}
+
+type RouterHandle = (
+    SocketAddr,
+    ShutdownToken,
+    JoinHandle<std::io::Result<RouterReport>>,
+);
+
+fn start_router(topology: Topology) -> RouterHandle {
+    let router = Router::bind(topology, "127.0.0.1:0", router_config()).expect("bind router");
+    let addr = router.local_addr().expect("router addr");
+    let shutdown = ShutdownToken::new();
+    let handle = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || router.run(&shutdown))
+    };
+    (addr, shutdown, handle)
+}
+
+fn join_router(
+    shutdown: &ShutdownToken,
+    handle: JoinHandle<std::io::Result<RouterReport>>,
+) -> RouterReport {
+    shutdown.request(15);
+    let report = handle
+        .join()
+        .expect("router thread must not panic")
+        .expect("router run must not error");
+    let parsed = gsb_telemetry::json::parse(&report.metrics_json).expect("metrics parse");
+    assert_eq!(
+        parsed.u64_or_zero("worker_panics"),
+        0,
+        "a router worker panicked under chaos"
+    );
+    report
+}
+
+/// The `gsb_router_backend_state` gauge for one backend address, read
+/// off a `/metrics` Prometheus scrape. CLOSED=0, HALF_OPEN=1, OPEN=2.
+fn breaker_gauge(promtext: &str, backend: &str) -> Option<u64> {
+    let needle = format!("backend=\"{backend}\"");
+    promtext
+        .lines()
+        .find(|l| l.starts_with("gsb_router_backend_state{") && l.contains(&needle))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Poll `/metrics` until the backend's breaker gauge satisfies `ok`.
+fn wait_for_breaker(
+    router: SocketAddr,
+    backend: &str,
+    ok: impl Fn(u64) -> bool,
+    timeout: Duration,
+) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let (status, _, body) = get(router, "/metrics");
+        assert_eq!(status, 200, "metrics scrape failed");
+        if breaker_gauge(&body, backend).is_some_and(&ok) {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Ground truth + golden shard directories shared by every seed.
+struct Fixture {
+    truth: Vec<Vec<Vertex>>,
+    shard_dirs: Vec<PathBuf>,
+    /// `(id_lo, id_hi, size_lo, size_hi)` per shard.
+    shards: Vec<(u64, u64, u32, u32)>,
+}
+
+fn build_fixture(tag: &str) -> Fixture {
+    let g = planted(60, 0.07, &[Module::clique(8), Module::clique(5)], 23);
+    let golden = tmp(&format!("{tag}_golden"));
+    let enumerator = CliqueEnumerator::new(EnumConfig::default());
+    let mut collect = CollectSink::default();
+    enumerator.enumerate(&g, &mut collect);
+    let mut writer = IndexWriter::create(&golden, g.n()).expect("create writer");
+    enumerator.enumerate(&g, &mut writer);
+    writer.finish().expect("finish index");
+    let shards_dir = tmp(&format!("{tag}_shards"));
+    let summaries = split_index(&golden, &shards_dir, 2).expect("split");
+    Fixture {
+        truth: collect.cliques,
+        shard_dirs: summaries.iter().map(|s| s.dir.clone()).collect(),
+        shards: summaries
+            .iter()
+            .map(|s| (s.id_lo, s.id_hi, s.size_lo, s.size_hi))
+            .collect(),
+    }
+}
+
+impl Fixture {
+    fn topology(&self, replicas: &[Vec<String>]) -> Topology {
+        Topology {
+            shards: self
+                .shards
+                .iter()
+                .zip(replicas)
+                .map(|(&(id_lo, id_hi, size_lo, size_hi), r)| ShardSpec {
+                    id_lo,
+                    id_hi,
+                    size_lo,
+                    size_hi,
+                    replicas: r.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, id: u64) -> usize {
+        self.shards
+            .iter()
+            .position(|&(lo, hi, ..)| id >= lo && id < hi)
+            .expect("id owned by some shard")
+    }
+
+    /// Count cliques matching `pred` whose global id falls in an
+    /// answered shard.
+    fn count_over(&self, answered: &[bool], pred: impl Fn(&[Vertex]) -> bool) -> u64 {
+        self.truth
+            .iter()
+            .enumerate()
+            .filter(|(id, c)| answered[self.shard_of(*id as u64)] && pred(c))
+            .count() as u64
+    }
+}
+
+/// Which shards the router reports missing, from a 200 body; asserts
+/// every named shard is truly dead and returns the answered mask.
+fn answered_mask(body: &str, live: &[bool; 2], context: &str) -> [bool; 2] {
+    let parsed = gsb_telemetry::json::parse(body).expect("parse router body");
+    let mut answered = [true, true];
+    for m in parsed.u64_array("missing_shards") {
+        let m = m as usize;
+        assert!(
+            !live[m],
+            "{context}: shard {m} reported missing but it has a live replica: {body}"
+        );
+        answered[m] = false;
+    }
+    for (s, alive) in live.iter().enumerate() {
+        assert!(
+            *alive || !answered[s],
+            "{context}: dead shard {s} not reported missing: {body}"
+        );
+    }
+    answered
+}
+
+#[test]
+fn seeded_backend_faults_never_panic_and_answers_stay_exact() {
+    let fx = build_fixture("seeds");
+    let max_size = fx.truth.iter().map(Vec::len).max().unwrap();
+    let gid0 = fx.shards[0].0; // first clique of shard 0
+    let gid1 = fx.shards[1].0; // first clique of shard 1
+    let (mut total_retries, mut total_hedges, mut total_degraded) = (0u64, 0u64, 0u64);
+
+    for seed in 0..SEEDS {
+        let mut rng = SplitMix64::new(seed ^ 0xC4A0_5C4A_05C4_A05C);
+        // Live-biased draw so most shards keep a live replica (the
+        // exact-under-failover path); the rest exercise degradation.
+        let mut kinds = [[Kind::Live; 2]; 2];
+        for shard in kinds.iter_mut() {
+            for kind in shard.iter_mut() {
+                *kind = match rng.below(8) {
+                    0..=4 => Kind::Live,
+                    5 => Kind::Killed,
+                    6 => Kind::Stalled,
+                    _ => Kind::Reset,
+                };
+            }
+        }
+        // Every 4th seed one replica serves corrupted bytes while the
+        // tier also has whatever faults the draw above dealt.
+        let corrupt_replica = (seed % 4 == 0).then(|| {
+            let pick = rng.below(4) as usize;
+            kinds[pick / 2][pick % 2] = Kind::LiveCorrupt;
+            (pick / 2, pick % 2)
+        });
+        let live = [
+            kinds[0].iter().any(|k| k.is_live()),
+            kinds[1].iter().any(|k| k.is_live()),
+        ];
+        let corrupt_on = |shard: usize| corrupt_replica.is_some_and(|(s, _)| s == shard);
+
+        // Assemble the tier.
+        let mut servers: Vec<BackendHandle> = Vec::new();
+        let mut faults: Vec<(Arc<AtomicBool>, JoinHandle<()>)> = Vec::new();
+        let mut corrupt_dirs: Vec<PathBuf> = Vec::new();
+        let mut replicas: Vec<Vec<String>> = vec![Vec::new(), Vec::new()];
+        for (shard, shard_kinds) in kinds.iter().enumerate() {
+            for (r, kind) in shard_kinds.iter().enumerate() {
+                let addr = match kind {
+                    Kind::Live => {
+                        let (addr, handle) = start_backend(&fx.shard_dirs[shard], "127.0.0.1:0");
+                        servers.push(handle);
+                        addr
+                    }
+                    Kind::LiveCorrupt => {
+                        let dir = tmp(&format!("seed{seed}_corrupt{shard}_{r}"));
+                        copy_index(&fx.shard_dirs[shard], &dir);
+                        corrupt_tail(&dir);
+                        let (addr, handle) = start_backend(&dir, "127.0.0.1:0");
+                        servers.push(handle);
+                        corrupt_dirs.push(dir);
+                        addr
+                    }
+                    Kind::Killed => dead_port(),
+                    Kind::Stalled | Kind::Reset => {
+                        let (addr, stop, handle) = fault_listener(*kind == Kind::Stalled);
+                        faults.push((stop, handle));
+                        addr
+                    }
+                };
+                replicas[shard].push(addr.to_string());
+            }
+        }
+        let (router, shutdown, handle) = start_router(fx.topology(&replicas));
+
+        // A couple of probe laps: breakers for dead replicas open
+        // before the workload, so most requests fail over instantly.
+        std::thread::sleep(Duration::from_millis(300));
+
+        // Mixed workload; every answer typed, bounded, and exact over
+        // the shards it claims to have answered.
+        for round in 0..14u32 {
+            let v = (seed as u32 * 7 + round * 3) % 60;
+            let w = (seed as u32 * 11 + round * 5) % 60;
+            let path = match round % 7 {
+                0 => "/health".to_string(),
+                1 => format!("/containing/{v}"),
+                2 => "/max".to_string(),
+                3 => format!("/overlap/{v}/{w}"),
+                4 => "/stats".to_string(),
+                5 => format!("/get/{}", if round % 2 == 1 { gid1 } else { gid0 }),
+                _ => "/size/1/64".to_string(),
+            };
+            let started = Instant::now();
+            let (status, head, body) = get(router, &path);
+            assert!(
+                started.elapsed() < REQUEST_DEADLINE + LATENCY_SLACK,
+                "seed {seed} round {round} ({path}): {:?} exceeds deadline budget",
+                started.elapsed()
+            );
+            let ctx = format!("seed {seed} round {round} ({path})");
+            match round % 7 {
+                0 => assert_eq!(status, 200, "{ctx}: health must always answer ok"),
+                1 | 3 => {
+                    // Scatter queries: 503 only with the whole tier
+                    // down; 200 answers are count-exact over the
+                    // answered shards and degradation is explicit.
+                    if status == 503 {
+                        assert!(
+                            !live[0] && !live[1],
+                            "{ctx}: 503 while a shard had a live replica: {body}"
+                        );
+                        assert!(
+                            body.contains("missing_shards"),
+                            "{ctx}: untyped 503: {body}"
+                        );
+                        continue;
+                    }
+                    assert_eq!(status, 200, "{ctx}: {body}");
+                    let answered = answered_mask(&body, &live, &ctx);
+                    let expected = if round % 7 == 1 {
+                        fx.count_over(&answered, |c| c.contains(&v))
+                    } else {
+                        fx.count_over(&answered, |c| c.contains(&v) && c.contains(&w))
+                    };
+                    assert!(
+                        body.contains(&format!("\"count\":{expected}")),
+                        "{ctx}: count drifted (want {expected}): {body}"
+                    );
+                    if body.contains("missing_shards") || body.contains("\"degraded\":") {
+                        assert!(
+                            head.contains("X-Gsb-Degraded:"),
+                            "{ctx}: degraded body without header marker: {head}"
+                        );
+                    } else {
+                        assert!(
+                            !head.contains("X-Gsb-Degraded:"),
+                            "{ctx}: degraded header on a clean answer"
+                        );
+                    }
+                }
+                2 => {
+                    // /max routes to the last shard. A corrupt replica
+                    // 500s on the quarantined tail block; with a
+                    // healthy twin the router fails over, without one
+                    // the shard is unanswerable (typed 503).
+                    if live[1] && !corrupt_on(1) {
+                        assert_eq!(status, 200, "{ctx}: {body}");
+                        assert!(
+                            body.contains(&format!("\"size\":{max_size}")),
+                            "{ctx}: {body}"
+                        );
+                    } else if !live[1] {
+                        assert_eq!(status, 503, "{ctx}: {body}");
+                        assert!(
+                            body.contains("missing_shards"),
+                            "{ctx}: untyped 503: {body}"
+                        );
+                    } else {
+                        assert!(
+                            status == 503
+                                || (status == 200
+                                    && body.contains(&format!("\"size\":{max_size}"))),
+                            "{ctx}: {status} {body}"
+                        );
+                    }
+                }
+                4 => {
+                    if status == 503 {
+                        assert!(!live[0] && !live[1], "{ctx}: {body}");
+                        continue;
+                    }
+                    assert_eq!(status, 200, "{ctx}: {body}");
+                    let answered = answered_mask(&body, &live, &ctx);
+                    let expected: u64 = fx
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .filter(|(s, _)| answered[*s])
+                        .map(|(_, &(lo, hi, ..))| hi - lo)
+                        .sum();
+                    assert!(
+                        body.contains(&format!("\"cliques\":{expected}")),
+                        "{ctx}: clique total drifted (want {expected}): {body}"
+                    );
+                }
+                5 => {
+                    let gid = if round % 2 == 1 { gid1 } else { gid0 };
+                    let owner = fx.shard_of(gid);
+                    let exact = format!("\"id\":{gid},\"size\":{}", fx.truth[gid as usize].len());
+                    if live[owner] && !corrupt_on(owner) {
+                        assert_eq!(status, 200, "{ctx}: {body}");
+                        assert!(body.contains(&exact), "{ctx}: wrong clique: {body}");
+                    } else if !live[owner] {
+                        assert_eq!(status, 503, "{ctx}: {body}");
+                        assert!(
+                            body.contains("missing_shards"),
+                            "{ctx}: untyped 503: {body}"
+                        );
+                    } else {
+                        // Corrupt replica on the owner shard: exact via
+                        // the healthy twin, or typed 503 if the twin is
+                        // dead and only corrupted bytes remain.
+                        assert!(
+                            status == 503 || (status == 200 && body.contains(&exact)),
+                            "{ctx}: {status} {body}"
+                        );
+                    }
+                }
+                _ => {
+                    if live[0] && live[1] {
+                        assert_eq!(status, 200, "{ctx}: {body}");
+                        assert!(
+                            !body.contains("missing_shards"),
+                            "{ctx}: degraded while fully live: {body}"
+                        );
+                        assert!(
+                            body.contains(&format!("\"count\":{}", fx.truth.len())),
+                            "{ctx}: size sweep count drifted: {body}"
+                        );
+                    } else {
+                        assert!(matches!(status, 200 | 503), "{ctx}: {status} {body}");
+                    }
+                }
+            }
+        }
+
+        // Ejection: every dead replica's breaker must leave CLOSED —
+        // active probes find them even if the workload never did.
+        for (shard, shard_kinds) in kinds.iter().enumerate() {
+            for (r, kind) in shard_kinds.iter().enumerate() {
+                if !kind.is_live() {
+                    assert!(
+                        wait_for_breaker(
+                            router,
+                            &replicas[shard][r],
+                            |g| g != 0,
+                            Duration::from_secs(5)
+                        ),
+                        "seed {seed}: breaker for dead {kind:?} replica {shard}/{r} stayed closed"
+                    );
+                }
+            }
+        }
+
+        let report = join_router(&shutdown, handle);
+        assert!(report.requests >= 14, "seed {seed}: requests went missing");
+        total_retries += report.retries;
+        total_hedges += report.hedges;
+        total_degraded += report.degraded_answers;
+
+        for (stop, handle) in faults {
+            stop.store(true, Ordering::Release);
+            handle.join().expect("fault listener join");
+        }
+        for (token, handle) in servers {
+            token.request(15);
+            handle.join().expect("backend join").expect("backend run");
+        }
+        for dir in corrupt_dirs {
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    // Across 48 seeds the fault mix must have exercised the recovery
+    // machinery itself, not just the happy path.
+    assert!(
+        total_retries + total_hedges > 0,
+        "no retry or hedge fired across any seed"
+    );
+    assert!(total_degraded > 0, "no degraded answer across any seed");
+}
+
+#[test]
+fn whole_shard_down_degrades_exactly_with_typed_answers() {
+    let fx = build_fixture("sharddown");
+    let (addr0a, h0a) = start_backend(&fx.shard_dirs[0], "127.0.0.1:0");
+    let (addr0b, h0b) = start_backend(&fx.shard_dirs[0], "127.0.0.1:0");
+    let replicas = vec![
+        vec![addr0a.to_string(), addr0b.to_string()],
+        vec![dead_port().to_string(), dead_port().to_string()],
+    ];
+    let (router, shutdown, handle) = start_router(fx.topology(&replicas));
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Scatter: 200, explicitly degraded, exact over shard 0.
+    let v = fx.truth[0][0];
+    let (status, head, body) = get(router, &format!("/containing/{v}"));
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        head.contains("X-Gsb-Degraded:"),
+        "no degraded marker: {head}"
+    );
+    assert!(body.contains("\"missing_shards\":[1]"), "{body}");
+    let expected = fx.count_over(&[true, false], |c| c.contains(&v));
+    assert!(body.contains(&format!("\"count\":{expected}")), "{body}");
+
+    // Point reads on the dead shard: typed 503 naming it; the live
+    // shard keeps answering exactly.
+    let gid1 = fx.shards[1].0;
+    let (status, _, body) = get(router, &format!("/get/{gid1}"));
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"missing_shards\":[1]"), "{body}");
+    let (status, _, body) = get(router, "/max");
+    assert_eq!(status, 503, "max lives on the dead shard: {body}");
+    let (status, _, body) = get(router, "/get/0");
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        body.contains(&format!("\"id\":0,\"size\":{}", fx.truth[0].len())),
+        "{body}"
+    );
+
+    // /health stays green (the router is fine), /ready goes red (the
+    // tier is not fully servable) — the load-balancer-facing split.
+    let (status, _, _) = get(router, "/health");
+    assert_eq!(status, 200);
+    let (status, _, body) = get(router, "/ready");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"live_shards\":1"), "{body}");
+
+    let report = join_router(&shutdown, handle);
+    assert!(report.degraded_answers > 0, "degradation not counted");
+    for (token, handle) in [h0a, h0b] {
+        token.request(15);
+        handle.join().expect("backend join").expect("backend run");
+    }
+}
+
+#[test]
+fn breaker_reopens_then_recloses_after_replica_restart() {
+    let fx = build_fixture("recovery");
+    let (addr_a, (token_a, join_a)) = start_backend(&fx.shard_dirs[0], "127.0.0.1:0");
+    let (addr_b, h_b) = start_backend(&fx.shard_dirs[0], "127.0.0.1:0");
+    let (addr_1, h_1) = start_backend(&fx.shard_dirs[1], "127.0.0.1:0");
+    let replicas = vec![
+        vec![addr_a.to_string(), addr_b.to_string()],
+        vec![addr_1.to_string()],
+    ];
+    let (router, shutdown, handle) = start_router(fx.topology(&replicas));
+
+    let v = fx.truth[fx.truth.len() - 1][0]; // vertex of the max clique
+    let expected = fx.count_over(&[true, true], |c| c.contains(&v));
+    let exact = |label: &str| {
+        let (status, head, body) = get(router, &format!("/containing/{v}"));
+        assert_eq!(status, 200, "{label}: {body}");
+        assert!(
+            body.contains(&format!("\"count\":{expected}")),
+            "{label}: count drifted: {body}"
+        );
+        assert!(
+            !head.contains("X-Gsb-Degraded:"),
+            "{label}: degraded while shard 0 had a live replica"
+        );
+    };
+    assert!(
+        wait_for_breaker(
+            router,
+            &addr_a.to_string(),
+            |g| g == 0,
+            Duration::from_secs(5)
+        ),
+        "replica A never reported healthy"
+    );
+    exact("before kill");
+
+    // Kill replica A: probes must open its breaker, answers must stay
+    // exact and non-degraded through replica B.
+    token_a.request(15);
+    join_a.join().expect("join A").expect("run A");
+    assert!(
+        wait_for_breaker(
+            router,
+            &addr_a.to_string(),
+            |g| g == 2,
+            Duration::from_secs(5)
+        ),
+        "breaker never opened for the killed replica"
+    );
+    for _ in 0..5 {
+        exact("after kill");
+    }
+
+    // Restart on the same port (std listeners set SO_REUSEADDR): the
+    // next successful probe must re-close the breaker.
+    let (readdr, h_a2) = start_backend(&fx.shard_dirs[0], &addr_a.to_string());
+    assert_eq!(readdr, addr_a, "restart must reuse the original address");
+    assert!(
+        wait_for_breaker(
+            router,
+            &addr_a.to_string(),
+            |g| g == 0,
+            Duration::from_secs(5)
+        ),
+        "breaker never re-closed after the replica restarted"
+    );
+    exact("after restart");
+
+    let report = join_router(&shutdown, handle);
+    assert_eq!(report.degraded_answers, 0, "failover leaked degradation");
+    for (token, handle) in [h_a2, h_b, h_1] {
+        token.request(15);
+        handle.join().expect("backend join").expect("backend run");
+    }
+}

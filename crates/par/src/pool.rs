@@ -486,7 +486,6 @@ impl WorkerPool {
             retried_tasks,
         })
     }
-
 }
 
 /// One worker's epoch loop: acquire (own deque, then steal), execute
@@ -1094,7 +1093,11 @@ mod tests {
         assert!(err.failures.iter().any(|f| f.deadline));
         // The abandoned worker was replaced: the next epoch is healthy.
         let out = pool
-            .run_epoch(vec![vec![1u64], vec![2]], |_, &x, _hb: &Heartbeat| x + 1, None)
+            .run_epoch(
+                vec![vec![1u64], vec![2]],
+                |_, &x, _hb: &Heartbeat| x + 1,
+                None,
+            )
             .expect("replacement worker serves the next epoch");
         let mut all: Vec<u64> = out.results.iter().flatten().copied().collect();
         all.sort_unstable();

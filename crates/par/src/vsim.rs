@@ -138,7 +138,11 @@ impl VirtualScheduler {
     /// which plans on `SubList::cost()` guesses. [`Strategy::Steal`]
     /// ignores estimates (it schedules online), so the same scheduler
     /// replays a fair barrier-vs-steal comparison.
-    pub fn with_estimates(levels: Vec<Vec<u64>>, estimates: Vec<Vec<u64>>, config: SimConfig) -> Self {
+    pub fn with_estimates(
+        levels: Vec<Vec<u64>>,
+        estimates: Vec<Vec<u64>>,
+        config: SimConfig,
+    ) -> Self {
         VirtualScheduler {
             levels,
             estimates: Some(estimates),
