@@ -56,6 +56,17 @@ pub fn index(argv: &[String]) -> Result<String, CliError> {
     if let Some(bytes) = block_target {
         writer = writer.block_target(bytes);
     }
+    // An unbounded run maintains "every maximal clique ≥ --min", which
+    // is exactly the set `gsb update` knows how to maintain — record
+    // the min and snapshot the graph so the index stays updatable.
+    // --max truncates the set to a shape updates can't reason about, so
+    // such indexes are committed frozen (queryable, not updatable).
+    if max_k.is_none() {
+        writer = writer
+            .min_size(min_k as u32)
+            .snapshot(&g)
+            .map_err(CliError::Store)?;
+    }
 
     // --text-out additionally streams the classic `size\tv …` lines;
     // the index sink goes first in the tee so a flush barrier makes the

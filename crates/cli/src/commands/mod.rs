@@ -4,7 +4,9 @@
 //! re-exports.
 
 mod bench_serve;
+mod bench_update;
 mod cliques;
+mod compact;
 mod convert;
 mod exact;
 mod generate;
@@ -19,9 +21,12 @@ mod serve;
 mod shard;
 mod stats;
 mod tail;
+mod update;
 
 pub use bench_serve::bench_serve;
+pub use bench_update::bench_update;
 pub use cliques::cliques;
+pub use compact::compact;
 pub use convert::convert;
 pub use exact::{fvs, maxclique, vertex_cover};
 pub use generate::generate;
@@ -36,6 +41,7 @@ pub use serve::serve;
 pub use shard::shard;
 pub use stats::stats;
 pub use tail::tail;
+pub use update::update;
 
 use crate::CliError;
 use gsb_core::sink::{CollectSink, CountSink};
@@ -986,6 +992,156 @@ mod tests {
 
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The dynamic-maintenance CLI surface end to end: update a built
+    /// index, query/stats/scrub the chained view, compact it clean,
+    /// and hit the refusal paths (frozen --max index, no-op batch,
+    /// missing edit flags).
+    #[test]
+    fn update_then_compact_round_trip() {
+        let path = tmp("g20.txt");
+        let dir = tmp("g20-index");
+        generate(&argv(&[
+            "--kind",
+            "planted",
+            "--n",
+            "40",
+            "--modules",
+            "7,5",
+            "--seed",
+            "29",
+            "--out",
+            &path,
+        ]))
+        .unwrap();
+        index(&argv(&[&path, "--min", "3", "--out", &dir])).unwrap();
+
+        // Build an edit batch from the actual graph: remove one real
+        // edge, add one absent edge, and grow the graph by a vertex.
+        let mut g = load(&path).unwrap();
+        let (mut rm, mut add) = (None, None);
+        'outer: for u in 0..g.n() {
+            for v in (u + 1)..g.n() {
+                if rm.is_none() && g.has_edge(u, v) {
+                    rm = Some((u, v));
+                } else if add.is_none() && !g.has_edge(u, v) {
+                    add = Some((u, v));
+                }
+                if rm.is_some() && add.is_some() {
+                    break 'outer;
+                }
+            }
+        }
+        let (ru, rv) = rm.unwrap();
+        let (au, av) = add.unwrap();
+        let rm_file = tmp("g20.rm");
+        let add_file = tmp("g20.add");
+        std::fs::write(&rm_file, format!("{ru} {rv}\n")).unwrap();
+        std::fs::write(&add_file, format!("{au} {av}\n0 40 # grow\n")).unwrap();
+
+        let report = update(&argv(&[
+            &dir,
+            "--remove-edges",
+            &rm_file,
+            "--add-edges",
+            &add_file,
+        ]))
+        .unwrap();
+        assert!(report.contains("1 removal(s) applied"), "{report}");
+        assert!(report.contains("2 addition(s) applied"), "{report}");
+        assert!(report.contains("generation 1:"), "{report}");
+
+        // The chained index answers exactly what a fresh enumeration
+        // of the patched graph produces.
+        g = load(&path).unwrap();
+        g = {
+            let mut grown = g.grown(41);
+            grown.remove_edge(ru, rv);
+            grown.add_edge(au, av);
+            grown.add_edge(0, 40);
+            grown
+        };
+        let patched_path = tmp("g20-patched.txt");
+        save(&g, &patched_path).unwrap();
+        let plain = cliques(&argv(&[&patched_path, "--min", "3"])).unwrap();
+        let mut want: Vec<&str> = plain.lines().filter(|l| !l.starts_with('#')).collect();
+        want.sort();
+        let all = query(&argv(&[&dir, "--size-min", "0", "--limit", "100000"])).unwrap();
+        let mut got: Vec<String> = all
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l.split_once('\t').unwrap().1.to_string())
+            .collect();
+        got.sort();
+        assert_eq!(got, want, "chained query differs from fresh enumeration");
+
+        // stats sees the chain, scrub walks it clean.
+        let s = stats(&argv(&["--index", &dir])).unwrap();
+        assert!(s.contains("delta chain:    1 generation(s)"), "{s}");
+        let sc = scrub(&argv(&[&dir])).unwrap();
+        assert!(sc.contains("index is clean"), "{sc}");
+        assert!(sc.contains("delta chain: 1 generation(s)"), "{sc}");
+
+        // A no-op batch (removing the already-removed edge) commits
+        // nothing.
+        let noop = update(&argv(&[&dir, "--remove-edges", &rm_file])).unwrap();
+        assert!(noop.contains("no-op"), "{noop}");
+
+        // Compact folds the chain; queries are unchanged and a second
+        // compact is a no-op.
+        let c = compact(&argv(&[&dir])).unwrap();
+        assert!(c.contains("compacted"), "{c}");
+        let all2 = query(&argv(&[&dir, "--size-min", "0", "--limit", "100000"])).unwrap();
+        let mut got2: Vec<String> = all2
+            .lines()
+            .filter(|l| l.starts_with('#'))
+            .map(|l| l.split_once('\t').unwrap().1.to_string())
+            .collect();
+        got2.sort();
+        assert_eq!(got2, want, "compaction changed query answers");
+        let s2 = stats(&argv(&["--index", &dir])).unwrap();
+        assert!(!s2.contains("delta chain"), "{s2}");
+        let c2 = compact(&argv(&[&dir])).unwrap();
+        assert!(c2.contains("already compact"), "{c2}");
+
+        // Frozen (--max) indexes refuse updates; an update without
+        // edit files is a usage error.
+        let frozen = tmp("g20-frozen");
+        index(&argv(&[
+            &path, "--min", "3", "--max", "5", "--out", &frozen,
+        ]))
+        .unwrap();
+        let err = update(&argv(&[&frozen, "--add-edges", &add_file])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+        assert!(update(&argv(&[&dir])).is_err());
+
+        for f in [&path, &patched_path, &rm_file, &add_file] {
+            let _ = std::fs::remove_file(f);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&frozen);
+    }
+
+    /// `gsb bench-update` smoke: the committed JSON has the diffed
+    /// schema and the single-edge speedup clears the smoke floor.
+    #[test]
+    fn bench_update_smoke_writes_schema() {
+        let out = tmp("bench-update.json");
+        let report = bench_update(&argv(&["--smoke", "--out", &out])).unwrap();
+        assert!(report.contains("bench-update (smoke)"), "{report}");
+        let json = std::fs::read_to_string(&out).unwrap();
+        for key in [
+            "\"bench\": \"gsb_bench_update\"",
+            "\"batches\"",
+            "\"edits\":1",
+            "\"edits\":64",
+            "\"single_edge_speedup\"",
+            "\"required_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]

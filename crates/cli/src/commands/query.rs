@@ -88,7 +88,8 @@ pub fn query(argv: &[String]) -> Result<String, CliError> {
             "--size-min {lo} exceeds --size-max {hi}"
         )));
     }
-    let ids: Vec<u64> = index.of_size(lo, hi).collect();
+    // tombstone-aware: dead ids of a chained index are filtered out
+    let ids: Vec<u64> = index.ids_of_size(lo, hi);
     render(
         &index,
         &format!("cliques of size {lo}..={hi}"),

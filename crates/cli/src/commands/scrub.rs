@@ -30,6 +30,13 @@ pub fn scrub(argv: &[String]) -> Result<String, CliError> {
         "scrub {}: {} blocks, {} cliques, {} postings records checked",
         dir, report.blocks_checked, report.cliques_checked, report.postings_checked
     );
+    if report.delta_generations_checked > 0 {
+        let _ = writeln!(
+            out,
+            "delta chain: {} generation(s), {} tombstone(s) checked",
+            report.delta_generations_checked, report.tombstones_checked
+        );
+    }
     if report.is_clean() {
         let _ = writeln!(out, "index is clean");
         return Ok(out);
@@ -66,6 +73,11 @@ fn scrub_json(dir: &str, report: &ScrubReport) -> Result<String, CliError> {
     w.u64_field("blocks_checked", report.blocks_checked);
     w.u64_field("cliques_checked", report.cliques_checked);
     w.u64_field("postings_checked", report.postings_checked);
+    w.u64_field(
+        "delta_generations_checked",
+        report.delta_generations_checked,
+    );
+    w.u64_field("tombstones_checked", report.tombstones_checked);
     w.u64_field("findings", report.findings.len() as u64);
     w.bool_field("clean", report.is_clean());
     let _ = writeln!(out, "{}", w.finish());

@@ -65,7 +65,23 @@ fn index_stats(dir: &str) -> Result<String, CliError> {
     let _ = writeln!(out, "store blocks:   {}", s.blocks);
     let _ = writeln!(out, "store bytes:    {}", s.store_bytes);
     let _ = writeln!(out, "postings bytes: {}", s.postings_bytes);
-    debug_assert_eq!(histogram.total() as u64, s.cliques);
+    if s.delta_generations > 0 {
+        let _ = writeln!(out, "delta chain:    {} generation(s)", s.delta_generations);
+        let _ = writeln!(
+            out,
+            "live cliques:   {} ({} tombstoned, {:.1}% live)",
+            s.live,
+            s.tombstones,
+            if s.cliques > 0 {
+                100.0 * s.live as f64 / s.cliques as f64
+            } else {
+                100.0
+            }
+        );
+        let _ = writeln!(out, "                (run `gsb compact` to fold the chain)");
+    }
+    // the histogram counts live cliques — total ids only when chain-free
+    debug_assert_eq!(histogram.total() as u64, s.live);
     debug_assert_eq!(histogram.max_size() as u32, s.max_clique);
     if histogram.total() > 0 {
         let _ = writeln!(out, "size histogram:");

@@ -182,8 +182,12 @@ USAGE:
                [--retry-seed S] [--trace-seed S] [--metrics-out FILE]
   gsb tail ACCESS_LOG [--top N]
   gsb scrub INDEX_DIR [--json]
+  gsb update INDEX_DIR [--add-edges FILE] [--remove-edges FILE]
+               [--block-target BYTES]
+  gsb compact INDEX_DIR [--block-target BYTES]
   gsb bench-serve [--out FILE] [--seed S] [--smoke] [--scrape]
                [--router]
+  gsb bench-update [--out FILE] [--seed S] [--smoke]
   gsb stats --index INDEX_DIR
   gsb convert IN OUT
   gsb help
@@ -262,6 +266,22 @@ scenario with `--scrape` and router failover scenarios with
 `--router`) and writes QPS/latency/shed-rate percentiles to
 results/BENCH_serve.json.
 
+Dynamic updates: `gsb update` applies an edge-edit batch (plain `u v`
+edit files, removals before additions) to an index in place — only the
+affected neighborhoods are re-enumerated (delta cliques + tombstones
+appended as a new generation, manifest bumped atomically, so a serving
+`gsb serve --reload-poll-ms` picks the new view up live without
+dropping requests). Indexes built with `--max` are frozen (updates are
+refused; rebuild without `--max`). `gsb compact INDEX_DIR` folds the
+delta chain back into a clean base byte-identical to a fresh `gsb
+index` of the patched graph; it is crash-safe and restartable — a
+compact killed mid-swap is finished, not rebuilt, by the next run.
+`gsb stats --index` reports the chain length and live/tombstone
+counts; `gsb scrub` walks every delta frame, tombstone, and the graph
+snapshot with the same any-single-byte-flip guarantee as the base.
+`gsb bench-update` times update batches against full rebuilds and
+commits the speedups to results/BENCH_update.json.
+
 Replication: `gsb shard` splits one committed index into contiguous
 clique-id shard directories (each an ordinary index a stock `gsb
 serve` can serve; size order makes id ranges size ranges) and can emit
@@ -318,7 +338,10 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "shard" => commands::shard(rest),
         "tail" => commands::tail(rest),
         "scrub" => commands::scrub(rest),
+        "update" => commands::update(rest),
+        "compact" => commands::compact(rest),
         "bench-serve" => commands::bench_serve(rest),
+        "bench-update" => commands::bench_update(rest),
         "convert" => commands::convert(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),

@@ -54,6 +54,7 @@ pub mod kclique;
 pub mod kose;
 pub mod maxclique;
 pub mod memory;
+pub mod neighborhood;
 pub mod order;
 pub mod paraclique;
 pub mod parallel;
@@ -73,6 +74,7 @@ pub use checkpoint::{
 pub use enumerator::{CliqueEnumerator, EnumConfig, EnumStats, LevelReport};
 pub use kose::{kose_ram, kose_ram_with, KoseSearch};
 pub use maxclique::{maximum_clique, maximum_clique_size};
+pub use neighborhood::{cliques_created_by_edge, maximal_cliques_induced};
 pub use parallel::{BalanceStrategy, ParallelConfig, ParallelEnumerator, ParallelStats, Scheduler};
 pub use pipeline::{CliquePipeline, PipelineError, PipelineReport};
 pub use quarantine::QuarantineEntry;

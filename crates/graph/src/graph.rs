@@ -41,6 +41,22 @@ impl BitGraph {
         g
     }
 
+    /// The same graph re-embedded on `n ≥ self.n()` vertices: existing
+    /// edges are preserved, the new vertices start isolated. Dynamic
+    /// edge additions may name vertices the indexed graph has never
+    /// seen; the adjacency bitmaps are fixed-width, so growth is a
+    /// rebuild rather than an in-place resize.
+    pub fn grown(&self, n: usize) -> Self {
+        assert!(n >= self.n(), "grown() cannot shrink a graph");
+        let mut adj: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for v in 0..self.n() {
+            for w in self.adj[v].iter_ones() {
+                adj[v].insert(w);
+            }
+        }
+        BitGraph { adj, m: self.m }
+    }
+
     /// A complete graph on `n` vertices.
     pub fn complete(n: usize) -> Self {
         let mut g = Self::new(n);

@@ -13,6 +13,7 @@
 //! * [`generators`] — G(n,p), planted-clique, and correlation-like
 //!   generators that mimic the paper's microarray graphs;
 //! * [`io`] — edge-list and DIMACS formats;
+//! * [`edits`] — edge-edit scripts consumed by `gsb update`;
 //! * [`ops`] — Boolean graph operations over replicate graph stacks;
 //! * [`reduce`] — degree pruning / k-core reduction and degeneracy order;
 //! * [`stats`] — densities, degree profiles, clustering estimates;
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod compressed;
+pub mod edits;
 pub mod generators;
 pub mod graph;
 pub mod io;

@@ -1,0 +1,150 @@
+//! `gsb compact` — fold a delta chain back into a clean base index.
+//!
+//! Compaction materializes every live clique (base minus tombstones,
+//! plus all delta generations), sorts them into the canonical
+//! `(size, lex)` order the enumerators emit, and rebuilds the four-file
+//! index in a scratch directory (`compact.tmp/`) with [`IndexWriter`] —
+//! the exact code path `gsb index` uses. Because the emission order is
+//! canonical, the compacted `cliques.gsi` / `postings.gsp` /
+//! `index.gsd` / `graph.gsg` are **byte-identical** to a fresh
+//! `gsb index` rebuild of the patched graph at the same `--min`; only
+//! the manifest generation differs (it outranks the live one so the
+//! serving layer hot-reloads).
+//!
+//! ## Crash model
+//!
+//! The build phase is invisible: everything lands inside
+//! `compact.tmp/`, whose own `index.meta` is written last. A crash
+//! before that inner manifest exists leaves a stale scratch directory
+//! the next compaction deletes and redoes. A crash **during the swap**
+//! (after the inner manifest, while files move into place) is the one
+//! non-atomic window: the live directory may briefly mix old and new
+//! files. Re-running `gsb compact` detects the valid inner manifest and
+//! finishes the swap instead of rebuilding — and `gsb update` refuses
+//! to run until it does, so the window cannot widen.
+
+use crate::format::{
+    IndexMeta, CLIQUES_FILE, COMPACT_TMP_DIR, DIRECTORY_FILE, GRAPH_FILE, META_FILE, POSTINGS_FILE,
+};
+use crate::reader::CliqueIndex;
+use crate::update::patched_graph;
+use crate::writer::{sync_dir, IndexWriter};
+use gsb_core::store::StoreError;
+use gsb_core::{Clique, CliqueSink};
+use std::path::Path;
+
+/// What [`compact`] did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CompactOutcome {
+    /// Manifest generation after the call.
+    pub generation: u64,
+    /// Live cliques in the compacted base (also the new id space).
+    pub cliques: u64,
+    /// Vertex count of the compacted index.
+    pub n: usize,
+    /// True when a crashed compaction's pending swap was finished
+    /// instead of rebuilding.
+    pub resumed: bool,
+    /// False when the index had no delta chain and nothing was done.
+    pub compacted: bool,
+}
+
+/// Is there a completed-but-unswapped compaction in `dir`?
+fn pending_swap(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join(COMPACT_TMP_DIR).join(META_FILE))
+        .is_ok_and(|text| IndexMeta::from_text(&text).is_ok())
+}
+
+/// Move the finished scratch index into place: data files first, the
+/// manifest last (the commit point), then drop the scratch directory.
+/// Files already moved by a crashed earlier attempt are skipped.
+fn finish_swap(dir: &Path) -> Result<IndexMeta, StoreError> {
+    let tmp = dir.join(COMPACT_TMP_DIR);
+    let meta = IndexMeta::from_text(&std::fs::read_to_string(tmp.join(META_FILE))?)?;
+    for name in [CLIQUES_FILE, POSTINGS_FILE, DIRECTORY_FILE, GRAPH_FILE] {
+        let src = tmp.join(name);
+        match std::fs::rename(&src, dir.join(name)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        gsb_core::failpoint::inject_tagged("compact.swap_file", name)?;
+    }
+    std::fs::rename(tmp.join(META_FILE), dir.join(META_FILE))?;
+    let _ = std::fs::remove_dir_all(&tmp);
+    sync_dir(dir);
+    Ok(meta)
+}
+
+/// Fold the delta chain of the index in `dir` into a clean base. A
+/// no-op when there is no chain; finishes a crashed swap when one is
+/// pending. `block_target` overrides the store's block-sealing
+/// threshold (bytes), defaulting to the writer's.
+pub fn compact(dir: &Path, block_target: Option<usize>) -> Result<CompactOutcome, StoreError> {
+    if pending_swap(dir) {
+        let meta = finish_swap(dir)?;
+        return Ok(CompactOutcome {
+            generation: meta.generation,
+            cliques: meta.cliques,
+            n: meta.n,
+            resumed: true,
+            compacted: true,
+        });
+    }
+    // Any scratch directory without a valid inner manifest is debris
+    // from a crash mid-build; redo from scratch.
+    let tmp = dir.join(COMPACT_TMP_DIR);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let meta0 = IndexMeta::from_text(&std::fs::read_to_string(dir.join(META_FILE))?)?;
+    if meta0.delta_generations == 0 {
+        return Ok(CompactOutcome {
+            generation: meta0.generation,
+            cliques: meta0.cliques,
+            n: meta0.n,
+            resumed: false,
+            compacted: false,
+        });
+    }
+    if meta0.min_size == 0 || meta0.graph_bytes == 0 {
+        return Err(StoreError::Codec {
+            context: "compact: chained index is missing min_size or graph snapshot",
+        });
+    }
+
+    let idx = CliqueIndex::open(dir)?;
+    let g = patched_graph(dir, &idx, meta0.n)?;
+    // Materialize the live set and restore the canonical global order;
+    // ids ascend within each generation, so this is a merge of
+    // already-(size, lex)-sorted runs, but a plain sort keeps it simple.
+    let mut live: Vec<Clique> = Vec::with_capacity(idx.live_len() as usize);
+    for id in 0..idx.len() {
+        if idx.is_live(id) {
+            live.push(idx.get(id)?);
+        }
+    }
+    live.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+
+    let mut w = IndexWriter::create(&tmp, g.n())?
+        .min_size(meta0.min_size)
+        .generation(meta0.generation + 1)
+        .snapshot(&g)?;
+    if let Some(bytes) = block_target {
+        w = w.block_target(bytes);
+    }
+    for c in &live {
+        w.maximal(c);
+    }
+    let summary = w.finish()?;
+    drop(idx); // release file handles before files are renamed over
+    gsb_core::failpoint::inject("compact.pre_swap")?;
+    let meta = finish_swap(dir)?;
+    debug_assert_eq!(meta.cliques, summary.cliques);
+    Ok(CompactOutcome {
+        generation: meta.generation,
+        cliques: meta.cliques,
+        n: meta.n,
+        resumed: false,
+        compacted: true,
+    })
+}

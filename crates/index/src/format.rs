@@ -26,6 +26,13 @@ pub const POSTINGS_FILE: &str = "postings.gsp";
 pub const DIRECTORY_FILE: &str = "index.gsd";
 /// Manifest file name — the commit point.
 pub const META_FILE: &str = "index.meta";
+/// Graph snapshot file name (written by `gsb index` / `gsb compact`;
+/// required by `gsb update` to patch the graph without the original
+/// edge list).
+pub const GRAPH_FILE: &str = "graph.gsg";
+/// Scratch directory used by `gsb compact` while folding a delta chain
+/// into a fresh base; a valid inner manifest marks a swap in progress.
+pub const COMPACT_TMP_DIR: &str = "compact.tmp";
 
 /// `"SC05ICS1"` — index clique store, format 1.
 pub const CLIQUES_MAGIC: u64 = 0x5343_3035_4943_5331;
@@ -33,6 +40,8 @@ pub const CLIQUES_MAGIC: u64 = 0x5343_3035_4943_5331;
 pub const POSTINGS_MAGIC: u64 = 0x5343_3035_4950_4C31;
 /// `"SC05IDR1"` — index directory, format 1.
 pub const DIRECTORY_MAGIC: u64 = 0x5343_3035_4944_5231;
+/// `"SC05IGR1"` — index graph snapshot, format 1.
+pub const GRAPH_MAGIC: u64 = 0x5343_3035_4947_5231;
 
 /// Bytes of the fixed file header: magic, bitmap width, header CRC.
 pub const HEADER_LEN: usize = 16;
@@ -395,6 +404,252 @@ impl IndexDirectory {
     }
 }
 
+/// One committed delta generation, stored as a CRC-framed record
+/// appended to `index.gsd` after the base directory frame (DESIGN.md
+/// §16). Each `gsb update` commit appends exactly one: the new cliques
+/// it produced (as delta blocks in `cliques.gsi` plus one postings
+/// frame in `postings.gsp`), the ids it tombstoned, and the effective
+/// edge edits it applied — enough to reconstruct the current graph from
+/// the base snapshot by replay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaGeneration {
+    /// Manifest generation at which this record was committed.
+    pub generation: u64,
+    /// Vertex count after this generation's edits (≥ the previous
+    /// generation's; edge additions may introduce new vertices).
+    pub n: u32,
+    /// First clique id assigned to this generation's new cliques.
+    pub first_id: u64,
+    /// Number of new cliques in this generation.
+    pub count: u64,
+    /// Size runs over the new cliques, ascending and contiguous in
+    /// `first_id..first_id + count` (absolute ids).
+    pub size_runs: Vec<SizeRun>,
+    /// Delta blocks appended to `cliques.gsi` (absolute offsets).
+    pub blocks: Vec<BlockEntry>,
+    /// Clique ids from earlier generations subsumed by this one,
+    /// strictly ascending and all below `first_id`.
+    pub tombstones: Vec<u64>,
+    /// Byte offset of this generation's postings frame in
+    /// `postings.gsp`.
+    pub postings_offset: u64,
+    /// Byte length of that frame (header through payload end).
+    pub postings_len: u64,
+    /// Edges removed by this generation, `(u, v)` with `u < v`,
+    /// strictly ascending — replayed before `added_edges`.
+    pub removed_edges: Vec<(u32, u32)>,
+    /// Edges added by this generation, same encoding as
+    /// `removed_edges` — replayed after it.
+    pub added_edges: Vec<(u32, u32)>,
+}
+
+fn encode_edges(p: &mut Vec<u8>, edges: &[(u32, u32)]) {
+    put_varint(p, edges.len() as u64);
+    for &(u, v) in edges {
+        put_varint(p, u64::from(u));
+        put_varint(p, u64::from(v));
+    }
+}
+
+fn decode_edges(
+    payload: &[u8],
+    pos: &mut usize,
+    n: u32,
+    context: &'static str,
+) -> Result<Vec<(u32, u32)>, StoreError> {
+    let count = get_varint(payload, pos, context)?;
+    if count > u64::from(n) * u64::from(n) {
+        return Err(StoreError::Codec { context });
+    }
+    let mut edges = Vec::with_capacity(count as usize);
+    let mut prev: Option<(u32, u32)> = None;
+    for _ in 0..count {
+        let u = get_varint(payload, pos, context)?;
+        let v = get_varint(payload, pos, context)?;
+        if u >= v || v >= u64::from(n) {
+            return Err(StoreError::Codec { context });
+        }
+        let e = (u as u32, v as u32);
+        if prev.is_some_and(|p| p >= e) {
+            return Err(StoreError::Codec { context });
+        }
+        edges.push(e);
+        prev = Some(e);
+    }
+    Ok(edges)
+}
+
+impl DeltaGeneration {
+    /// Clique ids introduced by this generation.
+    pub fn id_range(&self) -> std::ops::Range<u64> {
+        self.first_id..self.first_id + self.count
+    }
+
+    /// Serialize as one frame-able payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        put_varint(&mut p, self.generation);
+        put_varint(&mut p, u64::from(self.n));
+        put_varint(&mut p, self.first_id);
+        put_varint(&mut p, self.count);
+        put_varint(&mut p, self.size_runs.len() as u64);
+        for run in &self.size_runs {
+            put_varint(&mut p, u64::from(run.size));
+            put_varint(&mut p, run.first_id);
+            put_varint(&mut p, run.count);
+        }
+        put_varint(&mut p, self.blocks.len() as u64);
+        for b in &self.blocks {
+            put_varint(&mut p, b.offset);
+            put_varint(&mut p, b.first_id);
+            put_varint(&mut p, u64::from(b.count));
+            put_varint(&mut p, u64::from(b.min_size));
+            put_varint(&mut p, u64::from(b.max_size));
+        }
+        encode_id_list(&mut p, &self.tombstones);
+        put_varint(&mut p, self.postings_offset);
+        put_varint(&mut p, self.postings_len);
+        encode_edges(&mut p, &self.removed_edges);
+        encode_edges(&mut p, &self.added_edges);
+        p
+    }
+
+    /// Decode one record payload, validating every structural
+    /// invariant that does not require the data files: contiguous size
+    /// runs and blocks covering exactly `id_range`, ascending
+    /// tombstones below `first_id`, and canonical `u < v < n` edits.
+    pub fn decode(payload: &[u8]) -> Result<Self, StoreError> {
+        const CTX: &str = "delta generation";
+        let pos = &mut 0usize;
+        let generation = get_varint(payload, pos, CTX)?;
+        let n = get_varint(payload, pos, CTX)?;
+        if n > u64::from(u32::MAX) {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let n = n as u32;
+        let first_id = get_varint(payload, pos, CTX)?;
+        let count = get_varint(payload, pos, CTX)?;
+        let runs = get_varint(payload, pos, CTX)?;
+        if runs > count {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let mut size_runs = Vec::with_capacity(runs as usize);
+        let mut expect = first_id;
+        let mut prev_size = 0u32;
+        for _ in 0..runs {
+            let run = SizeRun {
+                size: get_varint(payload, pos, CTX)? as u32,
+                first_id: get_varint(payload, pos, CTX)?,
+                count: get_varint(payload, pos, CTX)?,
+            };
+            if run.first_id != expect || run.count == 0 || run.size <= prev_size {
+                return Err(StoreError::Codec { context: CTX });
+            }
+            expect = run.first_id + run.count;
+            prev_size = run.size;
+            size_runs.push(run);
+        }
+        if expect != first_id + count {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let nblocks = get_varint(payload, pos, CTX)?;
+        if nblocks > count {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let mut blocks = Vec::with_capacity(nblocks as usize);
+        let mut expect = first_id;
+        let mut prev_off = 0u64;
+        for _ in 0..nblocks {
+            let b = BlockEntry {
+                offset: get_varint(payload, pos, CTX)?,
+                first_id: get_varint(payload, pos, CTX)?,
+                count: get_varint(payload, pos, CTX)? as u32,
+                min_size: get_varint(payload, pos, CTX)? as u32,
+                max_size: get_varint(payload, pos, CTX)? as u32,
+            };
+            if b.first_id != expect || b.count == 0 || b.offset <= prev_off {
+                return Err(StoreError::Codec { context: CTX });
+            }
+            expect = b.first_id + u64::from(b.count);
+            prev_off = b.offset;
+            blocks.push(b);
+        }
+        if expect != first_id + count {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let tombstones = decode_id_list(payload, pos, first_id.max(1), CTX)?;
+        if tombstones.iter().any(|&id| id >= first_id) {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        let postings_offset = get_varint(payload, pos, CTX)?;
+        let postings_len = get_varint(payload, pos, CTX)?;
+        let removed_edges = decode_edges(payload, pos, n, CTX)?;
+        let added_edges = decode_edges(payload, pos, n, CTX)?;
+        if *pos != payload.len() {
+            return Err(StoreError::Codec { context: CTX });
+        }
+        Ok(DeltaGeneration {
+            generation,
+            n,
+            first_id,
+            count,
+            size_runs,
+            blocks,
+            tombstones,
+            postings_offset,
+            postings_len,
+            removed_edges,
+            added_edges,
+        })
+    }
+}
+
+/// Encode one generation's postings overlay: vertex count, then per
+/// vertex (ascending) its id and the ascending clique ids it gained.
+/// Framed and appended to `postings.gsp` as a single record per
+/// generation — the base file's per-vertex layout cannot be extended
+/// in place without rewriting it.
+pub fn encode_delta_postings(buf: &mut Vec<u8>, entries: &[(u32, Vec<u64>)]) {
+    put_varint(buf, entries.len() as u64);
+    for (v, ids) in entries {
+        put_varint(buf, u64::from(*v));
+        encode_id_list(buf, ids);
+    }
+}
+
+/// Decode a generation's postings overlay; vertices must ascend and
+/// stay below `n`, ids must fall inside the generation's id range.
+pub fn decode_delta_postings(
+    payload: &[u8],
+    n: u32,
+    ids: std::ops::Range<u64>,
+    context: &'static str,
+) -> Result<Vec<(u32, Vec<u64>)>, StoreError> {
+    let pos = &mut 0usize;
+    let count = get_varint(payload, pos, context)?;
+    if count > u64::from(n) {
+        return Err(StoreError::Codec { context });
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut prev: Option<u32> = None;
+    for _ in 0..count {
+        let v = get_varint(payload, pos, context)?;
+        if v >= u64::from(n) || prev.is_some_and(|p| u64::from(p) >= v) {
+            return Err(StoreError::Codec { context });
+        }
+        let list = decode_id_list(payload, pos, ids.end, context)?;
+        if list.is_empty() || list.iter().any(|&id| id < ids.start) {
+            return Err(StoreError::Codec { context });
+        }
+        prev = Some(v as u32);
+        entries.push((v as u32, list));
+    }
+    if *pos != payload.len() {
+        return Err(StoreError::Codec { context });
+    }
+    Ok(entries)
+}
+
 /// The `index.meta` manifest: human-readable key=value lines, written
 /// last (tmp-then-rename) so its presence marks a committed index.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -414,10 +669,29 @@ pub struct IndexMeta {
     /// Bytes of `postings.gsp`.
     pub postings_bytes: u64,
     /// Monotonic rebuild counter: bumped every time a writer replaces
-    /// an existing committed index in the same directory. The serving
-    /// layer polls it to trigger atomic hot-reloads. Absent in
-    /// pre-generation manifests, which read back as generation 0.
+    /// an existing committed index in the same directory *and* every
+    /// time `gsb update` commits a delta generation. The serving layer
+    /// polls it to trigger atomic hot-reloads. Absent in pre-generation
+    /// manifests, which read back as generation 0.
     pub generation: u64,
+    /// Minimum clique size the index maintains (the `--min` the base
+    /// build ran with). 0 in manifests written before dynamic updates
+    /// existed — such indexes refuse `gsb update` because the
+    /// maintained set is unknown.
+    pub min_size: u32,
+    /// Delta generations appended after the base (0 = clean base).
+    pub delta_generations: u64,
+    /// Total tombstoned (dead) clique ids across the chain.
+    pub tombstones: u64,
+    /// Committed bytes of `index.gsd` (base frame + chain records).
+    /// 0 in pre-chain manifests, meaning "the whole file".
+    pub dir_bytes: u64,
+    /// Bytes of the `graph.gsg` snapshot (0 = no snapshot on disk;
+    /// such indexes cannot be updated in place).
+    pub graph_bytes: u64,
+    /// CRC-32 of the entire `graph.gsg` file, pinning the snapshot to
+    /// this manifest's commit point.
+    pub graph_crc: u32,
 }
 
 impl IndexMeta {
@@ -426,7 +700,7 @@ impl IndexMeta {
     /// elsewhere in the index (like `generation`) cannot rot silently.
     pub fn to_text(&self) -> String {
         let body = format!(
-            "version={}\nn={}\ncliques={}\nmax_clique={}\nblocks={}\nstore_bytes={}\npostings_bytes={}\ngeneration={}\n",
+            "version={}\nn={}\ncliques={}\nmax_clique={}\nblocks={}\nstore_bytes={}\npostings_bytes={}\ngeneration={}\nmin_size={}\ndelta_generations={}\ntombstones={}\ndir_bytes={}\ngraph_bytes={}\ngraph_crc={}\n",
             self.version,
             self.n,
             self.cliques,
@@ -434,7 +708,13 @@ impl IndexMeta {
             self.blocks,
             self.store_bytes,
             self.postings_bytes,
-            self.generation
+            self.generation,
+            self.min_size,
+            self.delta_generations,
+            self.tombstones,
+            self.dir_bytes,
+            self.graph_bytes,
+            self.graph_crc
         );
         let crc = crc32(body.as_bytes());
         format!("{body}crc={crc}\n")
@@ -448,10 +728,14 @@ impl IndexMeta {
     pub fn from_text(text: &str) -> Result<Self, StoreError> {
         const CTX: &str = "index.meta";
         let mut crc_seen = false;
-        if let Some(pos) = text
-            .find("crc=")
-            .filter(|&p| p == 0 || text.as_bytes()[p - 1] == b'\n')
-        {
+        // The checksum line is the one *starting* with `crc=` — a plain
+        // substring search would stop inside `graph_crc=` first.
+        let crc_pos = if text.starts_with("crc=") {
+            Some(0)
+        } else {
+            text.find("\ncrc=").map(|p| p + 1)
+        };
+        if let Some(pos) = crc_pos {
             // No trim here: stray whitespace after the digits means the
             // trailing newline itself was corrupted.
             let line = text[pos..].lines().next().unwrap_or("");
@@ -479,6 +763,12 @@ impl IndexMeta {
             store_bytes: 0,
             postings_bytes: 0,
             generation: 0,
+            min_size: 0,
+            delta_generations: 0,
+            tombstones: 0,
+            dir_bytes: 0,
+            graph_bytes: 0,
+            graph_crc: 0,
         };
         let mut generation_seen = false;
         for line in text.lines() {
@@ -510,6 +800,25 @@ impl IndexMeta {
                 "generation" => {
                     meta.generation = parse().map_err(|_| StoreError::Codec { context: CTX })?;
                     generation_seen = true;
+                }
+                "min_size" => {
+                    meta.min_size = parse().map_err(|_| StoreError::Codec { context: CTX })? as u32
+                }
+                "delta_generations" => {
+                    meta.delta_generations =
+                        parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "tombstones" => {
+                    meta.tombstones = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "dir_bytes" => {
+                    meta.dir_bytes = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "graph_bytes" => {
+                    meta.graph_bytes = parse().map_err(|_| StoreError::Codec { context: CTX })?
+                }
+                "graph_crc" => {
+                    meta.graph_crc = parse().map_err(|_| StoreError::Codec { context: CTX })? as u32
                 }
                 _ => {}
             }
@@ -683,6 +992,71 @@ mod tests {
     }
 
     #[test]
+    fn delta_generation_roundtrip_and_flip_sweep() {
+        let gen = DeltaGeneration {
+            generation: 4,
+            n: 55,
+            first_id: 12,
+            count: 5,
+            size_runs: vec![
+                SizeRun {
+                    size: 3,
+                    first_id: 12,
+                    count: 4,
+                },
+                SizeRun {
+                    size: 4,
+                    first_id: 16,
+                    count: 1,
+                },
+            ],
+            blocks: vec![BlockEntry {
+                offset: 900,
+                first_id: 12,
+                count: 5,
+                min_size: 3,
+                max_size: 4,
+            }],
+            tombstones: vec![1, 7, 9],
+            postings_offset: 4000,
+            postings_len: 66,
+            removed_edges: vec![(0, 3), (2, 9)],
+            added_edges: vec![(0, 3), (5, 54)],
+        };
+        let payload = gen.encode();
+        assert_eq!(DeltaGeneration::decode(&payload).unwrap(), gen);
+        // every single-byte flip fails typed (decode or the outer frame)
+        let framed = frame(&payload);
+        for i in 0..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x11;
+            let r = parse_frame(&bad, 0, "t").and_then(|(p, _)| DeltaGeneration::decode(p));
+            assert!(r.is_err(), "flip at {i} silently accepted");
+        }
+        // an empty generation (tombstones/edits only) is legal
+        let empty = DeltaGeneration {
+            generation: 2,
+            n: 10,
+            first_id: 40,
+            count: 0,
+            tombstones: vec![3],
+            postings_offset: 100,
+            postings_len: 9,
+            removed_edges: vec![(1, 2)],
+            ..Default::default()
+        };
+        assert_eq!(DeltaGeneration::decode(&empty.encode()).unwrap(), empty);
+        // a tombstone at/above first_id is structural corruption
+        let mut bad = gen.clone();
+        bad.tombstones = vec![12];
+        assert!(DeltaGeneration::decode(&bad.encode()).is_err());
+        // non-canonical edits (u >= v) are rejected
+        let mut bad = gen.clone();
+        bad.added_edges = vec![(9, 9)];
+        assert!(DeltaGeneration::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
     fn meta_roundtrip_and_missing_keys() {
         let meta = IndexMeta {
             version: 1,
@@ -693,13 +1067,25 @@ mod tests {
             store_bytes: 100,
             postings_bytes: 400,
             generation: 3,
+            min_size: 3,
+            delta_generations: 2,
+            tombstones: 4,
+            dir_bytes: 220,
+            graph_bytes: 90,
+            graph_crc: 12345,
         };
         assert_eq!(IndexMeta::from_text(&meta.to_text()).unwrap(), meta);
         assert!(IndexMeta::from_text("version=1\nn=4\n").is_err());
         assert!(IndexMeta::from_text("garbage").is_err());
         // pre-generation manifests (no `generation` key) stay readable
         let old = "version=1\nn=4\ncliques=2\nmax_clique=2\nblocks=1\n";
-        assert_eq!(IndexMeta::from_text(old).unwrap().generation, 0);
+        let parsed = IndexMeta::from_text(old).unwrap();
+        assert_eq!(parsed.generation, 0);
+        // ... and pre-chain manifests default to "no chain, no snapshot"
+        assert_eq!(parsed.min_size, 0);
+        assert_eq!(parsed.delta_generations, 0);
+        assert_eq!(parsed.dir_bytes, 0);
+        assert_eq!(parsed.graph_bytes, 0);
         // the trailing crc line catches every single-byte flip, even in
         // fields with no cross-check elsewhere (generation)
         let text = meta.to_text();

@@ -34,18 +34,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod format;
 pub mod reader;
 pub mod router;
 pub mod scrub;
 pub mod server;
 pub mod shard;
+pub mod snapshot;
+pub mod update;
 pub mod writer;
 
-pub use format::{IndexDirectory, IndexMeta};
+pub use compact::{compact, CompactOutcome};
+pub use format::{DeltaGeneration, IndexDirectory, IndexMeta};
 pub use reader::{CliqueIndex, DegradedCliques, IndexStats, IoStats};
 pub use router::{Router, RouterConfig, RouterReport, ShardSpec, Topology};
 pub use scrub::{scrub, ScrubFinding, ScrubReport};
 pub use server::{ServeConfig, ServeReport, Server};
 pub use shard::{split_index, ShardSummary};
+pub use snapshot::read_graph_checked;
+pub use update::{update, EditScript, UpdateOutcome};
 pub use writer::{IndexWriter, WriteSummary};

@@ -20,8 +20,9 @@
 //! Transient I/O errors do *not* quarantine (a retry may succeed).
 
 use crate::format::{
-    check_header, parse_frame, IndexDirectory, IndexMeta, CLIQUES_FILE, CLIQUES_MAGIC,
-    DIRECTORY_FILE, DIRECTORY_MAGIC, HEADER_LEN, META_FILE, POSTINGS_FILE, POSTINGS_MAGIC,
+    check_header, decode_delta_postings, parse_frame, BlockEntry, DeltaGeneration, IndexDirectory,
+    IndexMeta, SizeRun, CLIQUES_FILE, CLIQUES_MAGIC, DIRECTORY_FILE, DIRECTORY_MAGIC, HEADER_LEN,
+    META_FILE, POSTINGS_FILE, POSTINGS_MAGIC,
 };
 use gsb_bitset::BitSet;
 use gsb_core::store::StoreError;
@@ -42,18 +43,24 @@ pub const DEFAULT_CACHE_BLOCKS: usize = 32;
 pub struct IndexStats {
     /// Vertices of the indexed graph.
     pub n: usize,
-    /// Total cliques.
+    /// Total clique ids (live + tombstoned) across base and deltas.
     pub cliques: u64,
-    /// Largest clique size.
+    /// Largest *live* clique size.
     pub max_clique: u32,
-    /// Blocks in the store.
+    /// Blocks in the store (base + delta).
     pub blocks: u64,
     /// Bytes of the clique store.
     pub store_bytes: u64,
     /// Bytes of the postings file.
     pub postings_bytes: u64,
-    /// `(size, count)` pairs, ascending in size.
+    /// `(size, count)` pairs over *live* cliques, ascending in size.
     pub size_histogram: Vec<(u32, u64)>,
+    /// Live (non-tombstoned) cliques.
+    pub live: u64,
+    /// Tombstoned clique ids across the chain.
+    pub tombstones: u64,
+    /// Delta generations appended after the base (0 = clean base).
+    pub delta_generations: u64,
 }
 
 /// Tiny exact LRU over decoded blocks: a stamp per entry, evict the
@@ -162,9 +169,36 @@ impl DegradedCliques {
 }
 
 /// A committed on-disk index, opened read-only. See the module docs.
+///
+/// When the manifest records delta generations (`gsb update` ran since
+/// the last base build / compaction), `open` merges the chain into a
+/// unified view: one block table spanning base and delta blocks, a
+/// tombstone set over the whole id space, and per-vertex postings
+/// overlays. Every public query is then tombstone-aware — dead ids
+/// never leak out of `containing`/`ids_of_size`/`overlap`/`max_clique`.
 pub struct CliqueIndex {
     meta: IndexMeta,
     directory: IndexDirectory,
+    chain: Vec<DeltaGeneration>,
+    /// Unified block table: base blocks then each generation's delta
+    /// blocks, ascending in `first_id`.
+    blocks: Vec<BlockEntry>,
+    /// Per-block vertex bound for decoding (the graph may grow across
+    /// generations, so delta blocks can reference vertices ≥ base n).
+    block_bound: Vec<u32>,
+    /// Unified size-run table in id order (sizes ascend within the base
+    /// and within each generation, not globally).
+    runs: Vec<SizeRun>,
+    /// Total clique ids (live + dead).
+    total: u64,
+    /// Live cliques.
+    live: u64,
+    /// Tombstoned ids over the whole id space.
+    dead: BitSet,
+    /// Per-vertex postings gained after the base, ascending ids.
+    overlay: HashMap<Vertex, Vec<u64>>,
+    /// `(size, live count)` ascending in size.
+    live_hist: Vec<(u32, u64)>,
     store: Mutex<File>,
     postings: Mutex<File>,
     cache: Mutex<BlockCache>,
@@ -189,29 +223,187 @@ impl CliqueIndex {
         }
         let meta = IndexMeta::from_text(&std::fs::read_to_string(meta_path)?)?;
 
-        let dir_bytes = std::fs::read(dir.join(DIRECTORY_FILE))?;
-        let n = check_header(&dir_bytes, DIRECTORY_MAGIC, "index directory header")?;
-        let (payload, _) = parse_frame(&dir_bytes, HEADER_LEN, "index directory")?;
-        let directory = IndexDirectory::decode(payload)?;
-        if directory.n != n || directory.n as usize != meta.n {
-            return Err(StoreError::GraphMismatch {
-                checkpoint_bits: directory.n as usize,
-                graph_bits: meta.n,
+        let gsd = std::fs::read(dir.join(DIRECTORY_FILE))?;
+        // The manifest pins the committed extent of the directory file;
+        // bytes past it are a torn append from a crashed update and are
+        // ignored (pre-chain manifests record 0 = "the whole file").
+        let committed = if meta.dir_bytes == 0 {
+            gsd.len()
+        } else {
+            meta.dir_bytes as usize
+        };
+        if gsd.len() < committed {
+            return Err(StoreError::Torn {
+                context: "index directory file",
+                needed: committed,
+                have: gsd.len(),
             });
         }
-        if directory.clique_count != meta.cliques || directory.postings_offsets.len() != meta.n + 1
-        {
+        let gsd = &gsd[..committed];
+        let n = check_header(gsd, DIRECTORY_MAGIC, "index directory header")?;
+        let (payload, mut pos) = parse_frame(gsd, HEADER_LEN, "index directory")?;
+        let directory = IndexDirectory::decode(payload)?;
+        if directory.n != n {
+            return Err(StoreError::GraphMismatch {
+                checkpoint_bits: directory.n as usize,
+                graph_bits: n as usize,
+            });
+        }
+        if directory.postings_offsets.len() != directory.n as usize + 1 {
             return Err(StoreError::CountMismatch {
-                expected: meta.cliques as usize,
-                found: directory.clique_count as usize,
+                expected: directory.n as usize + 1,
+                found: directory.postings_offsets.len(),
+            });
+        }
+        let mut chain = Vec::new();
+        while pos < gsd.len() {
+            let (payload, next) = parse_frame(gsd, pos, "delta generation")?;
+            chain.push(DeltaGeneration::decode(payload)?);
+            pos = next;
+        }
+        if chain.len() as u64 != meta.delta_generations {
+            return Err(StoreError::CountMismatch {
+                expected: meta.delta_generations as usize,
+                found: chain.len(),
             });
         }
 
+        // Chain consistency against the manifest: contiguous id space,
+        // monotone vertex growth, strictly increasing generations
+        // ending at the manifest's, and contiguous postings extents.
+        let mut total = directory.clique_count;
+        let mut max_n = directory.n;
+        let mut post_end = directory.postings_bytes;
+        let mut tombstone_total = 0u64;
+        let mut prev_generation = 0u64;
+        for g in &chain {
+            if g.first_id != total
+                || g.n < max_n
+                || g.postings_offset != post_end
+                || g.generation <= prev_generation
+            {
+                return Err(StoreError::Codec {
+                    context: "delta chain discontinuity",
+                });
+            }
+            total += g.count;
+            max_n = g.n;
+            post_end += g.postings_len;
+            tombstone_total += g.tombstones.len() as u64;
+            prev_generation = g.generation;
+        }
+        if let Some(last) = chain.last() {
+            if last.generation != meta.generation {
+                return Err(StoreError::Codec {
+                    context: "delta chain generation does not match manifest",
+                });
+            }
+        }
+        if total != meta.cliques || tombstone_total != meta.tombstones {
+            return Err(StoreError::CountMismatch {
+                expected: meta.cliques as usize,
+                found: total as usize,
+            });
+        }
+        if max_n as usize != meta.n {
+            return Err(StoreError::GraphMismatch {
+                checkpoint_bits: max_n as usize,
+                graph_bits: meta.n,
+            });
+        }
+        if post_end != meta.postings_bytes {
+            return Err(StoreError::CountMismatch {
+                expected: meta.postings_bytes as usize,
+                found: post_end as usize,
+            });
+        }
+
+        // Unified block / size-run tables.
+        let mut blocks = directory.blocks.clone();
+        let mut block_bound = vec![directory.n; blocks.len()];
+        let mut runs = directory.size_runs.clone();
+        for g in &chain {
+            blocks.extend_from_slice(&g.blocks);
+            block_bound.extend(std::iter::repeat(g.n).take(g.blocks.len()));
+            runs.extend_from_slice(&g.size_runs);
+        }
+        if blocks.len() as u64 != meta.blocks {
+            return Err(StoreError::CountMismatch {
+                expected: meta.blocks as usize,
+                found: blocks.len(),
+            });
+        }
+
+        // Tombstones → dead set. Double kills are corruption: every id
+        // dies at most once across the whole chain.
+        let mut dead = BitSet::new(total as usize);
+        for g in &chain {
+            for &id in &g.tombstones {
+                if !dead.insert(id as usize) {
+                    return Err(StoreError::Codec {
+                        context: "tombstone kills an already-dead clique",
+                    });
+                }
+            }
+        }
+        let live = total - tombstone_total;
+
+        // Live histogram: run totals minus each dead id's run.
+        let mut hist: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for run in &runs {
+            *hist.entry(run.size).or_insert(0) += run.count;
+        }
+        for id in dead.iter_ones() {
+            let run_i = runs
+                .partition_point(|r| r.first_id <= id as u64)
+                .saturating_sub(1);
+            let size = runs[run_i].size;
+            match hist.get_mut(&size) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => {
+                    return Err(StoreError::Codec {
+                        context: "tombstone outside any size run",
+                    })
+                }
+            }
+        }
+        let live_hist: Vec<(u32, u64)> = hist.into_iter().filter(|&(_, c)| c > 0).collect();
+
         let store = open_checked(&dir.join(CLIQUES_FILE), CLIQUES_MAGIC, directory.n)?;
-        let postings = open_checked(&dir.join(POSTINGS_FILE), POSTINGS_MAGIC, directory.n)?;
+        let mut postings = open_checked(&dir.join(POSTINGS_FILE), POSTINGS_MAGIC, directory.n)?;
+
+        // Postings overlays: one eagerly-loaded frame per generation
+        // (delta postings are small next to the base file).
+        let mut overlay: HashMap<Vertex, Vec<u64>> = HashMap::new();
+        for g in &chain {
+            let mut bytes = vec![0u8; g.postings_len as usize];
+            postings.seek(SeekFrom::Start(g.postings_offset))?;
+            read_exact_typed(&mut postings, &mut bytes, "delta postings frame")?;
+            let (payload, next) = parse_frame(&bytes, 0, "delta postings frame")?;
+            if next != bytes.len() {
+                return Err(StoreError::Codec {
+                    context: "delta postings frame",
+                });
+            }
+            for (v, ids) in
+                decode_delta_postings(payload, g.n, g.id_range(), "delta postings frame")?
+            {
+                overlay.entry(v).or_default().extend(ids);
+            }
+        }
+
         Ok(CliqueIndex {
             meta,
             directory,
+            chain,
+            blocks,
+            block_bound,
+            runs,
+            total,
+            live,
+            dead,
+            overlay,
+            live_hist,
             store: Mutex::new(store),
             postings: Mutex::new(postings),
             cache: Mutex::new(BlockCache::new(DEFAULT_CACHE_BLOCKS)),
@@ -250,53 +442,79 @@ impl CliqueIndex {
         self.io.snapshot()
     }
 
-    /// Total cliques in the index.
+    /// Total clique *ids* in the index — live and tombstoned. Ids are
+    /// stable across updates, so this only grows until a compaction.
     pub fn len(&self) -> u64 {
-        self.directory.clique_count
+        self.total
     }
 
-    /// True when the index holds no cliques.
+    /// Live (non-tombstoned) cliques.
+    pub fn live_len(&self) -> u64 {
+        self.live
+    }
+
+    /// True when the index holds no live cliques.
     pub fn is_empty(&self) -> bool {
-        self.directory.clique_count == 0
+        self.live == 0
     }
 
-    /// Largest clique size present.
+    /// Whether `id` names a live clique (false for tombstoned ids and
+    /// ids beyond the index).
+    pub fn is_live(&self, id: u64) -> bool {
+        id < self.total && !self.dead.contains(id as usize)
+    }
+
+    /// Largest live clique size present.
     pub fn max_size(&self) -> u32 {
-        self.directory.max_size()
+        self.live_hist.last().map_or(0, |&(s, _)| s)
+    }
+
+    /// Delta generations appended after the base (0 = clean base).
+    pub fn delta_generations(&self) -> u64 {
+        self.chain.len() as u64
+    }
+
+    /// The committed delta chain, oldest first.
+    pub fn chain(&self) -> &[DeltaGeneration] {
+        &self.chain
+    }
+
+    /// The committed manifest this reader opened.
+    pub fn meta(&self) -> &IndexMeta {
+        &self.meta
     }
 
     /// Index-level statistics (all from the directory — no store scan).
     pub fn stats(&self) -> IndexStats {
         IndexStats {
             n: self.meta.n,
-            cliques: self.directory.clique_count,
-            max_clique: self.directory.max_size(),
-            blocks: self.directory.blocks.len() as u64,
+            cliques: self.total,
+            max_clique: self.max_size(),
+            blocks: self.blocks.len() as u64,
             store_bytes: self.meta.store_bytes,
-            postings_bytes: self.directory.postings_bytes,
-            size_histogram: self
-                .directory
-                .size_runs
-                .iter()
-                .map(|r| (r.size, r.count))
-                .collect(),
+            postings_bytes: self.meta.postings_bytes,
+            size_histogram: self.live_hist.clone(),
+            live: self.live,
+            tombstones: self.total - self.live,
+            delta_generations: self.chain.len() as u64,
         }
     }
 
-    /// Materialize the clique with id `id`.
+    /// Materialize the clique with id `id`. Works for tombstoned ids
+    /// too (ids are never reused); callers that must not surface dead
+    /// cliques filter with [`is_live`](Self::is_live) first.
     pub fn get(&self, id: u64) -> Result<Clique, StoreError> {
-        if id >= self.directory.clique_count {
+        if id >= self.total {
             return Err(StoreError::Codec {
                 context: "clique id beyond the index",
             });
         }
         let block_i = self
-            .directory
             .blocks
             .partition_point(|b| b.first_id <= id)
             .saturating_sub(1);
         let block = self.load_block(block_i)?;
-        let entry = &self.directory.blocks[block_i];
+        let entry = &self.blocks[block_i];
         let within = (id - entry.first_id) as usize;
         block.get(within).cloned().ok_or(StoreError::CountMismatch {
             expected: entry.count as usize,
@@ -304,13 +522,44 @@ impl CliqueIndex {
         })
     }
 
-    /// `cliques-containing(v)`: ids of every clique containing vertex
-    /// `v`, ascending. A vertex outside the graph contains nothing.
+    /// Size of the clique with id `id`, from the run table alone (no
+    /// store read).
+    pub fn size_of(&self, id: u64) -> Option<u32> {
+        if id >= self.total {
+            return None;
+        }
+        let run_i = self
+            .runs
+            .partition_point(|r| r.first_id <= id)
+            .saturating_sub(1);
+        Some(self.runs[run_i].size)
+    }
+
+    /// `cliques-containing(v)`: ids of every *live* clique containing
+    /// vertex `v`, ascending. A vertex outside the graph contains
+    /// nothing; vertices added by later generations answer from the
+    /// postings overlays alone.
     pub fn containing(&self, v: Vertex) -> Result<Vec<u64>, StoreError> {
-        let v = v as usize;
-        if v >= self.meta.n {
+        let vu = v as usize;
+        if vu >= self.meta.n {
             return Ok(Vec::new());
         }
+        let mut ids = if vu < self.directory.n as usize {
+            self.base_postings(vu)?
+        } else {
+            Vec::new()
+        };
+        if let Some(extra) = self.overlay.get(&v) {
+            // Overlay ids all postdate the base id space, so the
+            // concatenation stays ascending.
+            ids.extend_from_slice(extra);
+        }
+        ids.retain(|&id| !self.dead.contains(id as usize));
+        Ok(ids)
+    }
+
+    /// Base-file postings record for a vertex below the base n.
+    fn base_postings(&self, v: usize) -> Result<Vec<u64>, StoreError> {
         let start = self.directory.postings_offsets[v];
         let end = self.directory.postings_offsets[v + 1];
         if end < start || end > self.directory.postings_bytes {
@@ -342,29 +591,62 @@ impl CliqueIndex {
         Ok(ids)
     }
 
-    /// `cliques-of-size(lo..=hi)`: the contiguous id range of every
-    /// clique with size in the range (ids are sorted by size).
+    /// `cliques-of-size(lo..=hi)` as a contiguous id range. Only valid
+    /// on a chain-free index (base ids are sorted by size; delta ids
+    /// are not globally, and tombstones punch holes) — chain-aware
+    /// callers use [`ids_of_size`](Self::ids_of_size).
     pub fn of_size(&self, lo: u32, hi: u32) -> std::ops::Range<u64> {
         self.directory.size_range_ids(lo, hi)
     }
 
-    /// The lexicographically first maximum clique (None when empty).
-    pub fn max_clique(&self) -> Result<Option<Clique>, StoreError> {
-        match self.directory.size_runs.last() {
-            None => Ok(None),
-            Some(run) => self.get(run.first_id).map(Some),
+    /// Ids of every *live* clique with size in `lo..=hi`, ascending.
+    pub fn ids_of_size(&self, lo: u32, hi: u32) -> Vec<u64> {
+        let mut out = Vec::new();
+        for run in &self.runs {
+            if run.size < lo || run.size > hi {
+                continue;
+            }
+            out.extend(
+                (run.first_id..run.first_id + run.count)
+                    .filter(|&id| !self.dead.contains(id as usize)),
+            );
         }
+        out
     }
 
-    /// `overlap(v, w)`: ids of cliques containing *both* vertices, via
-    /// postings intersection on the dense [`BitSet`].
+    /// The lexicographically first maximum *live* clique (None when
+    /// empty). Within any one run cliques ascend lexicographically, so
+    /// only the first live id of each max-size run is materialized.
+    pub fn max_clique(&self) -> Result<Option<Clique>, StoreError> {
+        let Some(&(target, _)) = self.live_hist.last() else {
+            return Ok(None);
+        };
+        let mut best: Option<Clique> = None;
+        for run in &self.runs {
+            if run.size != target {
+                continue;
+            }
+            let first_live = (run.first_id..run.first_id + run.count)
+                .find(|&id| !self.dead.contains(id as usize));
+            if let Some(id) = first_live {
+                let c = self.get(id)?;
+                if best.as_ref().is_none_or(|b| c < *b) {
+                    best = Some(c);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// `overlap(v, w)`: ids of *live* cliques containing both vertices,
+    /// via postings intersection on the dense [`BitSet`].
     pub fn overlap(&self, v: Vertex, w: Vertex) -> Result<Vec<u64>, StoreError> {
         let a = self.containing(v)?;
         let b = self.containing(w)?;
         if a.is_empty() || b.is_empty() {
             return Ok(Vec::new());
         }
-        let universe = self.directory.clique_count as usize;
+        let universe = self.total as usize;
         let mut set = BitSet::from_ones(universe, a.iter().map(|&id| id as usize));
         let other = BitSet::from_ones(universe, b.iter().map(|&id| id as usize));
         set.and_assign(&other);
@@ -377,7 +659,46 @@ impl CliqueIndex {
         &self,
         ids: impl IntoIterator<Item = u64>,
     ) -> Result<Vec<Clique>, StoreError> {
-        ids.into_iter().map(|id| self.get(id)).collect()
+        let ids: Vec<u64> = ids.into_iter().collect();
+        let mut out = Vec::with_capacity(ids.len());
+        self.with_cliques(&ids, |_, c| out.push(c.clone()))?;
+        Ok(out)
+    }
+
+    /// Visit a batch of ids, borrowing each decoded clique in place —
+    /// one cache lookup per block *run* instead of per id, and no
+    /// per-clique allocation. Ascending ids (what postings queries
+    /// return) visit each block exactly once, so bulk scans over a
+    /// postings list cost one decode per block instead of one per id.
+    pub fn with_cliques(
+        &self,
+        ids: &[u64],
+        mut f: impl FnMut(u64, &Clique),
+    ) -> Result<(), StoreError> {
+        let mut cached: Option<(usize, Arc<Vec<Clique>>)> = None;
+        for &id in ids {
+            if id >= self.total {
+                return Err(StoreError::Codec {
+                    context: "clique id beyond the index",
+                });
+            }
+            let block_i = self
+                .blocks
+                .partition_point(|b| b.first_id <= id)
+                .saturating_sub(1);
+            if cached.as_ref().is_none_or(|(i, _)| *i != block_i) {
+                cached = Some((block_i, self.load_block(block_i)?));
+            }
+            let (_, block) = cached.as_ref().expect("block just cached");
+            let entry = &self.blocks[block_i];
+            let within = (id - entry.first_id) as usize;
+            let c = block.get(within).ok_or(StoreError::CountMismatch {
+                expected: entry.count as usize,
+                found: block.len(),
+            })?;
+            f(id, c);
+        }
+        Ok(())
     }
 
     /// Materialize a batch of ids, *skipping* (and counting) any id
@@ -423,13 +744,10 @@ impl CliqueIndex {
 
     fn load_block_uncached(&self, block_i: usize) -> Result<Arc<Vec<Clique>>, StoreError> {
         let decode_started = Instant::now();
-        let entry = self
-            .directory
-            .blocks
-            .get(block_i)
-            .ok_or(StoreError::Codec {
-                context: "block table",
-            })?;
+        let entry = self.blocks.get(block_i).ok_or(StoreError::Codec {
+            context: "block table",
+        })?;
+        let bound = self.block_bound[block_i];
         gsb_core::failpoint::inject("index.block_read").map_err(StoreError::Io)?;
         let mut head = [0u8; 8];
         let payload = {
@@ -477,7 +795,7 @@ impl CliqueIndex {
             cliques.push(crate::format::decode_clique(
                 &payload,
                 &mut pos,
-                self.directory.n,
+                bound,
                 "clique record",
             )?);
         }

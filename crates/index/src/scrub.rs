@@ -1,25 +1,34 @@
 //! Offline index scrubbing — `gsb scrub`'s engine.
 //!
 //! [`scrub`] walks a committed index directory end to end: the manifest
-//! (including its self-CRC), the directory file, every CRC-framed block
-//! of the clique store, and every postings record — then cross-checks
-//! the layers against each other (counts, sizes, offsets, and a full
+//! (including its self-CRC), the directory file — base record **and
+//! every delta-generation record of the chain** — every CRC-framed
+//! block of the clique store (base and delta), every postings record
+//! (base and per-generation overlay frames), the graph snapshot pinned
+//! by the manifest's whole-file CRC, and the chain's edit log replayed
+//! against it — then cross-checks the layers against each other
+//! (counts, sizes, offsets, tombstone accounting, and a full
 //! recomputation of the postings from the decoded cliques). Every
 //! defect is collected as a typed [`ScrubFinding`] rather than stopping
 //! at the first, so one pass maps the whole blast radius.
 //!
 //! Together with the per-frame CRCs this detects *every* single-byte
-//! corruption of a committed index: flips inside frames fail their CRC,
-//! flips in headers fail the header CRC, flips in the manifest fail its
-//! self-CRC, and flips that survive a local check (there are none, but
-//! belt and braces) would still trip a cross-check.
+//! corruption of a committed index — chained or not: flips inside
+//! frames fail their CRC, flips in headers fail the header CRC, flips
+//! in the manifest fail its self-CRC, flips in the snapshot fail the
+//! manifest-pinned whole-file CRC, and flips that survive a local check
+//! (there are none, but belt and braces) would still trip a
+//! cross-check.
 
 use crate::format::{
-    check_header, decode_clique, decode_id_list, IndexDirectory, IndexMeta, CLIQUES_FILE,
-    CLIQUES_MAGIC, DIRECTORY_FILE, DIRECTORY_MAGIC, HEADER_LEN, META_FILE, POSTINGS_FILE,
+    check_header, decode_clique, decode_delta_postings, decode_id_list, BlockEntry,
+    DeltaGeneration, IndexDirectory, IndexMeta, SizeRun, CLIQUES_FILE, CLIQUES_MAGIC,
+    COMPACT_TMP_DIR, DIRECTORY_FILE, DIRECTORY_MAGIC, HEADER_LEN, META_FILE, POSTINGS_FILE,
     POSTINGS_MAGIC,
 };
+use crate::snapshot::read_graph_checked;
 use gsb_core::store::{crc32, StoreError};
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
@@ -42,12 +51,18 @@ impl std::fmt::Display for ScrubFinding {
 /// Everything one scrub pass checked and found.
 #[derive(Debug, Default)]
 pub struct ScrubReport {
-    /// Store blocks whose frame + records were fully verified.
+    /// Store blocks whose frame + records were fully verified (base
+    /// and delta).
     pub blocks_checked: u64,
-    /// Clique records decoded and validated.
+    /// Clique records decoded and validated (base and delta).
     pub cliques_checked: u64,
-    /// Postings records verified against the recomputed truth.
+    /// Postings records verified against the recomputed truth (base
+    /// vertices plus one per verified delta-generation frame).
     pub postings_checked: u64,
+    /// Delta-generation records of the chain fully verified.
+    pub delta_generations_checked: u64,
+    /// Tombstones verified: in range, ascending, no double kill.
+    pub tombstones_checked: u64,
     /// Every defect found, in walk order.
     pub findings: Vec<ScrubFinding>,
 }
@@ -87,8 +102,22 @@ pub fn scrub(dir: &Path) -> ScrubReport {
         },
     };
 
-    // 2. The directory: header, frame, decode.
-    let directory = match read_directory(dir) {
+    // 1b. A finished-but-unswapped compaction means the directory is
+    // mid-transition; everything below may legitimately mismatch until
+    // `gsb compact` finishes the swap.
+    if std::fs::read_to_string(dir.join(COMPACT_TMP_DIR).join(META_FILE))
+        .is_ok_and(|t| IndexMeta::from_text(&t).is_ok())
+    {
+        report.flag(
+            COMPACT_TMP_DIR,
+            StoreError::Io(std::io::Error::other(
+                "pending compaction swap — run `gsb compact` to finish it",
+            )),
+        );
+    }
+
+    // 2. The directory file: header, base frame, then the delta chain.
+    let (directory, chain) = match read_directory(dir, &meta, &mut report) {
         Err(e) => {
             report.flag(DIRECTORY_FILE, e);
             return report;
@@ -96,57 +125,160 @@ pub fn scrub(dir: &Path) -> ScrubReport {
         Ok(d) => d,
     };
 
-    // 3. Manifest ↔ directory cross-checks.
-    if directory.n as usize != meta.n {
+    // 3. Manifest ↔ directory ↔ chain cross-checks. Manifest counts
+    // are totals over base + chain.
+    let n_total = chain
+        .iter()
+        .map(|g| g.n as u64)
+        .fold(u64::from(directory.n), u64::max);
+    if n_total as usize != meta.n {
         report.flag(
             META_FILE,
             StoreError::GraphMismatch {
-                checkpoint_bits: directory.n as usize,
+                checkpoint_bits: n_total as usize,
                 graph_bits: meta.n,
             },
         );
     }
-    for (what, meta_v, dir_v) in [
-        ("cliques", meta.cliques, directory.clique_count),
-        ("blocks", meta.blocks, directory.blocks.len() as u64),
+    let chain_cliques: u64 = chain.iter().map(|g| g.count).sum();
+    let chain_blocks: u64 = chain.iter().map(|g| g.blocks.len() as u64).sum();
+    let chain_postings: u64 = chain.iter().map(|g| g.postings_len).sum();
+    let tombstone_total: u64 = chain.iter().map(|g| g.tombstones.len() as u64).sum();
+    for (what, meta_v, want) in [
         (
-            "max_clique",
-            u64::from(meta.max_clique),
-            u64::from(directory.max_size()),
+            "cliques",
+            meta.cliques,
+            directory.clique_count + chain_cliques,
+        ),
+        (
+            "blocks",
+            meta.blocks,
+            directory.blocks.len() as u64 + chain_blocks,
         ),
         (
             "postings_bytes",
             meta.postings_bytes,
-            directory.postings_bytes,
+            directory.postings_bytes + chain_postings,
         ),
+        (
+            "delta_generations",
+            meta.delta_generations,
+            chain.len() as u64,
+        ),
+        ("tombstones", meta.tombstones, tombstone_total),
     ] {
-        if meta_v != dir_v {
+        if meta_v != want {
             report.flag(
                 format!("{META_FILE} {what}"),
                 StoreError::CountMismatch {
-                    expected: dir_v as usize,
+                    expected: want as usize,
                     found: meta_v as usize,
                 },
             );
         }
     }
 
-    // 4. The clique store: header, then every block frame + record,
-    // recomputing the postings as we go.
-    let mut truth_postings: Vec<Vec<u64>> = vec![Vec::new(); directory.n as usize];
-    scrub_store(dir, &meta, &directory, &mut truth_postings, &mut report);
+    // Tombstone accounting: ascending within a generation is enforced
+    // by the codec; across the chain no id may be killed twice, every
+    // target must predate its generation (also codec-enforced), and the
+    // *live* maximum size must be what the manifest advertises.
+    let mut dead = std::collections::HashSet::new();
+    for (gi, gen) in chain.iter().enumerate() {
+        for &id in &gen.tombstones {
+            if !dead.insert(id) {
+                report.flag(
+                    format!("{DIRECTORY_FILE} generation {gi} tombstone {id}"),
+                    StoreError::Codec {
+                        context: "tombstone kills an already-dead clique",
+                    },
+                );
+            } else {
+                report.tombstones_checked += 1;
+            }
+        }
+    }
+    let mut runs: Vec<SizeRun> = directory.size_runs.clone();
+    for gen in &chain {
+        runs.extend(gen.size_runs.iter().cloned());
+    }
+    let mut live_hist: BTreeMap<u32, u64> = BTreeMap::new();
+    for run in &runs {
+        *live_hist.entry(run.size).or_insert(0) += run.count;
+    }
+    for &id in &dead {
+        let i = runs.partition_point(|r| r.first_id + r.count <= id);
+        if let Some(run) = runs.get(i) {
+            if let Some(c) = live_hist.get_mut(&run.size) {
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+    let live_max = live_hist
+        .iter()
+        .rev()
+        .find(|&(_, &c)| c > 0)
+        .map_or(0, |(&s, _)| s);
+    if live_max != meta.max_clique {
+        report.flag(
+            format!("{META_FILE} max_clique"),
+            StoreError::CountMismatch {
+                expected: live_max as usize,
+                found: meta.max_clique as usize,
+            },
+        );
+    }
 
-    // 5. Postings: header, then every record against the recomputed
-    // truth (exact id-list equality, not just CRC validity).
-    scrub_postings(dir, &directory, &truth_postings, &mut report);
+    // 4. The clique store: header, then every block frame + record —
+    // base blocks recompute the base postings truth; each generation's
+    // blocks recompute that generation's overlay truth.
+    let mut truth_postings: Vec<Vec<u64>> = vec![Vec::new(); directory.n as usize];
+    scrub_store(
+        dir,
+        &meta,
+        &directory,
+        &chain,
+        &mut truth_postings,
+        &mut report,
+    );
+
+    // 5. Base postings: header, then every record against the
+    // recomputed truth (exact id-list equality, not just CRC validity).
+    scrub_postings(dir, &meta, &directory, &truth_postings, &mut report);
+
+    // 6. The graph snapshot and the chain's edit log replayed over it.
+    scrub_graph(dir, &meta, &chain, &mut report);
 
     report
 }
 
-fn read_directory(dir: &Path) -> Result<IndexDirectory, StoreError> {
+/// Read `index.gsd`: header, the base frame, then every chain frame up
+/// to the committed extent. Chain-structure defects (discontinuities,
+/// bad extents) are findings; an unreadable base is a hard error.
+fn read_directory(
+    dir: &Path,
+    meta: &IndexMeta,
+    report: &mut ScrubReport,
+) -> Result<(IndexDirectory, Vec<DeltaGeneration>), StoreError> {
     let bytes = std::fs::read(dir.join(DIRECTORY_FILE))?;
+    // Pre-chain manifests don't record dir_bytes; the whole file is
+    // the committed extent.
+    let committed = if meta.dir_bytes > 0 {
+        meta.dir_bytes
+    } else {
+        bytes.len() as u64
+    };
+    if bytes.len() as u64 != committed {
+        report.flag(
+            format!("{DIRECTORY_FILE} length"),
+            StoreError::Torn {
+                context: "directory length vs committed extent",
+                needed: committed as usize,
+                have: bytes.len(),
+            },
+        );
+    }
     let n = check_header(&bytes, DIRECTORY_MAGIC, "index directory header")?;
-    let (payload, _) = crate::format::parse_frame(&bytes, HEADER_LEN, "index directory")?;
+    let (payload, mut next) = crate::format::parse_frame(&bytes, HEADER_LEN, "index directory")?;
     let directory = IndexDirectory::decode(payload)?;
     if directory.n != n {
         return Err(StoreError::GraphMismatch {
@@ -154,13 +286,65 @@ fn read_directory(dir: &Path) -> Result<IndexDirectory, StoreError> {
             graph_bits: n as usize,
         });
     }
-    Ok(directory)
+    let mut chain = Vec::new();
+    let end = committed.min(bytes.len() as u64) as usize;
+    let mut expected_first = directory.clique_count;
+    let mut expected_post = directory.postings_bytes;
+    let mut last_generation = None::<u64>;
+    let mut max_n = directory.n;
+    while next < end {
+        let gi = chain.len();
+        let site = format!("{DIRECTORY_FILE} generation {gi}");
+        let gen = match crate::format::parse_frame(&bytes[..end], next, "delta generation")
+            .and_then(|(payload, at)| {
+                next = at;
+                DeltaGeneration::decode(payload)
+            }) {
+            Err(e) => {
+                report.flag(site, e);
+                // the walk cannot continue past an undecodable frame
+                break;
+            }
+            Ok(g) => g,
+        };
+        if gen.first_id != expected_first
+            || gen.postings_offset != expected_post
+            || gen.n < max_n
+            || last_generation.is_some_and(|last| gen.generation <= last)
+        {
+            report.flag(
+                format!("{site} continuity"),
+                StoreError::Codec {
+                    context: "delta chain discontinuity",
+                },
+            );
+        }
+        expected_first = gen.first_id + gen.count;
+        expected_post = gen.postings_offset + gen.postings_len;
+        max_n = max_n.max(gen.n);
+        last_generation = Some(gen.generation);
+        report.delta_generations_checked += 1;
+        chain.push(gen);
+    }
+    if let Some(last) = last_generation {
+        if last != meta.generation {
+            report.flag(
+                format!("{DIRECTORY_FILE} chain head"),
+                StoreError::CountMismatch {
+                    expected: meta.generation as usize,
+                    found: last as usize,
+                },
+            );
+        }
+    }
+    Ok((directory, chain))
 }
 
 fn scrub_store(
     dir: &Path,
     meta: &IndexMeta,
     directory: &IndexDirectory,
+    chain: &[DeltaGeneration],
     truth_postings: &mut [Vec<u64>],
     report: &mut ScrubReport,
 ) {
@@ -189,11 +373,12 @@ fn scrub_store(
         report.flag(format!("{CLIQUES_FILE} header"), e);
     }
 
+    // Base blocks: contiguous from the header, recomputing the base
+    // postings truth.
     let mut expected_offset = HEADER_LEN as u64;
     let mut expected_first_id = 0u64;
     for (i, entry) in directory.blocks.iter().enumerate() {
         let site = format!("{CLIQUES_FILE} block {i}");
-        // Block-table invariants: contiguous offsets and id ranges.
         if entry.offset != expected_offset || entry.first_id != expected_first_id {
             report.flag(
                 format!("{site} placement"),
@@ -203,7 +388,12 @@ fn scrub_store(
             );
         }
         expected_first_id = entry.first_id + u64::from(entry.count);
-        match scrub_block(&mut f, entry, directory, truth_postings) {
+        let mut record = |id: u64, clique: &[u32]| {
+            for &v in clique {
+                truth_postings[v as usize].push(id);
+            }
+        };
+        match scrub_block(&mut f, entry, directory.n, &mut record) {
             Err(e) => report.flag(site, e),
             Ok((cliques, next_offset)) => {
                 report.blocks_checked += 1;
@@ -221,15 +411,59 @@ fn scrub_store(
             },
         );
     }
+
+    // Delta blocks: the chain continues the same contiguous walk, each
+    // generation decoded at its own vertex bound; each generation's
+    // postings frame is then verified against the truth its own blocks
+    // produce.
+    for (gi, gen) in chain.iter().enumerate() {
+        let mut truth: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+        for (bi, entry) in gen.blocks.iter().enumerate() {
+            let site = format!("{CLIQUES_FILE} generation {gi} block {bi}");
+            if entry.offset != expected_offset || entry.first_id != expected_first_id {
+                report.flag(
+                    format!("{site} placement"),
+                    StoreError::Codec {
+                        context: "block table not contiguous",
+                    },
+                );
+            }
+            expected_first_id = entry.first_id + u64::from(entry.count);
+            let mut record = |id: u64, clique: &[u32]| {
+                for &v in clique {
+                    truth.entry(v).or_default().push(id);
+                }
+            };
+            match scrub_block(&mut f, entry, gen.n, &mut record) {
+                Err(e) => report.flag(site, e),
+                Ok((cliques, next_offset)) => {
+                    report.blocks_checked += 1;
+                    report.cliques_checked += cliques;
+                    expected_offset = next_offset;
+                }
+            }
+        }
+        scrub_delta_postings(dir, gi, gen, &truth, report);
+    }
+    if meta.dir_bytes > 0 && expected_offset != meta.store_bytes {
+        report.flag(
+            format!("{CLIQUES_FILE} coverage"),
+            StoreError::CountMismatch {
+                expected: meta.store_bytes as usize,
+                found: expected_offset as usize,
+            },
+        );
+    }
 }
 
 /// Verify one block end to end; returns `(records, offset past the
-/// block)` so the walk can keep cross-checking contiguity.
+/// block)` so the walk can keep cross-checking contiguity. `record` is
+/// called once per decoded clique with its global id.
 fn scrub_block(
     f: &mut File,
-    entry: &crate::format::BlockEntry,
-    directory: &IndexDirectory,
-    truth_postings: &mut [Vec<u64>],
+    entry: &BlockEntry,
+    n_bound: u32,
+    record: &mut dyn FnMut(u64, &[u32]),
 ) -> Result<(u64, u64), StoreError> {
     const CTX: &str = "clique block";
     let mut head = [0u8; 8];
@@ -262,17 +496,14 @@ fn scrub_block(
     }
     let mut pos = 4usize;
     for r in 0..count {
-        let clique = decode_clique(&payload, &mut pos, directory.n, "clique record")?;
+        let clique = decode_clique(&payload, &mut pos, n_bound, "clique record")?;
         let size = clique.len() as u32;
         if size < entry.min_size || size > entry.max_size {
             return Err(StoreError::Codec {
                 context: "clique size outside its block's declared range",
             });
         }
-        let id = entry.first_id + u64::from(r);
-        for &v in &clique {
-            truth_postings[v as usize].push(id);
-        }
+        record(entry.first_id + u64::from(r), &clique);
     }
     if pos != payload.len() {
         return Err(StoreError::Codec { context: CTX });
@@ -282,6 +513,7 @@ fn scrub_block(
 
 fn scrub_postings(
     dir: &Path,
+    meta: &IndexMeta,
     directory: &IndexDirectory,
     truth_postings: &[Vec<u64>],
     report: &mut ScrubReport,
@@ -293,11 +525,11 @@ fn scrub_postings(
     };
     match f.metadata() {
         Err(e) => report.flag(POSTINGS_FILE, StoreError::Io(e)),
-        Ok(m) if m.len() != directory.postings_bytes => report.flag(
+        Ok(m) if m.len() != meta.postings_bytes => report.flag(
             format!("{POSTINGS_FILE} length"),
             StoreError::Torn {
                 context: "postings length",
-                needed: directory.postings_bytes as usize,
+                needed: meta.postings_bytes as usize,
                 have: m.len() as usize,
             },
         ),
@@ -355,6 +587,111 @@ fn scrub_postings(
     }
 }
 
+/// Verify one generation's postings overlay frame against the truth
+/// recomputed from its own delta blocks.
+fn scrub_delta_postings(
+    dir: &Path,
+    gi: usize,
+    gen: &DeltaGeneration,
+    truth: &BTreeMap<u32, Vec<u64>>,
+    report: &mut ScrubReport,
+) {
+    let site = format!("{POSTINGS_FILE} generation {gi}");
+    let mut f = match File::open(dir.join(POSTINGS_FILE)) {
+        Err(e) => return report.flag(site, StoreError::Io(e)),
+        Ok(f) => f,
+    };
+    let mut bytes = vec![0u8; gen.postings_len as usize];
+    if let Err(e) = read_at(&mut f, gen.postings_offset, &mut bytes, "delta postings") {
+        return report.flag(site, e);
+    }
+    let decoded =
+        crate::format::parse_frame(&bytes, 0, "delta postings").and_then(|(payload, next)| {
+            if next != bytes.len() {
+                return Err(StoreError::Codec {
+                    context: "delta postings frame extent",
+                });
+            }
+            decode_delta_postings(payload, gen.n, gen.id_range(), "delta postings")
+        });
+    match decoded {
+        Err(e) => report.flag(site, e),
+        Ok(entries) => {
+            let got: BTreeMap<u32, Vec<u64>> = entries.into_iter().collect();
+            if &got != truth {
+                report.flag(
+                    site,
+                    StoreError::CountMismatch {
+                        expected: truth.len(),
+                        found: got.len(),
+                    },
+                );
+            } else {
+                report.postings_checked += 1;
+            }
+        }
+    }
+}
+
+/// Verify the graph snapshot (length + whole-file CRC + decode) and
+/// replay the chain's edit log over it: every recorded removal must hit
+/// an existing edge, every addition a missing one, within bounds.
+fn scrub_graph(dir: &Path, meta: &IndexMeta, chain: &[DeltaGeneration], report: &mut ScrubReport) {
+    if meta.graph_bytes == 0 {
+        // frozen index: no snapshot, and a chain would be unreachable —
+        // flagged already by the updatable cross-checks if present
+        if !chain.is_empty() {
+            report.flag(
+                "graph.gsg",
+                StoreError::Codec {
+                    context: "delta chain on an index with no graph snapshot",
+                },
+            );
+        }
+        return;
+    }
+    let snap = match read_graph_checked(dir, meta.graph_bytes, meta.graph_crc) {
+        Err(e) => return report.flag("graph.gsg", e),
+        Ok(g) => g,
+    };
+    let n_target = chain
+        .iter()
+        .map(|g| g.n as usize)
+        .fold(snap.n(), usize::max);
+    let mut g = snap.grown(n_target.max(1));
+    for (gi, gen) in chain.iter().enumerate() {
+        for &(u, v) in &gen.removed_edges {
+            if !g.remove_edge(u as usize, v as usize) {
+                report.flag(
+                    format!("graph.gsg generation {gi} edit -({u},{v})"),
+                    StoreError::Codec {
+                        context: "edit log removes an absent edge",
+                    },
+                );
+            }
+        }
+        for &(u, v) in &gen.added_edges {
+            if !g.add_edge(u as usize, v as usize) {
+                report.flag(
+                    format!("graph.gsg generation {gi} edit +({u},{v})"),
+                    StoreError::Codec {
+                        context: "edit log adds a present edge",
+                    },
+                );
+            }
+        }
+    }
+    if g.n() != meta.n {
+        report.flag(
+            "graph.gsg",
+            StoreError::GraphMismatch {
+                checkpoint_bits: g.n(),
+                graph_bits: meta.n,
+            },
+        );
+    }
+}
+
 /// Positioned exact read with short reads surfaced as typed truncation.
 fn read_at(
     f: &mut File,
@@ -380,8 +717,10 @@ fn read_at(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::update::{update, EditScript};
     use crate::writer::IndexWriter;
     use gsb_core::CliqueSink;
+    use gsb_graph::BitGraph;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
@@ -398,6 +737,51 @@ mod tests {
         w.finish().unwrap();
     }
 
+    /// A small updatable index with a two-generation chain: new
+    /// cliques, tombstones, and vertex growth all present.
+    fn build_chained(dir: &Path) {
+        let _ = std::fs::remove_dir_all(dir);
+        let mut g = BitGraph::new(8);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)] {
+            g.add_edge(u, v);
+        }
+        let mut w = IndexWriter::create(dir, g.n())
+            .unwrap()
+            .block_target(24)
+            .min_size(2)
+            .snapshot(&g)
+            .unwrap();
+        let mut sink = gsb_core::CollectSink::default();
+        gsb_core::CliqueEnumerator::new(gsb_core::EnumConfig {
+            min_k: 2,
+            max_k: None,
+            record_costs: false,
+        })
+        .enumerate(&g, &mut sink);
+        for c in &sink.cliques {
+            w.maximal(c);
+        }
+        w.finish().unwrap();
+        update(
+            dir,
+            &EditScript {
+                remove: vec![(3, 5)],
+                add: vec![(0, 3), (6, 7)],
+            },
+            None,
+        )
+        .unwrap();
+        update(
+            dir,
+            &EditScript {
+                remove: vec![(0, 1)],
+                add: vec![(5, 8)],
+            },
+            None,
+        )
+        .unwrap();
+    }
+
     #[test]
     fn clean_index_scrubs_clean() {
         let dir = tmp("clean");
@@ -407,6 +791,21 @@ mod tests {
         assert_eq!(report.cliques_checked, 21);
         assert!(report.blocks_checked > 1);
         assert_eq!(report.postings_checked, 30);
+        assert_eq!(report.delta_generations_checked, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clean_chained_index_scrubs_clean() {
+        let dir = tmp("chain_clean");
+        build_chained(&dir);
+        let report = scrub(&dir);
+        assert!(report.is_clean(), "{:?}", report.findings);
+        assert_eq!(report.delta_generations_checked, 2);
+        assert!(
+            report.tombstones_checked > 0,
+            "chain fixture killed nothing"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -430,23 +829,66 @@ mod tests {
         build(&dir);
         assert!(scrub(&dir).is_clean());
         for file in [META_FILE, DIRECTORY_FILE, CLIQUES_FILE, POSTINGS_FILE] {
-            let path = dir.join(file);
-            let pristine = std::fs::read(&path).unwrap();
-            for i in 0..pristine.len() {
-                for bit in [0x01u8, 0x40] {
-                    let mut bad = pristine.clone();
-                    bad[i] ^= bit;
-                    std::fs::write(&path, &bad).unwrap();
-                    let report = scrub(&dir);
-                    assert!(
-                        !report.is_clean(),
-                        "{file}: flip 0x{bit:02x} at byte {i} went undetected"
-                    );
-                }
-            }
-            std::fs::write(&path, &pristine).unwrap();
+            flip_sweep(&dir, file);
         }
         assert!(scrub(&dir).is_clean(), "restore left the index dirty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Same bar for a chained index: flips anywhere in the delta
+    /// blocks, overlay frames, chain records, or the graph snapshot
+    /// are all detected.
+    #[test]
+    fn every_single_byte_corruption_in_a_chain_is_detected() {
+        let dir = tmp("chain_sweep");
+        build_chained(&dir);
+        assert!(scrub(&dir).is_clean(), "{:?}", scrub(&dir).findings);
+        for file in [
+            META_FILE,
+            DIRECTORY_FILE,
+            CLIQUES_FILE,
+            POSTINGS_FILE,
+            "graph.gsg",
+        ] {
+            flip_sweep(&dir, file);
+        }
+        assert!(scrub(&dir).is_clean(), "restore left the index dirty");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn flip_sweep(dir: &Path, file: &str) {
+        let path = dir.join(file);
+        let pristine = std::fs::read(&path).unwrap();
+        for i in 0..pristine.len() {
+            for bit in [0x01u8, 0x40] {
+                let mut bad = pristine.clone();
+                bad[i] ^= bit;
+                std::fs::write(&path, &bad).unwrap();
+                let report = scrub(dir);
+                assert!(
+                    !report.is_clean(),
+                    "{file}: flip 0x{bit:02x} at byte {i} went undetected"
+                );
+            }
+        }
+        std::fs::write(&path, &pristine).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_and_double_kills_are_findings() {
+        let dir = tmp("chain_torn");
+        build_chained(&dir);
+        // torn tail past the committed extent of each chain file
+        for file in [CLIQUES_FILE, POSTINGS_FILE, DIRECTORY_FILE] {
+            let path = dir.join(file);
+            let pristine = std::fs::read(&path).unwrap();
+            let mut torn = pristine.clone();
+            torn.extend_from_slice(b"junk");
+            std::fs::write(&path, &torn).unwrap();
+            assert!(!scrub(&dir).is_clean(), "{file}: torn tail went undetected");
+            std::fs::write(&path, &pristine).unwrap();
+        }
+        assert!(scrub(&dir).is_clean());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1024,6 +1024,21 @@ fn render_promtext(state: &ServeState, index: &CliqueIndex) -> String {
             index.len(),
             "Cliques in the live index.",
         ),
+        (
+            "gsb_index_live_cliques",
+            index.live_len(),
+            "Cliques surviving the tombstone filter (equals gsb_index_cliques when no delta chain).",
+        ),
+        (
+            "gsb_index_tombstones",
+            index.len() - index.live_len(),
+            "Cliques killed by the delta chain since the last compaction.",
+        ),
+        (
+            "gsb_index_delta_generations",
+            index.delta_generations(),
+            "Delta generations stacked on the base index (0 after compaction).",
+        ),
     ] {
         let fam = w.family(name, PromKind::Gauge, help);
         w.sample(&fam, &[], value);
@@ -1552,6 +1567,16 @@ fn execute(
         }
         Route::Stats => (200, stats_json(index), 0, json),
         Route::Get(id) => {
+            // tombstoned ids decode fine but are no longer part of the
+            // served set — a dead id answers like a missing one
+            if !index.is_live(*id) {
+                return (
+                    404,
+                    format!("{{\"error\":\"no clique with id {id}\"}}"),
+                    0,
+                    json,
+                );
+            }
             let result = index.get(*id);
             span.stage("blocks");
             match result {
@@ -1616,18 +1641,21 @@ fn execute(
             }
         }
         Route::Size(lo, hi) => {
-            let ids = index.of_size(*lo, *hi);
+            // tombstone-aware: the run table filtered by the dead set,
+            // so chained and compacted indexes answer identically
+            let ids = index.ids_of_size(*lo, *hi);
             span.stage("postings");
-            let count = ids.end - ids.start;
+            let count = ids.len() as u64;
+            let first_id = ids.first().copied().unwrap_or(0);
             let take = (count as usize).min(limit);
-            let result = index.materialize_degraded(ids.clone().take(take));
+            let result = index.materialize_degraded(ids.into_iter().take(take));
             span.stage("blocks");
             match result {
                 Ok(d) => (
                     200,
                     format!(
                         "{{\"min\":{lo},\"max\":{hi},\"count\":{count},\"first_id\":{},\"cliques\":{}{}}}",
-                        ids.start,
+                        first_id,
                         json_cliques(&d.cliques),
                         degraded_field(d.skipped),
                     ),
@@ -1697,7 +1725,7 @@ fn stats_json(index: &CliqueIndex) -> String {
         .map(|(size, count)| format!("[{size},{count}]"))
         .collect();
     format!(
-        "{{\"n\":{},\"cliques\":{},\"max_clique\":{},\"blocks\":{},\"store_bytes\":{},\"postings_bytes\":{},\"generation\":{},\"quarantined_blocks\":{},\"size_histogram\":[{}]}}",
+        "{{\"n\":{},\"cliques\":{},\"max_clique\":{},\"blocks\":{},\"store_bytes\":{},\"postings_bytes\":{},\"generation\":{},\"quarantined_blocks\":{},\"live\":{},\"tombstones\":{},\"delta_generations\":{},\"size_histogram\":[{}]}}",
         s.n,
         s.cliques,
         s.max_clique,
@@ -1706,6 +1734,9 @@ fn stats_json(index: &CliqueIndex) -> String {
         s.postings_bytes,
         index.generation(),
         index.quarantined_blocks().len(),
+        s.live,
+        s.tombstones,
+        s.delta_generations,
         histogram.join(",")
     )
 }

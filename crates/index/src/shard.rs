@@ -54,6 +54,13 @@ pub fn split_index(src: &Path, out: &Path, shards: usize) -> Result<Vec<ShardSum
         });
     }
     let index = CliqueIndex::open(src)?;
+    if index.delta_generations() > 0 {
+        // Shards assume a dense tombstone-free id space (contiguous
+        // per-shard id ranges); folding the chain first restores it.
+        return Err(StoreError::Codec {
+            context: "shard split: index has a delta chain — run `gsb compact` first",
+        });
+    }
     let total = index.len();
     if total < shards as u64 {
         return Err(StoreError::Codec {

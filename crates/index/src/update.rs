@@ -1,0 +1,652 @@
+//! `gsb update` — incremental index maintenance for dynamic graphs.
+//!
+//! Das et al. (*Shared-Memory Parallel Maximal Clique Enumeration from
+//! Static and Dynamic Graphs*) localize the effect of an edge edit:
+//!
+//! * **Adding `{u, v}`** creates exactly the maximal cliques
+//!   `{u, v} ∪ M` for each maximal clique `M` of the subgraph induced
+//!   by `N(u) ∩ N(v)` (or `{u, v}` alone when that neighborhood is
+//!   empty), and subsumes every existing maximal clique `C` with
+//!   `u ∈ C, v ∉ C, C∖{u} ⊆ N(v)` (and symmetrically).
+//! * **Removing `{u, v}`** kills every maximal clique containing both
+//!   endpoints; each survivor candidate `C∖{u}` / `C∖{v}` is kept iff
+//!   it is still maximal and not already present.
+//!
+//! The engine applies a batch sequentially (removals, then additions)
+//! against the evolving graph plus an in-memory overlay, so after every
+//! edit the maintained set is exactly `{maximal cliques of the current
+//! graph with size ≥ min_size}` — the same set a full re-enumeration of
+//! the patched graph produces. Cliques created then killed within one
+//! batch never touch disk.
+//!
+//! A commit appends — never rewrites: delta blocks to `cliques.gsi`,
+//! one postings frame to `postings.gsp`, one [`DeltaGeneration`] record
+//! to `index.gsd`, then renames a fresh `index.meta` into place. The
+//! manifest is the single commit point: it records the committed byte
+//! extent of all three files, so a crash mid-append leaves a torn tail
+//! the next update truncates away, and a crash before the rename leaves
+//! the previous committed view byte-for-byte intact. A live `gsb serve`
+//! polling the manifest hot-reloads the new generation atomically.
+
+use crate::format::{
+    encode_clique, encode_delta_postings, frame, BlockEntry, DeltaGeneration, IndexMeta, SizeRun,
+    CLIQUES_FILE, COMPACT_TMP_DIR, DIRECTORY_FILE, META_FILE, POSTINGS_FILE,
+};
+use crate::reader::CliqueIndex;
+use crate::snapshot::read_graph_checked;
+use crate::writer::{sync_dir, write_atomic, DEFAULT_BLOCK_TARGET};
+use gsb_core::store::StoreError;
+use gsb_core::{neighborhood, Clique, Vertex};
+use gsb_graph::BitGraph;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::Path;
+use std::rc::Rc;
+
+/// A batch of edge edits: removals are applied first, then additions,
+/// each in file order.
+#[derive(Clone, Debug, Default)]
+pub struct EditScript {
+    /// Edges to remove, canonical `(min, max)` pairs.
+    pub remove: Vec<(usize, usize)>,
+    /// Edges to add, canonical `(min, max)` pairs. Endpoints beyond the
+    /// indexed graph grow it.
+    pub add: Vec<(usize, usize)>,
+}
+
+/// What [`update`] did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Manifest generation after the call (unchanged when nothing
+    /// committed).
+    pub generation: u64,
+    /// Removals applied / skipped (edge absent or out of range).
+    pub removes_applied: usize,
+    /// Removals skipped.
+    pub removes_skipped: usize,
+    /// Additions applied / skipped (edge already present).
+    pub adds_applied: usize,
+    /// Additions skipped.
+    pub adds_skipped: usize,
+    /// New cliques appended as a delta generation.
+    pub new_cliques: u64,
+    /// Stored cliques tombstoned by this batch.
+    pub new_tombstones: u64,
+    /// Total clique ids after the call.
+    pub total: u64,
+    /// Live cliques after the call.
+    pub live: u64,
+    /// Vertex count after the call.
+    pub n: usize,
+    /// False when every edit was a no-op and nothing was written.
+    pub committed: bool,
+}
+
+/// Sequential maintenance state over one batch: the stored index plus
+/// an in-memory overlay of kills and additions.
+struct Maintainer<'a> {
+    idx: &'a CliqueIndex,
+    g: BitGraph,
+    min_k: usize,
+    killed_stored: Vec<u64>,
+    killed_set: HashSet<u64>,
+    added: Vec<Option<Clique>>,
+    added_index: HashMap<Clique, usize>,
+    /// Memoized raw postings (reader-level tombstones already filtered).
+    /// Stored postings are immutable for the life of a batch — kills
+    /// live in `killed_set` and are filtered at use time — and the
+    /// survivor/subsumption checks after an edit hit the same few
+    /// vertices over and over, so this turns O(candidates) postings
+    /// reads into O(distinct vertices).
+    postings: HashMap<usize, Rc<Vec<u64>>>,
+}
+
+impl<'a> Maintainer<'a> {
+    /// Raw live stored ids containing a vertex, memoized, ascending.
+    fn raw_containing(&mut self, v: usize) -> Result<Rc<Vec<u64>>, StoreError> {
+        if let Some(ids) = self.postings.get(&v) {
+            return Ok(Rc::clone(ids));
+        }
+        let ids = Rc::new(self.idx.containing(v as Vertex)?);
+        self.postings.insert(v, Rc::clone(&ids));
+        Ok(ids)
+    }
+
+    /// Live stored ids containing both endpoints, minus batch kills.
+    /// Both lists are ascending, so a linear merge beats the
+    /// bitset-universe intersection the reader uses for cold calls.
+    fn stored_overlap(&mut self, u: usize, v: usize) -> Result<Vec<u64>, StoreError> {
+        let a = self.raw_containing(u)?;
+        let b = self.raw_containing(v)?;
+        let mut out = intersect_sorted(&a, &b);
+        out.retain(|id| !self.killed_set.contains(id));
+        Ok(out)
+    }
+
+    /// Live stored ids containing a vertex, minus batch kills.
+    fn stored_containing(&mut self, v: usize) -> Result<Vec<u64>, StoreError> {
+        let raw = self.raw_containing(v)?;
+        Ok(raw
+            .iter()
+            .copied()
+            .filter(|id| !self.killed_set.contains(id))
+            .collect())
+    }
+
+    /// Is `c` in the maintained set right now?
+    ///
+    /// Postings arithmetic only — no store block is decoded. A stored
+    /// clique equals `c` iff its id appears in every member's postings
+    /// list (which forces ⊇ c) and its size is exactly |c| (which pins
+    /// equality).
+    fn contains(&mut self, c: &Clique) -> Result<bool, StoreError> {
+        if self.added_index.contains_key(c) {
+            return Ok(true);
+        }
+        // The first pairwise merge does the heavy pruning; after that
+        // the candidate list is short enough that binary probes into
+        // the remaining members' lists beat re-merging them. Kill and
+        // size checks wait for the (tiny) surviving set.
+        let mut ids = if c.len() >= 2 {
+            let a = self.raw_containing(c[0] as usize)?;
+            let b = self.raw_containing(c[1] as usize)?;
+            intersect_sorted(&a, &b)
+        } else {
+            self.raw_containing(c[0] as usize)?.to_vec()
+        };
+        for &v in c.iter().skip(2) {
+            if ids.is_empty() {
+                return Ok(false);
+            }
+            let next = self.raw_containing(v as usize)?;
+            ids.retain(|id| next.binary_search(id).is_ok());
+        }
+        Ok(ids.into_iter().any(|id| {
+            !self.killed_set.contains(&id) && self.idx.size_of(id) == Some(c.len() as u32)
+        }))
+    }
+
+    fn kill_stored(&mut self, id: u64) {
+        if self.killed_set.insert(id) {
+            self.killed_stored.push(id);
+        }
+    }
+
+    fn kill_added(&mut self, slot: usize) {
+        if let Some(c) = self.added[slot].take() {
+            self.added_index.remove(&c);
+        }
+    }
+
+    fn insert(&mut self, c: Clique) {
+        if c.len() < self.min_k {
+            return;
+        }
+        let slot = self.added.len();
+        self.added.push(Some(c.clone()));
+        self.added_index.insert(c, slot);
+    }
+
+    /// Batch-alive added cliques containing every vertex of `vs`.
+    fn added_slots_containing(&self, vs: &[usize]) -> Vec<usize> {
+        self.added
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.as_ref()
+                    .is_some_and(|c| vs.iter().all(|&v| c.binary_search(&(v as Vertex)).is_ok()))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Process one removal. Returns whether the edge existed.
+    fn remove_edge(&mut self, u: usize, v: usize) -> Result<bool, StoreError> {
+        if u >= self.g.n() || v >= self.g.n() || !self.g.has_edge(u, v) {
+            return Ok(false);
+        }
+        // Dying cliques: everything currently containing both endpoints.
+        // Their members are reconstructed from postings — every member
+        // of a clique containing {u, v} is u, v, or a common neighbor,
+        // so walking the common neighborhood's postings lists in vertex
+        // order rebuilds each clique (sorted) without decoding a single
+        // store block.
+        let stored = self.stored_overlap(u, v)?;
+        let slots = self.added_slots_containing(&[u, v]);
+        let mut dying: Vec<Clique> = Vec::with_capacity(stored.len() + slots.len());
+        if !stored.is_empty() {
+            let mut members: Vec<Clique> = vec![Clique::new(); stored.len()];
+            for w in 0..self.g.n() {
+                if w != u && w != v && !(self.g.has_edge(w, u) && self.g.has_edge(w, v)) {
+                    continue;
+                }
+                let posting = self.raw_containing(w)?;
+                for pos in intersect_positions(&stored, &posting) {
+                    members[pos].push(w as Vertex);
+                }
+            }
+            dying.append(&mut members);
+        }
+        for &s in &slots {
+            dying.push(self.added[s].clone().expect("slot alive"));
+        }
+        self.g.remove_edge(u, v);
+        for id in stored {
+            self.kill_stored(id);
+        }
+        for s in slots {
+            self.kill_added(s);
+        }
+        // Survivor candidates: C∖{u} and C∖{v} for each dying C, kept
+        // iff still maximal in the edited graph and not already present.
+        for c in dying {
+            for &gone in &[u, v] {
+                let d: Clique = c.iter().copied().filter(|&x| x as usize != gone).collect();
+                if d.len() < self.min_k.max(1) {
+                    continue;
+                }
+                let dv: Vec<usize> = d.iter().map(|&x| x as usize).collect();
+                if !self.g.is_maximal_clique(&dv) {
+                    continue;
+                }
+                if !self.contains(&d)? {
+                    self.insert(d);
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Process one addition. Returns whether the edge was new.
+    fn add_edge(&mut self, u: usize, v: usize) -> Result<bool, StoreError> {
+        if self.g.has_edge(u, v) {
+            return Ok(false);
+        }
+        // Subsumption first (against the pre-edit graph): a maximal C
+        // containing one endpoint whose remainder is fully adjacent to
+        // the other stops being maximal once {u, v} lands.
+        for &(a, b) in &[(u, v), (v, u)] {
+            // Postings arithmetic again: a stored C ∋ a is subsumed iff
+            // every other member sits in N(a) ∩ N(b) (clique-internal
+            // adjacency forces N(a); the subsumption condition forces
+            // N(b), and b itself can never qualify). Counting common-
+            // neighborhood memberships per candidate id decides that
+            // without decoding any store block.
+            let s = self.stored_containing(a)?;
+            if !s.is_empty() {
+                let mut counts = vec![0u32; s.len()];
+                for w in 0..self.g.n() {
+                    if w == a || w == b || !(self.g.has_edge(w, a) && self.g.has_edge(w, b)) {
+                        continue;
+                    }
+                    let posting = self.raw_containing(w)?;
+                    for pos in intersect_positions(&s, &posting) {
+                        counts[pos] += 1;
+                    }
+                }
+                for (i, &id) in s.iter().enumerate() {
+                    if self.idx.size_of(id) == Some(counts[i] + 1) {
+                        self.kill_stored(id);
+                    }
+                }
+            }
+            for slot in self.added_slots_containing(&[a]) {
+                let c = self.added[slot].clone().expect("slot alive");
+                if subsumed_by_edge(&c, a, b, &self.g) {
+                    self.kill_added(slot);
+                }
+            }
+        }
+        self.g.add_edge(u, v);
+        // New maximal cliques: {u, v} ∪ M over the common neighborhood,
+        // re-enumerated with the same generic kernel.
+        for k in neighborhood::cliques_created_by_edge(&self.g, u, v) {
+            if k.len() >= self.min_k && !self.contains(&k)? {
+                self.insert(k);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Linear merge intersection of two ascending id lists.
+fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Positions in ascending `base` whose id also appears in ascending
+/// `probe` — the membership-marking primitive behind postings-only
+/// clique reconstruction.
+fn intersect_positions(base: &[u64], probe: &[u64]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < base.len() && j < probe.len() {
+        match base[i].cmp(&probe[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(i);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Does adding edge `{a, b}` (not yet in `g`) subsume maximal clique
+/// `c ∋ a`? True iff `b ∉ c` and every other member is adjacent to `b`.
+fn subsumed_by_edge(c: &Clique, a: usize, b: usize, g: &BitGraph) -> bool {
+    c.iter()
+        .all(|&x| x as usize == a || (x as usize != b && g.has_edge(x as usize, b)))
+        && !c.iter().any(|&x| x as usize == b)
+}
+
+/// Truncate a data file back to its committed extent, repairing a torn
+/// append from a crashed update. A file *shorter* than the manifest
+/// says is real corruption and stays a typed error.
+fn repair_extent(dir: &Path, name: &str, extent: u64) -> Result<(), StoreError> {
+    let path = dir.join(name);
+    let len = std::fs::metadata(&path)?.len();
+    if len < extent {
+        return Err(StoreError::Torn {
+            context: "index file shorter than manifest extent",
+            needed: extent as usize,
+            have: len as usize,
+        });
+    }
+    if len > extent {
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(extent)?;
+        f.sync_all()?;
+    }
+    Ok(())
+}
+
+/// Refuse to update while a compaction swap is pending (a valid
+/// manifest inside `compact.tmp/` means `gsb compact` crashed between
+/// building and swapping — finishing it must win).
+fn check_no_pending_compaction(dir: &Path) -> Result<(), StoreError> {
+    let inner = dir.join(COMPACT_TMP_DIR).join(META_FILE);
+    if let Ok(text) = std::fs::read_to_string(&inner) {
+        if IndexMeta::from_text(&text).is_ok() {
+            return Err(StoreError::Io(std::io::Error::other(
+                "a compaction swap is pending — run `gsb compact` to finish it first",
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Reconstruct the current graph: the committed snapshot plus every
+/// committed generation's effective edits, grown to `n_target`.
+pub(crate) fn patched_graph(
+    dir: &Path,
+    idx: &CliqueIndex,
+    n_target: usize,
+) -> Result<BitGraph, StoreError> {
+    let meta = idx.meta();
+    let snap = read_graph_checked(dir, meta.graph_bytes, meta.graph_crc)?;
+    let mut g = snap.grown(n_target.max(meta.n).max(snap.n()));
+    for gen in idx.chain() {
+        for &(u, v) in &gen.removed_edges {
+            g.remove_edge(u as usize, v as usize);
+        }
+        for &(u, v) in &gen.added_edges {
+            g.add_edge(u as usize, v as usize);
+        }
+    }
+    Ok(g)
+}
+
+/// Apply an edit batch to the committed index in `dir`, appending one
+/// delta generation and bumping the manifest generation atomically.
+/// See the module docs for the protocol and crash model.
+pub fn update(
+    dir: &Path,
+    script: &EditScript,
+    block_target: Option<usize>,
+) -> Result<UpdateOutcome, StoreError> {
+    check_no_pending_compaction(dir)?;
+    let meta0 = IndexMeta::from_text(&std::fs::read_to_string(dir.join(META_FILE))?)?;
+    if meta0.min_size == 0 || meta0.graph_bytes == 0 || meta0.dir_bytes == 0 {
+        return Err(StoreError::Io(std::io::Error::other(
+            "index is not updatable (built before dynamic updates, or with --max): \
+             rebuild it with `gsb index`",
+        )));
+    }
+    repair_extent(dir, CLIQUES_FILE, meta0.store_bytes)?;
+    repair_extent(dir, POSTINGS_FILE, meta0.postings_bytes)?;
+    repair_extent(dir, DIRECTORY_FILE, meta0.dir_bytes)?;
+
+    let idx = CliqueIndex::open(dir)?;
+    let n_target = script
+        .add
+        .iter()
+        .map(|&(_, v)| v + 1)
+        .chain([meta0.n])
+        .max()
+        .unwrap_or(meta0.n);
+    let g = patched_graph(dir, &idx, n_target)?;
+
+    let mut m = Maintainer {
+        idx: &idx,
+        g,
+        min_k: meta0.min_size as usize,
+        killed_stored: Vec::new(),
+        killed_set: HashSet::new(),
+        added: Vec::new(),
+        added_index: HashMap::new(),
+        postings: HashMap::new(),
+    };
+    let mut out = UpdateOutcome {
+        generation: meta0.generation,
+        total: meta0.cliques,
+        live: meta0.cliques - meta0.tombstones,
+        n: meta0.n,
+        ..Default::default()
+    };
+    let mut removed_effective = Vec::new();
+    let mut added_effective = Vec::new();
+    for &(u, v) in &script.remove {
+        if m.remove_edge(u, v)? {
+            out.removes_applied += 1;
+            removed_effective.push((u as u32, v as u32));
+        } else {
+            out.removes_skipped += 1;
+        }
+    }
+    for &(u, v) in &script.add {
+        if m.add_edge(u, v)? {
+            out.adds_applied += 1;
+            added_effective.push((u as u32, v as u32));
+        } else {
+            out.adds_skipped += 1;
+        }
+    }
+    if out.removes_applied == 0 && out.adds_applied == 0 {
+        return Ok(out);
+    }
+
+    // Canonical per-generation emission: (size, lex) — the same order
+    // the enumerators produce, which is what makes compaction
+    // byte-identical to a fresh rebuild.
+    let mut new_cliques: Vec<Clique> = m.added.into_iter().flatten().collect();
+    new_cliques.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    let mut tombstones = m.killed_stored;
+    tombstones.sort_unstable();
+    removed_effective.sort_unstable();
+    added_effective.sort_unstable();
+    let n_after = m.g.n();
+
+    // Encode delta blocks and the per-generation postings overlay.
+    let first_id = meta0.cliques;
+    let target = block_target.unwrap_or(DEFAULT_BLOCK_TARGET).max(1);
+    let mut store_append = Vec::new();
+    let mut blocks = Vec::new();
+    let mut size_runs: Vec<SizeRun> = Vec::new();
+    let mut postings: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    {
+        let mut block_buf = Vec::new();
+        let mut block_count = 0u32;
+        let mut block_first = first_id;
+        let mut block_min = u32::MAX;
+        let mut block_max = 0u32;
+        let mut offset = meta0.store_bytes;
+        let mut seal =
+            |buf: &mut Vec<u8>, count: &mut u32, first: &mut u64, min: &mut u32, max: &mut u32| {
+                if *count == 0 {
+                    return;
+                }
+                let mut payload = Vec::with_capacity(4 + buf.len());
+                payload.extend_from_slice(&count.to_le_bytes());
+                payload.extend_from_slice(buf);
+                let framed = frame(&payload);
+                blocks.push(BlockEntry {
+                    offset,
+                    first_id: *first,
+                    count: *count,
+                    min_size: *min,
+                    max_size: *max,
+                });
+                offset += framed.len() as u64;
+                store_append.extend_from_slice(&framed);
+                *first += u64::from(*count);
+                buf.clear();
+                *count = 0;
+                *min = u32::MAX;
+                *max = 0;
+            };
+        for (i, c) in new_cliques.iter().enumerate() {
+            let id = first_id + i as u64;
+            let size = c.len() as u32;
+            encode_clique(&mut block_buf, c);
+            block_count += 1;
+            block_min = block_min.min(size);
+            block_max = block_max.max(size);
+            for &v in c {
+                postings.entry(v).or_default().push(id);
+            }
+            match size_runs.last_mut() {
+                Some(run) if run.size == size => run.count += 1,
+                _ => size_runs.push(SizeRun {
+                    size,
+                    first_id: id,
+                    count: 1,
+                }),
+            }
+            if block_buf.len() >= target {
+                seal(
+                    &mut block_buf,
+                    &mut block_count,
+                    &mut block_first,
+                    &mut block_min,
+                    &mut block_max,
+                );
+            }
+        }
+        seal(
+            &mut block_buf,
+            &mut block_count,
+            &mut block_first,
+            &mut block_min,
+            &mut block_max,
+        );
+    }
+    let mut postings_payload = Vec::new();
+    let entries: Vec<(u32, Vec<u64>)> = postings.into_iter().collect();
+    encode_delta_postings(&mut postings_payload, &entries);
+    let postings_append = frame(&postings_payload);
+
+    let gen = DeltaGeneration {
+        generation: meta0.generation + 1,
+        n: n_after as u32,
+        first_id,
+        count: new_cliques.len() as u64,
+        size_runs,
+        blocks: blocks.clone(),
+        tombstones: tombstones.clone(),
+        postings_offset: meta0.postings_bytes,
+        postings_len: postings_append.len() as u64,
+        removed_edges: removed_effective,
+        added_edges: added_effective,
+    };
+    let dir_append = frame(&gen.encode());
+
+    // New live maximum: the open-time live histogram, minus each
+    // killed clique's size, plus the new ones.
+    let mut hist: BTreeMap<u32, u64> = idx.stats().size_histogram.into_iter().collect();
+    for &id in &tombstones {
+        let size = idx.size_of(id).ok_or(StoreError::Codec {
+            context: "tombstone beyond the index",
+        })?;
+        if let Some(c) = hist.get_mut(&size) {
+            *c = c.saturating_sub(1);
+        }
+    }
+    for c in &new_cliques {
+        *hist.entry(c.len() as u32).or_insert(0) += 1;
+    }
+    let max_clique = hist
+        .iter()
+        .rev()
+        .find(|&(_, &c)| c > 0)
+        .map_or(0, |(&s, _)| s);
+
+    // Append, fsync, then commit via the manifest rename. Order
+    // matters: data before directory record before manifest.
+    append_fsync(dir, CLIQUES_FILE, &store_append)?;
+    append_fsync(dir, POSTINGS_FILE, &postings_append)?;
+    gsb_core::failpoint::inject("update.pre_dir").map_err(StoreError::Io)?;
+    append_fsync(dir, DIRECTORY_FILE, &dir_append)?;
+    gsb_core::failpoint::inject("update.pre_commit").map_err(StoreError::Io)?;
+    let meta = IndexMeta {
+        version: 1,
+        n: n_after,
+        cliques: first_id + new_cliques.len() as u64,
+        max_clique,
+        blocks: meta0.blocks + blocks.len() as u64,
+        store_bytes: meta0.store_bytes + store_append.len() as u64,
+        postings_bytes: meta0.postings_bytes + postings_append.len() as u64,
+        generation: meta0.generation + 1,
+        min_size: meta0.min_size,
+        delta_generations: meta0.delta_generations + 1,
+        tombstones: meta0.tombstones + tombstones.len() as u64,
+        dir_bytes: meta0.dir_bytes + dir_append.len() as u64,
+        graph_bytes: meta0.graph_bytes,
+        graph_crc: meta0.graph_crc,
+    };
+    write_atomic(dir, META_FILE, meta.to_text().as_bytes()).map_err(StoreError::Io)?;
+    sync_dir(dir);
+
+    out.generation = meta.generation;
+    out.new_cliques = gen.count;
+    out.new_tombstones = gen.tombstones.len() as u64;
+    out.total = meta.cliques;
+    out.live = meta.cliques - meta.tombstones;
+    out.n = meta.n;
+    out.committed = true;
+    Ok(out)
+}
+
+/// Append bytes to `dir/name` and fsync the file.
+fn append_fsync(dir: &Path, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+    let mut f = OpenOptions::new().append(true).open(dir.join(name))?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    Ok(())
+}

@@ -17,11 +17,12 @@
 
 use crate::format::{
     encode_clique, encode_id_list, frame, header_bytes, BlockEntry, IndexDirectory, IndexMeta,
-    SizeRun, CLIQUES_FILE, CLIQUES_MAGIC, DIRECTORY_FILE, DIRECTORY_MAGIC, META_FILE,
+    SizeRun, CLIQUES_FILE, CLIQUES_MAGIC, DIRECTORY_FILE, DIRECTORY_MAGIC, GRAPH_FILE, META_FILE,
     POSTINGS_FILE, POSTINGS_MAGIC,
 };
-use gsb_core::store::StoreError;
+use gsb_core::store::{crc32, StoreError};
 use gsb_core::{CliqueSink, RetryPolicy, Vertex};
+use gsb_graph::BitGraph;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -63,6 +64,8 @@ pub struct IndexWriter {
     postings: Vec<Vec<u64>>,
     size_runs: Vec<SizeRun>,
     blocks: Vec<BlockEntry>,
+    min_size_meta: u32,
+    snapshot: Option<(u64, u32)>,
     retry: RetryPolicy,
     /// First error encountered while streaming (subsequent cliques are
     /// dropped; surfaced by [`finish`](Self::finish), mirroring
@@ -104,6 +107,8 @@ impl IndexWriter {
             postings: vec![Vec::new(); n],
             size_runs: Vec::new(),
             blocks: Vec::new(),
+            min_size_meta: 0,
+            snapshot: None,
             retry: RetryPolicy::default(),
             error: None,
         })
@@ -113,6 +118,43 @@ impl IndexWriter {
     pub fn block_target(mut self, bytes: usize) -> Self {
         self.block_target = bytes.max(1);
         self
+    }
+
+    /// Record the minimum clique size the index maintains (the `--min`
+    /// this build ran with). Required for `gsb update`: without it the
+    /// maintained set is unknown and updates are refused.
+    pub fn min_size(mut self, k: u32) -> Self {
+        self.min_size_meta = k;
+        self
+    }
+
+    /// Force the committed manifest's generation instead of deriving it
+    /// from any previous manifest in the directory. Used by compaction,
+    /// which builds in a scratch directory but must outrank the live
+    /// manifest it replaces.
+    pub fn generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// Attach a snapshot of the indexed graph, written as `graph.gsg`
+    /// alongside the index and pinned to the manifest by a whole-file
+    /// CRC. `gsb update` requires one; without it the index is
+    /// queryable but frozen. The graph must have the vertex count this
+    /// writer was created with.
+    pub fn snapshot(mut self, g: &BitGraph) -> Result<Self, StoreError> {
+        if g.n() != self.n {
+            return Err(StoreError::Codec {
+                context: "index writer: snapshot vertex count differs from index",
+            });
+        }
+        let bytes = crate::snapshot::encode_graph(g);
+        let tmp = self.dir.join(format!("{GRAPH_FILE}.tmp"));
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        self.snapshot = Some((bytes.len() as u64, crc32(&bytes)));
+        Ok(self)
     }
 
     /// Cliques accepted so far.
@@ -216,6 +258,21 @@ impl IndexWriter {
             Ok(())
         })?;
 
+        // Graph snapshot (when attached): renamed into place before the
+        // manifest so `graph_bytes`/`graph_crc` never describe a file
+        // that is not there. Without one, drop any stale snapshot a
+        // previous build left so it cannot be mistaken for this index's.
+        if self.snapshot.is_some() {
+            retry.run_io(|| {
+                std::fs::rename(
+                    self.dir.join(format!("{GRAPH_FILE}.tmp")),
+                    self.dir.join(GRAPH_FILE),
+                )
+            })?;
+        } else {
+            let _ = std::fs::remove_file(self.dir.join(GRAPH_FILE));
+        }
+
         let summary = WriteSummary {
             cliques: self.next_id,
             blocks: self.blocks.len() as u64,
@@ -223,6 +280,7 @@ impl IndexWriter {
             store_bytes: self.store_offset,
             postings_bytes,
         };
+        let (graph_bytes, graph_crc) = self.snapshot.unwrap_or((0, 0));
         let meta = IndexMeta {
             version: 1,
             n: self.n,
@@ -232,6 +290,12 @@ impl IndexWriter {
             store_bytes: summary.store_bytes,
             postings_bytes: summary.postings_bytes,
             generation: self.generation,
+            min_size: self.min_size_meta,
+            delta_generations: 0,
+            tombstones: 0,
+            dir_bytes: dir_bytes.len() as u64,
+            graph_bytes,
+            graph_crc,
         };
         // The commit point: readers refuse a directory without this file.
         retry.run_store(|| {
@@ -303,7 +367,7 @@ impl CliqueSink for IndexWriter {
 
 /// Write `bytes` to `dir/name` atomically: sibling tmp, fsync, rename.
 /// Safe to retry wholesale — the rename either happened or it did not.
-fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+pub(crate) fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
     let tmp = dir.join(format!("{name}.tmp"));
     {
         let mut f = File::create(&tmp)?;
@@ -315,7 +379,7 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
 
 /// Remove orphaned `*.tmp` files (crash mid-write: every durable file
 /// here is written tmp-then-rename, so a leftover tmp is never valid).
-fn sweep_tmp_files(dir: &Path) {
+pub(crate) fn sweep_tmp_files(dir: &Path) {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return;
     };
@@ -327,7 +391,7 @@ fn sweep_tmp_files(dir: &Path) {
 }
 
 /// Best-effort directory fsync so the renames themselves are durable.
-fn sync_dir(dir: &Path) {
+pub(crate) fn sync_dir(dir: &Path) {
     if let Ok(d) = File::open(dir) {
         let _ = d.sync_all();
     }
